@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks: simulator throughput per organisation and
+//! zero-load packet latency (simulation speed, not modelled latency).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc::config::NocConfig;
+use noc::network::Network;
+use noc::traffic::{Pattern, TrafficGen};
+use bench::{build_network, Organization};
+
+fn simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_1k_cycles_uniform_0.05");
+    for org in Organization::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(org.name()), &org, |b, &org| {
+            b.iter(|| {
+                let cfg = NocConfig::paper();
+                let mut net = build_network(org, cfg.clone());
+                let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, 0.05, 7);
+                for _ in 0..1_000 {
+                    gen.tick(&mut net);
+                    net.step();
+                    net.drain_delivered();
+                }
+                net.stats().delivered()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn zero_load_delivery(c: &mut Criterion) {
+    use noc::flit::Packet;
+    use noc::types::{MessageClass, NodeId, PacketId};
+    let mut group = c.benchmark_group("zero_load_corner_to_corner");
+    for org in Organization::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(org.name()), &org, |b, &org| {
+            b.iter(|| {
+                let mut net = build_network(org, NocConfig::paper());
+                net.inject(Packet::new(
+                    PacketId(1),
+                    NodeId::new(0),
+                    NodeId::new(63),
+                    MessageClass::Request,
+                    1,
+                ));
+                let mut out = Vec::new();
+                let deadline = 1_000;
+                while net.in_flight() > 0 && net.now() < deadline {
+                    net.step();
+                    out.extend(net.drain_delivered());
+                }
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn full_system_cycle(c: &mut Criterion) {
+    use sysmodel::{System, SystemParams};
+    use workloads::WorkloadKind;
+    let mut group = c.benchmark_group("system_500_cycles");
+    group.sample_size(10);
+    for org in Organization::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(org.name()), &org, |b, &org| {
+            b.iter(|| {
+                let params = SystemParams::paper();
+                let net = build_network(org, params.noc.clone());
+                let mut sys = System::new(params, net, WorkloadKind::WebSearch, 1);
+                sys.run(500);
+                sys.committed_instructions()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulator_throughput, zero_load_delivery, full_system_cycle);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Runs every figure/table harness in sequence — the one-shot
+//! reproduction driver. Set `NOC_SAMPLES=full` for paper-scale windows.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "fig2", "fig6", "fig7", "sec5b", "fig8", "fig9", "sec5e", "ablation",
+        "lag_sweep", "frfc_compare", "tail_latency",
+    ];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe directory");
+    for bin in bins {
+        let path = dir.join(bin);
+        eprintln!("==> {bin}");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+}

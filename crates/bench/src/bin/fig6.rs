@@ -1,0 +1,45 @@
+//! Figure 6: system performance of Mesh, SMART, Mesh+PRA and Ideal over
+//! the six CloudSuite workloads, normalized to the mesh.
+
+use bench::{format_normalized_table, measure_performance, spec_from_env, FigureResults, Organization};
+use workloads::WorkloadKind;
+
+fn main() {
+    let spec = spec_from_env();
+    eprintln!(
+        "fig6: warmup {} / measure {} / {} samples",
+        spec.warmup_cycles, spec.measure_cycles, spec.samples
+    );
+    let mut raw = Vec::new();
+    for workload in WorkloadKind::ALL {
+        let mut row = Vec::new();
+        for org in Organization::ALL {
+            let s = measure_performance(org, workload, &spec);
+            eprintln!(
+                "  {:<16} {:<9} perf {:>7.2} ± {:.2}",
+                workload.name(),
+                org.name(),
+                s.mean,
+                s.ci95
+            );
+            row.push(s.mean);
+        }
+        raw.push(row);
+    }
+    println!(
+        "{}",
+        format_normalized_table(
+            "Figure 6 — system performance (normalized to Mesh)",
+            &WorkloadKind::ALL,
+            &Organization::ALL,
+            &raw
+        )
+    );
+    FigureResults {
+        figure: "fig6".into(),
+        rows: WorkloadKind::ALL.iter().map(|w| w.name().into()).collect(),
+        columns: Organization::ALL.iter().map(|o| o.name().into()).collect(),
+        values: raw,
+    }
+    .write_if_requested();
+}

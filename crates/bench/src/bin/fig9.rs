@@ -1,0 +1,47 @@
+//! Figure 9: performance density (performance per mm²), normalized to
+//! the mesh. The ideal network is idealistically booked at mesh area.
+
+use bench::{measure_performance, spec_from_env, Organization};
+use nistats::geometric_mean;
+use noc::config::NocConfig;
+use techmodel::{performance_density, NocAreaBreakdown, NocOrganization};
+use workloads::WorkloadKind;
+
+fn main() {
+    let spec = spec_from_env();
+    let cfg = NocConfig::paper();
+    let areas = [
+        NocAreaBreakdown::compute(NocOrganization::Mesh, &cfg).total_mm2(),
+        NocAreaBreakdown::compute(NocOrganization::Smart, &cfg).total_mm2(),
+        NocAreaBreakdown::compute(NocOrganization::MeshPra, &cfg).total_mm2(),
+        NocAreaBreakdown::compute(NocOrganization::Mesh, &cfg).total_mm2(), // ideal at mesh area
+    ];
+    println!("## Figure 9 — performance density (normalized to Mesh)\n");
+    println!(
+        "{:<16}{:>10}{:>10}{:>10}{:>10}",
+        "Workload", "Mesh", "SMART", "Mesh+PRA", "Ideal"
+    );
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for wl in WorkloadKind::ALL {
+        let dens: Vec<f64> = Organization::ALL
+            .iter()
+            .zip(areas.iter())
+            .map(|(org, area)| {
+                performance_density(measure_performance(*org, wl, &spec).mean, *area)
+            })
+            .collect();
+        print!("{:<16}", wl.name());
+        for (i, d) in dens.iter().enumerate() {
+            let r = d / dens[0];
+            ratios[i].push(r);
+            print!("{:>10.3}", r);
+        }
+        println!();
+    }
+    print!("{:<16}", "GMean");
+    for r in &ratios {
+        print!("{:>10.3}", geometric_mean(r));
+    }
+    println!();
+    println!("\npaper: Mesh+PRA +14% vs Mesh, +12% vs SMART, −5% vs Ideal");
+}

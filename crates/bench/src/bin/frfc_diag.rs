@@ -1,0 +1,25 @@
+//! Diagnostic: FRFC control-plane effectiveness in the full system
+//! (companion to `pra_diag`).
+
+use noc::network::Network;
+use pra::frfc::FrfcNetwork;
+use sysmodel::{System, SystemParams};
+use workloads::WorkloadKind;
+
+fn main() {
+    let params = SystemParams::paper();
+    let net = FrfcNetwork::new(params.noc.clone());
+    let mut sys = System::new(params, net, WorkloadKind::MediaStreaming, 1);
+    let perf = sys.measure(5_000, 15_000);
+    let net = sys.into_network();
+    let fs = net.frfc_stats();
+    let ns = net.stats();
+    println!("perf {:.2}", perf);
+    println!("latency {:.1} | req {:.1} resp {:.1}", ns.avg_latency(),
+        ns.avg_latency_of(noc::types::MessageClass::Request),
+        ns.avg_latency_of(noc::types::MessageClass::Response));
+    println!("waves injected {} refused {} hops preallocated {}", fs.injected(), fs.refused_at_ni, fs.hops_preallocated);
+    println!("drops [compl, lag, alloc, conflict, ni]: {:?}", fs.drops_by_reason);
+    println!("reserved moves {} wasted {} blocked {}", ns.reserved_moves, ns.wasted_reservations, ns.blocked_by_reservation_cycles);
+    println!("delivered {}", ns.delivered());
+}

@@ -1,0 +1,53 @@
+//! Ablation: hops-per-cycle (the paper's wire-budget argument).
+//!
+//! Section II-C argues SMART shines in SoCs (lean tiles, modest clocks →
+//! ~8 tiles/cycle) but not in servers (fat tiles, 2 GHz → 2 tiles/cycle).
+//! This sweep varies the single-cycle multi-hop ceiling and reports the
+//! average packet latency of every organisation under LLC-like traffic,
+//! plus the zero-load crossover the argument rests on.
+
+use bench::{build_network, Organization};
+use noc::config::NocConfigBuilder;
+use noc::traffic::{measure_latency, Pattern, TrafficGen};
+use noc::types::NodeId;
+use noc::zeroload::{ideal_latency, mesh_latency, smart_latency};
+use techmodel::wire::WireModel;
+
+fn main() {
+    let wire = WireModel::paper();
+    println!("## Hops-per-cycle sweep (uniform LLC-like traffic @0.02)\n");
+    println!("wire reach at 2 GHz: {:.1} mm  (server tile ≈ 1.8 mm → hpc 2)", wire.reach_mm_per_cycle(2.0));
+    println!("wire reach at 1 GHz: {:.1} mm  (SoC tile ≈ 1.0 mm → hpc 8+)\n", wire.reach_mm_per_cycle(1.0));
+    println!(
+        "{:>4} {:>8} {:>8} {:>9} {:>8}   zero-load corner-to-corner (mesh/smart/ideal)",
+        "hpc", "Mesh", "SMART", "Mesh+PRA", "Ideal"
+    );
+    for hpc in [1u8, 2, 3, 4] {
+        let cfg = NocConfigBuilder::new()
+            .max_hops_per_cycle(hpc)
+            .build()
+            .expect("valid config");
+        let mut row = Vec::new();
+        for org in Organization::ALL {
+            let mut net = build_network(org, cfg.clone());
+            let mut gen =
+                TrafficGen::new(cfg.clone(), Pattern::CoreToLlc, 0.02, 5).response_fraction(0.5);
+            row.push(measure_latency(&mut net, &mut gen, 1_000, 4_000));
+        }
+        let (s, d) = (NodeId::new(0), NodeId::new(63));
+        println!(
+            "{:>4} {:>8.1} {:>8.1} {:>9.1} {:>8.1}   {}/{}/{}",
+            hpc,
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            mesh_latency(&cfg, s, d, 1),
+            smart_latency(&cfg, s, d, 1),
+            ideal_latency(&cfg, s, d, 1),
+        );
+    }
+    println!("\nAt hpc 1 SMART degenerates to a slower mesh (setup stage, no");
+    println!("bypass); the gap SMART closes grows with the wire budget, which");
+    println!("is exactly why the paper needs PRA at server-class hpc 2.");
+}

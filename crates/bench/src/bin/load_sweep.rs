@@ -1,0 +1,32 @@
+//! Experiment: how the Mesh / Mesh+PRA / Ideal performance gaps react to
+//! traffic intensity (miss-rate scaling) — a calibration aid, not a paper
+//! figure.
+
+use bench::{build_network, Organization};
+use sysmodel::{System, SystemParams};
+use workloads::{WorkloadKind, WorkloadProfileBuilder};
+
+fn main() {
+    let params = SystemParams::paper();
+    for scale in [0.4, 0.6, 0.8, 1.0, 1.5] {
+        let profile = WorkloadProfileBuilder::from(WorkloadKind::MediaStreaming)
+            .scale_misses(scale)
+            .build();
+        let mut perfs = Vec::new();
+        for org in [Organization::Mesh, Organization::MeshPra, Organization::Ideal] {
+            let net = build_network(org, params.noc.clone());
+            let mut sys = System::with_profile(params.clone(), net, profile, 1);
+            perfs.push(sys.measure(5_000, 15_000));
+        }
+        println!(
+            "scale {:.1}: mesh {:.2} pra {:.2} ({:+.1}%) ideal {:.2} ({:+.1}%)  pra captures {:.0}% of ideal gain",
+            scale,
+            perfs[0],
+            perfs[1],
+            (perfs[1] / perfs[0] - 1.0) * 100.0,
+            perfs[2],
+            (perfs[2] / perfs[0] - 1.0) * 100.0,
+            (perfs[1] - perfs[0]) / (perfs[2] - perfs[0]) * 100.0
+        );
+    }
+}

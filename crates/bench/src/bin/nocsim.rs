@@ -1,0 +1,253 @@
+//! `nocsim` — a standalone command-line NoC simulator (BookSim-style).
+//!
+//! ```sh
+//! nocsim --org pra --pattern uniform --rate 0.03 --cycles 20000
+//! nocsim --org mesh --pattern hotspot:27 --rate 0.01 --radix 4
+//! nocsim --org smart --trace trace.json
+//! ```
+//!
+//! Run with `--help` for the full option list.
+
+use bench::{build_network, Organization};
+use noc::config::{NocConfig, NocConfigBuilder};
+use noc::network::Network;
+use noc::trace::{replay, Trace};
+use noc::traffic::{Pattern, TrafficGen};
+use noc::types::{MessageClass, NodeId};
+
+#[derive(Debug)]
+struct Options {
+    org: Organization,
+    pattern: Pattern,
+    rate: f64,
+    response_fraction: f64,
+    warmup: u64,
+    cycles: u64,
+    seed: u64,
+    radix: u16,
+    vc_depth: u8,
+    hpc: u8,
+    trace: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            org: Organization::Mesh,
+            pattern: Pattern::UniformRandom,
+            rate: 0.02,
+            response_fraction: 0.5,
+            warmup: 2_000,
+            cycles: 20_000,
+            seed: 1,
+            radix: 8,
+            vc_depth: 5,
+            hpc: 2,
+            trace: None,
+        }
+    }
+}
+
+const HELP: &str = "\
+nocsim — cycle-accurate NoC simulation (near-ideal-noc reproduction)
+
+USAGE: nocsim [OPTIONS]
+
+  --org ORG          mesh | smart | pra | ideal | frfc [mesh]
+  --pattern PAT      uniform | transpose | complement |
+                     corellc | hotspot:<node>          [uniform]
+  --rate F           injection rate, packets/node/cycle [0.02]
+  --response-frac F  fraction of multi-flit responses   [0.5]
+  --warmup N         warm-up cycles                     [2000]
+  --cycles N         measured cycles                    [20000]
+  --seed N           RNG seed                           [1]
+  --radix N          mesh radix (NxN)                   [8]
+  --vc-depth N       flits per virtual channel          [5]
+  --hpc N            max hops per cycle                 [2]
+  --trace FILE       replay a JSON trace instead of
+                     synthetic traffic
+  --help             this text
+";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{HELP}");
+            std::process::exit(0);
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag.as_str() {
+            "--org" => {
+                opts.org = match value.as_str() {
+                    "mesh" => Organization::Mesh,
+                    "smart" => Organization::Smart,
+                    "pra" => Organization::MeshPra,
+                    "ideal" => Organization::Ideal,
+                    "frfc" => Organization::Frfc,
+                    other => return Err(format!("unknown organisation '{other}'")),
+                }
+            }
+            "--pattern" => {
+                opts.pattern = if let Some(node) = value.strip_prefix("hotspot:") {
+                    let n: u16 = node
+                        .parse()
+                        .map_err(|_| format!("bad hotspot node '{node}'"))?;
+                    Pattern::Hotspot(NodeId::new(n))
+                } else {
+                    match value.as_str() {
+                        "uniform" => Pattern::UniformRandom,
+                        "transpose" => Pattern::Transpose,
+                        "complement" => Pattern::Complement,
+                        "corellc" => Pattern::CoreToLlc,
+                        other => return Err(format!("unknown pattern '{other}'")),
+                    }
+                }
+            }
+            "--rate" => opts.rate = value.parse().map_err(|_| "bad --rate".to_string())?,
+            "--response-frac" => {
+                opts.response_fraction =
+                    value.parse().map_err(|_| "bad --response-frac".to_string())?
+            }
+            "--warmup" => opts.warmup = value.parse().map_err(|_| "bad --warmup".to_string())?,
+            "--cycles" => opts.cycles = value.parse().map_err(|_| "bad --cycles".to_string())?,
+            "--seed" => opts.seed = value.parse().map_err(|_| "bad --seed".to_string())?,
+            "--radix" => opts.radix = value.parse().map_err(|_| "bad --radix".to_string())?,
+            "--vc-depth" => {
+                opts.vc_depth = value.parse().map_err(|_| "bad --vc-depth".to_string())?
+            }
+            "--hpc" => opts.hpc = value.parse().map_err(|_| "bad --hpc".to_string())?,
+            "--trace" => opts.trace = Some(value),
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn config_for(opts: &Options) -> Result<NocConfig, String> {
+    NocConfigBuilder::new()
+        .radix(opts.radix)
+        .vc_depth(opts.vc_depth)
+        .max_hops_per_cycle(opts.hpc)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn report(net: &dyn Network, total_cycles: u64) {
+    let s = net.stats();
+    println!("\n== results (cumulative, warm-up included) ==");
+    println!("cycles simulated       {total_cycles}");
+    println!("packets delivered      {}", s.delivered());
+    println!(
+        "  requests / coherence / responses   {} / {} / {}",
+        s.packets_delivered[0], s.packets_delivered[1], s.packets_delivered[2]
+    );
+    println!("avg packet latency     {:.2} cycles", s.avg_latency());
+    println!(
+        "  requests {:.2} / responses {:.2}",
+        s.avg_latency_of(MessageClass::Request),
+        s.avg_latency_of(MessageClass::Response)
+    );
+    println!("avg source queueing    {:.2} cycles", s.avg_queue_latency());
+    if let (Some(p50), Some(p95), Some(p99)) = (
+        s.latency_percentile(0.50),
+        s.latency_percentile(0.95),
+        s.latency_percentile(0.99),
+    ) {
+        println!("latency p50/p95/p99    {p50} / {p95} / {p99} cycles");
+    }
+    println!("avg hops               {:.2}", s.avg_hops());
+    println!("max latency            {} cycles", s.max_latency);
+    println!(
+        "throughput             {:.3} packets/cycle",
+        s.delivered() as f64 / total_cycles.max(1) as f64
+    );
+    println!("link traversals        {}", s.link_traversals);
+    if s.reserved_moves > 0 {
+        println!("-- PRA activity --");
+        println!("reserved-slot moves    {}", s.reserved_moves);
+        println!("wasted reservations    {}", s.wasted_reservations);
+        println!(
+            "blocked-by-reservation {:.4}% of packet latency",
+            s.reservation_blocking_fraction() * 100.0
+        );
+    }
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("nocsim: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = match config_for(&opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("nocsim: invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut net = build_network(opts.org, cfg.clone());
+    println!(
+        "nocsim: {} on {}x{} mesh, {} flits/VC, {} hops/cycle",
+        opts.org.name(),
+        cfg.radix,
+        cfg.radix,
+        cfg.vc_depth,
+        cfg.max_hops_per_cycle
+    );
+
+    if let Some(path) = &opts.trace {
+        let json = match std::fs::read_to_string(path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("nocsim: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let trace = match Trace::from_json(&json) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("nocsim: bad trace {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(i) = trace.validate(cfg.nodes() as u16) {
+            eprintln!("nocsim: trace entry {i} is invalid for this mesh");
+            std::process::exit(1);
+        }
+        println!("replaying {} packets from {path}", trace.len());
+        let (delivered, cycles) = replay(&mut net, trace);
+        println!("delivered {delivered} packets in {cycles} cycles");
+        report(&net, cycles);
+        return;
+    }
+
+    println!(
+        "pattern {:?}, rate {}, responses {:.0}%, {}+{} cycles, seed {}",
+        opts.pattern,
+        opts.rate,
+        opts.response_fraction * 100.0,
+        opts.warmup,
+        opts.cycles,
+        opts.seed
+    );
+    let mut gen = TrafficGen::new(cfg, opts.pattern, opts.rate, opts.seed)
+        .response_fraction(opts.response_fraction);
+    for _ in 0..opts.warmup {
+        gen.tick(&mut net);
+        net.step();
+        net.drain_delivered();
+    }
+    for _ in 0..opts.cycles {
+        gen.tick(&mut net);
+        net.step();
+        net.drain_delivered();
+    }
+    report(&net, opts.warmup + opts.cycles);
+}

@@ -1,0 +1,57 @@
+//! Table I: evaluation parameters of the reproduction.
+
+use noc::config::NocConfig;
+use sysmodel::SystemParams;
+use techmodel::ChipModel;
+use workloads::WorkloadKind;
+
+fn main() {
+    let cfg = NocConfig::paper();
+    let sys = SystemParams::paper();
+    let chip = ChipModel::paper();
+    println!("## Table I — evaluation parameters\n");
+    println!("Technology            32 nm, 0.9 V, 2 GHz");
+    println!(
+        "Processor             {} cores, {} MB NUCA LLC, {} DDR3-1600 channels",
+        chip.cores,
+        chip.llc_mb,
+        sys.memory_controllers.len()
+    );
+    println!(
+        "Core                  ARM Cortex-A15-like, {} mm², {} W",
+        chip.core_area_mm2, chip.core_power_w
+    );
+    println!(
+        "LLC slice             {} mm²/MB, {} mW/MB, {}-cycle tag / {}-cycle data",
+        chip.sram.area_mm2_per_mb,
+        chip.sram.power_w_per_mb * 1000.0,
+        sys.llc_tag_cycles,
+        sys.llc_data_cycles
+    );
+    println!(
+        "Mesh                  {}x{} mesh, {} VCs/port, {} flits/VC, {}-bit links",
+        cfg.radix, cfg.radix, cfg.vcs_per_port, cfg.vc_depth, cfg.link_width_bits
+    );
+    println!(
+        "Multi-hop ceiling     {} tiles/cycle (85 ps/mm wires, ~1.8 mm tiles)",
+        cfg.max_hops_per_cycle
+    );
+    println!(
+        "Memory                {} cycles DRAM latency, {} cycles/line occupancy",
+        sys.dram_latency, sys.dram_line_cycles
+    );
+    println!("\nWorkloads (ILP / MLP / I-MPKI / D-MPKI / LLC hit):");
+    for wl in WorkloadKind::ALL {
+        let p = wl.profile();
+        println!(
+            "  {:<16} {:.1} / {} / {:>4.1} / {:>4.1} / {:.2}{}",
+            wl.name(),
+            p.ilp,
+            p.mlp,
+            p.i_mpki,
+            p.d_mpki,
+            p.llc_hit_ratio,
+            if wl.is_batch() { "  (batch)" } else { "" }
+        );
+    }
+}

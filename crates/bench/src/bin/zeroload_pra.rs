@@ -1,0 +1,40 @@
+//! Zero-load latency of announced packets on Mesh+PRA vs mesh/ideal.
+
+use noc::config::NocConfig;
+use noc::flit::Packet;
+use noc::network::Network;
+use noc::types::{MessageClass, NodeId, PacketId};
+use pra::network::PraNetwork;
+
+fn run(dest: u16, class: MessageClass, len: u8) -> (u64, u64) {
+    let cfg = NocConfig::paper();
+    let mut net = PraNetwork::new(cfg.clone());
+    let p = Packet::new(PacketId(1), NodeId::new(0), NodeId::new(dest), class, len);
+    net.announce(&p, 4);
+    for _ in 0..4 { net.step(); }
+    let p = p.at(net.now());
+    net.inject(p);
+    let d = net.run_to_drain(500);
+    let lat = d[0].delivered - d[0].packet.created;
+    let wasted = net.mesh().stats().wasted_reservations;
+    (lat, wasted)
+}
+
+fn main() {
+    let cfg = NocConfig::paper();
+    for (dest, hops) in [(2u16, 2u32), (5, 5), (7, 7), (18, 4), (63, 14)] {
+        let (rq, w1) = run(dest, MessageClass::Request, 1);
+        let (rs, w2) = run(dest, MessageClass::Response, 5);
+        println!(
+            "hops {:>2}: pra req {:>2} (ideal {:>2}, mesh {:>2})  pra resp {:>2} (ideal {:>2}, mesh {:>2})  waste {}/{}",
+            hops,
+            rq,
+            noc::zeroload::ideal_latency(&cfg, NodeId::new(0), NodeId::new(dest), 1),
+            noc::zeroload::mesh_latency(&cfg, NodeId::new(0), NodeId::new(dest), 1),
+            rs,
+            noc::zeroload::ideal_latency(&cfg, NodeId::new(0), NodeId::new(dest), 5),
+            noc::zeroload::mesh_latency(&cfg, NodeId::new(0), NodeId::new(dest), 5),
+            w1, w2
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! # bench — the figure/table regeneration harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md's
+//! experiment index), plus shared plumbing: building each network
+//! organisation, running the sampled system simulation, and formatting
+//! result rows.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use noc::config::NocConfig;
+use noc::ideal::IdealNetwork;
+use noc::mesh::MeshNetwork;
+use noc::network::Network;
+use noc::smart::SmartNetwork;
+use nistats::{geometric_mean, SampleSpec, Summary};
+use pra::network::PraNetwork;
+use pra::{ControlConfig, PraStats};
+use serde::{Deserialize, Serialize};
+use sysmodel::{System, SystemParams};
+use workloads::WorkloadKind;
+
+/// The network organisations of the evaluation (the paper's four, plus
+/// flit-reservation flow control as the closest-prior-work baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Organization {
+    /// Baseline mesh (1-stage speculative pipeline).
+    Mesh,
+    /// SMART single-cycle multi-hop network.
+    Smart,
+    /// The paper's proposal: mesh + proactive resource allocation.
+    MeshPra,
+    /// Hypothetical zero-router-delay network.
+    Ideal,
+    /// Flit-reservation flow control (Peh & Dally, HPCA 2000).
+    Frfc,
+}
+
+impl Organization {
+    /// All four, in the paper's figure order.
+    pub const ALL: [Organization; 4] = [
+        Organization::Mesh,
+        Organization::Smart,
+        Organization::MeshPra,
+        Organization::Ideal,
+    ];
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Organization::Mesh => "Mesh",
+            Organization::Smart => "SMART",
+            Organization::MeshPra => "Mesh+PRA",
+            Organization::Ideal => "Ideal",
+            Organization::Frfc => "Mesh+FRFC",
+        }
+    }
+}
+
+/// Builds a boxed network of the given organisation.
+pub fn build_network(org: Organization, cfg: NocConfig) -> BoxedNet {
+    match org {
+        Organization::Mesh => BoxedNet(Box::new(MeshNetwork::new(cfg))),
+        Organization::Smart => BoxedNet(Box::new(SmartNetwork::new(cfg))),
+        Organization::MeshPra => BoxedNet(Box::new(PraNetwork::new(cfg))),
+        Organization::Ideal => BoxedNet(Box::new(IdealNetwork::new(cfg))),
+        Organization::Frfc => BoxedNet(Box::new(pra::frfc::FrfcNetwork::new(cfg))),
+    }
+}
+
+/// Measures one `(workload, organisation)` point with the given sampling
+/// spec; returns the performance summary over samples.
+pub fn measure_performance(
+    org: Organization,
+    workload: WorkloadKind,
+    spec: &SampleSpec,
+) -> Summary {
+    let params = SystemParams::paper();
+    spec.run(|seed| {
+        let mut sys = System::new(
+            params.clone(),
+            build_network(org, params.noc.clone()),
+            workload,
+            seed,
+        );
+        sys.measure(spec.warmup_cycles, spec.measure_cycles)
+    })
+}
+
+/// Measures Mesh+PRA with explicit control configuration (ablations).
+pub fn measure_pra_with(
+    ctrl: ControlConfig,
+    workload: WorkloadKind,
+    spec: &SampleSpec,
+) -> Summary {
+    let params = SystemParams::paper();
+    spec.run(|seed| {
+        let net = PraNetwork::with_control(params.noc.clone(), ctrl.clone());
+        let mut sys = System::new(params.clone(), net, workload, seed);
+        sys.measure(spec.warmup_cycles, spec.measure_cycles)
+    })
+}
+
+/// Measures Mesh+PRA and returns `(performance summary, control stats,
+/// data network stats)` for the Figure 7 / Section V.B analyses.
+pub fn measure_pra_detail(
+    workload: WorkloadKind,
+    spec: &SampleSpec,
+) -> (Summary, PraStats, noc::stats::NetStats) {
+    let params = SystemParams::paper();
+    let mut agg_pra = PraStats::new();
+    let mut agg_net = noc::stats::NetStats::new();
+    let perf = spec.run(|seed| {
+        let net = PraNetwork::with_control(params.noc.clone(), ControlConfig::default());
+        let mut sys = System::new(params.clone(), net, workload, seed);
+        let perf = sys.measure(spec.warmup_cycles, spec.measure_cycles);
+        let net = sys.into_network();
+        merge_pra(&mut agg_pra, net.pra_stats());
+        merge_net(&mut agg_net, net.stats());
+        perf
+    });
+    (perf, agg_pra, agg_net)
+}
+
+fn merge_pra(acc: &mut PraStats, s: &PraStats) {
+    acc.injected_llc += s.injected_llc;
+    acc.injected_lsd += s.injected_lsd;
+    acc.refused_at_ni += s.refused_at_ni;
+    for i in 0..acc.lag_at_drop.len() {
+        acc.lag_at_drop[i] += s.lag_at_drop[i];
+    }
+    for i in 0..acc.drops_by_reason.len() {
+        acc.drops_by_reason[i] += s.drops_by_reason[i];
+    }
+    acc.hops_preallocated += s.hops_preallocated;
+    acc.segments_processed += s.segments_processed;
+    for i in 0..acc.alloc_fail_kinds.len() {
+        acc.alloc_fail_kinds[i] += s.alloc_fail_kinds[i];
+    }
+}
+
+fn merge_net(acc: &mut noc::stats::NetStats, s: &noc::stats::NetStats) {
+    acc.total_latency += s.total_latency;
+    acc.total_queue_latency += s.total_queue_latency;
+    acc.total_hops += s.total_hops;
+    acc.blocked_by_reservation_cycles += s.blocked_by_reservation_cycles;
+    acc.reserved_moves += s.reserved_moves;
+    acc.wasted_reservations += s.wasted_reservations;
+    acc.link_traversals += s.link_traversals;
+    acc.local_grants += s.local_grants;
+    for i in 0..3 {
+        acc.packets_delivered[i] += s.packets_delivered[i];
+        acc.packets_injected[i] += s.packets_injected[i];
+        acc.flits_delivered[i] += s.flits_delivered[i];
+    }
+    acc.cycles += s.cycles;
+}
+
+/// Wrapper giving `Box<dyn Network>` the `Network` impl `System` needs.
+pub struct BoxedNet(pub Box<dyn Network>);
+
+impl std::fmt::Debug for BoxedNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedNet")
+    }
+}
+
+impl Network for BoxedNet {
+    fn config(&self) -> &NocConfig {
+        self.0.config()
+    }
+    fn now(&self) -> noc::types::Cycle {
+        self.0.now()
+    }
+    fn inject(&mut self, packet: noc::flit::Packet) {
+        self.0.inject(packet)
+    }
+    fn step(&mut self) {
+        self.0.step()
+    }
+    fn drain_delivered(&mut self) -> Vec<noc::network::Delivered> {
+        self.0.drain_delivered()
+    }
+    fn in_flight(&self) -> usize {
+        self.0.in_flight()
+    }
+    fn stats(&self) -> &noc::stats::NetStats {
+        self.0.stats()
+    }
+    fn announce(&mut self, packet: &noc::flit::Packet, lead: u32) {
+        self.0.announce(packet, lead)
+    }
+}
+
+/// Formats a normalized-performance table (rows = workloads + GMean,
+/// columns normalized to the first organisation).
+pub fn format_normalized_table(
+    title: &str,
+    workloads: &[WorkloadKind],
+    orgs: &[Organization],
+    raw: &[Vec<f64>],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    out.push_str(&format!("{:<16}", "Workload"));
+    for org in orgs {
+        out.push_str(&format!("{:>10}", org.name()));
+    }
+    out.push('\n');
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); orgs.len()];
+    for (w, workload) in workloads.iter().enumerate() {
+        out.push_str(&format!("{:<16}", workload.name()));
+        for o in 0..orgs.len() {
+            let r = raw[w][o] / raw[w][0];
+            ratios[o].push(r);
+            out.push_str(&format!("{:>10.3}", r));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<16}", "GMean"));
+    for r in &ratios {
+        out.push_str(&format!("{:>10.3}", geometric_mean(r)));
+    }
+    out.push('\n');
+    out
+}
+
+/// A machine-readable record of one figure's results, written next to the
+/// human-readable table when `NOC_RESULTS_JSON` names a file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureResults {
+    /// Figure identifier (e.g. "fig6").
+    pub figure: String,
+    /// Row labels (workloads).
+    pub rows: Vec<String>,
+    /// Column labels (organisations).
+    pub columns: Vec<String>,
+    /// Raw values, `values[row][column]`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl FigureResults {
+    /// Writes the record as JSON to the path in `NOC_RESULTS_JSON`
+    /// (appending a `.{figure}.json` suffix); does nothing when the
+    /// variable is unset. IO errors are reported to stderr, not fatal —
+    /// the human-readable output already went to stdout.
+    pub fn write_if_requested(&self) {
+        let Ok(base) = std::env::var("NOC_RESULTS_JSON") else {
+            return;
+        };
+        let path = format!("{base}.{}.json", self.figure);
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: cannot write {path}: {e}");
+                } else {
+                    eprintln!("results written to {path}");
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize {}: {e}", self.figure),
+        }
+    }
+}
+
+/// The sampling spec selected by the `NOC_SAMPLES` environment variable:
+/// `full` (paper windows), `mid`, or anything else/unset (quick windows).
+pub fn spec_from_env() -> SampleSpec {
+    match std::env::var("NOC_SAMPLES").as_deref() {
+        Ok("full") => SampleSpec::paper(),
+        Ok("mid") => SampleSpec {
+            warmup_cycles: 20_000,
+            measure_cycles: 30_000,
+            samples: 3,
+        },
+        _ => SampleSpec {
+            warmup_cycles: 5_000,
+            measure_cycles: 15_000,
+            samples: 2,
+        },
+    }
+}

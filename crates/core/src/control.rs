@@ -1,0 +1,776 @@
+//! The PRA control network.
+//!
+//! A narrow, bufferless mesh of single-cycle 2-hop multi-drop segments
+//! (Figure 5 of the paper) that runs ahead of data packets and reserves
+//! resources in the data network:
+//!
+//! * A control packet carries `{destination, lag, size, message class,
+//!   lookahead route}` and is processed at one multi-drop segment (up to
+//!   two routers) every **two** cycles — one cycle of processing, one of
+//!   transmission.
+//! * Each processed router reserves its output-port timeslots for every
+//!   flit of the data packet, plus a conservative full-packet buffer at
+//!   the next router. When the *next* segment also allocates, an ACK
+//!   converts that buffer landing into a latch (one-cycle parking) or a
+//!   same-cycle bypass, releasing the buffer — so a fully pre-allocated
+//!   path moves data two hops per cycle with buffers only at the end.
+//! * The **lag** — the number of cycles the data packet trails the control
+//!   packet — shrinks by one per segment (control covers 2 hops in 2
+//!   cycles; pre-allocated data covers them in 1). At lag 0 the data has
+//!   caught up and the control packet is dropped; the paper's Figure 7 is
+//!   the histogram of lag values at drop time.
+//! * Control packets are also dropped on any allocation failure and on
+//!   static-priority conflicts (at most one control packet per router
+//!   input latch per cycle; LSD injections have the lowest priority).
+//!
+//! Dropping is always safe: reservations already installed simply let the
+//! data packet ride a shorter pre-allocated prefix and continue reactively.
+
+use std::ops::Range;
+
+use noc::config::NocConfig;
+use noc::mesh::{HopPlan, InstallError, MeshNetwork};
+use noc::network::Network as _;
+use noc::reserve::{FlitSource, Landing};
+use noc::routing::Route;
+use noc::types::{Cycle, MessageClass, NodeId, PacketId, Port};
+
+use crate::stats::{ControlOrigin, DropReason, PraStats};
+
+/// Tunables of the control plane (ablation switches live here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlConfig {
+    /// Maximum lag a control packet may carry (the paper's setup uses 4,
+    /// matching the LLC's 4-cycle data lookup).
+    pub max_lag: u8,
+    /// Launch control packets from the LLC window (tag-hit → data-ready).
+    pub llc_window: bool,
+    /// Launch control packets from Long Stall Detection units.
+    pub lsd: bool,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        ControlConfig {
+            max_lag: 4,
+            llc_window: true,
+            lsd: true,
+        }
+    }
+}
+
+/// The hop after which a provisional full-buffer landing was installed;
+/// converted by the next segment's ACK.
+#[derive(Debug, Clone)]
+struct PrevHop {
+    node: NodeId,
+    out_port: Port,
+    window: Range<Cycle>,
+}
+
+/// An in-flight control packet.
+#[derive(Debug, Clone)]
+struct ControlPacket {
+    id: u64,
+    origin: ControlOrigin,
+    packet: PacketId,
+    class: MessageClass,
+    len: u8,
+    route: Route,
+    /// Chunk index (single-cycle data traversal number) per position.
+    chunk_of: Vec<usize>,
+    /// Next route position (out-port index along the route) to allocate.
+    pos: usize,
+    /// Cycle at which the data packet's head uses position 0's out port.
+    due0: Cycle,
+    /// Remaining lag (decremented once per segment; drop at 0).
+    lag: u8,
+    /// Cycle this packet is processed next.
+    process_at: Cycle,
+    prev_hop: Option<PrevHop>,
+    /// Flit source for position 0 (local VC for LLC launches, the stalled
+    /// packet's input VC for LSD launches).
+    first_source: FlitSource,
+}
+
+/// Splits route positions into single-cycle data chunks: up to
+/// `hpc` consecutive same-direction hops per chunk.
+fn chunk_positions(route: &Route, hpc: u8) -> Vec<usize> {
+    let dirs = route.dirs();
+    let mut chunk_of = Vec::with_capacity(dirs.len());
+    let mut chunk = 0usize;
+    let mut in_chunk = 0u8;
+    for (i, d) in dirs.iter().enumerate() {
+        if i > 0 && (in_chunk >= hpc || *d != dirs[i - 1]) {
+            chunk += 1;
+            in_chunk = 0;
+        }
+        chunk_of.push(chunk);
+        in_chunk += 1;
+    }
+    chunk_of
+}
+
+/// Claim key for the control network's per-cycle latch conflicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ClaimKey {
+    /// A multi-drop latch: `(router, inbound travel direction index)`.
+    MultiDrop(u16, usize),
+    /// The NI injection latch of a router.
+    Ni(u16),
+    /// The LSD latch of a router.
+    Lsd(u16),
+}
+
+/// The control network: in-flight control packets plus statistics.
+#[derive(Debug)]
+pub struct ControlNetwork {
+    cfg: NocConfig,
+    ctrl: ControlConfig,
+    packets: Vec<ControlPacket>,
+    next_id: u64,
+    stats: PraStats,
+}
+
+impl ControlNetwork {
+    /// Creates an empty control network.
+    pub fn new(cfg: NocConfig, ctrl: ControlConfig) -> Self {
+        ControlNetwork {
+            cfg,
+            ctrl,
+            packets: Vec::new(),
+            next_id: 0,
+            stats: PraStats::new(),
+        }
+    }
+
+    /// The control-plane configuration.
+    pub fn control_config(&self) -> &ControlConfig {
+        &self.ctrl
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &PraStats {
+        &self.stats
+    }
+
+    /// Control packets currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether a control packet for `packet` is in flight.
+    pub fn has_packet_for(&self, packet: PacketId) -> bool {
+        self.packets.iter().any(|c| c.packet == packet)
+    }
+
+    /// Launches a control packet for a future LLC response: `data` will be
+    /// injected such that its head flit can first traverse the source
+    /// router's output port at cycle `due0`; `process_at` is the cycle the
+    /// source router processes the control packet (must satisfy
+    /// `due0 - process_at <= max_lag`).
+    ///
+    /// Returns `false` (recording the refusal) when the source NI has
+    /// backlog that would make the injection time unpredictable.
+    pub fn launch_llc(
+        &mut self,
+        mesh: &MeshNetwork,
+        src: NodeId,
+        dest: NodeId,
+        packet: PacketId,
+        class: MessageClass,
+        len: u8,
+        process_at: Cycle,
+        due0: Cycle,
+    ) -> bool {
+        debug_assert!(due0 >= process_at && due0 - process_at <= self.ctrl.max_lag as Cycle);
+        if !self.ctrl.llc_window {
+            return false;
+        }
+        if mesh.source_backlog(src, class) != 0 {
+            self.stats.refused_at_ni += 1;
+            return false;
+        }
+        let route = Route::compute(&self.cfg, src, dest);
+        if route.hops() == 0 {
+            return false;
+        }
+        self.push_packet(
+            ControlOrigin::Llc,
+            packet,
+            class,
+            len,
+            route,
+            due0,
+            process_at,
+            FlitSource::Vc {
+                port: Port::Local,
+                vc: class.vc(),
+            },
+        );
+        true
+    }
+
+    /// Launches a control packet for a packet stalled at `node` behind a
+    /// deterministically draining multi-flit transmission; the blocked
+    /// output port frees at `due0`.
+    pub fn launch_lsd(
+        &mut self,
+        node: NodeId,
+        dest: NodeId,
+        packet: PacketId,
+        class: MessageClass,
+        len: u8,
+        source: FlitSource,
+        process_at: Cycle,
+        due0: Cycle,
+    ) {
+        debug_assert!(due0 >= process_at && due0 - process_at <= self.ctrl.max_lag as Cycle);
+        if !self.ctrl.lsd {
+            return;
+        }
+        let route = Route::compute(&self.cfg, node, dest);
+        if route.hops() == 0 {
+            return;
+        }
+        self.push_packet(
+            ControlOrigin::Lsd,
+            packet,
+            class,
+            len,
+            route,
+            due0,
+            process_at,
+            source,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_packet(
+        &mut self,
+        origin: ControlOrigin,
+        packet: PacketId,
+        class: MessageClass,
+        len: u8,
+        route: Route,
+        due0: Cycle,
+        process_at: Cycle,
+        first_source: FlitSource,
+    ) {
+        let chunk_of = chunk_positions(&route, self.cfg.max_hops_per_cycle);
+        self.next_id += 1;
+        self.stats.record_injected(origin);
+        self.packets.push(ControlPacket {
+            id: self.next_id,
+            origin,
+            packet,
+            class,
+            len,
+            route,
+            chunk_of,
+            pos: 0,
+            due0,
+            lag: (due0 - process_at) as u8,
+            process_at,
+            prev_hop: None,
+            first_source,
+        });
+    }
+
+    /// Processes every control packet due this cycle (`mesh.now() + 1`,
+    /// the cycle the subsequent `mesh.step()` will execute). Call exactly
+    /// once per cycle, before stepping the mesh.
+    pub fn process(&mut self, mesh: &mut MeshNetwork) {
+        let t = mesh.now() + 1;
+        let mut due: Vec<usize> = (0..self.packets.len())
+            .filter(|&i| self.packets[i].process_at == t)
+            .collect();
+        // Static priority: continuing segments first (they sit in the
+        // closest multi-drop latches), then fresh LLC injections (NI
+        // latch), then LSD injections (lowest priority).
+        due.sort_by_key(|&i| {
+            let c = &self.packets[i];
+            let class = match (c.pos > 0, c.origin) {
+                (true, _) => 0u8,
+                (false, ControlOrigin::Llc) => 1,
+                (false, ControlOrigin::Lsd) => 2,
+            };
+            (class, c.id)
+        });
+
+        let mut claims: Vec<ClaimKey> = Vec::new();
+        let mut dropped: Vec<usize> = Vec::new();
+        for &i in &due {
+            let outcome = {
+                let cp = &mut self.packets[i];
+                match claim_keys(&self.cfg, cp) {
+                    Some(keys) if keys.iter().all(|k| !claims.contains(k)) => {
+                        claims.extend(keys);
+                        step_segment(&self.cfg, mesh, cp, t, &mut self.stats)
+                    }
+                    Some(_) => Some(DropReason::Conflict),
+                    None => Some(DropReason::AllocationFailed),
+                }
+            };
+            if let Some(reason) = outcome {
+                let lag = self.packets[i].lag;
+                self.stats.record_drop(reason, lag);
+                dropped.push(i);
+            }
+        }
+        dropped.sort_unstable();
+        for i in dropped.into_iter().rev() {
+            self.packets.swap_remove(i);
+        }
+    }
+}
+
+/// Dense index of an [`InstallError`] in `PraStats::alloc_fail_kinds`.
+fn install_error_index(e: InstallError) -> usize {
+    match e {
+        InstallError::SlotTaken => 0,
+        InstallError::PortCommitted => 1,
+        InstallError::NoDownstreamBuffer => 2,
+        InstallError::LatchBusy => 3,
+        InstallError::NoSuchNeighbor => 4,
+    }
+}
+
+/// The control-latch claims a packet's next segment needs.
+fn claim_keys(cfg: &NocConfig, cp: &ControlPacket) -> Option<Vec<ClaimKey>> {
+    let (a, b) = segment_positions(cp, cfg);
+    let node_a = cp.route.node_at(cfg, a);
+    let mut keys = Vec::with_capacity(2);
+    if a == 0 {
+        keys.push(match cp.origin {
+            ControlOrigin::Llc => ClaimKey::Ni(node_a.index() as u16),
+            ControlOrigin::Lsd => ClaimKey::Lsd(node_a.index() as u16),
+        });
+    } else {
+        let dir_in = cp.route.dir_at(a - 1)?;
+        keys.push(ClaimKey::MultiDrop(node_a.index() as u16, dir_in as usize));
+    }
+    if let Some(b) = b {
+        let node_b = cp.route.node_at(cfg, b);
+        let dir_in = cp.route.dir_at(b - 1)?;
+        keys.push(ClaimKey::MultiDrop(node_b.index() as u16, dir_in as usize));
+    }
+    Some(keys)
+}
+
+/// The route positions this segment processes: the source router alone on
+/// the first step; afterwards up to two routers reachable straight from
+/// the previous segment's transmitter.
+fn segment_positions(cp: &ControlPacket, _cfg: &NocConfig) -> (usize, Option<usize>) {
+    let a = cp.pos;
+    if a == 0 {
+        return (0, None);
+    }
+    let h = cp.route.hops();
+    let b = a + 1;
+    if b < h && cp.route.dir_at(a) == cp.route.dir_at(a - 1) {
+        (a, Some(b))
+    } else {
+        (a, None)
+    }
+}
+
+/// Builds the hop plan for route position `k` with the given landing.
+fn plan_for(
+    cfg: &NocConfig,
+    cp: &ControlPacket,
+    k: usize,
+    landing: Landing,
+) -> HopPlan {
+    let node = cp.route.node_at(cfg, k);
+    let dir = cp.route.dir_at(k).expect("position on route");
+    let source = if k == 0 {
+        cp.first_source
+    } else {
+        let from = cp.route.dir_at(k - 1).expect("position on route").opposite();
+        if cp.chunk_of[k] != cp.chunk_of[k - 1] {
+            FlitSource::Latch { from }
+        } else {
+            FlitSource::Bypass { from }
+        }
+    };
+    HopPlan {
+        node,
+        out_port: Port::Dir(dir),
+        start: cp.due0 + cp.chunk_of[k] as Cycle,
+        packet: cp.packet,
+        len: cp.len,
+        class: cp.class,
+        source,
+        landing,
+        // "The control network always allocates buffers for a full
+        // packet" (Section III-C).
+        reserve: cp.len,
+    }
+}
+
+/// Processes one multi-drop segment for `cp` at cycle `t`. Returns
+/// `Some(reason)` when the control packet must be dropped.
+fn step_segment(
+    cfg: &NocConfig,
+    mesh: &mut MeshNetwork,
+    cp: &mut ControlPacket,
+    t: Cycle,
+    stats: &mut PraStats,
+) -> Option<DropReason> {
+    stats.segments_processed += 1;
+    let h = cp.route.hops();
+    let (a, b) = segment_positions(cp, cfg);
+    let due_a = cp.due0 + cp.chunk_of[a] as Cycle;
+    // The data packet has caught up: nothing left to pre-allocate. A latch
+    // conversion additionally needs the previous hop's first slot (one
+    // cycle before `due_a`) to still be in the future.
+    let needs_latch = a > 0 && cp.chunk_of[a] != cp.chunk_of[a - 1];
+    let min_due = if needs_latch { t + 1 } else { t };
+    if due_a < min_due {
+        stats.alloc_fail_kinds[5] += 1;
+        return Some(DropReason::LagExhausted);
+    }
+
+    // Conversion feasibility on the source side of `a` (the ACK to the
+    // previous segment turns its conservative buffer landing into a latch
+    // or bypass pass-through). The whole previous window must still be
+    // pending — if any slot already executed or was cancelled, converting
+    // mid-stream would split the packet across latch and buffer.
+    let prev_conversion: Option<Landing> = if a == 0 {
+        None
+    } else {
+        let prev = cp.prev_hop.as_ref().expect("non-source position has a previous hop");
+        let intact = mesh.reserved_slots_of(
+            prev.node,
+            prev.out_port,
+            cp.packet,
+            prev.window.clone(),
+        ) == cp.len as usize;
+        if !intact {
+            stats.alloc_fail_kinds[4] += 1;
+            return Some(DropReason::AllocationFailed);
+        }
+        if needs_latch {
+            // `a` reads from its latch: the latch must be claimable for
+            // the arrival window of the previous chunk.
+            let from = cp.route.dir_at(a - 1).expect("on route").opposite();
+            if !mesh.latch_available(
+                cp.route.node_at(cfg, a),
+                Port::Dir(from),
+                prev.window.start..prev.window.end + 1,
+                cp.packet,
+            ) {
+                stats.alloc_fail_kinds[3] += 1;
+                return Some(DropReason::AllocationFailed);
+            }
+            Some(Landing::Latch)
+        } else {
+            Some(Landing::Bypass)
+        }
+    };
+
+    // Try to allocate `b` first (its success decides `a`'s landing).
+    let provisional = Landing::Vc(cp.class.vc());
+    let b_plan = b.map(|b| plan_for(cfg, cp, b, provisional));
+    let b_ok = b_plan
+        .as_ref()
+        .map(|p| mesh.check_hop(p).is_ok())
+        .unwrap_or(false);
+
+    // `a`'s landing: bypass/latch into `b` when `b` allocates, else a
+    // conservative full buffer at the next router (which may be the
+    // destination — then it is final, not conservative).
+    let a_landing_with_b = b.map(|b| {
+        if cp.chunk_of[b] == cp.chunk_of[a] {
+            Landing::Bypass
+        } else {
+            Landing::Latch
+        }
+    });
+    let mut installed_b = false;
+    let a_plan = if b_ok {
+        let with_b = plan_for(cfg, cp, a, a_landing_with_b.expect("b exists"));
+        if mesh.check_hop(&with_b).is_ok() {
+            installed_b = true;
+            with_b
+        } else {
+            plan_for(cfg, cp, a, provisional)
+        }
+    } else {
+        plan_for(cfg, cp, a, provisional)
+    };
+    if let Err(e) = mesh.check_hop(&a_plan) {
+        stats.alloc_fail_kinds[install_error_index(e)] += 1;
+        return Some(DropReason::AllocationFailed);
+    }
+
+    // Commit: convert the previous landing (ACK), install `a` (+ `b`).
+    if let Some(conv) = prev_conversion {
+        let prev = cp.prev_hop.as_ref().expect("non-source position");
+        mesh.convert_landing(
+            prev.node,
+            prev.out_port,
+            cp.packet,
+            prev.window.clone(),
+            conv,
+            cp.len,
+            cp.class,
+        );
+    }
+    mesh.install_hop(&a_plan).expect("checked plan installs");
+    stats.hops_preallocated += 1;
+    let mut last_plan = a_plan;
+    let mut last_pos = a;
+    if installed_b {
+        let plan = b_plan.expect("b was checked");
+        mesh.install_hop(&plan).expect("checked plan installs");
+        stats.hops_preallocated += 1;
+        last_plan = plan;
+        last_pos = b.expect("b exists");
+    }
+
+    cp.prev_hop = Some(PrevHop {
+        node: last_plan.node,
+        out_port: last_plan.out_port,
+        window: last_plan.start..last_plan.start + cp.len as Cycle,
+    });
+    cp.pos = last_pos + 1;
+    if cp.pos >= h {
+        // The destination router is allocated too: reserve its ejection
+        // port so the packet flows straight into the NI without a final
+        // reactive switch allocation (best effort — on failure the packet
+        // simply ejects reactively from the destination's buffer).
+        let dest = cp.route.dest();
+        let in_dir = cp
+            .route
+            .dir_at(h - 1)
+            .expect("non-empty route")
+            .opposite();
+        let eject = HopPlan {
+            node: dest,
+            out_port: Port::Local,
+            start: last_plan.start + 1,
+            packet: cp.packet,
+            len: cp.len,
+            class: cp.class,
+            source: FlitSource::Vc {
+                port: Port::Dir(in_dir),
+                vc: cp.class.vc(),
+            },
+            landing: Landing::Vc(cp.class.vc()),
+            reserve: cp.len,
+        };
+        if mesh.install_hop(&eject).is_ok() {
+            stats.hops_preallocated += 1;
+        }
+        return Some(DropReason::Completed);
+    }
+    if !installed_b && b.is_some() {
+        // The second router of the multi-drop could not allocate; the
+        // paper forwards only when both nodes succeed.
+        return Some(DropReason::AllocationFailed);
+    }
+    cp.lag = cp.lag.saturating_sub(1);
+    if cp.lag == 0 {
+        return Some(DropReason::LagExhausted);
+    }
+    cp.process_at = t + 2;
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc::types::Direction;
+
+    fn route(src: u16, dest: u16) -> Route {
+        Route::compute(&NocConfig::paper(), NodeId::new(src), NodeId::new(dest))
+    }
+
+    #[test]
+    fn chunking_straight_route() {
+        let r = route(0, 6); // six east hops
+        assert_eq!(chunk_positions(&r, 2), vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn chunking_breaks_at_turns() {
+        let r = route(0, 17); // (0,0) -> (1,2): one east, two south
+        assert_eq!(r.dirs(), &[Direction::East, Direction::South, Direction::South]);
+        assert_eq!(chunk_positions(&r, 2), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn chunking_odd_tail() {
+        let r = route(0, 5); // five east hops
+        assert_eq!(chunk_positions(&r, 2), vec![0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn chunking_respects_hpc_limit() {
+        let r = route(0, 6);
+        assert_eq!(chunk_positions(&r, 3), vec![0, 0, 0, 1, 1, 1]);
+        assert_eq!(chunk_positions(&r, 1), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = ControlConfig::default();
+        assert_eq!(c.max_lag, 4);
+        assert!(c.llc_window && c.lsd);
+    }
+
+    #[test]
+    fn llc_launch_requires_clear_backlog() {
+        let cfg = NocConfig::paper();
+        let mesh = MeshNetwork::new(cfg.clone());
+        let mut ctrl = ControlNetwork::new(cfg, ControlConfig::default());
+        let ok = ctrl.launch_llc(
+            &mesh,
+            NodeId::new(0),
+            NodeId::new(5),
+            PacketId(1),
+            MessageClass::Response,
+            5,
+            1,
+            5,
+        );
+        assert!(ok);
+        assert_eq!(ctrl.in_flight(), 1);
+        assert!(ctrl.has_packet_for(PacketId(1)));
+        assert_eq!(ctrl.stats().injected_llc, 1);
+    }
+
+    #[test]
+    fn full_path_preallocation_completes_with_lag_zero() {
+        // Straight 4-hop route, lag 4: the control packet should allocate
+        // the whole path and record a completed (lag-0) drop.
+        let cfg = NocConfig::paper();
+        let mut mesh = MeshNetwork::new(cfg.clone());
+        let mut ctrl = ControlNetwork::new(cfg.clone(), ControlConfig::default());
+        assert!(ctrl.launch_llc(
+            &mesh,
+            NodeId::new(0),
+            NodeId::new(4),
+            PacketId(1),
+            MessageClass::Response,
+            5,
+            1,
+            5,
+        ));
+        // The corresponding data packet arrives per the announce protocol.
+        mesh.inject(noc::flit::Packet::new(
+            PacketId(1),
+            NodeId::new(0),
+            NodeId::new(4),
+            MessageClass::Response,
+            5,
+        ));
+        for _ in 0..30 {
+            ctrl.process(&mut mesh);
+            mesh.step();
+        }
+        assert_eq!(ctrl.in_flight(), 0);
+        assert_eq!(ctrl.stats().lag_at_drop[0], 1, "completed drop at lag 0");
+        // Positions 0..3 plus the destination's ejection port.
+        assert_eq!(ctrl.stats().hops_preallocated, 5);
+        assert_eq!(mesh.stats().wasted_reservations, 0);
+        assert_eq!(mesh.drain_delivered().len(), 1);
+    }
+
+    #[test]
+    fn lag_exhausts_on_long_routes() {
+        let cfg = NocConfig::paper();
+        let mut mesh = MeshNetwork::new(cfg.clone());
+        let mut ctrl = ControlNetwork::new(cfg.clone(), ControlConfig::default());
+        // 14-hop route with lag 4: allocation must stop early.
+        assert!(ctrl.launch_llc(
+            &mesh,
+            NodeId::new(0),
+            NodeId::new(63),
+            PacketId(1),
+            MessageClass::Response,
+            5,
+            1,
+            5,
+        ));
+        mesh.inject(noc::flit::Packet::new(
+            PacketId(1),
+            NodeId::new(0),
+            NodeId::new(63),
+            MessageClass::Response,
+            5,
+        ));
+        for _ in 0..20 {
+            ctrl.process(&mut mesh);
+            mesh.step();
+        }
+        assert_eq!(ctrl.in_flight(), 0);
+        assert_eq!(
+            ctrl.stats().drops_by_reason[DropReason::LagExhausted as usize],
+            1
+        );
+        assert!(ctrl.stats().hops_preallocated >= 4);
+        assert!(ctrl.stats().hops_preallocated < 14);
+    }
+
+    #[test]
+    fn conflicting_launches_drop_lower_priority() {
+        let cfg = NocConfig::paper();
+        let mut mesh = MeshNetwork::new(cfg.clone());
+        let mut ctrl = ControlNetwork::new(cfg.clone(), ControlConfig::default());
+        // Two LLC launches from the same node in the same cycle: the NI
+        // latch fits one; the second is dropped on conflict.
+        assert!(ctrl.launch_llc(
+            &mesh,
+            NodeId::new(0),
+            NodeId::new(5),
+            PacketId(1),
+            MessageClass::Response,
+            5,
+            1,
+            5,
+        ));
+        assert!(ctrl.launch_llc(
+            &mesh,
+            NodeId::new(0),
+            NodeId::new(9),
+            PacketId(2),
+            MessageClass::Request,
+            1,
+            1,
+            5,
+        ));
+        ctrl.process(&mut mesh);
+        assert_eq!(
+            ctrl.stats().drops_by_reason[DropReason::Conflict as usize],
+            1
+        );
+        assert_eq!(ctrl.in_flight(), 1);
+    }
+
+    #[test]
+    fn disabled_llc_window_refuses_launches() {
+        let cfg = NocConfig::paper();
+        let mesh = MeshNetwork::new(cfg.clone());
+        let mut ctrl = ControlNetwork::new(
+            cfg,
+            ControlConfig {
+                llc_window: false,
+                ..ControlConfig::default()
+            },
+        );
+        assert!(!ctrl.launch_llc(
+            &mesh,
+            NodeId::new(0),
+            NodeId::new(5),
+            PacketId(1),
+            MessageClass::Response,
+            5,
+            1,
+            5,
+        ));
+        assert_eq!(ctrl.in_flight(), 0);
+    }
+}

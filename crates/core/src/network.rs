@@ -1,0 +1,339 @@
+//! The Mesh+PRA network: the paper's proposal.
+//!
+//! [`PraNetwork`] couples the PRA-capable mesh datapath
+//! ([`noc::mesh::MeshNetwork`], Figure 4 of the paper) with the
+//! [`ControlNetwork`] (Figure 5) and the per-router LSD units. It
+//! implements [`Network`], so system models and benchmarks can swap it in
+//! for any other organisation.
+//!
+//! The [`Network::announce`] hook is the LLC integration point: a slice
+//! that knows at *tag-hit* time that a response will be ready once the
+//! data lookup completes calls `announce(&packet, lead)`, and the control
+//! plane launches a control packet timed so that the data packet rides a
+//! pre-allocated path the moment it is injected.
+
+use noc::config::NocConfig;
+use noc::flit::Packet;
+use noc::mesh::MeshNetwork;
+use noc::network::{Delivered, Network};
+use noc::stats::NetStats;
+use noc::types::{Cycle, MessageClass, NodeId, PacketId};
+
+use crate::control::{ControlConfig, ControlNetwork};
+use crate::lsd;
+use crate::stats::PraStats;
+
+/// An announced packet awaiting its control-packet launch.
+#[derive(Debug, Clone, Copy)]
+struct PendingAnnounce {
+    src: NodeId,
+    dest: NodeId,
+    packet: PacketId,
+    class: MessageClass,
+    len: u8,
+    /// Cycle at which the control packet is processed at the source.
+    launch_at: Cycle,
+    /// Cycle at which the data's head flit can first use the source
+    /// router's output port.
+    due0: Cycle,
+}
+
+/// The paper's Mesh+PRA organisation.
+///
+/// # Examples
+///
+/// ```
+/// use noc::config::NocConfig;
+/// use noc::flit::Packet;
+/// use noc::network::Network;
+/// use noc::types::{MessageClass, NodeId, PacketId};
+/// use pra::network::PraNetwork;
+///
+/// let mut net = PraNetwork::new(NocConfig::paper());
+/// let p = Packet::new(
+///     PacketId(1),
+///     NodeId::new(0),
+///     NodeId::new(6),
+///     MessageClass::Response,
+///     5,
+/// );
+/// // The LLC knows 4 cycles ahead of time that this response is coming.
+/// net.announce(&p, 4);
+/// for _ in 0..4 {
+///     net.step();
+/// }
+/// net.inject(p);
+/// let d = net.run_to_drain(100);
+/// assert_eq!(d.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PraNetwork {
+    mesh: MeshNetwork,
+    ctrl: ControlNetwork,
+    pending: Vec<PendingAnnounce>,
+}
+
+impl PraNetwork {
+    /// Builds a Mesh+PRA network with the paper's control configuration
+    /// (max lag 4, both opportunity windows enabled).
+    pub fn new(cfg: NocConfig) -> Self {
+        Self::with_control(cfg, ControlConfig::default())
+    }
+
+    /// Builds a Mesh+PRA network with an explicit control configuration
+    /// (ablation studies switch the opportunity windows individually).
+    pub fn with_control(cfg: NocConfig, ctrl: ControlConfig) -> Self {
+        PraNetwork {
+            mesh: MeshNetwork::new(cfg.clone()),
+            ctrl: ControlNetwork::new(cfg, ctrl),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Control-plane statistics (Figure 7 and Section V.B).
+    pub fn pra_stats(&self) -> &PraStats {
+        self.ctrl.stats()
+    }
+
+    /// Read access to the underlying data network.
+    pub fn mesh(&self) -> &MeshNetwork {
+        &self.mesh
+    }
+
+    fn fire_pending(&mut self) {
+        let t = self.mesh.now() + 1;
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].launch_at == t {
+                let p = self.pending.swap_remove(i);
+                self.ctrl.launch_llc(
+                    &self.mesh, p.src, p.dest, p.packet, p.class, p.len, p.launch_at, p.due0,
+                );
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl Network for PraNetwork {
+    fn config(&self) -> &NocConfig {
+        self.mesh.config()
+    }
+
+    fn now(&self) -> Cycle {
+        self.mesh.now()
+    }
+
+    fn inject(&mut self, packet: Packet) {
+        self.mesh.inject(packet);
+    }
+
+    fn step(&mut self) {
+        self.fire_pending();
+        lsd::scan_and_launch(&mut self.mesh, &mut self.ctrl);
+        self.ctrl.process(&mut self.mesh);
+        self.mesh.step();
+    }
+
+    fn drain_delivered(&mut self) -> Vec<Delivered> {
+        self.mesh.drain_delivered()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.mesh.in_flight()
+    }
+
+    fn stats(&self) -> &NetStats {
+        self.mesh.stats()
+    }
+
+    /// The LLC window: `packet` will be injected after `lead` more cycles
+    /// (the remaining data-lookup time). A lead longer than the maximum
+    /// lag delays the control launch so the lag stays within range; a
+    /// zero lead is useless and ignored.
+    fn announce(&mut self, packet: &Packet, lead: u32) {
+        if lead == 0 || packet.src == packet.dest {
+            return;
+        }
+        let max_lag = self.ctrl.control_config().max_lag as Cycle;
+        let now = self.mesh.now();
+        // The data head can first use the source router's port one cycle
+        // after injection (source queue -> local VC during that cycle).
+        let due0 = now + lead as Cycle + 1;
+        let lag = (lead as Cycle).min(max_lag);
+        let launch_at = (due0 - lag).max(now + 1);
+        self.pending.push(PendingAnnounce {
+            src: packet.src,
+            dest: packet.dest,
+            packet: packet.id,
+            class: packet.class,
+            len: packet.len_flits,
+            launch_at,
+            due0,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc::zeroload::{mesh_latency, pra_best_latency};
+
+    fn pkt(id: u64, src: u16, dest: u16, class: MessageClass, len: u8) -> Packet {
+        Packet::new(PacketId(id), NodeId::new(src), NodeId::new(dest), class, len)
+    }
+
+    /// Announce, wait `lead` cycles, inject — the LLC protocol.
+    fn announced_run(net: &mut PraNetwork, p: Packet, lead: u32) -> Cycle {
+        net.announce(&p, lead);
+        for _ in 0..lead {
+            net.step();
+        }
+        let p = p.at(net.now());
+        net.inject(p);
+        let d = net.run_to_drain(1_000);
+        assert_eq!(d.len(), 1);
+        d[0].delivered - d[0].packet.created
+    }
+
+    #[test]
+    fn announced_response_rides_preallocated_path() {
+        let cfg = NocConfig::paper();
+        // 4 straight hops, lag 4: full pre-allocation.
+        let mut net = PraNetwork::new(cfg.clone());
+        let lat = announced_run(&mut net, pkt(1, 0, 4, MessageClass::Response, 5), 4);
+        let best = pra_best_latency(&cfg, NodeId::new(0), NodeId::new(4), 5)
+            - (net.now() - net.now()); // latency measured from injection
+        assert_eq!(net.pra_stats().injected_llc, 1);
+        assert_eq!(net.mesh().stats().wasted_reservations, 0);
+        assert!(
+            lat <= best,
+            "pre-allocated latency {lat} must be at or under the analytic best {best}"
+        );
+        let mesh_lat = mesh_latency(&cfg, NodeId::new(0), NodeId::new(4), 5);
+        assert!(lat < mesh_lat, "PRA {lat} must beat the plain mesh {mesh_lat}");
+    }
+
+    #[test]
+    fn long_route_gets_partial_preallocation() {
+        let cfg = NocConfig::paper();
+        let mut net = PraNetwork::new(cfg.clone());
+        let lat = announced_run(&mut net, pkt(1, 0, 63, MessageClass::Response, 5), 4);
+        let mesh_lat = mesh_latency(&cfg, NodeId::new(0), NodeId::new(63), 5);
+        assert!(lat < mesh_lat, "partial PRA {lat} still beats mesh {mesh_lat}");
+        assert_eq!(net.mesh().stats().wasted_reservations, 0);
+        assert!(net.pra_stats().hops_preallocated >= 4);
+    }
+
+    #[test]
+    fn unannounced_traffic_behaves_like_mesh() {
+        let cfg = NocConfig::paper();
+        let mut net = PraNetwork::new(cfg.clone());
+        net.inject(pkt(1, 0, 5, MessageClass::Request, 1));
+        let d = net.run_to_drain(100);
+        assert_eq!(
+            d[0].delivered - d[0].packet.created,
+            mesh_latency(&cfg, NodeId::new(0), NodeId::new(5), 1)
+        );
+    }
+
+    #[test]
+    fn turns_are_handled_on_preallocated_paths() {
+        let cfg = NocConfig::paper();
+        // 0 -> 18 = (2,2): two east, two south; lag 4 covers all 4 hops.
+        let mut net = PraNetwork::new(cfg.clone());
+        let lat = announced_run(&mut net, pkt(1, 0, 18, MessageClass::Response, 5), 4);
+        assert_eq!(net.mesh().stats().wasted_reservations, 0);
+        let mesh_lat = mesh_latency(&cfg, NodeId::new(0), NodeId::new(18), 5);
+        assert!(lat < mesh_lat, "PRA {lat} must beat mesh {mesh_lat} across a turn");
+    }
+
+    #[test]
+    fn announce_with_zero_lead_is_ignored() {
+        let mut net = PraNetwork::new(NocConfig::paper());
+        let p = pkt(1, 0, 5, MessageClass::Response, 5);
+        net.announce(&p, 0);
+        net.inject(p);
+        let d = net.run_to_drain(200);
+        assert_eq!(d.len(), 1);
+        assert_eq!(net.pra_stats().injected(), 0);
+    }
+
+    #[test]
+    fn long_lead_is_deferred_not_dropped() {
+        let cfg = NocConfig::paper();
+        let mut net = PraNetwork::new(cfg.clone());
+        let lat = announced_run(&mut net, pkt(1, 0, 4, MessageClass::Response, 5), 12);
+        assert_eq!(net.pra_stats().injected_llc, 1);
+        assert_eq!(net.mesh().stats().wasted_reservations, 0);
+        let mesh_lat = mesh_latency(&cfg, NodeId::new(0), NodeId::new(4), 5);
+        assert!(lat < mesh_lat);
+    }
+
+    #[test]
+    fn random_server_traffic_with_announcements_all_delivered() {
+        use rand::{Rng, SeedableRng};
+        let cfg = NocConfig::paper();
+        let mut net = PraNetwork::new(cfg);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(23);
+        let mut queue: Vec<(u64, Packet)> = Vec::new(); // (inject_at, packet)
+        let mut sent = 0u64;
+        for cycle in 1..4_000u64 {
+            if cycle < 2_500 && rng.gen_bool(0.25) {
+                let src = rng.gen_range(0..64u16);
+                let dest = (src + rng.gen_range(1..64)) % 64;
+                sent += 1;
+                if rng.gen_bool(0.5) {
+                    // LLC-style announced response.
+                    let p = pkt(sent, src, dest, MessageClass::Response, 5);
+                    net.announce(&p, 4);
+                    queue.push((cycle + 4, p));
+                } else {
+                    net.inject(pkt(sent, src, dest, MessageClass::Request, 1));
+                }
+            }
+            let mut i = 0;
+            while i < queue.len() {
+                if queue[i].0 == cycle {
+                    let (_, p) = queue.swap_remove(i);
+                    let now = net.now();
+                    net.inject(p.at(now));
+                } else {
+                    i += 1;
+                }
+            }
+            net.step();
+        }
+        let mut delivered = net.drain_delivered().len() as u64;
+        delivered += net.run_to_drain(50_000).len() as u64;
+        assert_eq!(delivered, sent, "no packet may be lost under PRA");
+        // The control plane was active and mostly effective.
+        assert!(net.pra_stats().injected() > 0);
+        let wasted = net.mesh().stats().wasted_reservations;
+        let moves = net.mesh().stats().reserved_moves;
+        assert!(
+            wasted as f64 <= 0.2 * (moves.max(1) as f64),
+            "waste {wasted} should be small next to {moves} forced moves"
+        );
+    }
+
+    #[test]
+    fn pra_beats_mesh_under_load() {
+        use noc::traffic::{measure_latency, Pattern, TrafficGen};
+        let cfg = NocConfig::paper();
+        // Announced traffic is what PRA accelerates; this test uses the
+        // generic generator (no announcements), so PRA should at least
+        // never be slower than the mesh (LSD may still help).
+        let mut mesh = noc::mesh::MeshNetwork::new(cfg.clone());
+        let mut g1 = TrafficGen::new(cfg.clone(), Pattern::CoreToLlc, 0.03, 77);
+        let base = measure_latency(&mut mesh, &mut g1, 500, 2_000);
+        let mut pra = PraNetwork::new(cfg.clone());
+        let mut g2 = TrafficGen::new(cfg, Pattern::CoreToLlc, 0.03, 77);
+        let with_pra = measure_latency(&mut pra, &mut g2, 500, 2_000);
+        assert!(
+            with_pra <= base * 1.05,
+            "PRA ({with_pra}) must not trail the mesh ({base})"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! PRA control-plane statistics — the raw material for Figure 7 and the
+//! Section V.B analysis of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a control packet originated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlOrigin {
+    /// Injected by the LLC network interface at tag-hit time.
+    Llc,
+    /// Injected by a Long Stall Detection unit for a blocked packet.
+    Lsd,
+}
+
+/// Why a control packet was dropped (every control packet is eventually
+/// dropped — that is how the protocol ends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The whole remaining path (or the destination) was allocated —
+    /// the ideal outcome; recorded as lag 0.
+    Completed,
+    /// The lag reached zero: the data packet caught up with the control
+    /// packet and no further pre-allocation is possible.
+    LagExhausted,
+    /// A resource on the segment could not be granted (timeslot, buffer,
+    /// latch, or owner conflict).
+    AllocationFailed,
+    /// Lost a static-priority conflict for a control-network latch.
+    Conflict,
+    /// The NI latch was busy (or the source had backlog) at injection.
+    NiBusy,
+}
+
+/// Accumulated control-plane statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PraStats {
+    /// Control packets injected by the LLC path.
+    pub injected_llc: u64,
+    /// Control packets injected by LSD units.
+    pub injected_lsd: u64,
+    /// Launch attempts refused at the NI (backlog or latch busy).
+    pub refused_at_ni: u64,
+    /// Histogram of the lag value when dropped, index = lag (0..=max);
+    /// the paper's maximum lag is 4.
+    pub lag_at_drop: [u64; 8],
+    /// Drop counts by reason, indexed by [`DropReason`] order.
+    pub drops_by_reason: [u64; 5],
+    /// Total router output-port hops successfully pre-allocated.
+    pub hops_preallocated: u64,
+    /// Control-network segment processing steps executed.
+    pub segments_processed: u64,
+    /// Allocation failures by install-error kind:
+    /// `[slot_taken, port_committed, no_downstream_buffer, latch_busy,
+    /// latch_conversion, caught_up]`.
+    pub alloc_fail_kinds: [u64; 6],
+}
+
+impl PraStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        PraStats::default()
+    }
+
+    /// Records an injection.
+    pub fn record_injected(&mut self, origin: ControlOrigin) {
+        match origin {
+            ControlOrigin::Llc => self.injected_llc += 1,
+            ControlOrigin::Lsd => self.injected_lsd += 1,
+        }
+    }
+
+    /// Records a drop with the given remaining `lag`.
+    pub fn record_drop(&mut self, reason: DropReason, lag: u8) {
+        let lag = if reason == DropReason::Completed { 0 } else { lag };
+        self.lag_at_drop[(lag as usize).min(self.lag_at_drop.len() - 1)] += 1;
+        self.drops_by_reason[reason as usize] += 1;
+    }
+
+    /// Total control packets injected.
+    pub fn injected(&self) -> u64 {
+        self.injected_llc + self.injected_lsd
+    }
+
+    /// Total control packets dropped (equals injected once drained).
+    pub fn dropped(&self) -> u64 {
+        self.lag_at_drop.iter().sum()
+    }
+
+    /// Fraction of drops at each lag value `0..=max_lag`
+    /// (the paper's Figure 7 series).
+    pub fn lag_distribution(&self, max_lag: u8) -> Vec<f64> {
+        let total = self.dropped() as f64;
+        (0..=max_lag as usize)
+            .map(|l| {
+                if total == 0.0 {
+                    0.0
+                } else {
+                    self.lag_at_drop[l] as f64 / total
+                }
+            })
+            .collect()
+    }
+
+    /// Control packets per data packet, given the number of data packets
+    /// (the paper reports 1.60–1.89).
+    pub fn controls_per_data_packet(&self, data_packets: u64) -> f64 {
+        if data_packets == 0 {
+            0.0
+        } else {
+            self.injected() as f64 / data_packets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injection_accounting() {
+        let mut s = PraStats::new();
+        s.record_injected(ControlOrigin::Llc);
+        s.record_injected(ControlOrigin::Llc);
+        s.record_injected(ControlOrigin::Lsd);
+        assert_eq!(s.injected(), 3);
+        assert_eq!(s.controls_per_data_packet(2), 1.5);
+    }
+
+    #[test]
+    fn completed_drops_count_as_lag_zero() {
+        let mut s = PraStats::new();
+        s.record_drop(DropReason::Completed, 3);
+        s.record_drop(DropReason::LagExhausted, 0);
+        s.record_drop(DropReason::AllocationFailed, 2);
+        assert_eq!(s.lag_at_drop[0], 2);
+        assert_eq!(s.lag_at_drop[2], 1);
+        assert_eq!(s.dropped(), 3);
+        let dist = s.lag_distribution(4);
+        assert!((dist[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((dist[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(dist.len(), 5);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = PraStats::new();
+        assert_eq!(s.controls_per_data_packet(0), 0.0);
+        assert!(s.lag_distribution(4).iter().all(|x| *x == 0.0));
+    }
+}

@@ -1,0 +1,442 @@
+//! The ideal (zero-router-delay) network.
+//!
+//! The paper's upper bound: "a hypothetical network-on-chip with router
+//! delay of zero cycles. For the ideal network-on-chip, only wire delays
+//! are considered. A header flit can pass over up to two hops in a single
+//! cycle if the required crossbars and links are free. Body flits follow
+//! the header flit in subsequent cycles. While router delay is zero,
+//! packets may get blocked in a router due to contention."
+//!
+//! Accordingly this model keeps buffering (per input port and class, like
+//! the realistic routers — per-port buffering preserves XY's
+//! channel-dependency acyclicity), link contention (one flit per link per
+//! cycle) and serialization — but spends **no** cycles on allocation:
+//! every flit moves toward its destination every cycle, up to
+//! [`NocConfig::max_hops_per_cycle`] hops, oldest packet first.
+
+use crate::buffer::VcBuffer;
+use crate::config::NocConfig;
+use crate::flit::{Flit, Packet};
+use crate::network::{Delivered, DeliveryLedger, Network, Reassembly, SourceQueues};
+use crate::routing::{neighbor, route_port};
+use crate::stats::NetStats;
+use crate::types::{Cycle, Direction, NodeId, Port};
+
+/// The ideal zero-router-latency network.
+///
+/// # Examples
+///
+/// ```
+/// use noc::config::NocConfig;
+/// use noc::flit::Packet;
+/// use noc::ideal::IdealNetwork;
+/// use noc::network::Network;
+/// use noc::types::{MessageClass, NodeId, PacketId};
+///
+/// let mut net = IdealNetwork::new(NocConfig::paper());
+/// net.inject(Packet::new(
+///     PacketId(1),
+///     NodeId::new(0),
+///     NodeId::new(63),
+///     MessageClass::Request,
+///     1,
+/// ));
+/// let d = net.run_to_drain(100);
+/// // 14 hops at 2 hops/cycle: far faster than the mesh's 2 cycles/hop.
+/// assert!(d[0].delivered < 12);
+/// ```
+#[derive(Debug)]
+pub struct IdealNetwork {
+    cfg: NocConfig,
+    now: Cycle,
+    /// `buffers[node][in_port][class]`.
+    buffers: Vec<Vec<Vec<VcBuffer>>>,
+    sources: Vec<SourceQueues>,
+    reasm: Vec<Reassembly>,
+    ledger: DeliveryLedger,
+    /// Flits that finished their wire traversal this cycle, buffered at the
+    /// start of the next (end-of-cycle latching): `(node, in_port, class,
+    /// flit)`.
+    arrivals: Vec<(usize, usize, usize, Flit)>,
+    stats: NetStats,
+}
+
+impl IdealNetwork {
+    /// Builds an ideal network for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`NocConfig::validate`].
+    pub fn new(cfg: NocConfig) -> Self {
+        cfg.validate().expect("invalid NoC configuration");
+        let n = cfg.nodes();
+        IdealNetwork {
+            buffers: (0..n)
+                .map(|_| {
+                    (0..Port::COUNT)
+                        .map(|_| {
+                            (0..cfg.vcs_per_port)
+                                .map(|_| VcBuffer::new(cfg.vc_depth as usize))
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect(),
+            sources: (0..n).map(|_| SourceQueues::new()).collect(),
+            reasm: (0..n).map(|_| Reassembly::new()).collect(),
+            ledger: DeliveryLedger::new(),
+            arrivals: Vec::new(),
+            stats: NetStats::new(),
+            cfg,
+            now: 0,
+        }
+    }
+
+    fn deliver_arrivals(&mut self) {
+        let arrivals = std::mem::take(&mut self.arrivals);
+        for (node, port, class, flit) in arrivals {
+            if flit.dest.index() == node {
+                if let Some(head) = self.reasm[node].accept(flit) {
+                    let hops = self
+                        .cfg
+                        .coord(head.src)
+                        .manhattan(self.cfg.coord(head.dest));
+                    self.ledger.complete(head, self.now, hops, &mut self.stats);
+                }
+            } else {
+                self.buffers[node][port][class]
+                    .push(flit)
+                    .unwrap_or_else(|e| panic!("ideal arrival invariant violated: {e}"));
+            }
+        }
+    }
+
+    fn inject_from_sources(&mut self) {
+        for node in 0..self.cfg.nodes() {
+            for class in 0..self.cfg.vcs_per_port {
+                let Some(front) = self.sources[node].queues[class].front() else {
+                    continue;
+                };
+                {
+                    let buf = &self.buffers[node][Port::Local.index()][class];
+                    if buf.free() == 0 || !can_follow(buf, front) {
+                        continue;
+                    }
+                }
+                let mut flit = *front;
+                flit.injected = self.now;
+                self.sources[node].queues[class].pop_front();
+                self.buffers[node][Port::Local.index()][class]
+                    .push(flit)
+                    .expect("space and contiguity checked");
+            }
+        }
+    }
+
+    /// Moves every front flit up to `max_hops_per_cycle` hops, oldest
+    /// packet first, subject to link availability and buffer space.
+    fn advance_flits(&mut self) {
+        // Candidate fronts, sorted by age for deterministic oldest-first
+        // service (ideal arbitration).
+        let mut candidates: Vec<(Cycle, u64, u8, usize, usize, usize)> = Vec::new();
+        for node in 0..self.cfg.nodes() {
+            for port in 0..Port::COUNT {
+                for class in 0..self.cfg.vcs_per_port {
+                    if let Some(f) = self.buffers[node][port][class].front() {
+                        candidates.push((f.created, f.packet.0, f.seq, node, port, class));
+                    }
+                }
+            }
+        }
+        candidates.sort_unstable();
+
+        // One flit per link per cycle; links are identified by
+        // (node, direction). One buffer read per (node, class) per cycle is
+        // implicit (only the front flit is considered).
+        let mut link_busy = vec![false; self.cfg.nodes() * 4];
+        let busy_idx = |node: usize, d: Direction| node * 4 + d as usize;
+        // Arrivals staged *this* cycle, per (node, in_port, class): count
+        // and the last staged flit, so same-cycle landings respect
+        // capacity and packet contiguity.
+        let mut staged: std::collections::BTreeMap<(usize, usize, usize), (usize, Flit)> =
+            std::collections::BTreeMap::new();
+
+        for (_, _, _, node, port, class) in candidates {
+            let Some(&flit) = self.buffers[node][port][class].front() else {
+                continue;
+            };
+            let here = NodeId::new(node as u16);
+            if flit.dest == here {
+                // Loopback (e.g. a core accessing its own LLC slice):
+                // eject straight into the local NI.
+                let flit = self.buffers[node][port][class].pop().expect("front checked");
+                self.stats.local_grants += 1;
+                self.arrivals.push((node, port, class, flit));
+                continue;
+            }
+
+            // Plan up to max_hops_per_cycle hops along the XY route,
+            // stopping early at busy links, occupied pass-through routers,
+            // or the destination.
+            let mut path: Vec<(usize, Direction)> = Vec::new();
+            let mut at = here;
+            while (path.len() as u8) < self.cfg.max_hops_per_cycle {
+                let port = route_port(&self.cfg, at, flit.dest);
+                let Some(dir) = port.direction() else {
+                    break; // at the destination
+                };
+                if link_busy[busy_idx(at.index(), dir)] {
+                    break;
+                }
+                if at != here {
+                    // Passing through `at`: the buffer this flit would
+                    // otherwise land in must be empty, or it would
+                    // overtake queued traffic of its own class.
+                    let in_port = incoming_port(&path);
+                    if !self.buffers[at.index()][in_port][class].is_empty() {
+                        break;
+                    }
+                }
+                let next = neighbor(&self.cfg, at, dir).expect("route stays on mesh");
+                path.push((at.index(), dir));
+                at = next;
+                if next == flit.dest {
+                    break;
+                }
+            }
+            // Shorten until the landing point can accept the flit,
+            // accounting for arrivals already staged there this cycle.
+            while let Some(&(n0, d0)) = path.last() {
+                let landing = neighbor(&self.cfg, NodeId::new(n0 as u16), d0).expect("on mesh");
+                if landing == flit.dest {
+                    break;
+                }
+                let in_port = Port::Dir(d0.opposite()).index();
+                let buf = &self.buffers[landing.index()][in_port][class];
+                let key = (landing.index(), in_port, class);
+                let (staged_n, follow_ok) = match staged.get(&key) {
+                    Some(&(n, last)) => (
+                        n,
+                        last.is_tail()
+                            || (last.packet == flit.packet && flit.seq == last.seq + 1),
+                    ),
+                    None => (0, can_follow(buf, &flit)),
+                };
+                if buf.free() > staged_n && follow_ok {
+                    break;
+                }
+                path.pop();
+            }
+            let Some(&(n_last, d_last)) = path.last() else {
+                continue;
+            };
+            let landing = neighbor(&self.cfg, NodeId::new(n_last as u16), d_last).expect("on mesh");
+            let land_port = Port::Dir(d_last.opposite()).index();
+            // Commit: claim links, move the flit.
+            for &(n, d) in &path {
+                link_busy[busy_idx(n, d)] = true;
+                self.stats.link_traversals += 1;
+            }
+            let flit = self.buffers[node][port][class].pop().expect("front checked above");
+            self.stats.local_grants += 1;
+            if landing != flit.dest {
+                staged
+                    .entry((landing.index(), land_port, class))
+                    .and_modify(|(n, last)| {
+                        *n += 1;
+                        *last = flit;
+                    })
+                    .or_insert((1, flit));
+            }
+            self.arrivals.push((landing.index(), land_port, class, flit));
+        }
+    }
+}
+
+/// The input-port index a flit arriving over the last link of `path`
+/// lands on.
+fn incoming_port(path: &[(usize, Direction)]) -> usize {
+    let (_, d) = *path.last().expect("nonempty path");
+    Port::Dir(d.opposite()).index()
+}
+
+/// Whether `flit` may be enqueued behind the current back of `buf` without
+/// interleaving packets.
+fn can_follow(buf: &VcBuffer, flit: &Flit) -> bool {
+    match buf.back() {
+        None => true,
+        Some(last) if last.is_tail() => true,
+        Some(last) => last.packet == flit.packet && flit.seq == last.seq + 1,
+    }
+}
+
+impl Network for IdealNetwork {
+    fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn inject(&mut self, packet: Packet) {
+        let mut packet = packet;
+        if packet.created == 0 {
+            packet.created = self.now;
+        }
+        self.stats.record_injected(packet.class);
+        self.ledger.register(packet);
+        self.sources[packet.src.index()].enqueue_packet(&packet);
+    }
+
+    fn step(&mut self) {
+        self.now += 1;
+        self.stats.cycles += 1;
+        self.deliver_arrivals();
+        self.inject_from_sources();
+        self.advance_flits();
+    }
+
+    fn drain_delivered(&mut self) -> Vec<Delivered> {
+        self.ledger.drain()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.ledger.in_flight()
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{MessageClass, PacketId};
+
+    fn net() -> IdealNetwork {
+        IdealNetwork::new(NocConfig::paper())
+    }
+
+    fn pkt(id: u64, src: u16, dest: u16, class: MessageClass, len: u8) -> Packet {
+        Packet::new(PacketId(id), NodeId::new(src), NodeId::new(dest), class, len)
+    }
+
+    #[test]
+    fn zero_load_two_hops_per_cycle() {
+        let mut lat = Vec::new();
+        for dest in [1u16, 2, 4, 6] {
+            let mut n = net();
+            n.inject(pkt(1, 0, dest, MessageClass::Request, 1));
+            let d = n.run_to_drain(100);
+            lat.push(d[0].delivered - d[0].packet.created);
+        }
+        // Injection (1 cycle) + ceil(hops / 2) wire cycles.
+        assert_eq!(lat, vec![2, 2, 3, 4]);
+    }
+
+    #[test]
+    fn much_faster_than_mesh_on_long_paths() {
+        let mut n = net();
+        n.inject(pkt(1, 0, 63, MessageClass::Request, 1));
+        let d = n.run_to_drain(100);
+        let lat = d[0].delivered - d[0].packet.created;
+        // 14 hops at 2 hops/cycle ≈ 8 cycles; the mesh takes 31.
+        assert!(lat <= 9, "ideal latency {lat} too high");
+    }
+
+    #[test]
+    fn multi_flit_serialization_still_applies() {
+        let mut a = net();
+        a.inject(pkt(1, 0, 7, MessageClass::Response, 1));
+        let da = a.run_to_drain(100);
+        let mut b = net();
+        b.inject(pkt(1, 0, 7, MessageClass::Response, 5));
+        let db = b.run_to_drain(100);
+        let one = da[0].delivered - da[0].packet.created;
+        let five = db[0].delivered - db[0].packet.created;
+        assert_eq!(five - one, 4, "four extra serialization cycles");
+    }
+
+    #[test]
+    fn all_random_packets_delivered() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let mut n = net();
+        let mut sent = 0u64;
+        for cycle in 0..2_000u64 {
+            if cycle < 1_000 && rng.gen_bool(0.4) {
+                let src = rng.gen_range(0..64);
+                let mut dest = rng.gen_range(0..64);
+                if dest == src {
+                    dest = (dest + 1) % 64;
+                }
+                let class = match rng.gen_range(0..3) {
+                    0 => MessageClass::Request,
+                    1 => MessageClass::Coherence,
+                    _ => MessageClass::Response,
+                };
+                let len = if class == MessageClass::Response { 5 } else { 1 };
+                sent += 1;
+                n.inject(pkt(sent, src, dest, class, len));
+            }
+            n.step();
+        }
+        let mut delivered = n.drain_delivered().len() as u64;
+        delivered += n.run_to_drain(10_000).len() as u64;
+        assert_eq!(delivered, sent);
+    }
+
+    #[test]
+    fn contention_is_still_modeled() {
+        // Many packets to one destination must serialize on the final link.
+        let mut n = net();
+        for i in 0..16u64 {
+            n.inject(pkt(i + 1, (i % 8) as u16 * 8, 63, MessageClass::Request, 1));
+        }
+        let d = n.run_to_drain(10_000);
+        assert_eq!(d.len(), 16);
+        let last = d.iter().map(|x| x.delivered).max().unwrap();
+        assert!(last >= 8, "16 single-flit packets over shared links take time");
+    }
+
+    #[test]
+    fn ideal_beats_mesh_on_average_latency() {
+        use crate::mesh::MeshNetwork;
+        use rand::{Rng, SeedableRng};
+        let mut lat = Vec::new();
+        for ideal in [false, true] {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+            let mut n: Box<dyn Network> = if ideal {
+                Box::new(IdealNetwork::new(NocConfig::paper()))
+            } else {
+                Box::new(MeshNetwork::new(NocConfig::paper()))
+            };
+            let mut sent = 0;
+            for cycle in 0..3_000u64 {
+                if cycle < 2_000 && rng.gen_bool(0.2) {
+                    let src = rng.gen_range(0..64u16);
+                    let dest = (src + rng.gen_range(1..64)) % 64;
+                    sent += 1;
+                    let class = if sent % 2 == 0 {
+                        MessageClass::Request
+                    } else {
+                        MessageClass::Response
+                    };
+                    let len = if class == MessageClass::Response { 5 } else { 1 };
+                    n.inject(pkt(sent, src, dest, class, len));
+                }
+                n.step();
+                n.drain_delivered();
+            }
+            lat.push(n.stats().avg_latency());
+        }
+        assert!(
+            lat[1] < lat[0] * 0.55,
+            "ideal ({}) should be far below mesh ({})",
+            lat[1],
+            lat[0]
+        );
+    }
+}

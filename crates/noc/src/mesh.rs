@@ -1,0 +1,1676 @@
+//! The mesh data network with a 1-stage speculative router pipeline.
+//!
+//! This is both the paper's **Mesh** baseline and the datapath of
+//! **Mesh+PRA** (Figure 4): every router carries the PRA extensions —
+//! per-output-port timeslot [`OutputSchedule`]s, a per-input-port latch,
+//! bypass paths, reserved credits and the multi-flit guard — but they stay
+//! inert until a control plane (the `pra` crate) installs reservations
+//! through [`MeshNetwork::install_hop`].
+//!
+//! # Pipeline timing
+//!
+//! A flit latched at a router at the end of cycle *t* performs route
+//! computation, VC allocation and speculative switch allocation during
+//! cycle *t+1* and traverses the crossbar and link during *t+2*, arriving
+//! at the next router at the end of *t+2*: two cycles per hop at zero
+//! load, exactly Table I's mesh. With reservations installed, a flit
+//! instead moves up to [`NocConfig::max_hops_per_cycle`] hops in a single
+//! cycle through preset crossbars, with no allocation cycles at all.
+
+use crate::arbiter::RoundRobin;
+use crate::buffer::InputUnit;
+use crate::config::NocConfig;
+use crate::credit::{MultiFlitGuard, OutVc};
+use crate::flit::{Flit, Packet};
+use crate::network::{Delivered, DeliveryLedger, Network, Reassembly, SourceQueues};
+use crate::reserve::{FlitSource, Landing, OutputSchedule, Reservation};
+use crate::routing::{neighbor, route_port};
+use crate::stats::NetStats;
+use crate::types::{Cycle, MessageClass, NodeId, PacketId, Port};
+
+use std::collections::BTreeMap;
+
+/// One mesh router's state.
+#[derive(Debug)]
+struct Router {
+    /// Input units, indexed by [`Port::index`].
+    inputs: Vec<InputUnit>,
+    /// Downstream credit/ownership state: `out_vcs[port][vc]`.
+    out_vcs: Vec<Vec<OutVc>>,
+    /// Multi-flit interleaving guards: `guards[port][vc]`.
+    guards: Vec<Vec<MultiFlitGuard>>,
+    /// PRA timeslot tables, one per output port.
+    schedules: Vec<OutputSchedule>,
+    /// Which packet each input VC is currently streaming to which output
+    /// port: `active_out[in_port][vc]`.
+    active_out: Vec<Vec<Option<ActiveStream>>>,
+    /// Output ports locked to a multi-flit packet until its tail passes
+    /// (no flit-level interleaving on a link mid-packet — the blocking
+    /// behaviour the paper's LSD unit exploits).
+    port_lock: Vec<Option<PacketId>>,
+    /// Per-input-port VC selection arbiters.
+    sa_in: Vec<RoundRobin>,
+    /// Per-output-port input selection arbiters.
+    sa_out: Vec<RoundRobin>,
+}
+
+impl Router {
+    fn new(cfg: &NocConfig) -> Self {
+        let vcs = cfg.vcs_per_port;
+        Router {
+            inputs: (0..Port::COUNT)
+                .map(|_| InputUnit::new(vcs, cfg.vc_depth as usize))
+                .collect(),
+            out_vcs: (0..Port::COUNT)
+                .map(|_| (0..vcs).map(|_| OutVc::new(cfg.vc_depth)).collect())
+                .collect(),
+            guards: (0..Port::COUNT)
+                .map(|_| (0..vcs).map(|_| MultiFlitGuard::new()).collect())
+                .collect(),
+            schedules: (0..Port::COUNT).map(|_| OutputSchedule::new()).collect(),
+            active_out: (0..Port::COUNT).map(|_| vec![None; vcs]).collect(),
+            port_lock: vec![None; Port::COUNT],
+            sa_in: (0..Port::COUNT).map(|_| RoundRobin::new(vcs)).collect(),
+            sa_out: (0..Port::COUNT).map(|_| RoundRobin::new(Port::COUNT)).collect(),
+        }
+    }
+}
+
+/// A packet currently streaming from an input VC to an output port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ActiveStream {
+    out_port: Port,
+    packet: PacketId,
+    len: u8,
+    /// Flits granted (reactively) or force-moved through the port so far.
+    sent: u8,
+}
+
+/// A switch-allocation grant awaiting its switch/link traversal cycle.
+#[derive(Debug, Clone, Copy)]
+struct Grant {
+    node: usize,
+    in_port: Port,
+    vc: usize,
+    out_port: Port,
+    packet: PacketId,
+    seq: u8,
+}
+
+/// A flit on a link, to be delivered at the start of the next cycle.
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    node: usize,
+    in_port: Port,
+    vc: usize,
+    flit: Flit,
+}
+
+/// A credit travelling back upstream.
+#[derive(Debug, Clone, Copy)]
+struct CreditReturn {
+    node: usize,
+    out_port: Port,
+    vc: usize,
+}
+
+/// Location of an installed reservation, kept for cancellation.
+#[derive(Debug, Clone, Copy)]
+struct ResvLoc {
+    node: usize,
+    out_port: Port,
+    cycle: Cycle,
+}
+
+/// Description of one hop of a proactively allocated path, installed by
+/// the PRA control plane. `start` is the cycle the packet's *head* flit
+/// traverses this router's `out_port`; flit `s` traverses at `start + s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopPlan {
+    /// Router performing the traversal.
+    pub node: NodeId,
+    /// Output port being reserved.
+    pub out_port: Port,
+    /// Cycle of the head flit's traversal.
+    pub start: Cycle,
+    /// Packet being pre-allocated.
+    pub packet: PacketId,
+    /// Packet length in flits (every flit gets a slot).
+    pub len: u8,
+    /// Message class (selects VC and guard).
+    pub class: MessageClass,
+    /// Where each flit is read from at this router.
+    pub source: FlitSource,
+    /// What happens at the downstream router.
+    pub landing: Landing,
+    /// Downstream credits to reserve for a [`Landing::Vc`] landing. The
+    /// paper's PRA always books the full packet (`len`); flit-granular
+    /// schemes (FRFC) book only their peak occupancy.
+    pub reserve: u8,
+}
+
+/// Why a [`HopPlan`] could not be installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstallError {
+    /// A timeslot on the output port is already reserved by another packet.
+    SlotTaken,
+    /// A reactive grant already committed the port for one of the cycles.
+    PortCommitted,
+    /// The downstream VC cannot cover the whole packet (credits, a foreign
+    /// reservation, or an owner with unknown drain time).
+    NoDownstreamBuffer,
+    /// The downstream latch is claimed by another packet in the window.
+    LatchBusy,
+    /// The output port leads off the mesh edge (control-plane routing bug).
+    NoSuchNeighbor,
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            InstallError::SlotTaken => "timeslot already reserved",
+            InstallError::PortCommitted => "port committed to a reactive grant",
+            InstallError::NoDownstreamBuffer => "downstream buffer unavailable for the full packet",
+            InstallError::LatchBusy => "downstream latch claimed by another packet",
+            InstallError::NoSuchNeighbor => "output port leaves the mesh",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// The mesh network (baseline and PRA datapath).
+///
+/// # Examples
+///
+/// ```
+/// use noc::config::NocConfig;
+/// use noc::flit::Packet;
+/// use noc::mesh::MeshNetwork;
+/// use noc::network::Network;
+/// use noc::types::{MessageClass, NodeId, PacketId};
+///
+/// let mut net = MeshNetwork::new(NocConfig::paper());
+/// net.inject(Packet::new(
+///     PacketId(1),
+///     NodeId::new(0),
+///     NodeId::new(63),
+///     MessageClass::Request,
+///     1,
+/// ));
+/// let delivered = net.run_to_drain(1_000);
+/// assert_eq!(delivered.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct MeshNetwork {
+    cfg: NocConfig,
+    now: Cycle,
+    routers: Vec<Router>,
+    sources: Vec<SourceQueues>,
+    reasm: Vec<Reassembly>,
+    ledger: DeliveryLedger,
+    grants: Vec<Grant>,
+    arrivals: Vec<Arrival>,
+    credit_returns: Vec<CreditReturn>,
+    resv_index: BTreeMap<PacketId, Vec<ResvLoc>>,
+    /// Flit traversals per directed link, indexed `node * 4 + direction`.
+    link_use: Vec<u64>,
+    stats: NetStats,
+}
+
+impl MeshNetwork {
+    /// Builds a mesh for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`NocConfig::validate`].
+    pub fn new(cfg: NocConfig) -> Self {
+        cfg.validate().expect("invalid NoC configuration");
+        let n = cfg.nodes();
+        MeshNetwork {
+            routers: (0..n).map(|_| Router::new(&cfg)).collect(),
+            sources: (0..n).map(|_| SourceQueues::new()).collect(),
+            reasm: (0..n).map(|_| Reassembly::new()).collect(),
+            ledger: DeliveryLedger::new(),
+            grants: Vec::new(),
+            arrivals: Vec::new(),
+            credit_returns: Vec::new(),
+            resv_index: BTreeMap::new(),
+            link_use: vec![0; n * 4],
+            stats: NetStats::new(),
+            cfg,
+            now: 0,
+        }
+    }
+
+    /// Flit traversals of the directed link leaving `node` toward `dir`
+    /// since construction.
+    pub fn link_use(&self, node: NodeId, dir: crate::types::Direction) -> u64 {
+        self.link_use[node.index() * 4 + dir as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // PRA integration surface (used by the `pra` crate's control plane)
+    // ------------------------------------------------------------------
+
+    /// The cycle currently being (or about to be) executed: reservations
+    /// may only target cycles `>= upcoming_cycle()`.
+    pub fn upcoming_cycle(&self) -> Cycle {
+        self.now + 1
+    }
+
+    /// Checks whether `plan` can be installed without touching any state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InstallError`] encountered.
+    pub fn check_hop(&self, plan: &HopPlan) -> Result<(), InstallError> {
+        let node = plan.node.index();
+        let router = &self.routers[node];
+        let p = plan.out_port.index();
+        let window = plan.start..plan.start + plan.len as Cycle;
+
+        if !router.schedules[p].range_free(window.clone(), plan.packet) {
+            return Err(InstallError::SlotTaken);
+        }
+        // A reactive grant may already hold the port for the very next
+        // cycle (grants are only ever pending for one cycle ahead).
+        if window.contains(&self.upcoming_cycle())
+            && self
+                .grants
+                .iter()
+                .any(|g| g.node == node && g.out_port == plan.out_port && g.packet != plan.packet)
+        {
+            return Err(InstallError::PortCommitted);
+        }
+        match plan.landing {
+            Landing::Vc(vc) => {
+                if plan.out_port == Port::Local {
+                    // Ejection into the NI: always sinkable.
+                    return Ok(());
+                }
+                let out_vc = &router.out_vcs[p][vc];
+                // All requested credits must be reservable and the stream
+                // must be provably clear by `start`.
+                if out_vc.reserved_for().map_or(false, |h| h != plan.packet) {
+                    return Err(InstallError::NoDownstreamBuffer);
+                }
+                let already =
+                    if out_vc.reserved_for() == Some(plan.packet) { out_vc.reserved() } else { 0 };
+                if out_vc.credits().saturating_sub(out_vc.reserved() - already)
+                    < plan.reserve + already
+                {
+                    return Err(InstallError::NoDownstreamBuffer);
+                }
+                match out_vc.owner() {
+                    None => {}
+                    Some(o) if o == plan.packet => {}
+                    Some(_) => {
+                        if out_vc.free_after().map_or(true, |c| c > plan.start) {
+                            return Err(InstallError::NoDownstreamBuffer);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Landing::Latch => {
+                let dir = plan
+                    .out_port
+                    .direction()
+                    .expect("latch landing requires a directional port");
+                let next = neighbor(&self.cfg, plan.node, dir).ok_or(InstallError::NoSuchNeighbor)?;
+                let in_port = Port::Dir(dir.opposite());
+                let iu = &self.routers[next.index()].inputs[in_port.index()];
+                if iu.latch_available(window.start..window.end + 1, plan.packet) {
+                    Ok(())
+                } else {
+                    Err(InstallError::LatchBusy)
+                }
+            }
+            Landing::Bypass => {
+                // The downstream router's own reservation (installed as part
+                // of the same segment) carries the resource checks.
+                let dir = plan
+                    .out_port
+                    .direction()
+                    .expect("bypass landing requires a directional port");
+                neighbor(&self.cfg, plan.node, dir)
+                    .map(|_| ())
+                    .ok_or(InstallError::NoSuchNeighbor)
+            }
+        }
+    }
+
+    /// Installs `plan`, reserving timeslots, downstream buffer credits,
+    /// latch claims and the multi-flit guard.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the same conditions as [`MeshNetwork::check_hop`];
+    /// nothing is modified on failure.
+    pub fn install_hop(&mut self, plan: &HopPlan) -> Result<(), InstallError> {
+        self.check_hop(plan)?;
+        let node = plan.node.index();
+        let p = plan.out_port.index();
+        let vc = plan.class.vc();
+        let window = plan.start..plan.start + plan.len as Cycle;
+
+        for s in 0..plan.len {
+            let ok = self.routers[node].schedules[p].try_insert(
+                plan.start + s as Cycle,
+                Reservation {
+                    packet: plan.packet,
+                    seq: s,
+                    source: plan.source,
+                    landing: plan.landing,
+                },
+            );
+            debug_assert!(ok, "checked slot must insert");
+            self.resv_index.entry(plan.packet).or_default().push(ResvLoc {
+                node,
+                out_port: plan.out_port,
+                cycle: plan.start + s as Cycle,
+            });
+        }
+        match plan.landing {
+            Landing::Vc(lvc) if plan.out_port != Port::Local => {
+                let reserved = self.routers[node].out_vcs[p][lvc].try_reserve(
+                    plan.packet,
+                    plan.reserve,
+                    plan.start,
+                );
+                debug_assert!(reserved, "checked reservation must succeed");
+            }
+            Landing::Latch => {
+                let dir = plan.out_port.direction().expect("checked directional");
+                let next = neighbor(&self.cfg, plan.node, dir).expect("checked neighbor");
+                let in_port = Port::Dir(dir.opposite());
+                // Occupied from each flit's store cycle through its read in
+                // the following cycle.
+                self.routers[next.index()].inputs[in_port.index()]
+                    .latch_claim(window.start..window.end + 1, plan.packet);
+            }
+            _ => {}
+        }
+        self.routers[node].guards[p][vc].set(plan.packet);
+        Ok(())
+    }
+
+    /// Converts a previously installed full-buffer landing into `landing`
+    /// (the ACK signal: the next segment allocated successfully, so the
+    /// packet passes through instead of stopping). Releases the reserved
+    /// downstream credits; a conversion to [`Landing::Latch`] also claims
+    /// the downstream latch over `window` (callers must have verified
+    /// availability via [`MeshNetwork::latch_available`]).
+    pub fn convert_landing(
+        &mut self,
+        node: NodeId,
+        out_port: Port,
+        packet: PacketId,
+        window: std::ops::Range<Cycle>,
+        landing: Landing,
+        len: u8,
+        class: MessageClass,
+    ) {
+        let router = &mut self.routers[node.index()];
+        let p = out_port.index();
+        let updated = router.schedules[p].update_landing(window.clone(), packet, landing);
+        debug_assert!(
+            updated == len as usize,
+            "ACK found {updated} of {len} slots to convert (callers must check \
+             reserved_slots_of first)"
+        );
+        router.out_vcs[p][class.vc()].release_reservation(packet, len);
+        if landing == Landing::Latch {
+            let dir = out_port.direction().expect("latch landing is directional");
+            let next = neighbor(&self.cfg, node, dir).expect("landing stays on mesh");
+            let in_port = Port::Dir(dir.opposite());
+            // The latch is occupied from the store cycle through the read
+            // cycle of the last flit: one cycle beyond the write window.
+            self.routers[next.index()].inputs[in_port.index()]
+                .latch_claim(window.start..window.end + 1, packet);
+        }
+    }
+
+    /// Whether the latch of `(node, in_port)` is free for `packet` over
+    /// `window` (same-packet claims never conflict).
+    pub fn latch_available(
+        &self,
+        node: NodeId,
+        in_port: Port,
+        window: std::ops::Range<Cycle>,
+        packet: PacketId,
+    ) -> bool {
+        self.routers[node.index()].inputs[in_port.index()].latch_available(window, packet)
+    }
+
+    /// Whether `packet` holds any outstanding reservation anywhere in the
+    /// network (used to avoid launching redundant control packets).
+    pub fn has_reservations(&self, packet: PacketId) -> bool {
+        self.resv_index.contains_key(&packet)
+    }
+
+    /// How many of `packet`'s slots remain on `(node, out_port)` within
+    /// `window` (used by the control plane to verify a landing is still
+    /// convertible before sending an ACK).
+    pub fn reserved_slots_of(
+        &self,
+        node: NodeId,
+        out_port: Port,
+        packet: PacketId,
+        window: std::ops::Range<Cycle>,
+    ) -> usize {
+        self.routers[node.index()].schedules[out_port.index()]
+            .iter()
+            .filter(|(c, r)| window.contains(c) && r.packet == packet)
+            .count()
+    }
+
+    /// Read access to an output schedule (for the control plane's
+    /// conflict checks and for tests).
+    pub fn schedule(&self, node: NodeId, out_port: Port) -> &OutputSchedule {
+        &self.routers[node.index()].schedules[out_port.index()]
+    }
+
+    /// Read access to downstream-VC credit state.
+    pub fn out_vc(&self, node: NodeId, out_port: Port, vc: usize) -> &OutVc {
+        &self.routers[node.index()].out_vcs[out_port.index()][vc]
+    }
+
+    /// The multi-flit guard of `(node, out_port, class)`.
+    pub fn guard(&self, node: NodeId, out_port: Port, class: MessageClass) -> &MultiFlitGuard {
+        &self.routers[node.index()].guards[out_port.index()][class.vc()]
+    }
+
+    /// Snapshot of an input VC's front flit.
+    pub fn vc_front(&self, node: NodeId, in_port: Port, vc: usize) -> Option<Flit> {
+        self.routers[node.index()].inputs[in_port.index()]
+            .vc(vc)
+            .front()
+            .copied()
+    }
+
+    /// Number of flits of `packet` buffered in `(node, in_port, vc)`.
+    pub fn vc_count_of(&self, node: NodeId, in_port: Port, vc: usize, packet: PacketId) -> usize {
+        self.routers[node.index()].inputs[in_port.index()]
+            .vc(vc)
+            .count_of(packet)
+    }
+
+    /// Reports stalled packets for the Long Stall Detection unit: for each
+    /// input VC whose front is a head flit that wants an output port
+    /// currently streaming another packet, returns
+    /// `(node, in_port, vc, head flit, out_port, blocker, blocker_finish)`
+    /// where `blocker_finish` is `Some(cycle)` when the blocking stream
+    /// drains deterministically (all its remaining flits buffered here with
+    /// enough downstream credits); the port is free for traversals at
+    /// cycles `>= cycle`.
+    #[allow(clippy::type_complexity)]
+    pub fn stalled_heads(
+        &self,
+    ) -> Vec<(NodeId, Port, usize, Flit, Port, PacketId, Option<Cycle>)> {
+        let mut out = Vec::new();
+        for (n, router) in self.routers.iter().enumerate() {
+            let here = NodeId::new(n as u16);
+            for in_port in Port::ALL {
+                for vc in 0..self.cfg.vcs_per_port {
+                    let Some(front) = router.inputs[in_port.index()].vc(vc).front() else {
+                        continue;
+                    };
+                    if !front.is_head() {
+                        continue;
+                    }
+                    let out_port = route_port(&self.cfg, here, front.dest);
+                    if out_port == Port::Local {
+                        continue;
+                    }
+                    let p = out_port.index();
+                    // Find the stream currently holding that port (any input
+                    // VC actively sending to it).
+                    let mut blocking: Option<(usize, ActiveStream)> = None;
+                    'scan: for ip in 0..Port::COUNT {
+                        for v in 0..self.cfg.vcs_per_port {
+                            if let Some(st) = router.active_out[ip][v] {
+                                if st.out_port.index() == p && st.packet != front.packet {
+                                    blocking = Some((v, st));
+                                    break 'scan;
+                                }
+                            }
+                        }
+                    }
+                    let Some((blk_vc, stream)) = blocking else {
+                        continue;
+                    };
+                    let finish = self.deterministic_finish(here, blk_vc, stream, out_port);
+                    out.push((here, in_port, vc, *front, out_port, stream.packet, finish));
+                }
+            }
+        }
+        out
+    }
+
+    /// Predicts when the blocking `stream` frees `out_port`. The paper's
+    /// condition: with enough downstream buffers for the whole in-transfer
+    /// packet, the stream drains one flit per cycle and the end of the
+    /// transmission is exactly determined. If the prediction is ever wrong
+    /// (the stream starves upstream), the resulting reservation simply
+    /// wastes and is counted — it can never corrupt the stream, because
+    /// forced moves re-validate ownership at execution time.
+    fn deterministic_finish(
+        &self,
+        node: NodeId,
+        blk_vc: usize,
+        stream: ActiveStream,
+        out_port: Port,
+    ) -> Option<Cycle> {
+        let router = &self.routers[node.index()];
+        let remaining = stream.len.saturating_sub(stream.sent);
+        if remaining == 0 {
+            // Tail already granted: the port frees after the pending
+            // traversal.
+            return Some(self.upcoming_cycle() + 1);
+        }
+        if out_port != Port::Local {
+            let out_vc = &router.out_vcs[out_port.index()][blk_vc];
+            if out_vc.usable_credits(stream.packet) < remaining {
+                return None;
+            }
+        }
+        // Remaining flits are granted at cycles upcoming..upcoming+remaining-1
+        // and traverse one cycle later each; the port's last busy cycle is
+        // upcoming + remaining, so it is free from upcoming + remaining + 1.
+        Some(self.upcoming_cycle() + remaining as Cycle + 1)
+    }
+
+    /// Marks the blocking stream on `(node, out_port, vc)` as draining
+    /// deterministically until `cycle` so PRA allocation can reserve slots
+    /// past it.
+    pub fn mark_free_after(&mut self, node: NodeId, out_port: Port, vc: usize, cycle: Cycle) {
+        self.routers[node.index()].out_vcs[out_port.index()][vc].set_free_after(cycle);
+    }
+
+    /// Injection backlog of `(node, class)`: flits still queued in the NI
+    /// plus flits of other packets occupying the local input VC. The
+    /// control plane only launches source pre-allocation when the path to
+    /// the first link is predictable (backlog 0).
+    pub fn source_backlog(&self, node: NodeId, class: MessageClass) -> usize {
+        let q = self.sources[node.index()].queues[class.vc()].len();
+        let buf = self.routers[node.index()].inputs[Port::Local.index()].vc(class.vc());
+        q + buf.len()
+    }
+
+    /// Exclusive access to the statistics (the PRA control plane adds its
+    /// own counters).
+    pub fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Cycle execution
+    // ------------------------------------------------------------------
+
+    fn apply_credit_returns(&mut self) {
+        let returns = std::mem::take(&mut self.credit_returns);
+        for cr in returns {
+            self.routers[cr.node].out_vcs[cr.out_port.index()][cr.vc].return_credit();
+        }
+    }
+
+    fn deliver_arrivals(&mut self) {
+        let arrivals = std::mem::take(&mut self.arrivals);
+        for a in arrivals {
+            if a.in_port == Port::Local && a.flit.dest.index() == a.node {
+                // Ejected flit: reassemble at the NI.
+                if let Some(head) = self.reasm[a.node].accept(a.flit) {
+                    let hops = self
+                        .cfg
+                        .coord(head.src)
+                        .manhattan(self.cfg.coord(head.dest));
+                    self.ledger.complete(head, self.now, hops, &mut self.stats);
+                }
+            } else {
+                self.routers[a.node].inputs[a.in_port.index()]
+                    .vc_mut(a.vc)
+                    .push(a.flit)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "arrival at n{} port {} vc {} violated buffer invariants: {e}",
+                            a.node, a.in_port, a.vc
+                        )
+                    });
+            }
+        }
+    }
+
+    /// Moves flits from NI source queues into the local input VCs
+    /// (1 flit per class per cycle — the NI's three class FIFOs each have
+    /// their own port into the router's local input unit).
+    fn inject_from_sources(&mut self) {
+        for node in 0..self.cfg.nodes() {
+            for class in 0..3 {
+                let Some(front) = self.sources[node].queues[class].front() else {
+                    continue;
+                };
+                let vc = self.routers[node].inputs[Port::Local.index()].vc(class);
+                if vc.free() == 0 {
+                    continue;
+                }
+                let mut flit = *front;
+                flit.injected = self.now;
+                self.sources[node].queues[class].pop_front();
+                self.routers[node].inputs[Port::Local.index()]
+                    .vc_mut(class)
+                    .push(flit)
+                    .expect("free slot was checked");
+            }
+        }
+    }
+
+    /// Executes reactive grants decided in the previous cycle.
+    fn execute_grants(&mut self, read_this_cycle: &mut Vec<(usize, Port, usize)>) {
+        let grants = std::mem::take(&mut self.grants);
+        for g in grants {
+            let flit = {
+                let buf = self.routers[g.node].inputs[g.in_port.index()].vc_mut(g.vc);
+                match buf.front() {
+                    Some(f) if f.packet == g.packet && f.seq == g.seq => {
+                        buf.pop().expect("front exists")
+                    }
+                    _ => panic!(
+                        "granted flit {}#{} vanished from n{} {}:{}",
+                        g.packet, g.seq, g.node, g.in_port, g.vc
+                    ),
+                }
+            };
+            read_this_cycle.push((g.node, g.in_port, g.vc));
+            self.finish_traversal(g.node, g.in_port, g.vc, g.out_port, flit, false);
+        }
+    }
+
+    /// Common tail of a traversal (reactive or forced, single-hop): stages
+    /// the arrival, returns the upstream credit, and releases ownership and
+    /// guards on tails. `forced` selects the stats counter only; resource
+    /// handling is identical. The credit on the downstream VC was already
+    /// consumed (at grant time for reactive traversals, by the caller for
+    /// forced moves).
+    fn finish_traversal(
+        &mut self,
+        node: usize,
+        in_port: Port,
+        vc: usize,
+        out_port: Port,
+        flit: Flit,
+        forced: bool,
+    ) {
+        if forced {
+            self.stats.reserved_moves += 1;
+        } else {
+            self.stats.local_grants += 1;
+        }
+        // Credit back to the upstream router for the slot just freed.
+        if let Port::Dir(d) = in_port {
+            let here = NodeId::new(node as u16);
+            let upstream = neighbor(&self.cfg, here, d)
+                .expect("flit arrived from a real neighbor");
+            self.credit_returns.push(CreditReturn {
+                node: upstream.index(),
+                out_port: Port::Dir(d.opposite()),
+                vc,
+            });
+        }
+        match out_port {
+            Port::Local => {
+                self.stage_arrival_local(node, flit);
+            }
+            Port::Dir(d) => {
+                self.stats.link_traversals += 1;
+                self.link_use[node * 4 + d as usize] += 1;
+                let here = NodeId::new(node as u16);
+                let next = neighbor(&self.cfg, here, d).expect("route stays on the mesh");
+                self.arrivals.push(Arrival {
+                    node: next.index(),
+                    in_port: Port::Dir(d.opposite()),
+                    vc,
+                    flit,
+                });
+            }
+        }
+        if flit.is_tail() {
+            let p = out_port.index();
+            self.routers[node].out_vcs[p][vc].release_owner(flit.packet);
+            self.routers[node].guards[p][vc].clear(flit.packet);
+        }
+    }
+
+    fn stage_arrival_local(&mut self, node: usize, flit: Flit) {
+        self.arrivals.push(Arrival {
+            node,
+            in_port: Port::Local,
+            vc: flit.class.vc(),
+            flit,
+        });
+    }
+
+    /// Executes reservations scheduled for the current cycle (the PRA
+    /// arbiter's cycle: preset crossbars, up to `max_hops_per_cycle` hops).
+    fn execute_reservations(&mut self, read_this_cycle: &[(usize, Port, usize)]) {
+        // Collect chain heads: reservations at `now` whose source is not a
+        // bypass (bypass slots are consumed as chain continuations).
+        // Executed in ascending flit-sequence order: within a packet the
+        // chain that READS a latch moves flit `s` while the upstream chain
+        // WRITES flit `s + 1` into the same latch this cycle, so the read
+        // must come first.
+        let mut heads: Vec<(u8, u64, usize, Port)> = Vec::new();
+        for (n, router) in self.routers.iter().enumerate() {
+            for out_port in Port::ALL {
+                if let Some(r) = router.schedules[out_port.index()].get(self.now) {
+                    if !matches!(r.source, FlitSource::Bypass { .. }) {
+                        heads.push((r.seq, r.packet.0, n, out_port));
+                    }
+                }
+            }
+        }
+        heads.sort_unstable();
+        for (_, _, node, out_port) in heads {
+            let Some(resv) = self.routers[node].schedules[out_port.index()].take(self.now) else {
+                continue; // consumed by an earlier chain this cycle
+            };
+            self.execute_chain(node, out_port, resv, read_this_cycle);
+        }
+    }
+
+    /// Read-only validation that the **entire remaining pre-allocated
+    /// path** of the flit behind `resv` can execute, walking bypass
+    /// continuations (same cycle) and latch parkings (subsequent cycles)
+    /// up to the final buffer landing, whose VC must not be owned by a
+    /// foreign packet mid-stream (which would interleave flits).
+    ///
+    /// Only chains that read from a *buffer* are validated: once a flit
+    /// leaves its buffer onto a pre-allocated path, the path is immutable
+    /// (guards block foreign multi-flit heads, reserved credits block
+    /// foreign reservations), so latch-source chains always proceed —
+    /// a flit in a latch has nowhere else to go.
+    fn chain_is_sound(&self, node: usize, out_port: Port, resv: &Reservation) -> bool {
+        if matches!(resv.source, FlitSource::Latch { .. }) {
+            return true;
+        }
+        let mut cur_node = node;
+        let mut cur_out = out_port;
+        let mut landing = resv.landing;
+        let mut cycle = self.now;
+        let (packet, seq) = (resv.packet, resv.seq);
+        let Some(dest) = self.find_resv_dest(packet) else {
+            return false;
+        };
+        loop {
+            match landing {
+                Landing::Vc(lvc) => {
+                    if cur_out == Port::Local {
+                        return true;
+                    }
+                    let out_vc = &self.routers[cur_node].out_vcs[cur_out.index()][lvc];
+                    return match out_vc.owner() {
+                        None => true,
+                        Some(p) => p == packet,
+                    };
+                }
+                Landing::Latch => {
+                    // The flit parks one cycle and continues from the next
+                    // router's reservation at `cycle + 1`.
+                    let here = NodeId::new(cur_node as u16);
+                    let Some(dir) = cur_out.direction() else { return false };
+                    let Some(next) = neighbor(&self.cfg, here, dir) else {
+                        return false;
+                    };
+                    let cont_port = route_port(&self.cfg, next, dest);
+                    match self.routers[next.index()].schedules[cont_port.index()].get(cycle + 1) {
+                        Some(r2)
+                            if r2.packet == packet
+                                && r2.seq == seq
+                                && matches!(r2.source, FlitSource::Latch { .. }) =>
+                        {
+                            cycle += 1;
+                            cur_node = next.index();
+                            cur_out = cont_port;
+                            landing = r2.landing;
+                        }
+                        _ => return false,
+                    }
+                }
+                Landing::Bypass => {
+                    let here = NodeId::new(cur_node as u16);
+                    let Some(dir) = cur_out.direction() else { return false };
+                    let Some(next) = neighbor(&self.cfg, here, dir) else {
+                        return false;
+                    };
+                    let cont_port = route_port(&self.cfg, next, dest);
+                    match self.routers[next.index()].schedules[cont_port.index()].get(cycle) {
+                        Some(r2)
+                            if r2.packet == packet
+                                && r2.seq == seq
+                                && matches!(r2.source, FlitSource::Bypass { .. }) =>
+                        {
+                            cur_node = next.index();
+                            cur_out = cont_port;
+                            landing = r2.landing;
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Destination of `packet`, looked up from the delivery ledger.
+    fn find_resv_dest(&self, packet: PacketId) -> Option<NodeId> {
+        self.ledger.dest_of(packet)
+    }
+
+    fn execute_chain(
+        &mut self,
+        node: usize,
+        out_port: Port,
+        resv: Reservation,
+        read_this_cycle: &[(usize, Port, usize)],
+    ) {
+        if !self.chain_is_sound(node, out_port, &resv) {
+            self.waste_and_cancel(node, out_port, self.now, resv);
+            return;
+        }
+        // 1. Fetch the expected flit.
+        let fetched: Option<(Flit, Port, usize)> = match resv.source {
+            FlitSource::Vc { port, vc } => {
+                let already_read = read_this_cycle.contains(&(node, port, vc));
+                let buf = self.routers[node].inputs[port.index()].vc_mut(vc);
+                match buf.front() {
+                    Some(f)
+                        if f.packet == resv.packet && f.seq == resv.seq && !already_read =>
+                    {
+                        let f = buf.pop().expect("front exists");
+                        Some((f, port, vc))
+                    }
+                    _ => None,
+                }
+            }
+            FlitSource::Latch { from } => {
+                let iu = &mut self.routers[node].inputs[Port::Dir(from).index()];
+                match iu.latch() {
+                    Some(f) if f.packet == resv.packet && f.seq == resv.seq => {
+                        let f = iu.latch_take().expect("latch holds flit");
+                        Some((f, Port::Dir(from), usize::MAX))
+                    }
+                    _ => None,
+                }
+            }
+            FlitSource::Bypass { .. } => {
+                unreachable!("bypass reservations are consumed by their upstream chain")
+            }
+        };
+        let Some((flit, in_port, in_vc)) = fetched else {
+            self.waste_and_cancel(node, out_port, self.now, resv);
+            return;
+        };
+
+        // 2. Walk the chain through preset crossbars.
+        let mut cur_node = node;
+        let mut cur_out = out_port;
+        let mut cur_resv = resv;
+        let mut first = true;
+        let mut hops_this_cycle = 0u8;
+        loop {
+            hops_this_cycle += 1;
+            debug_assert!(
+                hops_this_cycle <= self.cfg.max_hops_per_cycle,
+                "pre-allocated chain exceeds the wire budget"
+            );
+            let vc = flit.class.vc();
+            self.stats.reserved_moves += 1;
+
+            if first {
+                // Upstream credit for the slot freed at the chain's origin
+                // (latch sources hold no credit).
+                if in_vc != usize::MAX {
+                    if let Port::Dir(d) = in_port {
+                        let here = NodeId::new(cur_node as u16);
+                        let upstream =
+                            neighbor(&self.cfg, here, d).expect("flit arrived from a neighbor");
+                        self.credit_returns.push(CreditReturn {
+                            node: upstream.index(),
+                            out_port: Port::Dir(d.opposite()),
+                            vc,
+                        });
+                    }
+                }
+                first = false;
+            }
+
+            if cur_out == Port::Local {
+                debug_assert!(matches!(cur_resv.landing, Landing::Vc(_)));
+                // Pre-allocated ejection: the crossbar is preset, so the
+                // flit reaches the NI within this cycle (no staging).
+                if let Some(head) = self.reasm[cur_node].accept(flit) {
+                    let hops = self
+                        .cfg
+                        .coord(head.src)
+                        .manhattan(self.cfg.coord(head.dest));
+                    self.ledger.complete(head, self.now, hops, &mut self.stats);
+                }
+                self.after_reserved_slot(cur_node, cur_out, &flit);
+                return;
+            }
+
+            self.stats.link_traversals += 1;
+            let here = NodeId::new(cur_node as u16);
+            let dir = cur_out.direction().expect("non-local checked");
+            self.link_use[cur_node * 4 + dir as usize] += 1;
+            let next = neighbor(&self.cfg, here, dir).expect("reserved route stays on mesh");
+            let next_in = Port::Dir(dir.opposite());
+
+            match cur_resv.landing {
+                Landing::Vc(lvc) => {
+                    // Consume the (reserved) credit and enter the buffer.
+                    self.routers[cur_node].out_vcs[cur_out.index()][lvc]
+                        .consume_credit(flit.packet);
+                    if flit.is_head() && flit.len_flits > 1 {
+                        self.routers[cur_node].out_vcs[cur_out.index()][lvc]
+                            .allocate(flit.packet);
+                    }
+                    if flit.is_tail() {
+                        self.routers[cur_node].out_vcs[cur_out.index()][lvc]
+                            .release_owner(flit.packet);
+                    }
+                    self.arrivals.push(Arrival {
+                        node: next.index(),
+                        in_port: next_in,
+                        vc: lvc,
+                        flit,
+                    });
+                    self.after_reserved_slot(cur_node, cur_out, &flit);
+                    return;
+                }
+                Landing::Latch => {
+                    self.routers[next.index()].inputs[next_in.index()]
+                        .latch_store(flit)
+                        .unwrap_or_else(|_| {
+                            panic!("latch at {next} occupied despite claim bookkeeping")
+                        });
+                    self.after_reserved_slot(cur_node, cur_out, &flit);
+                    return;
+                }
+                Landing::Bypass => {
+                    self.after_reserved_slot(cur_node, cur_out, &flit);
+                    // Continue through the next router's preset crossbar.
+                    let cont_port = route_port(&self.cfg, next, flit.dest);
+                    let next_sched =
+                        &mut self.routers[next.index()].schedules[cont_port.index()];
+                    match next_sched.get(self.now).copied() {
+                        Some(r2)
+                            if r2.packet == flit.packet
+                                && r2.seq == flit.seq
+                                && matches!(r2.source, FlitSource::Bypass { .. }) =>
+                        {
+                            next_sched.take(self.now);
+                            cur_node = next.index();
+                            cur_out = cont_port;
+                            cur_resv = r2;
+                        }
+                        _ => {
+                            // The continuation slot is missing — a control
+                            // plane invariant violation.
+                            panic!(
+                                "bypass landing at {next} without a continuation reservation \
+                                 for {} seq {}",
+                                flit.packet, flit.seq
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Post-processing after a reserved slot was used by `flit`: on tails,
+    /// clear the guard; when the packet holds no further slots on the
+    /// port, also clear any leftover guard (cancel path).
+    fn after_reserved_slot(&mut self, node: usize, out_port: Port, flit: &Flit) {
+        let p = out_port.index();
+        let vc = flit.class.vc();
+        if flit.is_tail() || !self.routers[node].schedules[p].has_packet(flit.packet) {
+            self.routers[node].guards[p][vc].clear(flit.packet);
+        }
+    }
+
+    /// A forced move found its flit missing: count the waste and cancel the
+    /// packet's remaining slots for this and later flits so they fall back
+    /// to reactive routing. Earlier flits keep their slots and drain.
+    fn waste_and_cancel(&mut self, node: usize, out_port: Port, cycle: Cycle, resv: Reservation) {
+        let (packet, from_seq) = (resv.packet, resv.seq);
+        self.stats.wasted_reservations += 1;
+        // The reservation was already taken from the schedule; release the
+        // resources it held.
+        self.release_cancelled(node, out_port, packet, &[(cycle, resv)]);
+        // Cancel across every router the packet has slots on, from the next
+        // cycle onward (slots for the current cycle at other routers are
+        // earlier flits mid-chain). Cancelled slots were allocated and will
+        // never be used, so they count as waste too.
+        let cancelled = self.cancel_packet_from(packet, from_seq, self.now + 1);
+        self.stats.wasted_reservations += cancelled as u64;
+        // Also drop this router's remaining same-cycle slots for >= seq.
+        let removed = self.routers[node].schedules[out_port.index()]
+            .cancel_packet(packet, from_seq, self.now);
+        self.stats.wasted_reservations += removed.len() as u64;
+        self.release_cancelled(node, out_port, packet, &removed);
+    }
+
+    /// Cancels `packet`'s reservations for flits `>= from_seq` at cycles
+    /// `>= from_cycle` everywhere, releasing reserved credits, latch claims
+    /// and guards. Used on waste and on packet completion (as a safety
+    /// net — normally all slots are consumed).
+    pub fn cancel_packet_from(&mut self, packet: PacketId, from_seq: u8, from_cycle: Cycle) -> usize {
+        let Some(locs) = self.resv_index.get(&packet).cloned() else {
+            return 0;
+        };
+        let mut touched: Vec<(usize, Port)> = Vec::new();
+        for loc in &locs {
+            if loc.cycle >= from_cycle && !touched.contains(&(loc.node, loc.out_port)) {
+                touched.push((loc.node, loc.out_port));
+            }
+        }
+        let mut total = 0;
+        for (node, out_port) in touched {
+            let removed = self.routers[node].schedules[out_port.index()]
+                .cancel_packet(packet, from_seq, from_cycle);
+            total += removed.len();
+            self.release_cancelled(node, out_port, packet, &removed);
+        }
+        if let Some(locs) = self.resv_index.get_mut(&packet) {
+            locs.retain(|l| l.cycle < from_cycle);
+            if locs.is_empty() {
+                self.resv_index.remove(&packet);
+            }
+        }
+        total
+    }
+
+    fn release_cancelled(
+        &mut self,
+        node: usize,
+        out_port: Port,
+        packet: PacketId,
+        removed: &[(Cycle, Reservation)],
+    ) {
+        let p = out_port.index();
+        for (_cycle, r) in removed {
+            match r.landing {
+                Landing::Vc(lvc) if out_port != Port::Local => {
+                    self.routers[node].out_vcs[p][lvc].release_reservation(packet, 1);
+                }
+                Landing::Latch => {
+                    // Latch claims are deliberately NOT released here:
+                    // consecutive flits of a packet share claim cycles, so
+                    // releasing a cancelled flit's claims could expose a
+                    // cycle where an earlier, still-valid flit occupies the
+                    // latch. Claims lapse via `latch_expire`.
+                }
+                _ => {}
+            }
+        }
+        if !removed.is_empty() && !self.routers[node].schedules[p].has_packet(packet) {
+            for vc in 0..self.cfg.vcs_per_port {
+                self.routers[node].guards[p][vc].clear(packet);
+            }
+        }
+    }
+
+    /// Route computation, VC allocation and (speculative) switch allocation
+    /// for traversals in the next cycle.
+    fn allocate(&mut self) {
+        let next_cycle = self.now + 1;
+        for node in 0..self.cfg.nodes() {
+            let here = NodeId::new(node as u16);
+            // Stage 1: each input port nominates one VC.
+            let mut bids: Vec<(Port, usize, Port, Flit)> = Vec::new(); // (in_port, vc, out_port, flit)
+            for in_port in Port::ALL {
+                let mut eligible = vec![false; self.cfg.vcs_per_port];
+                let mut targets: Vec<Option<(Port, Flit)>> = vec![None; self.cfg.vcs_per_port];
+                for vc in 0..self.cfg.vcs_per_port {
+                    if let Some((out_port, flit)) = self.eligible_front(here, in_port, vc, next_cycle)
+                    {
+                        eligible[vc] = true;
+                        targets[vc] = Some((out_port, flit));
+                    }
+                }
+                let router = &mut self.routers[node];
+                if let Some(vc) = router.sa_in[in_port.index()].grant(&eligible) {
+                    let (out_port, flit) = targets[vc].expect("eligible target");
+                    bids.push((in_port, vc, out_port, flit));
+                }
+            }
+            // Stage 2: each output port grants one input.
+            for out_port in Port::ALL {
+                let mut requests = [false; Port::COUNT];
+                for (in_port, _, op, _) in &bids {
+                    if *op == out_port {
+                        requests[in_port.index()] = true;
+                    }
+                }
+                if !requests.iter().any(|r| *r) {
+                    continue;
+                }
+                let router = &mut self.routers[node];
+                let Some(win_in) = router.sa_out[out_port.index()].grant(&requests) else {
+                    continue;
+                };
+                let (in_port, vc, _, flit) = *bids
+                    .iter()
+                    .find(|(ip, _, op, _)| ip.index() == win_in && *op == out_port)
+                    .expect("winner came from the bid list");
+                self.commit_grant(node, in_port, vc, out_port, flit);
+            }
+        }
+    }
+
+    /// Whether the front flit of `(here, in_port, vc)` may bid for a
+    /// traversal at `next_cycle`, and toward which output port.
+    fn eligible_front(
+        &mut self,
+        here: NodeId,
+        in_port: Port,
+        vc: usize,
+        next_cycle: Cycle,
+    ) -> Option<(Port, Flit)> {
+        let node = here.index();
+        let flit = *self.routers[node].inputs[in_port.index()].vc(vc).front()?;
+        let active = self.routers[node].active_out[in_port.index()][vc];
+
+        let (out_port, needs_alloc) = match active {
+            Some(st) if st.packet == flit.packet && !flit.is_head() => (st.out_port, false),
+            _ => (route_port(&self.cfg, here, flit.dest), true),
+        };
+        let p = out_port.index();
+
+        // Never race a pending forced move for the same packet on this port.
+        if self.routers[node].schedules[p].has_packet(flit.packet) {
+            return None;
+        }
+        // The port is locked to another multi-flit packet until its tail
+        // passes: no flit-level interleaving on the link.
+        if let Some(holder) = self.routers[node].port_lock[p] {
+            if holder != flit.packet {
+                return None;
+            }
+        }
+        // Reserved timeslot: the port is unusable for reactive traffic.
+        if self.routers[node].schedules[p].is_reserved(next_cycle) {
+            self.stats.blocked_by_reservation_cycles += 1;
+            return None;
+        }
+
+        if out_port == Port::Local {
+            // Ejection: the NI always sinks flits.
+            return Some((out_port, flit));
+        }
+
+        let out_vc = &self.routers[node].out_vcs[p][vc];
+        let guard = &self.routers[node].guards[p][vc];
+        let ok = if needs_alloc {
+            if flit.len_flits > 1 {
+                // Multi-flit head (or an orphaned continuation whose head
+                // went ahead on a pre-allocated path): needs ownership and
+                // the guard's blessing.
+                let admitted = guard.admits(flit.packet);
+                if !admitted && out_vc.can_allocate(flit.packet) {
+                    self.stats.blocked_by_reservation_cycles += 1;
+                }
+                admitted && out_vc.can_allocate(flit.packet)
+            } else {
+                // Single-flit packet: atomic, no ownership, guard-exempt.
+                let free = out_vc.owner().is_none() && out_vc.can_send(flit.packet);
+                if !free
+                    && out_vc.owner().is_none()
+                    && out_vc.credits() > 0
+                    && !out_vc.can_send(flit.packet)
+                {
+                    self.stats.blocked_by_reservation_cycles += 1;
+                }
+                free
+            }
+        } else {
+            out_vc.can_send(flit.packet)
+        };
+        ok.then_some((out_port, flit))
+    }
+
+    fn commit_grant(&mut self, node: usize, in_port: Port, vc: usize, out_port: Port, flit: Flit) {
+        let p = out_port.index();
+        if out_port != Port::Local {
+            let out_vc = &mut self.routers[node].out_vcs[p][vc];
+            if flit.len_flits > 1 && (flit.is_head() || out_vc.owner() != Some(flit.packet)) {
+                out_vc.allocate(flit.packet);
+            }
+            out_vc.consume_credit(flit.packet);
+        }
+        if flit.len_flits > 1 {
+            self.routers[node].port_lock[p] =
+                if flit.is_tail() { None } else { Some(flit.packet) };
+        }
+        self.routers[node].active_out[in_port.index()][vc] = if flit.is_tail() {
+            None
+        } else {
+            let sent = match self.routers[node].active_out[in_port.index()][vc] {
+                Some(st) if st.packet == flit.packet => st.sent + 1,
+                _ => 1,
+            };
+            Some(ActiveStream {
+                out_port,
+                packet: flit.packet,
+                len: flit.len_flits,
+                sent,
+            })
+        };
+        self.grants.push(Grant {
+            node,
+            in_port,
+            vc,
+            out_port,
+            packet: flit.packet,
+            seq: flit.seq,
+        });
+    }
+
+    /// Expires past reservations (waste) and stale latch claims.
+    fn expire_reservations(&mut self) {
+        for node in 0..self.cfg.nodes() {
+            for out_port in Port::ALL {
+                let expired =
+                    self.routers[node].schedules[out_port.index()].expire(self.now);
+                if expired.is_empty() {
+                    continue;
+                }
+                self.stats.wasted_reservations += expired.len() as u64;
+                let by_packet: Vec<PacketId> = expired.iter().map(|(_, r)| r.packet).collect();
+                self.release_cancelled(node, out_port, by_packet[0], &expired);
+                // release_cancelled handles credits/latches per entry but
+                // guards per packet; cover remaining packets.
+                for pk in by_packet {
+                    if !self.routers[node].schedules[out_port.index()].has_packet(pk) {
+                        for vc in 0..self.cfg.vcs_per_port {
+                            self.routers[node].guards[out_port.index()][vc].clear(pk);
+                        }
+                    }
+                }
+            }
+            for in_port in Port::ALL {
+                self.routers[node].inputs[in_port.index()].latch_expire(self.now);
+            }
+        }
+    }
+}
+
+impl Network for MeshNetwork {
+    fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn inject(&mut self, packet: Packet) {
+        let mut packet = packet;
+        if packet.created == 0 {
+            packet.created = self.now;
+        }
+        self.stats.record_injected(packet.class);
+        self.ledger.register(packet);
+        self.sources[packet.src.index()].enqueue_packet(&packet);
+    }
+
+    fn step(&mut self) {
+        self.now += 1;
+        self.stats.cycles += 1;
+        self.apply_credit_returns();
+        self.deliver_arrivals();
+        self.inject_from_sources();
+        let mut read_this_cycle = Vec::new();
+        self.execute_grants(&mut read_this_cycle);
+        self.execute_reservations(&read_this_cycle);
+        self.allocate();
+        self.expire_reservations();
+    }
+
+    fn drain_delivered(&mut self) -> Vec<Delivered> {
+        let delivered = self.ledger.drain();
+        for d in &delivered {
+            // Purge any leftover PRA state for completed packets.
+            if self.resv_index.contains_key(&d.packet.id) {
+                self.cancel_packet_from(d.packet.id, 0, 0);
+            }
+        }
+        delivered
+    }
+
+    fn in_flight(&self) -> usize {
+        self.ledger.in_flight()
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Direction;
+
+    fn net() -> MeshNetwork {
+        MeshNetwork::new(NocConfig::paper())
+    }
+
+    fn pkt(id: u64, src: u16, dest: u16, class: MessageClass, len: u8) -> Packet {
+        Packet::new(PacketId(id), NodeId::new(src), NodeId::new(dest), class, len)
+    }
+
+    #[test]
+    fn zero_load_latency_single_flit() {
+        let mut n = net();
+        // (0,0) -> (3,0): 3 hops.
+        n.inject(pkt(1, 0, 3, MessageClass::Request, 1));
+        let d = n.run_to_drain(100);
+        assert_eq!(d.len(), 1);
+        // Injection into the VC during cycle 1, SA at 1, ST at 2, and so on:
+        // two cycles per hop plus injection (1), ejection SA/ST (2) = +3.
+        let lat = d[0].delivered - d[0].packet.created;
+        assert_eq!(d[0].hops, 3);
+        assert_eq!(lat, 2 * 3 + 3, "zero-load mesh latency");
+    }
+
+    #[test]
+    fn zero_load_latency_scales_with_hops() {
+        let mut lat = Vec::new();
+        for dest in [1u16, 2, 4, 7] {
+            let mut n = net();
+            n.inject(pkt(1, 0, dest, MessageClass::Request, 1));
+            let d = n.run_to_drain(200);
+            lat.push(d[0].delivered - d[0].packet.created);
+        }
+        assert_eq!(lat, vec![5, 7, 11, 17]);
+    }
+
+    #[test]
+    fn multi_flit_serialization_latency() {
+        let mut n = net();
+        n.inject(pkt(1, 0, 1, MessageClass::Response, 5));
+        let d = n.run_to_drain(100);
+        // Tail follows head by 4 cycles.
+        assert_eq!(d[0].delivered - d[0].packet.created, 5 + 4);
+    }
+
+    #[test]
+    fn xy_turn_packets_arrive() {
+        let mut n = net();
+        n.inject(pkt(1, 0, 63, MessageClass::Response, 5));
+        let d = n.run_to_drain(200);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].hops, 14);
+        assert_eq!(d[0].delivered - d[0].packet.created, 2 * 14 + 3 + 4);
+    }
+
+    #[test]
+    fn many_random_packets_all_delivered() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut n = net();
+        let mut sent = 0u64;
+        for cycle in 0..2_000u64 {
+            if cycle < 1_000 && rng.gen_bool(0.3) {
+                let src = rng.gen_range(0..64);
+                let mut dest = rng.gen_range(0..64);
+                if dest == src {
+                    dest = (dest + 1) % 64;
+                }
+                let class = match rng.gen_range(0..3) {
+                    0 => MessageClass::Request,
+                    1 => MessageClass::Coherence,
+                    _ => MessageClass::Response,
+                };
+                let len = if class == MessageClass::Response { 5 } else { 1 };
+                sent += 1;
+                n.inject(pkt(sent, src, dest, class, len));
+            }
+            n.step();
+        }
+        let mut delivered = n.drain_delivered().len() as u64;
+        delivered += n.run_to_drain(10_000).len() as u64;
+        assert_eq!(delivered, sent, "every injected packet must arrive");
+        assert_eq!(n.in_flight(), 0);
+    }
+
+    #[test]
+    fn heavy_same_destination_contention_resolves() {
+        let mut n = net();
+        let mut id = 0;
+        for src in 0..8u16 {
+            for _ in 0..3 {
+                id += 1;
+                n.inject(pkt(id, src * 8, 63, MessageClass::Response, 5));
+            }
+        }
+        let d = n.run_to_drain(20_000);
+        assert_eq!(d.len() as u64, id);
+    }
+
+    #[test]
+    fn per_class_isolation_no_cross_blocking_deadlock() {
+        let mut n = net();
+        // Saturate responses and check requests still flow.
+        for i in 0..20u64 {
+            n.inject(pkt(100 + i, 0, 63, MessageClass::Response, 5));
+        }
+        n.inject(pkt(1, 0, 63, MessageClass::Request, 1));
+        let d = n.run_to_drain(20_000);
+        assert_eq!(d.len(), 21);
+    }
+
+    #[test]
+    fn stats_track_injections_and_deliveries() {
+        let mut n = net();
+        n.inject(pkt(1, 0, 5, MessageClass::Request, 1));
+        n.inject(pkt(2, 3, 9, MessageClass::Response, 5));
+        n.run_to_drain(200);
+        let s = n.stats();
+        assert_eq!(s.injected(), 2);
+        assert_eq!(s.delivered(), 2);
+        assert_eq!(s.flits_delivered[MessageClass::Response.vc()], 5);
+        assert!(s.avg_latency() > 0.0);
+        assert!(s.local_grants > 0);
+        assert_eq!(s.reserved_moves, 0, "no PRA activity on the baseline");
+    }
+
+    #[test]
+    fn install_hop_reserves_and_blocks_local_traffic() {
+        let mut n = net();
+        // Reserve node 1's east port at a future window for packet 99.
+        let plan = HopPlan {
+            node: NodeId::new(1),
+            out_port: Port::Dir(Direction::East),
+            start: 10,
+            packet: PacketId(99),
+            len: 5,
+            class: MessageClass::Response,
+            source: FlitSource::Vc { port: Port::Dir(Direction::West), vc: 2 },
+            landing: Landing::Vc(2),
+            reserve: 5,
+        };
+        n.install_hop(&plan).unwrap();
+        assert!(n.schedule(NodeId::new(1), Port::Dir(Direction::East)).is_reserved(10));
+        assert_eq!(
+            n.out_vc(NodeId::new(1), Port::Dir(Direction::East), 2).reserved(),
+            5
+        );
+        assert_eq!(
+            n.guard(NodeId::new(1), Port::Dir(Direction::East), MessageClass::Response)
+                .holder(),
+            Some(PacketId(99))
+        );
+        // Conflicting plan by another packet fails.
+        let mut plan2 = plan;
+        plan2.packet = PacketId(100);
+        assert_eq!(n.check_hop(&plan2), Err(InstallError::SlotTaken));
+        // Same port, disjoint window, but the downstream VC is exhausted.
+        plan2.start = 20;
+        assert_eq!(n.check_hop(&plan2), Err(InstallError::NoDownstreamBuffer));
+    }
+
+    #[test]
+    fn wasted_reservation_expires_and_releases() {
+        let mut n = net();
+        let plan = HopPlan {
+            node: NodeId::new(1),
+            out_port: Port::Dir(Direction::East),
+            start: 5,
+            packet: PacketId(99),
+            len: 2,
+            class: MessageClass::Response,
+            source: FlitSource::Vc { port: Port::Dir(Direction::West), vc: 2 },
+            landing: Landing::Vc(2),
+            reserve: 2,
+        };
+        n.install_hop(&plan).unwrap();
+        for _ in 0..10 {
+            n.step();
+        }
+        let s = n.stats();
+        assert_eq!(s.wasted_reservations, 2, "both slots expired unused");
+        assert_eq!(
+            n.out_vc(NodeId::new(1), Port::Dir(Direction::East), 2).reserved(),
+            0,
+            "reserved credits released"
+        );
+        assert_eq!(
+            n.guard(NodeId::new(1), Port::Dir(Direction::East), MessageClass::Response)
+                .holder(),
+            None,
+            "guard released"
+        );
+    }
+
+    #[test]
+    fn forced_single_hop_move_executes() {
+        let mut n = net();
+        // Packet from node 0 to node 2. Pre-allocate the first hop
+        // (node 0 east at the cycle its head would otherwise wait for SA).
+        let p = pkt(1, 0, 2, MessageClass::Request, 1);
+        n.inject(p);
+        // Injection lands the flit in node 0's local VC during cycle 1; a
+        // forced move can use it at cycle 2 at the earliest... reserve
+        // cycle 2 on node 0's east port.
+        let plan = HopPlan {
+            node: NodeId::new(0),
+            out_port: Port::Dir(Direction::East),
+            start: 2,
+            packet: PacketId(1),
+            len: 1,
+            class: MessageClass::Request,
+            source: FlitSource::Vc { port: Port::Local, vc: 0 },
+            landing: Landing::Vc(0),
+            reserve: 1,
+        };
+        n.install_hop(&plan).unwrap();
+        let d = n.run_to_drain(100);
+        assert_eq!(d.len(), 1);
+        assert!(n.stats().reserved_moves >= 1);
+        assert_eq!(n.stats().wasted_reservations, 0);
+        // A single pre-allocated hop saves nothing at zero load (the
+        // speculative pipeline is just as fast); the win comes from
+        // multi-hop chains and loaded ports. Latency matches the baseline.
+        assert_eq!(d[0].delivered - d[0].packet.created, 7);
+    }
+
+    #[test]
+    fn forced_two_hop_chain_executes() {
+        let mut n = net();
+        let p = pkt(1, 0, 2, MessageClass::Request, 1);
+        n.inject(p);
+        // Chain: node0 east (source VC, landing bypass) + node1 east
+        // (source bypass, landing VC at node 2) both at cycle 2.
+        n.install_hop(&HopPlan {
+            node: NodeId::new(0),
+            out_port: Port::Dir(Direction::East),
+            start: 2,
+            packet: PacketId(1),
+            len: 1,
+            class: MessageClass::Request,
+            source: FlitSource::Vc { port: Port::Local, vc: 0 },
+            landing: Landing::Bypass,
+            reserve: 1,
+        })
+        .unwrap();
+        n.install_hop(&HopPlan {
+            node: NodeId::new(1),
+            out_port: Port::Dir(Direction::East),
+            start: 2,
+            packet: PacketId(1),
+            len: 1,
+            class: MessageClass::Request,
+            source: FlitSource::Bypass { from: Direction::West },
+            landing: Landing::Vc(0),
+            reserve: 1,
+        })
+        .unwrap();
+        let d = n.run_to_drain(100);
+        assert_eq!(d.len(), 1);
+        assert_eq!(n.stats().wasted_reservations, 0);
+        // Two hops in one cycle: arrival at node 2's VC at cycle 3,
+        // ejection SA at 4, delivery at 5 — vs 12 for the plain mesh.
+        assert_eq!(d[0].delivered - d[0].packet.created, 5);
+    }
+
+    #[test]
+    fn stalled_heads_reports_deterministic_drain() {
+        let mut n = net();
+        // A long response streams 0 -> 7 along row 0; a request injected at
+        // node 1 a little later wants the same east port while the
+        // response's port lock holds it.
+        n.inject(pkt(1, 0, 7, MessageClass::Response, 5));
+        for _ in 0..3 {
+            n.step();
+        }
+        n.inject(pkt(2, 1, 5, MessageClass::Request, 1));
+        let mut seen = false;
+        let mut predicted: Option<(Cycle, Cycle)> = None; // (observed_at, finish)
+        for _ in 0..60 {
+            n.step();
+            for (node, in_port, _, flit, out_port, blocker, finish) in n.stalled_heads() {
+                if flit.packet == PacketId(2) && blocker == PacketId(1) {
+                    assert_eq!(out_port, Port::Dir(Direction::East));
+                    assert_eq!(node, NodeId::new(1));
+                    assert_eq!(in_port, Port::Local);
+                    if let Some(f) = finish {
+                        seen = true;
+                        predicted.get_or_insert((n.now(), f));
+                    }
+                }
+            }
+        }
+        assert!(seen, "the blocked request must be reported with a drain time");
+        let (at, finish) = predicted.unwrap();
+        assert!(finish > at, "drain prediction lies in the future");
+        let mut d = n.drain_delivered();
+        d.extend(n.run_to_drain(1_000));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn source_backlog_visibility() {
+        let mut n = net();
+        assert_eq!(n.source_backlog(NodeId::new(0), MessageClass::Response), 0);
+        n.inject(pkt(1, 0, 5, MessageClass::Response, 5));
+        assert_eq!(n.source_backlog(NodeId::new(0), MessageClass::Response), 5);
+        n.step();
+        // One flit moved into the VC; backlog counts both queue and VC.
+        assert_eq!(n.source_backlog(NodeId::new(0), MessageClass::Response), 5);
+    }
+}

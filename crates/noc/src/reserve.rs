@@ -1,0 +1,296 @@
+//! Per-output-port timeslot reservation tables.
+//!
+//! These tables are the software analogue of the paper's per-output-port
+//! bit vectors (*Valid*, *Input Select*, *Local VC Select*, *Downstream VC
+//! Select*, Figure 4). Hardware shifts the vectors left each cycle; the
+//! simulator instead keys a sparse map by absolute cycle and prunes expired
+//! entries, which is behaviourally identical and much cheaper to model.
+//!
+//! The tables are pure mechanism: the PRA control network (in the `pra`
+//! crate) decides *what* to reserve; the mesh datapath in this crate only
+//! executes reservations and refuses to grant reactive traffic on reserved
+//! timeslots.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Cycle, Direction, PacketId, Port};
+
+/// Where a reserved traversal reads its flit from at this router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlitSource {
+    /// The front of the local input VC `(port, vc)` (the *Local VC Select*
+    /// field of the paper's bit vectors).
+    Vc {
+        /// Input port holding the flit.
+        port: Port,
+        /// Virtual channel within that port.
+        vc: usize,
+    },
+    /// The single-flit latch of input direction `from` (a flit parked here
+    /// during the previous cycle of a multi-hop path).
+    Latch {
+        /// Direction the flit originally arrived from.
+        from: Direction,
+    },
+    /// The flit arrives over the incoming link *this same cycle* and passes
+    /// straight through the crossbar (single-cycle multi-hop bypass).
+    Bypass {
+        /// Direction the flit arrives from.
+        from: Direction,
+    },
+}
+
+/// What happens at the downstream end of a reserved traversal
+/// (the *Downstream VC Select* field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Landing {
+    /// Enter the downstream VC buffer (end of the pre-allocated path, or
+    /// arrival at the destination router).
+    Vc(usize),
+    /// Park in the downstream input latch for one cycle and continue the
+    /// pre-allocated path next cycle.
+    Latch,
+    /// Continue through the downstream crossbar in the same cycle
+    /// (the downstream router also holds a [`FlitSource::Bypass`]
+    /// reservation for this flit at this cycle).
+    Bypass,
+}
+
+/// One reserved timeslot on an output port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reservation {
+    /// Packet the slot belongs to.
+    pub packet: PacketId,
+    /// Flit sequence number expected to use the slot.
+    pub seq: u8,
+    /// Where the flit is read from at this router.
+    pub source: FlitSource,
+    /// What happens at the downstream router.
+    pub landing: Landing,
+}
+
+/// Timeslot reservation table for a single output port.
+///
+/// # Examples
+///
+/// ```
+/// use noc::reserve::{FlitSource, Landing, OutputSchedule, Reservation};
+/// use noc::types::{PacketId, Port};
+///
+/// let mut sched = OutputSchedule::new();
+/// let r = Reservation {
+///     packet: PacketId(9),
+///     seq: 0,
+///     source: FlitSource::Vc { port: Port::Local, vc: 2 },
+///     landing: Landing::Vc(2),
+/// };
+/// assert!(sched.try_insert(100, r));
+/// assert!(sched.is_reserved(100));
+/// assert!(!sched.is_reserved(101));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OutputSchedule {
+    slots: BTreeMap<Cycle, Reservation>,
+}
+
+impl OutputSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        OutputSchedule::default()
+    }
+
+    /// Whether any packet holds `cycle`.
+    pub fn is_reserved(&self, cycle: Cycle) -> bool {
+        self.slots.contains_key(&cycle)
+    }
+
+    /// The reservation at `cycle`, if any.
+    pub fn get(&self, cycle: Cycle) -> Option<&Reservation> {
+        self.slots.get(&cycle)
+    }
+
+    /// Whether every cycle in `cycles` is free (or already held by
+    /// `packet`, which never conflicts with itself).
+    pub fn range_free(&self, cycles: std::ops::Range<Cycle>, packet: PacketId) -> bool {
+        self.slots
+            .range(cycles)
+            .all(|(_, r)| r.packet == packet)
+    }
+
+    /// Inserts a reservation; fails (returning `false`) if the slot is held
+    /// by a different packet.
+    pub fn try_insert(&mut self, cycle: Cycle, r: Reservation) -> bool {
+        match self.slots.get(&cycle) {
+            Some(existing) if existing.packet != r.packet => false,
+            _ => {
+                self.slots.insert(cycle, r);
+                true
+            }
+        }
+    }
+
+    /// Removes and returns the reservation at `cycle`.
+    pub fn take(&mut self, cycle: Cycle) -> Option<Reservation> {
+        self.slots.remove(&cycle)
+    }
+
+    /// Updates the landing of `packet`'s reservations at every cycle in
+    /// `cycles` (the ACK signal converting a conservative full-buffer
+    /// landing into a latch/bypass pass-through). Returns the number of
+    /// slots updated.
+    pub fn update_landing(
+        &mut self,
+        cycles: std::ops::Range<Cycle>,
+        packet: PacketId,
+        landing: Landing,
+    ) -> usize {
+        let mut n = 0;
+        for (_, r) in self.slots.range_mut(cycles) {
+            if r.packet == packet {
+                r.landing = landing;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Removes all reservations of `packet` for flits with sequence number
+    /// `>= from_seq` at cycles `>= from_cycle`; returns the removed
+    /// entries. Used when a forced move finds its flit missing: earlier
+    /// flits already in the pre-allocated path keep their slots so they can
+    /// drain, later flits fall back to reactive routing.
+    pub fn cancel_packet(
+        &mut self,
+        packet: PacketId,
+        from_seq: u8,
+        from_cycle: Cycle,
+    ) -> Vec<(Cycle, Reservation)> {
+        let doomed: Vec<Cycle> = self
+            .slots
+            .range(from_cycle..)
+            .filter(|(_, r)| r.packet == packet && r.seq >= from_seq)
+            .map(|(c, _)| *c)
+            .collect();
+        doomed
+            .into_iter()
+            .map(|c| (c, self.slots.remove(&c).expect("slot exists")))
+            .collect()
+    }
+
+    /// Drops reservations strictly before `now` (already in the past);
+    /// returns the expired entries. Executed slots are removed by
+    /// [`OutputSchedule::take`], so anything left to expire was wasted.
+    pub fn expire(&mut self, now: Cycle) -> Vec<(Cycle, Reservation)> {
+        let doomed: Vec<Cycle> = self.slots.range(..now).map(|(c, _)| *c).collect();
+        doomed
+            .into_iter()
+            .map(|c| (c, self.slots.remove(&c).expect("slot exists")))
+            .collect()
+    }
+
+    /// Whether `packet` holds any outstanding slot in this schedule.
+    pub fn has_packet(&self, packet: PacketId) -> bool {
+        self.slots.values().any(|r| r.packet == packet)
+    }
+
+    /// Number of outstanding reserved slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the schedule holds no reservations.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates over `(cycle, reservation)` pairs in cycle order.
+    pub fn iter(&self) -> impl Iterator<Item = (Cycle, &Reservation)> {
+        self.slots.iter().map(|(c, r)| (*c, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: PacketId = PacketId(1);
+    const Q: PacketId = PacketId(2);
+
+    fn resv(packet: PacketId, seq: u8) -> Reservation {
+        Reservation {
+            packet,
+            seq,
+            source: FlitSource::Vc {
+                port: Port::Local,
+                vc: 2,
+            },
+            landing: Landing::Vc(2),
+        }
+    }
+
+    #[test]
+    fn insert_and_conflict() {
+        let mut s = OutputSchedule::new();
+        assert!(s.try_insert(5, resv(P, 0)));
+        assert!(!s.try_insert(5, resv(Q, 0)), "other packet conflicts");
+        assert!(s.try_insert(5, resv(P, 1)), "same packet may overwrite");
+        assert_eq!(s.get(5).unwrap().seq, 1);
+    }
+
+    #[test]
+    fn range_free_semantics() {
+        let mut s = OutputSchedule::new();
+        s.try_insert(5, resv(P, 0));
+        assert!(s.range_free(0..5, Q));
+        assert!(!s.range_free(3..6, Q));
+        assert!(s.range_free(3..6, P), "own slots do not conflict");
+        assert!(s.range_free(6..10, Q));
+    }
+
+    #[test]
+    fn cancel_respects_seq_and_cycle_floor() {
+        let mut s = OutputSchedule::new();
+        for (c, seq) in [(10, 0u8), (11, 1), (12, 2), (13, 3)] {
+            s.try_insert(c, resv(P, seq));
+        }
+        // Cancel flits >= seq 2 from cycle 11 on: removes (12,2), (13,3).
+        assert_eq!(s.cancel_packet(P, 2, 11).len(), 2);
+        assert!(s.is_reserved(10));
+        assert!(s.is_reserved(11));
+        assert!(!s.is_reserved(12));
+    }
+
+    #[test]
+    fn expire_counts_wasted_slots() {
+        let mut s = OutputSchedule::new();
+        s.try_insert(3, resv(P, 0));
+        s.try_insert(7, resv(P, 1));
+        let expired = s.expire(5);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].0, 3);
+        assert_eq!(s.len(), 1);
+        assert!(s.is_reserved(7));
+    }
+
+    #[test]
+    fn update_landing_only_touches_own_slots() {
+        let mut s = OutputSchedule::new();
+        s.try_insert(5, resv(P, 0));
+        s.try_insert(6, resv(Q, 0));
+        let n = s.update_landing(0..10, P, Landing::Latch);
+        assert_eq!(n, 1);
+        assert_eq!(s.get(5).unwrap().landing, Landing::Latch);
+        assert_eq!(s.get(6).unwrap().landing, Landing::Vc(2));
+    }
+
+    #[test]
+    fn take_removes_slot() {
+        let mut s = OutputSchedule::new();
+        s.try_insert(5, resv(P, 0));
+        assert_eq!(s.take(5).unwrap().packet, P);
+        assert!(s.is_empty());
+        assert!(s.take(5).is_none());
+    }
+}

@@ -1,0 +1,236 @@
+//! Network statistics.
+//!
+//! [`NetStats`] is shared by every organisation: per-class packet/flit
+//! counters, end-to-end latency accounting, and resource-utilisation
+//! counters used by the paper's Section V.B analysis.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Cycle, MessageClass};
+
+/// Accumulated statistics for one network instance.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Packets handed to the network, per message class (indexed by VC).
+    pub packets_injected: [u64; 3],
+    /// Packets fully delivered, per message class.
+    pub packets_delivered: [u64; 3],
+    /// Flits delivered, per message class.
+    pub flits_delivered: [u64; 3],
+    /// Sum over delivered packets of `delivered - created` cycles.
+    pub total_latency: u64,
+    /// Per-class latency sums (indexed by VC).
+    pub total_latency_by_class: [u64; 3],
+    /// Sum over delivered packets of `injected - created` (source queueing).
+    pub total_queue_latency: u64,
+    /// Sum of hop counts of delivered packets.
+    pub total_hops: u64,
+    /// Worst observed end-to-end packet latency.
+    pub max_latency: u64,
+    /// Total link traversals (each flit × each link, bypassed or not).
+    pub link_traversals: u64,
+    /// Switch-allocation grants issued by reactive (local) arbiters.
+    pub local_grants: u64,
+    /// Traversals executed from reserved timeslots (PRA forced moves).
+    pub reserved_moves: u64,
+    /// Reserved timeslots that expired unused (the data flit was absent).
+    pub wasted_reservations: u64,
+    /// Cycles in which a flit requested an output port that was idle but
+    /// blocked by a reservation or multi-flit guard for another packet
+    /// (the paper's "resource underutilisation" measure).
+    pub blocked_by_reservation_cycles: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// End-to-end latency histogram: bucket `i` counts packets with
+    /// latency `i` cycles; the last bucket absorbs the overflow. Sized
+    /// for server-scale round trips.
+    pub latency_histogram: Vec<u64>,
+}
+
+impl NetStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Records an injection of a packet of class `class`.
+    pub fn record_injected(&mut self, class: MessageClass) {
+        self.packets_injected[class.vc()] += 1;
+    }
+
+    /// Records a delivery.
+    pub fn record_delivered(
+        &mut self,
+        class: MessageClass,
+        len_flits: u8,
+        created: Cycle,
+        injected: Cycle,
+        delivered: Cycle,
+        hops: u32,
+    ) {
+        self.packets_delivered[class.vc()] += 1;
+        self.flits_delivered[class.vc()] += len_flits as u64;
+        let lat = delivered.saturating_sub(created);
+        self.total_latency += lat;
+        self.total_latency_by_class[class.vc()] += lat;
+        if self.latency_histogram.is_empty() {
+            self.latency_histogram = vec![0; 513];
+        }
+        let bucket = (lat as usize).min(self.latency_histogram.len() - 1);
+        self.latency_histogram[bucket] += 1;
+        self.total_queue_latency += injected.saturating_sub(created);
+        self.total_hops += hops as u64;
+        self.max_latency = self.max_latency.max(lat);
+    }
+
+    /// Total packets delivered across classes.
+    pub fn delivered(&self) -> u64 {
+        self.packets_delivered.iter().sum()
+    }
+
+    /// Total packets injected across classes.
+    pub fn injected(&self) -> u64 {
+        self.packets_injected.iter().sum()
+    }
+
+    /// Mean latency of `class` packets in cycles (0 when none delivered).
+    pub fn avg_latency_of(&self, class: MessageClass) -> f64 {
+        let n = self.packets_delivered[class.vc()];
+        if n == 0 {
+            0.0
+        } else {
+            self.total_latency_by_class[class.vc()] as f64 / n as f64
+        }
+    }
+
+    /// Mean end-to-end packet latency in cycles (0 when nothing delivered).
+    pub fn avg_latency(&self) -> f64 {
+        let n = self.delivered();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / n as f64
+        }
+    }
+
+    /// Mean source-queueing latency in cycles.
+    pub fn avg_queue_latency(&self) -> f64 {
+        let n = self.delivered();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_queue_latency as f64 / n as f64
+        }
+    }
+
+    /// Mean hop count of delivered packets.
+    pub fn avg_hops(&self) -> f64 {
+        let n = self.delivered();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / n as f64
+        }
+    }
+
+    /// The latency at or below which `quantile` (0..=1) of delivered
+    /// packets completed; `None` when nothing was delivered. The last
+    /// histogram bucket is open-ended, so a result equal to the bucket
+    /// count is a lower bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantile` is outside `[0, 1]`.
+    pub fn latency_percentile(&self, quantile: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&quantile), "quantile within [0, 1]");
+        let total = self.delivered();
+        if total == 0 {
+            return None;
+        }
+        let target = (quantile * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (lat, n) in self.latency_histogram.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(lat as u64);
+            }
+        }
+        Some(self.latency_histogram.len() as u64)
+    }
+
+    /// Fraction of in-network time spent blocked behind proactively
+    /// reserved resources (Section V.B's ≈0.01% figure).
+    pub fn reservation_blocking_fraction(&self) -> f64 {
+        if self.total_latency == 0 {
+            0.0
+        } else {
+            self.blocked_by_reservation_cycles as f64 / self.total_latency as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_accounting() {
+        let mut s = NetStats::new();
+        s.record_injected(MessageClass::Request);
+        s.record_delivered(MessageClass::Request, 1, 10, 12, 30, 4);
+        s.record_injected(MessageClass::Response);
+        s.record_delivered(MessageClass::Response, 5, 0, 0, 10, 2);
+        assert_eq!(s.delivered(), 2);
+        assert_eq!(s.injected(), 2);
+        assert_eq!(s.total_latency, 30);
+        assert_eq!(s.avg_latency(), 15.0);
+        assert_eq!(s.avg_queue_latency(), 1.0);
+        assert_eq!(s.avg_hops(), 3.0);
+        assert_eq!(s.max_latency, 20);
+        assert_eq!(s.flits_delivered[MessageClass::Response.vc()], 5);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let s = NetStats::new();
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.avg_queue_latency(), 0.0);
+        assert_eq!(s.avg_hops(), 0.0);
+        assert_eq!(s.reservation_blocking_fraction(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_from_histogram() {
+        let mut s = NetStats::new();
+        for lat in [10u64, 10, 10, 10, 10, 10, 10, 10, 10, 100] {
+            s.record_delivered(MessageClass::Request, 1, 0, 0, lat, 1);
+        }
+        assert_eq!(s.latency_percentile(0.5), Some(10));
+        assert_eq!(s.latency_percentile(0.9), Some(10));
+        assert_eq!(s.latency_percentile(0.95), Some(100));
+        assert_eq!(s.latency_percentile(1.0), Some(100));
+        assert_eq!(NetStats::new().latency_percentile(0.5), None);
+    }
+
+    #[test]
+    fn overflow_latencies_land_in_last_bucket() {
+        let mut s = NetStats::new();
+        s.record_delivered(MessageClass::Request, 1, 0, 0, 10_000, 1);
+        assert_eq!(s.latency_percentile(1.0), Some(512));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        let s = NetStats::new();
+        let _ = s.latency_percentile(1.5);
+    }
+
+    #[test]
+    fn blocking_fraction() {
+        let mut s = NetStats::new();
+        s.record_delivered(MessageClass::Request, 1, 0, 0, 100, 4);
+        s.blocked_by_reservation_cycles = 1;
+        assert!((s.reservation_blocking_fraction() - 0.01).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,394 @@
+//! Packet-trace recording and replay.
+//!
+//! A [`Trace`] captures an injection schedule — `(cycle, packet)` pairs —
+//! either built programmatically or recorded from a live simulation via
+//! [`TraceRecorder`]. Replaying a trace through [`TracePlayer`] drives any
+//! [`Network`] with exactly the same offered load, which makes
+//! cross-organisation comparisons trace-identical (the methodology the
+//! paper inherits from trace-driven NoC studies) and lets system-level
+//! traffic be captured once and re-examined in isolation.
+//!
+//! Traces serialize to a compact JSON form for archival.
+
+use serde::{Deserialize, Serialize};
+
+use crate::flit::Packet;
+use crate::network::Network;
+use crate::types::{Cycle, MessageClass, NodeId, PacketId};
+
+/// One scheduled injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Cycle at which the packet is handed to the source NI.
+    pub cycle: Cycle,
+    /// Source node index.
+    pub src: u16,
+    /// Destination node index.
+    pub dest: u16,
+    /// Message class.
+    pub class: MessageClass,
+    /// Packet length in flits.
+    pub len_flits: u8,
+    /// Advance notice given to PRA-capable networks, in cycles
+    /// (0 = no announcement).
+    pub announce_lead: u32,
+}
+
+/// An injection schedule.
+///
+/// # Examples
+///
+/// ```
+/// use noc::trace::{Trace, TraceEntry};
+/// use noc::types::MessageClass;
+///
+/// let mut trace = Trace::new();
+/// trace.push(TraceEntry {
+///     cycle: 5,
+///     src: 0,
+///     dest: 9,
+///     class: MessageClass::Request,
+///     len_flits: 1,
+///     announce_lead: 0,
+/// });
+/// let json = trace.to_json().unwrap();
+/// let back = Trace::from_json(&json).unwrap();
+/// assert_eq!(trace, back);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an entry (entries are kept sorted by cycle lazily; replay
+    /// sorts once).
+    pub fn push(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of scheduled injections.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The scheduled injections.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// The last scheduled cycle (0 for an empty trace).
+    pub fn horizon(&self) -> Cycle {
+        self.entries.iter().map(|e| e.cycle).max().unwrap_or(0)
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` errors (out-of-memory in practice).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `s` is not a valid serialized trace.
+    pub fn from_json(s: &str) -> Result<Trace, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Validates all entries against a node count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first invalid entry.
+    pub fn validate(&self, nodes: u16) -> Result<(), usize> {
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.src >= nodes || e.dest >= nodes || e.len_flits == 0 {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<TraceEntry> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceEntry>>(iter: T) -> Self {
+        Trace {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TraceEntry> for Trace {
+    fn extend<T: IntoIterator<Item = TraceEntry>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+/// Records injections from client code into a [`Trace`].
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    trace: Trace,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Records an injection of `packet` at `cycle` with `announce_lead`
+    /// advance notice.
+    pub fn record(&mut self, cycle: Cycle, packet: &Packet, announce_lead: u32) {
+        self.trace.push(TraceEntry {
+            cycle,
+            src: packet.src.index() as u16,
+            dest: packet.dest.index() as u16,
+            class: packet.class,
+            len_flits: packet.len_flits,
+            announce_lead,
+        });
+    }
+
+    /// Finishes recording.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+/// Replays a [`Trace`] against a network, driving announcements and
+/// injections on schedule.
+#[derive(Debug)]
+pub struct TracePlayer {
+    entries: Vec<TraceEntry>,
+    next: usize,
+    next_id: u64,
+    injected: u64,
+}
+
+impl TracePlayer {
+    /// Prepares a player (sorts the schedule by cycle).
+    pub fn new(trace: Trace) -> Self {
+        let mut entries = trace.entries;
+        entries.sort_by_key(|e| e.cycle);
+        TracePlayer {
+            entries,
+            next: 0,
+            next_id: 0,
+            injected: 0,
+        }
+    }
+
+    /// Packets injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Whether every entry has been injected.
+    pub fn finished(&self) -> bool {
+        self.next >= self.entries.len()
+    }
+
+    /// Performs this cycle's announcements and injections. Call once per
+    /// cycle *before* [`Network::step`]; uses `net.now()` as the clock.
+    pub fn tick(&mut self, net: &mut dyn Network) {
+        let now = net.now();
+        // Announcements fire `lead` cycles before the scheduled injection.
+        // Scan a bounded window ahead (leads are small).
+        for e in self.entries[self.next..]
+            .iter()
+            .take_while(|e| e.cycle <= now + 64)
+        {
+            if e.announce_lead > 0 && e.cycle == now + e.announce_lead as Cycle {
+                let preview = Packet::new(
+                    PacketId(self.peek_id_for(e)),
+                    NodeId::new(e.src),
+                    NodeId::new(e.dest),
+                    e.class,
+                    e.len_flits,
+                );
+                net.announce(&preview, e.announce_lead);
+            }
+        }
+        while self.next < self.entries.len() && self.entries[self.next].cycle == now {
+            let e = self.entries[self.next];
+            self.next += 1;
+            self.next_id += 1;
+            self.injected += 1;
+            net.inject(
+                Packet::new(
+                    PacketId(self.next_id),
+                    NodeId::new(e.src),
+                    NodeId::new(e.dest),
+                    e.class,
+                    e.len_flits,
+                )
+                .at(now),
+            );
+        }
+    }
+
+    /// The id the entry will get at injection time (ids are assigned in
+    /// schedule order, so an entry's id is its position + 1).
+    fn peek_id_for(&self, e: &TraceEntry) -> u64 {
+        let pos = self.entries[self.next..]
+            .iter()
+            .position(|x| std::ptr::eq(x, e))
+            .expect("entry from this player");
+        self.next_id + pos as u64 + 1
+    }
+}
+
+/// Replays `trace` to completion on `net`; returns `(delivered, cycles)`.
+pub fn replay(net: &mut dyn Network, trace: Trace) -> (u64, Cycle) {
+    let mut player = TracePlayer::new(trace);
+    let mut delivered = 0u64;
+    while !player.finished() || net.in_flight() > 0 {
+        player.tick(net);
+        net.step();
+        delivered += net.drain_delivered().len() as u64;
+        if net.now() > player.entries.last().map(|e| e.cycle).unwrap_or(0) + 100_000 {
+            break; // safety net for tests
+        }
+    }
+    (delivered, net.now())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NocConfig;
+    use crate::ideal::IdealNetwork;
+    use crate::mesh::MeshNetwork;
+    use crate::smart::SmartNetwork;
+    use rand::{Rng, SeedableRng};
+
+    fn random_trace(n: usize, seed: u64, with_leads: bool) -> Trace {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let src = rng.gen_range(0..64u16);
+                let mut dest = rng.gen_range(0..64u16);
+                if dest == src {
+                    dest = (dest + 1) % 64;
+                }
+                let response = rng.gen_bool(0.5);
+                TraceEntry {
+                    cycle: rng.gen_range(4..400),
+                    src,
+                    dest,
+                    class: if response {
+                        MessageClass::Response
+                    } else {
+                        MessageClass::Request
+                    },
+                    len_flits: if response { 5 } else { 1 },
+                    announce_lead: if with_leads && response { 4 } else { 0 },
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = random_trace(50, 3, true);
+        let j = t.to_json().unwrap();
+        assert_eq!(Trace::from_json(&j).unwrap(), t);
+    }
+
+    #[test]
+    fn validate_catches_bad_entries() {
+        let mut t = Trace::new();
+        t.push(TraceEntry {
+            cycle: 0,
+            src: 64,
+            dest: 0,
+            class: MessageClass::Request,
+            len_flits: 1,
+            announce_lead: 0,
+        });
+        assert_eq!(t.validate(64), Err(0));
+        assert_eq!(t.validate(128), Ok(()));
+    }
+
+    #[test]
+    fn replay_delivers_everything_on_all_organisations() {
+        let t = random_trace(80, 7, false);
+        let cfg = NocConfig::paper();
+        for which in 0..3 {
+            let mut net: Box<dyn Network> = match which {
+                0 => Box::new(MeshNetwork::new(cfg.clone())),
+                1 => Box::new(SmartNetwork::new(cfg.clone())),
+                _ => Box::new(IdealNetwork::new(cfg.clone())),
+            };
+            let (delivered, _) = replay(net.as_mut(), t.clone());
+            assert_eq!(delivered, t.len() as u64, "org {which}");
+        }
+    }
+
+    #[test]
+    fn identical_traces_give_identical_stats() {
+        let t = random_trace(60, 9, false);
+        let cfg = NocConfig::paper();
+        let mut a = MeshNetwork::new(cfg.clone());
+        let mut b = MeshNetwork::new(cfg);
+        replay(&mut a, t.clone());
+        replay(&mut b, t);
+        assert_eq!(a.stats().total_latency, b.stats().total_latency);
+    }
+
+    #[test]
+    fn recorder_round_trip() {
+        let mut rec = TraceRecorder::new();
+        let p = Packet::new(
+            PacketId(1),
+            NodeId::new(3),
+            NodeId::new(9),
+            MessageClass::Response,
+            5,
+        );
+        rec.record(42, &p, 4);
+        let t = rec.into_trace();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries()[0].cycle, 42);
+        assert_eq!(t.entries()[0].announce_lead, 4);
+        assert_eq!(t.horizon(), 42);
+    }
+
+    #[test]
+    fn player_reports_progress() {
+        let t = random_trace(10, 1, false);
+        let cfg = NocConfig::paper();
+        let mut net = MeshNetwork::new(cfg);
+        let mut player = TracePlayer::new(t);
+        assert!(!player.finished());
+        for _ in 0..500 {
+            player.tick(&mut net);
+            net.step();
+        }
+        assert!(player.finished());
+        assert_eq!(player.injected(), 10);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let cfg = NocConfig::paper();
+        let mut net = MeshNetwork::new(cfg);
+        let (delivered, _) = replay(&mut net, Trace::new());
+        assert_eq!(delivered, 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Synthetic traffic generators for standalone network studies.
+//!
+//! The system-level evaluation drives the networks from the `sysmodel`
+//! crate; the generators here serve unit/integration tests, latency-vs-load
+//! curves and the criterion micro-benchmarks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::NocConfig;
+use crate::flit::Packet;
+use crate::network::Network;
+use crate::types::{Cycle, MessageClass, NodeId, PacketId};
+
+/// Spatial traffic pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Destination drawn uniformly at random (excluding the source).
+    UniformRandom,
+    /// `(x, y) -> (y, x)`; self-pairs redirect to the next node.
+    Transpose,
+    /// All nodes send to a single hotspot node.
+    Hotspot(NodeId),
+    /// Node `i` sends to `i + nodes/2 (mod nodes)` (worst-case diameter).
+    Complement,
+    /// Requests target LLC-like home slices by address interleaving and
+    /// responses flow back — a stand-in for server core↔LLC traffic.
+    CoreToLlc,
+}
+
+/// A deterministic, seeded synthetic traffic source.
+///
+/// Every cycle, each node independently injects a packet with probability
+/// `rate` (packets/node/cycle). Response-class packets are
+/// `cfg.max_packet_len` flits; requests and coherence packets are single
+/// flits, mixed per `response_fraction`.
+///
+/// # Examples
+///
+/// ```
+/// use noc::config::NocConfig;
+/// use noc::mesh::MeshNetwork;
+/// use noc::network::Network;
+/// use noc::traffic::{Pattern, TrafficGen};
+///
+/// let cfg = NocConfig::paper();
+/// let mut net = MeshNetwork::new(cfg.clone());
+/// let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, 0.05, 42);
+/// for _ in 0..100 {
+///     gen.tick(&mut net);
+///     net.step();
+/// }
+/// assert!(net.stats().injected() > 0);
+/// ```
+#[derive(Debug)]
+pub struct TrafficGen {
+    cfg: NocConfig,
+    pattern: Pattern,
+    rate: f64,
+    response_fraction: f64,
+    rng: SmallRng,
+    next_id: u64,
+    injected: u64,
+    stopped: bool,
+}
+
+impl TrafficGen {
+    /// Creates a generator injecting at `rate` packets/node/cycle with the
+    /// default 50/50 request/response mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]`.
+    pub fn new(cfg: NocConfig, pattern: Pattern, rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        TrafficGen {
+            cfg,
+            pattern,
+            rate,
+            response_fraction: 0.5,
+            rng: SmallRng::seed_from_u64(seed),
+            next_id: 0,
+            injected: 0,
+            stopped: false,
+        }
+    }
+
+    /// Sets the fraction of packets that are multi-flit responses
+    /// (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not in `[0, 1]`.
+    pub fn response_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "fraction must be a probability");
+        self.response_fraction = f;
+        self
+    }
+
+    /// Stops further injection (drain phase).
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Packets injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Injects this cycle's packets into `net`. Call once per cycle,
+    /// before [`Network::step`].
+    pub fn tick(&mut self, net: &mut dyn Network) {
+        if self.stopped {
+            return;
+        }
+        let nodes = self.cfg.nodes();
+        for src in 0..nodes {
+            if !self.rng.gen_bool(self.rate) {
+                continue;
+            }
+            let src_id = NodeId::new(src as u16);
+            let dest = self.pick_dest(src_id);
+            if dest == src_id {
+                continue;
+            }
+            let response = self.rng.gen_bool(self.response_fraction);
+            let (class, len) = if response {
+                (MessageClass::Response, self.cfg.max_packet_len)
+            } else {
+                (MessageClass::Request, 1)
+            };
+            self.next_id += 1;
+            self.injected += 1;
+            net.inject(
+                Packet::new(PacketId(self.next_id), src_id, dest, class, len)
+                    .at(net.now().max(1) as Cycle),
+            );
+        }
+    }
+
+    fn pick_dest(&mut self, src: NodeId) -> NodeId {
+        let nodes = self.cfg.nodes() as u16;
+        match self.pattern {
+            Pattern::UniformRandom => {
+                let off = self.rng.gen_range(1..nodes);
+                NodeId::new((src.index() as u16 + off) % nodes)
+            }
+            Pattern::Transpose => {
+                let c = self.cfg.coord(src);
+                let t = crate::types::Coord::new(c.y, c.x);
+                let d = self.cfg.node_at(t);
+                if d == src {
+                    NodeId::new((src.index() as u16 + 1) % nodes)
+                } else {
+                    d
+                }
+            }
+            Pattern::Hotspot(h) => h,
+            Pattern::Complement => NodeId::new((src.index() as u16 + nodes / 2) % nodes),
+            Pattern::CoreToLlc => {
+                // Address-interleaved home slice: hash a synthetic address.
+                let addr: u64 = self.rng.gen();
+                NodeId::new((addr % nodes as u64) as u16)
+            }
+        }
+    }
+}
+
+/// Runs `net` under `gen` for `warm + measure` cycles and reports the mean
+/// packet latency over the measurement phase, then drains.
+///
+/// A convenience harness for latency-vs-load curves.
+pub fn measure_latency(
+    net: &mut dyn Network,
+    gen: &mut TrafficGen,
+    warm: u64,
+    measure: u64,
+) -> f64 {
+    for _ in 0..warm {
+        gen.tick(net);
+        net.step();
+        net.drain_delivered();
+    }
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for _ in 0..measure {
+        gen.tick(net);
+        net.step();
+        for d in net.drain_delivered() {
+            total += d.delivered - d.packet.created;
+            count += 1;
+        }
+    }
+    gen.stop();
+    // Drain remaining traffic so callers can reuse the network.
+    let deadline = net.now() + 100_000;
+    while net.in_flight() > 0 && net.now() < deadline {
+        net.step();
+        net.drain_delivered();
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::IdealNetwork;
+    use crate::mesh::MeshNetwork;
+    use crate::smart::SmartNetwork;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = NocConfig::paper();
+        let mut a = MeshNetwork::new(cfg.clone());
+        let mut b = MeshNetwork::new(cfg.clone());
+        let mut ga = TrafficGen::new(cfg.clone(), Pattern::UniformRandom, 0.1, 9);
+        let mut gb = TrafficGen::new(cfg, Pattern::UniformRandom, 0.1, 9);
+        for _ in 0..200 {
+            ga.tick(&mut a);
+            gb.tick(&mut b);
+            a.step();
+            b.step();
+        }
+        assert_eq!(ga.injected(), gb.injected());
+        assert_eq!(a.stats().injected(), b.stats().injected());
+        assert_eq!(a.stats().delivered(), b.stats().delivered());
+        assert_eq!(a.stats().total_latency, b.stats().total_latency);
+    }
+
+    #[test]
+    fn patterns_produce_valid_destinations() {
+        let cfg = NocConfig::paper();
+        for pattern in [
+            Pattern::UniformRandom,
+            Pattern::Transpose,
+            Pattern::Hotspot(NodeId::new(0)),
+            Pattern::Complement,
+            Pattern::CoreToLlc,
+        ] {
+            let mut gen = TrafficGen::new(cfg.clone(), pattern, 1.0, 1);
+            for src in 0..64u16 {
+                let d = gen.pick_dest(NodeId::new(src));
+                assert!(d.index() < 64, "{pattern:?} gave invalid destination");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_rises_with_load_on_mesh() {
+        let cfg = NocConfig::paper();
+        let mut lats = Vec::new();
+        for rate in [0.005, 0.05] {
+            let mut net = MeshNetwork::new(cfg.clone());
+            let mut gen = TrafficGen::new(cfg.clone(), Pattern::UniformRandom, rate, 7);
+            lats.push(measure_latency(&mut net, &mut gen, 500, 1_500));
+        }
+        assert!(
+            lats[1] > lats[0],
+            "latency must rise with load: {lats:?}"
+        );
+    }
+
+    #[test]
+    fn organisation_ordering_under_light_server_traffic() {
+        // Ideal < mesh at a light, LLC-like load; SMART within a sane band.
+        let cfg = NocConfig::paper();
+        let mut results = Vec::new();
+        for which in 0..3 {
+            let mut net: Box<dyn Network> = match which {
+                0 => Box::new(MeshNetwork::new(cfg.clone())),
+                1 => Box::new(SmartNetwork::new(cfg.clone())),
+                _ => Box::new(IdealNetwork::new(cfg.clone())),
+            };
+            let mut gen =
+                TrafficGen::new(cfg.clone(), Pattern::CoreToLlc, 0.02, 13).response_fraction(0.5);
+            results.push(measure_latency(net.as_mut(), &mut gen, 500, 2_000));
+        }
+        let (mesh, smart, ideal) = (results[0], results[1], results[2]);
+        assert!(ideal < mesh, "ideal {ideal} must beat mesh {mesh}");
+        assert!(ideal < smart, "ideal {ideal} must beat SMART {smart}");
+        // SMART and mesh are close on server-like traffic (Figure 2).
+        assert!(
+            (smart - mesh).abs() / mesh < 0.25,
+            "SMART {smart} should be within 25% of mesh {mesh}"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Integer histograms (e.g. Figure 7's lag-at-drop distribution).
+
+use serde::{Deserialize, Serialize};
+
+/// A bounded integer histogram with an overflow bucket.
+///
+/// # Examples
+///
+/// ```
+/// use nistats::Histogram;
+///
+/// let mut h = Histogram::new(4);
+/// h.record(0);
+/// h.record(0);
+/// h.record(2);
+/// h.record(9); // overflows into the last bucket
+/// assert_eq!(h.count(0), 2);
+/// assert_eq!(h.total(), 4);
+/// assert!((h.fraction(0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with buckets for values `0..=max`.
+    pub fn new(max: usize) -> Self {
+        Histogram {
+            buckets: vec![0; max + 1],
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: usize) {
+        match self.buckets.get_mut(value) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Records `n` observations of `value`.
+    pub fn record_n(&mut self, value: usize, n: u64) {
+        match self.buckets.get_mut(value) {
+            Some(b) => *b += n,
+            None => self.overflow += n,
+        }
+    }
+
+    /// Observations of exactly `value` (0 beyond the range).
+    pub fn count(&self, value: usize) -> u64 {
+        self.buckets.get(value).copied().unwrap_or(0)
+    }
+
+    /// Observations beyond the tracked range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations including overflow.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Fraction of observations with exactly `value` (0 when empty).
+    pub fn fraction(&self, value: usize) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / t as f64
+        }
+    }
+
+    /// Fraction of observations beyond the tracked range.
+    pub fn overflow_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.overflow as f64 / t as f64
+        }
+    }
+
+    /// All in-range fractions in value order.
+    pub fn fractions(&self) -> Vec<f64> {
+        (0..self.buckets.len()).map(|v| self.fraction(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut h = Histogram::new(2);
+        h.record(0);
+        h.record(1);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(100);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 6);
+        assert!((h.overflow_fraction() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_n_bulk() {
+        let mut h = Histogram::new(4);
+        h.record_n(3, 10);
+        h.record_n(7, 5);
+        assert_eq!(h.count(3), 10);
+        assert_eq!(h.overflow(), 5);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_with_overflow() {
+        let mut h = Histogram::new(3);
+        for v in [0usize, 1, 1, 2, 3, 4, 9] {
+            h.record(v);
+        }
+        let sum: f64 = h.fractions().iter().sum::<f64>() + h.overflow_fraction();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new(4);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fraction(0), 0.0);
+        assert_eq!(h.overflow_fraction(), 0.0);
+    }
+}

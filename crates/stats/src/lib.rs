@@ -1,0 +1,18 @@
+//! # nistats — measurement methodology for the near-ideal-noc harness
+//!
+//! A small statistics toolkit mirroring the paper's SimFlex-style
+//! methodology (Section IV-D): warm up, measure over a window, repeat over
+//! independent samples, and report means with 95% confidence intervals.
+//! Also provides the geometric mean used for the figures' `GMean` bars and
+//! integer histograms for distributions like Figure 7's lag-at-drop.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod histogram;
+pub mod sampling;
+pub mod summary;
+
+pub use histogram::Histogram;
+pub use sampling::SampleSpec;
+pub use summary::{geometric_mean, Summary};

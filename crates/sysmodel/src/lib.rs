@@ -1,0 +1,36 @@
+//! # sysmodel — a 64-core tiled server processor model
+//!
+//! The full-system substrate of the *Near-Ideal Networks-on-Chip for
+//! Servers* reproduction, standing in for the paper's Flexus full-system
+//! simulation: Scale-Out-Processor-style tiles (core + NUCA LLC slice +
+//! router), four DDR3-1600 memory channels, and deterministic synthetic
+//! CloudSuite workloads driving everything.
+//!
+//! The model is built so that **only** interconnect timing differs across
+//! network organisations: instruction streams, LLC outcomes and memory
+//! behaviour replay identically, making the paper's normalized-performance
+//! comparisons (Figures 2, 6, 9) meaningful at model scale.
+//!
+//! ```
+//! use noc::mesh::MeshNetwork;
+//! use sysmodel::{System, SystemParams};
+//! use workloads::WorkloadKind;
+//!
+//! let params = SystemParams::paper();
+//! let net = MeshNetwork::new(params.noc.clone());
+//! let mut sys = System::new(params, net, WorkloadKind::MediaStreaming, 1);
+//! let perf = sys.measure(1_000, 2_000); // instructions per cycle
+//! assert!(perf > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod core;
+pub mod llc;
+pub mod memory;
+pub mod params;
+pub mod system;
+
+pub use params::SystemParams;
+pub use system::System;

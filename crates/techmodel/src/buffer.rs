@@ -1,0 +1,75 @@
+//! Flip-flop buffer model (DSENT-style).
+//!
+//! "We model flip-flop based buffers as all NOCs have relatively few
+//! buffers" (Section IV-B). Area and energy scale linearly with bit
+//! count; constants calibrated against Figure 8's mesh buffer component.
+
+use serde::{Deserialize, Serialize};
+
+/// Flip-flop buffer area/energy constants at 32 nm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferModel {
+    /// Cell area per stored bit, in square micrometres.
+    pub area_um2_per_bit: f64,
+    /// Write energy per bit, femtojoules.
+    pub write_fj_per_bit: f64,
+    /// Read energy per bit, femtojoules.
+    pub read_fj_per_bit: f64,
+    /// Leakage per bit, nanowatts.
+    pub leakage_nw_per_bit: f64,
+}
+
+impl BufferModel {
+    /// Constants calibrated to Figure 8: the mesh's 64 routers × 5 ports ×
+    /// 3 VCs × 5 flits × 128 bits ≈ 614 Kb of flip-flops contribute
+    /// ≈ 1.8 mm² of the 3.5 mm² mesh NOC.
+    pub fn paper() -> Self {
+        BufferModel {
+            area_um2_per_bit: 2.93,
+            write_fj_per_bit: 0.9,
+            read_fj_per_bit: 0.5,
+            leakage_nw_per_bit: 25.0,
+        }
+    }
+
+    /// Buffer area in mm² for `bits` of storage.
+    pub fn area_mm2(&self, bits: u64) -> f64 {
+        bits as f64 * self.area_um2_per_bit * 1e-6
+    }
+
+    /// Energy in joules for one write + one read of a `bits`-wide entry.
+    pub fn access_energy_j(&self, bits: u32) -> f64 {
+        bits as f64 * (self.write_fj_per_bit + self.read_fj_per_bit) * 1e-15
+    }
+
+    /// Leakage power in watts for `bits` of storage.
+    pub fn leakage_w(&self, bits: u64) -> f64 {
+        bits as f64 * self.leakage_nw_per_bit * 1e-9
+    }
+}
+
+impl Default for BufferModel {
+    fn default() -> Self {
+        BufferModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_buffer_area_matches_figure8_component() {
+        let b = BufferModel::paper();
+        let bits = 64u64 * 5 * 3 * 5 * 128;
+        let area = b.area_mm2(bits);
+        assert!((area - 1.8).abs() < 0.01, "mesh buffers {area} mm²");
+    }
+
+    #[test]
+    fn energy_and_leakage_scale_linearly() {
+        let b = BufferModel::paper();
+        assert!(b.access_energy_j(256) > b.access_energy_j(128));
+        assert!((b.leakage_w(2_000) / b.leakage_w(1_000) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,98 @@
+//! Chip-level constants: cores and tiles.
+//!
+//! Core figures are the paper's Cortex-A15 data (Microprocessor Report),
+//! scaled from 40 nm to 32 nm: 2.9 mm² and 1.05 W at 2 GHz, including the
+//! L1 caches.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sram::SramModel;
+
+/// Chip-level area/power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipModel {
+    /// Cores on the die.
+    pub cores: u32,
+    /// Core area including L1s, mm².
+    pub core_area_mm2: f64,
+    /// Core power at 2 GHz, watts.
+    pub core_power_w: f64,
+    /// Total LLC capacity, megabytes.
+    pub llc_mb: f64,
+    /// The LLC slice model.
+    pub sram: SramModel,
+}
+
+impl ChipModel {
+    /// The paper's 64-core Scale-Out-style processor.
+    pub fn paper() -> Self {
+        ChipModel {
+            cores: 64,
+            core_area_mm2: 2.9,
+            core_power_w: 1.05,
+            llc_mb: 8.0,
+            sram: SramModel::paper(),
+        }
+    }
+
+    /// Total core area, mm².
+    pub fn cores_area_mm2(&self) -> f64 {
+        self.cores as f64 * self.core_area_mm2
+    }
+
+    /// Total LLC area, mm².
+    pub fn llc_area_mm2(&self) -> f64 {
+        self.sram.slice_area_mm2(self.llc_mb)
+    }
+
+    /// Total core power, watts ("cores alone consume in excess of 60 W").
+    pub fn cores_power_w(&self) -> f64 {
+        self.cores as f64 * self.core_power_w
+    }
+
+    /// Total LLC power, watts.
+    pub fn llc_power_w(&self) -> f64 {
+        self.sram.slice_power_w(self.llc_mb)
+    }
+
+    /// Chip area excluding the NOC (cores + LLC); the evaluation
+    /// disregards memory channels and IO (Section V-D).
+    pub fn base_area_mm2(&self) -> f64 {
+        self.cores_area_mm2() + self.llc_area_mm2()
+    }
+
+    /// Side length of one square tile, mm (core + slice + router share).
+    pub fn tile_edge_mm(&self, noc_area_mm2: f64) -> f64 {
+        ((self.base_area_mm2() + noc_area_mm2) / self.cores as f64).sqrt()
+    }
+}
+
+impl Default for ChipModel {
+    fn default() -> Self {
+        ChipModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_chip_figures() {
+        let c = ChipModel::paper();
+        assert!((c.cores_area_mm2() - 185.6).abs() < 0.1);
+        assert!((c.llc_area_mm2() - 25.6).abs() < 0.1);
+        // "over 200 mm²" with the NOC included.
+        assert!(c.base_area_mm2() + 3.5 > 200.0);
+        // "cores alone consume in excess of 60 W".
+        assert!(c.cores_power_w() > 60.0);
+    }
+
+    #[test]
+    fn tile_edge_close_to_wire_budget_argument() {
+        let c = ChipModel::paper();
+        let edge = c.tile_edge_mm(3.5);
+        // ~1.8–1.9 mm: two tiles per 2 GHz cycle on 85 ps/mm wires.
+        assert!(edge > 1.7 && edge < 2.0, "tile edge {edge}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Matrix crossbar model (DSENT-style quadratic scaling).
+
+use serde::{Deserialize, Serialize};
+
+/// Matrix crossbar area/energy constants at 32 nm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarModel {
+    /// Area coefficient: mm² per (ports × bits)², capturing the matrix
+    /// wiring dominating crossbar area.
+    pub area_coeff: f64,
+    /// Traversal energy per bit, femtojoules.
+    pub traversal_fj_per_bit: f64,
+}
+
+impl CrossbarModel {
+    /// Calibrated to Figure 8: 64 five-port, 128-bit crossbars contribute
+    /// ≈ 1.1 mm² of the 3.5 mm² mesh NOC.
+    pub fn paper() -> Self {
+        CrossbarModel {
+            area_coeff: 4.197e-8,
+            traversal_fj_per_bit: 1.5,
+        }
+    }
+
+    /// Area in mm² of one `ports`-port, `bits`-wide matrix crossbar.
+    pub fn area_mm2(&self, ports: u32, bits: u32) -> f64 {
+        let dim = ports as f64 * bits as f64;
+        self.area_coeff * dim * dim
+    }
+
+    /// Energy in joules for one `bits`-wide traversal.
+    pub fn traversal_energy_j(&self, bits: u32) -> f64 {
+        bits as f64 * self.traversal_fj_per_bit * 1e-15
+    }
+}
+
+impl Default for CrossbarModel {
+    fn default() -> Self {
+        CrossbarModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_crossbar_area_matches_figure8_component() {
+        let c = CrossbarModel::paper();
+        let total = 64.0 * c.area_mm2(5, 128);
+        assert!((total - 1.1).abs() < 0.01, "mesh crossbars {total} mm²");
+    }
+
+    #[test]
+    fn area_scales_quadratically_with_radix() {
+        let c = CrossbarModel::paper();
+        let five = c.area_mm2(5, 128);
+        let ten = c.area_mm2(10, 128);
+        assert!((ten / five - 4.0).abs() < 1e-9);
+    }
+}

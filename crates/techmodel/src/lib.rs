@@ -1,0 +1,40 @@
+//! # techmodel — 32 nm technology models for the evaluation
+//!
+//! Analytical area/energy/timing models standing in for the paper's
+//! toolchain (custom wire models, DSENT buffers, CACTI 6.5 caches,
+//! Microprocessor-Report core data), all at the paper's 32 nm / 0.9 V /
+//! 2 GHz operating point:
+//!
+//! * [`wire`] — semi-global repeated wires: 85 ps/mm, 50 fJ/bit/mm
+//!   (19% of it in repeaters), 200 nm pitch;
+//! * [`buffer`] / [`crossbar`] — DSENT-style flip-flop buffer and matrix
+//!   crossbar area/energy scaling;
+//! * [`sram`] — CACTI-like LLC slice model (3.2 mm²/MB, 500 mW/MB,
+//!   1-cycle tag / 4-cycle data serial lookup);
+//! * [`chip`] — core and tile-level constants (Cortex-A15-like core:
+//!   2.9 mm², 1.05 W at 2 GHz);
+//! * [`noc_area`] — per-organisation NOC area breakdown (Figure 8);
+//! * [`power`] — NOC power from simulation activity counters (§V.E);
+//! * [`density`] — performance-per-mm² roll-up (Figure 9).
+//!
+//! Free constants are calibrated once against the paper's published
+//! totals (mesh 3.5 mm², SMART +31%, Mesh+PRA +40%) and then scale
+//! analytically with the configuration, so parameter studies (wider
+//! links, deeper buffers, different radix) remain meaningful.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod buffer;
+pub mod chip;
+pub mod crossbar;
+pub mod density;
+pub mod noc_area;
+pub mod power;
+pub mod sram;
+pub mod wire;
+
+pub use chip::ChipModel;
+pub use density::performance_density;
+pub use noc_area::{NocAreaBreakdown, NocOrganization};
+pub use power::NocPower;

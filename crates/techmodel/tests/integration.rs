@@ -1,0 +1,89 @@
+//! Cross-model integration: technology models driven by real simulation
+//! activity, and the paper's chip-level sanity claims.
+
+use noc::config::{NocConfig, NocConfigBuilder};
+use noc::mesh::MeshNetwork;
+use noc::network::Network;
+use noc::traffic::{Pattern, TrafficGen};
+use techmodel::{performance_density, ChipModel, NocAreaBreakdown, NocOrganization, NocPower};
+
+#[test]
+fn measured_activity_produces_sub_two_watt_noc() {
+    let cfg = NocConfig::paper();
+    let mut net = MeshNetwork::new(cfg.clone());
+    let mut gen = TrafficGen::new(cfg.clone(), Pattern::CoreToLlc, 0.03, 5);
+    for _ in 0..10_000 {
+        gen.tick(&mut net);
+        net.step();
+        net.drain_delivered();
+    }
+    let p = NocPower::from_activity(&cfg, net.stats(), 2.0);
+    assert!(p.total_w() < 2.0, "NOC power {}", p.total_w());
+    assert!(p.links_w > 0.0, "active network must switch links");
+    assert!(
+        p.links_w > p.buffers_w,
+        "link switching dominates at these loads"
+    );
+}
+
+#[test]
+fn power_scales_with_load() {
+    let cfg = NocConfig::paper();
+    let mut totals = Vec::new();
+    for rate in [0.01, 0.05] {
+        let mut net = MeshNetwork::new(cfg.clone());
+        let mut gen = TrafficGen::new(cfg.clone(), Pattern::UniformRandom, rate, 5);
+        for _ in 0..5_000 {
+            gen.tick(&mut net);
+            net.step();
+            net.drain_delivered();
+        }
+        totals.push(NocPower::from_activity(&cfg, net.stats(), 2.0).total_w());
+    }
+    assert!(totals[1] > totals[0], "5x load must cost more power: {totals:?}");
+}
+
+#[test]
+fn area_scales_sensibly_with_configuration() {
+    // Wider links and deeper buffers cost area; smaller meshes cost less.
+    let base = NocAreaBreakdown::compute(NocOrganization::Mesh, &NocConfig::paper());
+    let wide = NocAreaBreakdown::compute(
+        NocOrganization::Mesh,
+        &NocConfigBuilder::new().link_width_bits(256).build().unwrap(),
+    );
+    assert!(wide.links_mm2 > base.links_mm2 * 1.9);
+    assert!(wide.crossbar_mm2 > base.crossbar_mm2 * 3.5, "quadratic in width");
+    let small = NocAreaBreakdown::compute(
+        NocOrganization::Mesh,
+        &NocConfigBuilder::new().radix(4).build().unwrap(),
+    );
+    assert!(small.total_mm2() < base.total_mm2() / 3.0);
+}
+
+#[test]
+fn density_ranking_with_real_areas() {
+    let cfg = NocConfig::paper();
+    let mesh_area = NocAreaBreakdown::compute(NocOrganization::Mesh, &cfg).total_mm2();
+    let pra_area = NocAreaBreakdown::compute(NocOrganization::MeshPra, &cfg).total_mm2();
+    // The repository's measured gmean performance ratios.
+    let mesh_d = performance_density(1.000, mesh_area);
+    let pra_d = performance_density(1.086, pra_area);
+    assert!(pra_d / mesh_d > 1.07, "density gain tracks performance gain");
+}
+
+#[test]
+fn chip_budget_matches_the_papers_prose() {
+    let chip = ChipModel::paper();
+    let noc = NocAreaBreakdown::compute(NocOrganization::MeshPra, &NocConfig::paper());
+    let total = chip.base_area_mm2() + noc.total_mm2();
+    assert!(total > 200.0, "\"over 200 mm2\": {total}");
+    assert!(chip.cores_power_w() > 60.0, "\"in excess of 60 W\"");
+    let tile = chip.tile_edge_mm(noc.total_mm2());
+    let reach = techmodel::wire::WireModel::paper().reach_mm_per_cycle(2.0);
+    // Raw wire reach covers ~3 tile pitches; after crossbar setup and
+    // latching margins the usable budget is the paper's 2 tiles/cycle.
+    let raw = (reach / tile).floor() as u32;
+    assert!(raw == 3, "raw reach {raw} tiles");
+    let usable = ((reach * 0.7) / tile).floor() as u32;
+    assert_eq!(usable, 2, "two tiles per cycle after ~30% cycle margins");
+}

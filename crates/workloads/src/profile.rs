@@ -1,0 +1,367 @@
+//! Workload profiles.
+//!
+//! Parameter provenance: the profiles encode the qualitative
+//! characterisation of scale-out server workloads from *Clearing the
+//! Clouds* (ASPLOS 2012) and the paper itself — most importantly the
+//! instruction-fetch-dominated LLC traffic and the per-workload ILP/MLP
+//! ordering (Media Streaming has "very low ILP and MLP", making it the
+//! most LLC-latency-sensitive, Section V.A). Absolute values are
+//! calibrated so the mesh→ideal performance gap of the simulated 64-core
+//! system reproduces the paper's Figure 2/6 bands.
+
+use serde::{Deserialize, Serialize};
+
+/// The six CloudSuite workloads of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// NoSQL data store serving key-value lookups (Cassandra).
+    DataServing,
+    /// Batch Hadoop text analytics.
+    MapReduce,
+    /// Streaming server pushing video over RTSP (Darwin).
+    MediaStreaming,
+    /// Batch SAT solving (Klee/Cloud9 style).
+    SatSolver,
+    /// Social-web PHP frontend (Olio).
+    WebFrontend,
+    /// Nutch/Lucene index search.
+    WebSearch,
+}
+
+impl WorkloadKind {
+    /// All six workloads, in the paper's figure order.
+    pub const ALL: [WorkloadKind; 6] = [
+        WorkloadKind::DataServing,
+        WorkloadKind::MapReduce,
+        WorkloadKind::MediaStreaming,
+        WorkloadKind::SatSolver,
+        WorkloadKind::WebFrontend,
+        WorkloadKind::WebSearch,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::DataServing => "Data Serving",
+            WorkloadKind::MapReduce => "MapReduce",
+            WorkloadKind::MediaStreaming => "Media Streaming",
+            WorkloadKind::SatSolver => "SAT Solver",
+            WorkloadKind::WebFrontend => "Web Frontend",
+            WorkloadKind::WebSearch => "Web Search",
+        }
+    }
+
+    /// The calibrated profile for this workload.
+    pub fn profile(self) -> WorkloadProfile {
+        match self {
+            // Request-heavy key-value serving: moderate ILP, decent MLP,
+            // large instruction footprint.
+            WorkloadKind::DataServing => WorkloadProfile {
+                kind: self,
+                ilp: 1.6,
+                mlp: 4,
+                i_mpki: 10.0,
+                d_mpki: 12.0,
+                llc_hit_ratio: 0.80,
+                coherence_per_kilo_instr: 1.2,
+            },
+            // Batch analytics: higher ILP, more data misses that overlap,
+            // least sensitive to LLC latency.
+            WorkloadKind::MapReduce => WorkloadProfile {
+                kind: self,
+                ilp: 1.8,
+                mlp: 6,
+                i_mpki: 8.0,
+                d_mpki: 18.0,
+                llc_hit_ratio: 0.72,
+                coherence_per_kilo_instr: 0.8,
+            },
+            // "Very low ILP and MLP, making it particularly sensitive to
+            // the LLC access latency" (Section V.A).
+            WorkloadKind::MediaStreaming => WorkloadProfile {
+                kind: self,
+                ilp: 1.2,
+                mlp: 1,
+                i_mpki: 22.0,
+                d_mpki: 6.0,
+                llc_hit_ratio: 0.88,
+                coherence_per_kilo_instr: 0.5,
+            },
+            // Compute-heavy batch solver: high ILP, small instruction
+            // footprint.
+            WorkloadKind::SatSolver => WorkloadProfile {
+                kind: self,
+                ilp: 2.0,
+                mlp: 5,
+                i_mpki: 9.0,
+                d_mpki: 16.0,
+                llc_hit_ratio: 0.70,
+                coherence_per_kilo_instr: 0.6,
+            },
+            // PHP frontend: large instruction footprint, modest MLP.
+            WorkloadKind::WebFrontend => WorkloadProfile {
+                kind: self,
+                ilp: 1.5,
+                mlp: 3,
+                i_mpki: 12.5,
+                d_mpki: 10.0,
+                llc_hit_ratio: 0.82,
+                coherence_per_kilo_instr: 1.0,
+            },
+            // Index search: latency-critical, instruction-bound, low MLP.
+            WorkloadKind::WebSearch => WorkloadProfile {
+                kind: self,
+                ilp: 1.4,
+                mlp: 2,
+                i_mpki: 19.0,
+                d_mpki: 8.0,
+                llc_hit_ratio: 0.85,
+                coherence_per_kilo_instr: 0.9,
+            },
+        }
+    }
+
+    /// Whether the workload is a batch job (SAT Solver, MapReduce) rather
+    /// than a latency-sensitive service, per Section IV-C.
+    pub fn is_batch(self) -> bool {
+        matches!(self, WorkloadKind::MapReduce | WorkloadKind::SatSolver)
+    }
+}
+
+/// Per-workload behavioural parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Which workload this profile describes.
+    pub kind: WorkloadKind,
+    /// Instructions the core can commit per unstalled cycle (bounded by
+    /// the 3-way Cortex-A15-like core; server workloads rarely sustain
+    /// more than ~2).
+    pub ilp: f64,
+    /// Maximum overlapped outstanding data misses (memory-level
+    /// parallelism); instruction-fetch misses always block.
+    pub mlp: u8,
+    /// L1-I misses per kilo-instruction (served by the LLC — the paper's
+    /// dominant NoC traffic).
+    pub i_mpki: f64,
+    /// L1-D misses per kilo-instruction.
+    pub d_mpki: f64,
+    /// Fraction of LLC accesses that hit (the rest go to memory).
+    pub llc_hit_ratio: f64,
+    /// Coherence (invalidation/forward) messages per kilo-instruction.
+    pub coherence_per_kilo_instr: f64,
+}
+
+impl WorkloadProfile {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is out of its physical range; profiles are
+    /// construction-time constants, so this is a programming error.
+    pub fn assert_valid(&self) {
+        assert!(self.ilp > 0.0 && self.ilp <= 3.0, "ILP within the 3-way core");
+        assert!(self.mlp >= 1, "at least one outstanding miss");
+        assert!(self.i_mpki >= 0.0 && self.i_mpki < 1000.0);
+        assert!(self.d_mpki >= 0.0 && self.d_mpki < 1000.0);
+        assert!((0.0..=1.0).contains(&self.llc_hit_ratio));
+        assert!(self.coherence_per_kilo_instr >= 0.0);
+    }
+
+    /// Probability that a committed instruction triggers an L1-I miss.
+    pub fn i_miss_prob(&self) -> f64 {
+        self.i_mpki / 1000.0
+    }
+
+    /// Probability that a committed instruction triggers an L1-D miss.
+    pub fn d_miss_prob(&self) -> f64 {
+        self.d_mpki / 1000.0
+    }
+
+    /// Probability that a committed instruction triggers a coherence
+    /// message.
+    pub fn coherence_prob(&self) -> f64 {
+        self.coherence_per_kilo_instr / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_valid() {
+        for kind in WorkloadKind::ALL {
+            kind.profile().assert_valid();
+            assert_eq!(kind.profile().kind, kind);
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn media_streaming_is_most_latency_sensitive() {
+        // Lowest ILP and MLP of all profiles (Section V.A).
+        let ms = WorkloadKind::MediaStreaming.profile();
+        for kind in WorkloadKind::ALL {
+            let p = kind.profile();
+            assert!(ms.ilp <= p.ilp, "{:?}", kind);
+            assert!(ms.mlp <= p.mlp, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn batch_classification_matches_paper() {
+        assert!(WorkloadKind::MapReduce.is_batch());
+        assert!(WorkloadKind::SatSolver.is_batch());
+        assert!(!WorkloadKind::WebSearch.is_batch());
+        assert!(!WorkloadKind::MediaStreaming.is_batch());
+        assert!(!WorkloadKind::DataServing.is_batch());
+        assert!(!WorkloadKind::WebFrontend.is_batch());
+    }
+
+    #[test]
+    fn probabilities_are_small() {
+        for kind in WorkloadKind::ALL {
+            let p = kind.profile();
+            assert!(p.i_miss_prob() < 0.05);
+            assert!(p.d_miss_prob() < 0.05);
+            assert!(p.coherence_prob() < 0.01);
+        }
+    }
+
+    #[test]
+    fn instruction_misses_dominate_for_services() {
+        // Latency-sensitive services are instruction-footprint bound.
+        for kind in [
+            WorkloadKind::MediaStreaming,
+            WorkloadKind::WebSearch,
+            WorkloadKind::WebFrontend,
+        ] {
+            let p = kind.profile();
+            assert!(p.i_mpki > p.d_mpki, "{:?}", kind);
+        }
+    }
+}
+
+/// Builder for custom [`WorkloadProfile`]s (parameter studies and
+/// calibration sweeps).
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{WorkloadKind, WorkloadProfileBuilder};
+///
+/// let profile = WorkloadProfileBuilder::from(WorkloadKind::WebSearch)
+///     .ilp(1.8)
+///     .i_mpki(30.0)
+///     .llc_hit_ratio(0.9)
+///     .build();
+/// assert_eq!(profile.ilp, 1.8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadProfileBuilder {
+    profile: WorkloadProfile,
+}
+
+impl WorkloadProfileBuilder {
+    /// Starts from a named workload's calibrated profile.
+    pub fn from(kind: WorkloadKind) -> Self {
+        WorkloadProfileBuilder {
+            profile: kind.profile(),
+        }
+    }
+
+    /// Sets the unstalled commit rate (instructions per cycle).
+    pub fn ilp(mut self, ilp: f64) -> Self {
+        self.profile.ilp = ilp;
+        self
+    }
+
+    /// Sets the maximum overlapped outstanding data misses.
+    pub fn mlp(mut self, mlp: u8) -> Self {
+        self.profile.mlp = mlp;
+        self
+    }
+
+    /// Sets the L1-I misses per kilo-instruction.
+    pub fn i_mpki(mut self, v: f64) -> Self {
+        self.profile.i_mpki = v;
+        self
+    }
+
+    /// Sets the L1-D misses per kilo-instruction.
+    pub fn d_mpki(mut self, v: f64) -> Self {
+        self.profile.d_mpki = v;
+        self
+    }
+
+    /// Sets the LLC hit ratio.
+    pub fn llc_hit_ratio(mut self, v: f64) -> Self {
+        self.profile.llc_hit_ratio = v;
+        self
+    }
+
+    /// Sets the coherence messages per kilo-instruction.
+    pub fn coherence_per_kilo_instr(mut self, v: f64) -> Self {
+        self.profile.coherence_per_kilo_instr = v;
+        self
+    }
+
+    /// Scales both miss rates by `factor` (load sweeps).
+    pub fn scale_misses(mut self, factor: f64) -> Self {
+        self.profile.i_mpki *= factor;
+        self.profile.d_mpki *= factor;
+        self
+    }
+
+    /// Validates and returns the profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is outside its physical range (see
+    /// [`WorkloadProfile::assert_valid`]).
+    pub fn build(self) -> WorkloadProfile {
+        self.profile.assert_valid();
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod builder_tests {
+    use super::*;
+
+    #[test]
+    fn builder_overrides_fields() {
+        let p = WorkloadProfileBuilder::from(WorkloadKind::DataServing)
+            .ilp(2.2)
+            .mlp(7)
+            .i_mpki(3.0)
+            .d_mpki(4.0)
+            .llc_hit_ratio(0.5)
+            .coherence_per_kilo_instr(0.1)
+            .build();
+        assert_eq!(p.ilp, 2.2);
+        assert_eq!(p.mlp, 7);
+        assert_eq!(p.i_mpki, 3.0);
+        assert_eq!(p.d_mpki, 4.0);
+        assert_eq!(p.llc_hit_ratio, 0.5);
+        assert_eq!(p.kind, WorkloadKind::DataServing);
+    }
+
+    #[test]
+    fn scale_misses_is_multiplicative() {
+        let base = WorkloadKind::WebSearch.profile();
+        let p = WorkloadProfileBuilder::from(WorkloadKind::WebSearch)
+            .scale_misses(0.5)
+            .build();
+        assert!((p.i_mpki - base.i_mpki * 0.5).abs() < 1e-12);
+        assert!((p.d_mpki - base.d_mpki * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ILP within the 3-way core")]
+    fn builder_rejects_invalid_ilp() {
+        let _ = WorkloadProfileBuilder::from(WorkloadKind::WebSearch)
+            .ilp(9.0)
+            .build();
+    }
+}

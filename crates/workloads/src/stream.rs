@@ -1,0 +1,221 @@
+//! Deterministic per-core instruction event streams.
+//!
+//! A [`CoreStream`] replays the same sequence of per-instruction events
+//! (L1-I misses, L1-D misses, coherence messages, home-slice choices)
+//! for a given `(workload, core, seed)` triple, independent of simulation
+//! timing. System models consume one event per committed instruction.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::WorkloadProfile;
+
+/// What a committed instruction does, from the memory system's viewpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrEvent {
+    /// Plain compute: no memory-system activity beyond the L1s.
+    None,
+    /// L1-I miss: fetch a line from the LLC slice at `home` (0-based node
+    /// index). Blocks the core until the response returns.
+    IMiss {
+        /// Home LLC slice of the missing instruction line.
+        home: u16,
+        /// Whether the home slice hits (pre-drawn for determinism).
+        llc_hit: bool,
+    },
+    /// L1-D miss to the LLC slice at `home`; overlaps with execution up
+    /// to the workload's MLP.
+    DMiss {
+        /// Home LLC slice of the missing data line.
+        home: u16,
+        /// Whether the home slice hits (pre-drawn for determinism).
+        llc_hit: bool,
+    },
+    /// Coherence action: a single-flit message to another tile.
+    Coherence {
+        /// Target tile.
+        peer: u16,
+    },
+}
+
+/// A deterministic per-core event stream.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{CoreStream, WorkloadKind};
+///
+/// let mut a = CoreStream::new(WorkloadKind::WebSearch.profile(), 64, 3, 42);
+/// let mut b = CoreStream::new(WorkloadKind::WebSearch.profile(), 64, 3, 42);
+/// for _ in 0..1_000 {
+///     assert_eq!(a.next_event(), b.next_event());
+/// }
+/// ```
+#[derive(Debug)]
+pub struct CoreStream {
+    profile: WorkloadProfile,
+    nodes: u16,
+    core: u16,
+    rng: SmallRng,
+    instructions: u64,
+}
+
+impl CoreStream {
+    /// Creates the stream for `core` of a `nodes`-tile system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is invalid or `core >= nodes`.
+    pub fn new(profile: WorkloadProfile, nodes: u16, core: u16, seed: u64) -> Self {
+        profile.assert_valid();
+        assert!(core < nodes, "core id within the tile count");
+        // Mix workload kind, core id and seed so streams are independent.
+        let mixed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((core as u64) << 32)
+            .wrapping_add(profile.kind as u64 + 1);
+        CoreStream {
+            profile,
+            nodes,
+            core,
+            rng: SmallRng::seed_from_u64(mixed),
+            instructions: 0,
+        }
+    }
+
+    /// The profile driving this stream.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Instructions drawn so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Draws the event of the next committed instruction.
+    pub fn next_event(&mut self) -> InstrEvent {
+        self.instructions += 1;
+        let r: f64 = self.rng.gen();
+        let p_i = self.profile.i_miss_prob();
+        let p_d = self.profile.d_miss_prob();
+        let p_c = self.profile.coherence_prob();
+        if r < p_i {
+            InstrEvent::IMiss {
+                home: self.draw_home(),
+                llc_hit: self.rng.gen_bool(self.profile.llc_hit_ratio),
+            }
+        } else if r < p_i + p_d {
+            InstrEvent::DMiss {
+                home: self.draw_home(),
+                llc_hit: self.rng.gen_bool(self.profile.llc_hit_ratio),
+            }
+        } else if r < p_i + p_d + p_c {
+            InstrEvent::Coherence {
+                peer: self.draw_peer(),
+            }
+        } else {
+            InstrEvent::None
+        }
+    }
+
+    /// Address-interleaved home slice: uniform over all tiles (NUCA with
+    /// line-granularity interleaving), excluding no one — local hits are
+    /// legitimate and fast.
+    fn draw_home(&mut self) -> u16 {
+        self.rng.gen_range(0..self.nodes)
+    }
+
+    fn draw_peer(&mut self) -> u16 {
+        let off = self.rng.gen_range(1..self.nodes);
+        (self.core + off) % self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadKind;
+
+    #[test]
+    fn streams_are_deterministic() {
+        for kind in WorkloadKind::ALL {
+            let mut a = CoreStream::new(kind.profile(), 64, 17, 7);
+            let mut b = CoreStream::new(kind.profile(), 64, 17, 7);
+            for _ in 0..5_000 {
+                assert_eq!(a.next_event(), b.next_event());
+            }
+        }
+    }
+
+    #[test]
+    fn different_cores_get_different_streams() {
+        let mut a = CoreStream::new(WorkloadKind::WebSearch.profile(), 64, 0, 7);
+        let mut b = CoreStream::new(WorkloadKind::WebSearch.profile(), 64, 1, 7);
+        let same = (0..1_000)
+            .filter(|_| a.next_event() == b.next_event())
+            .count();
+        assert!(same < 1_000, "streams must differ somewhere");
+    }
+
+    #[test]
+    fn event_rates_match_profile() {
+        let profile = WorkloadKind::DataServing.profile();
+        let mut s = CoreStream::new(profile, 64, 3, 11);
+        let n = 2_000_000;
+        let (mut i, mut d, mut c) = (0u64, 0u64, 0u64);
+        let mut hits = 0u64;
+        for _ in 0..n {
+            match s.next_event() {
+                InstrEvent::IMiss { llc_hit, .. } => {
+                    i += 1;
+                    hits += llc_hit as u64;
+                }
+                InstrEvent::DMiss { llc_hit, .. } => {
+                    d += 1;
+                    hits += llc_hit as u64;
+                }
+                InstrEvent::Coherence { .. } => c += 1,
+                InstrEvent::None => {}
+            }
+        }
+        let i_mpki = i as f64 / n as f64 * 1000.0;
+        let d_mpki = d as f64 / n as f64 * 1000.0;
+        let c_pki = c as f64 / n as f64 * 1000.0;
+        assert!((i_mpki - profile.i_mpki).abs() / profile.i_mpki < 0.05, "{i_mpki}");
+        assert!((d_mpki - profile.d_mpki).abs() / profile.d_mpki < 0.05, "{d_mpki}");
+        assert!((c_pki - profile.coherence_per_kilo_instr).abs() < 0.3, "{c_pki}");
+        let hit_ratio = hits as f64 / (i + d) as f64;
+        assert!((hit_ratio - profile.llc_hit_ratio).abs() < 0.02, "{hit_ratio}");
+        assert_eq!(s.instructions(), n);
+    }
+
+    #[test]
+    fn homes_cover_the_whole_mesh() {
+        let mut s = CoreStream::new(WorkloadKind::MapReduce.profile(), 64, 5, 3);
+        let mut seen = [false; 64];
+        for _ in 0..200_000 {
+            if let InstrEvent::IMiss { home, .. } | InstrEvent::DMiss { home, .. } = s.next_event()
+            {
+                seen[home as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|s| *s), "interleaving must reach every slice");
+    }
+
+    #[test]
+    fn coherence_peers_never_self() {
+        let mut s = CoreStream::new(WorkloadKind::WebFrontend.profile(), 64, 9, 3);
+        for _ in 0..200_000 {
+            if let InstrEvent::Coherence { peer } = s.next_event() {
+                assert_ne!(peer, 9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "core id within the tile count")]
+    fn core_out_of_range_panics() {
+        let _ = CoreStream::new(WorkloadKind::WebSearch.profile(), 64, 64, 1);
+    }
+}

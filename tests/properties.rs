@@ -1,0 +1,280 @@
+//! Property-based tests over the network substrate: conservation (no
+//! flit loss or duplication), in-order per-packet delivery (enforced by
+//! reassembly panics), and PRA safety (reservations never corrupt the
+//! data network, whatever the announce pattern).
+
+use near_ideal_noc::prelude::*;
+use noc::config::NocConfigBuilder;
+use noc::flit::Packet;
+use proptest::prelude::*;
+
+/// A randomly generated injection plan.
+#[derive(Debug, Clone)]
+struct Plan {
+    src: u16,
+    dest: u16,
+    response: bool,
+    at_cycle: u16,
+}
+
+fn plan_strategy(max_cycle: u16) -> impl Strategy<Value = Plan> {
+    (0u16..64, 0u16..64, any::<bool>(), 0..max_cycle).prop_map(|(src, dest, response, at_cycle)| {
+        Plan {
+            src,
+            dest: if dest == src { (dest + 1) % 64 } else { dest },
+            response,
+            at_cycle,
+        }
+    })
+}
+
+fn run_plan(net: &mut dyn Network, plans: &[Plan]) -> u64 {
+    let horizon = plans.iter().map(|p| p.at_cycle).max().unwrap_or(0) as u64 + 1;
+    let mut id = 0u64;
+    let mut delivered = 0u64;
+    for cycle in 0..horizon {
+        for p in plans.iter().filter(|p| p.at_cycle as u64 == cycle) {
+            id += 1;
+            let (class, len) = if p.response {
+                (MessageClass::Response, 5)
+            } else {
+                (MessageClass::Request, 1)
+            };
+            net.inject(Packet::new(
+                PacketId(id),
+                NodeId::new(p.src),
+                NodeId::new(p.dest),
+                class,
+                len,
+            ));
+        }
+        net.step();
+        delivered += net.drain_delivered().len() as u64;
+    }
+    let deadline = net.now() + 50_000;
+    while net.in_flight() > 0 && net.now() < deadline {
+        net.step();
+        delivered += net.drain_delivered().len() as u64;
+    }
+    delivered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every injected packet is delivered exactly once on every
+    /// organisation (the reassembly layer panics on reorder/duplication,
+    /// buffers panic on overflow — absence of panics is part of the
+    /// property).
+    #[test]
+    fn conservation_on_all_organisations(
+        plans in proptest::collection::vec(plan_strategy(300), 1..120)
+    ) {
+        let cfg = NocConfig::paper();
+        let nets: [Box<dyn Network>; 4] = [
+            Box::new(MeshNetwork::new(cfg.clone())),
+            Box::new(SmartNetwork::new(cfg.clone())),
+            Box::new(IdealNetwork::new(cfg.clone())),
+            Box::new(PraNetwork::new(cfg.clone())),
+        ];
+        for mut net in nets {
+            let delivered = run_plan(net.as_mut(), &plans);
+            prop_assert_eq!(delivered, plans.len() as u64);
+            prop_assert_eq!(net.in_flight(), 0);
+        }
+    }
+
+    /// PRA with arbitrary announce leads (including wrong ones that the
+    /// protocol then wastes) never loses packets and never corrupts the
+    /// data network.
+    #[test]
+    fn pra_safety_under_arbitrary_announce_leads(
+        plans in proptest::collection::vec(plan_strategy(200), 1..60),
+        leads in proptest::collection::vec(0u32..12, 1..60),
+    ) {
+        let cfg = NocConfig::paper();
+        let mut net = PraNetwork::new(cfg);
+        let horizon = plans.iter().map(|p| p.at_cycle).max().unwrap_or(0) as u64 + 14;
+        let mut id = 0u64;
+        let mut delivered = 0u64;
+        let mut queue: Vec<(u64, Packet)> = Vec::new();
+        for cycle in 0..horizon {
+            for (i, p) in plans.iter().enumerate() {
+                if p.at_cycle as u64 != cycle {
+                    continue;
+                }
+                id += 1;
+                let (class, len) = if p.response {
+                    (MessageClass::Response, 5)
+                } else {
+                    (MessageClass::Request, 1)
+                };
+                let pkt = Packet::new(
+                    PacketId(id),
+                    NodeId::new(p.src),
+                    NodeId::new(p.dest),
+                    class,
+                    len,
+                );
+                let lead = leads[i % leads.len()];
+                net.announce(&pkt, lead);
+                // Deliberately inject at the announced time only half the
+                // time; otherwise inject immediately (a "mistimed" client,
+                // whose reservations must waste harmlessly).
+                if i % 2 == 0 {
+                    queue.push((cycle + lead as u64, pkt));
+                } else {
+                    net.inject(pkt);
+                }
+            }
+            let mut j = 0;
+            while j < queue.len() {
+                if queue[j].0 == cycle {
+                    let (_, pkt) = queue.swap_remove(j);
+                    let now = net.now();
+                    net.inject(pkt.at(now));
+                } else {
+                    j += 1;
+                }
+            }
+            net.step();
+            delivered += net.drain_delivered().len() as u64;
+        }
+        let deadline = net.now() + 50_000;
+        while net.in_flight() > 0 && net.now() < deadline {
+            net.step();
+            delivered += net.drain_delivered().len() as u64;
+        }
+        prop_assert_eq!(delivered, id);
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    /// Simulation is a pure function of its inputs: identical plans give
+    /// identical statistics on every organisation.
+    #[test]
+    fn determinism(plans in proptest::collection::vec(plan_strategy(150), 1..60)) {
+        let cfg = NocConfig::paper();
+        for which in 0..4 {
+            let make = |cfg: &NocConfig| -> Box<dyn Network> {
+                match which {
+                    0 => Box::new(MeshNetwork::new(cfg.clone())),
+                    1 => Box::new(SmartNetwork::new(cfg.clone())),
+                    2 => Box::new(IdealNetwork::new(cfg.clone())),
+                    _ => Box::new(PraNetwork::new(cfg.clone())),
+                }
+            };
+            let mut a = make(&cfg);
+            let mut b = make(&cfg);
+            run_plan(a.as_mut(), &plans);
+            run_plan(b.as_mut(), &plans);
+            prop_assert_eq!(a.stats().total_latency, b.stats().total_latency);
+            prop_assert_eq!(a.stats().link_traversals, b.stats().link_traversals);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Analytic zero-load models are mutually consistent for every pair.
+    #[test]
+    fn zeroload_model_ordering(src in 0u16..64, dest in 0u16..64, len in 1u8..=5) {
+        prop_assume!(src != dest);
+        let cfg = NocConfig::paper();
+        let (s, d) = (NodeId::new(src), NodeId::new(dest));
+        let ideal = noc::zeroload::ideal_latency(&cfg, s, d, len);
+        let pra = noc::zeroload::pra_best_latency(&cfg, s, d, len);
+        let smart = noc::zeroload::smart_latency(&cfg, s, d, len);
+        let mesh = noc::zeroload::mesh_latency(&cfg, s, d, len);
+        prop_assert!(ideal <= pra);
+        prop_assert!(pra <= smart);
+        prop_assert!(smart <= mesh + 3, "SMART may lose a setup cycle on 1-hop routes");
+    }
+
+    /// Routes are minimal and stay on the mesh for every pair.
+    #[test]
+    fn routes_are_minimal(src in 0u16..64, dest in 0u16..64) {
+        let cfg = NocConfig::paper();
+        let r = noc::routing::Route::compute(&cfg, NodeId::new(src), NodeId::new(dest));
+        let manhattan = cfg
+            .coord(NodeId::new(src))
+            .manhattan(cfg.coord(NodeId::new(dest)));
+        prop_assert_eq!(r.hops() as u32, manhattan);
+        prop_assert_eq!(r.node_at(&cfg, r.hops()), NodeId::new(dest));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Zero-load simulation equals the analytic model for random
+    /// configurations (radix, VC depth, packet length) on mesh and ideal.
+    #[test]
+    fn zeroload_equivalence_on_random_configs(
+        radix in 3u16..10,
+        extra_depth in 0u8..4,
+        len in 1u8..=5,
+        src_sel in 0u16..100,
+        dest_sel in 0u16..100,
+    ) {
+        let cfg = NocConfigBuilder::new()
+            .radix(radix)
+            .vc_depth(5 + extra_depth)
+            .build()
+            .expect("valid config");
+        let nodes = cfg.nodes() as u16;
+        let src = src_sel % nodes;
+        let dest = dest_sel % nodes;
+        prop_assume!(src != dest);
+        let class = if len > 1 { MessageClass::Response } else { MessageClass::Request };
+        let mk = Packet::new(PacketId(1), NodeId::new(src), NodeId::new(dest), class, len);
+
+        let mut mesh = MeshNetwork::new(cfg.clone());
+        mesh.inject(mk);
+        let d = mesh.run_to_drain(5_000);
+        prop_assert_eq!(
+            d[0].delivered - d[0].packet.created,
+            noc::zeroload::mesh_latency(&cfg, NodeId::new(src), NodeId::new(dest), len)
+        );
+
+        let mut ideal = IdealNetwork::new(cfg.clone());
+        ideal.inject(mk);
+        let d = ideal.run_to_drain(5_000);
+        prop_assert_eq!(
+            d[0].delivered - d[0].packet.created,
+            noc::zeroload::ideal_latency(&cfg, NodeId::new(src), NodeId::new(dest), len)
+        );
+
+        let mut smart = SmartNetwork::new(cfg.clone());
+        smart.inject(mk);
+        let d = smart.run_to_drain(5_000);
+        prop_assert_eq!(
+            d[0].delivered - d[0].packet.created,
+            noc::zeroload::smart_latency(&cfg, NodeId::new(src), NodeId::new(dest), len)
+        );
+    }
+
+    /// Per-class accounting is conserved: the sum of class deliveries and
+    /// latencies equals the totals, on every organisation.
+    #[test]
+    fn stats_class_partitions_are_consistent(
+        plans in proptest::collection::vec(plan_strategy(200), 1..80)
+    ) {
+        let cfg = NocConfig::paper();
+        let nets: [Box<dyn Network>; 2] = [
+            Box::new(MeshNetwork::new(cfg.clone())),
+            Box::new(PraNetwork::new(cfg.clone())),
+        ];
+        for mut net in nets {
+            run_plan(net.as_mut(), &plans);
+            let s = net.stats();
+            prop_assert_eq!(s.packets_delivered.iter().sum::<u64>(), s.delivered());
+            prop_assert_eq!(
+                s.total_latency_by_class.iter().sum::<u64>(),
+                s.total_latency
+            );
+            let hist_total: u64 = s.latency_histogram.iter().sum();
+            prop_assert_eq!(hist_total, s.delivered());
+        }
+    }
+}

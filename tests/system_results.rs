@@ -1,0 +1,122 @@
+//! Full-system integration tests: the paper's qualitative results hold on
+//! reduced measurement windows (fast enough for CI).
+
+use near_ideal_noc::prelude::*;
+
+fn perf(net: impl Network, workload: WorkloadKind, seed: u64) -> f64 {
+    let params = SystemParams::paper();
+    let mut sys = System::new(params, net, workload, seed);
+    sys.measure(3_000, 8_000)
+}
+
+fn cfg() -> NocConfig {
+    SystemParams::paper().noc
+}
+
+#[test]
+fn pra_beats_mesh_on_every_workload() {
+    for wl in WorkloadKind::ALL {
+        let mesh = perf(MeshNetwork::new(cfg()), wl, 1);
+        let pra = perf(PraNetwork::new(cfg()), wl, 1);
+        assert!(
+            pra > mesh * 1.01,
+            "{}: PRA {pra} must beat mesh {mesh}",
+            wl.name()
+        );
+    }
+}
+
+#[test]
+fn ideal_bounds_every_realistic_organisation() {
+    for wl in [WorkloadKind::MediaStreaming, WorkloadKind::DataServing] {
+        let ideal = perf(IdealNetwork::new(cfg()), wl, 1);
+        for (name, p) in [
+            ("mesh", perf(MeshNetwork::new(cfg()), wl, 1)),
+            ("smart", perf(SmartNetwork::new(cfg()), wl, 1)),
+            ("pra", perf(PraNetwork::new(cfg()), wl, 1)),
+        ] {
+            assert!(
+                ideal > p * 0.99,
+                "{}: ideal {ideal} must bound {name} {p}",
+                wl.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn smart_is_close_to_mesh_on_server_workloads() {
+    // Figure 2's observation: the net effect of SMART is negligible for
+    // server-class tiles (two hops per cycle, extra setup stage).
+    for wl in [WorkloadKind::MediaStreaming, WorkloadKind::WebSearch] {
+        let mesh = perf(MeshNetwork::new(cfg()), wl, 1);
+        let smart = perf(SmartNetwork::new(cfg()), wl, 1);
+        let delta = (smart / mesh - 1.0).abs();
+        assert!(
+            delta < 0.06,
+            "{}: |SMART-mesh| = {delta:.3} should be small",
+            wl.name()
+        );
+    }
+}
+
+#[test]
+fn media_streaming_is_the_most_network_sensitive_workload() {
+    // Section V.A: the highest gain is registered on Media Streaming.
+    let mut gains = Vec::new();
+    for wl in WorkloadKind::ALL {
+        let mesh = perf(MeshNetwork::new(cfg()), wl, 1);
+        let ideal = perf(IdealNetwork::new(cfg()), wl, 1);
+        gains.push((ideal / mesh, wl));
+    }
+    let max = gains
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaNs"))
+        .expect("six workloads");
+    assert_eq!(max.1, WorkloadKind::MediaStreaming, "gains: {gains:?}");
+}
+
+#[test]
+fn performance_is_deterministic_per_seed() {
+    let a = perf(PraNetwork::new(cfg()), WorkloadKind::WebFrontend, 9);
+    let b = perf(PraNetwork::new(cfg()), WorkloadKind::WebFrontend, 9);
+    assert_eq!(a, b);
+    let c = perf(PraNetwork::new(cfg()), WorkloadKind::WebFrontend, 10);
+    assert_ne!(a, c, "different seeds explore different streams");
+}
+
+#[test]
+fn pra_underutilisation_is_small() {
+    // Section V.B: blocked-behind-reservation time is a tiny share of
+    // packet latency (the paper reports ≈0.01%; the model stays low too).
+    let params = SystemParams::paper();
+    let net = PraNetwork::new(params.noc.clone());
+    let mut sys = System::new(params, net, WorkloadKind::WebSearch, 1);
+    sys.measure(3_000, 8_000);
+    let frac = sys.network().stats().reservation_blocking_fraction();
+    assert!(frac < 0.10, "blocking fraction {frac} out of band");
+}
+
+#[test]
+fn control_packets_flow_for_every_workload() {
+    let params = SystemParams::paper();
+    for wl in WorkloadKind::ALL {
+        let net = PraNetwork::new(params.noc.clone());
+        let mut sys = System::new(params.clone(), net, wl, 2);
+        sys.run(5_000);
+        let sys_net = sys.network();
+        let pra = sys_net.pra_stats();
+        assert!(pra.injected() > 100, "{}: control plane idle", wl.name());
+        // Drops and in-flight controls account for every injection.
+        assert!(pra.dropped() <= pra.injected());
+        // Figure 7's headline: most drops happen at lag 0 (full allocation).
+        let dist = pra.lag_distribution(4);
+        assert!(
+            dist[0] > 0.3,
+            "{}: lag-0 fraction {:.2} too low",
+            wl.name(),
+            dist[0]
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-crate validation: every organisation's simulated zero-load
+//! latency matches the analytic models, across a spread of
+//! source/destination pairs and packet lengths.
+
+use near_ideal_noc::prelude::*;
+use noc::flit::Packet;
+use noc::zeroload::{ideal_latency, mesh_latency, pra_best_latency, smart_latency};
+
+fn simulate(net: &mut dyn Network, src: u16, dest: u16, len: u8) -> Cycle {
+    let class = if len > 1 {
+        MessageClass::Response
+    } else {
+        MessageClass::Request
+    };
+    net.inject(Packet::new(
+        PacketId(1),
+        NodeId::new(src),
+        NodeId::new(dest),
+        class,
+        len,
+    ));
+    let mut delivered = Vec::new();
+    while net.in_flight() > 0 && net.now() < 2_000 {
+        net.step();
+        delivered.extend(net.drain_delivered());
+    }
+    assert_eq!(delivered.len(), 1, "packet must arrive");
+    delivered[0].delivered - delivered[0].packet.created
+}
+
+const PAIRS: [(u16, u16); 7] = [(0, 1), (0, 7), (0, 9), (3, 60), (63, 0), (12, 34), (5, 58)];
+
+#[test]
+fn mesh_matches_analytic_model() {
+    let cfg = NocConfig::paper();
+    for (s, d) in PAIRS {
+        for len in [1u8, 5] {
+            let mut net = MeshNetwork::new(cfg.clone());
+            assert_eq!(
+                simulate(&mut net, s, d, len),
+                mesh_latency(&cfg, NodeId::new(s), NodeId::new(d), len),
+                "mesh {s}->{d} len {len}"
+            );
+        }
+    }
+}
+
+#[test]
+fn smart_matches_analytic_model() {
+    let cfg = NocConfig::paper();
+    for (s, d) in PAIRS {
+        for len in [1u8, 5] {
+            let mut net = SmartNetwork::new(cfg.clone());
+            assert_eq!(
+                simulate(&mut net, s, d, len),
+                smart_latency(&cfg, NodeId::new(s), NodeId::new(d), len),
+                "smart {s}->{d} len {len}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ideal_matches_analytic_model() {
+    let cfg = NocConfig::paper();
+    for (s, d) in PAIRS {
+        for len in [1u8, 5] {
+            let mut net = IdealNetwork::new(cfg.clone());
+            assert_eq!(
+                simulate(&mut net, s, d, len),
+                ideal_latency(&cfg, NodeId::new(s), NodeId::new(d), len),
+                "ideal {s}->{d} len {len}"
+            );
+        }
+    }
+}
+
+#[test]
+fn announced_pra_meets_its_best_case_within_lag_budget() {
+    // Routes short enough for the lag-4 budget (≤ 7 hops) are fully
+    // pre-allocated at zero load, landing at or under the analytic best.
+    let cfg = NocConfig::paper();
+    for (s, d) in [(0u16, 2u16), (0, 5), (0, 7), (0, 18), (10, 12)] {
+        for len in [1u8, 5] {
+            let class = if len > 1 {
+                MessageClass::Response
+            } else {
+                MessageClass::Request
+            };
+            let mut net = PraNetwork::new(cfg.clone());
+            let p = Packet::new(PacketId(1), NodeId::new(s), NodeId::new(d), class, len);
+            net.announce(&p, 4);
+            for _ in 0..4 {
+                net.step();
+            }
+            let p = p.at(net.now());
+            net.inject(p);
+            let mut delivered = Vec::new();
+            while net.in_flight() > 0 && net.now() < 2_000 {
+                net.step();
+                delivered.extend(net.drain_delivered());
+            }
+            let lat = delivered[0].delivered - delivered[0].packet.created;
+            let best = pra_best_latency(&cfg, NodeId::new(s), NodeId::new(d), len);
+            assert!(
+                lat <= best,
+                "pra {s}->{d} len {len}: {lat} > best {best}"
+            );
+            assert!(
+                lat < mesh_latency(&cfg, NodeId::new(s), NodeId::new(d), len),
+                "pra must beat mesh on {s}->{d}"
+            );
+        }
+    }
+}
+
+#[test]
+fn organisation_ordering_at_zero_load() {
+    // On every pair: ideal <= smart-or-mesh, and the relative order of
+    // mesh and SMART flips with distance (SMART pays setup per traversal).
+    let cfg = NocConfig::paper();
+    for (s, d) in PAIRS {
+        let (s_id, d_id) = (NodeId::new(s), NodeId::new(d));
+        let ideal = ideal_latency(&cfg, s_id, d_id, 5);
+        let mesh = mesh_latency(&cfg, s_id, d_id, 5);
+        let smart = smart_latency(&cfg, s_id, d_id, 5);
+        assert!(ideal <= smart && ideal <= mesh, "{s}->{d}");
+    }
+}
