@@ -1,78 +1,90 @@
-//! Criterion micro-benchmarks: simulator throughput per organisation and
-//! zero-load packet latency (simulation speed, not modelled latency).
+//! Micro-benchmarks: simulator throughput per organisation and zero-load
+//! packet latency (simulation speed, not modelled latency).
+//!
+//! A plain `std::time::Instant` harness (`harness = false`) so the
+//! workspace needs no external benchmark framework. Run with
+//! `cargo bench`; each case reports mean wall time per iteration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::{build_network, Organization};
 use noc::config::NocConfig;
 use noc::network::Network;
 use noc::traffic::{Pattern, TrafficGen};
-use bench::{build_network, Organization};
+use std::time::Instant;
 
-fn simulator_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate_1k_cycles_uniform_0.05");
-    for org in Organization::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(org.name()), &org, |b, &org| {
-            b.iter(|| {
-                let cfg = NocConfig::paper();
-                let mut net = build_network(org, cfg.clone());
-                let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, 0.05, 7);
-                for _ in 0..1_000 {
-                    gen.tick(&mut net);
-                    net.step();
-                    net.drain_delivered();
-                }
-                net.stats().delivered()
-            })
-        });
+/// Times `f` over enough iterations to fill ~0.5 s and reports the mean.
+fn bench_case(group: &str, name: &str, mut f: impl FnMut() -> u64) {
+    // Warm up and estimate cost.
+    let t0 = Instant::now();
+    let mut sink = f();
+    let est = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.5 / est) as u64).clamp(3, 1_000);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(f());
     }
-    group.finish();
+    let per_iter = t1.elapsed().as_secs_f64() / iters as f64;
+    println!(
+        "{group}/{name:<10} {:>12.3} ms/iter  ({iters} iters, checksum {sink})",
+        per_iter * 1e3
+    );
 }
 
-fn zero_load_delivery(c: &mut Criterion) {
+fn simulator_throughput() {
+    for org in Organization::ALL {
+        bench_case("simulate_1k_cycles_uniform_0.05", org.name(), || {
+            let cfg = NocConfig::paper();
+            let mut net = build_network(org, cfg.clone());
+            let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, 0.05, 7);
+            for _ in 0..1_000 {
+                gen.tick(&mut net);
+                net.step();
+                net.drain_delivered();
+            }
+            net.stats().delivered()
+        });
+    }
+}
+
+fn zero_load_delivery() {
     use noc::flit::Packet;
     use noc::types::{MessageClass, NodeId, PacketId};
-    let mut group = c.benchmark_group("zero_load_corner_to_corner");
     for org in Organization::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(org.name()), &org, |b, &org| {
-            b.iter(|| {
-                let mut net = build_network(org, NocConfig::paper());
-                net.inject(Packet::new(
-                    PacketId(1),
-                    NodeId::new(0),
-                    NodeId::new(63),
-                    MessageClass::Request,
-                    1,
-                ));
-                let mut out = Vec::new();
-                let deadline = 1_000;
-                while net.in_flight() > 0 && net.now() < deadline {
-                    net.step();
-                    out.extend(net.drain_delivered());
-                }
-                out.len()
-            })
+        bench_case("zero_load_corner_to_corner", org.name(), || {
+            let mut net = build_network(org, NocConfig::paper());
+            net.inject(Packet::new(
+                PacketId(1),
+                NodeId::new(0),
+                NodeId::new(63),
+                MessageClass::Request,
+                1,
+            ));
+            let mut out = Vec::new();
+            let deadline = 1_000;
+            while net.in_flight() > 0 && net.now() < deadline {
+                net.step();
+                out.extend(net.drain_delivered());
+            }
+            out.len() as u64
         });
     }
-    group.finish();
 }
 
-fn full_system_cycle(c: &mut Criterion) {
+fn full_system_cycle() {
     use sysmodel::{System, SystemParams};
     use workloads::WorkloadKind;
-    let mut group = c.benchmark_group("system_500_cycles");
-    group.sample_size(10);
     for org in Organization::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(org.name()), &org, |b, &org| {
-            b.iter(|| {
-                let params = SystemParams::paper();
-                let net = build_network(org, params.noc.clone());
-                let mut sys = System::new(params, net, WorkloadKind::WebSearch, 1);
-                sys.run(500);
-                sys.committed_instructions()
-            })
+        bench_case("system_500_cycles", org.name(), || {
+            let params = SystemParams::paper();
+            let net = build_network(org, params.noc.clone());
+            let mut sys = System::new(params, net, WorkloadKind::WebSearch, 1);
+            sys.run(500);
+            sys.committed_instructions()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, simulator_throughput, zero_load_delivery, full_system_cycle);
-criterion_main!(benches);
+fn main() {
+    simulator_throughput();
+    zero_load_delivery();
+    full_system_cycle();
+}

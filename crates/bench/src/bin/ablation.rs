@@ -11,7 +11,12 @@ use pra::ControlConfig;
 use sysmodel::{System, SystemParams};
 use workloads::WorkloadKind;
 
-fn run(ctrl: ControlConfig, announce_requests: bool, announce_fills: bool, spec: &nistats::SampleSpec) -> f64 {
+fn run(
+    ctrl: ControlConfig,
+    announce_requests: bool,
+    announce_fills: bool,
+    spec: &nistats::SampleSpec,
+) -> f64 {
     let mut params = SystemParams::paper();
     params.announce_requests = announce_requests;
     params.announce_fills = announce_fills;
@@ -33,13 +38,21 @@ fn main() {
     let cases: [(&str, ControlConfig, bool, bool); 5] = [
         (
             "PRA: LLC window only (paper text, no LSD)",
-            ControlConfig { llc_window: true, lsd: false, max_lag: 4 },
+            ControlConfig {
+                llc_window: true,
+                lsd: false,
+                max_lag: 4,
+            },
             false,
             false,
         ),
         (
             "PRA: LSD only",
-            ControlConfig { llc_window: false, lsd: true, max_lag: 4 },
+            ControlConfig {
+                llc_window: false,
+                lsd: true,
+                max_lag: 4,
+            },
             false,
             false,
         ),

@@ -5,8 +5,18 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table1", "fig2", "fig6", "fig7", "sec5b", "fig8", "fig9", "sec5e", "ablation",
-        "lag_sweep", "frfc_compare", "tail_latency",
+        "table1",
+        "fig2",
+        "fig6",
+        "fig7",
+        "sec5b",
+        "fig8",
+        "fig9",
+        "sec5e",
+        "ablation",
+        "lag_sweep",
+        "frfc_compare",
+        "tail_latency",
     ];
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("exe directory");

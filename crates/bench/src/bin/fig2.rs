@@ -29,7 +29,5 @@ fn main() {
         geometric_mean(&smart),
         geometric_mean(&ideal)
     );
-    println!(
-        "\npaper: SMART ≈ mesh; ideal ≈ +28% average on these workloads"
-    );
+    println!("\npaper: SMART ≈ mesh; ideal ≈ +28% average on these workloads");
 }

@@ -1,7 +1,9 @@
 //! Figure 6: system performance of Mesh, SMART, Mesh+PRA and Ideal over
 //! the six CloudSuite workloads, normalized to the mesh.
 
-use bench::{format_normalized_table, measure_performance, spec_from_env, FigureResults, Organization};
+use bench::{
+    format_normalized_table, measure_performance, spec_from_env, FigureResults, Organization,
+};
 use workloads::WorkloadKind;
 
 fn main() {

@@ -14,8 +14,8 @@ fn main() {
     for wl in WorkloadKind::ALL {
         let (_, pra, _) = measure_pra_detail(wl, &spec);
         let d = pra.lag_distribution(4);
-        let lag4plus: f64 = d[4] + pra.lag_at_drop[5..].iter().sum::<u64>() as f64
-            / pra.dropped().max(1) as f64;
+        let lag4plus: f64 =
+            d[4] + pra.lag_at_drop[5..].iter().sum::<u64>() as f64 / pra.dropped().max(1) as f64;
         println!(
             "{:<16}{:>7.1}%{:>7.1}%{:>7.1}%{:>7.1}%{:>7.1}%",
             wl.name(),

@@ -16,7 +16,11 @@ use workloads::WorkloadKind;
 fn zero_load(org: Organization, dest: u16, len: u8) -> u64 {
     let cfg = NocConfig::paper();
     let mut net = bench::build_network(org, cfg);
-    let class = if len > 1 { MessageClass::Response } else { MessageClass::Request };
+    let class = if len > 1 {
+        MessageClass::Response
+    } else {
+        MessageClass::Request
+    };
     let p = Packet::new(PacketId(1), NodeId::new(0), NodeId::new(dest), class, len);
     net.announce(&p, 4);
     for _ in 0..4 {
@@ -47,16 +51,15 @@ fn main() {
     }
     println!("\nsystem performance (normalized to mesh):");
     println!("{:<16}{:>10}{:>12}", "Workload", "Mesh+PRA", "Mesh+FRFC");
-    for wl in [WorkloadKind::MediaStreaming, WorkloadKind::WebSearch, WorkloadKind::DataServing] {
+    for wl in [
+        WorkloadKind::MediaStreaming,
+        WorkloadKind::WebSearch,
+        WorkloadKind::DataServing,
+    ] {
         let mesh = measure_performance(Organization::Mesh, wl, &spec).mean;
         let pra = measure_performance(Organization::MeshPra, wl, &spec).mean;
         let frfc = measure_performance(Organization::Frfc, wl, &spec).mean;
-        println!(
-            "{:<16}{:>9.3} {:>11.3}",
-            wl.name(),
-            pra / mesh,
-            frfc / mesh
-        );
+        println!("{:<16}{:>9.3} {:>11.3}", wl.name(), pra / mesh, frfc / mesh);
     }
     println!("\nFRFC's constant-lead wave wins on long zero-load paths, and cuts");
     println!("request latency sharply — but its whole-route, per-packet slot");

@@ -15,11 +15,25 @@ fn main() {
     let fs = net.frfc_stats();
     let ns = net.stats();
     println!("perf {:.2}", perf);
-    println!("latency {:.1} | req {:.1} resp {:.1}", ns.avg_latency(),
+    println!(
+        "latency {:.1} | req {:.1} resp {:.1}",
+        ns.avg_latency(),
         ns.avg_latency_of(noc::types::MessageClass::Request),
-        ns.avg_latency_of(noc::types::MessageClass::Response));
-    println!("waves injected {} refused {} hops preallocated {}", fs.injected(), fs.refused_at_ni, fs.hops_preallocated);
-    println!("drops [compl, lag, alloc, conflict, ni]: {:?}", fs.drops_by_reason);
-    println!("reserved moves {} wasted {} blocked {}", ns.reserved_moves, ns.wasted_reservations, ns.blocked_by_reservation_cycles);
+        ns.avg_latency_of(noc::types::MessageClass::Response)
+    );
+    println!(
+        "waves injected {} refused {} hops preallocated {}",
+        fs.injected(),
+        fs.refused_at_ni,
+        fs.hops_preallocated
+    );
+    println!(
+        "drops [compl, lag, alloc, conflict, ni]: {:?}",
+        fs.drops_by_reason
+    );
+    println!(
+        "reserved moves {} wasted {} blocked {}",
+        ns.reserved_moves, ns.wasted_reservations, ns.blocked_by_reservation_cycles
+    );
     println!("delivered {}", ns.delivered());
 }

@@ -25,9 +25,9 @@ fn main() {
         }
         // Aggregate outbound flit-traversals per router.
         let mut loads = vec![0u64; cfg.nodes()];
-        for n in 0..cfg.nodes() {
+        for (n, load) in loads.iter_mut().enumerate() {
             for d in Direction::ALL {
-                loads[n] += net.link_use(NodeId::new(n as u16), d);
+                *load += net.link_use(NodeId::new(n as u16), d);
             }
         }
         let max = *loads.iter().max().unwrap_or(&1) as f64;

@@ -16,8 +16,14 @@ use techmodel::wire::WireModel;
 fn main() {
     let wire = WireModel::paper();
     println!("## Hops-per-cycle sweep (uniform LLC-like traffic @0.02)\n");
-    println!("wire reach at 2 GHz: {:.1} mm  (server tile ≈ 1.8 mm → hpc 2)", wire.reach_mm_per_cycle(2.0));
-    println!("wire reach at 1 GHz: {:.1} mm  (SoC tile ≈ 1.0 mm → hpc 8+)\n", wire.reach_mm_per_cycle(1.0));
+    println!(
+        "wire reach at 2 GHz: {:.1} mm  (server tile ≈ 1.8 mm → hpc 2)",
+        wire.reach_mm_per_cycle(2.0)
+    );
+    println!(
+        "wire reach at 1 GHz: {:.1} mm  (SoC tile ≈ 1.0 mm → hpc 8+)\n",
+        wire.reach_mm_per_cycle(1.0)
+    );
     println!(
         "{:>4} {:>8} {:>8} {:>9} {:>8}   zero-load corner-to-corner (mesh/smart/ideal)",
         "hpc", "Mesh", "SMART", "Mesh+PRA", "Ideal"

@@ -15,7 +15,10 @@ fn main() {
     let mesh = measure_performance(Organization::Mesh, wl, &spec).mean;
     let ideal = measure_performance(Organization::Ideal, wl, &spec).mean;
     println!("## Max-lag sweep (Media Streaming)\n");
-    println!("{:>8} {:>10} {:>10} {:>14}", "max_lag", "perf", "vs mesh", "hops covered");
+    println!(
+        "{:>8} {:>10} {:>10} {:>14}",
+        "max_lag", "perf", "vs mesh", "hops covered"
+    );
     for max_lag in [1u8, 2, 3, 4, 6, 8] {
         let p = measure_pra_with(
             ControlConfig {

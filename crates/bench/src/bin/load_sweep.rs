@@ -13,7 +13,11 @@ fn main() {
             .scale_misses(scale)
             .build();
         let mut perfs = Vec::new();
-        for org in [Organization::Mesh, Organization::MeshPra, Organization::Ideal] {
+        for org in [
+            Organization::Mesh,
+            Organization::MeshPra,
+            Organization::Ideal,
+        ] {
             let net = build_network(org, params.noc.clone());
             let mut sys = System::with_profile(params.clone(), net, profile, 1);
             perfs.push(sys.measure(5_000, 15_000));

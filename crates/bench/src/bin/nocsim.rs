@@ -109,8 +109,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--rate" => opts.rate = value.parse().map_err(|_| "bad --rate".to_string())?,
             "--response-frac" => {
-                opts.response_fraction =
-                    value.parse().map_err(|_| "bad --response-frac".to_string())?
+                opts.response_fraction = value
+                    .parse()
+                    .map_err(|_| "bad --response-frac".to_string())?
             }
             "--warmup" => opts.warmup = value.parse().map_err(|_| "bad --warmup".to_string())?,
             "--cycles" => opts.cycles = value.parse().map_err(|_| "bad --cycles".to_string())?,

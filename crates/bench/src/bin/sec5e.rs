@@ -11,8 +11,15 @@ fn main() {
     let params = SystemParams::paper();
     let chip = ChipModel::paper();
     println!("## Section V.E — power analysis (Web Search)\n");
-    println!("{:<10}{:>10}{:>12}{:>12}{:>12}{:>10}", "Org", "links W", "buffers W", "xbar W", "leakage W", "total W");
-    for org in [Organization::Mesh, Organization::Smart, Organization::MeshPra] {
+    println!(
+        "{:<10}{:>10}{:>12}{:>12}{:>12}{:>10}",
+        "Org", "links W", "buffers W", "xbar W", "leakage W", "total W"
+    );
+    for org in [
+        Organization::Mesh,
+        Organization::Smart,
+        Organization::MeshPra,
+    ] {
         let net = build_network(org, params.noc.clone());
         let mut sys = System::new(params.clone(), net, WorkloadKind::WebSearch, 1);
         sys.measure(spec.warmup_cycles, spec.measure_cycles);

@@ -13,14 +13,21 @@ use noc::traffic::{measure_latency, Pattern, TrafficGen};
 
 fn main() {
     println!("## VC-depth sweep (uniform @0.03, 50% responses)\n");
-    println!("{:>6} {:>8} {:>9} {:>9}", "depth", "Mesh", "Mesh+PRA", "Ideal");
+    println!(
+        "{:>6} {:>8} {:>9} {:>9}",
+        "depth", "Mesh", "Mesh+PRA", "Ideal"
+    );
     for depth in [5u8, 6, 8, 10] {
         let cfg = NocConfigBuilder::new()
             .vc_depth(depth)
             .build()
             .expect("valid config");
         let mut row = Vec::new();
-        for org in [Organization::Mesh, Organization::MeshPra, Organization::Ideal] {
+        for org in [
+            Organization::Mesh,
+            Organization::MeshPra,
+            Organization::Ideal,
+        ] {
             let mut net = build_network(org, cfg.clone());
             let mut gen = TrafficGen::new(cfg.clone(), Pattern::UniformRandom, 0.03, 11)
                 .response_fraction(0.5);

@@ -11,7 +11,9 @@ fn run(dest: u16, class: MessageClass, len: u8) -> (u64, u64) {
     let mut net = PraNetwork::new(cfg.clone());
     let p = Packet::new(PacketId(1), NodeId::new(0), NodeId::new(dest), class, len);
     net.announce(&p, 4);
-    for _ in 0..4 { net.step(); }
+    for _ in 0..4 {
+        net.step();
+    }
     let p = p.at(net.now());
     net.inject(p);
     let d = net.run_to_drain(500);

@@ -8,21 +8,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use nistats::{geometric_mean, Json, SampleSpec, Summary};
 use noc::config::NocConfig;
 use noc::ideal::IdealNetwork;
 use noc::mesh::MeshNetwork;
 use noc::network::Network;
 use noc::smart::SmartNetwork;
-use nistats::{geometric_mean, SampleSpec, Summary};
 use pra::network::PraNetwork;
 use pra::{ControlConfig, PraStats};
-use serde::{Deserialize, Serialize};
 use sysmodel::{System, SystemParams};
 use workloads::WorkloadKind;
 
 /// The network organisations of the evaluation (the paper's four, plus
 /// flit-reservation flow control as the closest-prior-work baseline).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Organization {
     /// Baseline mesh (1-stage speculative pipeline).
     Mesh,
@@ -88,11 +87,7 @@ pub fn measure_performance(
 }
 
 /// Measures Mesh+PRA with explicit control configuration (ablations).
-pub fn measure_pra_with(
-    ctrl: ControlConfig,
-    workload: WorkloadKind,
-    spec: &SampleSpec,
-) -> Summary {
+pub fn measure_pra_with(ctrl: ControlConfig, workload: WorkloadKind, spec: &SampleSpec) -> Summary {
     let params = SystemParams::paper();
     spec.run(|seed| {
         let net = PraNetwork::with_control(params.noc.clone(), ctrl.clone());
@@ -190,6 +185,9 @@ impl Network for BoxedNet {
     fn announce(&mut self, packet: &noc::flit::Packet, lead: u32) {
         self.0.announce(packet, lead)
     }
+    fn audit(&self) -> Option<noc::watchdog::AuditReport> {
+        self.0.audit()
+    }
 }
 
 /// Formats a normalized-performance table (rows = workloads + GMean,
@@ -227,7 +225,7 @@ pub fn format_normalized_table(
 
 /// A machine-readable record of one figure's results, written next to the
 /// human-readable table when `NOC_RESULTS_JSON` names a file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FigureResults {
     /// Figure identifier (e.g. "fig6").
     pub figure: String,
@@ -249,16 +247,32 @@ impl FigureResults {
             return;
         };
         let path = format!("{base}.{}.json", self.figure);
-        match serde_json::to_string_pretty(self) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("warning: cannot write {path}: {e}");
-                } else {
-                    eprintln!("results written to {path}");
-                }
-            }
-            Err(e) => eprintln!("warning: cannot serialize {}: {e}", self.figure),
+        let json = self.to_json().to_string_pretty(2);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: cannot write {path}: {e}");
+        } else {
+            eprintln!("results written to {path}");
         }
+    }
+
+    /// The record as a JSON tree.
+    pub fn to_json(&self) -> Json {
+        let strings =
+            |xs: &[String]| Json::Array(xs.iter().map(|s| Json::from(s.as_str())).collect());
+        Json::object(vec![
+            ("figure".into(), Json::from(self.figure.as_str())),
+            ("rows".into(), strings(&self.rows)),
+            ("columns".into(), strings(&self.columns)),
+            (
+                "values".into(),
+                Json::Array(
+                    self.values
+                        .iter()
+                        .map(|row| Json::Array(row.iter().map(|&v| Json::Float(v)).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 

@@ -172,6 +172,7 @@ impl ControlNetwork {
     ///
     /// Returns `false` (recording the refusal) when the source NI has
     /// backlog that would make the injection time unpredictable.
+    #[allow(clippy::too_many_arguments)]
     pub fn launch_llc(
         &mut self,
         mesh: &MeshNetwork,
@@ -191,7 +192,11 @@ impl ControlNetwork {
             self.stats.refused_at_ni += 1;
             return false;
         }
-        let route = Route::compute(&self.cfg, src, dest);
+        // Fault-aware: under degraded routing this follows the BFS detour
+        // tables; `None` means the destination is unreachable (or dead).
+        let Some(route) = mesh.compute_route(src, dest) else {
+            return false;
+        };
         if route.hops() == 0 {
             return false;
         }
@@ -214,8 +219,10 @@ impl ControlNetwork {
     /// Launches a control packet for a packet stalled at `node` behind a
     /// deterministically draining multi-flit transmission; the blocked
     /// output port frees at `due0`.
+    #[allow(clippy::too_many_arguments)]
     pub fn launch_lsd(
         &mut self,
+        mesh: &MeshNetwork,
         node: NodeId,
         dest: NodeId,
         packet: PacketId,
@@ -229,7 +236,9 @@ impl ControlNetwork {
         if !self.ctrl.lsd {
             return;
         }
-        let route = Route::compute(&self.cfg, node, dest);
+        let Some(route) = mesh.compute_route(node, dest) else {
+            return;
+        };
         if route.hops() == 0 {
             return;
         }
@@ -299,30 +308,67 @@ impl ControlNetwork {
         });
 
         let mut claims: Vec<ClaimKey> = Vec::new();
-        let mut dropped: Vec<usize> = Vec::new();
+        let mut dropped_ids: Vec<u64> = Vec::new();
         for &i in &due {
             let outcome = {
                 let cp = &mut self.packets[i];
-                match claim_keys(&self.cfg, cp) {
-                    Some(keys) if keys.iter().all(|k| !claims.contains(k)) => {
-                        claims.extend(keys);
-                        step_segment(&self.cfg, mesh, cp, t, &mut self.stats)
+                if segment_faulted(&self.cfg, mesh, cp) {
+                    mesh.note_control_drop();
+                    Some(DropReason::Fault)
+                } else {
+                    match claim_keys(&self.cfg, cp) {
+                        Some(keys) if keys.iter().all(|k| !claims.contains(k)) => {
+                            claims.extend(keys);
+                            step_segment(&self.cfg, mesh, cp, t, &mut self.stats)
+                        }
+                        Some(_) => Some(DropReason::Conflict),
+                        None => Some(DropReason::AllocationFailed),
                     }
-                    Some(_) => Some(DropReason::Conflict),
-                    None => Some(DropReason::AllocationFailed),
                 }
             };
             if let Some(reason) = outcome {
-                let lag = self.packets[i].lag;
-                self.stats.record_drop(reason, lag);
-                dropped.push(i);
+                let cp = &self.packets[i];
+                self.stats.record_drop(reason, cp.lag);
+                dropped_ids.push(cp.id);
             }
         }
-        dropped.sort_unstable();
-        for i in dropped.into_iter().rev() {
-            self.packets.swap_remove(i);
+        // Remove every drop in one order-preserving pass (ids are unique,
+        // so membership is exact even with several drops per cycle).
+        if !dropped_ids.is_empty() {
+            self.packets.retain(|c| !dropped_ids.contains(&c.id));
         }
     }
+}
+
+/// Whether a fault makes `cp`'s current segment unusable: a dead or
+/// control-corrupted router on the segment, a dead link into it, or a dead
+/// data link the segment would reserve. Dropping is the safe response —
+/// the data packet keeps whatever prefix was already reserved and
+/// continues reactively on the (rerouted) mesh. Always `false` when fault
+/// injection is off.
+fn segment_faulted(cfg: &NocConfig, mesh: &MeshNetwork, cp: &ControlPacket) -> bool {
+    if !mesh.faults_enabled() {
+        return false;
+    }
+    let (a, b) = segment_positions(cp, cfg);
+    let check = |k: usize| -> bool {
+        let node = cp.route.node_at(cfg, k);
+        if !mesh.node_alive(node) || mesh.control_fault_at(node) {
+            return true;
+        }
+        if k > 0 {
+            let prev = cp.route.node_at(cfg, k - 1);
+            let dir_in = cp.route.dir_at(k - 1).expect("position on route");
+            if !mesh.link_alive(prev, dir_in) {
+                return true;
+            }
+        }
+        match cp.route.dir_at(k) {
+            Some(dir_out) => !mesh.link_alive(node, dir_out),
+            None => false,
+        }
+    };
+    check(a) || b.is_some_and(check)
 }
 
 /// Dense index of an [`InstallError`] in `PraStats::alloc_fail_kinds`.
@@ -376,18 +422,17 @@ fn segment_positions(cp: &ControlPacket, _cfg: &NocConfig) -> (usize, Option<usi
 }
 
 /// Builds the hop plan for route position `k` with the given landing.
-fn plan_for(
-    cfg: &NocConfig,
-    cp: &ControlPacket,
-    k: usize,
-    landing: Landing,
-) -> HopPlan {
+fn plan_for(cfg: &NocConfig, cp: &ControlPacket, k: usize, landing: Landing) -> HopPlan {
     let node = cp.route.node_at(cfg, k);
     let dir = cp.route.dir_at(k).expect("position on route");
     let source = if k == 0 {
         cp.first_source
     } else {
-        let from = cp.route.dir_at(k - 1).expect("position on route").opposite();
+        let from = cp
+            .route
+            .dir_at(k - 1)
+            .expect("position on route")
+            .opposite();
         if cp.chunk_of[k] != cp.chunk_of[k - 1] {
             FlitSource::Latch { from }
         } else {
@@ -440,13 +485,13 @@ fn step_segment(
     let prev_conversion: Option<Landing> = if a == 0 {
         None
     } else {
-        let prev = cp.prev_hop.as_ref().expect("non-source position has a previous hop");
-        let intact = mesh.reserved_slots_of(
-            prev.node,
-            prev.out_port,
-            cp.packet,
-            prev.window.clone(),
-        ) == cp.len as usize;
+        let prev = cp
+            .prev_hop
+            .as_ref()
+            .expect("non-source position has a previous hop");
+        let intact =
+            mesh.reserved_slots_of(prev.node, prev.out_port, cp.packet, prev.window.clone())
+                == cp.len as usize;
         if !intact {
             stats.alloc_fail_kinds[4] += 1;
             return Some(DropReason::AllocationFailed);
@@ -542,11 +587,7 @@ fn step_segment(
         // reactive switch allocation (best effort — on failure the packet
         // simply ejects reactively from the destination's buffer).
         let dest = cp.route.dest();
-        let in_dir = cp
-            .route
-            .dir_at(h - 1)
-            .expect("non-empty route")
-            .opposite();
+        let in_dir = cp.route.dir_at(h - 1).expect("non-empty route").opposite();
         let eject = HopPlan {
             node: dest,
             out_port: Port::Local,
@@ -597,7 +638,10 @@ mod tests {
     #[test]
     fn chunking_breaks_at_turns() {
         let r = route(0, 17); // (0,0) -> (1,2): one east, two south
-        assert_eq!(r.dirs(), &[Direction::East, Direction::South, Direction::South]);
+        assert_eq!(
+            r.dirs(),
+            &[Direction::East, Direction::South, Direction::South]
+        );
         assert_eq!(chunk_positions(&r, 2), vec![0, 1, 1]);
     }
 
@@ -748,6 +792,40 @@ mod tests {
             1
         );
         assert_eq!(ctrl.in_flight(), 1);
+    }
+
+    #[test]
+    fn interleaved_drops_in_one_cycle_keep_the_right_packets() {
+        // Regression test for the drop-removal pass in `process`: four
+        // launches due the same cycle, where drops (NI-latch conflicts)
+        // interleave with survivors in the in-flight list — packets 2 and
+        // 4 conflict with 1 and 3 respectively. The removal must keep
+        // exactly the survivors, whatever their positions.
+        let cfg = NocConfig::paper();
+        let mut mesh = MeshNetwork::new(cfg.clone());
+        let mut ctrl = ControlNetwork::new(cfg.clone(), ControlConfig::default());
+        for (src, id) in [(0u16, 1u64), (0, 2), (1, 3), (1, 4)] {
+            assert!(ctrl.launch_llc(
+                &mesh,
+                NodeId::new(src),
+                NodeId::new(src + 40),
+                PacketId(id),
+                MessageClass::Response,
+                5,
+                1,
+                5,
+            ));
+        }
+        ctrl.process(&mut mesh);
+        assert_eq!(
+            ctrl.stats().drops_by_reason[DropReason::Conflict as usize],
+            2
+        );
+        assert_eq!(ctrl.in_flight(), 2);
+        assert!(ctrl.has_packet_for(PacketId(1)));
+        assert!(ctrl.has_packet_for(PacketId(3)));
+        assert!(!ctrl.has_packet_for(PacketId(2)));
+        assert!(!ctrl.has_packet_for(PacketId(4)));
     }
 
     #[test]

@@ -319,7 +319,13 @@ mod tests {
     use noc::zeroload::{mesh_latency, pra_best_latency};
 
     fn pkt(id: u64, src: u16, dest: u16, class: MessageClass, len: u8) -> Packet {
-        Packet::new(PacketId(id), NodeId::new(src), NodeId::new(dest), class, len)
+        Packet::new(
+            PacketId(id),
+            NodeId::new(src),
+            NodeId::new(dest),
+            class,
+            len,
+        )
     }
 
     fn announced(net: &mut FrfcNetwork, p: Packet, lead: u32) -> Cycle {

@@ -41,6 +41,7 @@ pub fn scan_and_launch(mesh: &mut MeshNetwork, ctrl: &mut ControlNetwork) {
             mesh.mark_free_after(node, out_port, v, release);
         }
         ctrl.launch_lsd(
+            mesh,
             node,
             flit.dest,
             flit.packet,

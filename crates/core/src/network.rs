@@ -107,7 +107,14 @@ impl PraNetwork {
             if self.pending[i].launch_at == t {
                 let p = self.pending.swap_remove(i);
                 self.ctrl.launch_llc(
-                    &self.mesh, p.src, p.dest, p.packet, p.class, p.len, p.launch_at, p.due0,
+                    &self.mesh,
+                    p.src,
+                    p.dest,
+                    p.packet,
+                    p.class,
+                    p.len,
+                    p.launch_at,
+                    p.due0,
                 );
             } else {
                 i += 1;
@@ -148,6 +155,10 @@ impl Network for PraNetwork {
         self.mesh.stats()
     }
 
+    fn audit(&self) -> Option<noc::watchdog::AuditReport> {
+        self.mesh.audit()
+    }
+
     /// The LLC window: `packet` will be injected after `lead` more cycles
     /// (the remaining data-lookup time). A lead longer than the maximum
     /// lag delays the control launch so the lag stays within range; a
@@ -181,7 +192,13 @@ mod tests {
     use noc::zeroload::{mesh_latency, pra_best_latency};
 
     fn pkt(id: u64, src: u16, dest: u16, class: MessageClass, len: u8) -> Packet {
-        Packet::new(PacketId(id), NodeId::new(src), NodeId::new(dest), class, len)
+        Packet::new(
+            PacketId(id),
+            NodeId::new(src),
+            NodeId::new(dest),
+            class,
+            len,
+        )
     }
 
     /// Announce, wait `lead` cycles, inject — the LLC protocol.
@@ -203,8 +220,8 @@ mod tests {
         // 4 straight hops, lag 4: full pre-allocation.
         let mut net = PraNetwork::new(cfg.clone());
         let lat = announced_run(&mut net, pkt(1, 0, 4, MessageClass::Response, 5), 4);
-        let best = pra_best_latency(&cfg, NodeId::new(0), NodeId::new(4), 5)
-            - (net.now() - net.now()); // latency measured from injection
+        let best =
+            pra_best_latency(&cfg, NodeId::new(0), NodeId::new(4), 5) - (net.now() - net.now()); // latency measured from injection
         assert_eq!(net.pra_stats().injected_llc, 1);
         assert_eq!(net.mesh().stats().wasted_reservations, 0);
         assert!(
@@ -212,7 +229,10 @@ mod tests {
             "pre-allocated latency {lat} must be at or under the analytic best {best}"
         );
         let mesh_lat = mesh_latency(&cfg, NodeId::new(0), NodeId::new(4), 5);
-        assert!(lat < mesh_lat, "PRA {lat} must beat the plain mesh {mesh_lat}");
+        assert!(
+            lat < mesh_lat,
+            "PRA {lat} must beat the plain mesh {mesh_lat}"
+        );
     }
 
     #[test]
@@ -221,7 +241,10 @@ mod tests {
         let mut net = PraNetwork::new(cfg.clone());
         let lat = announced_run(&mut net, pkt(1, 0, 63, MessageClass::Response, 5), 4);
         let mesh_lat = mesh_latency(&cfg, NodeId::new(0), NodeId::new(63), 5);
-        assert!(lat < mesh_lat, "partial PRA {lat} still beats mesh {mesh_lat}");
+        assert!(
+            lat < mesh_lat,
+            "partial PRA {lat} still beats mesh {mesh_lat}"
+        );
         assert_eq!(net.mesh().stats().wasted_reservations, 0);
         assert!(net.pra_stats().hops_preallocated >= 4);
     }
@@ -246,7 +269,10 @@ mod tests {
         let lat = announced_run(&mut net, pkt(1, 0, 18, MessageClass::Response, 5), 4);
         assert_eq!(net.mesh().stats().wasted_reservations, 0);
         let mesh_lat = mesh_latency(&cfg, NodeId::new(0), NodeId::new(18), 5);
-        assert!(lat < mesh_lat, "PRA {lat} must beat mesh {mesh_lat} across a turn");
+        assert!(
+            lat < mesh_lat,
+            "PRA {lat} must beat mesh {mesh_lat} across a turn"
+        );
     }
 
     #[test]
@@ -273,16 +299,16 @@ mod tests {
 
     #[test]
     fn random_server_traffic_with_announcements_all_delivered() {
-        use rand::{Rng, SeedableRng};
+        use nistats::rng::Rng;
         let cfg = NocConfig::paper();
         let mut net = PraNetwork::new(cfg);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(23);
+        let mut rng = Rng::new(23);
         let mut queue: Vec<(u64, Packet)> = Vec::new(); // (inject_at, packet)
         let mut sent = 0u64;
         for cycle in 1..4_000u64 {
             if cycle < 2_500 && rng.gen_bool(0.25) {
-                let src = rng.gen_range(0..64u16);
-                let dest = (src + rng.gen_range(1..64)) % 64;
+                let src = rng.gen_range_u16(0, 64);
+                let dest = (src + rng.gen_range_u16(1, 64)) % 64;
                 sent += 1;
                 if rng.gen_bool(0.5) {
                     // LLC-style announced response.

@@ -1,10 +1,8 @@
 //! PRA control-plane statistics — the raw material for Figure 7 and the
 //! Section V.B analysis of the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// Where a control packet originated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ControlOrigin {
     /// Injected by the LLC network interface at tag-hit time.
     Llc,
@@ -14,7 +12,7 @@ pub enum ControlOrigin {
 
 /// Why a control packet was dropped (every control packet is eventually
 /// dropped — that is how the protocol ends).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum DropReason {
     /// The whole remaining path (or the destination) was allocated —
     /// the ideal outcome; recorded as lag 0.
@@ -29,10 +27,14 @@ pub enum DropReason {
     Conflict,
     /// The NI latch was busy (or the source had backlog) at injection.
     NiBusy,
+    /// A fault hit the control network (corrupted/forced-drop segment, or
+    /// a dead router/link on the remaining path). The data packet falls
+    /// back to baseline mesh routing — correctness is unaffected.
+    Fault,
 }
 
 /// Accumulated control-plane statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PraStats {
     /// Control packets injected by the LLC path.
     pub injected_llc: u64,
@@ -44,7 +46,7 @@ pub struct PraStats {
     /// the paper's maximum lag is 4.
     pub lag_at_drop: [u64; 8],
     /// Drop counts by reason, indexed by [`DropReason`] order.
-    pub drops_by_reason: [u64; 5],
+    pub drops_by_reason: [u64; 6],
     /// Total router output-port hops successfully pre-allocated.
     pub hops_preallocated: u64,
     /// Control-network segment processing steps executed.
@@ -71,7 +73,11 @@ impl PraStats {
 
     /// Records a drop with the given remaining `lag`.
     pub fn record_drop(&mut self, reason: DropReason, lag: u8) {
-        let lag = if reason == DropReason::Completed { 0 } else { lag };
+        let lag = if reason == DropReason::Completed {
+            0
+        } else {
+            lag
+        };
         self.lag_at_drop[(lag as usize).min(self.lag_at_drop.len() - 1)] += 1;
         self.drops_by_reason[reason as usize] += 1;
     }

@@ -121,8 +121,7 @@ impl MatrixArbiter {
     pub fn grant(&mut self, requests: &[bool]) -> Option<usize> {
         assert_eq!(requests.len(), self.n, "request vector size mismatch");
         let winner = (0..self.n).find(|&i| {
-            requests[i]
-                && (0..self.n).all(|j| j == i || !requests[j] || self.prec[i * self.n + j])
+            requests[i] && (0..self.n).all(|j| j == i || !requests[j] || self.prec[i * self.n + j])
         })?;
         for j in 0..self.n {
             if j != winner {

@@ -29,7 +29,10 @@ impl std::fmt::Display for BufferError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BufferError::Overflow => f.write_str("virtual channel buffer overflow"),
-            BufferError::Interleaved { streaming, arriving } => write!(
+            BufferError::Interleaved {
+                streaming,
+                arriving,
+            } => write!(
                 f,
                 "flit of packet {arriving} would interleave into the stream of packet {streaming}"
             ),
@@ -146,6 +149,15 @@ impl VcBuffer {
     pub fn count_of(&self, packet: PacketId) -> usize {
         self.fifo.iter().filter(|f| f.packet == packet).count()
     }
+
+    /// Removes every flit of `packet` (used by fault purges) and returns
+    /// how many were removed. Removing a whole packet keeps the remaining
+    /// runs contiguous, so buffer invariants survive.
+    pub fn remove_packet(&mut self, packet: PacketId) -> usize {
+        let before = self.fifo.len();
+        self.fifo.retain(|f| f.packet != packet);
+        before - self.fifo.len()
+    }
 }
 
 /// One router input port: per-class VCs plus the PRA latch.
@@ -237,7 +249,8 @@ impl InputUnit {
 
     /// Releases claims for `packet` at cycles at or after `from`.
     pub fn latch_release(&mut self, packet: PacketId, from: Cycle) {
-        self.latch_claims.retain(|&(c, p)| !(p == packet && c >= from));
+        self.latch_claims
+            .retain(|&(c, p)| !(p == packet && c >= from));
     }
 
     /// Drops claims older than `now` (already in the past).
@@ -339,7 +352,10 @@ mod tests {
         iu.latch_claim(10..13, PacketId(1));
         assert!(!iu.latch_available(12..14, PacketId(2)));
         assert!(iu.latch_available(13..15, PacketId(2)));
-        assert!(iu.latch_available(10..13, PacketId(1)), "same packet never conflicts");
+        assert!(
+            iu.latch_available(10..13, PacketId(1)),
+            "same packet never conflicts"
+        );
         iu.latch_release(PacketId(1), 11);
         assert!(iu.latch_available(11..14, PacketId(2)));
         assert!(!iu.latch_available(10..11, PacketId(2)));

@@ -5,8 +5,7 @@
 //! [`NocConfig::paper`] (the 8×8, 3-VC, 5-flit-deep configuration used in
 //! the evaluation) or via [`NocConfigBuilder`] for custom studies.
 
-use serde::{Deserialize, Serialize};
-
+use crate::faults::FaultPlan;
 use crate::types::{Coord, NodeId};
 
 /// Errors produced when validating a [`NocConfig`].
@@ -33,8 +32,12 @@ impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConfigError::RadixTooSmall(r) => write!(f, "mesh radix {r} is below the minimum of 2"),
-            ConfigError::RadixTooLarge(r) => write!(f, "mesh radix {r} exceeds the supported maximum of 255"),
-            ConfigError::ZeroVcDepth => f.write_str("virtual channel depth must be at least 1 flit"),
+            ConfigError::RadixTooLarge(r) => {
+                write!(f, "mesh radix {r} exceeds the supported maximum of 255")
+            }
+            ConfigError::ZeroVcDepth => {
+                f.write_str("virtual channel depth must be at least 1 flit")
+            }
             ConfigError::ZeroHopsPerCycle => f.write_str("hops per cycle must be at least 1"),
             ConfigError::BadMaxPacketLen { len, vc_depth } => write!(
                 f,
@@ -58,7 +61,7 @@ impl std::error::Error for ConfigError {}
 /// assert_eq!(cfg.nodes(), 64);
 /// assert_eq!(cfg.vcs_per_port, 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NocConfig {
     /// Nodes per mesh row/column (the evaluation uses an 8×8 mesh).
     pub radix: u16,
@@ -77,6 +80,11 @@ pub struct NocConfig {
     /// Length of the longest packet in flits (cache-line response: header +
     /// four 128-bit data flits).
     pub max_packet_len: u8,
+    /// Optional deterministic fault-injection schedule (see
+    /// [`crate::faults`]). `None` disables fault injection entirely; the
+    /// datapath then behaves bit-for-bit as if the subsystem did not
+    /// exist.
+    pub faults: Option<FaultPlan>,
 }
 
 impl NocConfig {
@@ -90,6 +98,7 @@ impl NocConfig {
             link_width_bits: 128,
             max_hops_per_cycle: 2,
             max_packet_len: 5,
+            faults: None,
         }
     }
 
@@ -223,6 +232,12 @@ impl NocConfigBuilder {
         self
     }
 
+    /// Installs a fault-injection plan (see [`crate::faults`]).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -299,7 +314,10 @@ mod tests {
             ConfigError::RadixTooLarge(999),
             ConfigError::ZeroVcDepth,
             ConfigError::ZeroHopsPerCycle,
-            ConfigError::BadMaxPacketLen { len: 9, vc_depth: 5 },
+            ConfigError::BadMaxPacketLen {
+                len: 9,
+                vc_depth: 5,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -5,12 +5,10 @@
 //! Flits carry a copy of the routing-relevant packet fields so that the
 //! simulator never chases pointers on the critical path.
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::{Cycle, MessageClass, NodeId, PacketId};
 
 /// Position of a flit inside its packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlitKind {
     /// First flit of a multi-flit packet: carries routing information.
     Head,
@@ -52,7 +50,7 @@ impl FlitKind {
 /// assert_eq!(p.len_flits, 5);
 /// assert!(p.is_multi_flit());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Unique packet identifier.
     pub id: PacketId,
@@ -157,7 +155,7 @@ impl Packet {
 }
 
 /// A single flit in flight or in a buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flit {
     /// Packet this flit belongs to.
     pub packet: PacketId,

@@ -169,7 +169,9 @@ impl IdealNetwork {
             if flit.dest == here {
                 // Loopback (e.g. a core accessing its own LLC slice):
                 // eject straight into the local NI.
-                let flit = self.buffers[node][port][class].pop().expect("front checked");
+                let flit = self.buffers[node][port][class]
+                    .pop()
+                    .expect("front checked");
                 self.stats.local_grants += 1;
                 self.arrivals.push((node, port, class, flit));
                 continue;
@@ -217,8 +219,7 @@ impl IdealNetwork {
                 let (staged_n, follow_ok) = match staged.get(&key) {
                     Some(&(n, last)) => (
                         n,
-                        last.is_tail()
-                            || (last.packet == flit.packet && flit.seq == last.seq + 1),
+                        last.is_tail() || (last.packet == flit.packet && flit.seq == last.seq + 1),
                     ),
                     None => (0, can_follow(buf, &flit)),
                 };
@@ -237,7 +238,9 @@ impl IdealNetwork {
                 link_busy[busy_idx(n, d)] = true;
                 self.stats.link_traversals += 1;
             }
-            let flit = self.buffers[node][port][class].pop().expect("front checked above");
+            let flit = self.buffers[node][port][class]
+                .pop()
+                .expect("front checked above");
             self.stats.local_grants += 1;
             if landing != flit.dest {
                 staged
@@ -248,7 +251,8 @@ impl IdealNetwork {
                     })
                     .or_insert((1, flit));
             }
-            self.arrivals.push((landing.index(), land_port, class, flit));
+            self.arrivals
+                .push((landing.index(), land_port, class, flit));
         }
     }
 }
@@ -320,7 +324,13 @@ mod tests {
     }
 
     fn pkt(id: u64, src: u16, dest: u16, class: MessageClass, len: u8) -> Packet {
-        Packet::new(PacketId(id), NodeId::new(src), NodeId::new(dest), class, len)
+        Packet::new(
+            PacketId(id),
+            NodeId::new(src),
+            NodeId::new(dest),
+            class,
+            len,
+        )
     }
 
     #[test]
@@ -361,23 +371,27 @@ mod tests {
 
     #[test]
     fn all_random_packets_delivered() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        use nistats::rng::Rng;
+        let mut rng = Rng::new(11);
         let mut n = net();
         let mut sent = 0u64;
         for cycle in 0..2_000u64 {
             if cycle < 1_000 && rng.gen_bool(0.4) {
-                let src = rng.gen_range(0..64);
-                let mut dest = rng.gen_range(0..64);
+                let src = rng.gen_range_u16(0, 64);
+                let mut dest = rng.gen_range_u16(0, 64);
                 if dest == src {
                     dest = (dest + 1) % 64;
                 }
-                let class = match rng.gen_range(0..3) {
+                let class = match rng.gen_range_u8(0, 3) {
                     0 => MessageClass::Request,
                     1 => MessageClass::Coherence,
                     _ => MessageClass::Response,
                 };
-                let len = if class == MessageClass::Response { 5 } else { 1 };
+                let len = if class == MessageClass::Response {
+                    5
+                } else {
+                    1
+                };
                 sent += 1;
                 n.inject(pkt(sent, src, dest, class, len));
             }
@@ -398,16 +412,19 @@ mod tests {
         let d = n.run_to_drain(10_000);
         assert_eq!(d.len(), 16);
         let last = d.iter().map(|x| x.delivered).max().unwrap();
-        assert!(last >= 8, "16 single-flit packets over shared links take time");
+        assert!(
+            last >= 8,
+            "16 single-flit packets over shared links take time"
+        );
     }
 
     #[test]
     fn ideal_beats_mesh_on_average_latency() {
         use crate::mesh::MeshNetwork;
-        use rand::{Rng, SeedableRng};
+        use nistats::rng::Rng;
         let mut lat = Vec::new();
         for ideal in [false, true] {
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+            let mut rng = Rng::new(3);
             let mut n: Box<dyn Network> = if ideal {
                 Box::new(IdealNetwork::new(NocConfig::paper()))
             } else {
@@ -416,15 +433,19 @@ mod tests {
             let mut sent = 0;
             for cycle in 0..3_000u64 {
                 if cycle < 2_000 && rng.gen_bool(0.2) {
-                    let src = rng.gen_range(0..64u16);
-                    let dest = (src + rng.gen_range(1..64)) % 64;
+                    let src = rng.gen_range_u16(0, 64);
+                    let dest = (src + rng.gen_range_u16(1, 64)) % 64;
                     sent += 1;
                     let class = if sent % 2 == 0 {
                         MessageClass::Request
                     } else {
                         MessageClass::Response
                     };
-                    let len = if class == MessageClass::Response { 5 } else { 1 };
+                    let len = if class == MessageClass::Response {
+                        5
+                    } else {
+                        1
+                    };
                     n.inject(pkt(sent, src, dest, class, len));
                 }
                 n.step();

@@ -47,6 +47,7 @@ pub mod arbiter;
 pub mod buffer;
 pub mod config;
 pub mod credit;
+pub mod faults;
 pub mod flit;
 pub mod ideal;
 pub mod mesh;
@@ -58,6 +59,7 @@ pub mod stats;
 pub mod trace;
 pub mod traffic;
 pub mod types;
+pub mod watchdog;
 pub mod zeroload;
 
 pub use config::NocConfig;

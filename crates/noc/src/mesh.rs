@@ -21,14 +21,27 @@ use crate::arbiter::RoundRobin;
 use crate::buffer::InputUnit;
 use crate::config::NocConfig;
 use crate::credit::{MultiFlitGuard, OutVc};
+use crate::faults::{FaultEvent, FaultState, FaultStats};
 use crate::flit::{Flit, Packet};
 use crate::network::{Delivered, DeliveryLedger, Network, Reassembly, SourceQueues};
 use crate::reserve::{FlitSource, Landing, OutputSchedule, Reservation};
-use crate::routing::{neighbor, route_port};
+use crate::routing::{neighbor, route_port, Route};
 use crate::stats::NetStats;
-use crate::types::{Cycle, MessageClass, NodeId, PacketId, Port};
+use crate::types::{Cycle, Direction, MessageClass, NodeId, PacketId, Port};
+use crate::watchdog::AuditReport;
 
 use std::collections::BTreeMap;
+
+/// West-first turn-model state of a flit sitting at input port `in_port`:
+/// `true` iff every hop it has taken so far went west, so a further west
+/// hop is still legal. A flit at the local port has taken no hops; a flit
+/// that arrived through the east-facing port was travelling west, and by
+/// induction (west hops are only ever taken from all-west states) all its
+/// earlier hops were west too. Any other input port means a non-west hop
+/// happened and west is forbidden from here on.
+fn west_ok_from(in_port: Port) -> bool {
+    in_port == Port::Local || in_port == Port::Dir(Direction::East)
+}
 
 /// One mesh router's state.
 #[derive(Debug)]
@@ -71,7 +84,9 @@ impl Router {
             active_out: (0..Port::COUNT).map(|_| vec![None; vcs]).collect(),
             port_lock: vec![None; Port::COUNT],
             sa_in: (0..Port::COUNT).map(|_| RoundRobin::new(vcs)).collect(),
-            sa_out: (0..Port::COUNT).map(|_| RoundRobin::new(Port::COUNT)).collect(),
+            sa_out: (0..Port::COUNT)
+                .map(|_| RoundRobin::new(Port::COUNT))
+                .collect(),
         }
     }
 }
@@ -112,6 +127,20 @@ struct CreditReturn {
     node: usize,
     out_port: Port,
     vc: usize,
+}
+
+/// Result of validating a pre-allocated chain before execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChainCheck {
+    /// The whole remaining path can execute.
+    Ok,
+    /// A structural problem (missing continuation, foreign owner): waste
+    /// the reservation and fall back to reactive routing.
+    Unsound,
+    /// A link on the path is faulted at its traversal cycle: waste the
+    /// reservation so the data survives on the baseline mesh — the PRA
+    /// graceful-degradation path.
+    Faulted,
 }
 
 /// Location of an installed reservation, kept for cancellation.
@@ -217,6 +246,10 @@ pub struct MeshNetwork {
     /// Flit traversals per directed link, indexed `node * 4 + direction`.
     link_use: Vec<u64>,
     stats: NetStats,
+    /// Fault-injection state; `None` (no plan configured) makes every
+    /// fault hook a no-op and the datapath bit-identical to a build
+    /// without the subsystem.
+    faults: Option<FaultState>,
 }
 
 impl MeshNetwork {
@@ -228,7 +261,9 @@ impl MeshNetwork {
     pub fn new(cfg: NocConfig) -> Self {
         cfg.validate().expect("invalid NoC configuration");
         let n = cfg.nodes();
+        let faults = cfg.faults.clone().map(|plan| FaultState::new(plan, &cfg));
         MeshNetwork {
+            faults,
             routers: (0..n).map(|_| Router::new(&cfg)).collect(),
             sources: (0..n).map(|_| SourceQueues::new()).collect(),
             reasm: (0..n).map(|_| Reassembly::new()).collect(),
@@ -293,11 +328,14 @@ impl MeshNetwork {
                 let out_vc = &router.out_vcs[p][vc];
                 // All requested credits must be reservable and the stream
                 // must be provably clear by `start`.
-                if out_vc.reserved_for().map_or(false, |h| h != plan.packet) {
+                if out_vc.reserved_for().is_some_and(|h| h != plan.packet) {
                     return Err(InstallError::NoDownstreamBuffer);
                 }
-                let already =
-                    if out_vc.reserved_for() == Some(plan.packet) { out_vc.reserved() } else { 0 };
+                let already = if out_vc.reserved_for() == Some(plan.packet) {
+                    out_vc.reserved()
+                } else {
+                    0
+                };
                 if out_vc.credits().saturating_sub(out_vc.reserved() - already)
                     < plan.reserve + already
                 {
@@ -306,11 +344,10 @@ impl MeshNetwork {
                 match out_vc.owner() {
                     None => {}
                     Some(o) if o == plan.packet => {}
-                    Some(_) => {
-                        if out_vc.free_after().map_or(true, |c| c > plan.start) {
-                            return Err(InstallError::NoDownstreamBuffer);
-                        }
+                    Some(_) if out_vc.free_after().is_none_or(|c| c > plan.start) => {
+                        return Err(InstallError::NoDownstreamBuffer);
                     }
+                    Some(_) => {}
                 }
                 Ok(())
             }
@@ -319,7 +356,8 @@ impl MeshNetwork {
                     .out_port
                     .direction()
                     .expect("latch landing requires a directional port");
-                let next = neighbor(&self.cfg, plan.node, dir).ok_or(InstallError::NoSuchNeighbor)?;
+                let next =
+                    neighbor(&self.cfg, plan.node, dir).ok_or(InstallError::NoSuchNeighbor)?;
                 let in_port = Port::Dir(dir.opposite());
                 let iu = &self.routers[next.index()].inputs[in_port.index()];
                 if iu.latch_available(window.start..window.end + 1, plan.packet) {
@@ -367,11 +405,14 @@ impl MeshNetwork {
                 },
             );
             debug_assert!(ok, "checked slot must insert");
-            self.resv_index.entry(plan.packet).or_default().push(ResvLoc {
-                node,
-                out_port: plan.out_port,
-                cycle: plan.start + s as Cycle,
-            });
+            self.resv_index
+                .entry(plan.packet)
+                .or_default()
+                .push(ResvLoc {
+                    node,
+                    out_port: plan.out_port,
+                    cycle: plan.start + s as Cycle,
+                });
         }
         match plan.landing {
             Landing::Vc(lvc) if plan.out_port != Port::Local => {
@@ -403,6 +444,7 @@ impl MeshNetwork {
     /// downstream credits; a conversion to [`Landing::Latch`] also claims
     /// the downstream latch over `window` (callers must have verified
     /// availability via [`MeshNetwork::latch_available`]).
+    #[allow(clippy::too_many_arguments)]
     pub fn convert_landing(
         &mut self,
         node: NodeId,
@@ -507,9 +549,7 @@ impl MeshNetwork {
     /// enough downstream credits); the port is free for traversals at
     /// cycles `>= cycle`.
     #[allow(clippy::type_complexity)]
-    pub fn stalled_heads(
-        &self,
-    ) -> Vec<(NodeId, Port, usize, Flit, Port, PacketId, Option<Cycle>)> {
+    pub fn stalled_heads(&self) -> Vec<(NodeId, Port, usize, Flit, Port, PacketId, Option<Cycle>)> {
         let mut out = Vec::new();
         for (n, router) in self.routers.iter().enumerate() {
             let here = NodeId::new(n as u16);
@@ -521,7 +561,10 @@ impl MeshNetwork {
                     if !front.is_head() {
                         continue;
                     }
-                    let out_port = route_port(&self.cfg, here, front.dest);
+                    let Some(out_port) = self.route_out(here, front.dest, west_ok_from(in_port))
+                    else {
+                        continue;
+                    };
                     if out_port == Port::Local {
                         continue;
                     }
@@ -611,7 +654,21 @@ impl MeshNetwork {
     // ------------------------------------------------------------------
 
     fn apply_credit_returns(&mut self) {
-        let returns = std::mem::take(&mut self.credit_returns);
+        let mut returns = std::mem::take(&mut self.credit_returns);
+        // Armed credit-loss faults each destroy one matching in-flight
+        // credit (and fizzle silently when none is travelling that lane
+        // this cycle).
+        if let Some(f) = self.faults.as_mut() {
+            for (node, dir, vc) in std::mem::take(&mut f.credit_losses_now) {
+                let victim = returns
+                    .iter()
+                    .position(|cr| cr.node == node && cr.out_port == Port::Dir(dir) && cr.vc == vc);
+                if let Some(i) = victim {
+                    returns.swap_remove(i);
+                    f.note_lost_credit(node, dir, vc);
+                }
+            }
+        }
         for cr in returns {
             self.routers[cr.node].out_vcs[cr.out_port.index()][cr.vc].return_credit();
         }
@@ -711,8 +768,7 @@ impl MeshNetwork {
         // Credit back to the upstream router for the slot just freed.
         if let Port::Dir(d) = in_port {
             let here = NodeId::new(node as u16);
-            let upstream = neighbor(&self.cfg, here, d)
-                .expect("flit arrived from a real neighbor");
+            let upstream = neighbor(&self.cfg, here, d).expect("flit arrived from a real neighbor");
             self.credit_returns.push(CreditReturn {
                 node: upstream.index(),
                 out_port: Port::Dir(d.opposite()),
@@ -790,10 +846,18 @@ impl MeshNetwork {
     /// leaves its buffer onto a pre-allocated path, the path is immutable
     /// (guards block foreign multi-flit heads, reserved credits block
     /// foreign reservations), so latch-source chains always proceed —
-    /// a flit in a latch has nowhere else to go.
-    fn chain_is_sound(&self, node: usize, out_port: Port, resv: &Reservation) -> bool {
+    /// a flit in a latch has nowhere else to go. (This also means a
+    /// latch-parked flit rides out a transient fault on its next link:
+    /// pre-transmission faults only gate entry into the fabric's moving
+    /// parts, never flits already committed to a preset path.)
+    ///
+    /// Under fault injection, every link on the path is additionally
+    /// checked against the fault horizon of its traversal cycle; a
+    /// faulted link cancels the chain ([`ChainCheck::Faulted`]) so the
+    /// flit falls back to reactive routing.
+    fn chain_check(&self, node: usize, out_port: Port, resv: &Reservation) -> ChainCheck {
         if matches!(resv.source, FlitSource::Latch { .. }) {
-            return true;
+            return ChainCheck::Ok;
         }
         let mut cur_node = node;
         let mut cur_out = out_port;
@@ -801,29 +865,39 @@ impl MeshNetwork {
         let mut cycle = self.now;
         let (packet, seq) = (resv.packet, resv.seq);
         let Some(dest) = self.find_resv_dest(packet) else {
-            return false;
+            return ChainCheck::Unsound;
         };
         loop {
+            if let Port::Dir(d) = cur_out {
+                if !self.chain_link_usable(cur_node, d, cycle) {
+                    return ChainCheck::Faulted;
+                }
+            }
             match landing {
                 Landing::Vc(lvc) => {
                     if cur_out == Port::Local {
-                        return true;
+                        return ChainCheck::Ok;
                     }
                     let out_vc = &self.routers[cur_node].out_vcs[cur_out.index()][lvc];
                     return match out_vc.owner() {
-                        None => true,
-                        Some(p) => p == packet,
+                        None => ChainCheck::Ok,
+                        Some(p) if p == packet => ChainCheck::Ok,
+                        Some(_) => ChainCheck::Unsound,
                     };
                 }
                 Landing::Latch => {
                     // The flit parks one cycle and continues from the next
                     // router's reservation at `cycle + 1`.
                     let here = NodeId::new(cur_node as u16);
-                    let Some(dir) = cur_out.direction() else { return false };
-                    let Some(next) = neighbor(&self.cfg, here, dir) else {
-                        return false;
+                    let Some(dir) = cur_out.direction() else {
+                        return ChainCheck::Unsound;
                     };
-                    let cont_port = route_port(&self.cfg, next, dest);
+                    let Some(next) = neighbor(&self.cfg, here, dir) else {
+                        return ChainCheck::Unsound;
+                    };
+                    let Some(cont_port) = self.route_out(next, dest, dir == Direction::West) else {
+                        return ChainCheck::Unsound;
+                    };
                     match self.routers[next.index()].schedules[cont_port.index()].get(cycle + 1) {
                         Some(r2)
                             if r2.packet == packet
@@ -835,16 +909,20 @@ impl MeshNetwork {
                             cur_out = cont_port;
                             landing = r2.landing;
                         }
-                        _ => return false,
+                        _ => return ChainCheck::Unsound,
                     }
                 }
                 Landing::Bypass => {
                     let here = NodeId::new(cur_node as u16);
-                    let Some(dir) = cur_out.direction() else { return false };
-                    let Some(next) = neighbor(&self.cfg, here, dir) else {
-                        return false;
+                    let Some(dir) = cur_out.direction() else {
+                        return ChainCheck::Unsound;
                     };
-                    let cont_port = route_port(&self.cfg, next, dest);
+                    let Some(next) = neighbor(&self.cfg, here, dir) else {
+                        return ChainCheck::Unsound;
+                    };
+                    let Some(cont_port) = self.route_out(next, dest, dir == Direction::West) else {
+                        return ChainCheck::Unsound;
+                    };
                     match self.routers[next.index()].schedules[cont_port.index()].get(cycle) {
                         Some(r2)
                             if r2.packet == packet
@@ -855,7 +933,7 @@ impl MeshNetwork {
                             cur_out = cont_port;
                             landing = r2.landing;
                         }
-                        _ => return false,
+                        _ => return ChainCheck::Unsound,
                     }
                 }
             }
@@ -874,9 +952,17 @@ impl MeshNetwork {
         resv: Reservation,
         read_this_cycle: &[(usize, Port, usize)],
     ) {
-        if !self.chain_is_sound(node, out_port, &resv) {
-            self.waste_and_cancel(node, out_port, self.now, resv);
-            return;
+        match self.chain_check(node, out_port, &resv) {
+            ChainCheck::Ok => {}
+            verdict => {
+                if verdict == ChainCheck::Faulted {
+                    if let Some(f) = self.faults.as_mut() {
+                        f.stats.faulted_chain_cancels += 1;
+                    }
+                }
+                self.waste_and_cancel(node, out_port, self.now, resv);
+                return;
+            }
         }
         // 1. Fetch the expected flit.
         let fetched: Option<(Flit, Port, usize)> = match resv.source {
@@ -884,9 +970,7 @@ impl MeshNetwork {
                 let already_read = read_this_cycle.contains(&(node, port, vc));
                 let buf = self.routers[node].inputs[port.index()].vc_mut(vc);
                 match buf.front() {
-                    Some(f)
-                        if f.packet == resv.packet && f.seq == resv.seq && !already_read =>
-                    {
+                    Some(f) if f.packet == resv.packet && f.seq == resv.seq && !already_read => {
                         let f = buf.pop().expect("front exists");
                         Some((f, port, vc))
                     }
@@ -973,8 +1057,7 @@ impl MeshNetwork {
                     self.routers[cur_node].out_vcs[cur_out.index()][lvc]
                         .consume_credit(flit.packet);
                     if flit.is_head() && flit.len_flits > 1 {
-                        self.routers[cur_node].out_vcs[cur_out.index()][lvc]
-                            .allocate(flit.packet);
+                        self.routers[cur_node].out_vcs[cur_out.index()][lvc].allocate(flit.packet);
                     }
                     if flit.is_tail() {
                         self.routers[cur_node].out_vcs[cur_out.index()][lvc]
@@ -1001,9 +1084,10 @@ impl MeshNetwork {
                 Landing::Bypass => {
                     self.after_reserved_slot(cur_node, cur_out, &flit);
                     // Continue through the next router's preset crossbar.
-                    let cont_port = route_port(&self.cfg, next, flit.dest);
-                    let next_sched =
-                        &mut self.routers[next.index()].schedules[cont_port.index()];
+                    let cont_port = self
+                        .route_out(next, flit.dest, west_ok_from(next_in))
+                        .expect("validated chain stays routable");
+                    let next_sched = &mut self.routers[next.index()].schedules[cont_port.index()];
                     match next_sched.get(self.now).copied() {
                         Some(r2)
                             if r2.packet == flit.packet
@@ -1067,7 +1151,12 @@ impl MeshNetwork {
     /// `>= from_cycle` everywhere, releasing reserved credits, latch claims
     /// and guards. Used on waste and on packet completion (as a safety
     /// net — normally all slots are consumed).
-    pub fn cancel_packet_from(&mut self, packet: PacketId, from_seq: u8, from_cycle: Cycle) -> usize {
+    pub fn cancel_packet_from(
+        &mut self,
+        packet: PacketId,
+        from_seq: u8,
+        from_cycle: Cycle,
+    ) -> usize {
         let Some(locs) = self.resv_index.get(&packet).cloned() else {
             return 0;
         };
@@ -1135,7 +1224,8 @@ impl MeshNetwork {
                 let mut eligible = vec![false; self.cfg.vcs_per_port];
                 let mut targets: Vec<Option<(Port, Flit)>> = vec![None; self.cfg.vcs_per_port];
                 for vc in 0..self.cfg.vcs_per_port {
-                    if let Some((out_port, flit)) = self.eligible_front(here, in_port, vc, next_cycle)
+                    if let Some((out_port, flit)) =
+                        self.eligible_front(here, in_port, vc, next_cycle)
                     {
                         eligible[vc] = true;
                         targets[vc] = Some((out_port, flit));
@@ -1186,8 +1276,22 @@ impl MeshNetwork {
 
         let (out_port, needs_alloc) = match active {
             Some(st) if st.packet == flit.packet && !flit.is_head() => (st.out_port, false),
-            _ => (route_port(&self.cfg, here, flit.dest), true),
+            _ => match self.route_out(here, flit.dest, west_ok_from(in_port)) {
+                Some(port) => (port, true),
+                None => return None,
+            },
         };
+        // The link must be usable at the traversal cycle (`next_cycle` is
+        // exactly the prepared fault horizon); transiently faulted links
+        // refuse new traffic rather than eat flits mid-wire.
+        if let Port::Dir(d) = out_port {
+            if let Some(f) = self.faults.as_mut() {
+                if !f.link_usable_next(&self.cfg, node, d) {
+                    f.stats.blocked_by_fault_cycles += 1;
+                    return None;
+                }
+            }
+        }
         let p = out_port.index();
 
         // Never race a pending forced move for the same packet on this port.
@@ -1252,8 +1356,11 @@ impl MeshNetwork {
             out_vc.consume_credit(flit.packet);
         }
         if flit.len_flits > 1 {
-            self.routers[node].port_lock[p] =
-                if flit.is_tail() { None } else { Some(flit.packet) };
+            self.routers[node].port_lock[p] = if flit.is_tail() {
+                None
+            } else {
+                Some(flit.packet)
+            };
         }
         self.routers[node].active_out[in_port.index()][vc] = if flit.is_tail() {
             None
@@ -1283,8 +1390,7 @@ impl MeshNetwork {
     fn expire_reservations(&mut self) {
         for node in 0..self.cfg.nodes() {
             for out_port in Port::ALL {
-                let expired =
-                    self.routers[node].schedules[out_port.index()].expire(self.now);
+                let expired = self.routers[node].schedules[out_port.index()].expire(self.now);
                 if expired.is_empty() {
                     continue;
                 }
@@ -1306,6 +1412,503 @@ impl MeshNetwork {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // Fault injection & graceful degradation
+    // ------------------------------------------------------------------
+
+    /// The output port toward `dest` at `here`: XY while the topology is
+    /// intact, west-first detour tables once permanently degraded, `None`
+    /// when `dest` became unreachable. `west_ok` is the turn-model state:
+    /// whether the flit has travelled exclusively west so far (so a west
+    /// hop is still legal), derivable locally from the input port via
+    /// [`west_ok_from`].
+    fn route_out(&self, here: NodeId, dest: NodeId, west_ok: bool) -> Option<Port> {
+        match &self.faults {
+            Some(f) if f.degraded() => f.next_hop(here, dest, west_ok),
+            _ => Some(route_port(&self.cfg, here, dest)),
+        }
+    }
+
+    /// Whether the directed link `(node, dir)` may carry a flit at
+    /// `cycle`, consulting the right transient horizon: the executing
+    /// cycle, the prepared next cycle, or permanent-only damage beyond
+    /// the prepared window.
+    fn chain_link_usable(&self, node: usize, dir: Direction, cycle: Cycle) -> bool {
+        let Some(f) = &self.faults else { return true };
+        if cycle <= self.now {
+            f.link_usable_now(&self.cfg, node, dir)
+        } else if cycle == self.now + 1 {
+            f.link_usable_next(&self.cfg, node, dir)
+        } else {
+            f.link_usable_permanent(&self.cfg, node, dir)
+        }
+    }
+
+    /// Advances the fault clock one cycle and applies any permanent
+    /// topology fault that becomes effective now.
+    fn apply_faults(&mut self) {
+        let due = self
+            .faults
+            .as_mut()
+            .expect("caller checked faults.is_some()")
+            .begin_cycle(self.now, &self.cfg);
+        for ev in due {
+            match ev {
+                FaultEvent::PermanentLink { node, dir, .. } => {
+                    if let Some(nb) = neighbor(&self.cfg, node, dir) {
+                        let dying = [(node.index(), dir), (nb.index(), dir.opposite())];
+                        self.apply_topology_fault(&dying, None);
+                    }
+                }
+                FaultEvent::RouterDown { node, .. } => {
+                    if node.index() < self.cfg.nodes() {
+                        self.apply_topology_fault(&[], Some(node.index()));
+                    }
+                }
+                _ => unreachable!("begin_cycle returns only topology events"),
+            }
+        }
+    }
+
+    /// Applies one permanent cut: dooms every packet the damage strands,
+    /// marks the damage, purges the doomed packets (with full credit
+    /// restitution), rebuilds the route tables, then sweeps for anything
+    /// left unroutable.
+    ///
+    /// Packets kept alive provably keep their old routes: removing an
+    /// edge only changes the next hop at nodes whose shortest path
+    /// crossed the cut, and every such packet is in the doomed set. So
+    /// surviving wormholes never diverge mid-flight and in-order
+    /// reassembly is preserved.
+    fn apply_topology_fault(
+        &mut self,
+        dying_links: &[(usize, Direction)],
+        dying_node: Option<usize>,
+    ) {
+        // 1. Doomed set, computed with the pre-fault routes.
+        let doomed = self.doomed_packets(dying_links, dying_node);
+        // 2. Mark the damage.
+        {
+            let f = self.faults.as_mut().expect("faults active");
+            if let Some(node) = dying_node {
+                f.mark_router_dead(NodeId::new(node as u16));
+            } else if let Some(&(node, dir)) = dying_links.first() {
+                f.mark_link_dead(&self.cfg, NodeId::new(node as u16), dir);
+            }
+        }
+        // 3. Purge the doomed packets.
+        for id in doomed {
+            self.purge_packet(id);
+        }
+        // 4. Reroute the survivors.
+        self.faults
+            .as_mut()
+            .expect("faults active")
+            .rebuild_routes(&self.cfg);
+        // 5. Safety net.
+        self.purge_unroutable();
+    }
+
+    /// Packets the damage strands: any flit at a dying node, a dying
+    /// destination, or — once the packet has committed flits into the
+    /// fabric — any flit whose remaining route crosses the cut (flits
+    /// behind it must follow the committed wormhole path). Packets still
+    /// entirely in their source queue reroute freely and are kept.
+    fn doomed_packets(
+        &self,
+        dying_links: &[(usize, Direction)],
+        dying_node: Option<usize>,
+    ) -> Vec<PacketId> {
+        let locs = self.flit_locations();
+        let mut doomed = Vec::new();
+        for p in self.ledger.iter_in_flight() {
+            if dying_node == Some(p.dest.index()) {
+                doomed.push(p.id);
+                continue;
+            }
+            let Some(entries) = locs.get(&p.id) else {
+                continue;
+            };
+            let at_dying = dying_node.is_some_and(|dn| entries.iter().any(|&(n, _, _)| n == dn));
+            let committed = entries.iter().any(|&(_, beyond, _)| beyond);
+            let crosses = committed
+                && entries
+                    .iter()
+                    .any(|&(n, _, cw)| self.route_crosses(n, cw, p.dest, dying_links, dying_node));
+            if at_dying || crosses {
+                doomed.push(p.id);
+            }
+        }
+        doomed
+    }
+
+    /// Whether the current route from `from` toward `dest` traverses a
+    /// dying link or router. Walks the pre-fault tables from turn-model
+    /// state `west_ok`, so it must run before the damage is marked.
+    fn route_crosses(
+        &self,
+        from: usize,
+        west_ok: bool,
+        dest: NodeId,
+        dying_links: &[(usize, Direction)],
+        dying_node: Option<usize>,
+    ) -> bool {
+        let mut here = from;
+        let mut cw = west_ok;
+        for _ in 0..=self.cfg.nodes() {
+            if dying_node == Some(here) {
+                return true;
+            }
+            let Some(port) = self.route_out(NodeId::new(here as u16), dest, cw) else {
+                return true;
+            };
+            let Port::Dir(d) = port else {
+                return false; // arrived
+            };
+            if dying_links.contains(&(here, d)) {
+                return true;
+            }
+            cw = cw && d == Direction::West;
+            here = neighbor(&self.cfg, NodeId::new(here as u16), d)
+                .expect("route stays on the mesh")
+                .index();
+        }
+        true // defensive: a non-terminating route counts as doomed
+    }
+
+    /// Where every in-flight packet's flits currently sit, as
+    /// `(node, beyond_source, west_ok)` per flit. Source-queue flits are
+    /// not yet committed to a path (and have taken no hops, so west is
+    /// still open); everything else (local and directional VC buffers,
+    /// latches, staged arrivals) follows the route that was current when
+    /// the wormhole formed, with the turn-model state read off the input
+    /// port it sits at.
+    fn flit_locations(&self) -> BTreeMap<PacketId, Vec<(usize, bool, bool)>> {
+        let mut map: BTreeMap<PacketId, Vec<(usize, bool, bool)>> = BTreeMap::new();
+        for (n, sq) in self.sources.iter().enumerate() {
+            for q in &sq.queues {
+                for f in q {
+                    map.entry(f.packet).or_default().push((n, false, true));
+                }
+            }
+        }
+        for (n, router) in self.routers.iter().enumerate() {
+            for in_port in Port::ALL {
+                let iu = &router.inputs[in_port.index()];
+                for vc in 0..self.cfg.vcs_per_port {
+                    for f in iu.vc(vc).iter() {
+                        map.entry(f.packet)
+                            .or_default()
+                            .push((n, true, west_ok_from(in_port)));
+                    }
+                }
+                if let Some(f) = iu.latch() {
+                    map.entry(f.packet)
+                        .or_default()
+                        .push((n, true, west_ok_from(in_port)));
+                }
+            }
+        }
+        for a in &self.arrivals {
+            map.entry(a.flit.packet)
+                .or_default()
+                .push((a.node, true, west_ok_from(a.in_port)));
+        }
+        map
+    }
+
+    /// Removes every trace of `packet` from the fabric, restoring the
+    /// credits its flits and pending grants hold so the surviving
+    /// topology keeps a closed credit ledger, and counts the loss in
+    /// [`FaultStats`].
+    fn purge_packet(&mut self, id: PacketId) {
+        // Reservations: timeslots, reserved credits, guards.
+        self.cancel_packet_from(id, 0, 0);
+        // Pending grants: each consumed a downstream credit at commit
+        // time while its flit still sits in the input buffer.
+        let grants = std::mem::take(&mut self.grants);
+        for g in grants {
+            if g.packet != id {
+                self.grants.push(g);
+                continue;
+            }
+            if g.out_port != Port::Local {
+                self.routers[g.node].out_vcs[g.out_port.index()][g.vc].return_credit();
+            }
+        }
+        // Source queues: flits not yet in the fabric hold no credits.
+        for sq in &mut self.sources {
+            for q in &mut sq.queues {
+                q.retain(|f| f.packet != id);
+            }
+        }
+        // Buffered flits and latches. A flit buffered at a directional
+        // input occupies a slot the upstream router paid a credit for;
+        // latch flits hold none (their buffer credit was returned when
+        // the chain read them out).
+        for n in 0..self.cfg.nodes() {
+            let here = NodeId::new(n as u16);
+            for in_port in Port::ALL {
+                for vc in 0..self.cfg.vcs_per_port {
+                    let removed = self.routers[n].inputs[in_port.index()]
+                        .vc_mut(vc)
+                        .remove_packet(id);
+                    if removed > 0 {
+                        if let Port::Dir(e) = in_port {
+                            let up = neighbor(&self.cfg, here, e)
+                                .expect("flit arrived from a real neighbor");
+                            for _ in 0..removed {
+                                self.routers[up.index()].out_vcs[Port::Dir(e.opposite()).index()]
+                                    [vc]
+                                    .return_credit();
+                            }
+                        }
+                    }
+                }
+                let iu = &mut self.routers[n].inputs[in_port.index()];
+                if iu.latch().is_some_and(|f| f.packet == id) {
+                    iu.latch_take();
+                }
+                iu.latch_release(id, 0);
+            }
+            // Streams, port locks, ownership and guards.
+            let router = &mut self.routers[n];
+            for p in 0..Port::COUNT {
+                if router.port_lock[p] == Some(id) {
+                    router.port_lock[p] = None;
+                }
+                for vc in 0..self.cfg.vcs_per_port {
+                    if router.active_out[p][vc].is_some_and(|st| st.packet == id) {
+                        router.active_out[p][vc] = None;
+                    }
+                    router.out_vcs[p][vc].release_owner(id);
+                    router.guards[p][vc].clear(id);
+                }
+            }
+        }
+        // Staged arrivals: the credit was consumed upstream at grant time.
+        let arrivals = std::mem::take(&mut self.arrivals);
+        for a in arrivals {
+            if a.flit.packet != id {
+                self.arrivals.push(a);
+                continue;
+            }
+            if let Port::Dir(e) = a.in_port {
+                let here = NodeId::new(a.node as u16);
+                let up = neighbor(&self.cfg, here, e).expect("arrival came from a real neighbor");
+                self.routers[up.index()].out_vcs[Port::Dir(e.opposite()).index()][a.vc]
+                    .return_credit();
+            }
+        }
+        // Ledger, partial reassembly, loss accounting.
+        if let Some(p) = self.ledger.forget(id) {
+            self.reasm[p.dest.index()].forget(id);
+            let f = self
+                .faults
+                .as_mut()
+                .expect("purges only run under fault injection");
+            f.stats.lost_packets += 1;
+            f.stats.lost_flits += p.len_flits as u64;
+        }
+    }
+
+    /// Purges any packet that can no longer reach its destination on the
+    /// rebuilt topology. Redundant with the targeted doomed-set purge —
+    /// kept as a safety net so a missed corner case degrades to counted
+    /// loss, never to a stuck wormhole.
+    fn purge_unroutable(&mut self) {
+        let locs = self.flit_locations();
+        let mut doomed = Vec::new();
+        {
+            let f = self.faults.as_ref().expect("faults active");
+            for p in self.ledger.iter_in_flight() {
+                let dest_dead = f.router_dead(p.dest.index());
+                let unroutable = locs.get(&p.id).is_some_and(|entries| {
+                    entries.iter().any(|&(n, _, cw)| {
+                        self.route_out(NodeId::new(n as u16), p.dest, cw).is_none()
+                    })
+                });
+                if dest_dead || unroutable {
+                    doomed.push(p.id);
+                }
+            }
+        }
+        for id in doomed {
+            self.purge_packet(id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault status & audit surface
+    // ------------------------------------------------------------------
+
+    /// Whether a fault plan is active on this network.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Whether `node`'s router is alive (always true without faults).
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.faults
+            .as_ref()
+            .is_none_or(|f| !f.router_dead(node.index()))
+    }
+
+    /// Whether the directed link leaving `node` toward `dir` exists and
+    /// is not permanently dead. Transient faults are invisible here: the
+    /// control plane routes on topology, not on single-cycle glitches.
+    pub fn link_alive(&self, node: NodeId, dir: Direction) -> bool {
+        match &self.faults {
+            Some(f) => f.link_usable_permanent(&self.cfg, node.index(), dir),
+            None => neighbor(&self.cfg, node, dir).is_some(),
+        }
+    }
+
+    /// Whether the control network at `node` is corrupting packets around
+    /// the current cycle (PRA treats corruption as a drop).
+    pub fn control_fault_at(&self, node: NodeId) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.control_fault_at(node.index()))
+    }
+
+    /// Records a control packet dropped because of a fault (called by the
+    /// PRA control plane, which performs the drop itself).
+    pub fn note_control_drop(&mut self) {
+        if let Some(f) = self.faults.as_mut() {
+            f.stats.control_drops += 1;
+        }
+    }
+
+    /// Fault counters, when fault injection is active.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| &f.stats)
+    }
+
+    /// The route a packet would take from `src` to `dest` on the current
+    /// topology: XY while intact, the west-first detour once degraded,
+    /// `None` when `dest` is unreachable.
+    pub fn compute_route(&self, src: NodeId, dest: NodeId) -> Option<Route> {
+        match &self.faults {
+            Some(f) if f.degraded() => {
+                let mut dirs = Vec::new();
+                let mut here = src;
+                let mut cw = true;
+                for _ in 0..=self.cfg.nodes() {
+                    match f.next_hop(here, dest, cw)? {
+                        Port::Local => return Some(Route::from_dirs(&self.cfg, src, dest, dirs)),
+                        Port::Dir(d) => {
+                            dirs.push(d);
+                            cw = cw && d == Direction::West;
+                            here = neighbor(&self.cfg, here, d).expect("route stays on mesh");
+                        }
+                    }
+                }
+                None // defensive: next-hop tables never cycle
+            }
+            _ => Some(Route::compute(&self.cfg, src, dest)),
+        }
+    }
+
+    /// Takes a full structural snapshot for the invariant watchdog:
+    /// counts every flit the fabric should hold against the flits it
+    /// actually holds, and closes the credit-conservation sum on every
+    /// live link VC.
+    pub fn audit_now(&self) -> AuditReport {
+        let mut expected_flits = 0u64;
+        let mut oldest_packet_age = 0u64;
+        for p in self.ledger.iter_in_flight() {
+            expected_flits += p.len_flits as u64;
+            oldest_packet_age = oldest_packet_age.max(self.now.saturating_sub(p.created));
+        }
+        let mut present_flits = 0u64;
+        for (n, router) in self.routers.iter().enumerate() {
+            for in_port in Port::ALL {
+                let iu = &router.inputs[in_port.index()];
+                present_flits += iu.buffered_flits() as u64;
+                if iu.latch().is_some() {
+                    present_flits += 1;
+                }
+            }
+            present_flits += self.reasm[n].accepted_flits();
+            present_flits += self.sources[n]
+                .queues
+                .iter()
+                .map(|q| q.len() as u64)
+                .sum::<u64>();
+        }
+        present_flits += self.arrivals.len() as u64;
+
+        AuditReport {
+            cycle: self.now,
+            packets_in_flight: self.ledger.in_flight(),
+            expected_flits,
+            present_flits,
+            delivered_packets: self.stats.delivered(),
+            lost_packets: self.faults.as_ref().map_or(0, |f| f.stats.lost_packets),
+            credit_violations: self.count_credit_violations(),
+            oldest_packet_age,
+        }
+    }
+
+    /// Number of `(node, direction, vc)` lanes between live routers whose
+    /// credit-conservation sum does not close: upstream credits +
+    /// downstream occupancy + staged arrivals + credits in flight back +
+    /// credits held by pending grants + credits destroyed by faults must
+    /// equal the configured VC depth.
+    fn count_credit_violations(&self) -> u64 {
+        let mut violations = 0u64;
+        for n in 0..self.cfg.nodes() {
+            let here = NodeId::new(n as u16);
+            if let Some(f) = &self.faults {
+                if f.router_dead(n) {
+                    continue;
+                }
+            }
+            for dir in Direction::ALL {
+                let Some(nb) = neighbor(&self.cfg, here, dir) else {
+                    continue;
+                };
+                if let Some(f) = &self.faults {
+                    if f.router_dead(nb.index()) {
+                        continue;
+                    }
+                }
+                let back = Port::Dir(dir.opposite());
+                for vc in 0..self.cfg.vcs_per_port {
+                    let credits =
+                        self.routers[n].out_vcs[Port::Dir(dir).index()][vc].credits() as u64;
+                    let occupancy =
+                        self.routers[nb.index()].inputs[back.index()].vc(vc).len() as u64;
+                    let staged = self
+                        .arrivals
+                        .iter()
+                        .filter(|a| a.node == nb.index() && a.in_port == back && a.vc == vc)
+                        .count() as u64;
+                    let in_flight_back = self
+                        .credit_returns
+                        .iter()
+                        .filter(|cr| cr.node == n && cr.out_port == Port::Dir(dir) && cr.vc == vc)
+                        .count() as u64;
+                    let granted = self
+                        .grants
+                        .iter()
+                        .filter(|g| g.node == n && g.out_port == Port::Dir(dir) && g.vc == vc)
+                        .count() as u64;
+                    let lost = self
+                        .faults
+                        .as_ref()
+                        .map_or(0, |f| f.lost_credits(n, dir, vc));
+                    let sum = credits + occupancy + staged + in_flight_back + granted + lost;
+                    if sum != self.cfg.vc_depth as u64 {
+                        violations += 1;
+                    }
+                }
+            }
+        }
+        violations
+    }
 }
 
 impl Network for MeshNetwork {
@@ -1318,6 +1921,18 @@ impl Network for MeshNetwork {
     }
 
     fn inject(&mut self, packet: Packet) {
+        // A dead or unreachable endpoint refuses the injection outright
+        // (the NI knows its router died); refusals are counted, never
+        // registered, so they do not distort delivery statistics.
+        if let Some(f) = self.faults.as_mut() {
+            if f.router_dead(packet.src.index())
+                || f.router_dead(packet.dest.index())
+                || (f.degraded() && f.next_hop(packet.src, packet.dest, true).is_none())
+            {
+                f.stats.injections_refused += 1;
+                return;
+            }
+        }
         let mut packet = packet;
         if packet.created == 0 {
             packet.created = self.now;
@@ -1330,6 +1945,9 @@ impl Network for MeshNetwork {
     fn step(&mut self) {
         self.now += 1;
         self.stats.cycles += 1;
+        if self.faults.is_some() {
+            self.apply_faults();
+        }
         self.apply_credit_returns();
         self.deliver_arrivals();
         self.inject_from_sources();
@@ -1358,6 +1976,10 @@ impl Network for MeshNetwork {
     fn stats(&self) -> &NetStats {
         &self.stats
     }
+
+    fn audit(&self) -> Option<AuditReport> {
+        Some(self.audit_now())
+    }
 }
 
 #[cfg(test)]
@@ -1370,7 +1992,13 @@ mod tests {
     }
 
     fn pkt(id: u64, src: u16, dest: u16, class: MessageClass, len: u8) -> Packet {
-        Packet::new(PacketId(id), NodeId::new(src), NodeId::new(dest), class, len)
+        Packet::new(
+            PacketId(id),
+            NodeId::new(src),
+            NodeId::new(dest),
+            class,
+            len,
+        )
     }
 
     #[test]
@@ -1420,23 +2048,27 @@ mod tests {
 
     #[test]
     fn many_random_packets_all_delivered() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        use nistats::rng::Rng;
+        let mut rng = Rng::new(7);
         let mut n = net();
         let mut sent = 0u64;
         for cycle in 0..2_000u64 {
             if cycle < 1_000 && rng.gen_bool(0.3) {
-                let src = rng.gen_range(0..64);
-                let mut dest = rng.gen_range(0..64);
+                let src = rng.gen_range_u16(0, 64);
+                let mut dest = rng.gen_range_u16(0, 64);
                 if dest == src {
                     dest = (dest + 1) % 64;
                 }
-                let class = match rng.gen_range(0..3) {
+                let class = match rng.gen_range_u8(0, 3) {
                     0 => MessageClass::Request,
                     1 => MessageClass::Coherence,
                     _ => MessageClass::Response,
                 };
-                let len = if class == MessageClass::Response { 5 } else { 1 };
+                let len = if class == MessageClass::Response {
+                    5
+                } else {
+                    1
+                };
                 sent += 1;
                 n.inject(pkt(sent, src, dest, class, len));
             }
@@ -1500,19 +2132,29 @@ mod tests {
             packet: PacketId(99),
             len: 5,
             class: MessageClass::Response,
-            source: FlitSource::Vc { port: Port::Dir(Direction::West), vc: 2 },
+            source: FlitSource::Vc {
+                port: Port::Dir(Direction::West),
+                vc: 2,
+            },
             landing: Landing::Vc(2),
             reserve: 5,
         };
         n.install_hop(&plan).unwrap();
-        assert!(n.schedule(NodeId::new(1), Port::Dir(Direction::East)).is_reserved(10));
+        assert!(n
+            .schedule(NodeId::new(1), Port::Dir(Direction::East))
+            .is_reserved(10));
         assert_eq!(
-            n.out_vc(NodeId::new(1), Port::Dir(Direction::East), 2).reserved(),
+            n.out_vc(NodeId::new(1), Port::Dir(Direction::East), 2)
+                .reserved(),
             5
         );
         assert_eq!(
-            n.guard(NodeId::new(1), Port::Dir(Direction::East), MessageClass::Response)
-                .holder(),
+            n.guard(
+                NodeId::new(1),
+                Port::Dir(Direction::East),
+                MessageClass::Response
+            )
+            .holder(),
             Some(PacketId(99))
         );
         // Conflicting plan by another packet fails.
@@ -1534,7 +2176,10 @@ mod tests {
             packet: PacketId(99),
             len: 2,
             class: MessageClass::Response,
-            source: FlitSource::Vc { port: Port::Dir(Direction::West), vc: 2 },
+            source: FlitSource::Vc {
+                port: Port::Dir(Direction::West),
+                vc: 2,
+            },
             landing: Landing::Vc(2),
             reserve: 2,
         };
@@ -1545,13 +2190,18 @@ mod tests {
         let s = n.stats();
         assert_eq!(s.wasted_reservations, 2, "both slots expired unused");
         assert_eq!(
-            n.out_vc(NodeId::new(1), Port::Dir(Direction::East), 2).reserved(),
+            n.out_vc(NodeId::new(1), Port::Dir(Direction::East), 2)
+                .reserved(),
             0,
             "reserved credits released"
         );
         assert_eq!(
-            n.guard(NodeId::new(1), Port::Dir(Direction::East), MessageClass::Response)
-                .holder(),
+            n.guard(
+                NodeId::new(1),
+                Port::Dir(Direction::East),
+                MessageClass::Response
+            )
+            .holder(),
             None,
             "guard released"
         );
@@ -1574,7 +2224,10 @@ mod tests {
             packet: PacketId(1),
             len: 1,
             class: MessageClass::Request,
-            source: FlitSource::Vc { port: Port::Local, vc: 0 },
+            source: FlitSource::Vc {
+                port: Port::Local,
+                vc: 0,
+            },
             landing: Landing::Vc(0),
             reserve: 1,
         };
@@ -1603,7 +2256,10 @@ mod tests {
             packet: PacketId(1),
             len: 1,
             class: MessageClass::Request,
-            source: FlitSource::Vc { port: Port::Local, vc: 0 },
+            source: FlitSource::Vc {
+                port: Port::Local,
+                vc: 0,
+            },
             landing: Landing::Bypass,
             reserve: 1,
         })
@@ -1615,7 +2271,9 @@ mod tests {
             packet: PacketId(1),
             len: 1,
             class: MessageClass::Request,
-            source: FlitSource::Bypass { from: Direction::West },
+            source: FlitSource::Bypass {
+                from: Direction::West,
+            },
             landing: Landing::Vc(0),
             reserve: 1,
         })
@@ -1655,7 +2313,10 @@ mod tests {
                 }
             }
         }
-        assert!(seen, "the blocked request must be reported with a drain time");
+        assert!(
+            seen,
+            "the blocked request must be reported with a drain time"
+        );
         let (at, finish) = predicted.unwrap();
         assert!(finish > at, "drain prediction lies in the future");
         let mut d = n.drain_delivered();

@@ -68,6 +68,14 @@ pub trait Network {
         let _ = (packet, lead);
     }
 
+    /// Takes a structural snapshot for the invariant watchdog (see
+    /// [`crate::watchdog`]). Organisations without exhaustive internal
+    /// accounting return `None`; the mesh (and Mesh+PRA, which wraps it)
+    /// return a full conservation report.
+    fn audit(&self) -> Option<crate::watchdog::AuditReport> {
+        None
+    }
+
     /// Runs the network until all in-flight packets are delivered or
     /// `max_cycles` elapse. Returns all deliveries. Useful in tests.
     fn run_to_drain(&mut self, max_cycles: u64) -> Vec<Delivered>
@@ -150,6 +158,19 @@ impl Reassembly {
     pub(crate) fn pending(&self) -> usize {
         self.partial.len()
     }
+
+    /// Total flits already accepted into partial reassemblies (for the
+    /// conservation audit: accepted flits left the fabric but their
+    /// packets are still registered).
+    pub(crate) fn accepted_flits(&self) -> u64 {
+        self.partial.values().map(|(n, _)| *n as u64).sum()
+    }
+
+    /// Discards a partial reassembly (fault purge); returns how many
+    /// flits it had accepted.
+    pub(crate) fn forget(&mut self, packet: PacketId) -> u64 {
+        self.partial.remove(&packet).map_or(0, |(n, _)| n as u64)
+    }
 }
 
 /// Book-keeping shared by all network implementations: original packet
@@ -183,13 +204,7 @@ impl DeliveryLedger {
     /// # Panics
     ///
     /// Panics if the packet was never registered (double delivery).
-    pub(crate) fn complete(
-        &mut self,
-        head: Flit,
-        now: Cycle,
-        hops: u32,
-        stats: &mut NetStats,
-    ) {
+    pub(crate) fn complete(&mut self, head: Flit, now: Cycle, hops: u32, stats: &mut NetStats) {
         let packet = self
             .packets
             .remove(&head.packet)
@@ -212,6 +227,16 @@ impl DeliveryLedger {
     pub(crate) fn drain(&mut self) -> Vec<Delivered> {
         std::mem::take(&mut self.delivered)
     }
+
+    /// Unregisters a packet without delivering it (fault purge).
+    pub(crate) fn forget(&mut self, packet: PacketId) -> Option<Packet> {
+        self.packets.remove(&packet)
+    }
+
+    /// Iterates over registered (in-flight) packets.
+    pub(crate) fn iter_in_flight(&self) -> impl Iterator<Item = &Packet> {
+        self.packets.values()
+    }
 }
 
 #[cfg(test)]
@@ -220,7 +245,14 @@ mod tests {
     use crate::types::{MessageClass, NodeId as N};
 
     fn pkt(id: u64, len: u8) -> Packet {
-        Packet::new(PacketId(id), N::new(0), N::new(5), MessageClass::Response, len).at(3)
+        Packet::new(
+            PacketId(id),
+            N::new(0),
+            N::new(5),
+            MessageClass::Response,
+            len,
+        )
+        .at(3)
     }
 
     #[test]

@@ -13,12 +13,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::{Cycle, Direction, PacketId, Port};
 
 /// Where a reserved traversal reads its flit from at this router.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlitSource {
     /// The front of the local input VC `(port, vc)` (the *Local VC Select*
     /// field of the paper's bit vectors).
@@ -44,7 +42,7 @@ pub enum FlitSource {
 
 /// What happens at the downstream end of a reserved traversal
 /// (the *Downstream VC Select* field).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Landing {
     /// Enter the downstream VC buffer (end of the pre-allocated path, or
     /// arrival at the destination router).
@@ -59,7 +57,7 @@ pub enum Landing {
 }
 
 /// One reserved timeslot on an output port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Reservation {
     /// Packet the slot belongs to.
     pub packet: PacketId,
@@ -114,9 +112,7 @@ impl OutputSchedule {
     /// Whether every cycle in `cycles` is free (or already held by
     /// `packet`, which never conflicts with itself).
     pub fn range_free(&self, cycles: std::ops::Range<Cycle>, packet: PacketId) -> bool {
-        self.slots
-            .range(cycles)
-            .all(|(_, r)| r.packet == packet)
+        self.slots.range(cycles).all(|(_, r)| r.packet == packet)
     }
 
     /// Inserts a reservation; fails (returning `false`) if the slot is held

@@ -5,8 +5,6 @@
 //! XY routing is deadlock-free on a mesh without extra virtual channels,
 //! which lets each message class own a single VC.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::NocConfig;
 use crate::types::{Coord, Direction, NodeId, Port};
 
@@ -24,7 +22,7 @@ use crate::types::{Coord, Direction, NodeId, Port};
 /// let route = Route::compute(&cfg, NodeId::new(0), NodeId::new(18));
 /// assert_eq!(route.hops(), 4); // (0,0) -> (2,2): two east, two south
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Route {
     src: NodeId,
     dest: NodeId,
@@ -61,6 +59,26 @@ impl Route {
                 dirs.push(dir);
             }
         }
+        Route { src, dest, dirs }
+    }
+
+    /// Builds a route from an explicit hop sequence (used by
+    /// fault-degraded routing, where routes come from BFS next-hop
+    /// tables rather than XY).
+    ///
+    /// # Panics
+    ///
+    /// Panics if following `dirs` from `src` leaves the mesh or does not
+    /// end at `dest`.
+    pub fn from_dirs(cfg: &NocConfig, src: NodeId, dest: NodeId, dirs: Vec<Direction>) -> Route {
+        let mut c = cfg.coord(src);
+        for dir in &dirs {
+            let (dx, dy) = dir.delta();
+            let (nx, ny) = (c.x as i32 + dx, c.y as i32 + dy);
+            assert!(cfg.in_bounds(nx, ny), "route leaves the mesh");
+            c = Coord::new(nx as u8, ny as u8);
+        }
+        assert_eq!(cfg.node_at(c), dest, "route does not end at destination");
         Route { src, dest, dirs }
     }
 
@@ -180,7 +198,8 @@ mod tests {
             assert_eq!(r.node_at(&cfg, r.hops()), NodeId::new(d));
             assert_eq!(
                 r.hops() as u32,
-                cfg.coord(NodeId::new(s)).manhattan(cfg.coord(NodeId::new(d)))
+                cfg.coord(NodeId::new(s))
+                    .manhattan(cfg.coord(NodeId::new(d)))
             );
         }
     }

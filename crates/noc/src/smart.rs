@@ -191,8 +191,7 @@ impl SmartNetwork {
                     continue;
                 }
                 if let Some(last) = buf.fifo.back() {
-                    if !last.is_tail()
-                        && (last.packet != front.packet || front.seq != last.seq + 1)
+                    if !last.is_tail() && (last.packet != front.packet || front.seq != last.seq + 1)
                     {
                         continue;
                     }
@@ -240,7 +239,10 @@ impl SmartNetwork {
 
     /// Links currently held by active transfers.
     fn held_links(&self) -> Vec<(usize, Direction)> {
-        self.transfers.iter().flat_map(|t| t.links.iter().copied()).collect()
+        self.transfers
+            .iter()
+            .flat_map(|t| t.links.iter().copied())
+            .collect()
     }
 
     /// Processes SSRs queued by the previous cycle's switch allocation:
@@ -262,7 +264,9 @@ impl SmartNetwork {
                 if !straight.is_empty() && route_port(&self.cfg, at, r.dest) != Port::Dir(r.dir) {
                     break; // the route turns (or ends) at `at`
                 }
-                let Some(next) = neighbor(&self.cfg, at, r.dir) else { break };
+                let Some(next) = neighbor(&self.cfg, at, r.dir) else {
+                    break;
+                };
                 straight.push(next);
                 at = next;
                 if next == r.dest {
@@ -337,7 +341,9 @@ impl SmartNetwork {
                     if buf.busy {
                         continue;
                     }
-                    let Some(front) = buf.fifo.front() else { continue };
+                    let Some(front) = buf.fifo.front() else {
+                        continue;
+                    };
                     if !front.is_head() {
                         // An orphaned continuation cannot happen in SMART:
                         // transfers always move whole packets.
@@ -353,7 +359,9 @@ impl SmartNetwork {
                     continue;
                 }
                 let rr = &mut self.sa_rr[node * 5 + port.index()];
-                let Some(slot) = rr.grant(requests) else { continue };
+                let Some(slot) = rr.grant(requests) else {
+                    continue;
+                };
                 let (in_port, class) = (slot / self.cfg.vcs_per_port, slot % self.cfg.vcs_per_port);
                 let front = *self.bufs[node][in_port][class]
                     .fifo
@@ -444,7 +452,13 @@ mod tests {
     }
 
     fn pkt(id: u64, src: u16, dest: u16, class: MessageClass, len: u8) -> Packet {
-        Packet::new(PacketId(id), NodeId::new(src), NodeId::new(dest), class, len)
+        Packet::new(
+            PacketId(id),
+            NodeId::new(src),
+            NodeId::new(dest),
+            class,
+            len,
+        )
     }
 
     #[test]
@@ -474,9 +488,15 @@ mod tests {
             let dm = m.run_to_drain(100);
             let (ls, lm) = (ds[0].delivered, dm[0].delivered);
             if smart_wins {
-                assert!(ls < lm, "SMART {ls} should beat mesh {lm} at distance {dest}");
+                assert!(
+                    ls < lm,
+                    "SMART {ls} should beat mesh {lm} at distance {dest}"
+                );
             } else {
-                assert!(ls > lm, "SMART {ls} should trail mesh {lm} at distance {dest}");
+                assert!(
+                    ls > lm,
+                    "SMART {ls} should trail mesh {lm} at distance {dest}"
+                );
             }
         }
     }
@@ -503,23 +523,27 @@ mod tests {
 
     #[test]
     fn all_random_packets_delivered() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        use nistats::rng::Rng;
+        let mut rng = Rng::new(5);
         let mut n = net();
         let mut sent = 0u64;
         for cycle in 0..3_000u64 {
             if cycle < 1_500 && rng.gen_bool(0.3) {
-                let src = rng.gen_range(0..64);
-                let mut dest = rng.gen_range(0..64);
+                let src = rng.gen_range_u16(0, 64);
+                let mut dest = rng.gen_range_u16(0, 64);
                 if dest == src {
                     dest = (dest + 1) % 64;
                 }
-                let class = match rng.gen_range(0..3) {
+                let class = match rng.gen_range_u8(0, 3) {
                     0 => MessageClass::Request,
                     1 => MessageClass::Coherence,
                     _ => MessageClass::Response,
                 };
-                let len = if class == MessageClass::Response { 5 } else { 1 };
+                let len = if class == MessageClass::Response {
+                    5
+                } else {
+                    1
+                };
                 sent += 1;
                 n.inject(pkt(sent, src, dest, class, len));
             }
@@ -551,37 +575,59 @@ mod stress_tests {
 
     #[test]
     fn no_packets_stuck_under_sustained_load() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        use nistats::rng::Rng;
+        let mut rng = Rng::new(5);
         let mut n = SmartNetwork::new(NocConfig::paper());
         let mut sent = 0u64;
         for cycle in 0..3_000u64 {
             if cycle < 1_500 && rng.gen_bool(0.3) {
-                let src = rng.gen_range(0..64);
-                let mut dest = rng.gen_range(0..64);
-                if dest == src { dest = (dest + 1) % 64; }
-                let class = match rng.gen_range(0..3) {
+                let src = rng.gen_range_u16(0, 64);
+                let mut dest = rng.gen_range_u16(0, 64);
+                if dest == src {
+                    dest = (dest + 1) % 64;
+                }
+                let class = match rng.gen_range_u8(0, 3) {
                     0 => MessageClass::Request,
                     1 => MessageClass::Coherence,
                     _ => MessageClass::Response,
                 };
-                let len = if class == MessageClass::Response { 5 } else { 1 };
+                let len = if class == MessageClass::Response {
+                    5
+                } else {
+                    1
+                };
                 sent += 1;
-                n.inject(Packet::new(PacketId(sent), NodeId::new(src), NodeId::new(dest), class, len));
+                n.inject(Packet::new(
+                    PacketId(sent),
+                    NodeId::new(src),
+                    NodeId::new(dest),
+                    class,
+                    len,
+                ));
             }
             n.step();
         }
         n.drain_delivered();
         n.run_to_drain(20_000);
         if n.in_flight() > 0 {
-            eprintln!("stuck: {} packets in flight at cycle {}", n.in_flight(), n.now());
+            eprintln!(
+                "stuck: {} packets in flight at cycle {}",
+                n.in_flight(),
+                n.now()
+            );
             eprintln!("active transfers: {}", n.transfers.len());
             for t in &n.transfers {
                 eprintln!("  transfer pkt {:?} at node {} port {} class {} next_seq {} remaining {} landing {:?} eject {} links {:?}",
                     t.packet, t.node, t.port, t.class, t.next_seq, t.remaining, t.landing, t.eject, t.links);
                 let buf = &n.bufs[t.node][t.port][t.class];
-                eprintln!("    src buf: front {:?} len {} reserved {} owner {:?} busy {}",
-                    buf.fifo.front().map(|f| (f.packet, f.seq)), buf.fifo.len(), buf.reserved, buf.owner, buf.busy);
+                eprintln!(
+                    "    src buf: front {:?} len {} reserved {} owner {:?} busy {}",
+                    buf.fifo.front().map(|f| (f.packet, f.seq)),
+                    buf.fifo.len(),
+                    buf.reserved,
+                    buf.owner,
+                    buf.busy
+                );
             }
             eprintln!("ssr stage: {}", n.ssr_stage.len());
             for node in 0..64 {
@@ -599,7 +645,13 @@ mod stress_tests {
                 for class in 0..3 {
                     let q = &n.sources[node].queues[class];
                     if !q.is_empty() {
-                        eprintln!("  srcq[{}][{}]: {} flits, front {:?}", node, class, q.len(), q.front().map(|f| (f.packet, f.seq)));
+                        eprintln!(
+                            "  srcq[{}][{}]: {} flits, front {:?}",
+                            node,
+                            class,
+                            q.len(),
+                            q.front().map(|f| (f.packet, f.seq))
+                        );
                     }
                 }
             }

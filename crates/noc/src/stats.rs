@@ -4,12 +4,10 @@
 //! counters, end-to-end latency accounting, and resource-utilisation
 //! counters used by the paper's Section V.B analysis.
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::{Cycle, MessageClass};
 
 /// Accumulated statistics for one network instance.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct NetStats {
     /// Packets handed to the network, per message class (indexed by VC).
     pub packets_injected: [u64; 3],

@@ -10,14 +10,37 @@
 //!
 //! Traces serialize to a compact JSON form for archival.
 
-use serde::{Deserialize, Serialize};
+use nistats::json::{Json, JsonError};
 
 use crate::flit::Packet;
 use crate::network::Network;
 use crate::types::{Cycle, MessageClass, NodeId, PacketId};
 
+/// Error returned when trace JSON cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid trace: {}", self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl From<JsonError> for TraceParseError {
+    fn from(e: JsonError) -> Self {
+        TraceParseError {
+            message: e.to_string(),
+        }
+    }
+}
+
 /// One scheduled injection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Cycle at which the packet is handed to the source NI.
     pub cycle: Cycle,
@@ -51,11 +74,11 @@ pub struct TraceEntry {
 ///     len_flits: 1,
 ///     announce_lead: 0,
 /// });
-/// let json = trace.to_json().unwrap();
+/// let json = trace.to_json();
 /// let back = Trace::from_json(&json).unwrap();
 /// assert_eq!(trace, back);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     entries: Vec<TraceEntry>,
 }
@@ -92,13 +115,24 @@ impl Trace {
         self.entries.iter().map(|e| e.cycle).max().unwrap_or(0)
     }
 
-    /// Serializes to JSON.
-    ///
-    /// # Errors
-    ///
-    /// Propagates `serde_json` errors (out-of-memory in practice).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string(self)
+    /// Serializes to compact JSON. The message class is encoded as its
+    /// virtual-channel index.
+    pub fn to_json(&self) -> String {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                Json::object(vec![
+                    ("cycle".into(), Json::UInt(e.cycle)),
+                    ("src".into(), Json::UInt(e.src as u64)),
+                    ("dest".into(), Json::UInt(e.dest as u64)),
+                    ("class".into(), Json::UInt(e.class.vc() as u64)),
+                    ("len_flits".into(), Json::UInt(e.len_flits as u64)),
+                    ("announce_lead".into(), Json::UInt(e.announce_lead as u64)),
+                ])
+            })
+            .collect();
+        Json::object(vec![("entries".into(), Json::Array(entries))]).to_string()
     }
 
     /// Deserializes from JSON.
@@ -106,8 +140,37 @@ impl Trace {
     /// # Errors
     ///
     /// Returns an error if `s` is not a valid serialized trace.
-    pub fn from_json(s: &str) -> Result<Trace, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Trace, TraceParseError> {
+        let doc = Json::parse(s)?;
+        let field = |v: &Json, key: &str| -> Result<u64, TraceParseError> {
+            v.get(key).and_then(Json::as_u64).ok_or(TraceParseError {
+                message: format!("missing or non-integer field '{key}'"),
+            })
+        };
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or(TraceParseError {
+                message: "missing 'entries' array".into(),
+            })?;
+        let mut trace = Trace::new();
+        for e in entries {
+            let class_vc = field(e, "class")? as usize;
+            if class_vc >= MessageClass::ALL.len() {
+                return Err(TraceParseError {
+                    message: format!("message class index {class_vc} out of range"),
+                });
+            }
+            trace.push(TraceEntry {
+                cycle: field(e, "cycle")?,
+                src: field(e, "src")? as u16,
+                dest: field(e, "dest")? as u16,
+                class: MessageClass::from_vc(class_vc),
+                len_flits: field(e, "len_flits")? as u8,
+                announce_lead: field(e, "announce_lead")? as u32,
+            });
+        }
+        Ok(trace)
     }
 
     /// Validates all entries against a node count.
@@ -275,20 +338,20 @@ mod tests {
     use crate::ideal::IdealNetwork;
     use crate::mesh::MeshNetwork;
     use crate::smart::SmartNetwork;
-    use rand::{Rng, SeedableRng};
+    use nistats::rng::Rng;
 
     fn random_trace(n: usize, seed: u64, with_leads: bool) -> Trace {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         (0..n)
             .map(|_| {
-                let src = rng.gen_range(0..64u16);
-                let mut dest = rng.gen_range(0..64u16);
+                let src = rng.gen_range_u16(0, 64);
+                let mut dest = rng.gen_range_u16(0, 64);
                 if dest == src {
                     dest = (dest + 1) % 64;
                 }
                 let response = rng.gen_bool(0.5);
                 TraceEntry {
-                    cycle: rng.gen_range(4..400),
+                    cycle: rng.gen_range_u64(4, 400),
                     src,
                     dest,
                     class: if response {
@@ -306,7 +369,7 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let t = random_trace(50, 3, true);
-        let j = t.to_json().unwrap();
+        let j = t.to_json();
         assert_eq!(Trace::from_json(&j).unwrap(), t);
     }
 

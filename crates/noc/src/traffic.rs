@@ -2,11 +2,9 @@
 //!
 //! The system-level evaluation drives the networks from the `sysmodel`
 //! crate; the generators here serve unit/integration tests, latency-vs-load
-//! curves and the criterion micro-benchmarks.
+//! curves and the micro-benchmarks.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use nistats::rng::Rng;
 
 use crate::config::NocConfig;
 use crate::flit::Packet;
@@ -14,7 +12,7 @@ use crate::network::Network;
 use crate::types::{Cycle, MessageClass, NodeId, PacketId};
 
 /// Spatial traffic pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Pattern {
     /// Destination drawn uniformly at random (excluding the source).
     UniformRandom,
@@ -59,7 +57,7 @@ pub struct TrafficGen {
     pattern: Pattern,
     rate: f64,
     response_fraction: f64,
-    rng: SmallRng,
+    rng: Rng,
     next_id: u64,
     injected: u64,
     stopped: bool,
@@ -79,7 +77,7 @@ impl TrafficGen {
             pattern,
             rate,
             response_fraction: 0.5,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng::new(seed),
             next_id: 0,
             injected: 0,
             stopped: false,
@@ -143,7 +141,7 @@ impl TrafficGen {
         let nodes = self.cfg.nodes() as u16;
         match self.pattern {
             Pattern::UniformRandom => {
-                let off = self.rng.gen_range(1..nodes);
+                let off = self.rng.gen_range_u16(1, nodes);
                 NodeId::new((src.index() as u16 + off) % nodes)
             }
             Pattern::Transpose => {
@@ -160,7 +158,7 @@ impl TrafficGen {
             Pattern::Complement => NodeId::new((src.index() as u16 + nodes / 2) % nodes),
             Pattern::CoreToLlc => {
                 // Address-interleaved home slice: hash a synthetic address.
-                let addr: u64 = self.rng.gen();
+                let addr: u64 = self.rng.next_u64();
                 NodeId::new((addr % nodes as u64) as u16)
             }
         }
@@ -259,10 +257,7 @@ mod tests {
             let mut gen = TrafficGen::new(cfg.clone(), Pattern::UniformRandom, rate, 7);
             lats.push(measure_latency(&mut net, &mut gen, 500, 1_500));
         }
-        assert!(
-            lats[1] > lats[0],
-            "latency must rise with load: {lats:?}"
-        );
+        assert!(lats[1] > lats[0], "latency must rise with load: {lats:?}");
     }
 
     #[test]

@@ -6,8 +6,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A cycle count. The simulator clock is a monotonically increasing `u64`.
 pub type Cycle = u64;
 
@@ -24,7 +22,7 @@ pub type Cycle = u64;
 /// let n = NodeId::new(9);
 /// assert_eq!(n.index(), 9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u16);
 
 impl NodeId {
@@ -62,7 +60,7 @@ impl From<u16> for NodeId {
 /// assert_eq!((c.x, c.y), (1, 1));
 /// assert_eq!(c.to_node(8), NodeId::new(9));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coord {
     /// Column (X position), 0-based from the west edge.
     pub x: u8,
@@ -112,7 +110,7 @@ impl fmt::Display for Coord {
 /// The paper's server-processor network carries exactly these three classes;
 /// requests and coherence messages are single-flit ("short") packets while
 /// responses carry a cache line and are multi-flit ("long") packets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MessageClass {
     /// Core → LLC slice requests (single flit).
     Request,
@@ -166,7 +164,7 @@ impl fmt::Display for MessageClass {
 }
 
 /// Unique identifier of a packet for the lifetime of a simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PacketId(pub u64);
 
 impl fmt::Display for PacketId {
@@ -176,7 +174,7 @@ impl fmt::Display for PacketId {
 }
 
 /// Cardinal mesh direction, also used to name router ports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Direction {
     /// Toward decreasing `y`.
     North,
@@ -238,7 +236,7 @@ impl fmt::Display for Direction {
 
 /// A router port: one of the four mesh directions or the local
 /// injection/ejection port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Port {
     /// A link toward the neighbouring router in the given direction.
     Dir(Direction),

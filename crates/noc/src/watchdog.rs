@@ -1,0 +1,383 @@
+//! Runtime invariant watchdog: structural audits of the mesh plus
+//! progress monitoring, producing [`InvariantViolation`]s instead of
+//! silent corruption.
+//!
+//! The mesh can describe its own conservation state as an
+//! [`AuditReport`] (see [`crate::network::Network::audit`]): every flit
+//! of every registered packet must be somewhere — a source queue, a VC
+//! buffer, a pipeline latch, a staged link traversal, or the
+//! destination's reassembly buffer — and every credit of every link VC
+//! must be held by exactly one side (or explicitly destroyed by a fault).
+//! The [`Watchdog`] consumes these reports periodically and raises:
+//!
+//! * [`InvariantViolation::FlitConservation`] — flits vanished or were
+//!   duplicated (the audit sum does not close);
+//! * [`InvariantViolation::CreditImbalance`] — some link VC's credits
+//!   plus in-flight flits plus recorded losses no longer equal its
+//!   buffer depth;
+//! * [`InvariantViolation::Livelock`] — the oldest in-flight packet
+//!   exceeds a generous age bound (it is moving nowhere);
+//! * [`InvariantViolation::Deadlock`] — packets are in flight but the
+//!   delivered-plus-lost count has not advanced for a configurable
+//!   budget of cycles.
+//!
+//! The conservation checks are exact and fire on real bugs only; the
+//! progress checks are heuristics with deliberately generous defaults,
+//! because fault-degraded routing (BFS detours around dead links) gives
+//! up XY's analytic deadlock-freedom and detection is the fallback.
+
+use crate::types::Cycle;
+
+/// A point-in-time structural snapshot of a network, taken between
+/// cycles. Produced by [`crate::network::Network::audit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Cycle at which the snapshot was taken.
+    pub cycle: Cycle,
+    /// Packets currently registered (injected, not yet delivered).
+    pub packets_in_flight: usize,
+    /// Flits those packets should have somewhere in the fabric.
+    pub expected_flits: u64,
+    /// Flits actually found (queues + buffers + latches + staged
+    /// traversals + reassembly).
+    pub present_flits: u64,
+    /// Packets delivered so far.
+    pub delivered_packets: u64,
+    /// Packets destroyed by faults so far (0 without fault injection).
+    pub lost_packets: u64,
+    /// Link VCs whose credit-conservation sum does not close.
+    pub credit_violations: u64,
+    /// Age (cycles since creation) of the oldest in-flight packet.
+    pub oldest_packet_age: u64,
+}
+
+/// One detected invariant violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// Flits vanished from or were duplicated in the fabric.
+    FlitConservation {
+        /// Cycle of detection.
+        cycle: Cycle,
+        /// Flits the delivery ledger says must exist.
+        expected: u64,
+        /// Flits the audit actually found.
+        present: u64,
+    },
+    /// Credits and buffer occupancy disagree on some link VC.
+    CreditImbalance {
+        /// Cycle of detection.
+        cycle: Cycle,
+        /// Number of link VCs out of balance.
+        lanes: u64,
+    },
+    /// A packet has been in flight implausibly long.
+    Livelock {
+        /// Cycle of detection.
+        cycle: Cycle,
+        /// Age of the oldest in-flight packet.
+        age: u64,
+        /// The configured bound it exceeded.
+        limit: u64,
+    },
+    /// In-flight packets exist but nothing has completed for a long time.
+    Deadlock {
+        /// Cycle of detection.
+        cycle: Cycle,
+        /// Cycles since the last completion (delivery or loss).
+        stalled_for: u64,
+        /// Packets stuck in flight.
+        in_flight: usize,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            InvariantViolation::FlitConservation {
+                cycle,
+                expected,
+                present,
+            } => write!(
+                f,
+                "cycle {cycle}: flit conservation broken (expected {expected}, found {present})"
+            ),
+            InvariantViolation::CreditImbalance { cycle, lanes } => {
+                write!(f, "cycle {cycle}: credit imbalance on {lanes} link VC(s)")
+            }
+            InvariantViolation::Livelock { cycle, age, limit } => write!(
+                f,
+                "cycle {cycle}: possible livelock (oldest packet age {age} > {limit})"
+            ),
+            InvariantViolation::Deadlock {
+                cycle,
+                stalled_for,
+                in_flight,
+            } => write!(
+                f,
+                "cycle {cycle}: possible deadlock ({in_flight} packet(s) in flight, \
+                 no completion for {stalled_for} cycles)"
+            ),
+        }
+    }
+}
+
+/// Watchdog tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Audit every this-many cycles (audits are O(network state)).
+    pub check_interval: u64,
+    /// Oldest tolerated in-flight packet age before a livelock report.
+    pub max_packet_age: u64,
+    /// Tolerated completion drought (with traffic in flight) before a
+    /// deadlock report.
+    pub no_progress_budget: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            check_interval: 64,
+            max_packet_age: 20_000,
+            no_progress_budget: 10_000,
+        }
+    }
+}
+
+/// Periodic consumer of [`AuditReport`]s; accumulates violations.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    violations: Vec<InvariantViolation>,
+    checks_run: u64,
+    /// delivered + lost at the last observed completion advance.
+    last_completed: u64,
+    last_progress_cycle: Cycle,
+    /// Episode latches so a persistent condition reports once, not once
+    /// per check.
+    deadlock_reported: bool,
+    livelock_reported: bool,
+}
+
+impl Watchdog {
+    /// A watchdog with the given tuning.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        Watchdog {
+            cfg,
+            violations: Vec::new(),
+            checks_run: 0,
+            last_completed: 0,
+            last_progress_cycle: 0,
+            deadlock_reported: false,
+            livelock_reported: false,
+        }
+    }
+
+    /// The configured tuning.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.cfg
+    }
+
+    /// Whether an audit is due at `cycle` (on the check interval).
+    pub fn due(&self, cycle: Cycle) -> bool {
+        cycle.is_multiple_of(self.cfg.check_interval)
+    }
+
+    /// Consumes one report; returns how many new violations it raised.
+    pub fn observe(&mut self, r: &AuditReport) -> usize {
+        self.checks_run += 1;
+        let before = self.violations.len();
+
+        if r.present_flits != r.expected_flits {
+            self.violations.push(InvariantViolation::FlitConservation {
+                cycle: r.cycle,
+                expected: r.expected_flits,
+                present: r.present_flits,
+            });
+        }
+        if r.credit_violations > 0 {
+            self.violations.push(InvariantViolation::CreditImbalance {
+                cycle: r.cycle,
+                lanes: r.credit_violations,
+            });
+        }
+
+        let completed = r.delivered_packets + r.lost_packets;
+        if completed != self.last_completed || r.packets_in_flight == 0 {
+            self.last_completed = completed;
+            self.last_progress_cycle = r.cycle;
+            self.deadlock_reported = false;
+        } else {
+            let stalled_for = r.cycle.saturating_sub(self.last_progress_cycle);
+            if stalled_for >= self.cfg.no_progress_budget && !self.deadlock_reported {
+                self.deadlock_reported = true;
+                self.violations.push(InvariantViolation::Deadlock {
+                    cycle: r.cycle,
+                    stalled_for,
+                    in_flight: r.packets_in_flight,
+                });
+            }
+        }
+
+        if r.oldest_packet_age > self.cfg.max_packet_age {
+            if !self.livelock_reported {
+                self.livelock_reported = true;
+                self.violations.push(InvariantViolation::Livelock {
+                    cycle: r.cycle,
+                    age: r.oldest_packet_age,
+                    limit: self.cfg.max_packet_age,
+                });
+            }
+        } else {
+            self.livelock_reported = false;
+        }
+
+        self.violations.len() - before
+    }
+
+    /// All violations raised so far.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// Whether no violation has ever been raised.
+    pub fn is_quiet(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of reports consumed.
+    pub fn checks_run(&self) -> u64 {
+        self.checks_run
+    }
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog::new(WatchdogConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean(cycle: Cycle) -> AuditReport {
+        AuditReport {
+            cycle,
+            packets_in_flight: 2,
+            expected_flits: 10,
+            present_flits: 10,
+            delivered_packets: cycle / 64,
+            lost_packets: 0,
+            credit_violations: 0,
+            oldest_packet_age: 40,
+        }
+    }
+
+    #[test]
+    fn quiet_on_clean_reports() {
+        let mut wd = Watchdog::default();
+        for c in (64..10_000).step_by(64) {
+            assert_eq!(wd.observe(&clean(c)), 0);
+        }
+        assert!(wd.is_quiet());
+    }
+
+    #[test]
+    fn flit_conservation_fires() {
+        let mut wd = Watchdog::default();
+        let mut r = clean(64);
+        r.present_flits = 9;
+        assert_eq!(wd.observe(&r), 1);
+        assert!(matches!(
+            wd.violations()[0],
+            InvariantViolation::FlitConservation {
+                expected: 10,
+                present: 9,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn credit_imbalance_fires() {
+        let mut wd = Watchdog::default();
+        let mut r = clean(64);
+        r.credit_violations = 3;
+        assert_eq!(wd.observe(&r), 1);
+        assert!(matches!(
+            wd.violations()[0],
+            InvariantViolation::CreditImbalance { lanes: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn deadlock_fires_once_per_episode_and_resets_on_progress() {
+        let mut wd = Watchdog::new(WatchdogConfig {
+            check_interval: 64,
+            max_packet_age: u64::MAX,
+            no_progress_budget: 1_000,
+        });
+        let stuck = |cycle| AuditReport {
+            delivered_packets: 5,
+            ..clean(cycle)
+        };
+        let mut fired = 0;
+        for c in (64..4_000).step_by(64) {
+            fired += wd.observe(&stuck(c));
+        }
+        assert_eq!(fired, 1, "one report per stall episode");
+        // Progress clears the episode...
+        let mut r = stuck(4_032);
+        r.delivered_packets = 6;
+        assert_eq!(wd.observe(&r), 0);
+        // ...and a new stall reports again.
+        let mut fired = 0;
+        for c in (4_096..8_000).step_by(64) {
+            fired += wd.observe(&stuck(c));
+        }
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn empty_network_never_deadlocks() {
+        let mut wd = Watchdog::new(WatchdogConfig {
+            check_interval: 64,
+            max_packet_age: u64::MAX,
+            no_progress_budget: 100,
+        });
+        for c in (64..50_000).step_by(64) {
+            let mut r = clean(c);
+            r.packets_in_flight = 0;
+            r.delivered_packets = 7;
+            assert_eq!(wd.observe(&r), 0);
+        }
+        assert!(wd.is_quiet());
+    }
+
+    #[test]
+    fn livelock_fires_on_old_packets() {
+        let mut wd = Watchdog::new(WatchdogConfig {
+            check_interval: 64,
+            max_packet_age: 500,
+            no_progress_budget: u64::MAX,
+        });
+        let mut r = clean(64);
+        r.delivered_packets = 1;
+        r.oldest_packet_age = 501;
+        assert_eq!(wd.observe(&r), 1);
+        // Latched: same condition does not re-fire...
+        let mut r2 = clean(128);
+        r2.delivered_packets = 2;
+        r2.oldest_packet_age = 900;
+        assert_eq!(wd.observe(&r2), 0);
+        // ...until it clears and recurs.
+        let mut r3 = clean(192);
+        r3.delivered_packets = 3;
+        r3.oldest_packet_age = 10;
+        assert_eq!(wd.observe(&r3), 0);
+        let mut r4 = clean(256);
+        r4.delivered_packets = 4;
+        r4.oldest_packet_age = 700;
+        assert_eq!(wd.observe(&r4), 1);
+    }
+}

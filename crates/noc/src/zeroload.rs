@@ -130,7 +130,13 @@ mod tests {
     #[test]
     fn smart_formula_matches_simulator() {
         let cfg = NocConfig::paper();
-        for (s, d, len) in [(0u16, 1u16, 1u8), (0, 7, 1), (0, 9, 1), (0, 63, 1), (0, 4, 5)] {
+        for (s, d, len) in [
+            (0u16, 1u16, 1u8),
+            (0, 7, 1),
+            (0, 9, 1),
+            (0, 63, 1),
+            (0, 4, 5),
+        ] {
             let sim = simulate(SmartNetwork::new(cfg.clone()), s, d, len);
             let model = smart_latency(&cfg, NodeId::new(s), NodeId::new(d), len);
             assert_eq!(sim, model, "smart {s}->{d} len {len}");
@@ -166,6 +172,9 @@ mod tests {
         let (s, d) = (NodeId::new(0), NodeId::new(63));
         let pra = pra_best_latency(&cfg, s, d, 1);
         let ideal = ideal_latency(&cfg, s, d, 1);
-        assert!(pra - ideal <= 3, "pra {pra} within a few cycles of ideal {ideal}");
+        assert!(
+            pra - ideal <= 3,
+            "pra {pra} within a few cycles of ideal {ideal}"
+        );
     }
 }

@@ -1,0 +1,156 @@
+//! Fault-scenario integration tests: permanent damage must strand no
+//! flits, deadlock nothing, and never break conservation.
+
+use noc::config::{NocConfig, NocConfigBuilder};
+use noc::faults::{FaultEvent, FaultPlan};
+use noc::mesh::MeshNetwork;
+use noc::network::Network;
+use noc::traffic::{Pattern, TrafficGen};
+use noc::types::{Direction, NodeId};
+use noc::watchdog::Watchdog;
+
+fn cfg_with(plan: FaultPlan) -> NocConfig {
+    NocConfigBuilder::new()
+        .faults(plan)
+        .build()
+        .expect("valid config")
+}
+
+/// Steps `net` once and feeds the watchdog when a check is due.
+fn step_watched(net: &mut MeshNetwork, wd: &mut Watchdog) {
+    net.step();
+    if wd.due(net.now()) {
+        if let Some(report) = net.audit() {
+            wd.observe(&report);
+        }
+    }
+    net.drain_delivered();
+}
+
+/// Drains in-flight traffic, then asserts the final audit conserves every
+/// delivered and lost packet against the injection count.
+fn assert_conserved(net: &mut MeshNetwork, gen: &TrafficGen, wd: &mut Watchdog) {
+    let deadline = net.now() + 100_000;
+    while net.in_flight() > 0 && net.now() < deadline {
+        step_watched(net, wd);
+    }
+    assert_eq!(net.in_flight(), 0, "network must drain after faults");
+    let report = net.audit().expect("mesh always audits");
+    let refused = net.fault_stats().map_or(0, |fs| fs.injections_refused);
+    assert_eq!(
+        report.delivered_packets + report.lost_packets + refused,
+        gen.injected(),
+        "every injected packet must be delivered, purged, or refused"
+    );
+    assert!(
+        wd.is_quiet(),
+        "watchdog must stay quiet: {:?}",
+        wd.violations()
+    );
+    assert!(wd.checks_run() > 0, "audits must actually run");
+}
+
+#[test]
+fn dead_link_never_carries_a_flit() {
+    let fault_at = 500;
+    let node = NodeId::new(27);
+    let dir = Direction::East;
+    let plan = FaultPlan::new(7).with_event(FaultEvent::PermanentLink {
+        at: fault_at,
+        node,
+        dir,
+    });
+    let cfg = cfg_with(plan);
+    let mut net = MeshNetwork::new(cfg.clone());
+    let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, 0.05, 11);
+    let mut wd = Watchdog::default();
+
+    while net.now() < fault_at + 2 {
+        gen.tick(&mut net);
+        step_watched(&mut net, &mut wd);
+    }
+    assert!(!net.link_alive(node, dir), "link must be dead by now");
+    let nb = NodeId::new(28); // east neighbour of 27
+    let east = net.link_use(node, dir);
+    let west = net.link_use(nb, Direction::West);
+    assert!(east > 0, "the link must have carried traffic before dying");
+
+    for _ in 0..5_000 {
+        gen.tick(&mut net);
+        step_watched(&mut net, &mut wd);
+    }
+    assert_eq!(
+        net.link_use(node, dir),
+        east,
+        "a permanently failed link must never carry another flit"
+    );
+    assert_eq!(
+        net.link_use(nb, Direction::West),
+        west,
+        "both directions of the physical channel fail together"
+    );
+    gen.stop();
+    assert_conserved(&mut net, &gen, &mut wd);
+}
+
+#[test]
+fn router_hard_fault_does_not_deadlock_remaining_mesh() {
+    let plan = FaultPlan::new(3).with_event(FaultEvent::RouterDown {
+        at: 200,
+        node: NodeId::new(27),
+    });
+    let cfg = cfg_with(plan);
+    let mut net = MeshNetwork::new(cfg.clone());
+    let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, 0.05, 13);
+    let mut wd = Watchdog::default();
+
+    // 50k cycles under load: the deadlock and livelock detectors (budgets
+    // of 10k and 20k cycles) would fire well within this window.
+    for _ in 0..50_000 {
+        gen.tick(&mut net);
+        step_watched(&mut net, &mut wd);
+    }
+    assert!(!net.node_alive(NodeId::new(27)));
+    assert!(
+        wd.is_quiet(),
+        "no deadlock/livelock/conservation violation: {:?}",
+        wd.violations()
+    );
+    assert!(net.stats().delivered() > 10_000, "traffic keeps flowing");
+    gen.stop();
+    assert_conserved(&mut net, &gen, &mut wd);
+}
+
+#[test]
+fn conservation_holds_across_random_fault_plans() {
+    for seed in 0..4u64 {
+        let victim = NodeId::new((7 + seed * 13) as u16 % 64);
+        let plan = FaultPlan::new(seed)
+            .transient_rate_ppb(1_000_000) // ~1e-3 per link per cycle
+            .with_event(FaultEvent::PermanentLink {
+                at: 300 + seed * 37,
+                node: victim,
+                dir: Direction::South,
+            })
+            .with_event(FaultEvent::CreditLoss {
+                at: 450 + seed * 11,
+                node: victim,
+                dir: Direction::East,
+                vc: (seed % 3) as u8,
+            })
+            .with_event(FaultEvent::RouterDown {
+                at: 900 + seed * 53,
+                node: NodeId::new((40 + seed * 7) as u16 % 64),
+            });
+        let cfg = cfg_with(plan);
+        let mut net = MeshNetwork::new(cfg.clone());
+        let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, 0.05, 100 + seed);
+        let mut wd = Watchdog::default();
+        for _ in 0..3_000 {
+            gen.tick(&mut net);
+            step_watched(&mut net, &mut wd);
+        }
+        gen.stop();
+        assert_conserved(&mut net, &gen, &mut wd);
+    }
+}

@@ -10,7 +10,13 @@ use noc::reserve::{FlitSource, Landing};
 use noc::types::{Direction, MessageClass, NodeId, PacketId, Port};
 
 fn pkt(id: u64, src: u16, dest: u16, class: MessageClass, len: u8) -> Packet {
-    Packet::new(PacketId(id), NodeId::new(src), NodeId::new(dest), class, len)
+    Packet::new(
+        PacketId(id),
+        NodeId::new(src),
+        NodeId::new(dest),
+        class,
+        len,
+    )
 }
 
 #[test]
@@ -192,7 +198,8 @@ fn cancel_releases_everything_and_traffic_flows_again() {
     net.cancel_packet_from(PacketId(42), 0, 0);
     assert!(!net.has_reservations(PacketId(42)));
     assert_eq!(
-        net.out_vc(NodeId::new(1), Port::Dir(Direction::East), 2).reserved(),
+        net.out_vc(NodeId::new(1), Port::Dir(Direction::East), 2)
+            .reserved(),
         0
     );
     // A multi-flit response can immediately use the port.
@@ -225,10 +232,16 @@ fn source_backlog_reflects_queue_and_vc() {
     // Two 5-flit responses: 10 flits, VC holds 5.
     net.inject(pkt(1, 0, 5, MessageClass::Response, 5));
     net.inject(pkt(2, 0, 9, MessageClass::Response, 5));
-    assert_eq!(net.source_backlog(NodeId::new(0), MessageClass::Response), 10);
+    assert_eq!(
+        net.source_backlog(NodeId::new(0), MessageClass::Response),
+        10
+    );
     assert_eq!(net.source_backlog(NodeId::new(0), MessageClass::Request), 0);
     net.run_to_drain(500);
-    assert_eq!(net.source_backlog(NodeId::new(0), MessageClass::Response), 0);
+    assert_eq!(
+        net.source_backlog(NodeId::new(0), MessageClass::Response),
+        0
+    );
 }
 
 #[test]

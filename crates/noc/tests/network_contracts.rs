@@ -155,8 +155,8 @@ fn saturation_does_not_lose_packets() {
     // Way past saturation for 2k cycles, then drain: conservation holds.
     let cfg = NocConfig::paper();
     for (name, mut net) in orgs(&cfg) {
-        let mut gen = TrafficGen::new(cfg.clone(), Pattern::UniformRandom, 0.5, 3)
-            .response_fraction(0.7);
+        let mut gen =
+            TrafficGen::new(cfg.clone(), Pattern::UniformRandom, 0.5, 3).response_fraction(0.7);
         for _ in 0..2_000 {
             gen.tick(&mut *net);
             net.step();

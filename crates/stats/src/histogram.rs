@@ -1,7 +1,5 @@
 //! Integer histograms (e.g. Figure 7's lag-at-drop distribution).
 
-use serde::{Deserialize, Serialize};
-
 /// A bounded integer histogram with an overflow bucket.
 ///
 /// # Examples
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.total(), 4);
 /// assert!((h.fraction(0) - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     overflow: u64,

@@ -10,9 +10,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod histogram;
+pub mod json;
+pub mod rng;
 pub mod sampling;
 pub mod summary;
 
 pub use histogram::Histogram;
+pub use json::Json;
+pub use rng::Rng;
 pub use sampling::SampleSpec;
 pub use summary::{geometric_mean, Summary};

@@ -4,8 +4,6 @@
 //! independent samples (different seeds / checkpoints) are aggregated
 //! with 95% confidence intervals.
 
-use serde::{Deserialize, Serialize};
-
 use crate::summary::Summary;
 
 /// A sampling plan.
@@ -14,7 +12,7 @@ use crate::summary::Summary;
 /// of measurement per sample, with enough samples for < 4% error at 95%
 /// confidence. [`SampleSpec::paper`] mirrors those windows; tests and
 /// quick studies use smaller ones.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SampleSpec {
     /// Cycles simulated before measurement starts.
     pub warmup_cycles: u64,

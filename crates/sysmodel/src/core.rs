@@ -191,7 +191,10 @@ mod tests {
             }
         }
         let ipc = total as f64 / cycles as f64;
-        assert!(ipc > 1.7, "near-ideal memory should give IPC close to ILP, got {ipc}");
+        assert!(
+            ipc > 1.7,
+            "near-ideal memory should give IPC close to ILP, got {ipc}"
+        );
     }
 
     #[test]

@@ -11,10 +11,9 @@
 //! subject and the NoC dominates the variable part of the access latency.
 
 use noc::types::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of a tag lookup, reported `tag_cycles` after acceptance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TagOutcome {
     /// Hit: the response data will be ready `data_cycles` later.
     Hit {

@@ -87,7 +87,11 @@ mod tests {
     fn back_to_back_accesses_queue_on_bandwidth() {
         let mut mc = MemoryChannel::new(90, 10);
         assert_eq!(mc.enqueue(1, 100), 190);
-        assert_eq!(mc.enqueue(2, 100), 200, "second line starts 10 cycles later");
+        assert_eq!(
+            mc.enqueue(2, 100),
+            200,
+            "second line starts 10 cycles later"
+        );
         assert_eq!(mc.enqueue(3, 100), 210);
         assert_eq!(mc.served(), 3);
         assert_eq!(mc.busy_cycles(), 30);

@@ -2,7 +2,6 @@
 
 use noc::config::NocConfig;
 use noc::types::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the simulated 64-core server processor.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// an 8 MB NUCA LLC (one 128 KB slice per tile, 1-cycle tag / 4-cycle
 /// data serial lookup), four DDR3-1600 memory channels, and the 8×8 mesh
 /// NoC configuration shared by all organisations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemParams {
     /// NoC configuration (radix, VCs, depths, link width).
     pub noc: NocConfig,
@@ -71,7 +70,10 @@ impl SystemParams {
     /// Panics on invalid parameters (construction-time constants).
     pub fn assert_valid(&self) {
         self.noc.validate().expect("valid NoC configuration");
-        assert!(self.llc_tag_cycles >= 1, "tag lookup takes at least a cycle");
+        assert!(
+            self.llc_tag_cycles >= 1,
+            "tag lookup takes at least a cycle"
+        );
         assert!(
             self.llc_data_cycles >= 1,
             "data lookup takes at least a cycle"

@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 use noc::flit::Packet;
 use noc::network::Network;
 use noc::types::{Cycle, MessageClass, NodeId, PacketId};
+use noc::watchdog::Watchdog;
 use workloads::{CoreStream, WorkloadKind};
 
 use crate::core::{CoreIssue, CoreModel};
@@ -60,6 +61,7 @@ struct Tx {
 
 /// Deferred injections.
 #[derive(Debug, Clone, Copy)]
+#[allow(clippy::enum_variant_names)]
 enum Event {
     /// The L1 miss handling finishes: inject the request.
     InjectRequest(u64),
@@ -97,6 +99,9 @@ pub struct System<N: Network> {
     next_packet: u64,
     issue_buf: Vec<CoreIssue>,
     workload: WorkloadKind,
+    /// Optional invariant watchdog; observes network audits at its own
+    /// check interval. `None` (the default) costs nothing per cycle.
+    watchdog: Option<Watchdog>,
 }
 
 impl<N: Network> System<N> {
@@ -131,9 +136,7 @@ impl<N: Network> System<N> {
         );
         let nodes = params.noc.nodes();
         let cores = (0..nodes)
-            .map(|c| {
-                CoreModel::new(CoreStream::new(profile, nodes as u16, c as u16, seed))
-            })
+            .map(|c| CoreModel::new(CoreStream::new(profile, nodes as u16, c as u16, seed)))
             .collect();
         let slices = (0..nodes)
             .map(|_| LlcSlice::new(params.llc_tag_cycles, params.llc_data_cycles))
@@ -160,7 +163,20 @@ impl<N: Network> System<N> {
             next_packet: 0,
             issue_buf: Vec::new(),
             workload: profile.kind,
+            watchdog: None,
         }
+    }
+
+    /// Attaches an invariant watchdog: from now on, every time a check is
+    /// due the system takes a network audit snapshot and feeds it to the
+    /// watchdog. Networks without audit support are silently skipped.
+    pub fn attach_watchdog(&mut self, watchdog: Watchdog) {
+        self.watchdog = Some(watchdog);
+    }
+
+    /// The attached watchdog, if any.
+    pub fn watchdog(&self) -> Option<&Watchdog> {
+        self.watchdog.as_ref()
     }
 
     /// The workload being executed.
@@ -206,6 +222,13 @@ impl<N: Network> System<N> {
         self.run_events(t);
         self.run_cores();
         self.network.step();
+        if let Some(wd) = self.watchdog.as_mut() {
+            if wd.due(self.network.now()) {
+                if let Some(report) = self.network.audit() {
+                    wd.observe(&report);
+                }
+            }
+        }
     }
 
     /// Runs `cycles` cycles.
@@ -249,7 +272,10 @@ impl<N: Network> System<N> {
                         let fill = self.fill_packet(txid, &tx);
                         self.network.announce(&fill, (ready - t) as u32);
                     }
-                    self.events.entry(ready).or_default().push(Event::InjectFill(txid));
+                    self.events
+                        .entry(ready)
+                        .or_default()
+                        .push(Event::InjectFill(txid));
                 }
                 LEG_FILL => {
                     // The line is written and then read back through the
@@ -299,14 +325,8 @@ impl<N: Network> System<N> {
                         let mc = self.params.mc_for(txid);
                         let id = self.fresh_packet();
                         self.network.inject(
-                            Packet::new(
-                                id,
-                                NodeId::new(tx.home),
-                                mc,
-                                MessageClass::Request,
-                                1,
-                            )
-                            .with_tag(tag(txid, LEG_MEMREQ)),
+                            Packet::new(id, NodeId::new(tx.home), mc, MessageClass::Request, 1)
+                                .with_tag(tag(txid, LEG_MEMREQ)),
                         );
                     }
                 }
@@ -482,6 +502,22 @@ mod tests {
         a.run(3_000);
         b.run(3_000);
         assert_eq!(a.committed_instructions(), b.committed_instructions());
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_healthy_mesh() {
+        let p = params();
+        let net = MeshNetwork::new(p.noc.clone());
+        let mut sys = System::new(p, net, WorkloadKind::WebSearch, 2);
+        sys.attach_watchdog(Watchdog::default());
+        sys.run(5_000);
+        let wd = sys.watchdog().expect("attached");
+        assert!(wd.checks_run() > 0, "audits must actually run");
+        assert!(
+            wd.is_quiet(),
+            "healthy mesh must raise no violations: {:?}",
+            wd.violations()
+        );
     }
 
     #[test]

@@ -4,10 +4,8 @@
 //! buffers" (Section IV-B). Area and energy scale linearly with bit
 //! count; constants calibrated against Figure 8's mesh buffer component.
 
-use serde::{Deserialize, Serialize};
-
 /// Flip-flop buffer area/energy constants at 32 nm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BufferModel {
     /// Cell area per stored bit, in square micrometres.
     pub area_um2_per_bit: f64,

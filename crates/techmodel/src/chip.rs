@@ -4,12 +4,10 @@
 //! scaled from 40 nm to 32 nm: 2.9 mm² and 1.05 W at 2 GHz, including the
 //! L1 caches.
 
-use serde::{Deserialize, Serialize};
-
 use crate::sram::SramModel;
 
 /// Chip-level area/power model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChipModel {
     /// Cores on the die.
     pub cores: u32,

@@ -1,9 +1,7 @@
 //! Matrix crossbar model (DSENT-style quadratic scaling).
 
-use serde::{Deserialize, Serialize};
-
 /// Matrix crossbar area/energy constants at 32 nm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrossbarModel {
     /// Area coefficient: mm² per (ports × bits)², capturing the matrix
     /// wiring dominating crossbar area.

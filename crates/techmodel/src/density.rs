@@ -44,7 +44,10 @@ mod tests {
         let pra = performance_density(1.09, pra_area);
         let ideal = performance_density(1.18, mesh_area);
 
-        assert!(pra > smart && smart > mesh, "pra {pra} smart {smart} mesh {mesh}");
+        assert!(
+            pra > smart && smart > mesh,
+            "pra {pra} smart {smart} mesh {mesh}"
+        );
         assert!(ideal > pra);
     }
 

@@ -12,7 +12,6 @@
 //!   timeslot bit vectors, and the LSD units (+40% over the mesh).
 
 use noc::config::NocConfig;
-use serde::{Deserialize, Serialize};
 
 use crate::buffer::BufferModel;
 use crate::chip::ChipModel;
@@ -21,7 +20,7 @@ use crate::wire::WireModel;
 
 /// The three physical organisations of Figure 8 (the ideal network has no
 /// physical design; Figure 9 idealistically books it at mesh area).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NocOrganization {
     /// Baseline mesh.
     Mesh,
@@ -50,7 +49,7 @@ impl NocOrganization {
 }
 
 /// Figure 8's stacked components, in mm².
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NocAreaBreakdown {
     /// Link repeater area (wires route over logic and SRAM).
     pub links_mm2: f64,

@@ -9,7 +9,6 @@
 
 use noc::config::NocConfig;
 use noc::stats::NetStats;
-use serde::{Deserialize, Serialize};
 
 use crate::buffer::BufferModel;
 use crate::chip::ChipModel;
@@ -17,7 +16,7 @@ use crate::crossbar::CrossbarModel;
 use crate::wire::WireModel;
 
 /// A NOC power estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NocPower {
     /// Link switching power, watts.
     pub links_w: f64,
@@ -94,7 +93,11 @@ mod tests {
         let cfg = NocConfig::paper();
         let p = NocPower::from_activity(&cfg, &server_load_stats(), 2.0);
         assert!(p.total_w() < 2.0, "NOC power {}", p.total_w());
-        assert!(p.total_w() > 0.1, "NOC power {} implausibly low", p.total_w());
+        assert!(
+            p.total_w() > 0.1,
+            "NOC power {} implausibly low",
+            p.total_w()
+        );
     }
 
     #[test]

@@ -4,10 +4,8 @@
 //! area of 3.2 mm², dissipates 500 mW (mostly leakage), and performs a
 //! serial lookup — 1 cycle of tag followed by 4 cycles of data.
 
-use serde::{Deserialize, Serialize};
-
 /// LLC slice model constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SramModel {
     /// Area per megabyte, mm².
     pub area_mm2_per_mb: f64,

@@ -1,9 +1,7 @@
 //! Semi-global wire model (the paper's Section IV-B constants).
 
-use serde::{Deserialize, Serialize};
-
 /// Repeated semi-global wires at 32 nm / 0.9 V.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WireModel {
     /// Wire pitch in nanometres.
     pub pitch_nm: f64,
@@ -77,7 +75,7 @@ mod tests {
         let reach = w.reach_mm_per_cycle(2.0);
         assert!((reach - 5.88).abs() < 0.05, "reach {reach}");
         let tiles = (reach / 1.85).floor() as u32;
-        assert!(tiles >= 2 && tiles <= 3);
+        assert!((2..=3).contains(&tiles));
     }
 
     #[test]

@@ -40,7 +40,10 @@ fn power_scales_with_load() {
         }
         totals.push(NocPower::from_activity(&cfg, net.stats(), 2.0).total_w());
     }
-    assert!(totals[1] > totals[0], "5x load must cost more power: {totals:?}");
+    assert!(
+        totals[1] > totals[0],
+        "5x load must cost more power: {totals:?}"
+    );
 }
 
 #[test]
@@ -49,10 +52,16 @@ fn area_scales_sensibly_with_configuration() {
     let base = NocAreaBreakdown::compute(NocOrganization::Mesh, &NocConfig::paper());
     let wide = NocAreaBreakdown::compute(
         NocOrganization::Mesh,
-        &NocConfigBuilder::new().link_width_bits(256).build().unwrap(),
+        &NocConfigBuilder::new()
+            .link_width_bits(256)
+            .build()
+            .unwrap(),
     );
     assert!(wide.links_mm2 > base.links_mm2 * 1.9);
-    assert!(wide.crossbar_mm2 > base.crossbar_mm2 * 3.5, "quadratic in width");
+    assert!(
+        wide.crossbar_mm2 > base.crossbar_mm2 * 3.5,
+        "quadratic in width"
+    );
     let small = NocAreaBreakdown::compute(
         NocOrganization::Mesh,
         &NocConfigBuilder::new().radix(4).build().unwrap(),
@@ -68,7 +77,10 @@ fn density_ranking_with_real_areas() {
     // The repository's measured gmean performance ratios.
     let mesh_d = performance_density(1.000, mesh_area);
     let pra_d = performance_density(1.086, pra_area);
-    assert!(pra_d / mesh_d > 1.07, "density gain tracks performance gain");
+    assert!(
+        pra_d / mesh_d > 1.07,
+        "density gain tracks performance gain"
+    );
 }
 
 #[test]

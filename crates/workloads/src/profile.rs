@@ -9,10 +9,8 @@
 //! calibrated so the mesh→ideal performance gap of the simulated 64-core
 //! system reproduces the paper's Figure 2/6 bands.
 
-use serde::{Deserialize, Serialize};
-
 /// The six CloudSuite workloads of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// NoSQL data store serving key-value lookups (Cassandra).
     DataServing,
@@ -129,7 +127,7 @@ impl WorkloadKind {
 }
 
 /// Per-workload behavioural parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadProfile {
     /// Which workload this profile describes.
     pub kind: WorkloadKind,
@@ -159,7 +157,10 @@ impl WorkloadProfile {
     /// Panics if any parameter is out of its physical range; profiles are
     /// construction-time constants, so this is a programming error.
     pub fn assert_valid(&self) {
-        assert!(self.ilp > 0.0 && self.ilp <= 3.0, "ILP within the 3-way core");
+        assert!(
+            self.ilp > 0.0 && self.ilp <= 3.0,
+            "ILP within the 3-way core"
+        );
         assert!(self.mlp >= 1, "at least one outstanding miss");
         assert!(self.i_mpki >= 0.0 && self.i_mpki < 1000.0);
         assert!(self.d_mpki >= 0.0 && self.d_mpki < 1000.0);

@@ -5,8 +5,7 @@
 //! for a given `(workload, core, seed)` triple, independent of simulation
 //! timing. System models consume one event per committed instruction.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use nistats::rng::Rng;
 
 use crate::profile::WorkloadProfile;
 
@@ -56,7 +55,7 @@ pub struct CoreStream {
     profile: WorkloadProfile,
     nodes: u16,
     core: u16,
-    rng: SmallRng,
+    rng: Rng,
     instructions: u64,
 }
 
@@ -78,7 +77,7 @@ impl CoreStream {
             profile,
             nodes,
             core,
-            rng: SmallRng::seed_from_u64(mixed),
+            rng: Rng::new(mixed),
             instructions: 0,
         }
     }
@@ -96,7 +95,7 @@ impl CoreStream {
     /// Draws the event of the next committed instruction.
     pub fn next_event(&mut self) -> InstrEvent {
         self.instructions += 1;
-        let r: f64 = self.rng.gen();
+        let r: f64 = self.rng.f64();
         let p_i = self.profile.i_miss_prob();
         let p_d = self.profile.d_miss_prob();
         let p_c = self.profile.coherence_prob();
@@ -123,11 +122,11 @@ impl CoreStream {
     /// line-granularity interleaving), excluding no one — local hits are
     /// legitimate and fast.
     fn draw_home(&mut self) -> u16 {
-        self.rng.gen_range(0..self.nodes)
+        self.rng.gen_range_u16(0, self.nodes)
     }
 
     fn draw_peer(&mut self) -> u16 {
-        let off = self.rng.gen_range(1..self.nodes);
+        let off = self.rng.gen_range_u16(1, self.nodes);
         (self.core + off) % self.nodes
     }
 }
@@ -182,11 +181,23 @@ mod tests {
         let i_mpki = i as f64 / n as f64 * 1000.0;
         let d_mpki = d as f64 / n as f64 * 1000.0;
         let c_pki = c as f64 / n as f64 * 1000.0;
-        assert!((i_mpki - profile.i_mpki).abs() / profile.i_mpki < 0.05, "{i_mpki}");
-        assert!((d_mpki - profile.d_mpki).abs() / profile.d_mpki < 0.05, "{d_mpki}");
-        assert!((c_pki - profile.coherence_per_kilo_instr).abs() < 0.3, "{c_pki}");
+        assert!(
+            (i_mpki - profile.i_mpki).abs() / profile.i_mpki < 0.05,
+            "{i_mpki}"
+        );
+        assert!(
+            (d_mpki - profile.d_mpki).abs() / profile.d_mpki < 0.05,
+            "{d_mpki}"
+        );
+        assert!(
+            (c_pki - profile.coherence_per_kilo_instr).abs() < 0.3,
+            "{c_pki}"
+        );
         let hit_ratio = hits as f64 / (i + d) as f64;
-        assert!((hit_ratio - profile.llc_hit_ratio).abs() < 0.02, "{hit_ratio}");
+        assert!(
+            (hit_ratio - profile.llc_hit_ratio).abs() < 0.02,
+            "{hit_ratio}"
+        );
         assert_eq!(s.instructions(), n);
     }
 
@@ -200,7 +211,10 @@ mod tests {
                 seen[home as usize] = true;
             }
         }
-        assert!(seen.iter().all(|s| *s), "interleaving must reach every slice");
+        assert!(
+            seen.iter().all(|s| *s),
+            "interleaving must reach every slice"
+        );
     }
 
     #[test]

@@ -50,14 +50,21 @@ fn round_trip(mut net: impl Network, core: u16, home: u16) -> (u64, u64, u64) {
 fn main() {
     let cfg = NocConfig::paper();
     let (core, home) = (0u16, 36u16); // 4+4 hops corner-ish to centre
-    println!(
-        "One L1-I miss, core n{core} -> LLC slice n{home} (9 hops each way)\n"
-    );
+    println!("One L1-I miss, core n{core} -> LLC slice n{home} (9 hops each way)\n");
     println!("organisation   request   response   total round trip");
     let rows = [
-        ("Mesh", round_trip(MeshNetwork::new(cfg.clone()), core, home)),
-        ("SMART", round_trip(SmartNetwork::new(cfg.clone()), core, home)),
-        ("Mesh+PRA", round_trip(PraNetwork::new(cfg.clone()), core, home)),
+        (
+            "Mesh",
+            round_trip(MeshNetwork::new(cfg.clone()), core, home),
+        ),
+        (
+            "SMART",
+            round_trip(SmartNetwork::new(cfg.clone()), core, home),
+        ),
+        (
+            "Mesh+PRA",
+            round_trip(PraNetwork::new(cfg.clone()), core, home),
+        ),
         ("Ideal", round_trip(IdealNetwork::new(cfg), core, home)),
     ];
     for (name, (rq, rs, total)) in rows {

@@ -11,12 +11,14 @@
 use noc::config::NocConfigBuilder;
 use noc::ideal::IdealNetwork;
 use noc::mesh::MeshNetwork;
-use noc::network::Network;
 use noc::traffic::{measure_latency, Pattern, TrafficGen};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Average latency, uniform random @0.015 packets/node/cycle\n");
-    println!("{:>6} {:>10} {:>10} {:>12}", "radix", "mesh", "ideal", "router tax");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12}",
+        "radix", "mesh", "ideal", "router tax"
+    );
     for radix in [4u16, 6, 8, 10] {
         let cfg = NocConfigBuilder::new().radix(radix).build()?;
         let mut mesh = MeshNetwork::new(cfg.clone());

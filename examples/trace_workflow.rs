@@ -6,6 +6,7 @@
 //! cargo run --release --example trace_workflow
 //! ```
 
+use nistats::rng::Rng;
 use noc::config::NocConfig;
 use noc::ideal::IdealNetwork;
 use noc::mesh::MeshNetwork;
@@ -13,16 +14,15 @@ use noc::network::Network;
 use noc::trace::{replay, Trace, TraceEntry};
 use noc::types::MessageClass;
 use pra::network::PraNetwork;
-use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build a server-flavoured trace: request/response pairs between
     //    cores and LLC-like home slices, responses announced 4 ahead.
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(2017);
+    let mut rng = Rng::new(2017);
     let mut trace = Trace::new();
     for i in 0..400u64 {
-        let core = rng.gen_range(0..64u16);
-        let home = rng.gen_range(0..64u16);
+        let core = rng.gen_range_u16(0, 64);
+        let home = rng.gen_range_u16(0, 64);
         if core == home {
             continue;
         }
@@ -44,18 +44,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             announce_lead: 4,
         });
     }
-    println!("built a trace of {} packets (horizon {} cycles)", trace.len(), trace.horizon());
+    println!(
+        "built a trace of {} packets (horizon {} cycles)",
+        trace.len(),
+        trace.horizon()
+    );
 
     // 2. Round-trip through JSON, as `nocsim --trace` would consume it.
-    let json = trace.to_json()?;
+    let json = trace.to_json();
     let trace = Trace::from_json(&json)?;
     println!("serialized to {} bytes of JSON\n", json.len());
 
     // 3. Replay against three organisations.
-    println!("{:<10}{:>10}{:>12}{:>10}", "org", "delivered", "avg lat", "p99");
+    println!(
+        "{:<10}{:>10}{:>12}{:>10}",
+        "org", "delivered", "avg lat", "p99"
+    );
     let cfg = NocConfig::paper();
     for (name, mut net) in [
-        ("mesh", Box::new(MeshNetwork::new(cfg.clone())) as Box<dyn Network>),
+        (
+            "mesh",
+            Box::new(MeshNetwork::new(cfg.clone())) as Box<dyn Network>,
+        ),
         ("pra", Box::new(PraNetwork::new(cfg.clone()))),
         ("ideal", Box::new(IdealNetwork::new(cfg.clone()))),
     ] {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-41f2b6f004a07a11.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-41f2b6f004a07a11: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

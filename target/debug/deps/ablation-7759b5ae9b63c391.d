@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-7759b5ae9b63c391.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-7759b5ae9b63c391: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

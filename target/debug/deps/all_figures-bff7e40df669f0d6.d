@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-bff7e40df669f0d6.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-bff7e40df669f0d6: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

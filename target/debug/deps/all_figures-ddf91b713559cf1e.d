@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-ddf91b713559cf1e.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-ddf91b713559cf1e: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-554efba8ea3018b5.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-554efba8ea3018b5.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

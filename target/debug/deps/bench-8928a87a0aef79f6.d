@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-8928a87a0aef79f6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-8928a87a0aef79f6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-8928a87a0aef79f6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

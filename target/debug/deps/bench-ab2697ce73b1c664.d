@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-ab2697ce73b1c664.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-ab2697ce73b1c664: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_sweep-14c690db896ed61d.d: crates/bench/src/bin/fault_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_sweep-14c690db896ed61d.rmeta: crates/bench/src/bin/fault_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

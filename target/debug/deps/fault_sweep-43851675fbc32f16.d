@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-43851675fbc32f16.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-43851675fbc32f16: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-5d954b268c96f07a.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-5d954b268c96f07a: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

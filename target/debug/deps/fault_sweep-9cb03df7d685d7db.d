@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_sweep-9cb03df7d685d7db.d: crates/bench/src/bin/fault_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_sweep-9cb03df7d685d7db.rmeta: crates/bench/src/bin/fault_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults-a5190fc1a7067dec.d: crates/noc/tests/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-a5190fc1a7067dec.rmeta: crates/noc/tests/faults.rs Cargo.toml
+
+crates/noc/tests/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-cbc6c95dcfeb2c52.d: crates/noc/tests/faults.rs
+
+/root/repo/target/debug/deps/faults-cbc6c95dcfeb2c52: crates/noc/tests/faults.rs
+
+crates/noc/tests/faults.rs:

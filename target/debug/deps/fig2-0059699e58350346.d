@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-0059699e58350346.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-0059699e58350346: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-a395737b43524848.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-a395737b43524848: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

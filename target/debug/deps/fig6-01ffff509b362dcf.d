@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-01ffff509b362dcf.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-01ffff509b362dcf: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

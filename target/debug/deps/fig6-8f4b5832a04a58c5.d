@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-8f4b5832a04a58c5.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-8f4b5832a04a58c5: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

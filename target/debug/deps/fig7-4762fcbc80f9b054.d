@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-4762fcbc80f9b054.d: crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-4762fcbc80f9b054.rmeta: crates/bench/src/bin/fig7.rs Cargo.toml
+
+crates/bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-71714fa231f09f48.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-71714fa231f09f48: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-774ab8048a0b641a.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-774ab8048a0b641a: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-91cf5ca48489d99c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-91cf5ca48489d99c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

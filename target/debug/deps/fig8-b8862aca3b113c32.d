@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8-b8862aca3b113c32.d: crates/bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-b8862aca3b113c32.rmeta: crates/bench/src/bin/fig8.rs Cargo.toml
+
+crates/bench/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-fc1cb6ccd10fe7ab.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-fc1cb6ccd10fe7ab: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

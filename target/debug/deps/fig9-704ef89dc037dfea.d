@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-704ef89dc037dfea.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-704ef89dc037dfea: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

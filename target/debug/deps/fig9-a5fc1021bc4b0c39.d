@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-a5fc1021bc4b0c39.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-a5fc1021bc4b0c39: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flows-56450ef0d2687906.d: crates/sysmodel/tests/flows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflows-56450ef0d2687906.rmeta: crates/sysmodel/tests/flows.rs Cargo.toml
+
+crates/sysmodel/tests/flows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

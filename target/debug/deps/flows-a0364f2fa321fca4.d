@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flows-a0364f2fa321fca4.d: crates/sysmodel/tests/flows.rs
+
+/root/repo/target/debug/deps/flows-a0364f2fa321fca4: crates/sysmodel/tests/flows.rs
+
+crates/sysmodel/tests/flows.rs:

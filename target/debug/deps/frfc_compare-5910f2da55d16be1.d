@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frfc_compare-5910f2da55d16be1.d: crates/bench/src/bin/frfc_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrfc_compare-5910f2da55d16be1.rmeta: crates/bench/src/bin/frfc_compare.rs Cargo.toml
+
+crates/bench/src/bin/frfc_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frfc_compare-81ad9cd025da0bc6.d: crates/bench/src/bin/frfc_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrfc_compare-81ad9cd025da0bc6.rmeta: crates/bench/src/bin/frfc_compare.rs Cargo.toml
+
+crates/bench/src/bin/frfc_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frfc_compare-8fe53654864bf78c.d: crates/bench/src/bin/frfc_compare.rs
+
+/root/repo/target/debug/deps/frfc_compare-8fe53654864bf78c: crates/bench/src/bin/frfc_compare.rs
+
+crates/bench/src/bin/frfc_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frfc_compare-c1a7053a2e0cc266.d: crates/bench/src/bin/frfc_compare.rs
+
+/root/repo/target/debug/deps/frfc_compare-c1a7053a2e0cc266: crates/bench/src/bin/frfc_compare.rs
+
+crates/bench/src/bin/frfc_compare.rs:

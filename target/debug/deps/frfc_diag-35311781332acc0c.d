@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frfc_diag-35311781332acc0c.d: crates/bench/src/bin/frfc_diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrfc_diag-35311781332acc0c.rmeta: crates/bench/src/bin/frfc_diag.rs Cargo.toml
+
+crates/bench/src/bin/frfc_diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

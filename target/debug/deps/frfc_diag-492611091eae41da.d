@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frfc_diag-492611091eae41da.d: crates/bench/src/bin/frfc_diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrfc_diag-492611091eae41da.rmeta: crates/bench/src/bin/frfc_diag.rs Cargo.toml
+
+crates/bench/src/bin/frfc_diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

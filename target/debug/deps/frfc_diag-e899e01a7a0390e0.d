@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frfc_diag-e899e01a7a0390e0.d: crates/bench/src/bin/frfc_diag.rs
+
+/root/repo/target/debug/deps/frfc_diag-e899e01a7a0390e0: crates/bench/src/bin/frfc_diag.rs
+
+crates/bench/src/bin/frfc_diag.rs:

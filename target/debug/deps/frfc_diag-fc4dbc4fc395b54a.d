@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frfc_diag-fc4dbc4fc395b54a.d: crates/bench/src/bin/frfc_diag.rs
+
+/root/repo/target/debug/deps/frfc_diag-fc4dbc4fc395b54a: crates/bench/src/bin/frfc_diag.rs
+
+crates/bench/src/bin/frfc_diag.rs:

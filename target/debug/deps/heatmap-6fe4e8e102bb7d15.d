@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heatmap-6fe4e8e102bb7d15.d: crates/bench/src/bin/heatmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheatmap-6fe4e8e102bb7d15.rmeta: crates/bench/src/bin/heatmap.rs Cargo.toml
+
+crates/bench/src/bin/heatmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

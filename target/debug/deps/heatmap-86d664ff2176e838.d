@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heatmap-86d664ff2176e838.d: crates/bench/src/bin/heatmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheatmap-86d664ff2176e838.rmeta: crates/bench/src/bin/heatmap.rs Cargo.toml
+
+crates/bench/src/bin/heatmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

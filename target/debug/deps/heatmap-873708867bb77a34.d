@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heatmap-873708867bb77a34.d: crates/bench/src/bin/heatmap.rs
+
+/root/repo/target/debug/deps/heatmap-873708867bb77a34: crates/bench/src/bin/heatmap.rs
+
+crates/bench/src/bin/heatmap.rs:

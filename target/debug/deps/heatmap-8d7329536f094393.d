@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heatmap-8d7329536f094393.d: crates/bench/src/bin/heatmap.rs
+
+/root/repo/target/debug/deps/heatmap-8d7329536f094393: crates/bench/src/bin/heatmap.rs
+
+crates/bench/src/bin/heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpc_sweep-650c5e4ab96e807f.d: crates/bench/src/bin/hpc_sweep.rs
+
+/root/repo/target/debug/deps/hpc_sweep-650c5e4ab96e807f: crates/bench/src/bin/hpc_sweep.rs
+
+crates/bench/src/bin/hpc_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpc_sweep-65ad1ae7623663ad.d: crates/bench/src/bin/hpc_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpc_sweep-65ad1ae7623663ad.rmeta: crates/bench/src/bin/hpc_sweep.rs Cargo.toml
+
+crates/bench/src/bin/hpc_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

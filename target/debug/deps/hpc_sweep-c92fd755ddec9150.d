@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpc_sweep-c92fd755ddec9150.d: crates/bench/src/bin/hpc_sweep.rs
+
+/root/repo/target/debug/deps/hpc_sweep-c92fd755ddec9150: crates/bench/src/bin/hpc_sweep.rs
+
+crates/bench/src/bin/hpc_sweep.rs:

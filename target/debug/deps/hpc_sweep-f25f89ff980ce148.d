@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpc_sweep-f25f89ff980ce148.d: crates/bench/src/bin/hpc_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpc_sweep-f25f89ff980ce148.rmeta: crates/bench/src/bin/hpc_sweep.rs Cargo.toml
+
+crates/bench/src/bin/hpc_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-ef5848b2371ccd2d.d: crates/techmodel/tests/integration.rs
+
+/root/repo/target/debug/deps/integration-ef5848b2371ccd2d: crates/techmodel/tests/integration.rs
+
+crates/techmodel/tests/integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-fda50ccdec736757.d: crates/techmodel/tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-fda50ccdec736757.rmeta: crates/techmodel/tests/integration.rs Cargo.toml
+
+crates/techmodel/tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

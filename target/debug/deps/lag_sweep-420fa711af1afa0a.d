@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lag_sweep-420fa711af1afa0a.d: crates/bench/src/bin/lag_sweep.rs
+
+/root/repo/target/debug/deps/lag_sweep-420fa711af1afa0a: crates/bench/src/bin/lag_sweep.rs
+
+crates/bench/src/bin/lag_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lag_sweep-5c1782c1cd0fcab5.d: crates/bench/src/bin/lag_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblag_sweep-5c1782c1cd0fcab5.rmeta: crates/bench/src/bin/lag_sweep.rs Cargo.toml
+
+crates/bench/src/bin/lag_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lag_sweep-9d62cc21d1edfb56.d: crates/bench/src/bin/lag_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblag_sweep-9d62cc21d1edfb56.rmeta: crates/bench/src/bin/lag_sweep.rs Cargo.toml
+
+crates/bench/src/bin/lag_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lag_sweep-d626e774f296769b.d: crates/bench/src/bin/lag_sweep.rs
+
+/root/repo/target/debug/deps/lag_sweep-d626e774f296769b: crates/bench/src/bin/lag_sweep.rs
+
+crates/bench/src/bin/lag_sweep.rs:

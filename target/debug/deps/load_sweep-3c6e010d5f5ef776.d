@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/load_sweep-3c6e010d5f5ef776.d: crates/bench/src/bin/load_sweep.rs
+
+/root/repo/target/debug/deps/load_sweep-3c6e010d5f5ef776: crates/bench/src/bin/load_sweep.rs
+
+crates/bench/src/bin/load_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/load_sweep-428d23ec7dde9e74.d: crates/bench/src/bin/load_sweep.rs
+
+/root/repo/target/debug/deps/load_sweep-428d23ec7dde9e74: crates/bench/src/bin/load_sweep.rs
+
+crates/bench/src/bin/load_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/load_sweep-53423d6142ef3e09.d: crates/bench/src/bin/load_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libload_sweep-53423d6142ef3e09.rmeta: crates/bench/src/bin/load_sweep.rs Cargo.toml
+
+crates/bench/src/bin/load_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

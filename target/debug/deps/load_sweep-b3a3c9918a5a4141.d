@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/load_sweep-b3a3c9918a5a4141.d: crates/bench/src/bin/load_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libload_sweep-b3a3c9918a5a4141.rmeta: crates/bench/src/bin/load_sweep.rs Cargo.toml
+
+crates/bench/src/bin/load_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

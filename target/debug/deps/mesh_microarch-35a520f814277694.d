@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mesh_microarch-35a520f814277694.d: crates/noc/tests/mesh_microarch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmesh_microarch-35a520f814277694.rmeta: crates/noc/tests/mesh_microarch.rs Cargo.toml
+
+crates/noc/tests/mesh_microarch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mesh_microarch-d02f579f4ded4d78.d: crates/noc/tests/mesh_microarch.rs
+
+/root/repo/target/debug/deps/mesh_microarch-d02f579f4ded4d78: crates/noc/tests/mesh_microarch.rs
+
+crates/noc/tests/mesh_microarch.rs:

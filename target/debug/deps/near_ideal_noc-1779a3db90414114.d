@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/near_ideal_noc-1779a3db90414114.d: src/lib.rs
+
+/root/repo/target/debug/deps/near_ideal_noc-1779a3db90414114: src/lib.rs
+
+src/lib.rs:

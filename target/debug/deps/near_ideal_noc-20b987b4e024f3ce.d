@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/near_ideal_noc-20b987b4e024f3ce.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnear_ideal_noc-20b987b4e024f3ce.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

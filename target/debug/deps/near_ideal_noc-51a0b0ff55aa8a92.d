@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/near_ideal_noc-51a0b0ff55aa8a92.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnear_ideal_noc-51a0b0ff55aa8a92.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/near_ideal_noc-5c7569a7f6024c75.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnear_ideal_noc-5c7569a7f6024c75.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnear_ideal_noc-5c7569a7f6024c75.rmeta: src/lib.rs
+
+src/lib.rs:

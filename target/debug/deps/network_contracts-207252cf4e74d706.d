@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/network_contracts-207252cf4e74d706.d: crates/noc/tests/network_contracts.rs
+
+/root/repo/target/debug/deps/network_contracts-207252cf4e74d706: crates/noc/tests/network_contracts.rs
+
+crates/noc/tests/network_contracts.rs:

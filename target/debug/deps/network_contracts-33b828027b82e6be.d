@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/network_contracts-33b828027b82e6be.d: crates/noc/tests/network_contracts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetwork_contracts-33b828027b82e6be.rmeta: crates/noc/tests/network_contracts.rs Cargo.toml
+
+crates/noc/tests/network_contracts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nistats-29f1c1bc51161e02.d: crates/stats/src/lib.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnistats-29f1c1bc51161e02.rmeta: crates/stats/src/lib.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/summary.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/json.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sampling.rs:
+crates/stats/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

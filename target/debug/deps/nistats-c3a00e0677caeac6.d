@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nistats-c3a00e0677caeac6.d: crates/stats/src/lib.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/nistats-c3a00e0677caeac6: crates/stats/src/lib.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/json.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sampling.rs:
+crates/stats/src/summary.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nistats-e9e6ecf8f2af02da.d: crates/stats/src/lib.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/libnistats-e9e6ecf8f2af02da.rlib: crates/stats/src/lib.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/libnistats-e9e6ecf8f2af02da.rmeta: crates/stats/src/lib.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/json.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sampling.rs:
+crates/stats/src/summary.rs:

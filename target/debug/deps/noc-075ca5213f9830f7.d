@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/noc-075ca5213f9830f7.d: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/buffer.rs crates/noc/src/config.rs crates/noc/src/credit.rs crates/noc/src/faults.rs crates/noc/src/flit.rs crates/noc/src/ideal.rs crates/noc/src/mesh.rs crates/noc/src/network.rs crates/noc/src/reserve.rs crates/noc/src/routing.rs crates/noc/src/smart.rs crates/noc/src/stats.rs crates/noc/src/trace.rs crates/noc/src/traffic.rs crates/noc/src/types.rs crates/noc/src/watchdog.rs crates/noc/src/zeroload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc-075ca5213f9830f7.rmeta: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/buffer.rs crates/noc/src/config.rs crates/noc/src/credit.rs crates/noc/src/faults.rs crates/noc/src/flit.rs crates/noc/src/ideal.rs crates/noc/src/mesh.rs crates/noc/src/network.rs crates/noc/src/reserve.rs crates/noc/src/routing.rs crates/noc/src/smart.rs crates/noc/src/stats.rs crates/noc/src/trace.rs crates/noc/src/traffic.rs crates/noc/src/types.rs crates/noc/src/watchdog.rs crates/noc/src/zeroload.rs Cargo.toml
+
+crates/noc/src/lib.rs:
+crates/noc/src/arbiter.rs:
+crates/noc/src/buffer.rs:
+crates/noc/src/config.rs:
+crates/noc/src/credit.rs:
+crates/noc/src/faults.rs:
+crates/noc/src/flit.rs:
+crates/noc/src/ideal.rs:
+crates/noc/src/mesh.rs:
+crates/noc/src/network.rs:
+crates/noc/src/reserve.rs:
+crates/noc/src/routing.rs:
+crates/noc/src/smart.rs:
+crates/noc/src/stats.rs:
+crates/noc/src/trace.rs:
+crates/noc/src/traffic.rs:
+crates/noc/src/types.rs:
+crates/noc/src/watchdog.rs:
+crates/noc/src/zeroload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/noc-8bb6febabd8ef00a.d: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/buffer.rs crates/noc/src/config.rs crates/noc/src/credit.rs crates/noc/src/faults.rs crates/noc/src/flit.rs crates/noc/src/ideal.rs crates/noc/src/mesh.rs crates/noc/src/network.rs crates/noc/src/reserve.rs crates/noc/src/routing.rs crates/noc/src/smart.rs crates/noc/src/stats.rs crates/noc/src/trace.rs crates/noc/src/traffic.rs crates/noc/src/types.rs crates/noc/src/watchdog.rs crates/noc/src/zeroload.rs
+
+/root/repo/target/debug/deps/noc-8bb6febabd8ef00a: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/buffer.rs crates/noc/src/config.rs crates/noc/src/credit.rs crates/noc/src/faults.rs crates/noc/src/flit.rs crates/noc/src/ideal.rs crates/noc/src/mesh.rs crates/noc/src/network.rs crates/noc/src/reserve.rs crates/noc/src/routing.rs crates/noc/src/smart.rs crates/noc/src/stats.rs crates/noc/src/trace.rs crates/noc/src/traffic.rs crates/noc/src/types.rs crates/noc/src/watchdog.rs crates/noc/src/zeroload.rs
+
+crates/noc/src/lib.rs:
+crates/noc/src/arbiter.rs:
+crates/noc/src/buffer.rs:
+crates/noc/src/config.rs:
+crates/noc/src/credit.rs:
+crates/noc/src/faults.rs:
+crates/noc/src/flit.rs:
+crates/noc/src/ideal.rs:
+crates/noc/src/mesh.rs:
+crates/noc/src/network.rs:
+crates/noc/src/reserve.rs:
+crates/noc/src/routing.rs:
+crates/noc/src/smart.rs:
+crates/noc/src/stats.rs:
+crates/noc/src/trace.rs:
+crates/noc/src/traffic.rs:
+crates/noc/src/types.rs:
+crates/noc/src/watchdog.rs:
+crates/noc/src/zeroload.rs:

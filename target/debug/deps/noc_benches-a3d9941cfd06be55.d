@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noc_benches-a3d9941cfd06be55.d: crates/bench/benches/noc_benches.rs
+
+/root/repo/target/debug/deps/noc_benches-a3d9941cfd06be55: crates/bench/benches/noc_benches.rs
+
+crates/bench/benches/noc_benches.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noc_benches-f1fcbb602814263f.d: crates/bench/benches/noc_benches.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_benches-f1fcbb602814263f.rmeta: crates/bench/benches/noc_benches.rs Cargo.toml
+
+crates/bench/benches/noc_benches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

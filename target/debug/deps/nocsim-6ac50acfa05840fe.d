@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nocsim-6ac50acfa05840fe.d: crates/bench/src/bin/nocsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnocsim-6ac50acfa05840fe.rmeta: crates/bench/src/bin/nocsim.rs Cargo.toml
+
+crates/bench/src/bin/nocsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

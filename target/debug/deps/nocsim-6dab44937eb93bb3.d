@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nocsim-6dab44937eb93bb3.d: crates/bench/src/bin/nocsim.rs
+
+/root/repo/target/debug/deps/nocsim-6dab44937eb93bb3: crates/bench/src/bin/nocsim.rs
+
+crates/bench/src/bin/nocsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nocsim-9d92f2269a67adb9.d: crates/bench/src/bin/nocsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnocsim-9d92f2269a67adb9.rmeta: crates/bench/src/bin/nocsim.rs Cargo.toml
+
+crates/bench/src/bin/nocsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

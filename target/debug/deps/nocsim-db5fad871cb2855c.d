@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nocsim-db5fad871cb2855c.d: crates/bench/src/bin/nocsim.rs
+
+/root/repo/target/debug/deps/nocsim-db5fad871cb2855c: crates/bench/src/bin/nocsim.rs
+
+crates/bench/src/bin/nocsim.rs:

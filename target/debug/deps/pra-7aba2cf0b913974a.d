@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pra-7aba2cf0b913974a.d: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/frfc.rs crates/core/src/lsd.rs crates/core/src/network.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpra-7aba2cf0b913974a.rmeta: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/frfc.rs crates/core/src/lsd.rs crates/core/src/network.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/control.rs:
+crates/core/src/frfc.rs:
+crates/core/src/lsd.rs:
+crates/core/src/network.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pra-b5563720ae216b69.d: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/frfc.rs crates/core/src/lsd.rs crates/core/src/network.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libpra-b5563720ae216b69.rlib: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/frfc.rs crates/core/src/lsd.rs crates/core/src/network.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libpra-b5563720ae216b69.rmeta: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/frfc.rs crates/core/src/lsd.rs crates/core/src/network.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/control.rs:
+crates/core/src/frfc.rs:
+crates/core/src/lsd.rs:
+crates/core/src/network.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pra-bb1dae976167b8f5.d: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/frfc.rs crates/core/src/lsd.rs crates/core/src/network.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/pra-bb1dae976167b8f5: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/frfc.rs crates/core/src/lsd.rs crates/core/src/network.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/control.rs:
+crates/core/src/frfc.rs:
+crates/core/src/lsd.rs:
+crates/core/src/network.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pra_diag-44689d720484be86.d: crates/bench/src/bin/pra_diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpra_diag-44689d720484be86.rmeta: crates/bench/src/bin/pra_diag.rs Cargo.toml
+
+crates/bench/src/bin/pra_diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

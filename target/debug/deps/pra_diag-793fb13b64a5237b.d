@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pra_diag-793fb13b64a5237b.d: crates/bench/src/bin/pra_diag.rs
+
+/root/repo/target/debug/deps/pra_diag-793fb13b64a5237b: crates/bench/src/bin/pra_diag.rs
+
+crates/bench/src/bin/pra_diag.rs:

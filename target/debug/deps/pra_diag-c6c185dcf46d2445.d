@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pra_diag-c6c185dcf46d2445.d: crates/bench/src/bin/pra_diag.rs
+
+/root/repo/target/debug/deps/pra_diag-c6c185dcf46d2445: crates/bench/src/bin/pra_diag.rs
+
+crates/bench/src/bin/pra_diag.rs:

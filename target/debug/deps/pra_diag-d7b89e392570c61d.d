@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pra_diag-d7b89e392570c61d.d: crates/bench/src/bin/pra_diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpra_diag-d7b89e392570c61d.rmeta: crates/bench/src/bin/pra_diag.rs Cargo.toml
+
+crates/bench/src/bin/pra_diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

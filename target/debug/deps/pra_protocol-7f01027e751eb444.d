@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pra_protocol-7f01027e751eb444.d: crates/core/tests/pra_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpra_protocol-7f01027e751eb444.rmeta: crates/core/tests/pra_protocol.rs Cargo.toml
+
+crates/core/tests/pra_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

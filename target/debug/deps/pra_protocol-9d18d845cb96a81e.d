@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pra_protocol-9d18d845cb96a81e.d: crates/core/tests/pra_protocol.rs
+
+/root/repo/target/debug/deps/pra_protocol-9d18d845cb96a81e: crates/core/tests/pra_protocol.rs
+
+crates/core/tests/pra_protocol.rs:

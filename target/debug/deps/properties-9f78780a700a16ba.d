@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9f78780a700a16ba.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9f78780a700a16ba: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec5b-4476bb57c4f58eec.d: crates/bench/src/bin/sec5b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec5b-4476bb57c4f58eec.rmeta: crates/bench/src/bin/sec5b.rs Cargo.toml
+
+crates/bench/src/bin/sec5b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

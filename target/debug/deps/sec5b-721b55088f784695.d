@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec5b-721b55088f784695.d: crates/bench/src/bin/sec5b.rs
+
+/root/repo/target/debug/deps/sec5b-721b55088f784695: crates/bench/src/bin/sec5b.rs
+
+crates/bench/src/bin/sec5b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec5b-7df1d9900721da58.d: crates/bench/src/bin/sec5b.rs
+
+/root/repo/target/debug/deps/sec5b-7df1d9900721da58: crates/bench/src/bin/sec5b.rs
+
+crates/bench/src/bin/sec5b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec5b-ec3d4726cc9ea44d.d: crates/bench/src/bin/sec5b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec5b-ec3d4726cc9ea44d.rmeta: crates/bench/src/bin/sec5b.rs Cargo.toml
+
+crates/bench/src/bin/sec5b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec5e-14630959b1f9c764.d: crates/bench/src/bin/sec5e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec5e-14630959b1f9c764.rmeta: crates/bench/src/bin/sec5e.rs Cargo.toml
+
+crates/bench/src/bin/sec5e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

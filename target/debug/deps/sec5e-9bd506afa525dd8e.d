@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec5e-9bd506afa525dd8e.d: crates/bench/src/bin/sec5e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec5e-9bd506afa525dd8e.rmeta: crates/bench/src/bin/sec5e.rs Cargo.toml
+
+crates/bench/src/bin/sec5e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

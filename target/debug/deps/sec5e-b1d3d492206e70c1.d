@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec5e-b1d3d492206e70c1.d: crates/bench/src/bin/sec5e.rs
+
+/root/repo/target/debug/deps/sec5e-b1d3d492206e70c1: crates/bench/src/bin/sec5e.rs
+
+crates/bench/src/bin/sec5e.rs:

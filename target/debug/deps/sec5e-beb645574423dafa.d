@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec5e-beb645574423dafa.d: crates/bench/src/bin/sec5e.rs
+
+/root/repo/target/debug/deps/sec5e-beb645574423dafa: crates/bench/src/bin/sec5e.rs
+
+crates/bench/src/bin/sec5e.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sysmodel-3d8b321ac5b687d0.d: crates/sysmodel/src/lib.rs crates/sysmodel/src/core.rs crates/sysmodel/src/llc.rs crates/sysmodel/src/memory.rs crates/sysmodel/src/params.rs crates/sysmodel/src/system.rs
+
+/root/repo/target/debug/deps/libsysmodel-3d8b321ac5b687d0.rlib: crates/sysmodel/src/lib.rs crates/sysmodel/src/core.rs crates/sysmodel/src/llc.rs crates/sysmodel/src/memory.rs crates/sysmodel/src/params.rs crates/sysmodel/src/system.rs
+
+/root/repo/target/debug/deps/libsysmodel-3d8b321ac5b687d0.rmeta: crates/sysmodel/src/lib.rs crates/sysmodel/src/core.rs crates/sysmodel/src/llc.rs crates/sysmodel/src/memory.rs crates/sysmodel/src/params.rs crates/sysmodel/src/system.rs
+
+crates/sysmodel/src/lib.rs:
+crates/sysmodel/src/core.rs:
+crates/sysmodel/src/llc.rs:
+crates/sysmodel/src/memory.rs:
+crates/sysmodel/src/params.rs:
+crates/sysmodel/src/system.rs:

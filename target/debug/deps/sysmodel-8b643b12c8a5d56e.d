@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sysmodel-8b643b12c8a5d56e.d: crates/sysmodel/src/lib.rs crates/sysmodel/src/core.rs crates/sysmodel/src/llc.rs crates/sysmodel/src/memory.rs crates/sysmodel/src/params.rs crates/sysmodel/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsysmodel-8b643b12c8a5d56e.rmeta: crates/sysmodel/src/lib.rs crates/sysmodel/src/core.rs crates/sysmodel/src/llc.rs crates/sysmodel/src/memory.rs crates/sysmodel/src/params.rs crates/sysmodel/src/system.rs Cargo.toml
+
+crates/sysmodel/src/lib.rs:
+crates/sysmodel/src/core.rs:
+crates/sysmodel/src/llc.rs:
+crates/sysmodel/src/memory.rs:
+crates/sysmodel/src/params.rs:
+crates/sysmodel/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sysmodel-8ed20f632a285e9e.d: crates/sysmodel/src/lib.rs crates/sysmodel/src/core.rs crates/sysmodel/src/llc.rs crates/sysmodel/src/memory.rs crates/sysmodel/src/params.rs crates/sysmodel/src/system.rs
+
+/root/repo/target/debug/deps/sysmodel-8ed20f632a285e9e: crates/sysmodel/src/lib.rs crates/sysmodel/src/core.rs crates/sysmodel/src/llc.rs crates/sysmodel/src/memory.rs crates/sysmodel/src/params.rs crates/sysmodel/src/system.rs
+
+crates/sysmodel/src/lib.rs:
+crates/sysmodel/src/core.rs:
+crates/sysmodel/src/llc.rs:
+crates/sysmodel/src/memory.rs:
+crates/sysmodel/src/params.rs:
+crates/sysmodel/src/system.rs:

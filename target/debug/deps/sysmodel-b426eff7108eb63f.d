@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sysmodel-b426eff7108eb63f.d: crates/sysmodel/src/lib.rs crates/sysmodel/src/core.rs crates/sysmodel/src/llc.rs crates/sysmodel/src/memory.rs crates/sysmodel/src/params.rs crates/sysmodel/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsysmodel-b426eff7108eb63f.rmeta: crates/sysmodel/src/lib.rs crates/sysmodel/src/core.rs crates/sysmodel/src/llc.rs crates/sysmodel/src/memory.rs crates/sysmodel/src/params.rs crates/sysmodel/src/system.rs Cargo.toml
+
+crates/sysmodel/src/lib.rs:
+crates/sysmodel/src/core.rs:
+crates/sysmodel/src/llc.rs:
+crates/sysmodel/src/memory.rs:
+crates/sysmodel/src/params.rs:
+crates/sysmodel/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/system_results-aa4eb8e66b322fd2.d: tests/system_results.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsystem_results-aa4eb8e66b322fd2.rmeta: tests/system_results.rs Cargo.toml
+
+tests/system_results.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

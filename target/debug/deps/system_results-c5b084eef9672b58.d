@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_results-c5b084eef9672b58.d: tests/system_results.rs
+
+/root/repo/target/debug/deps/system_results-c5b084eef9672b58: tests/system_results.rs
+
+tests/system_results.rs:

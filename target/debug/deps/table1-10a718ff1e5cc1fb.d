@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-10a718ff1e5cc1fb.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-10a718ff1e5cc1fb: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tail_latency-29b38666048b4aae.d: crates/bench/src/bin/tail_latency.rs
+
+/root/repo/target/debug/deps/tail_latency-29b38666048b4aae: crates/bench/src/bin/tail_latency.rs
+
+crates/bench/src/bin/tail_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tail_latency-5e676986c0fda4ae.d: crates/bench/src/bin/tail_latency.rs
+
+/root/repo/target/debug/deps/tail_latency-5e676986c0fda4ae: crates/bench/src/bin/tail_latency.rs
+
+crates/bench/src/bin/tail_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tail_latency-d71360a2e9b15f22.d: crates/bench/src/bin/tail_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtail_latency-d71360a2e9b15f22.rmeta: crates/bench/src/bin/tail_latency.rs Cargo.toml
+
+crates/bench/src/bin/tail_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

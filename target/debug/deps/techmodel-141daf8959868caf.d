@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/techmodel-141daf8959868caf.d: crates/techmodel/src/lib.rs crates/techmodel/src/buffer.rs crates/techmodel/src/chip.rs crates/techmodel/src/crossbar.rs crates/techmodel/src/density.rs crates/techmodel/src/noc_area.rs crates/techmodel/src/power.rs crates/techmodel/src/sram.rs crates/techmodel/src/wire.rs
+
+/root/repo/target/debug/deps/libtechmodel-141daf8959868caf.rlib: crates/techmodel/src/lib.rs crates/techmodel/src/buffer.rs crates/techmodel/src/chip.rs crates/techmodel/src/crossbar.rs crates/techmodel/src/density.rs crates/techmodel/src/noc_area.rs crates/techmodel/src/power.rs crates/techmodel/src/sram.rs crates/techmodel/src/wire.rs
+
+/root/repo/target/debug/deps/libtechmodel-141daf8959868caf.rmeta: crates/techmodel/src/lib.rs crates/techmodel/src/buffer.rs crates/techmodel/src/chip.rs crates/techmodel/src/crossbar.rs crates/techmodel/src/density.rs crates/techmodel/src/noc_area.rs crates/techmodel/src/power.rs crates/techmodel/src/sram.rs crates/techmodel/src/wire.rs
+
+crates/techmodel/src/lib.rs:
+crates/techmodel/src/buffer.rs:
+crates/techmodel/src/chip.rs:
+crates/techmodel/src/crossbar.rs:
+crates/techmodel/src/density.rs:
+crates/techmodel/src/noc_area.rs:
+crates/techmodel/src/power.rs:
+crates/techmodel/src/sram.rs:
+crates/techmodel/src/wire.rs:

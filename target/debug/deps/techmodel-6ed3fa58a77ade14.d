@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/techmodel-6ed3fa58a77ade14.d: crates/techmodel/src/lib.rs crates/techmodel/src/buffer.rs crates/techmodel/src/chip.rs crates/techmodel/src/crossbar.rs crates/techmodel/src/density.rs crates/techmodel/src/noc_area.rs crates/techmodel/src/power.rs crates/techmodel/src/sram.rs crates/techmodel/src/wire.rs
+
+/root/repo/target/debug/deps/techmodel-6ed3fa58a77ade14: crates/techmodel/src/lib.rs crates/techmodel/src/buffer.rs crates/techmodel/src/chip.rs crates/techmodel/src/crossbar.rs crates/techmodel/src/density.rs crates/techmodel/src/noc_area.rs crates/techmodel/src/power.rs crates/techmodel/src/sram.rs crates/techmodel/src/wire.rs
+
+crates/techmodel/src/lib.rs:
+crates/techmodel/src/buffer.rs:
+crates/techmodel/src/chip.rs:
+crates/techmodel/src/crossbar.rs:
+crates/techmodel/src/density.rs:
+crates/techmodel/src/noc_area.rs:
+crates/techmodel/src/power.rs:
+crates/techmodel/src/sram.rs:
+crates/techmodel/src/wire.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/techmodel-9c1f1f7bea58ed0e.d: crates/techmodel/src/lib.rs crates/techmodel/src/buffer.rs crates/techmodel/src/chip.rs crates/techmodel/src/crossbar.rs crates/techmodel/src/density.rs crates/techmodel/src/noc_area.rs crates/techmodel/src/power.rs crates/techmodel/src/sram.rs crates/techmodel/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtechmodel-9c1f1f7bea58ed0e.rmeta: crates/techmodel/src/lib.rs crates/techmodel/src/buffer.rs crates/techmodel/src/chip.rs crates/techmodel/src/crossbar.rs crates/techmodel/src/density.rs crates/techmodel/src/noc_area.rs crates/techmodel/src/power.rs crates/techmodel/src/sram.rs crates/techmodel/src/wire.rs Cargo.toml
+
+crates/techmodel/src/lib.rs:
+crates/techmodel/src/buffer.rs:
+crates/techmodel/src/chip.rs:
+crates/techmodel/src/crossbar.rs:
+crates/techmodel/src/density.rs:
+crates/techmodel/src/noc_area.rs:
+crates/techmodel/src/power.rs:
+crates/techmodel/src/sram.rs:
+crates/techmodel/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vc_sweep-128679f71155f2a2.d: crates/bench/src/bin/vc_sweep.rs
+
+/root/repo/target/debug/deps/vc_sweep-128679f71155f2a2: crates/bench/src/bin/vc_sweep.rs
+
+crates/bench/src/bin/vc_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vc_sweep-d5c832cb9013e22c.d: crates/bench/src/bin/vc_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvc_sweep-d5c832cb9013e22c.rmeta: crates/bench/src/bin/vc_sweep.rs Cargo.toml
+
+crates/bench/src/bin/vc_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

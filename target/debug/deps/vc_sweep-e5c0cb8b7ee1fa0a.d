@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vc_sweep-e5c0cb8b7ee1fa0a.d: crates/bench/src/bin/vc_sweep.rs
+
+/root/repo/target/debug/deps/vc_sweep-e5c0cb8b7ee1fa0a: crates/bench/src/bin/vc_sweep.rs
+
+crates/bench/src/bin/vc_sweep.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/workloads-817a7360aa4768fa.d: crates/workloads/src/lib.rs crates/workloads/src/profile.rs crates/workloads/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-817a7360aa4768fa.rmeta: crates/workloads/src/lib.rs crates/workloads/src/profile.rs crates/workloads/src/stream.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-c54383eeba957c7f.d: crates/workloads/src/lib.rs crates/workloads/src/profile.rs crates/workloads/src/stream.rs
+
+/root/repo/target/debug/deps/libworkloads-c54383eeba957c7f.rlib: crates/workloads/src/lib.rs crates/workloads/src/profile.rs crates/workloads/src/stream.rs
+
+/root/repo/target/debug/deps/libworkloads-c54383eeba957c7f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/profile.rs crates/workloads/src/stream.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/stream.rs:

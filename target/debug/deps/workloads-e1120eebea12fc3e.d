@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workloads-e1120eebea12fc3e.d: crates/workloads/src/lib.rs crates/workloads/src/profile.rs crates/workloads/src/stream.rs
+
+/root/repo/target/debug/deps/workloads-e1120eebea12fc3e: crates/workloads/src/lib.rs crates/workloads/src/profile.rs crates/workloads/src/stream.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/stream.rs:

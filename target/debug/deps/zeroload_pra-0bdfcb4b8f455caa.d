@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zeroload_pra-0bdfcb4b8f455caa.d: crates/bench/src/bin/zeroload_pra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroload_pra-0bdfcb4b8f455caa.rmeta: crates/bench/src/bin/zeroload_pra.rs Cargo.toml
+
+crates/bench/src/bin/zeroload_pra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zeroload_pra-329f019f5fc16633.d: crates/bench/src/bin/zeroload_pra.rs
+
+/root/repo/target/debug/deps/zeroload_pra-329f019f5fc16633: crates/bench/src/bin/zeroload_pra.rs
+
+crates/bench/src/bin/zeroload_pra.rs:

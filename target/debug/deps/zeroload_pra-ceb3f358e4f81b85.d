@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zeroload_pra-ceb3f358e4f81b85.d: crates/bench/src/bin/zeroload_pra.rs
+
+/root/repo/target/debug/deps/zeroload_pra-ceb3f358e4f81b85: crates/bench/src/bin/zeroload_pra.rs
+
+crates/bench/src/bin/zeroload_pra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zeroload_validation-37e8fd6f1ce63d96.d: tests/zeroload_validation.rs
+
+/root/repo/target/debug/deps/zeroload_validation-37e8fd6f1ce63d96: tests/zeroload_validation.rs
+
+tests/zeroload_validation.rs:

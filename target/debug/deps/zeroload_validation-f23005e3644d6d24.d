@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zeroload_validation-f23005e3644d6d24.d: tests/zeroload_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroload_validation-f23005e3644d6d24.rmeta: tests/zeroload_validation.rs Cargo.toml
+
+tests/zeroload_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

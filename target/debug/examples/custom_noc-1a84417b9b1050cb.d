@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_noc-1a84417b9b1050cb.d: examples/custom_noc.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_noc-1a84417b9b1050cb.rmeta: examples/custom_noc.rs Cargo.toml
+
+examples/custom_noc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_noc-496d177d3d98b6e9.d: examples/custom_noc.rs
+
+/root/repo/target/debug/examples/custom_noc-496d177d3d98b6e9: examples/custom_noc.rs
+
+examples/custom_noc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_vs_load-2d35c9ed715179ec.d: examples/latency_vs_load.rs
+
+/root/repo/target/debug/examples/latency_vs_load-2d35c9ed715179ec: examples/latency_vs_load.rs
+
+examples/latency_vs_load.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/latency_vs_load-379b683ecf4c6724.d: examples/latency_vs_load.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblatency_vs_load-379b683ecf4c6724.rmeta: examples/latency_vs_load.rs Cargo.toml
+
+examples/latency_vs_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/llc_latency-0c947bfc024c6e75.d: examples/llc_latency.rs
+
+/root/repo/target/debug/examples/llc_latency-0c947bfc024c6e75: examples/llc_latency.rs
+
+examples/llc_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/llc_latency-c3dbc97f51e3dbe4.d: examples/llc_latency.rs Cargo.toml
+
+/root/repo/target/debug/examples/libllc_latency-c3dbc97f51e3dbe4.rmeta: examples/llc_latency.rs Cargo.toml
+
+examples/llc_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-20a2bc200c75cbdd.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-20a2bc200c75cbdd.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c9478f9d403e6dca.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c9478f9d403e6dca: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/radix_study-5cbbc6104226b5f3.d: examples/radix_study.rs
+
+/root/repo/target/debug/examples/radix_study-5cbbc6104226b5f3: examples/radix_study.rs
+
+examples/radix_study.rs:

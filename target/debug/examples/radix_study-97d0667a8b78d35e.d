@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/radix_study-97d0667a8b78d35e.d: examples/radix_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libradix_study-97d0667a8b78d35e.rmeta: examples/radix_study.rs Cargo.toml
+
+examples/radix_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

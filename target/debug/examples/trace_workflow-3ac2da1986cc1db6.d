@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_workflow-3ac2da1986cc1db6.d: examples/trace_workflow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_workflow-3ac2da1986cc1db6.rmeta: examples/trace_workflow.rs Cargo.toml
+
+examples/trace_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

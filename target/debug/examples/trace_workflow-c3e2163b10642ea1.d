@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_workflow-c3e2163b10642ea1.d: examples/trace_workflow.rs
+
+/root/repo/target/debug/examples/trace_workflow-c3e2163b10642ea1: examples/trace_workflow.rs
+
+examples/trace_workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-b76004b216a89861.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-b76004b216a89861: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-1f692df290db501f.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-1f692df290db501f: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

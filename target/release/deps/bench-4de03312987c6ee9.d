@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-4de03312987c6ee9.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-4de03312987c6ee9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-4de03312987c6ee9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sweep-be2cb5a21d25912a.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/release/deps/fault_sweep-be2cb5a21d25912a: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

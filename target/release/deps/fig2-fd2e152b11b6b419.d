@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-fd2e152b11b6b419.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-fd2e152b11b6b419: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-826d9e541daf79b8.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-826d9e541daf79b8: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

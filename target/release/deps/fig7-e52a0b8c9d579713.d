@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-e52a0b8c9d579713.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-e52a0b8c9d579713: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

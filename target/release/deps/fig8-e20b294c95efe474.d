@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-e20b294c95efe474.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-e20b294c95efe474: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

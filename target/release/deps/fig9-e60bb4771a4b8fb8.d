@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-e60bb4771a4b8fb8.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-e60bb4771a4b8fb8: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

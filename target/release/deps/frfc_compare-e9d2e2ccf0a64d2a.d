@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frfc_compare-e9d2e2ccf0a64d2a.d: crates/bench/src/bin/frfc_compare.rs
+
+/root/repo/target/release/deps/frfc_compare-e9d2e2ccf0a64d2a: crates/bench/src/bin/frfc_compare.rs
+
+crates/bench/src/bin/frfc_compare.rs:

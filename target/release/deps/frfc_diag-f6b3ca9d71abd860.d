@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frfc_diag-f6b3ca9d71abd860.d: crates/bench/src/bin/frfc_diag.rs
+
+/root/repo/target/release/deps/frfc_diag-f6b3ca9d71abd860: crates/bench/src/bin/frfc_diag.rs
+
+crates/bench/src/bin/frfc_diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heatmap-9ddb022925a3a9e3.d: crates/bench/src/bin/heatmap.rs
+
+/root/repo/target/release/deps/heatmap-9ddb022925a3a9e3: crates/bench/src/bin/heatmap.rs
+
+crates/bench/src/bin/heatmap.rs:

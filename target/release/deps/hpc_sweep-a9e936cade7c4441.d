@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hpc_sweep-a9e936cade7c4441.d: crates/bench/src/bin/hpc_sweep.rs
+
+/root/repo/target/release/deps/hpc_sweep-a9e936cade7c4441: crates/bench/src/bin/hpc_sweep.rs
+
+crates/bench/src/bin/hpc_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lag_sweep-c9cb72dd3463af1c.d: crates/bench/src/bin/lag_sweep.rs
+
+/root/repo/target/release/deps/lag_sweep-c9cb72dd3463af1c: crates/bench/src/bin/lag_sweep.rs
+
+crates/bench/src/bin/lag_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/load_sweep-5c396b32e86d250b.d: crates/bench/src/bin/load_sweep.rs
+
+/root/repo/target/release/deps/load_sweep-5c396b32e86d250b: crates/bench/src/bin/load_sweep.rs
+
+crates/bench/src/bin/load_sweep.rs:

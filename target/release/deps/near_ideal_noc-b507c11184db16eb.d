@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/near_ideal_noc-b507c11184db16eb.d: src/lib.rs
+
+/root/repo/target/release/deps/libnear_ideal_noc-b507c11184db16eb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnear_ideal_noc-b507c11184db16eb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/nistats-24fe96fc99a6777a.d: crates/stats/src/lib.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/libnistats-24fe96fc99a6777a.rlib: crates/stats/src/lib.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/libnistats-24fe96fc99a6777a.rmeta: crates/stats/src/lib.rs crates/stats/src/histogram.rs crates/stats/src/json.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/json.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sampling.rs:
+crates/stats/src/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nocsim-4db3fe300b093d1f.d: crates/bench/src/bin/nocsim.rs
+
+/root/repo/target/release/deps/nocsim-4db3fe300b093d1f: crates/bench/src/bin/nocsim.rs
+
+crates/bench/src/bin/nocsim.rs:

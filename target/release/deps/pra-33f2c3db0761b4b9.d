@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pra-33f2c3db0761b4b9.d: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/frfc.rs crates/core/src/lsd.rs crates/core/src/network.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libpra-33f2c3db0761b4b9.rlib: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/frfc.rs crates/core/src/lsd.rs crates/core/src/network.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libpra-33f2c3db0761b4b9.rmeta: crates/core/src/lib.rs crates/core/src/control.rs crates/core/src/frfc.rs crates/core/src/lsd.rs crates/core/src/network.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/control.rs:
+crates/core/src/frfc.rs:
+crates/core/src/lsd.rs:
+crates/core/src/network.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pra_diag-42f4e36c68320f09.d: crates/bench/src/bin/pra_diag.rs
+
+/root/repo/target/release/deps/pra_diag-42f4e36c68320f09: crates/bench/src/bin/pra_diag.rs
+
+crates/bench/src/bin/pra_diag.rs:

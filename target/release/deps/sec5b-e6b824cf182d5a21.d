@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec5b-e6b824cf182d5a21.d: crates/bench/src/bin/sec5b.rs
+
+/root/repo/target/release/deps/sec5b-e6b824cf182d5a21: crates/bench/src/bin/sec5b.rs
+
+crates/bench/src/bin/sec5b.rs:

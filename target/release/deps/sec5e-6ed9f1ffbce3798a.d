@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec5e-6ed9f1ffbce3798a.d: crates/bench/src/bin/sec5e.rs
+
+/root/repo/target/release/deps/sec5e-6ed9f1ffbce3798a: crates/bench/src/bin/sec5e.rs
+
+crates/bench/src/bin/sec5e.rs:

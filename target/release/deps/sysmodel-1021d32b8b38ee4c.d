@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sysmodel-1021d32b8b38ee4c.d: crates/sysmodel/src/lib.rs crates/sysmodel/src/core.rs crates/sysmodel/src/llc.rs crates/sysmodel/src/memory.rs crates/sysmodel/src/params.rs crates/sysmodel/src/system.rs
+
+/root/repo/target/release/deps/libsysmodel-1021d32b8b38ee4c.rlib: crates/sysmodel/src/lib.rs crates/sysmodel/src/core.rs crates/sysmodel/src/llc.rs crates/sysmodel/src/memory.rs crates/sysmodel/src/params.rs crates/sysmodel/src/system.rs
+
+/root/repo/target/release/deps/libsysmodel-1021d32b8b38ee4c.rmeta: crates/sysmodel/src/lib.rs crates/sysmodel/src/core.rs crates/sysmodel/src/llc.rs crates/sysmodel/src/memory.rs crates/sysmodel/src/params.rs crates/sysmodel/src/system.rs
+
+crates/sysmodel/src/lib.rs:
+crates/sysmodel/src/core.rs:
+crates/sysmodel/src/llc.rs:
+crates/sysmodel/src/memory.rs:
+crates/sysmodel/src/params.rs:
+crates/sysmodel/src/system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-acbf31e3b7e91ed7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-acbf31e3b7e91ed7: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

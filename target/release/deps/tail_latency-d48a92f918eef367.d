@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tail_latency-d48a92f918eef367.d: crates/bench/src/bin/tail_latency.rs
+
+/root/repo/target/release/deps/tail_latency-d48a92f918eef367: crates/bench/src/bin/tail_latency.rs
+
+crates/bench/src/bin/tail_latency.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/techmodel-8c535a8a5b503314.d: crates/techmodel/src/lib.rs crates/techmodel/src/buffer.rs crates/techmodel/src/chip.rs crates/techmodel/src/crossbar.rs crates/techmodel/src/density.rs crates/techmodel/src/noc_area.rs crates/techmodel/src/power.rs crates/techmodel/src/sram.rs crates/techmodel/src/wire.rs
+
+/root/repo/target/release/deps/libtechmodel-8c535a8a5b503314.rlib: crates/techmodel/src/lib.rs crates/techmodel/src/buffer.rs crates/techmodel/src/chip.rs crates/techmodel/src/crossbar.rs crates/techmodel/src/density.rs crates/techmodel/src/noc_area.rs crates/techmodel/src/power.rs crates/techmodel/src/sram.rs crates/techmodel/src/wire.rs
+
+/root/repo/target/release/deps/libtechmodel-8c535a8a5b503314.rmeta: crates/techmodel/src/lib.rs crates/techmodel/src/buffer.rs crates/techmodel/src/chip.rs crates/techmodel/src/crossbar.rs crates/techmodel/src/density.rs crates/techmodel/src/noc_area.rs crates/techmodel/src/power.rs crates/techmodel/src/sram.rs crates/techmodel/src/wire.rs
+
+crates/techmodel/src/lib.rs:
+crates/techmodel/src/buffer.rs:
+crates/techmodel/src/chip.rs:
+crates/techmodel/src/crossbar.rs:
+crates/techmodel/src/density.rs:
+crates/techmodel/src/noc_area.rs:
+crates/techmodel/src/power.rs:
+crates/techmodel/src/sram.rs:
+crates/techmodel/src/wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vc_sweep-852cd8c7cfb1f46e.d: crates/bench/src/bin/vc_sweep.rs
+
+/root/repo/target/release/deps/vc_sweep-852cd8c7cfb1f46e: crates/bench/src/bin/vc_sweep.rs
+
+crates/bench/src/bin/vc_sweep.rs:

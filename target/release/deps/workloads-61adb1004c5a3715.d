@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/workloads-61adb1004c5a3715.d: crates/workloads/src/lib.rs crates/workloads/src/profile.rs crates/workloads/src/stream.rs
+
+/root/repo/target/release/deps/libworkloads-61adb1004c5a3715.rlib: crates/workloads/src/lib.rs crates/workloads/src/profile.rs crates/workloads/src/stream.rs
+
+/root/repo/target/release/deps/libworkloads-61adb1004c5a3715.rmeta: crates/workloads/src/lib.rs crates/workloads/src/profile.rs crates/workloads/src/stream.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/stream.rs:

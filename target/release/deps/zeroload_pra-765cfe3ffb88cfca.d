@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zeroload_pra-765cfe3ffb88cfca.d: crates/bench/src/bin/zeroload_pra.rs
+
+/root/repo/target/release/deps/zeroload_pra-765cfe3ffb88cfca: crates/bench/src/bin/zeroload_pra.rs
+
+crates/bench/src/bin/zeroload_pra.rs:

@@ -1,12 +1,15 @@
-//! Property-based tests over the network substrate: conservation (no
+//! Randomized property tests over the network substrate: conservation (no
 //! flit loss or duplication), in-order per-packet delivery (enforced by
 //! reassembly panics), and PRA safety (reservations never corrupt the
 //! data network, whatever the announce pattern).
+//!
+//! Each test runs many independently seeded cases from the workspace PRNG
+//! (`nistats::rng`), so failures reproduce exactly from the printed seed.
 
 use near_ideal_noc::prelude::*;
+use nistats::rng::Rng;
 use noc::config::NocConfigBuilder;
 use noc::flit::Packet;
-use proptest::prelude::*;
 
 /// A randomly generated injection plan.
 #[derive(Debug, Clone)]
@@ -17,15 +20,23 @@ struct Plan {
     at_cycle: u16,
 }
 
-fn plan_strategy(max_cycle: u16) -> impl Strategy<Value = Plan> {
-    (0u16..64, 0u16..64, any::<bool>(), 0..max_cycle).prop_map(|(src, dest, response, at_cycle)| {
-        Plan {
-            src,
-            dest: if dest == src { (dest + 1) % 64 } else { dest },
-            response,
-            at_cycle,
-        }
-    })
+fn random_plans(rng: &mut Rng, max_cycle: u16, max_len: usize) -> Vec<Plan> {
+    let n = rng.gen_range_usize(1, max_len);
+    (0..n)
+        .map(|_| {
+            let src = rng.gen_range_u16(0, 64);
+            let mut dest = rng.gen_range_u16(0, 64);
+            if dest == src {
+                dest = (dest + 1) % 64;
+            }
+            Plan {
+                src,
+                dest,
+                response: rng.gen_bool(0.5),
+                at_cycle: rng.gen_range_u16(0, max_cycle),
+            }
+        })
+        .collect()
 }
 
 fn run_plan(net: &mut dyn Network, plans: &[Plan]) -> u64 {
@@ -59,17 +70,14 @@ fn run_plan(net: &mut dyn Network, plans: &[Plan]) -> u64 {
     delivered
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every injected packet is delivered exactly once on every
-    /// organisation (the reassembly layer panics on reorder/duplication,
-    /// buffers panic on overflow — absence of panics is part of the
-    /// property).
-    #[test]
-    fn conservation_on_all_organisations(
-        plans in proptest::collection::vec(plan_strategy(300), 1..120)
-    ) {
+/// Every injected packet is delivered exactly once on every organisation
+/// (the reassembly layer panics on reorder/duplication, buffers panic on
+/// overflow — absence of panics is part of the property).
+#[test]
+fn conservation_on_all_organisations() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed);
+        let plans = random_plans(&mut rng, 300, 120);
         let cfg = NocConfig::paper();
         let nets: [Box<dyn Network>; 4] = [
             Box::new(MeshNetwork::new(cfg.clone())),
@@ -79,19 +87,23 @@ proptest! {
         ];
         for mut net in nets {
             let delivered = run_plan(net.as_mut(), &plans);
-            prop_assert_eq!(delivered, plans.len() as u64);
-            prop_assert_eq!(net.in_flight(), 0);
+            assert_eq!(delivered, plans.len() as u64, "seed {seed}");
+            assert_eq!(net.in_flight(), 0, "seed {seed}");
         }
     }
+}
 
-    /// PRA with arbitrary announce leads (including wrong ones that the
-    /// protocol then wastes) never loses packets and never corrupts the
-    /// data network.
-    #[test]
-    fn pra_safety_under_arbitrary_announce_leads(
-        plans in proptest::collection::vec(plan_strategy(200), 1..60),
-        leads in proptest::collection::vec(0u32..12, 1..60),
-    ) {
+/// PRA with arbitrary announce leads (including wrong ones that the
+/// protocol then wastes) never loses packets and never corrupts the
+/// data network.
+#[test]
+fn pra_safety_under_arbitrary_announce_leads() {
+    for seed in 100..124u64 {
+        let mut rng = Rng::new(seed);
+        let plans = random_plans(&mut rng, 200, 60);
+        let leads: Vec<u32> = (0..rng.gen_range_usize(1, 60))
+            .map(|_| rng.gen_range_u32(0, 12))
+            .collect();
         let cfg = NocConfig::paper();
         let mut net = PraNetwork::new(cfg);
         let horizon = plans.iter().map(|p| p.at_cycle).max().unwrap_or(0) as u64 + 14;
@@ -145,14 +157,18 @@ proptest! {
             net.step();
             delivered += net.drain_delivered().len() as u64;
         }
-        prop_assert_eq!(delivered, id);
-        prop_assert_eq!(net.in_flight(), 0);
+        assert_eq!(delivered, id, "seed {seed}");
+        assert_eq!(net.in_flight(), 0, "seed {seed}");
     }
+}
 
-    /// Simulation is a pure function of its inputs: identical plans give
-    /// identical statistics on every organisation.
-    #[test]
-    fn determinism(plans in proptest::collection::vec(plan_strategy(150), 1..60)) {
+/// Simulation is a pure function of its inputs: identical plans give
+/// identical statistics on every organisation.
+#[test]
+fn determinism() {
+    for seed in 200..212u64 {
+        let mut rng = Rng::new(seed);
+        let plans = random_plans(&mut rng, 150, 60);
         let cfg = NocConfig::paper();
         for which in 0..4 {
             let make = |cfg: &NocConfig| -> Box<dyn Network> {
@@ -167,99 +183,125 @@ proptest! {
             let mut b = make(&cfg);
             run_plan(a.as_mut(), &plans);
             run_plan(b.as_mut(), &plans);
-            prop_assert_eq!(a.stats().total_latency, b.stats().total_latency);
-            prop_assert_eq!(a.stats().link_traversals, b.stats().link_traversals);
+            assert_eq!(
+                a.stats().total_latency,
+                b.stats().total_latency,
+                "seed {seed}"
+            );
+            assert_eq!(
+                a.stats().link_traversals,
+                b.stats().link_traversals,
+                "seed {seed}"
+            );
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Analytic zero-load models are mutually consistent for every pair.
-    #[test]
-    fn zeroload_model_ordering(src in 0u16..64, dest in 0u16..64, len in 1u8..=5) {
-        prop_assume!(src != dest);
-        let cfg = NocConfig::paper();
-        let (s, d) = (NodeId::new(src), NodeId::new(dest));
-        let ideal = noc::zeroload::ideal_latency(&cfg, s, d, len);
-        let pra = noc::zeroload::pra_best_latency(&cfg, s, d, len);
-        let smart = noc::zeroload::smart_latency(&cfg, s, d, len);
-        let mesh = noc::zeroload::mesh_latency(&cfg, s, d, len);
-        prop_assert!(ideal <= pra);
-        prop_assert!(pra <= smart);
-        prop_assert!(smart <= mesh + 3, "SMART may lose a setup cycle on 1-hop routes");
-    }
-
-    /// Routes are minimal and stay on the mesh for every pair.
-    #[test]
-    fn routes_are_minimal(src in 0u16..64, dest in 0u16..64) {
-        let cfg = NocConfig::paper();
-        let r = noc::routing::Route::compute(&cfg, NodeId::new(src), NodeId::new(dest));
-        let manhattan = cfg
-            .coord(NodeId::new(src))
-            .manhattan(cfg.coord(NodeId::new(dest)));
-        prop_assert_eq!(r.hops() as u32, manhattan);
-        prop_assert_eq!(r.node_at(&cfg, r.hops()), NodeId::new(dest));
+/// Analytic zero-load models are mutually consistent for every pair.
+#[test]
+fn zeroload_model_ordering() {
+    let cfg = NocConfig::paper();
+    for src in 0..64u16 {
+        for dest in 0..64u16 {
+            if src == dest {
+                continue;
+            }
+            for len in [1u8, 3, 5] {
+                let (s, d) = (NodeId::new(src), NodeId::new(dest));
+                let ideal = noc::zeroload::ideal_latency(&cfg, s, d, len);
+                let pra = noc::zeroload::pra_best_latency(&cfg, s, d, len);
+                let smart = noc::zeroload::smart_latency(&cfg, s, d, len);
+                let mesh = noc::zeroload::mesh_latency(&cfg, s, d, len);
+                assert!(ideal <= pra);
+                assert!(pra <= smart);
+                assert!(
+                    smart <= mesh + 3,
+                    "SMART may lose a setup cycle on 1-hop routes"
+                );
+            }
+        }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Routes are minimal and stay on the mesh for every pair.
+#[test]
+fn routes_are_minimal() {
+    let cfg = NocConfig::paper();
+    for src in 0..64u16 {
+        for dest in 0..64u16 {
+            let r = noc::routing::Route::compute(&cfg, NodeId::new(src), NodeId::new(dest));
+            let manhattan = cfg
+                .coord(NodeId::new(src))
+                .manhattan(cfg.coord(NodeId::new(dest)));
+            assert_eq!(r.hops() as u32, manhattan);
+            assert_eq!(r.node_at(&cfg, r.hops()), NodeId::new(dest));
+        }
+    }
+}
 
-    /// Zero-load simulation equals the analytic model for random
-    /// configurations (radix, VC depth, packet length) on mesh and ideal.
-    #[test]
-    fn zeroload_equivalence_on_random_configs(
-        radix in 3u16..10,
-        extra_depth in 0u8..4,
-        len in 1u8..=5,
-        src_sel in 0u16..100,
-        dest_sel in 0u16..100,
-    ) {
+/// Zero-load simulation equals the analytic model for random
+/// configurations (radix, VC depth, packet length) on mesh and ideal.
+#[test]
+fn zeroload_equivalence_on_random_configs() {
+    for seed in 300..316u64 {
+        let mut rng = Rng::new(seed);
+        let radix = rng.gen_range_u16(3, 10);
+        let extra_depth = rng.gen_range_u8(0, 4);
+        let len = rng.gen_range_u8(1, 6);
         let cfg = NocConfigBuilder::new()
             .radix(radix)
             .vc_depth(5 + extra_depth)
             .build()
             .expect("valid config");
         let nodes = cfg.nodes() as u16;
-        let src = src_sel % nodes;
-        let dest = dest_sel % nodes;
-        prop_assume!(src != dest);
-        let class = if len > 1 { MessageClass::Response } else { MessageClass::Request };
+        let src = rng.gen_range_u16(0, nodes);
+        let dest = rng.gen_range_u16(0, nodes);
+        if src == dest {
+            continue;
+        }
+        let class = if len > 1 {
+            MessageClass::Response
+        } else {
+            MessageClass::Request
+        };
         let mk = Packet::new(PacketId(1), NodeId::new(src), NodeId::new(dest), class, len);
 
         let mut mesh = MeshNetwork::new(cfg.clone());
         mesh.inject(mk);
         let d = mesh.run_to_drain(5_000);
-        prop_assert_eq!(
+        assert_eq!(
             d[0].delivered - d[0].packet.created,
-            noc::zeroload::mesh_latency(&cfg, NodeId::new(src), NodeId::new(dest), len)
+            noc::zeroload::mesh_latency(&cfg, NodeId::new(src), NodeId::new(dest), len),
+            "seed {seed}"
         );
 
         let mut ideal = IdealNetwork::new(cfg.clone());
         ideal.inject(mk);
         let d = ideal.run_to_drain(5_000);
-        prop_assert_eq!(
+        assert_eq!(
             d[0].delivered - d[0].packet.created,
-            noc::zeroload::ideal_latency(&cfg, NodeId::new(src), NodeId::new(dest), len)
+            noc::zeroload::ideal_latency(&cfg, NodeId::new(src), NodeId::new(dest), len),
+            "seed {seed}"
         );
 
         let mut smart = SmartNetwork::new(cfg.clone());
         smart.inject(mk);
         let d = smart.run_to_drain(5_000);
-        prop_assert_eq!(
+        assert_eq!(
             d[0].delivered - d[0].packet.created,
-            noc::zeroload::smart_latency(&cfg, NodeId::new(src), NodeId::new(dest), len)
+            noc::zeroload::smart_latency(&cfg, NodeId::new(src), NodeId::new(dest), len),
+            "seed {seed}"
         );
     }
+}
 
-    /// Per-class accounting is conserved: the sum of class deliveries and
-    /// latencies equals the totals, on every organisation.
-    #[test]
-    fn stats_class_partitions_are_consistent(
-        plans in proptest::collection::vec(plan_strategy(200), 1..80)
-    ) {
+/// Per-class accounting is conserved: the sum of class deliveries and
+/// latencies equals the totals, on every organisation.
+#[test]
+fn stats_class_partitions_are_consistent() {
+    for seed in 400..416u64 {
+        let mut rng = Rng::new(seed);
+        let plans = random_plans(&mut rng, 200, 80);
         let cfg = NocConfig::paper();
         let nets: [Box<dyn Network>; 2] = [
             Box::new(MeshNetwork::new(cfg.clone())),
@@ -268,13 +310,13 @@ proptest! {
         for mut net in nets {
             run_plan(net.as_mut(), &plans);
             let s = net.stats();
-            prop_assert_eq!(s.packets_delivered.iter().sum::<u64>(), s.delivered());
-            prop_assert_eq!(
+            assert_eq!(s.packets_delivered.iter().sum::<u64>(), s.delivered());
+            assert_eq!(
                 s.total_latency_by_class.iter().sum::<u64>(),
                 s.total_latency
             );
             let hist_total: u64 = s.latency_histogram.iter().sum();
-            prop_assert_eq!(hist_total, s.delivered());
+            assert_eq!(hist_total, s.delivered());
         }
     }
 }

@@ -102,10 +102,7 @@ fn announced_pra_meets_its_best_case_within_lag_budget() {
             }
             let lat = delivered[0].delivered - delivered[0].packet.created;
             let best = pra_best_latency(&cfg, NodeId::new(s), NodeId::new(d), len);
-            assert!(
-                lat <= best,
-                "pra {s}->{d} len {len}: {lat} > best {best}"
-            );
+            assert!(lat <= best, "pra {s}->{d} len {len}: {lat} > best {best}");
             assert!(
                 lat < mesh_latency(&cfg, NodeId::new(s), NodeId::new(d), len),
                 "pra must beat mesh on {s}->{d}"
