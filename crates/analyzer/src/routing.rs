@@ -1,0 +1,291 @@
+//! Routing functions as verifiable objects.
+//!
+//! A [`RoutingSpec`] describes, for every source/destination pair, the
+//! exact hop sequence a head flit follows — the input the
+//! channel-dependency-graph construction ([`crate::cdg`]) consumes. Three
+//! specs cover the workspace:
+//!
+//! * [`XyRouting`] — the production dimension-order routing of
+//!   [`noc::routing`];
+//! * [`WestFirstDetour`] — the fault-degraded west-first tables of
+//!   [`noc::faults::DetourTables`], rebuilt here for any fault plan so
+//!   the *exact* tables the mesh will use are what gets verified;
+//! * [`CheckerboardAdaptive`] — a deliberately unsafe mixed-order
+//!   routing (XY from even-parity sources, YX from odd) whose dependency
+//!   cycles the verifier must find; it seeds the negative tests and
+//!   demonstrates the checker is not vacuous.
+
+use noc::config::NocConfig;
+use noc::faults::DetourTables;
+use noc::routing::{neighbor, Route};
+use noc::types::{Direction, NodeId};
+
+/// A routing function failed to produce a well-formed path.
+#[must_use]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The walk exceeded the step bound without reaching the
+    /// destination — the next-hop tables loop or wander.
+    NonTerminating {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dest: NodeId,
+        /// The bound that was exceeded (4 × node count).
+        limit: usize,
+    },
+    /// A next-hop table routed the pair from the source but returned
+    /// "unreachable" mid-route — the table is internally inconsistent.
+    BrokenTable {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dest: NodeId,
+        /// Node at which the table gave up.
+        stuck_at: NodeId,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            RouteError::NonTerminating { src, dest, limit } => write!(
+                f,
+                "route {src} -> {dest} did not terminate within {limit} hops"
+            ),
+            RouteError::BrokenTable {
+                src,
+                dest,
+                stuck_at,
+            } => write!(
+                f,
+                "route {src} -> {dest} is routable at the source but stuck at {stuck_at}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A deterministic routing function over a fixed topology.
+pub trait RoutingSpec {
+    /// Human-readable name used in reports and error messages.
+    fn name(&self) -> &'static str;
+
+    /// The hop sequence from `src` to `dest`: `Ok(Some(dirs))` for a
+    /// routed pair, `Ok(None)` when the spec declares the pair
+    /// unroutable (orphaned by a turn restriction or dead endpoint —
+    /// the runtime refuses such injections), `Err` when the spec is
+    /// internally inconsistent.
+    fn path(
+        &self,
+        cfg: &NocConfig,
+        src: NodeId,
+        dest: NodeId,
+    ) -> Result<Option<Vec<Direction>>, RouteError>;
+}
+
+/// The production dimension-order (XY) routing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XyRouting;
+
+impl RoutingSpec for XyRouting {
+    fn name(&self) -> &'static str {
+        "xy"
+    }
+
+    fn path(
+        &self,
+        cfg: &NocConfig,
+        src: NodeId,
+        dest: NodeId,
+    ) -> Result<Option<Vec<Direction>>, RouteError> {
+        Ok(Some(Route::compute(cfg, src, dest).dirs().to_vec()))
+    }
+}
+
+/// The west-first detour routing the mesh switches to under permanent
+/// faults, driven by the same [`DetourTables`] the runtime builds.
+#[derive(Debug, Clone)]
+pub struct WestFirstDetour {
+    tables: DetourTables,
+}
+
+impl WestFirstDetour {
+    /// Wraps prebuilt detour tables.
+    pub fn new(tables: DetourTables) -> Self {
+        WestFirstDetour { tables }
+    }
+
+    /// Builds the tables for an undamaged mesh (they reproduce XY).
+    pub fn fault_free(cfg: &NocConfig) -> Self {
+        let nodes = cfg.nodes();
+        WestFirstDetour {
+            tables: DetourTables::build(cfg, &vec![false; nodes * 4], &vec![false; nodes]),
+        }
+    }
+
+    /// The underlying tables.
+    pub fn tables(&self) -> &DetourTables {
+        &self.tables
+    }
+}
+
+impl RoutingSpec for WestFirstDetour {
+    fn name(&self) -> &'static str {
+        "west-first-detour"
+    }
+
+    fn path(
+        &self,
+        cfg: &NocConfig,
+        src: NodeId,
+        dest: NodeId,
+    ) -> Result<Option<Vec<Direction>>, RouteError> {
+        use noc::types::Port;
+        let limit = cfg.nodes() * 4;
+        let mut dirs = Vec::new();
+        let mut here = src;
+        let mut west_ok = true;
+        loop {
+            match self.tables.next_hop(here, dest, west_ok) {
+                None => {
+                    return if here == src {
+                        Ok(None) // orphaned pair, refused at injection
+                    } else {
+                        Err(RouteError::BrokenTable {
+                            src,
+                            dest,
+                            stuck_at: here,
+                        })
+                    };
+                }
+                Some(Port::Local) => return Ok(Some(dirs)),
+                Some(Port::Dir(d)) => {
+                    west_ok = west_ok && d == Direction::West;
+                    here = match neighbor(cfg, here, d) {
+                        Some(n) => n,
+                        None => {
+                            return Err(RouteError::BrokenTable {
+                                src,
+                                dest,
+                                stuck_at: here,
+                            })
+                        }
+                    };
+                    dirs.push(d);
+                    if dirs.len() > limit {
+                        return Err(RouteError::NonTerminating { src, dest, limit });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A deliberately deadlock-prone minimal routing: XY from sources whose
+/// coordinate parity `(x + y) % 2` is even, YX from odd sources. Mixing
+/// the two dimension orders admits all eight turns, so every 2×2
+/// sub-square with suitable parities carries the classic four-turn
+/// dependency cycle (E→S at its NE corner, S→W, W→N, N→E around the
+/// square). The verifier must reject this spec with a printed cycle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckerboardAdaptive;
+
+impl RoutingSpec for CheckerboardAdaptive {
+    fn name(&self) -> &'static str {
+        "checkerboard-xy-yx"
+    }
+
+    fn path(
+        &self,
+        cfg: &NocConfig,
+        src: NodeId,
+        dest: NodeId,
+    ) -> Result<Option<Vec<Direction>>, RouteError> {
+        let s = cfg.coord(src);
+        let d = cfg.coord(dest);
+        let mut x_hops = Vec::new();
+        let mut y_hops = Vec::new();
+        let xdir = if d.x > s.x {
+            Some(Direction::East)
+        } else if d.x < s.x {
+            Some(Direction::West)
+        } else {
+            None
+        };
+        if let Some(dir) = xdir {
+            for _ in 0..(d.x as i32 - s.x as i32).unsigned_abs() {
+                x_hops.push(dir);
+            }
+        }
+        let ydir = if d.y > s.y {
+            Some(Direction::South)
+        } else if d.y < s.y {
+            Some(Direction::North)
+        } else {
+            None
+        };
+        if let Some(dir) = ydir {
+            for _ in 0..(d.y as i32 - s.y as i32).unsigned_abs() {
+                y_hops.push(dir);
+            }
+        }
+        let mut dirs = Vec::with_capacity(x_hops.len() + y_hops.len());
+        if (u32::from(s.x) + u32::from(s.y)).is_multiple_of(2) {
+            dirs.extend(x_hops);
+            dirs.extend(y_hops);
+        } else {
+            dirs.extend(y_hops);
+            dirs.extend(x_hops);
+        }
+        Ok(Some(dirs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_paths_match_route_compute() {
+        let cfg = NocConfig::paper();
+        let p = XyRouting
+            .path(&cfg, NodeId::new(0), NodeId::new(18))
+            .expect("xy never errors")
+            .expect("xy routes every pair");
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn fault_free_detour_reproduces_xy_paths() {
+        let cfg = NocConfig::paper();
+        let wf = WestFirstDetour::fault_free(&cfg);
+        for (s, d) in [(0u16, 63u16), (63, 0), (7, 56), (12, 34)] {
+            let xy = XyRouting
+                .path(&cfg, NodeId::new(s), NodeId::new(d))
+                .expect("xy never errors")
+                .expect("xy routes every pair");
+            let det = wf
+                .path(&cfg, NodeId::new(s), NodeId::new(d))
+                .expect("fault-free tables are consistent")
+                .expect("fault-free tables route every pair");
+            assert_eq!(xy, det, "{s} -> {d}");
+        }
+    }
+
+    #[test]
+    fn checkerboard_flips_dimension_order_by_parity() {
+        let cfg = NocConfig::paper();
+        let even = CheckerboardAdaptive
+            .path(&cfg, NodeId::new(0), NodeId::new(9))
+            .expect("checkerboard never errors")
+            .expect("checkerboard routes every pair");
+        assert_eq!(even, vec![Direction::East, Direction::South]);
+        let odd = CheckerboardAdaptive
+            .path(&cfg, NodeId::new(1), NodeId::new(8))
+            .expect("checkerboard never errors")
+            .expect("checkerboard routes every pair");
+        assert_eq!(odd, vec![Direction::South, Direction::West]);
+    }
+}

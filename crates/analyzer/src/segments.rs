@@ -1,0 +1,331 @@
+//! Static checks over the control network's multi-drop segment schedule.
+//!
+//! The runtime control plane executes the schedule produced by
+//! [`pra::schedule::segment_schedule`]; this module verifies that model
+//! for **every** routable (src, dst) pair and both control origins:
+//!
+//! * each step claims one or two latches, all distinct — a step that
+//!   claimed the same latch twice could never win arbitration against
+//!   itself;
+//! * route positions advance strictly and contiguously (by one router,
+//!   or two when a straight multi-drop pair is taken), so every router
+//!   on the route is allocated exactly once;
+//! * a packet never claims the same multi-drop latch twice across its
+//!   whole walk — the walk is a simple path through the latch space, so
+//!   static-priority arbitration between *different* packets is the only
+//!   source of conflicts (and [`pra::schedule::priority_rank`] plus the
+//!   unique-id tiebreak makes that a strict total order, checked here);
+//! * the walk takes at most `hops` steps and covers the route in the
+//!   `2 × steps` cycles the protocol budgets for it.
+
+use noc::config::NocConfig;
+use noc::routing::Route;
+use noc::types::NodeId;
+use pra::schedule::{priority_rank, segment_schedule, ClaimKey, SegmentStep};
+use pra::stats::ControlOrigin;
+
+/// A violation of the segment-schedule invariants.
+#[must_use]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentViolation {
+    /// A step claimed zero or more than two latches, or repeated one.
+    MalformedClaims {
+        /// Source node of the offending route.
+        src: NodeId,
+        /// Destination node of the offending route.
+        dest: NodeId,
+        /// Control origin under which the walk was scheduled.
+        origin: ControlOrigin,
+        /// Step index within the walk.
+        step: usize,
+        /// Number of claims the step produced.
+        claims: usize,
+    },
+    /// Consecutive steps did not allocate contiguous, strictly
+    /// advancing route positions.
+    NonContiguousWalk {
+        /// Source node of the offending route.
+        src: NodeId,
+        /// Destination node of the offending route.
+        dest: NodeId,
+        /// Step index within the walk.
+        step: usize,
+        /// First position this step allocated.
+        got: usize,
+        /// Position the walk should have resumed at.
+        expected: usize,
+    },
+    /// The packet claimed one multi-drop latch at two different steps.
+    RepeatedLatch {
+        /// Source node of the offending route.
+        src: NodeId,
+        /// Destination node of the offending route.
+        dest: NodeId,
+        /// The latch claimed twice.
+        key: ClaimKey,
+        /// The earlier step holding the latch.
+        first_step: usize,
+        /// The later step re-claiming it.
+        second_step: usize,
+    },
+    /// The walk took more steps than the route has hops.
+    OverlongWalk {
+        /// Source node of the offending route.
+        src: NodeId,
+        /// Destination node of the offending route.
+        dest: NodeId,
+        /// Steps the schedule produced.
+        steps: usize,
+        /// Hop count of the route.
+        hops: usize,
+    },
+    /// Two distinct (continuing, origin) packet classes received the
+    /// same priority rank while only one of them was continuing —
+    /// arbitration between them would not be a total order by rank+id.
+    PriorityCollision {
+        /// Rank shared by both classes.
+        rank: u8,
+    },
+}
+
+impl std::fmt::Display for SegmentViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SegmentViolation::MalformedClaims {
+                src,
+                dest,
+                origin,
+                step,
+                claims,
+            } => write!(
+                f,
+                "route {src} -> {dest} ({origin:?}): step {step} claims {claims} latches (want 1 or 2, distinct)"
+            ),
+            SegmentViolation::NonContiguousWalk {
+                src,
+                dest,
+                step,
+                got,
+                expected,
+            } => write!(
+                f,
+                "route {src} -> {dest}: step {step} starts at position {got}, expected {expected}"
+            ),
+            SegmentViolation::RepeatedLatch {
+                src,
+                dest,
+                ref key,
+                first_step,
+                second_step,
+            } => write!(
+                f,
+                "route {src} -> {dest}: latch {key:?} claimed at steps {first_step} and {second_step}"
+            ),
+            SegmentViolation::OverlongWalk {
+                src,
+                dest,
+                steps,
+                hops,
+            } => write!(
+                f,
+                "route {src} -> {dest}: {steps} segment steps for a {hops}-hop route"
+            ),
+            SegmentViolation::PriorityCollision { rank } => write!(
+                f,
+                "continuing and fresh control packets share priority rank {rank}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SegmentViolation {}
+
+/// Summary of a clean segment-schedule sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentSummary {
+    /// Ordered (src, dst) pairs checked (× both origins).
+    pub pairs_checked: usize,
+    /// Total segment steps validated.
+    pub steps_checked: usize,
+    /// Longest walk seen, in steps.
+    pub max_steps: usize,
+}
+
+fn check_walk(
+    src: NodeId,
+    dest: NodeId,
+    origin: ControlOrigin,
+    route: &Route,
+    steps: &[SegmentStep],
+) -> Result<(), SegmentViolation> {
+    let hops = route.hops();
+    if steps.len() > hops {
+        return Err(SegmentViolation::OverlongWalk {
+            src,
+            dest,
+            steps: steps.len(),
+            hops,
+        });
+    }
+    let mut expected_pos = 0usize;
+    let mut held: Vec<(ClaimKey, usize)> = Vec::new();
+    for s in steps {
+        let n = s.claims.len();
+        let duplicate_pair = n == 2 && s.claims[0] == s.claims[1];
+        if n == 0 || n > 2 || duplicate_pair {
+            return Err(SegmentViolation::MalformedClaims {
+                src,
+                dest,
+                origin,
+                step: s.step,
+                claims: n,
+            });
+        }
+        if s.positions.0 != expected_pos {
+            return Err(SegmentViolation::NonContiguousWalk {
+                src,
+                dest,
+                step: s.step,
+                got: s.positions.0,
+                expected: expected_pos,
+            });
+        }
+        if let Some(b) = s.positions.1 {
+            if b != s.positions.0 + 1 {
+                return Err(SegmentViolation::NonContiguousWalk {
+                    src,
+                    dest,
+                    step: s.step,
+                    got: b,
+                    expected: s.positions.0 + 1,
+                });
+            }
+        }
+        for key in &s.claims {
+            if let ClaimKey::MultiDrop(..) = key {
+                if let Some(&(_, first_step)) = held.iter().find(|(k, _)| k == key) {
+                    return Err(SegmentViolation::RepeatedLatch {
+                        src,
+                        dest,
+                        key: *key,
+                        first_step,
+                        second_step: s.step,
+                    });
+                }
+                held.push((*key, s.step));
+            }
+        }
+        expected_pos = s.positions.1.unwrap_or(s.positions.0) + 1;
+    }
+    // The walk must cover the whole route.
+    if expected_pos != hops && hops > 0 {
+        return Err(SegmentViolation::NonContiguousWalk {
+            src,
+            dest,
+            step: steps.len(),
+            got: hops,
+            expected: expected_pos,
+        });
+    }
+    Ok(())
+}
+
+/// Verifies the maximal segment walk of every routable pair, under both
+/// control origins, against the schedule invariants.
+///
+/// # Errors
+///
+/// Returns the first [`SegmentViolation`] found (deterministic sweep
+/// order: src-major, then dest, LLC before LSD).
+pub fn verify_segment_schedule(cfg: &NocConfig) -> Result<SegmentSummary, SegmentViolation> {
+    // Static-priority totality: continuing outranks every fresh class,
+    // and the two fresh classes are mutually ordered.
+    let cont = priority_rank(true, ControlOrigin::Llc);
+    for origin in [ControlOrigin::Llc, ControlOrigin::Lsd] {
+        if priority_rank(false, origin) == cont {
+            return Err(SegmentViolation::PriorityCollision { rank: cont });
+        }
+    }
+    if priority_rank(false, ControlOrigin::Llc) == priority_rank(false, ControlOrigin::Lsd) {
+        return Err(SegmentViolation::PriorityCollision {
+            rank: priority_rank(false, ControlOrigin::Llc),
+        });
+    }
+
+    let n = cfg.nodes();
+    let mut pairs_checked = 0usize;
+    let mut steps_checked = 0usize;
+    let mut max_steps = 0usize;
+    for src in 0..n {
+        for dest in 0..n {
+            if src == dest {
+                continue;
+            }
+            let src = NodeId::new(src as u16);
+            let dest = NodeId::new(dest as u16);
+            let route = Route::compute(cfg, src, dest);
+            for origin in [ControlOrigin::Llc, ControlOrigin::Lsd] {
+                let steps = segment_schedule(cfg, &route, origin);
+                check_walk(src, dest, origin, &route, &steps)?;
+                steps_checked += steps.len();
+                max_steps = max_steps.max(steps.len());
+            }
+            pairs_checked += 1;
+        }
+    }
+    Ok(SegmentSummary {
+        pairs_checked,
+        steps_checked,
+        max_steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc::config::NocConfigBuilder;
+
+    #[test]
+    fn paper_mesh_schedule_is_conflict_free() {
+        let cfg = NocConfig::paper();
+        let summary = verify_segment_schedule(&cfg).expect("paper schedule verifies");
+        assert_eq!(summary.pairs_checked, 64 * 63);
+        // Longest route is 14 hops; multi-drop pairs cut the walk below
+        // the hop count but a turn-heavy route can still need one step
+        // per hop.
+        assert!(summary.max_steps <= 14);
+        assert!(summary.steps_checked > 0);
+    }
+
+    #[test]
+    fn small_mesh_schedule_is_conflict_free() {
+        let cfg = NocConfigBuilder::new()
+            .radix(4)
+            .build()
+            .expect("valid test configuration");
+        let summary = verify_segment_schedule(&cfg).expect("4x4 schedule verifies");
+        assert_eq!(summary.pairs_checked, 16 * 15);
+    }
+
+    #[test]
+    fn malformed_walk_is_rejected() {
+        let cfg = NocConfig::paper();
+        let route = Route::compute(&cfg, NodeId::new(0), NodeId::new(5));
+        let mut steps = segment_schedule(&cfg, &route, ControlOrigin::Llc);
+        assert!(steps.len() >= 3, "walk long enough to corrupt");
+        // Corrupt the walk: repeat the first multi-drop claim later on.
+        let stolen = steps[1].claims[0];
+        if let Some(last) = steps.last_mut() {
+            last.claims[0] = stolen;
+        }
+        let err = check_walk(
+            NodeId::new(0),
+            NodeId::new(5),
+            ControlOrigin::Llc,
+            &route,
+            &steps,
+        )
+        .expect_err("repeated latch must be caught");
+        assert!(matches!(err, SegmentViolation::RepeatedLatch { .. }));
+    }
+}

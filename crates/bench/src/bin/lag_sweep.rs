@@ -34,7 +34,7 @@ fn main() {
             max_lag,
             p,
             (p / mesh - 1.0) * 100.0,
-            1 + 2 * (max_lag as u32).saturating_sub(1)
+            1 + 2 * u32::from(max_lag).saturating_sub(1)
         );
     }
     println!(

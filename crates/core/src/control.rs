@@ -35,6 +35,7 @@ use noc::reserve::{FlitSource, Landing};
 use noc::routing::Route;
 use noc::types::{Cycle, MessageClass, NodeId, PacketId, Port};
 
+use crate::schedule::{chunk_positions, claim_keys, priority_rank, segment_positions, ClaimKey};
 use crate::stats::{ControlOrigin, DropReason, PraStats};
 
 /// Tunables of the control plane (ablation switches live here).
@@ -91,35 +92,6 @@ struct ControlPacket {
     /// Flit source for position 0 (local VC for LLC launches, the stalled
     /// packet's input VC for LSD launches).
     first_source: FlitSource,
-}
-
-/// Splits route positions into single-cycle data chunks: up to
-/// `hpc` consecutive same-direction hops per chunk.
-fn chunk_positions(route: &Route, hpc: u8) -> Vec<usize> {
-    let dirs = route.dirs();
-    let mut chunk_of = Vec::with_capacity(dirs.len());
-    let mut chunk = 0usize;
-    let mut in_chunk = 0u8;
-    for (i, d) in dirs.iter().enumerate() {
-        if i > 0 && (in_chunk >= hpc || *d != dirs[i - 1]) {
-            chunk += 1;
-            in_chunk = 0;
-        }
-        chunk_of.push(chunk);
-        in_chunk += 1;
-    }
-    chunk_of
-}
-
-/// Claim key for the control network's per-cycle latch conflicts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum ClaimKey {
-    /// A multi-drop latch: `(router, inbound travel direction index)`.
-    MultiDrop(u16, usize),
-    /// The NI injection latch of a router.
-    Ni(u16),
-    /// The LSD latch of a router.
-    Lsd(u16),
 }
 
 /// The control network: in-flight control packets plus statistics.
@@ -279,7 +251,9 @@ impl ControlNetwork {
             chunk_of,
             pos: 0,
             due0,
-            lag: (due0 - process_at) as u8,
+            // Launch contract: `due0 - process_at <= max_lag <= u8::MAX`,
+            // verified statically by the analyzer's lag interval analysis.
+            lag: u8::try_from(due0 - process_at).expect("launch lag exceeds u8 (max_lag contract)"),
             process_at,
             prev_hop: None,
             first_source,
@@ -296,15 +270,12 @@ impl ControlNetwork {
             .collect();
         // Static priority: continuing segments first (they sit in the
         // closest multi-drop latches), then fresh LLC injections (NI
-        // latch), then LSD injections (lowest priority).
+        // latch), then LSD injections (lowest priority). The rank
+        // function is shared with the static analyzer, which proves it a
+        // strict total order (unique ids break ties).
         due.sort_by_key(|&i| {
             let c = &self.packets[i];
-            let class = match (c.pos > 0, c.origin) {
-                (true, _) => 0u8,
-                (false, ControlOrigin::Llc) => 1,
-                (false, ControlOrigin::Lsd) => 2,
-            };
-            (class, c.id)
+            (priority_rank(c.pos > 0, c.origin), c.id)
         });
 
         let mut claims: Vec<ClaimKey> = Vec::new();
@@ -316,7 +287,7 @@ impl ControlNetwork {
                     mesh.note_control_drop();
                     Some(DropReason::Fault)
                 } else {
-                    match claim_keys(&self.cfg, cp) {
+                    match claim_keys(&self.cfg, &cp.route, cp.origin, cp.pos) {
                         Some(keys) if keys.iter().all(|k| !claims.contains(k)) => {
                             claims.extend(keys);
                             step_segment(&self.cfg, mesh, cp, t, &mut self.stats)
@@ -350,7 +321,7 @@ fn segment_faulted(cfg: &NocConfig, mesh: &MeshNetwork, cp: &ControlPacket) -> b
     if !mesh.faults_enabled() {
         return false;
     }
-    let (a, b) = segment_positions(cp, cfg);
+    let (a, b) = segment_positions(&cp.route, cp.pos);
     let check = |k: usize| -> bool {
         let node = cp.route.node_at(cfg, k);
         if !mesh.node_alive(node) || mesh.control_fault_at(node) {
@@ -379,45 +350,6 @@ fn install_error_index(e: InstallError) -> usize {
         InstallError::NoDownstreamBuffer => 2,
         InstallError::LatchBusy => 3,
         InstallError::NoSuchNeighbor => 4,
-    }
-}
-
-/// The control-latch claims a packet's next segment needs.
-fn claim_keys(cfg: &NocConfig, cp: &ControlPacket) -> Option<Vec<ClaimKey>> {
-    let (a, b) = segment_positions(cp, cfg);
-    let node_a = cp.route.node_at(cfg, a);
-    let mut keys = Vec::with_capacity(2);
-    if a == 0 {
-        keys.push(match cp.origin {
-            ControlOrigin::Llc => ClaimKey::Ni(node_a.index() as u16),
-            ControlOrigin::Lsd => ClaimKey::Lsd(node_a.index() as u16),
-        });
-    } else {
-        let dir_in = cp.route.dir_at(a - 1)?;
-        keys.push(ClaimKey::MultiDrop(node_a.index() as u16, dir_in as usize));
-    }
-    if let Some(b) = b {
-        let node_b = cp.route.node_at(cfg, b);
-        let dir_in = cp.route.dir_at(b - 1)?;
-        keys.push(ClaimKey::MultiDrop(node_b.index() as u16, dir_in as usize));
-    }
-    Some(keys)
-}
-
-/// The route positions this segment processes: the source router alone on
-/// the first step; afterwards up to two routers reachable straight from
-/// the previous segment's transmitter.
-fn segment_positions(cp: &ControlPacket, _cfg: &NocConfig) -> (usize, Option<usize>) {
-    let a = cp.pos;
-    if a == 0 {
-        return (0, None);
-    }
-    let h = cp.route.hops();
-    let b = a + 1;
-    if b < h && cp.route.dir_at(a) == cp.route.dir_at(a - 1) {
-        (a, Some(b))
-    } else {
-        (a, None)
     }
 }
 
@@ -465,7 +397,7 @@ fn step_segment(
 ) -> Option<DropReason> {
     stats.segments_processed += 1;
     let h = cp.route.hops();
-    let (a, b) = segment_positions(cp, cfg);
+    let (a, b) = segment_positions(&cp.route, cp.pos);
     let due_a = cp.due0 + cp.chunk_of[a] as Cycle;
     // The data packet has caught up: nothing left to pre-allocate. A latch
     // conversion additionally needs the previous hop's first slot (one

@@ -188,7 +188,9 @@ impl FrfcNetwork {
                 let start = desired + shift;
                 // Data flits park in the input buffer while waiting for a
                 // shifted slot; reserve that extra occupancy.
-                let occupancy = (shift + 2).min(w.len as Cycle) as u8;
+                // Bounded by `w.len`, itself a u8 flit count.
+                let occupancy = u8::try_from((shift + 2).min(w.len as Cycle))
+                    .expect("occupancy bounded by packet length");
                 let plan = HopPlan {
                     node,
                     out_port: Port::Dir(dir),

@@ -55,6 +55,7 @@ pub mod control;
 pub mod frfc;
 pub mod lsd;
 pub mod network;
+pub mod schedule;
 pub mod stats;
 
 pub use control::{ControlConfig, ControlNetwork};

@@ -12,6 +12,7 @@ use crate::flit::Flit;
 use crate::types::{Cycle, PacketId};
 
 /// Error returned when an enqueue would corrupt buffer invariants.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BufferError {
     /// The buffer is at capacity; the upstream credit logic is broken.

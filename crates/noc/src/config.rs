@@ -9,6 +9,7 @@ use crate::faults::FaultPlan;
 use crate::types::{Coord, NodeId};
 
 /// Errors produced when validating a [`NocConfig`].
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
     /// The mesh radix must be at least 2.

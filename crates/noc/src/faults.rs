@@ -197,6 +197,214 @@ pub struct FaultStats {
 const HOP_LOCAL: u8 = 4;
 const HOP_NONE: u8 = u8::MAX;
 
+/// Marks both directions of the physical channel `node → dir` dead in a
+/// `nodes * 4` directed-link mask.
+fn mark_channel_dead(dead_link: &mut [bool], cfg: &NocConfig, node: NodeId, dir: Direction) {
+    dead_link[node.index() * 4 + dir as usize] = true;
+    if let Some(nb) = neighbor(cfg, node, dir) {
+        dead_link[nb.index() * 4 + dir.opposite() as usize] = true;
+    }
+}
+
+/// The permanent topology damage a [`FaultPlan`] will eventually inflict,
+/// ignoring fault times: directed-link and router death masks with every
+/// [`FaultEvent::PermanentLink`] and [`FaultEvent::RouterDown`] applied.
+///
+/// This is the worst-case surviving topology, which is what static
+/// analysis must verify routes over: the runtime applies the same events
+/// incrementally, so any intermediate topology is a superset of this one
+/// and its detour tables are checked by the same sweep (one plan per
+/// single fault).
+pub fn permanent_damage(cfg: &NocConfig, plan: &FaultPlan) -> (Vec<bool>, Vec<bool>) {
+    let nodes = cfg.nodes();
+    let mut dead_link = vec![false; nodes * 4];
+    let mut dead_router = vec![false; nodes];
+    for e in &plan.events {
+        match *e {
+            FaultEvent::PermanentLink { node, dir, .. } => {
+                mark_channel_dead(&mut dead_link, cfg, node, dir);
+            }
+            FaultEvent::RouterDown { node, .. } => {
+                dead_router[node.index()] = true;
+            }
+            FaultEvent::TransientLink { .. }
+            | FaultEvent::CreditLoss { .. }
+            | FaultEvent::ControlDrop { .. } => {}
+        }
+    }
+    (dead_link, dead_router)
+}
+
+/// West-first detour routing tables over a damaged mesh topology.
+///
+/// This is the exact table the mesh switches to when permanent faults
+/// degrade the topology, exposed as a pure value so the static analyzer
+/// (`crates/analyzer`) can rebuild the tables for any fault plan and
+/// prove the resulting channel-dependency graph acyclic *before* any
+/// simulation runs. Routes obey the **west-first turn model** (Glass &
+/// Ni): a packet may only hop west while every hop it has taken so far
+/// went west, which forbids the N→W and S→W turns. Preference order
+/// E, W, S, N reproduces XY routing whenever the minimal XY path
+/// survives.
+///
+/// # Examples
+///
+/// ```
+/// use noc::config::NocConfig;
+/// use noc::faults::DetourTables;
+/// use noc::types::{NodeId, Port};
+///
+/// let cfg = NocConfig::paper();
+/// let nodes = cfg.nodes();
+/// let tables = DetourTables::build(&cfg, &vec![false; nodes * 4], &vec![false; nodes]);
+/// // Fault-free tables reproduce XY routing.
+/// assert_eq!(
+///     tables.next_hop(NodeId::new(0), NodeId::new(1), true),
+///     Some(Port::Dir(noc::types::Direction::East))
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetourTables {
+    nodes: usize,
+    /// Per-destination next-hop over the surviving topology, indexed
+    /// `(dest * nodes + here) * 2 + west_ok`.
+    table: Vec<u8>,
+}
+
+impl DetourTables {
+    /// Builds the tables over the surviving topology described by the
+    /// `nodes * 4` directed-link death mask and the per-router death
+    /// mask. Destinations with no legal west-first path from a state get
+    /// "unreachable" — the turn restriction may orphan a pair even on a
+    /// connected topology, which callers treat exactly like a dead
+    /// destination (refuse or purge); that trades reachability for
+    /// provable deadlock freedom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks do not match the configuration's node count.
+    pub fn build(cfg: &NocConfig, dead_link: &[bool], dead_router: &[bool]) -> Self {
+        const PREF: [Direction; 4] = [
+            Direction::East,
+            Direction::West,
+            Direction::South,
+            Direction::North,
+        ];
+        let n = cfg.nodes();
+        assert_eq!(dead_link.len(), n * 4, "directed-link mask size mismatch");
+        assert_eq!(dead_router.len(), n, "router mask size mismatch");
+        let mut table = vec![HOP_NONE; n * n * 2];
+        // dist over states: `node * 2 + west_ok`.
+        let mut dist = vec![u32::MAX; n * 2];
+        let mut queue = std::collections::VecDeque::new();
+        for dest in 0..n {
+            let base = dest * n;
+            if dead_router[dest] {
+                continue;
+            }
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[dest * 2] = 0;
+            dist[dest * 2 + 1] = 0;
+            queue.clear();
+            queue.push_back(dest * 2);
+            queue.push_back(dest * 2 + 1);
+            // Backward BFS over the legal-state graph. Arriving at `here`
+            // in state `west_ok = 1` is only possible over a west link
+            // (from the eastern neighbour, itself `west_ok`); state 0 is
+            // reached over any non-west link from either state.
+            while let Some(s) = queue.pop_front() {
+                let (here, west_ok) = (s / 2, s % 2 == 1);
+                for dir in Direction::ALL {
+                    let Some(nb) = neighbor(cfg, NodeId::new(here as u16), dir) else {
+                        continue;
+                    };
+                    let nb = nb.index();
+                    // The forward hop is `nb -> here` via `dir.opposite()`.
+                    let fwd = dir.opposite();
+                    if dead_router[nb] || dead_link[nb * 4 + fwd as usize] {
+                        continue;
+                    }
+                    let preds: &[usize] = if fwd == Direction::West {
+                        if !west_ok {
+                            continue; // a west hop always preserves west_ok
+                        }
+                        &[1]
+                    } else if west_ok {
+                        continue; // non-west hops land in state 0 only
+                    } else {
+                        &[0, 1]
+                    };
+                    for &p in preds {
+                        let ps = nb * 2 + p;
+                        if dist[ps] == u32::MAX {
+                            dist[ps] = dist[s] + 1;
+                            queue.push_back(ps);
+                        }
+                    }
+                }
+            }
+            for here in 0..n {
+                for west_ok in 0..2usize {
+                    let idx = (base + here) * 2 + west_ok;
+                    if here == dest {
+                        table[idx] = HOP_LOCAL;
+                        continue;
+                    }
+                    let d_here = dist[here * 2 + west_ok];
+                    if d_here == u32::MAX || dead_router[here] {
+                        continue;
+                    }
+                    for dir in PREF {
+                        if dir == Direction::West && west_ok == 0 {
+                            continue; // illegal turn into west
+                        }
+                        let Some(nb) = neighbor(cfg, NodeId::new(here as u16), dir) else {
+                            continue;
+                        };
+                        let nb = nb.index();
+                        if dead_link[here * 4 + dir as usize] || dead_router[nb] {
+                            continue;
+                        }
+                        let next_state =
+                            nb * 2 + usize::from(west_ok == 1 && dir == Direction::West);
+                        if dist[next_state] != u32::MAX && dist[next_state] + 1 == d_here {
+                            table[idx] = dir as u8;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        DetourTables { nodes: n, table }
+    }
+
+    /// Builds the tables for the permanent damage of `plan` (see
+    /// [`permanent_damage`]).
+    pub fn for_plan(cfg: &NocConfig, plan: &FaultPlan) -> Self {
+        let (dead_link, dead_router) = permanent_damage(cfg, plan);
+        DetourTables::build(cfg, &dead_link, &dead_router)
+    }
+
+    /// The output port toward `dest` at `here`, or `None` when no
+    /// west-first route exists from this state. `west_ok` is whether
+    /// every hop the packet has taken so far was west (true at
+    /// injection; downstream it is exactly "the flit entered through the
+    /// east port").
+    pub fn next_hop(&self, here: NodeId, dest: NodeId, west_ok: bool) -> Option<Port> {
+        let idx = (dest.index() * self.nodes + here.index()) * 2 + usize::from(west_ok);
+        match self.table[idx] {
+            HOP_NONE => None,
+            HOP_LOCAL => Some(Port::Local),
+            d => Some(Port::Dir(match d {
+                0 => Direction::North,
+                1 => Direction::South,
+                2 => Direction::East,
+                _ => Direction::West,
+            })),
+        }
+    }
+}
+
 /// Runtime fault state owned by the mesh. Everything here is driven by
 /// the plan and the mesh clock; nothing is sampled from ambient state,
 /// so runs reproduce exactly.
@@ -228,16 +436,11 @@ pub(crate) struct FaultState {
     /// Credits destroyed so far per `(node * 4 + dir) * vcs + vc`; the
     /// audit adds these back so the credit-conservation sum still closes.
     lost_credits: Vec<u64>,
-    /// Per-destination next-hop table over the surviving topology,
-    /// indexed `(dest * nodes + here) * 2 + west_ok`, built lazily on the
-    /// first permanent fault. Routes obey the **west-first turn model**
-    /// (Glass & Ni): a packet may only move west while every hop it has
-    /// taken so far was west (`west_ok`), which forbids the N→W and S→W
-    /// turns and keeps the channel-dependency graph acyclic — detours
-    /// around permanent damage cannot deadlock the surviving mesh. XY
+    /// West-first next-hop tables over the surviving topology, built
+    /// lazily on the first permanent fault (see [`DetourTables`]). XY
     /// routes are a strict subset of west-first, so in-flight packets
     /// remain legal across the XY → degraded transition.
-    table: Vec<u8>,
+    detour: Option<DetourTables>,
     /// Whether any permanent fault has been applied (switches routing
     /// from XY to the tables).
     degraded: bool,
@@ -285,7 +488,7 @@ impl FaultState {
             credit_losses_now: Vec::new(),
             control_armed: Vec::new(),
             lost_credits: vec![0; nodes * 4 * cfg.vcs_per_port],
-            table: Vec::new(),
+            detour: None,
             degraded: false,
             stats: FaultStats::default(),
             plan,
@@ -419,10 +622,7 @@ impl FaultState {
 
     /// Marks both directions of a physical channel permanently dead.
     pub(crate) fn mark_link_dead(&mut self, cfg: &NocConfig, node: NodeId, dir: Direction) {
-        self.dead_link[node.index() * 4 + dir as usize] = true;
-        if let Some(nb) = neighbor(cfg, node, dir) {
-            self.dead_link[nb.index() * 4 + dir.opposite() as usize] = true;
-        }
+        mark_channel_dead(&mut self.dead_link, cfg, node, dir);
         self.stats.permanent_link_faults += 1;
         self.degraded = true;
     }
@@ -456,106 +656,11 @@ impl FaultState {
         self.control_armed.iter().any(|&(_, n)| n == node)
     }
 
-    /// Rebuilds the per-destination next-hop tables over the surviving
-    /// topology, restricted to the west-first turn model: a state is
-    /// `(node, west_ok)` where `west_ok` means every hop taken so far was
-    /// west; west output is legal only from a `west_ok` state. Preference
-    /// order E, W, S, N reproduces XY routing whenever the minimal XY
-    /// path survives. Destinations with no legal path from a state get
-    /// [`HOP_NONE`] there — the turn restriction may orphan a pair even
-    /// on a connected topology, which callers treat exactly like a dead
-    /// destination (refuse or purge); that trades reachability for
-    /// provable deadlock freedom.
+    /// Rebuilds the west-first next-hop tables over the surviving
+    /// topology (see [`DetourTables::build`], which holds the algorithm
+    /// and is the same code path the static analyzer verifies).
     pub(crate) fn rebuild_routes(&mut self, cfg: &NocConfig) {
-        const PREF: [Direction; 4] = [
-            Direction::East,
-            Direction::West,
-            Direction::South,
-            Direction::North,
-        ];
-        let n = self.nodes;
-        self.table = vec![HOP_NONE; n * n * 2];
-        // dist over states: `node * 2 + west_ok`.
-        let mut dist = vec![u32::MAX; n * 2];
-        let mut queue = std::collections::VecDeque::new();
-        for dest in 0..n {
-            let base = dest * n;
-            if self.dead_router[dest] {
-                continue;
-            }
-            dist.iter_mut().for_each(|d| *d = u32::MAX);
-            dist[dest * 2] = 0;
-            dist[dest * 2 + 1] = 0;
-            queue.clear();
-            queue.push_back(dest * 2);
-            queue.push_back(dest * 2 + 1);
-            // Backward BFS over the legal-state graph. Arriving at `here`
-            // in state `west_ok = 1` is only possible over a west link
-            // (from the eastern neighbour, itself `west_ok`); state 0 is
-            // reached over any non-west link from either state.
-            while let Some(s) = queue.pop_front() {
-                let (here, west_ok) = (s / 2, s % 2 == 1);
-                for dir in Direction::ALL {
-                    let Some(nb) = neighbor(cfg, NodeId::new(here as u16), dir) else {
-                        continue;
-                    };
-                    let nb = nb.index();
-                    // The forward hop is `nb -> here` via `dir.opposite()`.
-                    let fwd = dir.opposite();
-                    if self.dead_router[nb] || self.dead_link[nb * 4 + fwd as usize] {
-                        continue;
-                    }
-                    let preds: &[usize] = if fwd == Direction::West {
-                        if !west_ok {
-                            continue; // a west hop always preserves west_ok
-                        }
-                        &[1]
-                    } else if west_ok {
-                        continue; // non-west hops land in state 0 only
-                    } else {
-                        &[0, 1]
-                    };
-                    for &p in preds {
-                        let ps = nb * 2 + p;
-                        if dist[ps] == u32::MAX {
-                            dist[ps] = dist[s] + 1;
-                            queue.push_back(ps);
-                        }
-                    }
-                }
-            }
-            for here in 0..n {
-                for west_ok in 0..2usize {
-                    let idx = (base + here) * 2 + west_ok;
-                    if here == dest {
-                        self.table[idx] = HOP_LOCAL;
-                        continue;
-                    }
-                    let d_here = dist[here * 2 + west_ok];
-                    if d_here == u32::MAX || self.dead_router[here] {
-                        continue;
-                    }
-                    for dir in PREF {
-                        if dir == Direction::West && west_ok == 0 {
-                            continue; // illegal turn into west
-                        }
-                        let Some(nb) = neighbor(cfg, NodeId::new(here as u16), dir) else {
-                            continue;
-                        };
-                        let nb = nb.index();
-                        if self.dead_link[here * 4 + dir as usize] || self.dead_router[nb] {
-                            continue;
-                        }
-                        let next_state =
-                            nb * 2 + usize::from(west_ok == 1 && dir == Direction::West);
-                        if dist[next_state] != u32::MAX && dist[next_state] + 1 == d_here {
-                            self.table[idx] = dir as u8;
-                            break;
-                        }
-                    }
-                }
-            }
-        }
+        self.detour = Some(DetourTables::build(cfg, &self.dead_link, &self.dead_router));
     }
 
     /// The output port toward `dest` at `here` on the degraded topology,
@@ -568,18 +673,40 @@ impl FaultState {
     ///
     /// Panics if called before [`FaultState::rebuild_routes`].
     pub(crate) fn next_hop(&self, here: NodeId, dest: NodeId, west_ok: bool) -> Option<Port> {
-        assert!(!self.table.is_empty(), "route tables not built");
-        let idx = (dest.index() * self.nodes + here.index()) * 2 + usize::from(west_ok);
-        match self.table[idx] {
-            HOP_NONE => None,
-            HOP_LOCAL => Some(Port::Local),
-            d => Some(Port::Dir(match d {
-                0 => Direction::North,
-                1 => Direction::South,
-                2 => Direction::East,
-                _ => Direction::West,
-            })),
-        }
+        self.detour
+            .as_ref()
+            .expect("detour route tables not built before first use")
+            .next_hop(here, dest, west_ok)
+    }
+
+    /// Records a pre-allocated chain cancelled because a link on it was
+    /// faulted at execution time (the PRA degradation path).
+    pub(crate) fn note_faulted_chain_cancel(&mut self) {
+        self.stats.faulted_chain_cancels += 1;
+    }
+
+    /// Records an allocation cycle in which a flit was ready but its
+    /// link was faulted (the latency cost of graceful degradation).
+    pub(crate) fn note_blocked_by_fault(&mut self) {
+        self.stats.blocked_by_fault_cycles += 1;
+    }
+
+    /// Records a packet purged because a fault made it undeliverable,
+    /// with every flit it carried.
+    pub(crate) fn note_purged_packet(&mut self, flits: u64) {
+        self.stats.lost_packets += 1;
+        self.stats.lost_flits += flits;
+    }
+
+    /// Records a control packet dropped because of a fault.
+    pub(crate) fn note_control_drop(&mut self) {
+        self.stats.control_drops += 1;
+    }
+
+    /// Records an injection refused because an endpoint was dead or
+    /// unreachable.
+    pub(crate) fn note_injection_refused(&mut self) {
+        self.stats.injections_refused += 1;
     }
 }
 

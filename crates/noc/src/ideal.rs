@@ -182,7 +182,7 @@ impl IdealNetwork {
             // or the destination.
             let mut path: Vec<(usize, Direction)> = Vec::new();
             let mut at = here;
-            while (path.len() as u8) < self.cfg.max_hops_per_cycle {
+            while path.len() < usize::from(self.cfg.max_hops_per_cycle) {
                 let port = route_port(&self.cfg, at, flit.dest);
                 let Some(dir) = port.direction() else {
                     break; // at the destination

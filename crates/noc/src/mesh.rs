@@ -179,6 +179,7 @@ pub struct HopPlan {
 }
 
 /// Why a [`HopPlan`] could not be installed.
+#[must_use]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InstallError {
     /// A timeslot on the output port is already reserved by another packet.
@@ -957,7 +958,7 @@ impl MeshNetwork {
             verdict => {
                 if verdict == ChainCheck::Faulted {
                     if let Some(f) = self.faults.as_mut() {
-                        f.stats.faulted_chain_cancels += 1;
+                        f.note_faulted_chain_cancel();
                     }
                 }
                 self.waste_and_cancel(node, out_port, self.now, resv);
@@ -1287,7 +1288,7 @@ impl MeshNetwork {
         if let Port::Dir(d) = out_port {
             if let Some(f) = self.faults.as_mut() {
                 if !f.link_usable_next(&self.cfg, node, d) {
-                    f.stats.blocked_by_fault_cycles += 1;
+                    f.note_blocked_by_fault();
                     return None;
                 }
             }
@@ -1708,8 +1709,7 @@ impl MeshNetwork {
                 .faults
                 .as_mut()
                 .expect("purges only run under fault injection");
-            f.stats.lost_packets += 1;
-            f.stats.lost_flits += p.len_flits as u64;
+            f.note_purged_packet(u64::from(p.len_flits));
         }
     }
 
@@ -1777,7 +1777,7 @@ impl MeshNetwork {
     /// PRA control plane, which performs the drop itself).
     pub fn note_control_drop(&mut self) {
         if let Some(f) = self.faults.as_mut() {
-            f.stats.control_drops += 1;
+            f.note_control_drop();
         }
     }
 
@@ -1929,7 +1929,7 @@ impl Network for MeshNetwork {
                 || f.router_dead(packet.dest.index())
                 || (f.degraded() && f.next_hop(packet.src, packet.dest, true).is_none())
             {
-                f.stats.injections_refused += 1;
+                f.note_injection_refused();
                 return;
             }
         }

@@ -124,8 +124,8 @@ impl Route {
 }
 
 /// Moves one hop from `c` in direction `dir` without bounds checking
-/// (routes are minimal, so they never leave the mesh).
-pub(crate) fn step(c: Coord, dir: Direction) -> Coord {
+/// (callers walk validated routes, which never leave the mesh).
+pub fn step(c: Coord, dir: Direction) -> Coord {
     let (dx, dy) = dir.delta();
     Coord::new((c.x as i32 + dx) as u8, (c.y as i32 + dy) as u8)
 }

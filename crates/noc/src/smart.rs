@@ -260,7 +260,7 @@ impl SmartNetwork {
             // the whole packet. Try the farthest stop first.
             let mut straight: Vec<NodeId> = Vec::new();
             let mut at = here;
-            while (straight.len() as u8) < self.cfg.max_hops_per_cycle {
+            while straight.len() < usize::from(self.cfg.max_hops_per_cycle) {
                 if !straight.is_empty() && route_port(&self.cfg, at, r.dest) != Port::Dir(r.dir) {
                     break; // the route turns (or ends) at `at`
                 }

@@ -17,6 +17,7 @@ use crate::network::Network;
 use crate::types::{Cycle, MessageClass, NodeId, PacketId};
 
 /// Error returned when trace JSON cannot be decoded.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceParseError {
     /// What went wrong.

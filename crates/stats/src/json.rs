@@ -48,6 +48,7 @@ pub enum Json {
 }
 
 /// Error describing why a JSON document failed to parse.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
     /// Byte offset of the failure.

@@ -1,0 +1,40 @@
+//! Deliberately non-compliant code: the lint-pass fixture.
+//!
+//! Not a workspace member (no `Cargo.toml`); this file never compiles.
+//! `cargo xtask check crates/xtask/fixtures/bad_crate/src` must report
+//! every lint exactly once, and the integration tests assert it does.
+
+/// Missing `#[must_use]`: must-use-errors.
+pub enum SlotAllocError {
+    Full,
+}
+
+/// Bare unwrap in library code: no-unwrap.
+pub fn pop_cycle(q: &mut Vec<u64>) -> u64 {
+    q.pop().unwrap()
+}
+
+/// Expect without a string-literal message: no-unwrap.
+pub fn head(q: &[u64], why: &str) -> u64 {
+    *q.first().expect(why)
+}
+
+/// Narrowing cast on a lag quantity: no-bare-cast.
+pub fn truncate_lag(launch_lag: u64) -> u8 {
+    launch_lag as u8
+}
+
+/// Direct mutation of a watchdog-audited counter: no-counter-poke.
+pub fn cook_the_books(stats: &mut FaultStatsLike) {
+    stats.control_drops += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: unwrap in test code is fine.
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+    }
+}

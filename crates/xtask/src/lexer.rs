@@ -1,0 +1,331 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The container this workspace builds in is offline, so `syn` is not
+//! available; the lint pass instead runs on a token stream produced
+//! here. The lexer understands exactly as much Rust as the lints need
+//! to be sound on this codebase:
+//!
+//! * line (`//`, `///`, `//!`) and **nested** block comments;
+//! * string, raw-string, byte-string and char literals (so `"unwrap()"`
+//!   in a message or a doctest never looks like code);
+//! * the char-literal/lifetime ambiguity (`'a'` vs `'a`);
+//! * identifiers, numbers, and single-character punctuation.
+//!
+//! Doc comments are comments to the lexer, which conveniently exempts
+//! doctest examples from the lint pass — they are illustrative code,
+//! compiled separately.
+
+/// The classes of token the lint pass distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'x'`).
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Text of the token (for identifiers; punctuation and literals
+    /// keep only what the lints need).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Tokenizes `src`, skipping comments and whitespace. Malformed input
+/// (unterminated literal or comment) yields a best-effort prefix rather
+/// than an error — the compiler proper is the arbiter of validity; the
+/// lint pass only needs to never misclassify well-formed code.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                let mut depth = 1u32;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_or_byte_literal(b, i) => {
+                let start_line = line;
+                i = skip_string_like(b, i, &mut line);
+                out.push(Token {
+                    kind: TokenKind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let start_line = line;
+                i = skip_plain_string(b, i, &mut line);
+                out.push(Token {
+                    kind: TokenKind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'a'`,
+                // `'\n'`): a lifetime is `'` + ident run NOT followed by
+                // a closing quote.
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                if j > i + 1 && (j >= b.len() || b[j] != b'\'') {
+                    out.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: String::new(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    // Char literal; honour escapes.
+                    i += 1;
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2;
+                    } else if i < b.len() {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1; // multi-byte scalar; line breaks illegal here
+                    }
+                    i += 1;
+                    out.push(Token {
+                        kind: TokenKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // Stop at `..` (range) and method calls on literals.
+                    if b[i] == b'.' && (i + 1 >= b.len() || !b[i + 1].is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Number,
+                    text: String::new(),
+                    line,
+                });
+            }
+            _ => {
+                out.push(Token {
+                    kind: TokenKind::Punct(c as char),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw/byte string or
+/// byte-char literal rather than an identifier.
+fn is_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    // Not a literal prefix if part of a longer identifier (`radix`,
+    // `break_at`): the previous char must not be ident-ish.
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+        return j < b.len() && b[j] == b'"';
+    }
+    j < b.len() && (b[j] == b'"' || b[j] == b'\'')
+}
+
+/// Skips a raw/byte string or byte-char literal starting at `i`,
+/// returning the index one past its end.
+fn skip_string_like(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'r' {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while raw && i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'\'' {
+        // Byte-char literal b'x'.
+        i += 1;
+        if i < b.len() && b[i] == b'\\' {
+            i += 2;
+        } else {
+            i += 1;
+        }
+        while i < b.len() && b[i] != b'\'' {
+            i += 1;
+        }
+        return i + 1;
+    }
+    if raw {
+        i += 1; // opening quote
+        while i < b.len() {
+            if b[i] == b'\n' {
+                *line += 1;
+            }
+            if b[i] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+        i
+    } else {
+        skip_plain_string(b, i, line)
+    }
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the
+/// index one past the closing quote.
+fn skip_plain_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_hide_code_like_text() {
+        let toks = tokenize(
+            "// x.unwrap()\n/* nested /* x.unwrap() */ */\nlet m = \"y.unwrap()\"; r#\"z.unwrap()\"#;",
+        );
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_derail() {
+        let toks = tokenize(r"let q = '\''; x.unwrap();");
+        assert!(toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_all_skips() {
+        let toks = tokenize("a\n/* c\nc */\nb\n\"s\ns\"\nd");
+        let a = toks.iter().find(|t| t.is_ident("a")).map(|t| t.line);
+        let b = toks.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        let d = toks.iter().find(|t| t.is_ident("d")).map(|t| t.line);
+        assert_eq!(a, Some(1));
+        assert_eq!(b, Some(4));
+        assert_eq!(d, Some(7));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_lex_as_literals() {
+        let toks = tokenize("self.expect(b'[')?; let s = b\"unwrap\";");
+        assert!(toks.iter().any(|t| t.is_ident("expect")));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_punct('?')));
+    }
+}

@@ -1,0 +1,12 @@
+//! Workspace maintenance tasks, exposed as `cargo xtask <command>`.
+//!
+//! The only command today is `check`: a repo-specific lint pass over
+//! every crate's `src/` (see [`lints`]). It runs on a hand-rolled token
+//! stream ([`lexer`]) rather than `syn`, because the build environment
+//! is offline and the lints only need lexical structure.
+//!
+//! The `xtask` alias lives in `.cargo/config.toml`; CI runs
+//! `cargo xtask check` as part of the blocking `static-analysis` job.
+
+pub mod lexer;
+pub mod lints;

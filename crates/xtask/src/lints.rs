@@ -1,0 +1,548 @@
+//! The repo-specific lint pass behind `cargo xtask check`.
+//!
+//! Four lints, each encoding an invariant this workspace already paid
+//! to learn:
+//!
+//! * **no-unwrap** — no `.unwrap()` in non-test code, and `.expect(…)`
+//!   must carry a string-literal message. Simulator state is deep; a
+//!   bare panic with no context costs an afternoon.
+//! * **no-bare-cast** — no `as` cast to a narrow integer type on a
+//!   statement involving cycle/credit/lag quantities; use
+//!   `From`/`TryFrom` so truncation is a decision, not an accident
+//!   (the control-packet lag lives in a `u8` precisely because the
+//!   analyzer proves its bounds — a silent `as u8` elsewhere would
+//!   bypass that proof).
+//! * **no-counter-poke** — the fault counters audited by the runtime
+//!   watchdog may only be mutated inside `noc/src/faults.rs`, through
+//!   the `note_*` methods; direct `+=` from other modules is how the
+//!   watchdog's invariants drifted historically.
+//! * **must-use-errors** — public `*Error` types must be
+//!   `#[must_use]`: allocation results that can be silently dropped
+//!   become silently lost packets.
+//!
+//! Test code (`#[cfg(test)]` items, `#[test]` functions, `tests/`
+//! directories) is exempt from all four.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Watchdog-audited counters of `noc::faults::FaultStats`. Keep in sync
+/// with that struct; the `counters_match_fault_stats` test cross-checks
+/// the list against the actual source.
+pub const AUDITED_COUNTERS: [&str; 10] = [
+    "transient_link_faults",
+    "permanent_link_faults",
+    "router_faults",
+    "credits_lost",
+    "control_drops",
+    "lost_packets",
+    "lost_flits",
+    "injections_refused",
+    "blocked_by_fault_cycles",
+    "faulted_chain_cancels",
+];
+
+/// Narrow integer targets a bare `as` cast may silently truncate to.
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Identifier substrings marking a quantity the cast lint protects.
+const GUARDED_QUANTITIES: [&str; 3] = ["cycle", "credit", "lag"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// Lint name (stable, kebab-case).
+    pub lint: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// Removes items annotated `#[cfg(test)]` / `#[test]` from the token
+/// stream, so the lints only see production code. An attribute group
+/// mentioning `test` (without `not`) causes the following item — through
+/// its matching closing brace or terminating semicolon — to be dropped,
+/// along with any attributes stacked between.
+fn strip_test_code(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && i + 1 < tokens.len() && tokens[i + 1].is_punct('[') {
+            // Collect the attribute group.
+            let mut j = i + 2;
+            let mut depth = 1u32;
+            let mut has_test = false;
+            let mut has_not = false;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                } else if tokens[j].is_ident("test") {
+                    has_test = true;
+                } else if tokens[j].is_ident("not") {
+                    has_not = true;
+                }
+                j += 1;
+            }
+            if has_test && !has_not {
+                // Skip stacked attributes, then the item itself.
+                let mut k = j;
+                while k + 1 < tokens.len() && tokens[k].is_punct('#') && tokens[k + 1].is_punct('[')
+                {
+                    let mut d = 1u32;
+                    k += 2;
+                    while k < tokens.len() && d > 0 {
+                        if tokens[k].is_punct('[') {
+                            d += 1;
+                        } else if tokens[k].is_punct(']') {
+                            d -= 1;
+                        }
+                        k += 1;
+                    }
+                }
+                let mut brace = 0i64;
+                let mut entered = false;
+                while k < tokens.len() {
+                    if tokens[k].is_punct('{') {
+                        brace += 1;
+                        entered = true;
+                    } else if tokens[k].is_punct('}') {
+                        brace -= 1;
+                    } else if tokens[k].is_punct(';') && !entered {
+                        k += 1;
+                        break; // declaration without a body (`mod tests;`)
+                    }
+                    k += 1;
+                    if entered && brace == 0 {
+                        break;
+                    }
+                }
+                i = k;
+                continue;
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Whether `path` is inside the one module allowed to mutate the
+/// audited counters.
+fn owns_fault_counters(path: &Path) -> bool {
+    path.ends_with("noc/src/faults.rs")
+}
+
+fn push(violations: &mut Vec<Violation>, file: &Path, line: u32, lint: &'static str, msg: String) {
+    violations.push(Violation {
+        file: file.to_path_buf(),
+        line,
+        lint,
+        message: msg,
+    });
+}
+
+/// Runs all four lints over one file's source text.
+pub fn lint_source(file: &Path, src: &str) -> Vec<Violation> {
+    let tokens = strip_test_code(&tokenize(src));
+    let mut v = Vec::new();
+    lint_unwrap(&tokens, file, &mut v);
+    lint_bare_casts(&tokens, file, &mut v);
+    if !owns_fault_counters(file) {
+        lint_counter_pokes(&tokens, file, &mut v);
+    }
+    lint_must_use_errors(&tokens, file, &mut v);
+    v
+}
+
+fn lint_unwrap(t: &[Token], file: &Path, v: &mut Vec<Violation>) {
+    for i in 0..t.len() {
+        if !t[i].is_punct('.') {
+            continue;
+        }
+        let Some(name) = t.get(i + 1) else { continue };
+        if name.is_ident("unwrap")
+            && t.get(i + 2).is_some_and(|x| x.is_punct('('))
+            && t.get(i + 3).is_some_and(|x| x.is_punct(')'))
+        {
+            push(
+                v,
+                file,
+                name.line,
+                "no-unwrap",
+                "`.unwrap()` in non-test code; return a typed error or use `.expect(\"why this cannot fail\")`".to_string(),
+            );
+        } else if name.is_ident("expect") && t.get(i + 2).is_some_and(|x| x.is_punct('(')) {
+            // `self.expect(…)` is a local method (e.g. the JSON
+            // parser), not `Option`/`Result::expect`.
+            let on_self = i > 0 && t[i - 1].is_ident("self");
+            let literal_msg = t.get(i + 3).is_some_and(|x| x.kind == TokenKind::Str);
+            if !on_self && !literal_msg {
+                push(
+                    v,
+                    file,
+                    name.line,
+                    "no-unwrap",
+                    "`.expect(…)` without a string-literal message; say why it cannot fail"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+fn lint_bare_casts(t: &[Token], file: &Path, v: &mut Vec<Violation>) {
+    for i in 0..t.len() {
+        if !t[i].is_ident("as") {
+            continue;
+        }
+        let Some(target) = t.get(i + 1) else { continue };
+        if target.kind != TokenKind::Ident || !NARROW_INTS.contains(&target.text.as_str()) {
+            continue;
+        }
+        let line = t[i].line;
+        let guarded = t.iter().enumerate().any(|(j, x)| {
+            j != i + 1 && x.line == line && x.kind == TokenKind::Ident && {
+                let lower = x.text.to_ascii_lowercase();
+                GUARDED_QUANTITIES.iter().any(|q| lower.contains(q))
+            }
+        });
+        if guarded {
+            push(
+                v,
+                file,
+                line,
+                "no-bare-cast",
+                format!(
+                    "bare `as {}` cast on a cycle/credit/lag quantity; use `{}::from` or `{}::try_from` so truncation is explicit",
+                    target.text, target.text, target.text
+                ),
+            );
+        }
+    }
+}
+
+fn lint_counter_pokes(t: &[Token], file: &Path, v: &mut Vec<Violation>) {
+    const COMPOUND_OPS: [char; 8] = ['+', '-', '*', '/', '%', '&', '|', '^'];
+    for i in 0..t.len() {
+        if !t[i].is_punct('.') {
+            continue;
+        }
+        let Some(field) = t.get(i + 1) else { continue };
+        if field.kind != TokenKind::Ident || !AUDITED_COUNTERS.contains(&field.text.as_str()) {
+            continue;
+        }
+        let mutated = match (t.get(i + 2), t.get(i + 3)) {
+            (Some(op), Some(eq)) if eq.is_punct('=') => {
+                COMPOUND_OPS.iter().any(|&c| op.is_punct(c))
+            }
+            _ => false,
+        } || {
+            t.get(i + 2).is_some_and(|x| x.is_punct('='))
+                && !t.get(i + 3).is_some_and(|x| x.is_punct('='))
+        };
+        if mutated {
+            push(
+                v,
+                file,
+                field.line,
+                "no-counter-poke",
+                format!(
+                    "direct mutation of watchdog-audited counter `{}` outside noc/src/faults.rs; add or use a `note_*` method on `FaultState`",
+                    field.text
+                ),
+            );
+        }
+    }
+}
+
+fn lint_must_use_errors(t: &[Token], file: &Path, v: &mut Vec<Violation>) {
+    for i in 0..t.len() {
+        if !t[i].is_ident("pub") {
+            continue;
+        }
+        // Skip an optional visibility scope: `pub(crate)`, `pub(in …)`.
+        let mut j = i + 1;
+        if t.get(j).is_some_and(|x| x.is_punct('(')) {
+            let mut depth = 1u32;
+            j += 1;
+            while j < t.len() && depth > 0 {
+                if t[j].is_punct('(') {
+                    depth += 1;
+                } else if t[j].is_punct(')') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+        }
+        let is_type_def = t
+            .get(j)
+            .is_some_and(|x| x.is_ident("enum") || x.is_ident("struct"));
+        if !is_type_def {
+            continue;
+        }
+        let Some(name) = t.get(j + 1) else { continue };
+        if name.kind != TokenKind::Ident || !name.text.ends_with("Error") {
+            continue;
+        }
+        if !attrs_before_contain(t, i, "must_use") {
+            push(
+                v,
+                file,
+                name.line,
+                "must-use-errors",
+                format!(
+                    "public result type `{}` is missing `#[must_use]`; a dropped allocation error is a lost packet",
+                    name.text
+                ),
+            );
+        }
+    }
+}
+
+/// Whether the attribute groups immediately preceding token `i` contain
+/// the identifier `want` (e.g. `must_use`). Walks backwards over
+/// stacked `#[…]` groups.
+fn attrs_before_contain(t: &[Token], mut i: usize, want: &str) -> bool {
+    loop {
+        if i == 0 || !t[i - 1].is_punct(']') {
+            return false;
+        }
+        // Find the matching `[` backwards.
+        let mut depth = 1u32;
+        let mut k = i - 1;
+        while k > 0 && depth > 0 {
+            k -= 1;
+            if t[k].is_punct(']') {
+                depth += 1;
+            } else if t[k].is_punct('[') {
+                depth -= 1;
+            }
+        }
+        if depth != 0 || k == 0 || !t[k - 1].is_punct('#') {
+            return false;
+        }
+        if t[k..i - 1].iter().any(|x| x.is_ident(want)) {
+            return true;
+        }
+        i = k - 1; // continue at the `#`, looking for more groups above
+    }
+}
+
+/// Lints one file from disk.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be read.
+pub fn lint_file(path: &Path) -> io::Result<Vec<Violation>> {
+    let src = fs::read_to_string(path)?;
+    Ok(lint_source(path, &src))
+}
+
+/// Recursively lints every `.rs` file under `dir`, skipping `tests`,
+/// `benches` and `target` directories (integration tests are test code
+/// by definition).
+///
+/// # Errors
+///
+/// Propagates the first I/O error from the directory walk.
+pub fn lint_tree(dir: &Path) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<_> = fs::read_dir(&d)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(std::fs::DirEntry::path);
+        for e in entries {
+            let p = e.path();
+            if p.is_dir() {
+                let skip = p
+                    .file_name()
+                    .is_some_and(|n| n == "tests" || n == "benches" || n == "target");
+                if !skip {
+                    stack.push(p);
+                }
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.extend(lint_file(&p)?);
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
+}
+
+/// The source directories `cargo xtask check` lints: the facade crate's
+/// `src/` plus every workspace member's `src/` (fixtures, tests and
+/// benches excluded by [`lint_tree`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors from enumerating `crates/`.
+pub fn workspace_src_dirs(workspace_root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut dirs = Vec::new();
+    let root_src = workspace_root.join("src");
+    if root_src.is_dir() {
+        dirs.push(root_src);
+    }
+    let crates = workspace_root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<_> = fs::read_dir(&crates)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(std::fs::DirEntry::path);
+        for e in entries {
+            let src = e.path().join("src");
+            if src.is_dir() {
+                dirs.push(src);
+            }
+        }
+    }
+    Ok(dirs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints_of(src: &str) -> Vec<&'static str> {
+        lint_source(Path::new("mem.rs"), src)
+            .into_iter()
+            .map(|v| v.lint)
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_in_production_code_is_flagged() {
+        assert_eq!(lints_of("fn f() { x.unwrap(); }"), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { x.unwrap(); } }";
+        assert!(lints_of(src).is_empty());
+        let src = "#[test]\nfn t() { x.unwrap(); }";
+        assert!(lints_of(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let src = "#[cfg(not(test))]\nfn f() { x.unwrap(); }";
+        assert_eq!(lints_of(src), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn expect_requires_a_literal_message() {
+        assert_eq!(lints_of("fn f() { x.expect(msg); }"), vec!["no-unwrap"]);
+        assert!(lints_of("fn f() { x.expect(\"bounded by config\"); }").is_empty());
+        assert!(lints_of("fn f() { self.expect(b'[') }").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        assert!(lints_of("fn f() { x.unwrap_or(0); x.unwrap_or_default(); }").is_empty());
+    }
+
+    #[test]
+    fn narrow_cast_on_guarded_quantity_is_flagged() {
+        assert_eq!(
+            lints_of("fn f(lag: u64) -> u8 { lag as u8 }"),
+            vec!["no-bare-cast"]
+        );
+        assert_eq!(
+            lints_of("fn f(c: Credit) { let x = c.count as u16; }"),
+            vec!["no-bare-cast"]
+        );
+    }
+
+    #[test]
+    fn unguarded_or_wide_casts_pass() {
+        assert!(lints_of("fn f(n: usize) -> u8 { n as u8 }").is_empty());
+        assert!(lints_of("fn f(lag: u8) -> u64 { lag as u64 }").is_empty());
+    }
+
+    #[test]
+    fn counter_mutation_outside_faults_module_is_flagged() {
+        assert_eq!(
+            lints_of("fn f(s: &mut S) { s.stats.control_drops += 1; }"),
+            vec!["no-counter-poke"]
+        );
+        assert_eq!(
+            lints_of("fn f(s: &mut S) { s.lost_packets = 0; }"),
+            vec!["no-counter-poke"]
+        );
+    }
+
+    #[test]
+    fn counter_reads_and_owner_module_are_exempt() {
+        assert!(lints_of("fn f(s: &S) -> u64 { s.control_drops + s.lost_flits }").is_empty());
+        assert!(lints_of("fn f(s: &S) { assert!(s.control_drops == 0); }").is_empty());
+        let owner = Path::new("crates/noc/src/faults.rs");
+        let v = lint_source(owner, "fn f(s: &mut S) { s.control_drops += 1; }");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn public_error_type_without_must_use_is_flagged() {
+        assert_eq!(
+            lints_of("pub enum AllocError { Full }"),
+            vec!["must-use-errors"]
+        );
+        assert!(lints_of("#[must_use]\npub enum AllocError { Full }").is_empty());
+        assert!(
+            lints_of("#[must_use]\n#[derive(Debug, Clone)]\npub struct InstallError(u8);")
+                .is_empty()
+        );
+        assert!(lints_of("#[derive(Debug)]\n#[must_use]\npub struct IoError;").is_empty());
+    }
+
+    #[test]
+    fn private_and_non_error_types_are_exempt() {
+        assert!(lints_of("enum AllocError { Full }").is_empty());
+        assert!(lints_of("pub struct Report { x: u8 }").is_empty());
+    }
+
+    #[test]
+    fn counters_match_fault_stats() {
+        // The audited-counter list must track the real FaultStats
+        // fields; this test fails when a field is added or renamed
+        // without updating the lint.
+        let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let faults = manifest.join("../noc/src/faults.rs");
+        let src = fs::read_to_string(&faults).expect("noc/src/faults.rs exists in the workspace");
+        let struct_body = src
+            .split("pub struct FaultStats {")
+            .nth(1)
+            .and_then(|rest| rest.split('}').next())
+            .expect("FaultStats struct present");
+        for counter in AUDITED_COUNTERS {
+            assert!(
+                struct_body.contains(&format!("pub {counter}:")),
+                "lint counter `{counter}` is not a FaultStats field"
+            );
+        }
+        let fields = struct_body.matches("pub ").count();
+        assert_eq!(
+            fields,
+            AUDITED_COUNTERS.len(),
+            "FaultStats field count drifted"
+        );
+    }
+}

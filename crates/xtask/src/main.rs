@@ -1,0 +1,67 @@
+//! `cargo xtask` — workspace maintenance commands.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xtask::lints::{lint_tree, workspace_src_dirs};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask check [DIR]");
+    eprintln!();
+    eprintln!("  check        run the repo lint pass over every workspace crate's src/");
+    eprintln!("  check DIR    run the lint pass over one directory (used by fixtures)");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(args.get(1).map(PathBuf::from)),
+        _ => usage(),
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+fn check(dir: Option<PathBuf>) -> ExitCode {
+    let dirs = match dir {
+        Some(d) => vec![d],
+        None => match workspace_src_dirs(&workspace_root()) {
+            Ok(dirs) => dirs,
+            Err(e) => {
+                eprintln!("xtask check: cannot enumerate workspace: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let mut total = 0usize;
+    let mut files = 0usize;
+    for d in &dirs {
+        match lint_tree(d) {
+            Ok(violations) => {
+                for v in &violations {
+                    println!("{v}");
+                }
+                total += violations.len();
+                files += 1;
+            }
+            Err(e) => {
+                eprintln!("xtask check: {}: {e}", d.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if total == 0 {
+        println!("xtask check: {files} source trees clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask check: {total} violation(s)");
+        ExitCode::FAILURE
+    }
+}

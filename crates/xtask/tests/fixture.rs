@@ -1,0 +1,58 @@
+//! End-to-end tests of the lint pass: the fixture crate must trip every
+//! lint, and the real workspace must be clean.
+
+use std::path::Path;
+
+use xtask::lints::{lint_tree, workspace_src_dirs};
+
+fn manifest_dir() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn fixture_crate_trips_every_lint() {
+    let fixture = manifest_dir().join("fixtures/bad_crate/src");
+    let violations = lint_tree(&fixture).expect("fixture directory is readable");
+    let lints: Vec<&str> = violations.iter().map(|v| v.lint).collect();
+    for expected in [
+        "no-unwrap",
+        "no-bare-cast",
+        "no-counter-poke",
+        "must-use-errors",
+    ] {
+        assert!(
+            lints.contains(&expected),
+            "fixture did not trip `{expected}`; got {lints:?}"
+        );
+    }
+    // Two no-unwrap findings (bare unwrap + non-literal expect), one of
+    // each of the others; the cfg(test) unwrap must NOT be counted.
+    assert_eq!(violations.len(), 5, "{violations:#?}");
+}
+
+#[test]
+fn workspace_sources_are_clean() {
+    // crates/xtask -> workspace root.
+    let root = manifest_dir()
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels below the workspace root");
+    let dirs = workspace_src_dirs(root).expect("workspace layout is readable");
+    assert!(
+        dirs.len() >= 8,
+        "expected the facade crate plus workspace members, got {dirs:?}"
+    );
+    let mut violations = Vec::new();
+    for d in &dirs {
+        violations.extend(lint_tree(d).expect("source tree is readable"));
+    }
+    assert!(
+        violations.is_empty(),
+        "workspace lint violations:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
