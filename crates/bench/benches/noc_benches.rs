@@ -83,8 +83,35 @@ fn full_system_cycle() {
     }
 }
 
+/// Observability overhead: identical mesh runs with hooks compiled in but
+/// no sink attached (one `Option` branch per hook) versus a full
+/// `Recorder` attached. The hook-free build is a separate compile
+/// (`--no-default-features`); CI smoke-runs it to guard the disabled
+/// path's throughput.
+#[cfg(feature = "obs")]
+fn obs_overhead() {
+    let run = |attach: bool| {
+        let cfg = NocConfig::paper();
+        let mut net = build_network(Organization::Mesh, cfg.clone());
+        if attach {
+            net.install_obs(niobs::Recorder::default().into_shared());
+        }
+        let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, 0.05, 7);
+        for _ in 0..1_000 {
+            gen.tick(&mut net);
+            net.step();
+            net.drain_delivered();
+        }
+        net.stats().delivered()
+    };
+    bench_case("obs_overhead_1k_cycles", "no-sink", || run(false));
+    bench_case("obs_overhead_1k_cycles", "recorder", || run(true));
+}
+
 fn main() {
     simulator_throughput();
     zero_load_delivery();
     full_system_cycle();
+    #[cfg(feature = "obs")]
+    obs_overhead();
 }

@@ -9,6 +9,7 @@
 //! Run with `--help` for the full option list.
 
 use bench::{build_network, Organization};
+use niobs::MetricsRegistry;
 use noc::config::{NocConfig, NocConfigBuilder};
 use noc::network::Network;
 use noc::trace::{replay, Trace};
@@ -28,6 +29,7 @@ struct Options {
     vc_depth: u8,
     hpc: u8,
     trace: Option<String>,
+    trace_out: Option<String>,
 }
 
 impl Default for Options {
@@ -44,6 +46,7 @@ impl Default for Options {
             vc_depth: 5,
             hpc: 2,
             trace: None,
+            trace_out: None,
         }
     }
 }
@@ -66,6 +69,8 @@ USAGE: nocsim [OPTIONS]
   --hpc N            max hops per cycle                 [2]
   --trace FILE       replay a JSON trace instead of
                      synthetic traffic
+  --trace-out FILE   write a Chrome/Perfetto trace of the run
+                     (requires the `obs` build feature)
   --help             this text
 ";
 
@@ -122,6 +127,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--hpc" => opts.hpc = value.parse().map_err(|_| "bad --hpc".to_string())?,
             "--trace" => opts.trace = Some(value),
+            "--trace-out" => opts.trace_out = Some(value),
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
@@ -137,7 +143,21 @@ fn config_for(opts: &Options) -> Result<NocConfig, String> {
         .map_err(|e| e.to_string())
 }
 
-fn report(net: &dyn Network, total_cycles: u64) {
+/// Records one delivery batch into the metrics registry (exact sparse
+/// histograms — unlike `NetStats`' capped buckets, these keep full
+/// resolution at any latency).
+fn observe_deliveries(metrics: &mut MetricsRegistry, delivered: &[noc::network::Delivered]) {
+    for d in delivered {
+        metrics.inc("nocsim.packets_delivered", 1);
+        metrics.observe(
+            "packet.latency_cycles",
+            d.delivered.saturating_sub(d.packet.created),
+        );
+        metrics.observe("packet.hops", u64::from(d.hops));
+    }
+}
+
+fn report(net: &dyn Network, total_cycles: u64, metrics: &MetricsRegistry) {
     let s = net.stats();
     println!("\n== results (cumulative, warm-up included) ==");
     println!("cycles simulated       {total_cycles}");
@@ -153,11 +173,17 @@ fn report(net: &dyn Network, total_cycles: u64) {
         s.avg_latency_of(MessageClass::Response)
     );
     println!("avg source queueing    {:.2} cycles", s.avg_queue_latency());
-    if let (Some(p50), Some(p95), Some(p99)) = (
-        s.latency_percentile(0.50),
-        s.latency_percentile(0.95),
-        s.latency_percentile(0.99),
-    ) {
+    // Exact percentiles from the metrics registry when the run fed it;
+    // the capped `NetStats` histogram is the fallback (trace replay).
+    let percentiles = match metrics.histogram("packet.latency_cycles") {
+        Some(h) => (h.percentile(0.50), h.percentile(0.95), h.percentile(0.99)),
+        None => (
+            s.latency_percentile(0.50),
+            s.latency_percentile(0.95),
+            s.latency_percentile(0.99),
+        ),
+    };
+    if let (Some(p50), Some(p95), Some(p99)) = percentiles {
         println!("latency p50/p95/p99    {p50} / {p95} / {p99} cycles");
     }
     println!("avg hops               {:.2}", s.avg_hops());
@@ -178,6 +204,17 @@ fn report(net: &dyn Network, total_cycles: u64) {
     }
 }
 
+#[cfg(feature = "obs")]
+fn write_trace(path: &str, rec: &std::rc::Rc<std::cell::RefCell<niobs::Recorder>>) {
+    match bench::write_chrome_trace(&rec.borrow(), path) {
+        Ok(()) => println!("trace written to {path}"),
+        Err(e) => {
+            eprintln!("nocsim: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -194,6 +231,18 @@ fn main() {
         }
     };
     let mut net = build_network(opts.org, cfg.clone());
+    let mut metrics = MetricsRegistry::new();
+    #[cfg(feature = "obs")]
+    let recorder = opts.trace_out.as_ref().map(|_| {
+        let rec = niobs::Recorder::default().into_shared();
+        net.install_obs(rec.clone());
+        rec
+    });
+    #[cfg(not(feature = "obs"))]
+    if opts.trace_out.is_some() {
+        eprintln!("nocsim: --trace-out requires a build with the `obs` feature");
+        std::process::exit(2);
+    }
     println!(
         "nocsim: {} on {}x{} mesh, {} flits/VC, {} hops/cycle",
         opts.org.name(),
@@ -225,7 +274,11 @@ fn main() {
         println!("replaying {} packets from {path}", trace.len());
         let (delivered, cycles) = replay(&mut net, trace);
         println!("delivered {delivered} packets in {cycles} cycles");
-        report(&net, cycles);
+        report(&net, cycles, &metrics);
+        #[cfg(feature = "obs")]
+        if let (Some(out), Some(rec)) = (&opts.trace_out, &recorder) {
+            write_trace(out, rec);
+        }
         return;
     }
 
@@ -243,12 +296,16 @@ fn main() {
     for _ in 0..opts.warmup {
         gen.tick(&mut net);
         net.step();
-        net.drain_delivered();
+        observe_deliveries(&mut metrics, &net.drain_delivered());
     }
     for _ in 0..opts.cycles {
         gen.tick(&mut net);
         net.step();
-        net.drain_delivered();
+        observe_deliveries(&mut metrics, &net.drain_delivered());
     }
-    report(&net, opts.warmup + opts.cycles);
+    report(&net, opts.warmup + opts.cycles, &metrics);
+    #[cfg(feature = "obs")]
+    if let (Some(out), Some(rec)) = (&opts.trace_out, &recorder) {
+        write_trace(out, rec);
+    }
 }

@@ -1,0 +1,265 @@
+//! `perf_baseline` — the performance-baseline pipeline.
+//!
+//! Runs the standard baseline-mesh and Mesh+PRA configurations under
+//! uniform-random synthetic traffic, derives exact p50/p95/p99 packet
+//! latency (from the `niobs` metrics registry) and simulator throughput
+//! (simulated cycles per wall-clock second), and emits a machine-readable
+//! `BENCH_pra.json`. Built with the `obs` feature (the default) it also
+//! exports a Chrome/Perfetto `trace_event` JSON of the PRA run.
+//!
+//! ```sh
+//! perf_baseline                         # paper-size run, BENCH_pra.json
+//! perf_baseline --cycles 3000 --out /tmp/b.json --trace-out /tmp/t.json
+//! perf_baseline --no-trace              # skip the trace export
+//! ```
+
+use std::time::Instant;
+
+use bench::{build_network, Organization};
+use niobs::MetricsRegistry;
+use nistats::Json;
+use noc::config::{NocConfig, NocConfigBuilder};
+use noc::network::Network;
+use noc::traffic::{Pattern, TrafficGen};
+
+#[derive(Debug)]
+struct Options {
+    warmup: u64,
+    cycles: u64,
+    rate: f64,
+    radix: u16,
+    seed: u64,
+    out: String,
+    trace_out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            warmup: 2_000,
+            cycles: 20_000,
+            rate: 0.02,
+            radix: 8,
+            seed: 1,
+            out: "BENCH_pra.json".to_string(),
+            trace_out: Some("pra.trace.json".to_string()),
+        }
+    }
+}
+
+const HELP: &str = "\
+perf_baseline — packet-latency percentiles + simulator throughput
+
+USAGE: perf_baseline [OPTIONS]
+
+  --warmup N         warm-up cycles                     [2000]
+  --cycles N         measured cycles                    [20000]
+  --rate F           injection rate, packets/node/cycle [0.02]
+  --radix N          mesh radix (NxN)                   [8]
+  --seed N           RNG seed                           [1]
+  --out FILE         result JSON path                   [BENCH_pra.json]
+  --trace-out FILE   Chrome trace of the PRA run        [pra.trace.json]
+  --no-trace         skip the Chrome-trace export
+  --help             this text
+";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{HELP}");
+            std::process::exit(0);
+        }
+        if flag == "--no-trace" {
+            opts.trace_out = None;
+            continue;
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag.as_str() {
+            "--warmup" => opts.warmup = value.parse().map_err(|_| "bad --warmup".to_string())?,
+            "--cycles" => opts.cycles = value.parse().map_err(|_| "bad --cycles".to_string())?,
+            "--rate" => opts.rate = value.parse().map_err(|_| "bad --rate".to_string())?,
+            "--radix" => opts.radix = value.parse().map_err(|_| "bad --radix".to_string())?,
+            "--seed" => opts.seed = value.parse().map_err(|_| "bad --seed".to_string())?,
+            "--out" => opts.out = value,
+            "--trace-out" => opts.trace_out = Some(value),
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+/// One measured configuration: the run's latency registry plus wall-clock
+/// timing.
+struct RunResult {
+    name: &'static str,
+    metrics: MetricsRegistry,
+    delivered: u64,
+    total_cycles: u64,
+    wall_seconds: f64,
+}
+
+impl RunResult {
+    fn cycles_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.total_cycles as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let latency = self
+            .metrics
+            .histogram("packet.latency_cycles")
+            .map(niobs::SparseHistogram::to_json)
+            .unwrap_or(Json::Null);
+        Json::object(vec![
+            ("org".to_string(), Json::from(self.name)),
+            ("delivered".to_string(), Json::UInt(self.delivered)),
+            ("cycles".to_string(), Json::UInt(self.total_cycles)),
+            ("latency_cycles".to_string(), latency),
+            ("wall_seconds".to_string(), Json::Float(self.wall_seconds)),
+            (
+                "cycles_per_sec".to_string(),
+                Json::Float(self.cycles_per_sec()),
+            ),
+            (
+                "packets_per_cycle".to_string(),
+                Json::Float(self.delivered as f64 / self.total_cycles.max(1) as f64),
+            ),
+        ])
+    }
+}
+
+/// Runs one organisation start-to-finish; `trace_out` (PRA only, `obs`
+/// builds only) additionally captures and writes a Chrome trace.
+fn run_one(
+    name: &'static str,
+    org: Organization,
+    cfg: &NocConfig,
+    opts: &Options,
+    trace_out: Option<&str>,
+) -> RunResult {
+    let mut net = build_network(org, cfg.clone());
+    #[cfg(feature = "obs")]
+    let recorder = trace_out.map(|_| {
+        let rec = niobs::Recorder::default().into_shared();
+        net.install_obs(rec.clone());
+        rec
+    });
+    #[cfg(not(feature = "obs"))]
+    let _ = trace_out;
+
+    let mut metrics = MetricsRegistry::new();
+    let mut delivered = 0u64;
+    let mut gen = TrafficGen::new(cfg.clone(), Pattern::UniformRandom, opts.rate, opts.seed);
+    let total_cycles = opts.warmup + opts.cycles;
+    let wall = Instant::now();
+    for _ in 0..total_cycles {
+        gen.tick(&mut net);
+        net.step();
+        for d in net.drain_delivered() {
+            delivered += 1;
+            metrics.observe(
+                "packet.latency_cycles",
+                d.delivered.saturating_sub(d.packet.created),
+            );
+        }
+    }
+    let wall_seconds = wall.elapsed().as_secs_f64();
+
+    #[cfg(feature = "obs")]
+    if let (Some(path), Some(rec)) = (trace_out, &recorder) {
+        match bench::write_chrome_trace(&rec.borrow(), path) {
+            Ok(()) => eprintln!("trace written to {path}"),
+            Err(e) => {
+                eprintln!("perf_baseline: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    RunResult {
+        name,
+        metrics,
+        delivered,
+        total_cycles,
+        wall_seconds,
+    }
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("perf_baseline: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = match NocConfigBuilder::new().radix(opts.radix).build() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("perf_baseline: invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
+    if cfg!(not(feature = "obs")) && opts.trace_out.is_some() {
+        eprintln!("note: built without the `obs` feature; skipping trace export");
+    }
+
+    let runs = vec![
+        run_one("baseline-mesh", Organization::Mesh, &cfg, &opts, None),
+        run_one(
+            "pra",
+            Organization::MeshPra,
+            &cfg,
+            &opts,
+            opts.trace_out.as_deref(),
+        ),
+    ];
+
+    println!("== perf_baseline ==");
+    for r in &runs {
+        let h = r.metrics.histogram("packet.latency_cycles");
+        let fmt = |q: f64| {
+            h.and_then(|h| h.percentile(q))
+                .map_or("-".to_string(), |v| v.to_string())
+        };
+        println!(
+            "{:<14} delivered {:>8}  p50/p95/p99 {:>4}/{:>4}/{:>4} cycles  {:>10.0} cycles/sec",
+            r.name,
+            r.delivered,
+            fmt(0.50),
+            fmt(0.95),
+            fmt(0.99),
+            r.cycles_per_sec(),
+        );
+    }
+
+    let doc = Json::object(vec![
+        ("bench".to_string(), Json::from("perf_baseline")),
+        (
+            "config".to_string(),
+            Json::object(vec![
+                ("radix".to_string(), Json::UInt(u64::from(opts.radix))),
+                ("rate".to_string(), Json::Float(opts.rate)),
+                ("warmup".to_string(), Json::UInt(opts.warmup)),
+                ("cycles".to_string(), Json::UInt(opts.cycles)),
+                ("seed".to_string(), Json::UInt(opts.seed)),
+            ]),
+        ),
+        (
+            "runs".to_string(),
+            Json::Array(runs.iter().map(RunResult::to_json).collect()),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&opts.out, doc.to_string_pretty(2)) {
+        eprintln!("perf_baseline: cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    println!("results written to {}", opts.out);
+}

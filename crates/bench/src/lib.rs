@@ -188,6 +188,19 @@ impl Network for BoxedNet {
     fn audit(&self) -> Option<noc::watchdog::AuditReport> {
         self.0.audit()
     }
+    #[cfg(feature = "obs")]
+    fn install_obs(&mut self, sink: niobs::SharedSink) {
+        self.0.install_obs(sink)
+    }
+}
+
+/// Writes a Chrome/Perfetto `trace_event` JSON file assembled from a
+/// recorder's completed flights plus the control-plane instants still in
+/// its ring log.
+pub fn write_chrome_trace(rec: &niobs::Recorder, path: &str) -> std::io::Result<()> {
+    let instants: Vec<niobs::TimedEvent> = rec.log.iter().cloned().collect();
+    let doc = niobs::chrome_trace(rec.flights.completed(), &instants);
+    std::fs::write(path, doc.to_string())
 }
 
 /// Formats a normalized-performance table (rows = workloads + GMean,

@@ -102,6 +102,9 @@ pub struct ControlNetwork {
     packets: Vec<ControlPacket>,
     next_id: u64,
     stats: PraStats,
+    /// Observability handle; detached by default.
+    #[cfg(feature = "obs")]
+    obs: niobs::ObsHandle,
 }
 
 impl ControlNetwork {
@@ -113,7 +116,22 @@ impl ControlNetwork {
             packets: Vec::new(),
             next_id: 0,
             stats: PraStats::new(),
+            #[cfg(feature = "obs")]
+            obs: niobs::ObsHandle::disabled(),
         }
+    }
+
+    /// Attaches an observability sink for control-plane events.
+    #[cfg(feature = "obs")]
+    pub fn set_obs(&mut self, sink: niobs::SharedSink) {
+        self.obs.attach(sink);
+    }
+
+    /// The control network's observability handle (for co-located
+    /// producers such as the LSD scan).
+    #[cfg(feature = "obs")]
+    pub fn obs(&self) -> &niobs::ObsHandle {
+        &self.obs
     }
 
     /// The control-plane configuration.
@@ -241,6 +259,22 @@ impl ControlNetwork {
         let chunk_of = chunk_positions(&route, self.cfg.max_hops_per_cycle);
         self.next_id += 1;
         self.stats.record_injected(origin);
+        #[cfg(feature = "obs")]
+        {
+            let origin_label = match origin {
+                ControlOrigin::Llc => "llc",
+                ControlOrigin::Lsd => "lsd",
+            };
+            let pkt = packet.0;
+            let src = route.node_at(&self.cfg, 0).index() as u64;
+            let lag_left = u8::try_from(due0 - process_at).unwrap_or(u8::MAX);
+            self.obs.emit(process_at, || niobs::Event::ControlInjected {
+                packet: pkt,
+                src,
+                origin: origin_label,
+                lag: lag_left,
+            });
+        }
         self.packets.push(ControlPacket {
             id: self.next_id,
             origin,
@@ -290,7 +324,12 @@ impl ControlNetwork {
                     match claim_keys(&self.cfg, &cp.route, cp.origin, cp.pos) {
                         Some(keys) if keys.iter().all(|k| !claims.contains(k)) => {
                             claims.extend(keys);
-                            step_segment(&self.cfg, mesh, cp, t, &mut self.stats)
+                            #[cfg(feature = "obs")]
+                            let stepped =
+                                step_segment(&self.cfg, mesh, cp, t, &mut self.stats, &self.obs);
+                            #[cfg(not(feature = "obs"))]
+                            let stepped = step_segment(&self.cfg, mesh, cp, t, &mut self.stats);
+                            stepped
                         }
                         Some(_) => Some(DropReason::Conflict),
                         None => Some(DropReason::AllocationFailed),
@@ -300,6 +339,17 @@ impl ControlNetwork {
             if let Some(reason) = outcome {
                 let cp = &self.packets[i];
                 self.stats.record_drop(reason, cp.lag);
+                #[cfg(feature = "obs")]
+                {
+                    let pkt = cp.packet.0;
+                    let lag_left = cp.lag;
+                    let label = drop_reason_label(reason);
+                    self.obs.emit(t, || niobs::Event::ControlDropped {
+                        packet: pkt,
+                        reason: label,
+                        lag: lag_left,
+                    });
+                }
                 dropped_ids.push(cp.id);
             }
         }
@@ -340,6 +390,19 @@ fn segment_faulted(cfg: &NocConfig, mesh: &MeshNetwork, cp: &ControlPacket) -> b
         }
     };
     check(a) || b.is_some_and(check)
+}
+
+/// Stable snake_case label for a [`DropReason`] (event payloads).
+#[cfg(feature = "obs")]
+fn drop_reason_label(reason: DropReason) -> &'static str {
+    match reason {
+        DropReason::Completed => "completed",
+        DropReason::LagExhausted => "lag_exhausted",
+        DropReason::AllocationFailed => "allocation_failed",
+        DropReason::Conflict => "conflict",
+        DropReason::NiBusy => "ni_busy",
+        DropReason::Fault => "fault",
+    }
 }
 
 /// Dense index of an [`InstallError`] in `PraStats::alloc_fail_kinds`.
@@ -394,10 +457,24 @@ fn step_segment(
     cp: &mut ControlPacket,
     t: Cycle,
     stats: &mut PraStats,
+    #[cfg(feature = "obs")] obs: &niobs::ObsHandle,
 ) -> Option<DropReason> {
     stats.segments_processed += 1;
     let h = cp.route.hops();
     let (a, b) = segment_positions(&cp.route, cp.pos);
+    #[cfg(feature = "obs")]
+    {
+        let pkt = cp.packet.0;
+        let node = cp.route.node_at(cfg, a).index() as u64;
+        let pos = u8::try_from(a).unwrap_or(u8::MAX);
+        let lag_left = cp.lag;
+        obs.emit(t, || niobs::Event::ControlSegment {
+            packet: pkt,
+            node,
+            pos,
+            lag: lag_left,
+        });
+    }
     let due_a = cp.due0 + cp.chunk_of[a] as Cycle;
     // The data packet has caught up: nothing left to pre-allocate. A latch
     // conversion additionally needs the previous hop's first slot (one
@@ -485,6 +562,17 @@ fn step_segment(
     // Commit: convert the previous landing (ACK), install `a` (+ `b`).
     if let Some(conv) = prev_conversion {
         let prev = cp.prev_hop.as_ref().expect("non-source position");
+        #[cfg(feature = "obs")]
+        {
+            let pkt = cp.packet.0;
+            let node = prev.node.index() as u64;
+            let to_bypass = conv == Landing::Bypass;
+            obs.emit(t, || niobs::Event::Ack {
+                packet: pkt,
+                node,
+                to_bypass,
+            });
+        }
         mesh.convert_landing(
             prev.node,
             prev.out_port,

@@ -285,6 +285,11 @@ impl Network for FrfcNetwork {
         self.mesh.stats()
     }
 
+    #[cfg(feature = "obs")]
+    fn install_obs(&mut self, sink: niobs::SharedSink) {
+        self.mesh.install_obs(sink);
+    }
+
     /// FRFC control flits leave as soon as the transfer is known; with a
     /// lead of `l` cycles they stay `l` cycles ahead of the data the whole
     /// way (both move one hop per cycle).

@@ -159,6 +159,12 @@ impl Network for PraNetwork {
         self.mesh.audit()
     }
 
+    #[cfg(feature = "obs")]
+    fn install_obs(&mut self, sink: niobs::SharedSink) {
+        self.mesh.install_obs(sink.clone());
+        self.ctrl.set_obs(sink);
+    }
+
     /// The LLC window: `packet` will be injected after `lead` more cycles
     /// (the remaining data-lookup time). A lead longer than the maximum
     /// lag delays the control launch so the lag stays within range; a

@@ -30,6 +30,9 @@ use crate::stats::NetStats;
 use crate::types::{Cycle, Direction, MessageClass, NodeId, PacketId, Port};
 use crate::watchdog::AuditReport;
 
+#[cfg(feature = "obs")]
+use niobs::Event;
+
 use std::collections::BTreeMap;
 
 /// West-first turn-model state of a flit sitting at input port `in_port`:
@@ -251,6 +254,10 @@ pub struct MeshNetwork {
     /// fault hook a no-op and the datapath bit-identical to a build
     /// without the subsystem.
     faults: Option<FaultState>,
+    /// Observability handle; detached by default (every hook is then a
+    /// single branch). Absent entirely without the `obs` feature.
+    #[cfg(feature = "obs")]
+    obs: niobs::ObsHandle,
 }
 
 impl MeshNetwork {
@@ -277,7 +284,18 @@ impl MeshNetwork {
             stats: NetStats::new(),
             cfg,
             now: 0,
+            #[cfg(feature = "obs")]
+            obs: niobs::ObsHandle::disabled(),
         }
+    }
+
+    /// Records an observability event at the current cycle. The closure
+    /// runs only when a sink is attached, so hooks cost one branch on
+    /// the unobserved path.
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn emit(&self, make: impl FnOnce() -> niobs::Event) {
+        self.obs.emit(self.now, make);
     }
 
     /// Flit traversals of the directed link leaving `node` toward `dir`
@@ -436,6 +454,14 @@ impl MeshNetwork {
             _ => {}
         }
         self.routers[node].guards[p][vc].set(plan.packet);
+        #[cfg(feature = "obs")]
+        self.emit(|| Event::ReservationInstalled {
+            packet: plan.packet.0,
+            node: node as u64,
+            out_port: p as u8,
+            start: plan.start,
+            len: plan.len,
+        });
         Ok(())
     }
 
@@ -659,6 +685,8 @@ impl MeshNetwork {
         // Armed credit-loss faults each destroy one matching in-flight
         // credit (and fizzle silently when none is travelling that lane
         // this cycle).
+        #[cfg(feature = "obs")]
+        let mut credit_loss_nodes: Vec<u64> = Vec::new();
         if let Some(f) = self.faults.as_mut() {
             for (node, dir, vc) in std::mem::take(&mut f.credit_losses_now) {
                 let victim = returns
@@ -667,11 +695,29 @@ impl MeshNetwork {
                 if let Some(i) = victim {
                     returns.swap_remove(i);
                     f.note_lost_credit(node, dir, vc);
+                    #[cfg(feature = "obs")]
+                    credit_loss_nodes.push(node as u64);
                 }
             }
         }
+        #[cfg(feature = "obs")]
+        for n in credit_loss_nodes {
+            self.emit(|| Event::FaultApplied {
+                node: n,
+                kind: "credit_loss",
+            });
+        }
         for cr in returns {
             self.routers[cr.node].out_vcs[cr.out_port.index()][cr.vc].return_credit();
+            #[cfg(feature = "obs")]
+            {
+                let (node, port, vci) = (cr.node as u64, cr.out_port.index() as u8, cr.vc as u8);
+                self.emit(|| Event::CreditReturn {
+                    node,
+                    port,
+                    vc: vci,
+                });
+            }
         }
     }
 
@@ -686,6 +732,11 @@ impl MeshNetwork {
                         .coord(head.src)
                         .manhattan(self.cfg.coord(head.dest));
                     self.ledger.complete(head, self.now, hops, &mut self.stats);
+                    #[cfg(feature = "obs")]
+                    self.emit(|| Event::PacketEjected {
+                        packet: head.packet.0,
+                        node: a.node as u64,
+                    });
                 }
             } else {
                 self.routers[a.node].inputs[a.in_port.index()]
@@ -783,6 +834,14 @@ impl MeshNetwork {
             Port::Dir(d) => {
                 self.stats.link_traversals += 1;
                 self.link_use[node * 4 + d as usize] += 1;
+                #[cfg(feature = "obs")]
+                self.emit(|| Event::LinkTraverse {
+                    packet: flit.packet.0,
+                    seq: flit.seq,
+                    node: node as u64,
+                    out_port: out_port.index() as u8,
+                    reserved: forced,
+                });
                 let here = NodeId::new(node as u16);
                 let next = neighbor(&self.cfg, here, d).expect("route stays on the mesh");
                 self.arrivals.push(Arrival {
@@ -1040,6 +1099,11 @@ impl MeshNetwork {
                         .coord(head.src)
                         .manhattan(self.cfg.coord(head.dest));
                     self.ledger.complete(head, self.now, hops, &mut self.stats);
+                    #[cfg(feature = "obs")]
+                    self.emit(|| Event::PacketEjected {
+                        packet: head.packet.0,
+                        node: cur_node as u64,
+                    });
                 }
                 self.after_reserved_slot(cur_node, cur_out, &flit);
                 return;
@@ -1049,6 +1113,14 @@ impl MeshNetwork {
             let here = NodeId::new(cur_node as u16);
             let dir = cur_out.direction().expect("non-local checked");
             self.link_use[cur_node * 4 + dir as usize] += 1;
+            #[cfg(feature = "obs")]
+            self.emit(|| Event::LinkTraverse {
+                packet: flit.packet.0,
+                seq: flit.seq,
+                node: cur_node as u64,
+                out_port: cur_out.index() as u8,
+                reserved: true,
+            });
             let next = neighbor(&self.cfg, here, dir).expect("reserved route stays on mesh");
             let next_in = Port::Dir(dir.opposite());
 
@@ -1059,6 +1131,13 @@ impl MeshNetwork {
                         .consume_credit(flit.packet);
                     if flit.is_head() && flit.len_flits > 1 {
                         self.routers[cur_node].out_vcs[cur_out.index()][lvc].allocate(flit.packet);
+                        #[cfg(feature = "obs")]
+                        self.emit(|| Event::VcAllocated {
+                            packet: flit.packet.0,
+                            node: cur_node as u64,
+                            out_port: cur_out.index() as u8,
+                            vc: lvc as u8,
+                        });
                     }
                     if flit.is_tail() {
                         self.routers[cur_node].out_vcs[cur_out.index()][lvc]
@@ -1132,6 +1211,11 @@ impl MeshNetwork {
     fn waste_and_cancel(&mut self, node: usize, out_port: Port, cycle: Cycle, resv: Reservation) {
         let (packet, from_seq) = (resv.packet, resv.seq);
         self.stats.wasted_reservations += 1;
+        #[cfg(feature = "obs")]
+        self.emit(|| Event::ReservationWasted {
+            packet: packet.0,
+            node: node as u64,
+        });
         // The reservation was already taken from the schedule; release the
         // resources it held.
         self.release_cancelled(node, out_port, packet, &[(cycle, resv)]);
@@ -1351,10 +1435,21 @@ impl MeshNetwork {
         let p = out_port.index();
         if out_port != Port::Local {
             let out_vc = &mut self.routers[node].out_vcs[p][vc];
-            if flit.len_flits > 1 && (flit.is_head() || out_vc.owner() != Some(flit.packet)) {
+            let allocates =
+                flit.len_flits > 1 && (flit.is_head() || out_vc.owner() != Some(flit.packet));
+            if allocates {
                 out_vc.allocate(flit.packet);
             }
             out_vc.consume_credit(flit.packet);
+            #[cfg(feature = "obs")]
+            if allocates {
+                self.emit(|| Event::VcAllocated {
+                    packet: flit.packet.0,
+                    node: node as u64,
+                    out_port: p as u8,
+                    vc: vc as u8,
+                });
+            }
         }
         if flit.len_flits > 1 {
             self.routers[node].port_lock[p] = if flit.is_tail() {
@@ -1385,6 +1480,13 @@ impl MeshNetwork {
             packet: flit.packet,
             seq: flit.seq,
         });
+        #[cfg(feature = "obs")]
+        self.emit(|| Event::SwitchGrant {
+            packet: flit.packet.0,
+            seq: flit.seq,
+            node: node as u64,
+            out_port: p as u8,
+        });
     }
 
     /// Expires past reservations (waste) and stale latch claims.
@@ -1396,6 +1498,13 @@ impl MeshNetwork {
                     continue;
                 }
                 self.stats.wasted_reservations += expired.len() as u64;
+                #[cfg(feature = "obs")]
+                for (_, r) in &expired {
+                    self.emit(|| Event::ReservationWasted {
+                        packet: r.packet.0,
+                        node: node as u64,
+                    });
+                }
                 let by_packet: Vec<PacketId> = expired.iter().map(|(_, r)| r.packet).collect();
                 self.release_cancelled(node, out_port, by_packet[0], &expired);
                 // release_cancelled handles credits/latches per entry but
@@ -1457,12 +1566,22 @@ impl MeshNetwork {
         for ev in due {
             match ev {
                 FaultEvent::PermanentLink { node, dir, .. } => {
+                    #[cfg(feature = "obs")]
+                    self.emit(|| Event::FaultApplied {
+                        node: node.index() as u64,
+                        kind: "permanent_link",
+                    });
                     if let Some(nb) = neighbor(&self.cfg, node, dir) {
                         let dying = [(node.index(), dir), (nb.index(), dir.opposite())];
                         self.apply_topology_fault(&dying, None);
                     }
                 }
                 FaultEvent::RouterDown { node, .. } => {
+                    #[cfg(feature = "obs")]
+                    self.emit(|| Event::FaultApplied {
+                        node: node.index() as u64,
+                        kind: "router_down",
+                    });
                     if node.index() < self.cfg.nodes() {
                         self.apply_topology_fault(&[], Some(node.index()));
                     }
@@ -1710,6 +1829,11 @@ impl MeshNetwork {
                 .as_mut()
                 .expect("purges only run under fault injection");
             f.note_purged_packet(u64::from(p.len_flits));
+            #[cfg(feature = "obs")]
+            self.emit(|| Event::PacketDropped {
+                packet: id.0,
+                flits: p.len_flits,
+            });
         }
     }
 
@@ -1930,6 +2054,10 @@ impl Network for MeshNetwork {
                 || (f.degraded() && f.next_hop(packet.src, packet.dest, true).is_none())
             {
                 f.note_injection_refused();
+                #[cfg(feature = "obs")]
+                self.emit(|| Event::InjectionRefused {
+                    node: packet.src.index() as u64,
+                });
                 return;
             }
         }
@@ -1938,6 +2066,14 @@ impl Network for MeshNetwork {
             packet.created = self.now;
         }
         self.stats.record_injected(packet.class);
+        #[cfg(feature = "obs")]
+        self.emit(|| Event::PacketInjected {
+            packet: packet.id.0,
+            src: packet.src.index() as u64,
+            dest: packet.dest.index() as u64,
+            class: packet.class.vc() as u8,
+            len: packet.len_flits,
+        });
         self.ledger.register(packet);
         self.sources[packet.src.index()].enqueue_packet(&packet);
     }
@@ -1979,6 +2115,11 @@ impl Network for MeshNetwork {
 
     fn audit(&self) -> Option<AuditReport> {
         Some(self.audit_now())
+    }
+
+    #[cfg(feature = "obs")]
+    fn install_obs(&mut self, sink: niobs::SharedSink) {
+        self.obs.attach(sink);
     }
 }
 

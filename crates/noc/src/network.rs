@@ -76,6 +76,15 @@ pub trait Network {
         None
     }
 
+    /// Attaches an observability sink: subsequent simulator events are
+    /// emitted into it (see the `niobs` crate). The default
+    /// implementation ignores the sink — organisations without
+    /// instrumentation hooks simply record nothing.
+    #[cfg(feature = "obs")]
+    fn install_obs(&mut self, sink: niobs::SharedSink) {
+        let _ = sink;
+    }
+
     /// Runs the network until all in-flight packets are delivered or
     /// `max_cycles` elapse. Returns all deliveries. Useful in tests.
     fn run_to_drain(&mut self, max_cycles: u64) -> Vec<Delivered>

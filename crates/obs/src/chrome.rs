@@ -1,0 +1,423 @@
+//! Chrome/Perfetto `trace_event` JSON export and validation.
+//!
+//! The exporter renders flight records as complete (`"ph":"X"`) slices
+//! — one track per packet (`pid` 1, `tid` = packet id), a parent slice
+//! for the whole flight and a child slice per hop — plus instant
+//! (`"ph":"i"`) events for the control plane and faults (`pid` 2,
+//! `tid` = node). Cycles are written verbatim as microsecond
+//! timestamps: 1 cycle renders as 1 µs in the viewer.
+//!
+//! [`validate_chrome_trace`] re-checks an exported document against the
+//! subset of the `trace_event` schema the viewers require: well-formed
+//! `ph`/`ts`/`pid`/`tid` fields and monotone per-track timestamps.
+
+use nistats::Json;
+
+use crate::event::Event;
+use crate::flight::{port_letter, FlightRecord};
+use crate::ring::TimedEvent;
+
+/// `pid` used for packet-flight tracks.
+pub const PID_PACKETS: u64 = 1;
+/// `pid` used for control-plane / fault instant events.
+pub const PID_CONTROL: u64 = 2;
+
+/// Whether an event is rendered as a timeline instant (control-plane
+/// and fault activity; high-volume data-path events are summarised by
+/// the flight slices instead).
+#[must_use]
+pub fn is_timeline_instant(event: &Event) -> bool {
+    matches!(
+        event,
+        Event::ControlInjected { .. }
+            | Event::ControlSegment { .. }
+            | Event::ControlDropped { .. }
+            | Event::Ack { .. }
+            | Event::LsdFire { .. }
+            | Event::LlcWindow { .. }
+            | Event::FaultApplied { .. }
+            | Event::InjectionRefused { .. }
+            | Event::PacketDropped { .. }
+    )
+}
+
+fn field(name: &str, value: Json) -> (String, Json) {
+    (name.to_string(), value)
+}
+
+fn instant_node(event: &Event) -> u64 {
+    match *event {
+        Event::ControlInjected { src, .. } => src,
+        Event::ControlSegment { node, .. }
+        | Event::Ack { node, .. }
+        | Event::LsdFire { node, .. }
+        | Event::FaultApplied { node, .. }
+        | Event::InjectionRefused { node } => node,
+        Event::LlcWindow { src, .. } => src,
+        _ => 0,
+    }
+}
+
+fn instant_args(event: &Event) -> Json {
+    let mut args = Vec::new();
+    match *event {
+        Event::ControlInjected {
+            packet,
+            origin,
+            lag,
+            ..
+        } => {
+            args.push(field("packet", Json::UInt(packet)));
+            args.push(field("origin", Json::from(origin)));
+            args.push(field("lag", Json::UInt(u64::from(lag))));
+        }
+        Event::ControlSegment {
+            packet, pos, lag, ..
+        } => {
+            args.push(field("packet", Json::UInt(packet)));
+            args.push(field("pos", Json::UInt(u64::from(pos))));
+            args.push(field("lag", Json::UInt(u64::from(lag))));
+        }
+        Event::ControlDropped {
+            packet,
+            reason,
+            lag,
+        } => {
+            args.push(field("packet", Json::UInt(packet)));
+            args.push(field("reason", Json::from(reason)));
+            args.push(field("lag", Json::UInt(u64::from(lag))));
+        }
+        Event::Ack {
+            packet, to_bypass, ..
+        } => {
+            args.push(field("packet", Json::UInt(packet)));
+            args.push(field("to_bypass", Json::Bool(to_bypass)));
+        }
+        Event::LsdFire {
+            packet, release, ..
+        } => {
+            args.push(field("packet", Json::UInt(packet)));
+            args.push(field("release", Json::UInt(release)));
+        }
+        Event::LlcWindow {
+            packet,
+            dest,
+            lead,
+            kind,
+            ..
+        } => {
+            args.push(field("packet", Json::UInt(packet)));
+            args.push(field("dest", Json::UInt(dest)));
+            args.push(field("lead", Json::UInt(lead)));
+            args.push(field("kind", Json::from(kind)));
+        }
+        Event::FaultApplied { kind, .. } => {
+            args.push(field("kind", Json::from(kind)));
+        }
+        Event::PacketDropped { packet, flits } => {
+            args.push(field("packet", Json::UInt(packet)));
+            args.push(field("flits", Json::UInt(u64::from(flits))));
+        }
+        _ => {}
+    }
+    Json::Object(args)
+}
+
+fn meta_event(pid: u64, name: &str) -> Json {
+    Json::object(vec![
+        field("name", Json::from("process_name")),
+        field("ph", Json::from("M")),
+        field("pid", Json::UInt(pid)),
+        field("tid", Json::UInt(0)),
+        field("args", Json::object(vec![field("name", Json::from(name))])),
+    ])
+}
+
+fn complete_event(name: String, ts: u64, dur: u64, pid: u64, tid: u64, args: Json) -> Json {
+    Json::object(vec![
+        field("name", Json::Str(name)),
+        field("cat", Json::from("packet")),
+        field("ph", Json::from("X")),
+        field("ts", Json::UInt(ts)),
+        field("dur", Json::UInt(dur.max(1))),
+        field("pid", Json::UInt(pid)),
+        field("tid", Json::UInt(tid)),
+        field("args", args),
+    ])
+}
+
+fn flight_events(flight: &FlightRecord, out: &mut Vec<Json>) {
+    let end = flight
+        .ejected
+        .or(flight.dropped)
+        .or_else(|| flight.hops.last().map(|h| h.traverse + 1))
+        .unwrap_or(flight.injected + 1);
+    let outcome = if flight.dropped.is_some() {
+        "dropped"
+    } else if flight.ejected.is_some() {
+        "delivered"
+    } else {
+        "in_flight"
+    };
+    let args = Json::object(vec![
+        field("src", Json::UInt(flight.src)),
+        field("dest", Json::UInt(flight.dest)),
+        field("class", Json::UInt(u64::from(flight.class))),
+        field("len_flits", Json::UInt(u64::from(flight.len))),
+        field("hops", Json::UInt(flight.hops.len() as u64)),
+        field(
+            "prealloc_prefix",
+            Json::UInt(flight.prealloc_prefix() as u64),
+        ),
+        field("outcome", Json::from(outcome)),
+    ]);
+    out.push(complete_event(
+        format!("pkt{} {}->{}", flight.packet, flight.src, flight.dest),
+        flight.injected,
+        end.saturating_sub(flight.injected),
+        PID_PACKETS,
+        flight.packet,
+        args,
+    ));
+    for hop in &flight.hops {
+        let start = hop.grant.unwrap_or(hop.traverse);
+        let label = if hop.reserved { " (pra)" } else { "" };
+        let args = Json::object(vec![
+            field("node", Json::UInt(hop.node)),
+            field("reserved", Json::Bool(hop.reserved)),
+        ]);
+        out.push(complete_event(
+            format!("hop {}>{}{}", hop.node, port_letter(hop.out_port), label),
+            start,
+            (hop.traverse + 1).saturating_sub(start),
+            PID_PACKETS,
+            flight.packet,
+            args,
+        ));
+    }
+}
+
+/// Renders flights and timeline instants as a `trace_event` document:
+/// `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+///
+/// Events are sorted by timestamp (stable), which keeps every track's
+/// timestamps monotone as the viewers require.
+#[must_use]
+pub fn chrome_trace(flights: &[FlightRecord], instants: &[TimedEvent]) -> Json {
+    let mut events = Vec::new();
+    for flight in flights {
+        flight_events(flight, &mut events);
+    }
+    for te in instants {
+        if !is_timeline_instant(&te.event) {
+            continue;
+        }
+        events.push(Json::object(vec![
+            field("name", Json::from(te.event.name())),
+            field("cat", Json::from("control")),
+            field("ph", Json::from("i")),
+            field("s", Json::from("t")),
+            field("ts", Json::UInt(te.cycle)),
+            field("pid", Json::UInt(PID_CONTROL)),
+            field("tid", Json::UInt(instant_node(&te.event))),
+            field("args", instant_args(&te.event)),
+        ]));
+    }
+    events.sort_by_key(|e| e.get("ts").and_then(Json::as_u64).unwrap_or(0));
+    let mut all = vec![
+        meta_event(PID_PACKETS, "data packets"),
+        meta_event(PID_CONTROL, "control plane"),
+    ];
+    all.extend(events);
+    Json::object(vec![
+        field("traceEvents", Json::Array(all)),
+        field("displayTimeUnit", Json::from("ms")),
+    ])
+}
+
+/// Why a document failed `trace_event` validation.
+#[must_use]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChromeTraceError {
+    /// Index of the offending event in `traceEvents` (when applicable).
+    pub index: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ChromeTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "traceEvents[{}]: {}", i, self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ChromeTraceError {}
+
+/// Summary of a validated trace document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Distinct `(pid, tid)` tracks observed.
+    pub tracks: usize,
+    /// Largest timestamp seen.
+    pub max_ts: u64,
+}
+
+fn trace_err(index: Option<usize>, message: String) -> ChromeTraceError {
+    ChromeTraceError { index, message }
+}
+
+/// Validates the `trace_event` subset the viewers require: a
+/// `traceEvents` array whose entries carry a one-character `ph`,
+/// integer `pid`/`tid`, a non-negative integer `ts` (except metadata
+/// `M` events), `dur` on `X` events — and, per `(pid, tid)` track,
+/// non-decreasing timestamps in array order.
+pub fn validate_chrome_trace(doc: &Json) -> Result<ChromeTraceSummary, ChromeTraceError> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or_else(|| trace_err(None, "missing traceEvents array".to_string()))?;
+    let mut last_ts: std::collections::BTreeMap<(u64, u64), u64> =
+        std::collections::BTreeMap::new();
+    let mut max_ts = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| trace_err(Some(i), "missing ph".to_string()))?;
+        if ph.chars().count() != 1 {
+            return Err(trace_err(
+                Some(i),
+                format!("ph {ph:?} is not one character"),
+            ));
+        }
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| trace_err(Some(i), "missing integer pid".to_string()))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| trace_err(Some(i), "missing integer tid".to_string()))?;
+        if ph == "M" {
+            continue; // metadata events carry no timestamp
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| trace_err(Some(i), "missing integer ts".to_string()))?;
+        if ph == "X" && ev.get("dur").and_then(Json::as_u64).is_none() {
+            return Err(trace_err(
+                Some(i),
+                "X event without integer dur".to_string(),
+            ));
+        }
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return Err(trace_err(Some(i), "missing name".to_string()));
+        }
+        let track = (pid, tid);
+        if let Some(&prev) = last_ts.get(&track) {
+            if ts < prev {
+                return Err(trace_err(
+                    Some(i),
+                    format!("track ({pid},{tid}) timestamps regress: {prev} -> {ts}"),
+                ));
+            }
+        }
+        last_ts.insert(track, ts);
+        max_ts = max_ts.max(ts);
+    }
+    Ok(ChromeTraceSummary {
+        events: events.len(),
+        tracks: last_ts.len(),
+        max_ts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::HopRecord;
+
+    fn sample_flight() -> FlightRecord {
+        FlightRecord {
+            packet: 5,
+            src: 0,
+            dest: 2,
+            class: 2,
+            len: 5,
+            injected: 10,
+            ejected: Some(18),
+            dropped: None,
+            hops: vec![
+                HopRecord {
+                    node: 0,
+                    out_port: 1,
+                    grant: None,
+                    traverse: 11,
+                    reserved: true,
+                },
+                HopRecord {
+                    node: 1,
+                    out_port: 1,
+                    grant: Some(12),
+                    traverse: 13,
+                    reserved: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn export_validates_and_round_trips() {
+        let instants = vec![TimedEvent {
+            cycle: 9,
+            event: Event::LlcWindow {
+                packet: 5,
+                src: 0,
+                dest: 2,
+                lead: 6,
+                kind: "tag_hit",
+            },
+        }];
+        let doc = chrome_trace(&[sample_flight()], &instants);
+        let text = doc.to_string();
+        let parsed = Json::parse(&text).expect("exporter must emit parseable JSON");
+        let summary = validate_chrome_trace(&parsed).expect("exported trace must validate");
+        // 2 metadata + 1 flight + 2 hops + 1 instant.
+        assert_eq!(summary.events, 6);
+        assert_eq!(summary.tracks, 2);
+        assert_eq!(summary.max_ts, 12);
+    }
+
+    #[test]
+    fn regression_in_track_timestamps_is_rejected() {
+        let mut doc = chrome_trace(&[sample_flight()], &[]);
+        // Swap the flight slice after its hops to force a regression.
+        if let Json::Object(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "traceEvents" {
+                    if let Json::Array(events) = v {
+                        events.reverse();
+                    }
+                }
+            }
+        }
+        let err = validate_chrome_trace(&doc).expect_err("regressed track must fail");
+        assert!(err.message.contains("regress"), "got: {err}");
+    }
+
+    #[test]
+    fn missing_ph_is_rejected() {
+        let doc = Json::object(vec![(
+            "traceEvents".to_string(),
+            Json::Array(vec![Json::object(vec![("pid".to_string(), Json::UInt(1))])]),
+        )]);
+        let err = validate_chrome_trace(&doc).expect_err("missing ph must fail");
+        assert!(err.message.contains("ph"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Bounded ring-buffered event log.
+//!
+//! Keeps the most recent `capacity` events; older entries are evicted
+//! and counted, so memory stays bounded no matter how long the run is.
+
+use std::collections::VecDeque;
+
+use crate::event::{Cycle, Event};
+use crate::sink::EventSink;
+
+/// One logged event with its timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Cycle the event was observed at.
+    pub cycle: Cycle,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// A fixed-capacity event log that evicts its oldest entries.
+#[derive(Debug, Clone)]
+pub struct RingLog {
+    capacity: usize,
+    buf: VecDeque<TimedEvent>,
+    evicted: u64,
+}
+
+impl RingLog {
+    /// Creates a log holding at most `capacity` events (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingLog {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            evicted: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the log is full.
+    pub fn push(&mut self, cycle: Cycle, event: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(TimedEvent { cycle, event });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the log holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted so far to stay within capacity.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Drops all retained events (the evicted count is kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+impl EventSink for RingLog {
+    fn record(&mut self, cycle: Cycle, event: Event) {
+        self.push(cycle, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(node: u64) -> Event {
+        Event::InjectionRefused { node }
+    }
+
+    #[test]
+    fn bounded_and_evicts_oldest() {
+        let mut log = RingLog::new(3);
+        for i in 0..5u64 {
+            log.push(i, ev(i));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.evicted(), 2);
+        let cycles: Vec<Cycle> = log.iter().map(|t| t.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut log = RingLog::new(0);
+        log.push(1, ev(0));
+        log.push(2, ev(0));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.capacity(), 1);
+        assert_eq!(log.evicted(), 1);
+    }
+}

@@ -102,6 +102,10 @@ pub struct System<N: Network> {
     /// Optional invariant watchdog; observes network audits at its own
     /// check interval. `None` (the default) costs nothing per cycle.
     watchdog: Option<Watchdog>,
+    /// Observability handle for system-level events (LLC windows);
+    /// detached by default.
+    #[cfg(feature = "obs")]
+    obs: niobs::ObsHandle,
 }
 
 impl<N: Network> System<N> {
@@ -164,7 +168,18 @@ impl<N: Network> System<N> {
             issue_buf: Vec::new(),
             workload: profile.kind,
             watchdog: None,
+            #[cfg(feature = "obs")]
+            obs: niobs::ObsHandle::disabled(),
         }
+    }
+
+    /// Attaches an observability sink to the whole stack: the network's
+    /// instrumentation hooks (router pipeline, control plane) and the
+    /// system model's own LLC-window events all feed `sink`.
+    #[cfg(feature = "obs")]
+    pub fn attach_obs(&mut self, sink: niobs::SharedSink) {
+        self.network.install_obs(sink.clone());
+        self.obs.attach(sink);
     }
 
     /// Attaches an invariant watchdog: from now on, every time a check is
@@ -271,6 +286,20 @@ impl<N: Network> System<N> {
                         // latency allows.
                         let fill = self.fill_packet(txid, &tx);
                         self.network.announce(&fill, (ready - t) as u32);
+                        #[cfg(feature = "obs")]
+                        {
+                            let pkt = fill.id.0;
+                            let src = fill.src.index() as u64;
+                            let dst = fill.dest.index() as u64;
+                            let lead = ready - t;
+                            self.obs.emit(t, || niobs::Event::LlcWindow {
+                                packet: pkt,
+                                src,
+                                dest: dst,
+                                lead,
+                                kind: "fill",
+                            });
+                        }
                     }
                     self.events
                         .entry(ready)
@@ -286,6 +315,19 @@ impl<N: Network> System<N> {
                     let lead = self.params.llc_data_cycles;
                     let resp = self.response_packet(txid, &tx);
                     self.network.announce(&resp, lead);
+                    #[cfg(feature = "obs")]
+                    {
+                        let pkt = resp.id.0;
+                        let src = resp.src.index() as u64;
+                        let dst = resp.dest.index() as u64;
+                        self.obs.emit(t, || niobs::Event::LlcWindow {
+                            packet: pkt,
+                            src,
+                            dest: dst,
+                            lead: u64::from(lead),
+                            kind: "fill_response",
+                        });
+                    }
                     self.events
                         .entry(t + lead as Cycle)
                         .or_default()
@@ -315,6 +357,19 @@ impl<N: Network> System<N> {
                         let lead = (data_ready - t) as u32;
                         let resp = self.response_packet(txid, &tx);
                         self.network.announce(&resp, lead);
+                        #[cfg(feature = "obs")]
+                        {
+                            let pkt = resp.id.0;
+                            let src = resp.src.index() as u64;
+                            let dst = resp.dest.index() as u64;
+                            self.obs.emit(t, || niobs::Event::LlcWindow {
+                                packet: pkt,
+                                src,
+                                dest: dst,
+                                lead: data_ready - t,
+                                kind: "tag_hit",
+                            });
+                        }
                         self.events
                             .entry(data_ready)
                             .or_default()
@@ -427,10 +482,23 @@ impl<N: Network> System<N> {
             // The L1-miss window: the request's destination is known while
             // the miss is being assembled, so PRA-capable networks get the
             // same advance notice the LLC window gives responses.
+            let t = self.network.now();
             if self.params.announce_requests {
                 self.network.announce(&req, lead);
+                #[cfg(feature = "obs")]
+                {
+                    let pkt = req.id.0;
+                    let src = req.src.index() as u64;
+                    let dst = req.dest.index() as u64;
+                    self.obs.emit(t, || niobs::Event::LlcWindow {
+                        packet: pkt,
+                        src,
+                        dest: dst,
+                        lead: u64::from(lead),
+                        kind: "request",
+                    });
+                }
             }
-            let t = self.network.now();
             self.events
                 .entry(t + lead as Cycle)
                 .or_default()
