@@ -14,10 +14,11 @@
 //! `0 ≤ lag ≤ max_lag` after every step. Two arithmetic models are
 //! analysed:
 //!
-//! * [`LagArith::Guarded`] — the implementation's semantics: a segment
-//!   only decrements survivors (a packet at lag 0 is dropped as
-//!   `LagExhausted` right after the decrement that reached 0, and the
-//!   decrement itself saturates). This model must verify.
+//! * [`LagArith::Guarded`] — the implementation's semantics: a due
+//!   packet at lag 0 is dropped as `LagExhausted` *before* it can
+//!   process another segment, so a segment only ever decrements
+//!   survivors with lag ≥ 1 (a plain `lag -= 1`; the CI profile's
+//!   overflow checks would catch any violation). This model must verify.
 //! * [`LagArith::Wrapping`] — the unguarded variant (`lag -= 1` with no
 //!   drop-at-zero), which a correct analyzer must *reject* with a
 //!   concrete counterexample trace: launch at lag 0, one segment,
@@ -43,8 +44,8 @@ impl std::fmt::Display for LagInterval {
 /// Which arithmetic the transfer function models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LagArith {
-    /// The implementation: drop at 0 before the next decrement, and the
-    /// decrement saturates — only lags ≥ 1 are ever decremented.
+    /// The implementation: a due packet at lag 0 drops before processing
+    /// a segment — only survivors with lag ≥ 1 are ever decremented.
     Guarded,
     /// The unsafe strawman: every processed segment decrements,
     /// including lag 0. Must be rejected.

@@ -14,7 +14,7 @@ use noc::network::Network;
 use noc::traffic::{Pattern, TrafficGen};
 use noc::watchdog::Watchdog;
 
-use bench::{build_network, Organization};
+use bench::{build_network, run_grid, Organization};
 
 const WARMUP: u64 = 1_000;
 const MEASURE: u64 = 5_000;
@@ -101,6 +101,22 @@ fn main() {
         (1_000_000, "1e-3"),
     ];
     let loads = [0.02, 0.05, 0.10];
+    let orgs = [Organization::Mesh, Organization::MeshPra];
+
+    // Expand the grid in print order, run every point on the pool, then
+    // report the reassembled rows — identical to the old serial loop.
+    let mut grid: Vec<(Organization, u32, &str, f64)> = Vec::new();
+    for &org in &orgs {
+        for &(ppb, rate) in &rates {
+            for &load in &loads {
+                grid.push((org, ppb, rate, load));
+            }
+        }
+    }
+    let points = run_grid(grid.len(), |i| {
+        let (org, ppb, _, load) = grid[i];
+        run_point(org, ppb, load)
+    });
 
     println!("## Latency/throughput degradation under transient link faults\n");
     println!(
@@ -108,27 +124,22 @@ fn main() {
         "Org", "Rate", "Load", "Injected", "Delivered", "Lost", "Latency", "Viol", "Conserved"
     );
     let mut failures = 0u32;
-    for org in [Organization::Mesh, Organization::MeshPra] {
-        for &(ppb, rate) in &rates {
-            for &load in &loads {
-                let p = run_point(org, ppb, load);
-                let ok = p.violations == 0 && p.conserved && p.drained;
-                println!(
-                    "{:<10}{:>8}{:>7.2}{:>10}{:>10}{:>8}{:>10.2}{:>6}{:>10}",
-                    org.name(),
-                    rate,
-                    load,
-                    p.injected,
-                    p.delivered,
-                    p.lost,
-                    p.mean_latency,
-                    p.violations,
-                    if ok { "yes" } else { "NO" }
-                );
-                if !ok {
-                    failures += 1;
-                }
-            }
+    for ((org, _, rate, load), p) in grid.iter().zip(&points) {
+        let ok = p.violations == 0 && p.conserved && p.drained;
+        println!(
+            "{:<10}{:>8}{:>7.2}{:>10}{:>10}{:>8}{:>10.2}{:>6}{:>10}",
+            org.name(),
+            rate,
+            load,
+            p.injected,
+            p.delivered,
+            p.lost,
+            p.mean_latency,
+            p.violations,
+            if ok { "yes" } else { "NO" }
+        );
+        if !ok {
+            failures += 1;
         }
     }
     if failures > 0 {

@@ -1,8 +1,10 @@
 //! Figure 6: system performance of Mesh, SMART, Mesh+PRA and Ideal over
-//! the six CloudSuite workloads, normalized to the mesh.
+//! the six CloudSuite workloads, normalized to the mesh. The 24
+//! (workload, organisation) points run in parallel on the runner pool.
 
 use bench::{
-    format_normalized_table, measure_performance, spec_from_env, FigureResults, Organization,
+    format_normalized_table, measure_performance, run_grid, spec_from_env, FigureResults,
+    Organization,
 };
 use workloads::WorkloadKind;
 
@@ -12,11 +14,19 @@ fn main() {
         "fig6: warmup {} / measure {} / {} samples",
         spec.warmup_cycles, spec.measure_cycles, spec.samples
     );
+    let orgs = Organization::ALL;
+    let summaries = run_grid(WorkloadKind::ALL.len() * orgs.len(), |i| {
+        measure_performance(
+            orgs[i % orgs.len()],
+            WorkloadKind::ALL[i / orgs.len()],
+            &spec,
+        )
+    });
     let mut raw = Vec::new();
-    for workload in WorkloadKind::ALL {
+    for (w, workload) in WorkloadKind::ALL.iter().enumerate() {
         let mut row = Vec::new();
-        for org in Organization::ALL {
-            let s = measure_performance(org, workload, &spec);
+        for (o, org) in orgs.iter().enumerate() {
+            let s = &summaries[w * orgs.len() + o];
             eprintln!(
                 "  {:<16} {:<9} perf {:>7.2} ± {:.2}",
                 workload.name(),
@@ -33,14 +43,14 @@ fn main() {
         format_normalized_table(
             "Figure 6 — system performance (normalized to Mesh)",
             &WorkloadKind::ALL,
-            &Organization::ALL,
+            &orgs,
             &raw
         )
     );
     FigureResults {
         figure: "fig6".into(),
         rows: WorkloadKind::ALL.iter().map(|w| w.name().into()).collect(),
-        columns: Organization::ALL.iter().map(|o| o.name().into()).collect(),
+        columns: orgs.iter().map(|o| o.name().into()).collect(),
         values: raw,
     }
     .write_if_requested();

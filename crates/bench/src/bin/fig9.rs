@@ -1,7 +1,9 @@
 //! Figure 9: performance density (performance per mm²), normalized to
 //! the mesh. The ideal network is idealistically booked at mesh area.
+//! The (workload, organisation) points run in parallel on the runner
+//! pool.
 
-use bench::{measure_performance, spec_from_env, Organization};
+use bench::{measure_performance, run_grid, spec_from_env, Organization};
 use nistats::geometric_mean;
 use noc::config::NocConfig;
 use techmodel::{performance_density, NocAreaBreakdown, NocOrganization};
@@ -16,19 +18,26 @@ fn main() {
         NocAreaBreakdown::compute(NocOrganization::MeshPra, &cfg).total_mm2(),
         NocAreaBreakdown::compute(NocOrganization::Mesh, &cfg).total_mm2(), // ideal at mesh area
     ];
+    let orgs = Organization::ALL;
+    let perfs = run_grid(WorkloadKind::ALL.len() * orgs.len(), |i| {
+        measure_performance(
+            orgs[i % orgs.len()],
+            WorkloadKind::ALL[i / orgs.len()],
+            &spec,
+        )
+        .mean
+    });
     println!("## Figure 9 — performance density (normalized to Mesh)\n");
     println!(
         "{:<16}{:>10}{:>10}{:>10}{:>10}",
         "Workload", "Mesh", "SMART", "Mesh+PRA", "Ideal"
     );
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for wl in WorkloadKind::ALL {
-        let dens: Vec<f64> = Organization::ALL
+    for (w, wl) in WorkloadKind::ALL.iter().enumerate() {
+        let dens: Vec<f64> = areas
             .iter()
-            .zip(areas.iter())
-            .map(|(org, area)| {
-                performance_density(measure_performance(*org, wl, &spec).mean, *area)
-            })
+            .enumerate()
+            .map(|(o, area)| performance_density(perfs[w * orgs.len() + o], *area))
             .collect();
         print!("{:<16}", wl.name());
         for (i, d) in dens.iter().enumerate() {

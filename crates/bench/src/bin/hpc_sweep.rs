@@ -4,17 +4,31 @@
 //! ~8 tiles/cycle) but not in servers (fat tiles, 2 GHz → 2 tiles/cycle).
 //! This sweep varies the single-cycle multi-hop ceiling and reports the
 //! average packet latency of every organisation under LLC-like traffic,
-//! plus the zero-load crossover the argument rests on.
+//! plus the zero-load crossover the argument rests on. Points run in
+//! parallel on the runner pool.
 
-use bench::{build_network, Organization};
+use bench::{build_network, run_grid, Organization};
 use noc::config::NocConfigBuilder;
 use noc::traffic::{measure_latency, Pattern, TrafficGen};
 use noc::types::NodeId;
 use noc::zeroload::{ideal_latency, mesh_latency, smart_latency};
 use techmodel::wire::WireModel;
 
+const HPCS: [u8; 4] = [1, 2, 3, 4];
+
 fn main() {
     let wire = WireModel::paper();
+    let orgs = Organization::ALL;
+    let lat = run_grid(HPCS.len() * orgs.len(), |i| {
+        let (hpc, org) = (HPCS[i / orgs.len()], orgs[i % orgs.len()]);
+        let cfg = NocConfigBuilder::new()
+            .max_hops_per_cycle(hpc)
+            .build()
+            .expect("valid config");
+        let mut net = build_network(org, cfg.clone());
+        let mut gen = TrafficGen::new(cfg, Pattern::CoreToLlc, 0.02, 5).response_fraction(0.5);
+        measure_latency(&mut net, &mut gen, 1_000, 4_000)
+    });
     println!("## Hops-per-cycle sweep (uniform LLC-like traffic @0.02)\n");
     println!(
         "wire reach at 2 GHz: {:.1} mm  (server tile ≈ 1.8 mm → hpc 2)",
@@ -28,18 +42,12 @@ fn main() {
         "{:>4} {:>8} {:>8} {:>9} {:>8}   zero-load corner-to-corner (mesh/smart/ideal)",
         "hpc", "Mesh", "SMART", "Mesh+PRA", "Ideal"
     );
-    for hpc in [1u8, 2, 3, 4] {
+    for (h, hpc) in HPCS.iter().enumerate() {
         let cfg = NocConfigBuilder::new()
-            .max_hops_per_cycle(hpc)
+            .max_hops_per_cycle(*hpc)
             .build()
             .expect("valid config");
-        let mut row = Vec::new();
-        for org in Organization::ALL {
-            let mut net = build_network(org, cfg.clone());
-            let mut gen =
-                TrafficGen::new(cfg.clone(), Pattern::CoreToLlc, 0.02, 5).response_fraction(0.5);
-            row.push(measure_latency(&mut net, &mut gen, 1_000, 4_000));
-        }
+        let row = &lat[h * orgs.len()..(h + 1) * orgs.len()];
         let (s, d) = (NodeId::new(0), NodeId::new(63));
         println!(
             "{:>4} {:>8.1} {:>8.1} {:>9.1} {:>8.1}   {}/{}/{}",

@@ -1,36 +1,41 @@
 //! Experiment: how the Mesh / Mesh+PRA / Ideal performance gaps react to
 //! traffic intensity (miss-rate scaling) — a calibration aid, not a paper
-//! figure.
+//! figure. Points run in parallel on the runner pool (`NOC_THREADS`);
+//! the rows are byte-identical to the old serial loop.
 
-use bench::{build_network, Organization};
+use bench::{build_network, run_grid, Organization};
 use sysmodel::{System, SystemParams};
 use workloads::{WorkloadKind, WorkloadProfileBuilder};
 
+const SCALES: [f64; 5] = [0.4, 0.6, 0.8, 1.0, 1.5];
+const ORGS: [Organization; 3] = [
+    Organization::Mesh,
+    Organization::MeshPra,
+    Organization::Ideal,
+];
+
 fn main() {
     let params = SystemParams::paper();
-    for scale in [0.4, 0.6, 0.8, 1.0, 1.5] {
+    let perfs = run_grid(SCALES.len() * ORGS.len(), |i| {
+        let (scale, org) = (SCALES[i / ORGS.len()], ORGS[i % ORGS.len()]);
         let profile = WorkloadProfileBuilder::from(WorkloadKind::MediaStreaming)
             .scale_misses(scale)
             .build();
-        let mut perfs = Vec::new();
-        for org in [
-            Organization::Mesh,
-            Organization::MeshPra,
-            Organization::Ideal,
-        ] {
-            let net = build_network(org, params.noc.clone());
-            let mut sys = System::with_profile(params.clone(), net, profile, 1);
-            perfs.push(sys.measure(5_000, 15_000));
-        }
+        let net = build_network(org, params.noc.clone());
+        let mut sys = System::with_profile(params.clone(), net, profile, 1);
+        sys.measure(5_000, 15_000)
+    });
+    for (s, scale) in SCALES.iter().enumerate() {
+        let row = &perfs[s * ORGS.len()..(s + 1) * ORGS.len()];
         println!(
             "scale {:.1}: mesh {:.2} pra {:.2} ({:+.1}%) ideal {:.2} ({:+.1}%)  pra captures {:.0}% of ideal gain",
             scale,
-            perfs[0],
-            perfs[1],
-            (perfs[1] / perfs[0] - 1.0) * 100.0,
-            perfs[2],
-            (perfs[2] / perfs[0] - 1.0) * 100.0,
-            (perfs[1] - perfs[0]) / (perfs[2] - perfs[0]) * 100.0
+            row[0],
+            row[1],
+            (row[1] / row[0] - 1.0) * 100.0,
+            row[2],
+            (row[2] / row[0] - 1.0) * 100.0,
+            (row[1] - row[0]) / (row[2] - row[0]) * 100.0
         );
     }
 }

@@ -28,6 +28,7 @@ struct Options {
     radix: u16,
     vc_depth: u8,
     hpc: u8,
+    include_warmup: bool,
     trace: Option<String>,
     trace_out: Option<String>,
 }
@@ -45,6 +46,7 @@ impl Default for Options {
             radix: 8,
             vc_depth: 5,
             hpc: 2,
+            include_warmup: false,
             trace: None,
             trace_out: None,
         }
@@ -67,6 +69,9 @@ USAGE: nocsim [OPTIONS]
   --radix N          mesh radix (NxN)                   [8]
   --vc-depth N       flits per virtual channel          [5]
   --hpc N            max hops per cycle                 [2]
+  --include-warmup   report cumulative statistics (warm-up
+                     included) instead of the default
+                     measured window
   --trace FILE       replay a JSON trace instead of
                      synthetic traffic
   --trace-out FILE   write a Chrome/Perfetto trace of the run
@@ -81,6 +86,10 @@ fn parse_args() -> Result<Options, String> {
         if flag == "--help" || flag == "-h" {
             print!("{HELP}");
             std::process::exit(0);
+        }
+        if flag == "--include-warmup" {
+            opts.include_warmup = true;
+            continue;
         }
         let value = args
             .next()
@@ -157,9 +166,9 @@ fn observe_deliveries(metrics: &mut MetricsRegistry, delivered: &[noc::network::
     }
 }
 
-fn report(net: &dyn Network, total_cycles: u64, metrics: &MetricsRegistry) {
+fn report(net: &dyn Network, total_cycles: u64, metrics: &MetricsRegistry, window: &str) {
     let s = net.stats();
-    println!("\n== results (cumulative, warm-up included) ==");
+    println!("\n== results ({window}) ==");
     println!("cycles simulated       {total_cycles}");
     println!("packets delivered      {}", s.delivered());
     println!(
@@ -274,7 +283,7 @@ fn main() {
         println!("replaying {} packets from {path}", trace.len());
         let (delivered, cycles) = replay(&mut net, trace);
         println!("delivered {delivered} packets in {cycles} cycles");
-        report(&net, cycles, &metrics);
+        report(&net, cycles, &metrics, "trace replay, cumulative");
         #[cfg(feature = "obs")]
         if let (Some(out), Some(rec)) = (&opts.trace_out, &recorder) {
             write_trace(out, rec);
@@ -298,12 +307,23 @@ fn main() {
         net.step();
         observe_deliveries(&mut metrics, &net.drain_delivered());
     }
+    if !opts.include_warmup {
+        // Open the measured window: drop everything accumulated during
+        // warm-up so the reported statistics cover only `--cycles`.
+        net.reset_stats();
+        metrics.begin_epoch();
+    }
     for _ in 0..opts.cycles {
         gen.tick(&mut net);
         net.step();
         observe_deliveries(&mut metrics, &net.drain_delivered());
     }
-    report(&net, opts.warmup + opts.cycles, &metrics);
+    let (reported_cycles, window) = if opts.include_warmup {
+        (opts.warmup + opts.cycles, "cumulative, warm-up included")
+    } else {
+        (opts.cycles, "measured window, warm-up excluded")
+    };
+    report(&net, reported_cycles, &metrics, window);
     #[cfg(feature = "obs")]
     if let (Some(out), Some(rec)) = (&opts.trace_out, &recorder) {
         write_trace(out, rec);

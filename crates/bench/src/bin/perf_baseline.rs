@@ -29,6 +29,7 @@ struct Options {
     rate: f64,
     radix: u16,
     seed: u64,
+    include_warmup: bool,
     out: String,
     trace_out: Option<String>,
 }
@@ -41,6 +42,7 @@ impl Default for Options {
             rate: 0.02,
             radix: 8,
             seed: 1,
+            include_warmup: false,
             out: "BENCH_pra.json".to_string(),
             trace_out: Some("pra.trace.json".to_string()),
         }
@@ -57,6 +59,9 @@ USAGE: perf_baseline [OPTIONS]
   --rate F           injection rate, packets/node/cycle [0.02]
   --radix N          mesh radix (NxN)                   [8]
   --seed N           RNG seed                           [1]
+  --include-warmup   report cumulative statistics (warm-up
+                     included) instead of the default
+                     measured window
   --out FILE         result JSON path                   [BENCH_pra.json]
   --trace-out FILE   Chrome trace of the PRA run        [pra.trace.json]
   --no-trace         skip the Chrome-trace export
@@ -73,6 +78,10 @@ fn parse_args() -> Result<Options, String> {
         }
         if flag == "--no-trace" {
             opts.trace_out = None;
+            continue;
+        }
+        if flag == "--include-warmup" {
+            opts.include_warmup = true;
             continue;
         }
         let value = args
@@ -93,19 +102,22 @@ fn parse_args() -> Result<Options, String> {
 }
 
 /// One measured configuration: the run's latency registry plus wall-clock
-/// timing.
+/// timing. `window_cycles` is the interval the statistics cover (the
+/// measured window by default); `sim_cycles` is everything simulated
+/// including warm-up, which is what the wall clock paid for.
 struct RunResult {
     name: &'static str,
     metrics: MetricsRegistry,
     delivered: u64,
-    total_cycles: u64,
+    window_cycles: u64,
+    sim_cycles: u64,
     wall_seconds: f64,
 }
 
 impl RunResult {
     fn cycles_per_sec(&self) -> f64 {
         if self.wall_seconds > 0.0 {
-            self.total_cycles as f64 / self.wall_seconds
+            self.sim_cycles as f64 / self.wall_seconds
         } else {
             0.0
         }
@@ -120,7 +132,8 @@ impl RunResult {
         Json::object(vec![
             ("org".to_string(), Json::from(self.name)),
             ("delivered".to_string(), Json::UInt(self.delivered)),
-            ("cycles".to_string(), Json::UInt(self.total_cycles)),
+            ("cycles".to_string(), Json::UInt(self.window_cycles)),
+            ("sim_cycles".to_string(), Json::UInt(self.sim_cycles)),
             ("latency_cycles".to_string(), latency),
             ("wall_seconds".to_string(), Json::Float(self.wall_seconds)),
             (
@@ -129,7 +142,7 @@ impl RunResult {
             ),
             (
                 "packets_per_cycle".to_string(),
-                Json::Float(self.delivered as f64 / self.total_cycles.max(1) as f64),
+                Json::Float(self.delivered as f64 / self.window_cycles.max(1) as f64),
             ),
         ])
     }
@@ -157,9 +170,26 @@ fn run_one(
     let mut metrics = MetricsRegistry::new();
     let mut delivered = 0u64;
     let mut gen = TrafficGen::new(cfg.clone(), Pattern::UniformRandom, opts.rate, opts.seed);
-    let total_cycles = opts.warmup + opts.cycles;
+    let sim_cycles = opts.warmup + opts.cycles;
     let wall = Instant::now();
-    for _ in 0..total_cycles {
+    for _ in 0..opts.warmup {
+        gen.tick(&mut net);
+        net.step();
+        for d in net.drain_delivered() {
+            delivered += 1;
+            metrics.observe(
+                "packet.latency_cycles",
+                d.delivered.saturating_sub(d.packet.created),
+            );
+        }
+    }
+    if !opts.include_warmup {
+        // The measured window opens here; warm-up deliveries are dropped.
+        net.reset_stats();
+        metrics.begin_epoch();
+        delivered = 0;
+    }
+    for _ in 0..opts.cycles {
         gen.tick(&mut net);
         net.step();
         for d in net.drain_delivered() {
@@ -171,6 +201,11 @@ fn run_one(
         }
     }
     let wall_seconds = wall.elapsed().as_secs_f64();
+    let window_cycles = if opts.include_warmup {
+        sim_cycles
+    } else {
+        opts.cycles
+    };
 
     #[cfg(feature = "obs")]
     if let (Some(path), Some(rec)) = (trace_out, &recorder) {
@@ -187,7 +222,8 @@ fn run_one(
         name,
         metrics,
         delivered,
-        total_cycles,
+        window_cycles,
+        sim_cycles,
         wall_seconds,
     }
 }
@@ -211,16 +247,31 @@ fn main() {
         eprintln!("note: built without the `obs` feature; skipping trace export");
     }
 
-    let runs = vec![
-        run_one("baseline-mesh", Organization::Mesh, &cfg, &opts, None),
-        run_one(
-            "pra",
-            Organization::MeshPra,
-            &cfg,
-            &opts,
-            opts.trace_out.as_deref(),
-        ),
+    // Both configurations go through the runner pool for uniformity, but
+    // pinned to a single worker: cycles/sec against the wall clock IS the
+    // measurement here, and concurrent runs sharing cores would corrupt it.
+    let grid: [(&str, Organization, Option<&str>); 2] = [
+        ("baseline-mesh", Organization::Mesh, None),
+        ("pra", Organization::MeshPra, opts.trace_out.as_deref()),
     ];
+    let runs: Vec<RunResult> = runner::run_tasks(
+        grid.len(),
+        1,
+        |i| {
+            let (name, org, trace) = grid[i];
+            run_one(name, org, &cfg, &opts, trace)
+        },
+        |_, _| {},
+    )
+    .into_iter()
+    .map(|outcome| match outcome {
+        runner::Outcome::Done(r) => r,
+        runner::Outcome::Panicked(message) => {
+            eprintln!("perf_baseline: run panicked: {message}");
+            std::process::exit(1);
+        }
+    })
+    .collect();
 
     println!("== perf_baseline ==");
     for r in &runs {
@@ -250,6 +301,10 @@ fn main() {
                 ("warmup".to_string(), Json::UInt(opts.warmup)),
                 ("cycles".to_string(), Json::UInt(opts.cycles)),
                 ("seed".to_string(), Json::UInt(opts.seed)),
+                (
+                    "include_warmup".to_string(),
+                    Json::Bool(opts.include_warmup),
+                ),
             ]),
         ),
         (

@@ -5,34 +5,38 @@
 //! round-trip credit time"); since PRA reserves a full packet at each
 //! provisional landing, VC depth == packet length makes the reservation
 //! demand an *empty* buffer. Deeper VCs relax that, shallower ones break
-//! it (the builder rejects depth < packet length).
+//! it (the builder rejects depth < packet length). Points run in
+//! parallel on the runner pool.
 
-use bench::{build_network, Organization};
+use bench::{build_network, run_grid, Organization};
 use noc::config::NocConfigBuilder;
 use noc::traffic::{measure_latency, Pattern, TrafficGen};
 
+const DEPTHS: [u8; 4] = [5, 6, 8, 10];
+const ORGS: [Organization; 3] = [
+    Organization::Mesh,
+    Organization::MeshPra,
+    Organization::Ideal,
+];
+
 fn main() {
+    let lat = run_grid(DEPTHS.len() * ORGS.len(), |i| {
+        let (depth, org) = (DEPTHS[i / ORGS.len()], ORGS[i % ORGS.len()]);
+        let cfg = NocConfigBuilder::new()
+            .vc_depth(depth)
+            .build()
+            .expect("valid config");
+        let mut net = build_network(org, cfg.clone());
+        let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, 0.03, 11).response_fraction(0.5);
+        measure_latency(&mut net, &mut gen, 1_000, 4_000)
+    });
     println!("## VC-depth sweep (uniform @0.03, 50% responses)\n");
     println!(
         "{:>6} {:>8} {:>9} {:>9}",
         "depth", "Mesh", "Mesh+PRA", "Ideal"
     );
-    for depth in [5u8, 6, 8, 10] {
-        let cfg = NocConfigBuilder::new()
-            .vc_depth(depth)
-            .build()
-            .expect("valid config");
-        let mut row = Vec::new();
-        for org in [
-            Organization::Mesh,
-            Organization::MeshPra,
-            Organization::Ideal,
-        ] {
-            let mut net = build_network(org, cfg.clone());
-            let mut gen = TrafficGen::new(cfg.clone(), Pattern::UniformRandom, 0.03, 11)
-                .response_fraction(0.5);
-            row.push(measure_latency(&mut net, &mut gen, 1_000, 4_000));
-        }
+    for (d, depth) in DEPTHS.iter().enumerate() {
+        let row = &lat[d * ORGS.len()..(d + 1) * ORGS.len()];
         println!(
             "{:>6} {:>8.1} {:>9.1} {:>9.1}",
             depth, row[0], row[1], row[2]

@@ -9,62 +9,34 @@
 #![warn(missing_debug_implementations)]
 
 use nistats::{geometric_mean, Json, SampleSpec, Summary};
-use noc::config::NocConfig;
-use noc::ideal::IdealNetwork;
-use noc::mesh::MeshNetwork;
-use noc::network::Network;
-use noc::smart::SmartNetwork;
+use noc::network::Network as _;
 use pra::network::PraNetwork;
 use pra::{ControlConfig, PraStats};
 use sysmodel::{System, SystemParams};
 use workloads::WorkloadKind;
 
-/// The network organisations of the evaluation (the paper's four, plus
-/// flit-reservation flow control as the closest-prior-work baseline).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Organization {
-    /// Baseline mesh (1-stage speculative pipeline).
-    Mesh,
-    /// SMART single-cycle multi-hop network.
-    Smart,
-    /// The paper's proposal: mesh + proactive resource allocation.
-    MeshPra,
-    /// Hypothetical zero-router-delay network.
-    Ideal,
-    /// Flit-reservation flow control (Peh & Dally, HPCA 2000).
-    Frfc,
-}
+pub use runner::{build_network, BoxedNet, Organization};
 
-impl Organization {
-    /// All four, in the paper's figure order.
-    pub const ALL: [Organization; 4] = [
-        Organization::Mesh,
-        Organization::Smart,
-        Organization::MeshPra,
-        Organization::Ideal,
-    ];
-
-    /// Figure label.
-    pub fn name(self) -> &'static str {
-        match self {
-            Organization::Mesh => "Mesh",
-            Organization::Smart => "SMART",
-            Organization::MeshPra => "Mesh+PRA",
-            Organization::Ideal => "Ideal",
-            Organization::Frfc => "Mesh+FRFC",
-        }
-    }
-}
-
-/// Builds a boxed network of the given organisation.
-pub fn build_network(org: Organization, cfg: NocConfig) -> BoxedNet {
-    match org {
-        Organization::Mesh => BoxedNet(Box::new(MeshNetwork::new(cfg))),
-        Organization::Smart => BoxedNet(Box::new(SmartNetwork::new(cfg))),
-        Organization::MeshPra => BoxedNet(Box::new(PraNetwork::new(cfg))),
-        Organization::Ideal => BoxedNet(Box::new(IdealNetwork::new(cfg))),
-        Organization::Frfc => BoxedNet(Box::new(pra::frfc::FrfcNetwork::new(cfg))),
-    }
+/// Runs `count` independent measurement closures across the runner's
+/// work-stealing pool (`NOC_THREADS`, default: all cores) and returns
+/// the results in index order — so a sweep binary prints exactly what
+/// its serial loop printed, just faster. Each closure must be a pure
+/// function of its index (build the network inside it, derive nothing
+/// from shared mutable state). A panicking point aborts the binary with
+/// the panic message; sweeps that tolerate per-point failure should go
+/// through [`runner::run_points`] instead.
+pub fn run_grid<T: Send>(count: usize, task: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = runner::threads_from_env();
+    runner::run_tasks(count, threads, task, |_, _| {})
+        .into_iter()
+        .map(|outcome| match outcome {
+            runner::Outcome::Done(v) => v,
+            runner::Outcome::Panicked(message) => {
+                eprintln!("bench: sweep point panicked: {message}");
+                std::process::exit(1);
+            }
+        })
+        .collect()
 }
 
 /// Measures one `(workload, organisation)` point with the given sampling
@@ -149,49 +121,6 @@ fn merge_net(acc: &mut noc::stats::NetStats, s: &noc::stats::NetStats) {
         acc.flits_delivered[i] += s.flits_delivered[i];
     }
     acc.cycles += s.cycles;
-}
-
-/// Wrapper giving `Box<dyn Network>` the `Network` impl `System` needs.
-pub struct BoxedNet(pub Box<dyn Network>);
-
-impl std::fmt::Debug for BoxedNet {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("BoxedNet")
-    }
-}
-
-impl Network for BoxedNet {
-    fn config(&self) -> &NocConfig {
-        self.0.config()
-    }
-    fn now(&self) -> noc::types::Cycle {
-        self.0.now()
-    }
-    fn inject(&mut self, packet: noc::flit::Packet) {
-        self.0.inject(packet)
-    }
-    fn step(&mut self) {
-        self.0.step()
-    }
-    fn drain_delivered(&mut self) -> Vec<noc::network::Delivered> {
-        self.0.drain_delivered()
-    }
-    fn in_flight(&self) -> usize {
-        self.0.in_flight()
-    }
-    fn stats(&self) -> &noc::stats::NetStats {
-        self.0.stats()
-    }
-    fn announce(&mut self, packet: &noc::flit::Packet, lead: u32) {
-        self.0.announce(packet, lead)
-    }
-    fn audit(&self) -> Option<noc::watchdog::AuditReport> {
-        self.0.audit()
-    }
-    #[cfg(feature = "obs")]
-    fn install_obs(&mut self, sink: niobs::SharedSink) {
-        self.0.install_obs(sink)
-    }
 }
 
 /// Writes a Chrome/Perfetto `trace_event` JSON file assembled from a

@@ -1,0 +1,82 @@
+//! Command-line contract of the `nocsim` binary: unknown flags are
+//! rejected with a nonzero exit, and the default report covers the
+//! measured window (warm-up excluded) unless `--include-warmup` asks
+//! for the old cumulative behaviour.
+
+use std::process::Command;
+
+fn nocsim(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_nocsim"))
+        .args(args)
+        .output()
+        .expect("nocsim must spawn")
+}
+
+#[test]
+fn unknown_flag_is_rejected_with_nonzero_exit() {
+    let out = nocsim(&["--no-such-flag", "1"]);
+    assert_eq!(out.status.code(), Some(2), "unknown flags must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown flag '--no-such-flag'"),
+        "stderr must name the bad flag: {stderr}"
+    );
+}
+
+#[test]
+fn flag_missing_its_value_is_rejected() {
+    let out = nocsim(&["--rate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing value for --rate"), "{stderr}");
+}
+
+#[test]
+fn default_report_is_the_measured_window() {
+    let out = nocsim(&["--warmup", "500", "--cycles", "2000", "--seed", "7"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("== results (measured window, warm-up excluded) =="),
+        "default must report the measured window: {stdout}"
+    );
+    assert!(
+        stdout.contains("cycles simulated       2000"),
+        "reported interval must be the measured cycles only: {stdout}"
+    );
+}
+
+#[test]
+fn include_warmup_restores_cumulative_stats() {
+    let args = ["--warmup", "500", "--cycles", "2000", "--seed", "7"];
+    let windowed = nocsim(&args);
+    let cumulative = nocsim(
+        &args
+            .iter()
+            .copied()
+            .chain(["--include-warmup"])
+            .collect::<Vec<_>>(),
+    );
+    assert!(windowed.status.success() && cumulative.status.success());
+    let cum_out = String::from_utf8_lossy(&cumulative.stdout);
+    assert!(
+        cum_out.contains("== results (cumulative, warm-up included) =="),
+        "{cum_out}"
+    );
+    assert!(cum_out.contains("cycles simulated       2500"), "{cum_out}");
+
+    // The cumulative run counts strictly more deliveries than the
+    // measured window — the warm-up traffic is the difference.
+    let delivered = |s: &str| {
+        s.lines()
+            .find_map(|l| l.strip_prefix("packets delivered      "))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .expect("report must include a delivered count")
+    };
+    let win = delivered(&String::from_utf8_lossy(&windowed.stdout));
+    let cum = delivered(&cum_out);
+    assert!(
+        cum > win,
+        "cumulative ({cum}) must exceed the measured window ({win})"
+    );
+}

@@ -17,8 +17,10 @@
 //! * The **lag** — the number of cycles the data packet trails the control
 //!   packet — shrinks by one per segment (control covers 2 hops in 2
 //!   cycles; pre-allocated data covers them in 1). At lag 0 the data has
-//!   caught up and the control packet is dropped; the paper's Figure 7 is
-//!   the histogram of lag values at drop time.
+//!   caught up and the control packet is dropped **before** it can
+//!   process another segment — only survivors with lag ≥ 1 allocate
+//!   (the boundary the analyzer's `Guarded` lag model verifies). The
+//!   paper's Figure 7 is the histogram of lag values at drop time.
 //! * Control packets are also dropped on any allocation failure and on
 //!   static-priority conflicts (at most one control packet per router
 //!   input latch per cycle; LSD injections have the lowest priority).
@@ -84,7 +86,8 @@ struct ControlPacket {
     pos: usize,
     /// Cycle at which the data packet's head uses position 0's out port.
     due0: Cycle,
-    /// Remaining lag (decremented once per segment; drop at 0).
+    /// Remaining lag. Survivors of a segment are decremented once; a due
+    /// packet at lag 0 is dropped before processing another segment.
     lag: u8,
     /// Cycle this packet is processed next.
     process_at: Cycle,
@@ -142,6 +145,12 @@ impl ControlNetwork {
     /// Accumulated statistics.
     pub fn stats(&self) -> &PraStats {
         &self.stats
+    }
+
+    /// Zeroes the control-plane statistics (measurement-window boundary);
+    /// in-flight control packets are untouched.
+    pub fn reset_stats(&mut self) {
+        self.stats = PraStats::new();
     }
 
     /// Control packets currently in flight.
@@ -317,7 +326,13 @@ impl ControlNetwork {
         for &i in &due {
             let outcome = {
                 let cp = &mut self.packets[i];
-                if segment_faulted(&self.cfg, mesh, cp) {
+                if cp.lag == 0 {
+                    // The data packet has caught up: drop before claiming
+                    // any latch or processing another segment. Survivors
+                    // carry lag ≥ 1 — the boundary the analyzer's
+                    // `Guarded` lag model verifies.
+                    Some(DropReason::LagExhausted)
+                } else if segment_faulted(&self.cfg, mesh, cp) {
                     mesh.note_control_drop();
                     Some(DropReason::Fault)
                 } else {
@@ -632,10 +647,12 @@ fn step_segment(
         // paper forwards only when both nodes succeed.
         return Some(DropReason::AllocationFailed);
     }
-    cp.lag = cp.lag.saturating_sub(1);
-    if cp.lag == 0 {
-        return Some(DropReason::LagExhausted);
-    }
+    // Only survivors reach a segment (`process` drops lag-0 packets
+    // before processing), so the decrement cannot underflow; a productive
+    // segment is never itself branded the `LagExhausted` drop site — the
+    // drop is recorded when the packet next comes due at lag 0.
+    debug_assert!(cp.lag >= 1, "segments only process survivors (lag >= 1)");
+    cp.lag -= 1;
     cp.process_at = t + 2;
     None
 }
@@ -777,6 +794,52 @@ mod tests {
         );
         assert!(ctrl.stats().hops_preallocated >= 4);
         assert!(ctrl.stats().hops_preallocated < 14);
+    }
+
+    #[test]
+    fn lag_boundary_drops_before_processing() {
+        // Regression for the lag off-by-one: the old code processed a
+        // segment first and dropped after a saturating decrement, so a
+        // lag-0 launch allocated a segment out of contract and a lag-1
+        // packet's productive final segment was branded the drop site.
+        // Boundary under test (matches the analyzer's `Guarded` model):
+        // a due packet at lag 0 drops before processing, so a lag budget
+        // L pre-allocates 1 + 2(L - 1) hops of a straight route for
+        // L >= 1 and nothing at all for L == 0, with the exhaustion drop
+        // always recorded at lag 0.
+        for (lag, want_hops, want_segments) in [(0u64, 0u64, 0u64), (1, 1, 1), (2, 3, 2)] {
+            let cfg = NocConfig::paper();
+            let mut mesh = MeshNetwork::new(cfg.clone());
+            let mut ctrl = ControlNetwork::new(cfg, ControlConfig::default());
+            // Straight 7-hop route so no lag in {0,1,2} can complete it.
+            assert!(ctrl.launch_llc(
+                &mesh,
+                NodeId::new(0),
+                NodeId::new(7),
+                PacketId(1),
+                MessageClass::Response,
+                5,
+                1,
+                1 + lag,
+            ));
+            for _ in 0..12 {
+                ctrl.process(&mut mesh);
+                mesh.step();
+            }
+            assert_eq!(ctrl.in_flight(), 0, "lag {lag}: packet must drop");
+            assert_eq!(
+                ctrl.stats().drops_by_reason[DropReason::LagExhausted as usize],
+                1,
+                "lag {lag}"
+            );
+            assert_eq!(ctrl.stats().lag_at_drop[0], 1, "lag {lag}: drop at 0");
+            assert_eq!(
+                ctrl.stats().segments_processed,
+                want_segments,
+                "lag {lag}: segments"
+            );
+            assert_eq!(ctrl.stats().hops_preallocated, want_hops, "lag {lag}: hops");
+        }
     }
 
     #[test]

@@ -285,6 +285,11 @@ impl Network for FrfcNetwork {
         self.mesh.stats()
     }
 
+    fn reset_stats(&mut self) {
+        self.mesh.reset_stats();
+        self.stats = PraStats::new();
+    }
+
     #[cfg(feature = "obs")]
     fn install_obs(&mut self, sink: niobs::SharedSink) {
         self.mesh.install_obs(sink);

@@ -155,6 +155,11 @@ impl Network for PraNetwork {
         self.mesh.stats()
     }
 
+    fn reset_stats(&mut self) {
+        self.mesh.reset_stats();
+        self.ctrl.reset_stats();
+    }
+
     fn audit(&self) -> Option<noc::watchdog::AuditReport> {
         self.mesh.audit()
     }

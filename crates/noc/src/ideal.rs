@@ -312,6 +312,10 @@ impl Network for IdealNetwork {
     fn stats(&self) -> &NetStats {
         &self.stats
     }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
 }
 
 #[cfg(test)]

@@ -2113,6 +2113,10 @@ impl Network for MeshNetwork {
         &self.stats
     }
 
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
     fn audit(&self) -> Option<AuditReport> {
         Some(self.audit_now())
     }

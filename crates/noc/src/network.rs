@@ -59,6 +59,15 @@ pub trait Network {
     /// Accumulated statistics.
     fn stats(&self) -> &NetStats;
 
+    /// Zeroes the accumulated statistics, opening a fresh measurement
+    /// window (see [`NetStats::reset`]). Call at the warm-up/measurement
+    /// boundary; simulation state (in-flight packets, reservations,
+    /// queues) is untouched, so packets injected during warm-up but
+    /// delivered afterwards count toward the new window. Organisations
+    /// with auxiliary statistics (e.g. Mesh+PRA's control-plane counters)
+    /// reset those too.
+    fn reset_stats(&mut self);
+
     /// Advance notice that `packet` will be injected after `lead` more
     /// cycles (e.g. the LLC knows at tag-hit time that a response will be
     /// ready once the data lookup completes). The default implementation

@@ -440,6 +440,10 @@ impl Network for SmartNetwork {
     fn stats(&self) -> &NetStats {
         &self.stats
     }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
 }
 
 #[cfg(test)]

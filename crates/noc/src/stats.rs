@@ -51,6 +51,15 @@ impl NetStats {
         NetStats::default()
     }
 
+    /// Zeroes every counter and the latency histogram, opening a fresh
+    /// measurement window. Called at the warm-up/measurement boundary so
+    /// reported statistics cover only the measured interval (the paper's
+    /// SimFlex-style methodology); in-flight packets delivered after the
+    /// reset count toward the new window.
+    pub fn reset(&mut self) {
+        *self = NetStats::default();
+    }
+
     /// Records an injection of a packet of class `class`.
     pub fn record_injected(&mut self, class: MessageClass) {
         self.packets_injected[class.vc()] += 1;

@@ -115,6 +115,7 @@ pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, i64>,
     histograms: BTreeMap<String, SparseHistogram>,
+    epoch: u32,
 }
 
 impl MetricsRegistry {
@@ -169,6 +170,24 @@ impl MetricsRegistry {
     #[must_use]
     pub fn snapshot(&self) -> MetricsRegistry {
         self.clone()
+    }
+
+    /// Clears every counter, gauge, and histogram and advances the epoch
+    /// number. Benchmarks call this at the warm-up/measurement boundary
+    /// so the registry covers only the measured window; snapshot the
+    /// registry first if the warm-up numbers are worth keeping.
+    pub fn begin_epoch(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+        self.epoch += 1;
+    }
+
+    /// Which measurement epoch the registry is in (0 until the first
+    /// [`MetricsRegistry::begin_epoch`] call).
+    #[must_use]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// Serialises the registry: `{"counters": {...}, "gauges": {...},
@@ -263,6 +282,26 @@ mod tests {
         assert_eq!(snap.gauge("b.level"), Some(-7));
         assert_eq!(snap.histogram("c.lat").map(SparseHistogram::count), Some(1));
         assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn begin_epoch_clears_and_advances() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a", 5);
+        m.set_gauge("g", 2);
+        m.observe("h", 7);
+        assert_eq!(m.epoch(), 0);
+        let warmup = m.snapshot();
+        m.begin_epoch();
+        assert_eq!(m.epoch(), 1);
+        assert_eq!(m.counter("a"), 0);
+        assert_eq!(m.gauge("g"), None);
+        assert!(m.histogram("h").is_none());
+        // The pre-epoch snapshot keeps the warm-up numbers.
+        assert_eq!(warmup.counter("a"), 5);
+        assert_eq!(warmup.epoch(), 0);
+        m.inc("a", 1);
+        assert_eq!(m.counter("a"), 1);
     }
 
     #[test]

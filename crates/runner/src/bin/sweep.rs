@@ -1,0 +1,168 @@
+//! Generic sweep driver: expands a JSON spec into a grid, runs it on a
+//! work pool, and emits byte-stable CSV (stdout or `--csv-out`) plus an
+//! optional merged JSON artifact. `--check-golden` compares the CSV
+//! against a committed reference and fails loudly on any difference —
+//! the CI determinism gate.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use runner::{run_points, threads_from_env, to_csv, to_json, SweepSpec};
+
+struct Options {
+    spec: String,
+    threads: usize,
+    csv_out: Option<String>,
+    json_out: Option<String>,
+    check_golden: Option<String>,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: sweep --spec FILE [options]
+  --spec FILE          sweep specification (JSON; see specs/smoke.json)
+  --threads N          worker threads (default: NOC_THREADS or all cores)
+  --csv-out FILE       write result rows to FILE instead of stdout
+  --json-out FILE      also write the merged JSON artifact to FILE
+  --check-golden FILE  compare the CSV against FILE; exit 1 on mismatch
+  --quiet              suppress progress output
+  --help               show this help";
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut spec: Option<String> = None;
+    let mut opts = Options {
+        spec: String::new(),
+        threads: threads_from_env(),
+        csv_out: None,
+        json_out: None,
+        check_golden: None,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--quiet" => {
+                opts.quiet = true;
+                continue;
+            }
+            flag @ ("--spec" | "--threads" | "--csv-out" | "--json-out" | "--check-golden") => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| format!("flag '{flag}' needs a value"))?;
+                match flag {
+                    "--spec" => spec = Some(value),
+                    "--threads" => {
+                        opts.threads = value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("invalid thread count '{value}'"))?;
+                    }
+                    "--csv-out" => opts.csv_out = Some(value),
+                    "--json-out" => opts.json_out = Some(value),
+                    _ => opts.check_golden = Some(value),
+                }
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    opts.spec = spec.ok_or("missing required flag '--spec' (try --help)")?;
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match SweepSpec::load(&opts.spec) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let points = spec.points();
+    if !opts.quiet {
+        eprintln!(
+            "sweep '{}': {} points on {} thread(s)",
+            spec.name,
+            points.len(),
+            opts.threads
+        );
+    }
+    let started = Instant::now();
+    let quiet = opts.quiet;
+    let records = run_points(&points, opts.threads, |done, total| {
+        if !quiet {
+            eprint!("\r[{done}/{total}]");
+        }
+    });
+    let elapsed = started.elapsed();
+    if !opts.quiet {
+        eprintln!("\rdone: {} points in {:.2?}", records.len(), elapsed);
+    }
+    let failed = records.iter().filter(|r| r.status != "ok").count();
+    if failed > 0 {
+        eprintln!("warning: {failed} point(s) failed (see status column)");
+    }
+
+    let csv = to_csv(&records);
+    if let Some(path) = &opts.csv_out {
+        if let Err(e) = std::fs::write(path, &csv) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            eprintln!("rows written to {path}");
+        }
+    } else {
+        print!("{csv}");
+    }
+    if let Some(path) = &opts.json_out {
+        let doc = to_json(&spec.name, &records).to_string_pretty(2);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            eprintln!("merged artifact written to {path}");
+        }
+    }
+    if let Some(path) = &opts.check_golden {
+        let golden = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read golden {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if golden != csv {
+            eprintln!("determinism check FAILED: rows differ from {path}");
+            for (i, (got, want)) in csv.lines().zip(golden.lines()).enumerate() {
+                if got != want {
+                    eprintln!("  first difference at line {}:", i + 1);
+                    eprintln!("    got:  {got}");
+                    eprintln!("    want: {want}");
+                    break;
+                }
+            }
+            let (got_n, want_n) = (csv.lines().count(), golden.lines().count());
+            if got_n != want_n {
+                eprintln!("  line counts differ: got {got_n}, want {want_n}");
+            }
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            eprintln!("determinism check passed against {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,51 @@
+//! # runner — parallel, deterministic experiment orchestration
+//!
+//! The sweep harness behind every figure and calibration binary:
+//!
+//! * [`spec::SweepSpec`] — a declarative experiment grid (organisation ×
+//!   pattern × rate × radix × VC depth × hops-per-cycle × fault plan ×
+//!   sample), built programmatically or loaded from a small JSON file.
+//! * [`pool::run_tasks`] — a work pool over plain `std` threads and
+//!   channels (no external dependencies): workers claim task indices
+//!   from an atomic counter, panics are isolated per task, and results
+//!   reassemble in index order.
+//! * [`point::run_point`] — one simulation point with the measured-window
+//!   methodology: warm-up, [`noc::network::Network::reset_stats`] at the
+//!   boundary, a measured interval, then a bounded drain.
+//! * [`report`] — byte-stable CSV/JSON artifacts.
+//!
+//! The load-bearing invariant, enforced by `tests/determinism.rs`: a
+//! sweep's result rows are **byte-identical at any thread count**. Seeds
+//! derive from grid position ([`seed::derive_seed`]), simulations never
+//! share state, and artifacts contain no wall-clock values.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod org;
+pub mod point;
+pub mod pool;
+pub mod report;
+pub mod seed;
+pub mod spec;
+
+pub use org::{build_network, BoxedNet, Organization};
+pub use point::{run_point, run_points, PointRecord, PointSpec};
+pub use pool::{run_tasks, Outcome};
+pub use report::{csv_row, to_csv, to_json, CSV_HEADER};
+pub use seed::derive_seed;
+pub use spec::{pattern_from_key, pattern_key, FaultSpec, SpecError, SweepSpec};
+
+/// The worker count to use when the caller does not specify one: the
+/// `NOC_THREADS` environment variable if set and positive, else the
+/// machine's available parallelism, else 1.
+pub fn threads_from_env() -> usize {
+    if let Ok(v) = std::env::var("NOC_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}

@@ -1,0 +1,169 @@
+//! Network organisations and the boxed-network glue.
+//!
+//! Moved here from the `bench` crate so both the sweep runner and the
+//! figure binaries share one way of naming and building networks
+//! (`bench` re-exports these items for compatibility).
+
+use noc::config::NocConfig;
+use noc::ideal::IdealNetwork;
+use noc::mesh::MeshNetwork;
+use noc::network::Network;
+use noc::smart::SmartNetwork;
+use pra::network::PraNetwork;
+
+/// The network organisations of the evaluation (the paper's four, plus
+/// flit-reservation flow control as the closest-prior-work baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Organization {
+    /// Baseline mesh (1-stage speculative pipeline).
+    Mesh,
+    /// SMART single-cycle multi-hop network.
+    Smart,
+    /// The paper's proposal: mesh + proactive resource allocation.
+    MeshPra,
+    /// Hypothetical zero-router-delay network.
+    Ideal,
+    /// Flit-reservation flow control (Peh & Dally, HPCA 2000).
+    Frfc,
+}
+
+impl Organization {
+    /// All four, in the paper's figure order.
+    pub const ALL: [Organization; 4] = [
+        Organization::Mesh,
+        Organization::Smart,
+        Organization::MeshPra,
+        Organization::Ideal,
+    ];
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Organization::Mesh => "Mesh",
+            Organization::Smart => "SMART",
+            Organization::MeshPra => "Mesh+PRA",
+            Organization::Ideal => "Ideal",
+            Organization::Frfc => "Mesh+FRFC",
+        }
+    }
+
+    /// Stable machine-readable key (sweep specs and result rows).
+    pub fn key(self) -> &'static str {
+        match self {
+            Organization::Mesh => "mesh",
+            Organization::Smart => "smart",
+            Organization::MeshPra => "mesh_pra",
+            Organization::Ideal => "ideal",
+            Organization::Frfc => "frfc",
+        }
+    }
+
+    /// Parses a [`Organization::key`] string (sweep specs).
+    pub fn from_key(key: &str) -> Option<Organization> {
+        match key {
+            "mesh" => Some(Organization::Mesh),
+            "smart" => Some(Organization::Smart),
+            "mesh_pra" | "pra" => Some(Organization::MeshPra),
+            "ideal" => Some(Organization::Ideal),
+            "frfc" => Some(Organization::Frfc),
+            _ => None,
+        }
+    }
+}
+
+/// Builds a boxed network of the given organisation.
+pub fn build_network(org: Organization, cfg: NocConfig) -> BoxedNet {
+    match org {
+        Organization::Mesh => BoxedNet(Box::new(MeshNetwork::new(cfg))),
+        Organization::Smart => BoxedNet(Box::new(SmartNetwork::new(cfg))),
+        Organization::MeshPra => BoxedNet(Box::new(PraNetwork::new(cfg))),
+        Organization::Ideal => BoxedNet(Box::new(IdealNetwork::new(cfg))),
+        Organization::Frfc => BoxedNet(Box::new(pra::frfc::FrfcNetwork::new(cfg))),
+    }
+}
+
+/// Wrapper giving `Box<dyn Network>` the `Network` impl generic clients
+/// (e.g. `sysmodel::System`) need.
+pub struct BoxedNet(pub Box<dyn Network>);
+
+impl std::fmt::Debug for BoxedNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedNet")
+    }
+}
+
+impl Network for BoxedNet {
+    fn config(&self) -> &NocConfig {
+        self.0.config()
+    }
+    fn now(&self) -> noc::types::Cycle {
+        self.0.now()
+    }
+    fn inject(&mut self, packet: noc::flit::Packet) {
+        self.0.inject(packet)
+    }
+    fn step(&mut self) {
+        self.0.step()
+    }
+    fn drain_delivered(&mut self) -> Vec<noc::network::Delivered> {
+        self.0.drain_delivered()
+    }
+    fn in_flight(&self) -> usize {
+        self.0.in_flight()
+    }
+    fn stats(&self) -> &noc::stats::NetStats {
+        self.0.stats()
+    }
+    fn reset_stats(&mut self) {
+        self.0.reset_stats()
+    }
+    fn announce(&mut self, packet: &noc::flit::Packet, lead: u32) {
+        self.0.announce(packet, lead)
+    }
+    fn audit(&self) -> Option<noc::watchdog::AuditReport> {
+        self.0.audit()
+    }
+    #[cfg(feature = "obs")]
+    fn install_obs(&mut self, sink: niobs::SharedSink) {
+        self.0.install_obs(sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_round_trip() {
+        for org in [
+            Organization::Mesh,
+            Organization::Smart,
+            Organization::MeshPra,
+            Organization::Ideal,
+            Organization::Frfc,
+        ] {
+            assert_eq!(Organization::from_key(org.key()), Some(org));
+        }
+        assert_eq!(Organization::from_key("warp"), None);
+    }
+
+    #[test]
+    fn boxed_net_forwards_reset() {
+        let mut net = build_network(Organization::Mesh, NocConfig::paper());
+        net.inject(noc::flit::Packet::new(
+            noc::types::PacketId(1),
+            noc::types::NodeId::new(0),
+            noc::types::NodeId::new(1),
+            noc::types::MessageClass::Request,
+            1,
+        ));
+        for _ in 0..10 {
+            net.step();
+        }
+        net.drain_delivered();
+        assert!(net.stats().delivered() > 0);
+        net.reset_stats();
+        assert_eq!(net.stats().delivered(), 0);
+        assert_eq!(net.stats().injected(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Result artifacts: CSV rows and a merged JSON document.
+//!
+//! Every formatter here is a pure function of the records, with fixed
+//! column order and fixed float precision — the artifact bytes are part
+//! of the determinism contract (serial and parallel sweeps must produce
+//! identical output, and CI diffs rows against a committed golden set).
+//! Wall-clock timings therefore never appear in the artifact; the sweep
+//! binary reports them on stderr only.
+
+use nistats::Json;
+
+use crate::point::PointRecord;
+
+/// The CSV header row (no trailing newline).
+pub const CSV_HEADER: &str = "index,org,pattern,rate,radix,vc_depth,hpc,fault,sample,seed,status,\
+     injected,delivered,undrained,avg_latency,p50,p95,p99,max_latency,avg_hops,throughput";
+
+/// Fixed-precision float formatting shared by the CSV and JSON writers.
+fn fmt_f64(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// Formats one record as a CSV row (no trailing newline).
+pub fn csv_row(r: &PointRecord) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        r.index,
+        r.org,
+        r.pattern,
+        fmt_f64(r.rate),
+        r.radix,
+        r.vc_depth,
+        r.hpc,
+        r.fault,
+        r.sample,
+        r.seed,
+        r.status,
+        r.injected,
+        r.delivered,
+        r.undrained,
+        fmt_f64(r.avg_latency),
+        r.p50,
+        r.p95,
+        r.p99,
+        r.max_latency,
+        fmt_f64(r.avg_hops),
+        fmt_f64(r.throughput),
+    )
+}
+
+/// Formats all records as a CSV document (header + one row per record,
+/// trailing newline).
+pub fn to_csv(records: &[PointRecord]) -> String {
+    let mut out = String::with_capacity((records.len() + 1) * 96);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&csv_row(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Builds the merged JSON artifact (the `BENCH_*.json` convention: a
+/// single object with a label and machine-readable result rows).
+pub fn to_json(sweep: &str, records: &[PointRecord]) -> Json {
+    let points = records
+        .iter()
+        .map(|r| {
+            Json::object(vec![
+                ("index".to_string(), Json::UInt(r.index as u64)),
+                ("org".to_string(), Json::from(r.org.as_str())),
+                ("pattern".to_string(), Json::from(r.pattern.as_str())),
+                ("rate".to_string(), Json::Float(r.rate)),
+                ("radix".to_string(), Json::UInt(u64::from(r.radix))),
+                ("vc_depth".to_string(), Json::UInt(u64::from(r.vc_depth))),
+                ("hpc".to_string(), Json::UInt(u64::from(r.hpc))),
+                ("fault".to_string(), Json::from(r.fault.as_str())),
+                ("sample".to_string(), Json::UInt(u64::from(r.sample))),
+                ("seed".to_string(), Json::UInt(r.seed)),
+                ("status".to_string(), Json::from(r.status.as_str())),
+                ("injected".to_string(), Json::UInt(r.injected)),
+                ("delivered".to_string(), Json::UInt(r.delivered)),
+                ("undrained".to_string(), Json::UInt(r.undrained)),
+                ("avg_latency".to_string(), Json::Float(r.avg_latency)),
+                ("p50".to_string(), Json::UInt(r.p50)),
+                ("p95".to_string(), Json::UInt(r.p95)),
+                ("p99".to_string(), Json::UInt(r.p99)),
+                ("max_latency".to_string(), Json::UInt(r.max_latency)),
+                ("avg_hops".to_string(), Json::Float(r.avg_hops)),
+                ("throughput".to_string(), Json::Float(r.throughput)),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("sweep".to_string(), Json::from(sweep)),
+        ("points".to_string(), Json::Array(points)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::org::Organization;
+    use crate::spec::SweepSpec;
+
+    fn sample_record() -> PointRecord {
+        let p = SweepSpec::new("t")
+            .orgs(&[Organization::Mesh])
+            .points()
+            .remove(0);
+        p.failed_record("boom, with comma")
+    }
+
+    #[test]
+    fn header_and_rows_have_matching_arity() {
+        let rec = sample_record();
+        let cols = CSV_HEADER.split(',').count();
+        assert_eq!(csv_row(&rec).split(',').count(), cols);
+        let csv = to_csv(&[rec.clone(), rec]);
+        assert_eq!(csv.lines().count(), 3);
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
+    }
+
+    #[test]
+    fn failure_messages_cannot_break_the_csv() {
+        let rec = sample_record();
+        assert!(rec.status.contains("boom; with comma"), "{}", rec.status);
+    }
+
+    #[test]
+    fn json_artifact_shape() {
+        let rec = sample_record();
+        let doc = to_json("smoke", &[rec]);
+        assert_eq!(doc.get("sweep").and_then(Json::as_str), Some("smoke"));
+        let points = doc.get("points").and_then(Json::as_array).expect("points");
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].get("org").and_then(Json::as_str), Some("mesh"));
+        // Round-trips through the parser.
+        let text = doc.to_string_pretty(2);
+        let back = Json::parse(&text).expect("self-produced JSON parses");
+        assert_eq!(back.get("sweep").and_then(Json::as_str), Some("smoke"));
+    }
+}

@@ -1,0 +1,428 @@
+//! Declarative sweep specifications.
+//!
+//! A [`SweepSpec`] names a full experiment grid — organisation × traffic
+//! pattern × injection rate × mesh radix × VC depth × hops-per-cycle ×
+//! fault plan × sample — plus the measurement windows. Specs are built
+//! programmatically (builder style) or loaded from a small JSON file
+//! (see `specs/smoke.json`); [`SweepSpec::points`] expands the grid into
+//! [`crate::point::PointSpec`]s in a fixed, documented order, assigning
+//! each point a deterministic seed via [`crate::seed::derive_seed`].
+
+use nistats::Json;
+use noc::traffic::Pattern;
+use noc::types::NodeId;
+
+use crate::org::Organization;
+use crate::point::PointSpec;
+use crate::seed::derive_seed;
+
+/// A malformed sweep specification.
+#[must_use]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Human-readable description of the first problem found.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid sweep spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError {
+        message: message.into(),
+    })
+}
+
+/// One fault-injection configuration of the grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Row label (`"none"` for the fault-free point).
+    pub label: String,
+    /// Transient fault rate in events per billion cycle-resources
+    /// (0 disables fault injection entirely).
+    pub transient_ppb: u32,
+    /// Seed of the fault plan's own RNG.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// The fault-free configuration.
+    pub fn none() -> Self {
+        FaultSpec {
+            label: "none".to_string(),
+            transient_ppb: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// Stable machine-readable key for a traffic pattern (`"uniform"`,
+/// `"transpose"`, `"complement"`, `"core_to_llc"`, `"hotspot:<node>"`).
+pub fn pattern_key(pattern: Pattern) -> String {
+    match pattern {
+        Pattern::UniformRandom => "uniform".to_string(),
+        Pattern::Transpose => "transpose".to_string(),
+        Pattern::Complement => "complement".to_string(),
+        Pattern::CoreToLlc => "core_to_llc".to_string(),
+        Pattern::Hotspot(node) => format!("hotspot:{}", node.index()),
+    }
+}
+
+/// Parses a [`pattern_key`] string.
+pub fn pattern_from_key(key: &str) -> Option<Pattern> {
+    match key {
+        "uniform" => Some(Pattern::UniformRandom),
+        "transpose" => Some(Pattern::Transpose),
+        "complement" => Some(Pattern::Complement),
+        "core_to_llc" => Some(Pattern::CoreToLlc),
+        _ => {
+            let node = key.strip_prefix("hotspot:")?;
+            let node: u16 = node.parse().ok()?;
+            Some(Pattern::Hotspot(NodeId::new(node)))
+        }
+    }
+}
+
+/// A full experiment grid plus measurement windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name (artifact headers).
+    pub name: String,
+    /// Base seed every point seed is derived from.
+    pub base_seed: u64,
+    /// Warm-up cycles excluded from measured statistics.
+    pub warmup: u64,
+    /// Measured-window cycles.
+    pub measure: u64,
+    /// Fraction of injected packets that are multi-flit responses.
+    pub response_fraction: f64,
+    /// Network organisations to sweep.
+    pub orgs: Vec<Organization>,
+    /// Traffic patterns to sweep.
+    pub patterns: Vec<Pattern>,
+    /// Injection rates (packets/node/cycle) to sweep.
+    pub rates: Vec<f64>,
+    /// Mesh radices to sweep.
+    pub radices: Vec<u16>,
+    /// Per-VC buffer depths to sweep.
+    pub vc_depths: Vec<u8>,
+    /// Hops-per-cycle ceilings to sweep.
+    pub hpcs: Vec<u8>,
+    /// Fault-injection configurations to sweep.
+    pub faults: Vec<FaultSpec>,
+    /// Independent samples per grid cell (each with its own seed).
+    pub samples: u32,
+}
+
+impl SweepSpec {
+    /// A single-cell spec with paper-default parameters; extend the
+    /// `Vec` fields (builder style) to open the grid.
+    pub fn new(name: &str) -> Self {
+        SweepSpec {
+            name: name.to_string(),
+            base_seed: 1,
+            warmup: 2_000,
+            measure: 10_000,
+            response_fraction: 0.5,
+            orgs: vec![Organization::Mesh],
+            patterns: vec![Pattern::UniformRandom],
+            rates: vec![0.02],
+            radices: vec![8],
+            vc_depths: vec![5],
+            hpcs: vec![2],
+            faults: vec![FaultSpec::none()],
+            samples: 1,
+        }
+    }
+
+    /// Sets the organisations (builder style).
+    pub fn orgs(mut self, orgs: &[Organization]) -> Self {
+        self.orgs = orgs.to_vec();
+        self
+    }
+
+    /// Sets the injection rates (builder style).
+    pub fn rates(mut self, rates: &[f64]) -> Self {
+        self.rates = rates.to_vec();
+        self
+    }
+
+    /// Sets the traffic patterns (builder style).
+    pub fn patterns(mut self, patterns: &[Pattern]) -> Self {
+        self.patterns = patterns.to_vec();
+        self
+    }
+
+    /// Sets the measurement windows (builder style).
+    pub fn windows(mut self, warmup: u64, measure: u64) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self
+    }
+
+    /// Number of points in the expanded grid.
+    pub fn len(&self) -> usize {
+        self.orgs.len()
+            * self.patterns.len()
+            * self.rates.len()
+            * self.radices.len()
+            * self.vc_depths.len()
+            * self.hpcs.len()
+            * self.faults.len()
+            * self.samples as usize
+    }
+
+    /// Whether the grid is empty (some axis has no values).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid in its canonical order — organisation outermost,
+    /// then pattern, rate, radix, VC depth, hops-per-cycle, fault plan,
+    /// and sample innermost. The order (not the thread count) defines
+    /// each point's index and therefore its derived seed.
+    pub fn points(&self) -> Vec<PointSpec> {
+        let mut out = Vec::with_capacity(self.len());
+        for &org in &self.orgs {
+            for &pattern in &self.patterns {
+                for &rate in &self.rates {
+                    for &radix in &self.radices {
+                        for &vc_depth in &self.vc_depths {
+                            for &hpc in &self.hpcs {
+                                for fault in &self.faults {
+                                    for sample in 0..self.samples {
+                                        let index = out.len();
+                                        out.push(PointSpec {
+                                            index,
+                                            org,
+                                            pattern,
+                                            rate,
+                                            radix,
+                                            vc_depth,
+                                            hpc,
+                                            fault: fault.clone(),
+                                            sample,
+                                            seed: derive_seed(self.base_seed, index as u64),
+                                            warmup: self.warmup,
+                                            measure: self.measure,
+                                            response_fraction: self.response_fraction,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a spec from JSON text (see `specs/smoke.json` for the
+    /// format; every field except `name` is optional and defaults to the
+    /// [`SweepSpec::new`] value).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the first malformed field.
+    pub fn from_json_str(text: &str) -> Result<SweepSpec, SpecError> {
+        let json = match Json::parse(text) {
+            Ok(v) => v,
+            Err(e) => return err(format!("not valid JSON: {e}")),
+        };
+        let Some(name) = json.get("name").and_then(Json::as_str) else {
+            return err("missing string field \"name\"");
+        };
+        let mut spec = SweepSpec::new(name);
+        if let Some(v) = json.get("base_seed") {
+            spec.base_seed = v.as_u64().map_or_else(|| err("base_seed"), Ok)?;
+        }
+        if let Some(v) = json.get("warmup") {
+            spec.warmup = v.as_u64().map_or_else(|| err("warmup"), Ok)?;
+        }
+        if let Some(v) = json.get("measure") {
+            spec.measure = v.as_u64().map_or_else(|| err("measure"), Ok)?;
+        }
+        if let Some(v) = json.get("response_fraction") {
+            spec.response_fraction = v.as_f64().map_or_else(|| err("response_fraction"), Ok)?;
+            if !(0.0..=1.0).contains(&spec.response_fraction) {
+                return err("response_fraction outside [0, 1]");
+            }
+        }
+        if let Some(v) = json.get("samples") {
+            let n = v.as_u64().map_or_else(|| err("samples"), Ok)?;
+            spec.samples = u32::try_from(n).map_or_else(|_| err("samples exceeds u32"), Ok)?;
+        }
+        if let Some(v) = json.get("orgs") {
+            spec.orgs = parse_list(v, "orgs", |item| {
+                item.as_str().and_then(Organization::from_key)
+            })?;
+        }
+        if let Some(v) = json.get("patterns") {
+            spec.patterns = parse_list(v, "patterns", |item| {
+                item.as_str().and_then(pattern_from_key)
+            })?;
+        }
+        if let Some(v) = json.get("rates") {
+            spec.rates = parse_list(v, "rates", |item| {
+                item.as_f64().filter(|r| (0.0..=1.0).contains(r))
+            })?;
+        }
+        if let Some(v) = json.get("radices") {
+            spec.radices = parse_list(v, "radices", |item| {
+                item.as_u64().and_then(|r| u16::try_from(r).ok())
+            })?;
+        }
+        if let Some(v) = json.get("vc_depths") {
+            spec.vc_depths = parse_list(v, "vc_depths", |item| {
+                item.as_u64().and_then(|d| u8::try_from(d).ok())
+            })?;
+        }
+        if let Some(v) = json.get("hpcs") {
+            spec.hpcs = parse_list(v, "hpcs", |item| {
+                item.as_u64().and_then(|h| u8::try_from(h).ok())
+            })?;
+        }
+        if let Some(v) = json.get("faults") {
+            spec.faults = parse_list(v, "faults", parse_fault)?;
+        }
+        if spec.is_empty() {
+            return err("expanded grid is empty (an axis has no values)");
+        }
+        Ok(spec)
+    }
+
+    /// Loads a spec from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] when the file cannot be read or parsed.
+    pub fn load(path: &str) -> Result<SweepSpec, SpecError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => SweepSpec::from_json_str(&text),
+            Err(e) => err(format!("cannot read {path}: {e}")),
+        }
+    }
+}
+
+fn parse_list<T>(
+    v: &Json,
+    field: &str,
+    item: impl Fn(&Json) -> Option<T>,
+) -> Result<Vec<T>, SpecError> {
+    let Some(items) = v.as_array() else {
+        return err(format!("field \"{field}\" must be an array"));
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for (i, x) in items.iter().enumerate() {
+        match item(x) {
+            Some(parsed) => out.push(parsed),
+            None => return err(format!("field \"{field}\"[{i}] is malformed")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_fault(v: &Json) -> Option<FaultSpec> {
+    let label = v.get("label").and_then(Json::as_str)?.to_string();
+    let transient_ppb = match v.get("transient_ppb") {
+        Some(p) => u32::try_from(p.as_u64()?).ok()?,
+        None => 0,
+    };
+    let seed = match v.get("seed") {
+        Some(s) => s.as_u64()?,
+        None => 0,
+    };
+    Some(FaultSpec {
+        label,
+        transient_ppb,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expansion_order_and_seeds() {
+        let spec = SweepSpec::new("t")
+            .orgs(&[Organization::Mesh, Organization::MeshPra])
+            .rates(&[0.01, 0.02]);
+        let pts = spec.points();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(spec.len(), 4);
+        // org outermost, rate inner.
+        assert_eq!(pts[0].org, Organization::Mesh);
+        assert_eq!(pts[1].org, Organization::Mesh);
+        assert_eq!(pts[2].org, Organization::MeshPra);
+        assert!((pts[0].rate - 0.01).abs() < 1e-12);
+        assert!((pts[1].rate - 0.02).abs() < 1e-12);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert_eq!(p.seed, derive_seed(spec.base_seed, i as u64));
+        }
+    }
+
+    #[test]
+    fn json_round_trip_of_the_documented_format() {
+        let text = r#"{
+            "name": "smoke",
+            "base_seed": 42,
+            "warmup": 500,
+            "measure": 1500,
+            "response_fraction": 0.5,
+            "orgs": ["mesh", "mesh_pra"],
+            "patterns": ["uniform", "hotspot:0"],
+            "rates": [0.02, 0.05],
+            "radices": [8],
+            "vc_depths": [5],
+            "hpcs": [2],
+            "samples": 2,
+            "faults": [{"label": "none"}, {"label": "t200", "transient_ppb": 200, "seed": 9}]
+        }"#;
+        let spec = SweepSpec::from_json_str(text).expect("valid spec");
+        assert_eq!(spec.name, "smoke");
+        assert_eq!(spec.base_seed, 42);
+        assert_eq!(spec.orgs.len(), 2);
+        assert_eq!(spec.patterns[1], Pattern::Hotspot(NodeId::new(0)));
+        assert_eq!(spec.faults[1].transient_ppb, 200);
+        assert_eq!(spec.len(), 2 * 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_field_names() {
+        let missing = SweepSpec::from_json_str("{}").expect_err("no name");
+        assert!(missing.to_string().contains("name"));
+        let bad_org = SweepSpec::from_json_str(r#"{"name":"x","orgs":["warp"]}"#)
+            .expect_err("unknown organisation");
+        assert!(bad_org.to_string().contains("orgs"));
+        let bad_rate =
+            SweepSpec::from_json_str(r#"{"name":"x","rates":[1.5]}"#).expect_err("rate above 1");
+        assert!(bad_rate.to_string().contains("rates"));
+        let empty = SweepSpec::from_json_str(r#"{"name":"x","orgs":[]}"#).expect_err("empty axis");
+        assert!(empty.to_string().contains("empty"));
+        let garbage = SweepSpec::from_json_str("not json").expect_err("parse error");
+        assert!(garbage.to_string().contains("JSON"));
+    }
+
+    #[test]
+    fn pattern_keys_round_trip() {
+        for p in [
+            Pattern::UniformRandom,
+            Pattern::Transpose,
+            Pattern::Complement,
+            Pattern::CoreToLlc,
+            Pattern::Hotspot(NodeId::new(27)),
+        ] {
+            assert_eq!(pattern_from_key(&pattern_key(p)), Some(p));
+        }
+        assert_eq!(pattern_from_key("hotspot:x"), None);
+        assert_eq!(pattern_from_key("warp"), None);
+    }
+}
