@@ -14,7 +14,7 @@ use noc::network::Network;
 use noc::traffic::{Pattern, TrafficGen};
 use noc::watchdog::Watchdog;
 
-use bench::{build_network, run_grid, Organization};
+use bench::{build_network, run_grid_budgeted, Organization};
 
 const WARMUP: u64 = 1_000;
 const MEASURE: u64 = 5_000;
@@ -39,9 +39,10 @@ fn config_with(ppb: u32) -> NocConfig {
     b.build().expect("paper config with faults is valid")
 }
 
-fn run_point(org: Organization, ppb: u32, load: f64) -> Point {
+fn run_point(org: Organization, ppb: u32, load: f64, token: noc::cancel::CancelToken) -> Point {
     let cfg = config_with(ppb);
     let mut net = build_network(org, cfg.clone());
+    net.install_cancel(token);
     let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, load, 42);
     let mut wd = Watchdog::default();
 
@@ -113,9 +114,9 @@ fn main() {
             }
         }
     }
-    let points = run_grid(grid.len(), |i| {
+    let points = run_grid_budgeted(grid.len(), |i, token| {
         let (org, ppb, _, load) = grid[i];
-        run_point(org, ppb, load)
+        run_point(org, ppb, load, token)
     });
 
     println!("## Latency/throughput degradation under transient link faults\n");

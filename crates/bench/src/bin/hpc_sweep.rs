@@ -7,8 +7,9 @@
 //! plus the zero-load crossover the argument rests on. Points run in
 //! parallel on the runner pool.
 
-use bench::{build_network, run_grid, Organization};
+use bench::{build_network, run_grid_budgeted, Organization};
 use noc::config::NocConfigBuilder;
+use noc::network::Network as _;
 use noc::traffic::{measure_latency, Pattern, TrafficGen};
 use noc::types::NodeId;
 use noc::zeroload::{ideal_latency, mesh_latency, smart_latency};
@@ -19,13 +20,14 @@ const HPCS: [u8; 4] = [1, 2, 3, 4];
 fn main() {
     let wire = WireModel::paper();
     let orgs = Organization::ALL;
-    let lat = run_grid(HPCS.len() * orgs.len(), |i| {
+    let lat = run_grid_budgeted(HPCS.len() * orgs.len(), |i, token| {
         let (hpc, org) = (HPCS[i / orgs.len()], orgs[i % orgs.len()]);
         let cfg = NocConfigBuilder::new()
             .max_hops_per_cycle(hpc)
             .build()
             .expect("valid config");
         let mut net = build_network(org, cfg.clone());
+        net.install_cancel(token);
         let mut gen = TrafficGen::new(cfg, Pattern::CoreToLlc, 0.02, 5).response_fraction(0.5);
         measure_latency(&mut net, &mut gen, 1_000, 4_000)
     });

@@ -3,7 +3,8 @@
 //! figure. Points run in parallel on the runner pool (`NOC_THREADS`);
 //! the rows are byte-identical to the old serial loop.
 
-use bench::{build_network, run_grid, Organization};
+use bench::{build_network, run_grid_budgeted, Organization};
+use noc::network::Network as _;
 use sysmodel::{System, SystemParams};
 use workloads::{WorkloadKind, WorkloadProfileBuilder};
 
@@ -16,12 +17,13 @@ const ORGS: [Organization; 3] = [
 
 fn main() {
     let params = SystemParams::paper();
-    let perfs = run_grid(SCALES.len() * ORGS.len(), |i| {
+    let perfs = run_grid_budgeted(SCALES.len() * ORGS.len(), |i, token| {
         let (scale, org) = (SCALES[i / ORGS.len()], ORGS[i % ORGS.len()]);
         let profile = WorkloadProfileBuilder::from(WorkloadKind::MediaStreaming)
             .scale_misses(scale)
             .build();
-        let net = build_network(org, params.noc.clone());
+        let mut net = build_network(org, params.noc.clone());
+        net.install_cancel(token);
         let mut sys = System::with_profile(params.clone(), net, profile, 1);
         sys.measure(5_000, 15_000)
     });

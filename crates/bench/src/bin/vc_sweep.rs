@@ -8,8 +8,9 @@
 //! it (the builder rejects depth < packet length). Points run in
 //! parallel on the runner pool.
 
-use bench::{build_network, run_grid, Organization};
+use bench::{build_network, run_grid_budgeted, Organization};
 use noc::config::NocConfigBuilder;
+use noc::network::Network as _;
 use noc::traffic::{measure_latency, Pattern, TrafficGen};
 
 const DEPTHS: [u8; 4] = [5, 6, 8, 10];
@@ -20,13 +21,14 @@ const ORGS: [Organization; 3] = [
 ];
 
 fn main() {
-    let lat = run_grid(DEPTHS.len() * ORGS.len(), |i| {
+    let lat = run_grid_budgeted(DEPTHS.len() * ORGS.len(), |i, token| {
         let (depth, org) = (DEPTHS[i / ORGS.len()], ORGS[i % ORGS.len()]);
         let cfg = NocConfigBuilder::new()
             .vc_depth(depth)
             .build()
             .expect("valid config");
         let mut net = build_network(org, cfg.clone());
+        net.install_cancel(token);
         let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, 0.03, 11).response_fraction(0.5);
         measure_latency(&mut net, &mut gen, 1_000, 4_000)
     });

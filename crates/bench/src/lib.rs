@@ -26,8 +26,44 @@ pub use runner::{build_network, BoxedNet, Organization};
 /// the panic message; sweeps that tolerate per-point failure should go
 /// through [`runner::run_points`] instead.
 pub fn run_grid<T: Send>(count: usize, task: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    run_grid_budgeted(count, |i, _| task(i))
+}
+
+/// Wall-clock budget per grid point from `NOC_POINT_WALL_MS` (unset,
+/// unparsable, or 0 = unlimited). Lets CI put a ceiling under every
+/// figure binary without touching their flags.
+pub fn point_wall_budget_ms() -> u64 {
+    std::env::var("NOC_POINT_WALL_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+/// [`run_grid`], but each closure receives a [`noc::cancel::CancelToken`]
+/// pre-armed with the `NOC_POINT_WALL_MS` wall-clock budget. Install it
+/// into the point's network (`Network::install_cancel`) and a point that
+/// overruns stops simulating — its remaining cycles free-run to the end
+/// of the loop — instead of wedging the whole binary. Overruns are
+/// reported on stderr; the budget never appears in artifacts.
+pub fn run_grid_budgeted<T: Send>(
+    count: usize,
+    task: impl Fn(usize, noc::cancel::CancelToken) -> T + Sync,
+) -> Vec<T> {
     let threads = runner::threads_from_env();
-    runner::run_tasks(count, threads, task, |_, _| {})
+    let budget_ms = point_wall_budget_ms();
+    let budgeted = |i: usize| {
+        let token = noc::cancel::CancelToken::new();
+        let _wall = runner::WallGuard::arm(budget_ms, token.clone());
+        let out = task(i, token.clone());
+        if token.is_cancelled() {
+            eprintln!(
+                "bench: point {i} exceeded the {budget_ms}ms wall budget \
+                 (NOC_POINT_WALL_MS); its row is truncated"
+            );
+        }
+        out
+    };
+    runner::run_tasks(count, threads, budgeted, |_, _| {})
         .into_iter()
         .map(|outcome| match outcome {
             runner::Outcome::Done(v) => v,
@@ -39,8 +75,38 @@ pub fn run_grid<T: Send>(count: usize, task: impl Fn(usize) -> T + Sync) -> Vec<
         .collect()
 }
 
+/// One sample's wall-clock budget: a cancel token installed into the
+/// network plus the watchdog enforcing `NOC_POINT_WALL_MS` on it. Keep
+/// it alive across the measurement; call [`BudgetGuard::report`] after.
+struct BudgetGuard {
+    token: noc::cancel::CancelToken,
+    _wall: runner::WallGuard,
+}
+
+impl BudgetGuard {
+    fn arm<N: noc::network::Network + ?Sized>(net: &mut N) -> BudgetGuard {
+        let token = noc::cancel::CancelToken::new();
+        net.install_cancel(token.clone());
+        BudgetGuard {
+            _wall: runner::WallGuard::arm(point_wall_budget_ms(), token.clone()),
+            token,
+        }
+    }
+
+    fn report(&self, what: &str) {
+        if self.token.is_cancelled() {
+            eprintln!(
+                "bench: {what} exceeded the {}ms wall budget \
+                 (NOC_POINT_WALL_MS); its sample is truncated",
+                point_wall_budget_ms()
+            );
+        }
+    }
+}
+
 /// Measures one `(workload, organisation)` point with the given sampling
-/// spec; returns the performance summary over samples.
+/// spec; returns the performance summary over samples. Each sample runs
+/// under the `NOC_POINT_WALL_MS` wall budget when one is set.
 pub fn measure_performance(
     org: Organization,
     workload: WorkloadKind,
@@ -48,13 +114,12 @@ pub fn measure_performance(
 ) -> Summary {
     let params = SystemParams::paper();
     spec.run(|seed| {
-        let mut sys = System::new(
-            params.clone(),
-            build_network(org, params.noc.clone()),
-            workload,
-            seed,
-        );
-        sys.measure(spec.warmup_cycles, spec.measure_cycles)
+        let mut net = build_network(org, params.noc.clone());
+        let budget = BudgetGuard::arm(&mut net);
+        let mut sys = System::new(params.clone(), net, workload, seed);
+        let out = sys.measure(spec.warmup_cycles, spec.measure_cycles);
+        budget.report(org.name());
+        out
     })
 }
 
@@ -62,9 +127,12 @@ pub fn measure_performance(
 pub fn measure_pra_with(ctrl: ControlConfig, workload: WorkloadKind, spec: &SampleSpec) -> Summary {
     let params = SystemParams::paper();
     spec.run(|seed| {
-        let net = PraNetwork::with_control(params.noc.clone(), ctrl.clone());
+        let mut net = PraNetwork::with_control(params.noc.clone(), ctrl.clone());
+        let budget = BudgetGuard::arm(&mut net);
         let mut sys = System::new(params.clone(), net, workload, seed);
-        sys.measure(spec.warmup_cycles, spec.measure_cycles)
+        let out = sys.measure(spec.warmup_cycles, spec.measure_cycles);
+        budget.report("mesh_pra");
+        out
     })
 }
 
@@ -78,9 +146,11 @@ pub fn measure_pra_detail(
     let mut agg_pra = PraStats::new();
     let mut agg_net = noc::stats::NetStats::new();
     let perf = spec.run(|seed| {
-        let net = PraNetwork::with_control(params.noc.clone(), ControlConfig::default());
+        let mut net = PraNetwork::with_control(params.noc.clone(), ControlConfig::default());
+        let budget = BudgetGuard::arm(&mut net);
         let mut sys = System::new(params.clone(), net, workload, seed);
         let perf = sys.measure(spec.warmup_cycles, spec.measure_cycles);
+        budget.report("mesh_pra detail");
         let net = sys.into_network();
         merge_pra(&mut agg_pra, net.pra_stats());
         merge_net(&mut agg_net, net.stats());

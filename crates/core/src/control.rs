@@ -935,3 +935,56 @@ mod tests {
         assert_eq!(ctrl.in_flight(), 0);
     }
 }
+
+mod digest_impls {
+    use super::{ControlNetwork, ControlPacket};
+    use crate::stats::ControlOrigin;
+    use noc::digest::{StateDigest, StateHasher};
+
+    impl StateDigest for ControlPacket {
+        fn digest_state(&self, h: &mut StateHasher) {
+            h.write_u64(self.id);
+            h.write_u8(match self.origin {
+                ControlOrigin::Llc => 0,
+                ControlOrigin::Lsd => 1,
+            });
+            h.write_u64(self.packet.0);
+            h.write_usize(self.class.vc());
+            h.write_u8(self.len);
+            h.write_usize(self.route.src().index());
+            h.write_usize(self.route.dest().index());
+            for &dir in self.route.dirs() {
+                h.write_usize(dir as usize);
+            }
+            h.write_usize(self.chunk_of.len());
+            for &chunk in &self.chunk_of {
+                h.write_usize(chunk);
+            }
+            h.write_usize(self.pos);
+            h.write_u64(self.due0);
+            h.write_u8(self.lag);
+            h.write_u64(self.process_at);
+            match &self.prev_hop {
+                None => h.write_u8(0),
+                Some(prev) => {
+                    h.write_u8(1);
+                    h.write_usize(prev.node.index());
+                    h.write_usize(prev.out_port.index());
+                    h.write_u64(prev.window.start);
+                    h.write_u64(prev.window.end);
+                }
+            }
+            self.first_source.digest_state(h);
+        }
+    }
+
+    impl StateDigest for ControlNetwork {
+        fn digest_state(&self, h: &mut StateHasher) {
+            h.write_usize(self.packets.len());
+            for p in &self.packets {
+                p.digest_state(h);
+            }
+            h.write_u64(self.next_id);
+        }
+    }
+}

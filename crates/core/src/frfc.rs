@@ -98,6 +98,7 @@ pub struct FrfcNetwork {
     waves: Vec<Wave>,
     pending: Vec<Pending>,
     stats: PraStats,
+    cancel: noc::cancel::CancelToken,
 }
 
 impl FrfcNetwork {
@@ -108,6 +109,7 @@ impl FrfcNetwork {
             waves: Vec::new(),
             pending: Vec::new(),
             stats: PraStats::new(),
+            cancel: noc::cancel::CancelToken::new(),
         }
     }
 
@@ -268,6 +270,11 @@ impl Network for FrfcNetwork {
     }
 
     fn step(&mut self) {
+        if self.cancel.is_cancelled() {
+            // The mesh advances the clock and skips its own work too.
+            self.mesh.step();
+            return;
+        }
         self.start_due_waves();
         self.advance_waves();
         self.mesh.step();
@@ -288,6 +295,11 @@ impl Network for FrfcNetwork {
     fn reset_stats(&mut self) {
         self.mesh.reset_stats();
         self.stats = PraStats::new();
+    }
+
+    fn install_cancel(&mut self, token: noc::cancel::CancelToken) {
+        self.cancel = token.clone();
+        self.mesh.install_cancel(token);
     }
 
     #[cfg(feature = "obs")]

@@ -12,7 +12,9 @@
 //! plane launches a control packet timed so that the data packet rides a
 //! pre-allocated path the moment it is injected.
 
+use noc::cancel::CancelToken;
 use noc::config::NocConfig;
+use noc::digest::{StateDigest, StateHasher};
 use noc::flit::Packet;
 use noc::mesh::MeshNetwork;
 use noc::network::{Delivered, Network};
@@ -71,6 +73,7 @@ pub struct PraNetwork {
     mesh: MeshNetwork,
     ctrl: ControlNetwork,
     pending: Vec<PendingAnnounce>,
+    cancel: CancelToken,
 }
 
 impl PraNetwork {
@@ -87,6 +90,7 @@ impl PraNetwork {
             mesh: MeshNetwork::new(cfg.clone()),
             ctrl: ControlNetwork::new(cfg, ctrl),
             pending: Vec::new(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -137,6 +141,11 @@ impl Network for PraNetwork {
     }
 
     fn step(&mut self) {
+        if self.cancel.is_cancelled() {
+            // The mesh advances the clock and skips its own work too.
+            self.mesh.step();
+            return;
+        }
         self.fire_pending();
         lsd::scan_and_launch(&mut self.mesh, &mut self.ctrl);
         self.ctrl.process(&mut self.mesh);
@@ -162,6 +171,17 @@ impl Network for PraNetwork {
 
     fn audit(&self) -> Option<noc::watchdog::AuditReport> {
         self.mesh.audit()
+    }
+
+    fn install_cancel(&mut self, token: CancelToken) {
+        self.cancel = token.clone();
+        self.mesh.install_cancel(token);
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        let mut h = StateHasher::new();
+        self.digest_state(&mut h);
+        Some(h.finish())
     }
 
     #[cfg(feature = "obs")]
@@ -194,6 +214,23 @@ impl Network for PraNetwork {
             launch_at,
             due0,
         });
+    }
+}
+
+impl StateDigest for PraNetwork {
+    fn digest_state(&self, h: &mut StateHasher) {
+        self.mesh.digest_state(h);
+        self.ctrl.digest_state(h);
+        h.write_usize(self.pending.len());
+        for p in &self.pending {
+            h.write_usize(p.src.index());
+            h.write_usize(p.dest.index());
+            h.write_u64(p.packet.0);
+            h.write_usize(p.class.vc());
+            h.write_u8(p.len);
+            h.write_u64(p.launch_at);
+            h.write_u64(p.due0);
+        }
     }
 }
 

@@ -201,3 +201,15 @@ mod tests {
         assert_eq!(counts, [100; 4]);
     }
 }
+
+mod digest_impls {
+    use super::RoundRobin;
+    use crate::digest::{StateDigest, StateHasher};
+
+    impl StateDigest for RoundRobin {
+        fn digest_state(&self, h: &mut StateHasher) {
+            h.write_usize(self.n);
+            h.write_usize(self.next);
+        }
+    }
+}

@@ -382,3 +382,39 @@ mod tests {
         let _ = VcBuffer::new(0);
     }
 }
+
+mod digest_impls {
+    use super::{InputUnit, VcBuffer};
+    use crate::digest::{StateDigest, StateHasher};
+
+    impl StateDigest for VcBuffer {
+        fn digest_state(&self, h: &mut StateHasher) {
+            h.write_usize(self.depth);
+            h.write_usize(self.fifo.len());
+            for flit in &self.fifo {
+                flit.digest_state(h);
+            }
+        }
+    }
+
+    impl StateDigest for InputUnit {
+        fn digest_state(&self, h: &mut StateHasher) {
+            h.write_usize(self.vcs.len());
+            for vc in &self.vcs {
+                vc.digest_state(h);
+            }
+            match self.latch {
+                None => h.write_u8(0),
+                Some(flit) => {
+                    h.write_u8(1);
+                    flit.digest_state(h);
+                }
+            }
+            h.write_usize(self.latch_claims.len());
+            for &(cycle, packet) in &self.latch_claims {
+                h.write_u64(cycle);
+                h.write_u64(packet.0);
+            }
+        }
+    }
+}

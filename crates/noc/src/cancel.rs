@@ -1,0 +1,65 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag shared between a
+//! supervising thread (the sweep runner's per-point watchdog) and the
+//! simulation it supervises. Network implementations poll the token at
+//! the top of [`crate::network::Network::step`]; once cancelled, a step
+//! still advances the clock (so `while in_flight() > 0 && now < deadline`
+//! drain loops terminate) but performs no simulation work.
+//!
+//! The token is intentionally *not* a hard abort: cancellation is only
+//! observed at cycle boundaries, so the network is never left in a
+//! half-stepped state. Combined with the cycle budget enforced by the
+//! runner, this turns livelocked or runaway points into clean
+//! `timeout(...)` rows instead of hung processes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Clones observe the same flag; sending a
+/// clone to a watchdog thread and installing another into a network via
+/// [`crate::network::Network::install_cancel`] wires the two together.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_crosses_threads() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let handle = std::thread::spawn(move || remote.cancel());
+        handle.join().expect("cancel thread must not panic");
+        assert!(token.is_cancelled());
+    }
+}

@@ -383,3 +383,25 @@ mod tests {
         assert!(g.admits(Q));
     }
 }
+
+mod digest_impls {
+    use super::{MultiFlitGuard, OutVc};
+    use crate::digest::{StateDigest, StateHasher};
+
+    impl StateDigest for OutVc {
+        fn digest_state(&self, h: &mut StateHasher) {
+            h.write_u8(self.depth);
+            h.write_u8(self.credits);
+            h.write_opt_u64(self.owner.map(|p| p.0));
+            h.write_u8(self.reserved);
+            h.write_opt_u64(self.reserved_for.map(|p| p.0));
+            h.write_opt_u64(self.free_after);
+        }
+    }
+
+    impl StateDigest for MultiFlitGuard {
+        fn digest_state(&self, h: &mut StateHasher) {
+            h.write_opt_u64(self.holder.map(|p| p.0));
+        }
+    }
+}

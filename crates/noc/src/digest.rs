@@ -1,0 +1,222 @@
+//! Architectural-state digests for divergence detection.
+//!
+//! A [`StateHasher`] folds the simulator's architectural state — VC
+//! buffer contents, credit counters, reservations, staged events, fault
+//! state, RNG state — into one 64-bit FNV-1a digest. Two runs of the
+//! same point that agree on every sampled digest are executing the same
+//! cycle-by-cycle history; the first disagreeing sample pins the cycle
+//! at which they diverged.
+//!
+//! The hash is *order-sensitive by construction*: implementations of
+//! [`StateDigest`] must visit fields in a fixed, documented order
+//! (struct declaration order, container iteration order) so the digest
+//! is a pure function of architectural state. Anything nondeterministic
+//! (wall-clock, allocator addresses, hash-map iteration) must never be
+//! fed to the hasher — which is why the simulator's containers are
+//! `Vec`/`VecDeque`/`BTreeMap` throughout.
+
+/// Incremental FNV-1a 64-bit hasher over architectural state.
+///
+/// FNV-1a is not cryptographic; it is chosen for zero dependencies,
+/// total determinism across platforms, and good avalanche on the small
+/// integer fields that dominate simulator state.
+#[derive(Debug, Clone)]
+pub struct StateHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for StateHasher {
+    fn default() -> Self {
+        StateHasher { state: FNV_OFFSET }
+    }
+}
+
+impl StateHasher {
+    /// Creates a hasher at the standard FNV offset basis.
+    pub fn new() -> Self {
+        StateHasher::default()
+    }
+
+    /// Folds one byte into the digest.
+    fn byte(&mut self, b: u8) {
+        self.state ^= u64::from(b);
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `u32` into the digest.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `u8` into the digest.
+    pub fn write_u8(&mut self, v: u8) {
+        self.byte(v);
+    }
+
+    /// Folds a `usize` into the digest (widened to `u64` so 32- and
+    /// 64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds a `bool` into the digest.
+    pub fn write_bool(&mut self, v: bool) {
+        self.byte(u8::from(v));
+    }
+
+    /// Folds an optional `u64` into the digest, distinguishing `None`
+    /// from `Some(0)`.
+    pub fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.write_u8(0),
+            Some(x) => {
+                self.write_u8(1);
+                self.write_u64(x);
+            }
+        }
+    }
+
+    /// The accumulated digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// State that can be folded into a [`StateHasher`].
+///
+/// Implementations must be deterministic: the same architectural state
+/// must always produce the same byte stream, independent of host,
+/// thread count, or allocation history.
+pub trait StateDigest {
+    /// Folds this value's architectural state into `h`.
+    fn digest_state(&self, h: &mut StateHasher);
+}
+
+/// Convenience: digest a single value from scratch.
+pub fn digest_of<T: StateDigest + ?Sized>(v: &T) -> u64 {
+    let mut h = StateHasher::new();
+    v.digest_state(&mut h);
+    h.finish()
+}
+
+impl StateDigest for crate::flit::Flit {
+    fn digest_state(&self, h: &mut StateHasher) {
+        h.write_u64(self.packet.0);
+        h.write_bool(self.is_head());
+        h.write_bool(self.is_tail());
+        h.write_u8(self.seq);
+        h.write_usize(self.src.index());
+        h.write_usize(self.dest.index());
+        h.write_usize(self.class.vc());
+        h.write_u8(self.len_flits);
+        h.write_u64(self.created);
+        h.write_u64(self.injected);
+    }
+}
+
+impl StateDigest for crate::flit::Packet {
+    fn digest_state(&self, h: &mut StateHasher) {
+        h.write_u64(self.id.0);
+        h.write_usize(self.src.index());
+        h.write_usize(self.dest.index());
+        h.write_usize(self.class.vc());
+        h.write_u8(self.len_flits);
+        h.write_u64(self.created);
+        h.write_u64(self.tag);
+    }
+}
+
+impl StateDigest for crate::reserve::FlitSource {
+    fn digest_state(&self, h: &mut StateHasher) {
+        match *self {
+            crate::reserve::FlitSource::Vc { port, vc } => {
+                h.write_u8(0);
+                h.write_usize(port.index());
+                h.write_usize(vc);
+            }
+            crate::reserve::FlitSource::Latch { from } => {
+                h.write_u8(1);
+                h.write_usize(from as usize);
+            }
+            crate::reserve::FlitSource::Bypass { from } => {
+                h.write_u8(2);
+                h.write_usize(from as usize);
+            }
+        }
+    }
+}
+
+impl StateDigest for crate::reserve::Landing {
+    fn digest_state(&self, h: &mut StateHasher) {
+        match *self {
+            crate::reserve::Landing::Vc(vc) => {
+                h.write_u8(0);
+                h.write_usize(vc);
+            }
+            crate::reserve::Landing::Latch => h.write_u8(1),
+            crate::reserve::Landing::Bypass => h.write_u8(2),
+        }
+    }
+}
+
+impl StateDigest for crate::reserve::Reservation {
+    fn digest_state(&self, h: &mut StateHasher) {
+        h.write_u64(self.packet.0);
+        h.write_u8(self.seq);
+        self.source.digest_state(h);
+        self.landing.digest_state(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a 64 of "a" is a published test vector.
+        let mut h = StateHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn empty_hash_is_offset_basis() {
+        assert_eq!(StateHasher::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn option_none_differs_from_some_zero() {
+        let mut a = StateHasher::new();
+        a.write_opt_u64(None);
+        let mut b = StateHasher::new();
+        b.write_opt_u64(Some(0));
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn field_order_matters() {
+        let mut a = StateHasher::new();
+        a.write_u32(1);
+        a.write_u32(2);
+        let mut b = StateHasher::new();
+        b.write_u32(2);
+        b.write_u32(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -937,3 +937,89 @@ mod tests {
         assert_eq!(f.stats.credits_lost, 2);
     }
 }
+
+mod digest_impls {
+    use super::{FaultEvent, FaultState};
+    use crate::digest::{StateDigest, StateHasher};
+
+    impl StateDigest for FaultEvent {
+        fn digest_state(&self, h: &mut StateHasher) {
+            match *self {
+                FaultEvent::TransientLink { at, node, dir } => {
+                    h.write_u8(0);
+                    h.write_u64(at);
+                    h.write_usize(node.index());
+                    h.write_usize(dir as usize);
+                }
+                FaultEvent::PermanentLink { at, node, dir } => {
+                    h.write_u8(1);
+                    h.write_u64(at);
+                    h.write_usize(node.index());
+                    h.write_usize(dir as usize);
+                }
+                FaultEvent::RouterDown { at, node } => {
+                    h.write_u8(2);
+                    h.write_u64(at);
+                    h.write_usize(node.index());
+                }
+                FaultEvent::CreditLoss { at, node, dir, vc } => {
+                    h.write_u8(3);
+                    h.write_u64(at);
+                    h.write_usize(node.index());
+                    h.write_usize(dir as usize);
+                    h.write_u8(vc);
+                }
+                FaultEvent::ControlDrop { at, node } => {
+                    h.write_u8(4);
+                    h.write_u64(at);
+                    h.write_usize(node.index());
+                }
+            }
+        }
+    }
+
+    impl StateDigest for FaultState {
+        fn digest_state(&self, h: &mut StateHasher) {
+            let (state, inc) = self.rng.state_words();
+            h.write_u64(state);
+            h.write_u64(inc);
+            for mask in [
+                &self.dead_link,
+                &self.dead_router,
+                &self.transient_cur,
+                &self.transient_next,
+            ] {
+                h.write_usize(mask.len());
+                for &bit in mask.iter() {
+                    h.write_bool(bit);
+                }
+            }
+            for pending in [
+                &self.pending_topology,
+                &self.pending_transient,
+                &self.pending_credit,
+                &self.pending_control,
+            ] {
+                h.write_usize(pending.len());
+                for ev in pending.iter() {
+                    ev.digest_state(h);
+                }
+            }
+            h.write_usize(self.credit_losses_now.len());
+            for &(node, dir, vc) in &self.credit_losses_now {
+                h.write_usize(node);
+                h.write_usize(dir as usize);
+                h.write_usize(vc);
+            }
+            h.write_usize(self.control_armed.len());
+            for &(cycle, node) in &self.control_armed {
+                h.write_u64(cycle);
+                h.write_usize(node);
+            }
+            for &lost in &self.lost_credits {
+                h.write_u64(lost);
+            }
+            h.write_bool(self.degraded);
+        }
+    }
+}

@@ -15,7 +15,9 @@
 //! [`NocConfig::max_hops_per_cycle`] hops, oldest packet first.
 
 use crate::buffer::VcBuffer;
+use crate::cancel::CancelToken;
 use crate::config::NocConfig;
+use crate::digest::{StateDigest, StateHasher};
 use crate::flit::{Flit, Packet};
 use crate::network::{Delivered, DeliveryLedger, Network, Reassembly, SourceQueues};
 use crate::routing::{neighbor, route_port};
@@ -59,6 +61,7 @@ pub struct IdealNetwork {
     /// flit)`.
     arrivals: Vec<(usize, usize, usize, Flit)>,
     stats: NetStats,
+    cancel: CancelToken,
 }
 
 impl IdealNetwork {
@@ -87,6 +90,7 @@ impl IdealNetwork {
             ledger: DeliveryLedger::new(),
             arrivals: Vec::new(),
             stats: NetStats::new(),
+            cancel: CancelToken::new(),
             cfg,
             now: 0,
         }
@@ -296,6 +300,9 @@ impl Network for IdealNetwork {
     fn step(&mut self) {
         self.now += 1;
         self.stats.cycles += 1;
+        if self.cancel.is_cancelled() {
+            return; // the clock advanced; bounded loops still terminate
+        }
         self.deliver_arrivals();
         self.inject_from_sources();
         self.advance_flits();
@@ -315,6 +322,43 @@ impl Network for IdealNetwork {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    fn install_cancel(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        let mut h = StateHasher::new();
+        self.digest_state(&mut h);
+        Some(h.finish())
+    }
+}
+
+impl StateDigest for IdealNetwork {
+    fn digest_state(&self, h: &mut StateHasher) {
+        h.write_u64(self.now);
+        for node in &self.buffers {
+            for port in node {
+                for vc in port {
+                    vc.digest_state(h);
+                }
+            }
+        }
+        for src in &self.sources {
+            src.digest_state(h);
+        }
+        for reasm in &self.reasm {
+            reasm.digest_state(h);
+        }
+        self.ledger.digest_state(h);
+        h.write_usize(self.arrivals.len());
+        for &(node, port, class, flit) in &self.arrivals {
+            h.write_usize(node);
+            h.write_usize(port);
+            h.write_usize(class);
+            flit.digest_state(h);
+        }
     }
 }
 

@@ -45,8 +45,10 @@
 
 pub mod arbiter;
 pub mod buffer;
+pub mod cancel;
 pub mod config;
 pub mod credit;
+pub mod digest;
 pub mod faults;
 pub mod flit;
 pub mod ideal;
@@ -62,7 +64,9 @@ pub mod types;
 pub mod watchdog;
 pub mod zeroload;
 
+pub use cancel::CancelToken;
 pub use config::NocConfig;
+pub use digest::{StateDigest, StateHasher};
 pub use flit::{Flit, Packet};
 pub use network::{Delivered, Network};
 pub use types::{Cycle, MessageClass, NodeId, PacketId};

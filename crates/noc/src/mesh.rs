@@ -19,8 +19,10 @@
 
 use crate::arbiter::RoundRobin;
 use crate::buffer::InputUnit;
+use crate::cancel::CancelToken;
 use crate::config::NocConfig;
 use crate::credit::{MultiFlitGuard, OutVc};
+use crate::digest::{StateDigest, StateHasher};
 use crate::faults::{FaultEvent, FaultState, FaultStats};
 use crate::flit::{Flit, Packet};
 use crate::network::{Delivered, DeliveryLedger, Network, Reassembly, SourceQueues};
@@ -254,6 +256,9 @@ pub struct MeshNetwork {
     /// fault hook a no-op and the datapath bit-identical to a build
     /// without the subsystem.
     faults: Option<FaultState>,
+    /// Cooperative cancellation flag; a cancelled step only advances the
+    /// clock (see [`crate::cancel`]).
+    cancel: CancelToken,
     /// Observability handle; detached by default (every hook is then a
     /// single branch). Absent entirely without the `obs` feature.
     #[cfg(feature = "obs")]
@@ -282,6 +287,7 @@ impl MeshNetwork {
             resv_index: BTreeMap::new(),
             link_use: vec![0; n * 4],
             stats: NetStats::new(),
+            cancel: CancelToken::new(),
             cfg,
             now: 0,
             #[cfg(feature = "obs")]
@@ -2081,6 +2087,9 @@ impl Network for MeshNetwork {
     fn step(&mut self) {
         self.now += 1;
         self.stats.cycles += 1;
+        if self.cancel.is_cancelled() {
+            return; // the clock advanced; bounded loops still terminate
+        }
         if self.faults.is_some() {
             self.apply_faults();
         }
@@ -2121,9 +2130,115 @@ impl Network for MeshNetwork {
         Some(self.audit_now())
     }
 
+    fn install_cancel(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        let mut h = StateHasher::new();
+        self.digest_state(&mut h);
+        Some(h.finish())
+    }
+
     #[cfg(feature = "obs")]
     fn install_obs(&mut self, sink: niobs::SharedSink) {
         self.obs.attach(sink);
+    }
+}
+
+impl StateDigest for Router {
+    fn digest_state(&self, h: &mut StateHasher) {
+        for input in &self.inputs {
+            input.digest_state(h);
+        }
+        for port in &self.out_vcs {
+            for vc in port {
+                vc.digest_state(h);
+            }
+        }
+        for port in &self.guards {
+            for guard in port {
+                guard.digest_state(h);
+            }
+        }
+        for sched in &self.schedules {
+            sched.digest_state(h);
+        }
+        for port in &self.active_out {
+            for slot in port {
+                match slot {
+                    None => h.write_u8(0),
+                    Some(s) => {
+                        h.write_u8(1);
+                        h.write_usize(s.out_port.index());
+                        h.write_u64(s.packet.0);
+                        h.write_u8(s.len);
+                        h.write_u8(s.sent);
+                    }
+                }
+            }
+        }
+        for lock in &self.port_lock {
+            h.write_opt_u64(lock.map(|p| p.0));
+        }
+        for rr in self.sa_in.iter().chain(self.sa_out.iter()) {
+            rr.digest_state(h);
+        }
+    }
+}
+
+impl StateDigest for MeshNetwork {
+    fn digest_state(&self, h: &mut StateHasher) {
+        h.write_u64(self.now);
+        for router in &self.routers {
+            router.digest_state(h);
+        }
+        for src in &self.sources {
+            src.digest_state(h);
+        }
+        for reasm in &self.reasm {
+            reasm.digest_state(h);
+        }
+        self.ledger.digest_state(h);
+        h.write_usize(self.grants.len());
+        for g in &self.grants {
+            h.write_usize(g.node);
+            h.write_usize(g.in_port.index());
+            h.write_usize(g.vc);
+            h.write_usize(g.out_port.index());
+            h.write_u64(g.packet.0);
+            h.write_u8(g.seq);
+        }
+        h.write_usize(self.arrivals.len());
+        for a in &self.arrivals {
+            h.write_usize(a.node);
+            h.write_usize(a.in_port.index());
+            h.write_usize(a.vc);
+            a.flit.digest_state(h);
+        }
+        h.write_usize(self.credit_returns.len());
+        for c in &self.credit_returns {
+            h.write_usize(c.node);
+            h.write_usize(c.out_port.index());
+            h.write_usize(c.vc);
+        }
+        h.write_usize(self.resv_index.len());
+        for (packet, locs) in &self.resv_index {
+            h.write_u64(packet.0);
+            h.write_usize(locs.len());
+            for loc in locs {
+                h.write_usize(loc.node);
+                h.write_usize(loc.out_port.index());
+                h.write_u64(loc.cycle);
+            }
+        }
+        match &self.faults {
+            None => h.write_u8(0),
+            Some(f) => {
+                h.write_u8(1);
+                f.digest_state(h);
+            }
+        }
     }
 }
 

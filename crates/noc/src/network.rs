@@ -77,6 +77,25 @@ pub trait Network {
         let _ = (packet, lead);
     }
 
+    /// Installs a cooperative cancellation token (see
+    /// [`crate::cancel`]). Once the token is cancelled, subsequent
+    /// [`Network::step`] calls still advance the clock — so bounded
+    /// drain loops keyed on [`Network::now`] terminate — but perform no
+    /// simulation work. The default implementation ignores the token;
+    /// organisations that cannot be cancelled simply run to completion.
+    fn install_cancel(&mut self, token: crate::cancel::CancelToken) {
+        let _ = token;
+    }
+
+    /// A digest of the architectural state at the current cycle (see
+    /// [`crate::digest`]), or `None` for organisations without a
+    /// [`crate::digest::StateDigest`] implementation. Two runs of the
+    /// same point whose digests agree at every sampled cycle executed
+    /// the same history.
+    fn state_digest(&self) -> Option<u64> {
+        None
+    }
+
     /// Takes a structural snapshot for the invariant watchdog (see
     /// [`crate::watchdog`]). Organisations without exhaustive internal
     /// accounting return `None`; the mesh (and Mesh+PRA, which wraps it)
@@ -333,5 +352,47 @@ mod tests {
         ledger.register(p);
         ledger.complete(p.flit(0), 20, 5, &mut stats);
         ledger.complete(p.flit(0), 21, 5, &mut stats);
+    }
+}
+
+mod digest_impls {
+    use super::{DeliveryLedger, Reassembly, SourceQueues};
+    use crate::digest::{StateDigest, StateHasher};
+
+    impl StateDigest for SourceQueues {
+        fn digest_state(&self, h: &mut StateHasher) {
+            for q in &self.queues {
+                h.write_usize(q.len());
+                for flit in q {
+                    flit.digest_state(h);
+                }
+            }
+        }
+    }
+
+    impl StateDigest for Reassembly {
+        fn digest_state(&self, h: &mut StateHasher) {
+            h.write_usize(self.partial.len());
+            for (&packet, &(accepted, head)) in &self.partial {
+                h.write_u64(packet.0);
+                h.write_u8(accepted);
+                head.digest_state(h);
+            }
+        }
+    }
+
+    impl StateDigest for DeliveryLedger {
+        fn digest_state(&self, h: &mut StateHasher) {
+            h.write_usize(self.packets.len());
+            for packet in self.packets.values() {
+                packet.digest_state(h);
+            }
+            h.write_usize(self.delivered.len());
+            for d in &self.delivered {
+                d.packet.digest_state(h);
+                h.write_u64(d.delivered);
+                h.write_u64(u64::from(d.hops));
+            }
+        }
     }
 }

@@ -290,3 +290,18 @@ mod tests {
         assert!(s.take(5).is_none());
     }
 }
+
+mod digest_impls {
+    use super::OutputSchedule;
+    use crate::digest::{StateDigest, StateHasher};
+
+    impl StateDigest for OutputSchedule {
+        fn digest_state(&self, h: &mut StateHasher) {
+            h.write_usize(self.slots.len());
+            for (&cycle, r) in &self.slots {
+                h.write_u64(cycle);
+                r.digest_state(h);
+            }
+        }
+    }
+}

@@ -30,6 +30,7 @@
 
 use crate::arbiter::RoundRobin;
 use crate::buffer::VcBuffer;
+use crate::cancel::CancelToken;
 use crate::config::NocConfig;
 use crate::flit::{Flit, Packet};
 use crate::network::{Delivered, DeliveryLedger, Network, Reassembly, SourceQueues};
@@ -116,6 +117,7 @@ pub struct SmartNetwork {
     arrivals: Vec<(usize, usize, usize, Flit, bool)>,
     sa_rr: Vec<RoundRobin>,
     stats: NetStats,
+    cancel: CancelToken,
 }
 
 impl SmartNetwork {
@@ -154,6 +156,7 @@ impl SmartNetwork {
                 .map(|_| RoundRobin::new(Port::COUNT * cfg.vcs_per_port))
                 .collect(),
             stats: NetStats::new(),
+            cancel: CancelToken::new(),
             cfg,
             now: 0,
         }
@@ -422,6 +425,9 @@ impl Network for SmartNetwork {
     fn step(&mut self) {
         self.now += 1;
         self.stats.cycles += 1;
+        if self.cancel.is_cancelled() {
+            return; // the clock advanced; bounded loops still terminate
+        }
         self.deliver_arrivals();
         self.inject_from_sources();
         self.advance_transfers();
@@ -443,6 +449,10 @@ impl Network for SmartNetwork {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    fn install_cancel(&mut self, token: CancelToken) {
+        self.cancel = token;
     }
 }
 

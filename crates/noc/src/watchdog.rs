@@ -88,6 +88,17 @@ pub enum InvariantViolation {
         /// Packets stuck in flight.
         in_flight: usize,
     },
+    /// A sampled architectural-state digest disagrees with the reference
+    /// trail for the same point and cycle (see [`crate::digest`]): the
+    /// two runs diverged at or before `cycle`.
+    DigestMismatch {
+        /// First sampled cycle at which the digests disagree.
+        cycle: Cycle,
+        /// Digest the reference trail recorded.
+        expected: u64,
+        /// Digest this run produced.
+        got: u64,
+    },
 }
 
 impl std::fmt::Display for InvariantViolation {
@@ -107,6 +118,14 @@ impl std::fmt::Display for InvariantViolation {
             InvariantViolation::Livelock { cycle, age, limit } => write!(
                 f,
                 "cycle {cycle}: possible livelock (oldest packet age {age} > {limit})"
+            ),
+            InvariantViolation::DigestMismatch {
+                cycle,
+                expected,
+                got,
+            } => write!(
+                f,
+                "cycle {cycle}: state digest mismatch (expected {expected:#018x}, got {got:#018x})"
             ),
             InvariantViolation::Deadlock {
                 cycle,

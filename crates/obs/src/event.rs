@@ -196,6 +196,33 @@ pub enum Event {
         /// `"request"` (L1-miss assembly window).
         kind: &'static str,
     },
+    /// A sweep point attempt exceeded one of its budgets and was
+    /// cancelled (runner-side; the `cycle` of the wrapping record is
+    /// the simulated cycle the cancel landed on).
+    PointTimeout {
+        /// Grid index of the point.
+        point: u64,
+        /// Attempt number that timed out (0 = first run).
+        attempt: u32,
+        /// Which budget tripped: `"cycles"` or `"wall"`.
+        budget: &'static str,
+    },
+    /// A sweep point attempt is being retried after a timeout, panic,
+    /// or failure.
+    PointRetry {
+        /// Grid index of the point.
+        point: u64,
+        /// The attempt about to run (1 = first retry).
+        attempt: u32,
+    },
+    /// An architectural state digest was sampled (divergence detection
+    /// for resumed/retried/re-threaded runs).
+    DigestSampled {
+        /// Grid index of the point being digested.
+        point: u64,
+        /// The FNV-1a digest of the network's architectural state.
+        digest: u64,
+    },
 }
 
 impl Event {
@@ -221,6 +248,9 @@ impl Event {
             Event::Ack { .. } => "ack",
             Event::LsdFire { .. } => "lsd_fire",
             Event::LlcWindow { .. } => "llc_window",
+            Event::PointTimeout { .. } => "point_timeout",
+            Event::PointRetry { .. } => "point_retry",
+            Event::DigestSampled { .. } => "digest_sampled",
         }
     }
 
@@ -268,5 +298,27 @@ mod tests {
         assert_eq!(b.name(), "credit_return");
         assert_eq!(a.data_packet(), Some(1));
         assert_eq!(b.data_packet(), None);
+    }
+
+    #[test]
+    fn runner_lifecycle_events_have_names() {
+        let t = Event::PointTimeout {
+            point: 7,
+            attempt: 0,
+            budget: "cycles",
+        };
+        let r = Event::PointRetry {
+            point: 7,
+            attempt: 1,
+        };
+        let d = Event::DigestSampled {
+            point: 7,
+            digest: 0xabc,
+        };
+        assert_eq!(t.name(), "point_timeout");
+        assert_eq!(r.name(), "point_retry");
+        assert_eq!(d.name(), "digest_sampled");
+        // Runner lifecycle events are not part of a packet's flight.
+        assert_eq!(t.data_packet(), None);
     }
 }

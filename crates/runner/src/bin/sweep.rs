@@ -1,13 +1,26 @@
 //! Generic sweep driver: expands a JSON spec into a grid, runs it on a
 //! work pool, and emits byte-stable CSV (stdout or `--csv-out`) plus an
-//! optional merged JSON artifact. `--check-golden` compares the CSV
-//! against a committed reference and fails loudly on any difference —
-//! the CI determinism gate.
+//! optional merged JSON artifact.
+//!
+//! Crash safety: with a checkpoint path (explicit `--ckpt`, or implied
+//! by `--csv-out`), every completed point is journaled and fsync'd as
+//! it lands. After a crash, `--resume` replays the journal, refuses it
+//! if the spec changed underneath it, skips every completed point, and
+//! produces artifacts byte-identical to an uninterrupted run.
+//!
+//! Exit codes: 0 success, 1 I/O failure, 2 usage/spec/journal-header
+//! error, 3 determinism failure (`--check-golden` or `--verify-digests`
+//! mismatch) — so CI can tell "the disk broke" from "the physics broke".
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use runner::{run_points, threads_from_env, to_csv, to_json, SweepSpec};
+use runner::journal::{load_journal, JournalHeader, JournalWriter};
+use runner::{
+    diff_csv, run_points_full, threads_from_env, to_csv, to_json, verify_digest_trail,
+    PointOutcome, PointRecord, PointSpec, SweepSpec, CSV_HEADER,
+};
 
 struct Options {
     spec: String,
@@ -15,6 +28,9 @@ struct Options {
     csv_out: Option<String>,
     json_out: Option<String>,
     check_golden: Option<String>,
+    ckpt: Option<String>,
+    resume: bool,
+    verify_digests: bool,
     quiet: bool,
 }
 
@@ -23,7 +39,10 @@ const USAGE: &str = "usage: sweep --spec FILE [options]
   --threads N          worker threads (default: NOC_THREADS or all cores)
   --csv-out FILE       write result rows to FILE instead of stdout
   --json-out FILE      also write the merged JSON artifact to FILE
-  --check-golden FILE  compare the CSV against FILE; exit 1 on mismatch
+  --check-golden FILE  compare the CSV against FILE; exit 3 on mismatch
+  --ckpt FILE          checkpoint journal path (default: <csv-out>.ckpt)
+  --resume             skip points already in the checkpoint journal
+  --verify-digests     re-run journaled points and compare digest trails
   --quiet              suppress progress output
   --help               show this help";
 
@@ -35,6 +54,9 @@ fn parse_args() -> Result<Option<Options>, String> {
         csv_out: None,
         json_out: None,
         check_golden: None,
+        ckpt: None,
+        resume: false,
+        verify_digests: false,
         quiet: false,
     };
     let mut args = std::env::args().skip(1);
@@ -45,7 +67,16 @@ fn parse_args() -> Result<Option<Options>, String> {
                 opts.quiet = true;
                 continue;
             }
-            flag @ ("--spec" | "--threads" | "--csv-out" | "--json-out" | "--check-golden") => {
+            "--resume" => {
+                opts.resume = true;
+                continue;
+            }
+            "--verify-digests" => {
+                opts.verify_digests = true;
+                continue;
+            }
+            flag @ ("--spec" | "--threads" | "--csv-out" | "--json-out" | "--check-golden"
+            | "--ckpt") => {
                 let value = args
                     .next()
                     .ok_or_else(|| format!("flag '{flag}' needs a value"))?;
@@ -60,7 +91,8 @@ fn parse_args() -> Result<Option<Options>, String> {
                     }
                     "--csv-out" => opts.csv_out = Some(value),
                     "--json-out" => opts.json_out = Some(value),
-                    _ => opts.check_golden = Some(value),
+                    "--check-golden" => opts.check_golden = Some(value),
+                    _ => opts.ckpt = Some(value),
                 }
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -68,6 +100,75 @@ fn parse_args() -> Result<Option<Options>, String> {
     }
     opts.spec = spec.ok_or("missing required flag '--spec' (try --help)")?;
     Ok(Some(opts))
+}
+
+/// The journal path: explicit flag, else derived from the CSV artifact.
+fn ckpt_path(opts: &Options) -> Option<String> {
+    opts.ckpt
+        .clone()
+        .or_else(|| opts.csv_out.as_ref().map(|p| format!("{p}.ckpt")))
+}
+
+/// Loads the journal and validates its header against the current spec;
+/// a mismatch means the journal describes a *different* experiment and
+/// resuming would silently mix grids.
+fn load_resume_state(
+    path: &str,
+    spec: &SweepSpec,
+    count: usize,
+) -> Result<BTreeMap<usize, PointOutcome>, String> {
+    let (header, done) = load_journal(path).map_err(|e| e.to_string())?;
+    let expect = JournalHeader {
+        spec_hash: spec.spec_hash(),
+        base_seed: spec.base_seed,
+        count,
+        name: spec.name.clone(),
+    };
+    if header != expect {
+        return Err(format!(
+            "checkpoint {path} was written by a different sweep \
+             (journal: name={:?} spec_hash={:016x} base_seed={} count={}; \
+             current: name={:?} spec_hash={:016x} base_seed={} count={})",
+            header.name,
+            header.spec_hash,
+            header.base_seed,
+            header.count,
+            expect.name,
+            expect.spec_hash,
+            expect.base_seed,
+            expect.count,
+        ));
+    }
+    Ok(done)
+}
+
+/// Re-runs every journaled point with a digest trail and reports the
+/// first architectural-state divergence. Returns the number of
+/// mismatching points.
+fn verify_digests(
+    points: &[PointSpec],
+    done: &BTreeMap<usize, PointOutcome>,
+    quiet: bool,
+) -> usize {
+    let mut mismatches = 0usize;
+    let mut checked = 0usize;
+    for (index, outcome) in done {
+        if outcome.trail.is_empty() {
+            continue;
+        }
+        let Some(p) = points.get(*index) else {
+            continue;
+        };
+        checked += 1;
+        if let Err(violation) = verify_digest_trail(p, outcome) {
+            mismatches += 1;
+            eprintln!("digest verification FAILED at point {index}: {violation}");
+        }
+    }
+    if !quiet {
+        eprintln!("digest verification: {checked} point(s) checked, {mismatches} mismatch(es)");
+    }
+    mismatches
 }
 
 fn main() -> ExitCode {
@@ -90,28 +191,137 @@ fn main() -> ExitCode {
         }
     };
     let points = spec.points();
+    let ckpt = ckpt_path(&opts);
+
+    if opts.resume && ckpt.is_none() {
+        eprintln!("error: --resume needs a journal; pass --ckpt or --csv-out\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    // Resume: replay the journal (validating it against this spec) and
+    // keep only points that still need to run.
+    let mut completed: BTreeMap<usize, PointOutcome> = BTreeMap::new();
+    if opts.resume {
+        let path = ckpt.as_deref().unwrap_or_default();
+        match load_resume_state(path, &spec, points.len()) {
+            Ok(done) => completed = done,
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::from(2);
+            }
+        }
+        if !opts.quiet {
+            eprintln!(
+                "resume: {} of {} point(s) already journaled in {path}",
+                completed.len(),
+                points.len()
+            );
+        }
+    }
+
+    if opts.verify_digests {
+        let mismatches = verify_digests(&points, &completed, opts.quiet);
+        if mismatches > 0 {
+            return ExitCode::from(3);
+        }
+    }
+
+    let remaining: Vec<PointSpec> = points
+        .iter()
+        .filter(|p| !completed.contains_key(&p.index))
+        .cloned()
+        .collect();
     if !opts.quiet {
         eprintln!(
             "sweep '{}': {} points on {} thread(s)",
             spec.name,
-            points.len(),
+            remaining.len(),
             opts.threads
         );
     }
+
+    // Open the journal: fresh header on a new run, append on resume.
+    let mut writer: Option<JournalWriter> = match &ckpt {
+        Some(path) if opts.resume => match JournalWriter::append_to(path) {
+            Ok(w) => Some(w),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Some(path) => {
+            let header = JournalHeader {
+                spec_hash: spec.spec_hash(),
+                base_seed: spec.base_seed,
+                count: points.len(),
+                name: spec.name.clone(),
+            };
+            match JournalWriter::create(path, &header) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
     let started = Instant::now();
     let quiet = opts.quiet;
-    let records = run_points(&points, opts.threads, |done, total| {
+    let mut journal_err: Option<String> = None;
+    let fresh = run_points_full(&remaining, opts.threads, |_, outcome, done, total| {
+        if let Some(w) = writer.as_mut() {
+            if journal_err.is_none() {
+                if let Err(e) = w.append(outcome) {
+                    journal_err = Some(e.to_string());
+                }
+            }
+        }
         if !quiet {
             eprint!("\r[{done}/{total}]");
         }
     });
     let elapsed = started.elapsed();
+    if let Some(message) = journal_err {
+        // The sweep itself finished; a dead journal only threatens a
+        // *future* resume, so warn loudly but still emit artifacts.
+        eprintln!("warning: checkpoint journal failed mid-run: {message}");
+    }
     if !opts.quiet {
-        eprintln!("\rdone: {} points in {:.2?}", records.len(), elapsed);
+        eprintln!("\rdone: {} points in {:.2?}", fresh.len(), elapsed);
+    }
+
+    // Merge journaled and fresh outcomes back into grid order.
+    for outcome in fresh {
+        completed.insert(outcome.record.index, outcome);
+    }
+    let records: Vec<PointRecord> = points
+        .iter()
+        .filter_map(|p| completed.get(&p.index).map(|o| o.record.clone()))
+        .collect();
+    if records.len() != points.len() {
+        eprintln!(
+            "error: {} of {} points have no outcome (journal from a partial grid?)",
+            points.len() - records.len(),
+            points.len()
+        );
+        return ExitCode::FAILURE;
     }
     let failed = records.iter().filter(|r| r.status != "ok").count();
     if failed > 0 {
-        eprintln!("warning: {failed} point(s) failed (see status column)");
+        eprintln!("warning: {failed} point(s) failed or timed out (see status column)");
+    }
+    if !opts.quiet {
+        let metrics = sweep_metrics(&records);
+        eprintln!(
+            "metrics: retries={} timeouts={} failures={} undrained_points={} digest_points={}",
+            metrics.counter("sweep.retries"),
+            metrics.counter("sweep.timeouts"),
+            metrics.counter("sweep.failures"),
+            metrics.counter("sweep.undrained_points"),
+            metrics.counter("sweep.digest_points"),
+        );
     }
 
     let csv = to_csv(&records);
@@ -144,25 +354,64 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        if golden != csv {
+        if let Some(divergence) = diff_csv(&golden, &csv) {
             eprintln!("determinism check FAILED: rows differ from {path}");
-            for (i, (got, want)) in csv.lines().zip(golden.lines()).enumerate() {
-                if got != want {
-                    eprintln!("  first difference at line {}:", i + 1);
-                    eprintln!("    got:  {got}");
-                    eprintln!("    want: {want}");
-                    break;
-                }
-            }
+            eprintln!("{divergence}");
+            surface_undrained(&csv, divergence.line);
             let (got_n, want_n) = (csv.lines().count(), golden.lines().count());
             if got_n != want_n {
                 eprintln!("  line counts differ: got {got_n}, want {want_n}");
             }
-            return ExitCode::FAILURE;
+            return ExitCode::from(3);
         }
         if !opts.quiet {
             eprintln!("determinism check passed against {path}");
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Aggregates the sweep's robustness counters into a metrics registry
+/// (stderr-only — wall-clock-adjacent operational numbers never belong
+/// in the byte-stable artifacts).
+fn sweep_metrics(records: &[PointRecord]) -> niobs::MetricsRegistry {
+    let mut m = niobs::MetricsRegistry::new();
+    for r in records {
+        m.inc("sweep.retries", u64::from(r.attempts.saturating_sub(1)));
+        if r.status.starts_with("timeout(") {
+            m.inc("sweep.timeouts", 1);
+        }
+        if r.status.starts_with("failed(") {
+            m.inc("sweep.failures", 1);
+        }
+        if r.undrained > 0 {
+            m.inc("sweep.undrained_points", 1);
+        }
+        if r.digest != "-" {
+            m.inc("sweep.digest_points", 1);
+        }
+    }
+    m
+}
+
+/// If the diverging row reports undrained packets, say so: a censored
+/// latency tail is the classic cause of "same sweep, different numbers"
+/// and used to be invisible in golden diffs.
+fn surface_undrained(csv: &str, line: usize) {
+    let undrained_col = CSV_HEADER
+        .split(',')
+        .position(|name| name.trim() == "undrained");
+    let Some(col) = undrained_col else { return };
+    let Some(row) = csv.lines().nth(line.saturating_sub(1)) else {
+        return;
+    };
+    let Some(cell) = row.split(',').nth(col) else {
+        return;
+    };
+    if cell.parse::<u64>().map(|n| n > 0).unwrap_or(false) {
+        eprintln!(
+            "  note: this row reports {cell} undrained packet(s) — its latency tail is \
+             censored, which can itself explain the divergence"
+        );
+    }
 }

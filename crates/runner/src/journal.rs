@@ -1,0 +1,443 @@
+//! The crash-safe sweep checkpoint journal.
+//!
+//! A sweep journals every completed point to `<artifact>.ckpt` as it
+//! lands: one self-describing header line, then one append-only,
+//! fsync'd line per finished point. If the process dies — OOM kill,
+//! power loss, ^C — `sweep --resume` replays the journal, skips every
+//! point already on disk, and runs only the remainder. Because each
+//! line round-trips the full [`PointRecord`] **exactly** (floats are
+//! stored as `f64::to_bits` hex, not decimal), the final CSV/JSON
+//! artifacts are byte-identical whether the sweep ran once or was
+//! killed and resumed arbitrarily often.
+//!
+//! Format, one record per line, tab-separated:
+//!
+//! ```text
+//! noc-sweep-ckpt v1\tspec_hash=<hex>\tbase_seed=<dec>\tcount=<dec>\tname=<escaped>
+//! point\t<index>\t...record fields...\t<trail>
+//! ```
+//!
+//! A torn final line (the crash happened mid-append) is tolerated and
+//! simply dropped; everything before it is trusted, because each append
+//! is flushed with `sync_data` before the runner moves on.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+
+use crate::point::{DigestSample, PointOutcome, PointRecord};
+
+/// A journal that cannot be written, read, or parsed.
+#[must_use]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalError {
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "checkpoint journal: {}", self.message)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, JournalError> {
+    Err(JournalError {
+        message: message.into(),
+    })
+}
+
+/// The journal's self-describing header: enough to refuse a resume
+/// against the wrong spec before any simulation time is spent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// [`crate::spec::SweepSpec::spec_hash`] of the sweep that wrote it.
+    pub spec_hash: u64,
+    /// The sweep's base seed.
+    pub base_seed: u64,
+    /// Total points in the expanded grid.
+    pub count: usize,
+    /// The sweep's name (for error messages only).
+    pub name: String,
+}
+
+const MAGIC: &str = "noc-sweep-ckpt v1";
+
+/// Escapes the journal's separator characters in free-form strings.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+fn trail_field(trail: &[DigestSample]) -> String {
+    if trail.is_empty() {
+        return "-".to_string();
+    }
+    let pairs: Vec<String> = trail
+        .iter()
+        .map(|&(cycle, digest)| format!("{cycle}:{digest:016x}"))
+        .collect();
+    pairs.join(";")
+}
+
+fn parse_trail(field: &str) -> Option<Vec<DigestSample>> {
+    if field == "-" {
+        return Some(Vec::new());
+    }
+    let mut trail = Vec::new();
+    for pair in field.split(';') {
+        let (cycle, digest) = pair.split_once(':')?;
+        trail.push((
+            cycle.parse::<u64>().ok()?,
+            u64::from_str_radix(digest, 16).ok()?,
+        ));
+    }
+    Some(trail)
+}
+
+/// Serialises one completed point as a journal line (no newline).
+/// Floats go out as `to_bits` hex so the resumed CSV is byte-identical.
+fn point_line(outcome: &PointOutcome) -> String {
+    let r = &outcome.record;
+    format!(
+        "point\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{:016x}\t{:016x}\t{}\t{}",
+        r.index,
+        escape(&r.org),
+        escape(&r.pattern),
+        r.rate.to_bits(),
+        r.radix,
+        r.vc_depth,
+        r.hpc,
+        escape(&r.fault),
+        r.sample,
+        r.seed,
+        escape(&r.status),
+        r.attempts,
+        r.injected,
+        r.delivered,
+        r.undrained,
+        r.avg_latency.to_bits(),
+        r.p50,
+        r.p95,
+        r.p99,
+        r.max_latency,
+        r.avg_hops.to_bits(),
+        r.throughput.to_bits(),
+        escape(&r.digest),
+        trail_field(&outcome.trail),
+    )
+}
+
+fn parse_point_line(line: &str) -> Option<PointOutcome> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() != 25 || fields[0] != "point" {
+        return None;
+    }
+    let f64_at = |i: usize| -> Option<f64> {
+        Some(f64::from_bits(u64::from_str_radix(fields[i], 16).ok()?))
+    };
+    let record = PointRecord {
+        index: fields[1].parse().ok()?,
+        org: unescape(fields[2]),
+        pattern: unescape(fields[3]),
+        rate: f64_at(4)?,
+        radix: fields[5].parse().ok()?,
+        vc_depth: fields[6].parse().ok()?,
+        hpc: fields[7].parse().ok()?,
+        fault: unescape(fields[8]),
+        sample: fields[9].parse().ok()?,
+        seed: fields[10].parse().ok()?,
+        status: unescape(fields[11]),
+        attempts: fields[12].parse().ok()?,
+        injected: fields[13].parse().ok()?,
+        delivered: fields[14].parse().ok()?,
+        undrained: fields[15].parse().ok()?,
+        avg_latency: f64_at(16)?,
+        p50: fields[17].parse().ok()?,
+        p95: fields[18].parse().ok()?,
+        p99: fields[19].parse().ok()?,
+        max_latency: fields[20].parse().ok()?,
+        avg_hops: f64_at(21)?,
+        throughput: f64_at(22)?,
+        digest: unescape(fields[23]),
+    };
+    let trail = parse_trail(fields[24])?;
+    Some(PointOutcome { record, trail })
+}
+
+/// An open, append-mode journal. Every append hits the disk before it
+/// returns — a point the caller believes is journaled *is* journaled.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal at `path` and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating, writing, or syncing the file.
+    pub fn create(path: &str, header: &JournalHeader) -> Result<JournalWriter, JournalError> {
+        let mut file = match File::create(path) {
+            Ok(f) => f,
+            Err(e) => return err(format!("cannot create {path}: {e}")),
+        };
+        let line = format!(
+            "{MAGIC}\tspec_hash={:016x}\tbase_seed={}\tcount={}\tname={}\n",
+            header.spec_hash,
+            header.base_seed,
+            header.count,
+            escape(&header.name),
+        );
+        if let Err(e) = file
+            .write_all(line.as_bytes())
+            .and_then(|()| file.sync_data())
+        {
+            return err(format!("cannot write header to {path}: {e}"));
+        }
+        Ok(JournalWriter { file })
+    }
+
+    /// Reopens an existing journal for appending (the resume path).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure opening the file.
+    pub fn append_to(path: &str) -> Result<JournalWriter, JournalError> {
+        match OpenOptions::new().append(true).open(path) {
+            Ok(file) => Ok(JournalWriter { file }),
+            Err(e) => err(format!("cannot reopen {path} for append: {e}")),
+        }
+    }
+
+    /// Appends one completed point and syncs it to disk.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure writing or syncing.
+    pub fn append(&mut self, outcome: &PointOutcome) -> Result<(), JournalError> {
+        let mut line = point_line(outcome);
+        line.push('\n');
+        match self
+            .file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.sync_data())
+        {
+            Ok(()) => Ok(()),
+            Err(e) => err(format!("cannot append point: {e}")),
+        }
+    }
+}
+
+/// Replays a journal: the header plus every fully-written point, keyed
+/// by grid index. A torn final line is dropped silently (that is the
+/// expected crash artifact); a torn line *followed by more lines* means
+/// the file is corrupt, not truncated, and is an error.
+///
+/// # Errors
+///
+/// Unreadable file, bad magic, malformed header, or mid-file corruption.
+pub fn load_journal(
+    path: &str,
+) -> Result<(JournalHeader, BTreeMap<usize, PointOutcome>), JournalError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return err(format!("cannot read {path}: {e}")),
+    };
+    let mut lines = text.split('\n');
+    let header_line = lines.next().unwrap_or("");
+    let header = parse_header(header_line).ok_or_else(|| JournalError {
+        message: format!("{path}: bad header line {header_line:?}"),
+    })?;
+    let mut done = BTreeMap::new();
+    let mut pending_torn: Option<usize> = None;
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(at) = pending_torn {
+            return err(format!(
+                "{path}: corrupt line {} followed by more data (not a torn tail)",
+                at + 2
+            ));
+        }
+        match parse_point_line(line) {
+            Some(outcome) => {
+                done.insert(outcome.record.index, outcome);
+            }
+            None => pending_torn = Some(i),
+        }
+    }
+    Ok((header, done))
+}
+
+fn parse_header(line: &str) -> Option<JournalHeader> {
+    let rest = line.strip_prefix(MAGIC)?;
+    let mut spec_hash = None;
+    let mut base_seed = None;
+    let mut count = None;
+    let mut name = None;
+    for field in rest.split('\t').filter(|f| !f.is_empty()) {
+        let (key, value) = field.split_once('=')?;
+        match key {
+            "spec_hash" => spec_hash = u64::from_str_radix(value, 16).ok(),
+            "base_seed" => base_seed = value.parse::<u64>().ok(),
+            "count" => count = value.parse::<usize>().ok(),
+            "name" => name = Some(unescape(value)),
+            _ => {}
+        }
+    }
+    Some(JournalHeader {
+        spec_hash: spec_hash?,
+        base_seed: base_seed?,
+        count: count?,
+        name: name?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::org::Organization;
+    use crate::spec::SweepSpec;
+
+    fn sample_outcome(index: usize) -> PointOutcome {
+        let p = SweepSpec::new("j")
+            .orgs(&[Organization::Mesh])
+            .points()
+            .remove(0);
+        let mut record = p.failed_record("tab\there, comma, done");
+        record.index = index;
+        record.rate = 0.1 + 0.2; // a float that does not round-trip via decimal
+        record.avg_latency = 1.0 / 3.0;
+        PointOutcome {
+            record,
+            trail: vec![(100, 0xdead_beef), (200, 0xcafe)],
+        }
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("noc-journal-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir tempdir");
+        dir.join("sweep.ckpt").to_string_lossy().into_owned()
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            spec_hash: 0x1234_5678_9abc_def0,
+            base_seed: 42,
+            count: 3,
+            name: "smoke test".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_records_exactly() {
+        let path = tmp("roundtrip");
+        let mut w = JournalWriter::create(&path, &header()).expect("create");
+        let a = sample_outcome(0);
+        let b = sample_outcome(2);
+        w.append(&a).expect("append a");
+        w.append(&b).expect("append b");
+        drop(w);
+        let (h, done) = load_journal(&path).expect("load");
+        assert_eq!(h, header());
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[&0], a, "bit-exact round-trip, floats included");
+        assert_eq!(done[&2], b);
+    }
+
+    #[test]
+    fn a_torn_final_line_is_dropped() {
+        let path = tmp("torn");
+        let mut w = JournalWriter::create(&path, &header()).expect("create");
+        w.append(&sample_outcome(0)).expect("append");
+        w.append(&sample_outcome(1)).expect("append");
+        drop(w);
+        // Simulate a crash mid-append: cut the file mid-way through the
+        // last line.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let cut = text.len() - 17;
+        std::fs::write(&path, &text[..cut]).expect("truncate");
+        let (_, done) = load_journal(&path).expect("torn tail tolerated");
+        assert_eq!(done.len(), 1, "only the fully-synced point survives");
+        assert!(done.contains_key(&0));
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error_not_a_skip() {
+        let path = tmp("corrupt");
+        let mut w = JournalWriter::create(&path, &header()).expect("create");
+        w.append(&sample_outcome(0)).expect("append");
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("point\tgarbage\n");
+        let good = point_line(&sample_outcome(1));
+        text.push_str(&good);
+        text.push('\n');
+        std::fs::write(&path, text).expect("rewrite");
+        let e = load_journal(&path).expect_err("corruption must not be silent");
+        assert!(e.message.contains("corrupt line"), "{e}");
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let path = tmp("badheader");
+        std::fs::write(&path, "not a journal\n").expect("write");
+        assert!(load_journal(&path).is_err());
+    }
+
+    #[test]
+    fn append_to_continues_an_existing_journal() {
+        let path = tmp("reopen");
+        let mut w = JournalWriter::create(&path, &header()).expect("create");
+        w.append(&sample_outcome(0)).expect("append");
+        drop(w);
+        let mut w = JournalWriter::append_to(&path).expect("reopen");
+        w.append(&sample_outcome(1)).expect("append after reopen");
+        drop(w);
+        let (_, done) = load_journal(&path).expect("load");
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn escape_round_trips_awkward_strings() {
+        for s in ["plain", "tab\tnl\nbs\\cr\r", "", "\\t"] {
+            assert_eq!(unescape(&escape(s)), s, "escaping {s:?}");
+            assert!(!escape(s).contains('\t'), "no raw tabs may leak");
+            assert!(!escape(s).contains('\n'), "no raw newlines may leak");
+        }
+    }
+}

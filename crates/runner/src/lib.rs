@@ -13,15 +13,23 @@
 //!   methodology: warm-up, [`noc::network::Network::reset_stats`] at the
 //!   boundary, a measured interval, then a bounded drain.
 //! * [`report`] — byte-stable CSV/JSON artifacts.
+//! * [`journal`] — an append-only, fsync'd checkpoint journal written as
+//!   points complete, so an interrupted sweep resumes (`sweep --resume`)
+//!   and still emits byte-identical artifacts.
 //!
-//! The load-bearing invariant, enforced by `tests/determinism.rs`: a
-//! sweep's result rows are **byte-identical at any thread count**. Seeds
-//! derive from grid position ([`seed::derive_seed`]), simulations never
-//! share state, and artifacts contain no wall-clock values.
+//! The load-bearing invariant, enforced by `tests/determinism.rs` and
+//! `tests/resume.rs`: a sweep's result rows are **byte-identical at any
+//! thread count, and across kill/resume**. Seeds derive from grid
+//! position and retry attempt ([`seed::derive_seed`]), simulations never
+//! share state, and artifacts contain no wall-clock values. Per-point
+//! cycle/wall budgets ([`point::WallGuard`]) turn wedged points into
+//! `timeout(...)` rows instead of hung sweeps, and sampled state digests
+//! ([`point::verify_digest_trail`]) catch divergent re-runs.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod journal;
 pub mod org;
 pub mod point;
 pub mod pool;
@@ -29,12 +37,16 @@ pub mod report;
 pub mod seed;
 pub mod spec;
 
+pub use journal::{load_journal, JournalError, JournalHeader, JournalWriter};
 pub use org::{build_network, BoxedNet, Organization};
-pub use point::{run_point, run_points, PointRecord, PointSpec};
-pub use pool::{run_tasks, Outcome};
-pub use report::{csv_row, to_csv, to_json, CSV_HEADER};
+pub use point::{
+    first_divergence, run_point, run_point_full, run_points, run_points_full, verify_digest_trail,
+    PointOutcome, PointRecord, PointSpec, WallGuard,
+};
+pub use pool::{run_tasks, run_tasks_with, Outcome};
+pub use report::{csv_row, diff_csv, to_csv, to_json, CsvDivergence, CSV_HEADER};
 pub use seed::derive_seed;
-pub use spec::{pattern_from_key, pattern_key, FaultSpec, SpecError, SweepSpec};
+pub use spec::{pattern_from_key, pattern_key, FaultEventSpec, FaultSpec, SpecError, SweepSpec};
 
 /// The worker count to use when the caller does not specify one: the
 /// `NOC_THREADS` environment variable if set and positive, else the

@@ -123,6 +123,12 @@ impl Network for BoxedNet {
     fn audit(&self) -> Option<noc::watchdog::AuditReport> {
         self.0.audit()
     }
+    fn install_cancel(&mut self, token: noc::cancel::CancelToken) {
+        self.0.install_cancel(token)
+    }
+    fn state_digest(&self) -> Option<u64> {
+        self.0.state_digest()
+    }
     #[cfg(feature = "obs")]
     fn install_obs(&mut self, sink: niobs::SharedSink) {
         self.0.install_obs(sink)

@@ -1,13 +1,32 @@
 //! Running one sweep point and recording its results.
+//!
+//! A point runs as one or more *attempts*. Each attempt gets its own
+//! network, its own deterministic seed ([`crate::seed::derive_seed`]
+//! with the attempt number folded in), and its own budgets: a
+//! simulated-cycle ceiling and a wall-clock ceiling, both enforced
+//! through a cooperative [`noc::cancel::CancelToken`]. An attempt that
+//! exceeds a budget is recorded as `timeout(...)` and retried with
+//! exponential backoff up to the spec's retry limit; a panicking
+//! attempt flows through the same retry policy. While an attempt runs,
+//! the architectural state digest is sampled every `digest_interval`
+//! cycles into a trail, so a resumed or re-run point can be checked for
+//! divergence cycle-by-cycle.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Duration;
 
 use niobs::SparseHistogram;
+use noc::cancel::CancelToken;
 use noc::config::{NocConfig, NocConfigBuilder};
+use noc::digest::StateHasher;
 use noc::faults::FaultPlan;
 use noc::network::Network as _;
 use noc::traffic::{Pattern, TrafficGen};
 
 use crate::org::{build_network, Organization};
-use crate::pool::{run_tasks, Outcome};
+use crate::pool::{panic_message, run_tasks, run_tasks_with, Outcome};
+use crate::seed::derive_seed;
 use crate::spec::{pattern_key, FaultSpec};
 
 /// Cycle budget for draining in-flight packets after the measured window.
@@ -37,12 +56,24 @@ pub struct PointSpec {
     pub sample: u32,
     /// Derived RNG seed (a pure function of grid index and base seed).
     pub seed: u64,
+    /// The sweep's base seed (retries re-derive their seed from it).
+    pub base_seed: u64,
     /// Warm-up cycles excluded from measured statistics.
     pub warmup: u64,
     /// Measured-window cycles.
     pub measure: u64,
     /// Fraction of injected packets that are multi-flit responses.
     pub response_fraction: f64,
+    /// Simulated-cycle ceiling per attempt (0 = unlimited).
+    pub cycle_budget: u64,
+    /// Wall-clock ceiling per attempt in milliseconds (0 = unlimited).
+    pub wall_budget_ms: u64,
+    /// Retries after a failed or timed-out attempt (0 = no retries).
+    pub max_retries: u32,
+    /// Base backoff before retry `k`, doubled per retry (0 = no sleep).
+    pub backoff_ms: u64,
+    /// Cycles between state-digest samples (0 = digests off).
+    pub digest_interval: u64,
 }
 
 impl PointSpec {
@@ -59,10 +90,15 @@ impl PointSpec {
             .vc_depth(self.vc_depth)
             .max_hops_per_cycle(self.hpc)
             .max_packet_len(paper_len.min(self.vc_depth));
-        if self.fault.transient_ppb > 0 {
-            b = b.faults(
-                FaultPlan::new(self.fault.seed).transient_rate_ppb(self.fault.transient_ppb),
-            );
+        if self.fault.is_active() {
+            let mut plan = FaultPlan::new(self.fault.seed);
+            if self.fault.transient_ppb > 0 {
+                plan = plan.transient_rate_ppb(self.fault.transient_ppb);
+            }
+            for ev in &self.fault.events {
+                plan = plan.with_event(ev.to_event());
+            }
+            b = b.faults(plan);
         }
         b.build().map_err(|e| e.to_string())
     }
@@ -99,8 +135,10 @@ pub struct PointRecord {
     pub sample: u32,
     /// Derived seed the point ran with.
     pub seed: u64,
-    /// `"ok"`, or `"failed(<message>)"` for crashed/misconfigured points.
+    /// `"ok"`, `"timeout(<budget>)"`, or `"failed(<message>)"`.
     pub status: String,
+    /// Attempts consumed (1 = no retries were needed).
+    pub attempts: u32,
     /// Packets injected inside the measured window.
     pub injected: u64,
     /// Packets delivered inside the measured window (and its drain).
@@ -121,6 +159,8 @@ pub struct PointRecord {
     pub avg_hops: f64,
     /// Delivered packets per node per measured cycle.
     pub throughput: f64,
+    /// Chained hash of the digest trail (`"-"` when digests are off).
+    pub digest: String,
 }
 
 impl PointRecord {
@@ -137,6 +177,7 @@ impl PointRecord {
             sample: p.sample,
             seed: p.seed,
             status: "ok".to_string(),
+            attempts: 1,
             injected: 0,
             delivered: 0,
             undrained: 0,
@@ -147,6 +188,7 @@ impl PointRecord {
             max_latency: 0,
             avg_hops: 0.0,
             throughput: 0.0,
+            digest: "-".to_string(),
         }
     }
 }
@@ -155,68 +197,304 @@ fn sanitize(message: &str) -> String {
     message
         .chars()
         .map(|c| match c {
-            ',' | '\n' | '\r' => ';',
+            ',' | '\n' | '\r' | '\t' => ';',
             other => other,
         })
         .collect()
 }
 
-/// Runs one sweep point to completion: warm-up, a measured window opened
-/// by [`Network::reset_stats`], then a bounded drain. Deliveries are
-/// counted from the window boundary onward (including the drain, so
-/// slow packets injected inside the window are not silently censored).
-pub fn run_point(p: &PointSpec) -> PointRecord {
+/// One `(cycle, digest)` sample of the network's architectural state.
+pub type DigestSample = (u64, u64);
+
+/// A point's record plus the digest trail its winning attempt produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome {
+    /// The CSV row.
+    pub record: PointRecord,
+    /// State-digest samples, in cycle order (empty when digests are off
+    /// or the organisation does not implement digests).
+    pub trail: Vec<DigestSample>,
+}
+
+/// Compares two digest trails and returns the first divergence as
+/// `(cycle, expected, got)`, or `None` when the common prefix agrees.
+/// Trails of different lengths diverge only if a shared cycle differs —
+/// a longer run simply has more samples.
+pub fn first_divergence(
+    expected: &[DigestSample],
+    got: &[DigestSample],
+) -> Option<(u64, u64, u64)> {
+    for (&(ec, ed), &(gc, gd)) in expected.iter().zip(got.iter()) {
+        if ec != gc {
+            // Sampling grids differ (e.g. different digest_interval);
+            // the earlier cycle is where comparability ends.
+            return Some((ec.min(gc), ed, gd));
+        }
+        if ed != gd {
+            return Some((ec, ed, gd));
+        }
+    }
+    None
+}
+
+/// Folds a digest trail into the single `digest` CSV column.
+fn digest_summary(trail: &[DigestSample]) -> String {
+    if trail.is_empty() {
+        return "-".to_string();
+    }
+    let mut h = StateHasher::new();
+    for &(cycle, digest) in trail {
+        h.write_u64(cycle);
+        h.write_u64(digest);
+    }
+    format!("{:016x}", h.finish())
+}
+
+/// Cancels the token when the wall-clock budget expires; disarmed (and
+/// its thread joined) on drop. A zero budget arms nothing.
+#[derive(Debug)]
+pub struct WallGuard {
+    stop: Option<mpsc::Sender<()>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WallGuard {
+    /// Arms a watchdog that cancels `token` after `budget_ms`
+    /// milliseconds of wall-clock time (0 arms nothing). Drop the guard
+    /// to disarm it.
+    pub fn arm(budget_ms: u64, token: CancelToken) -> WallGuard {
+        if budget_ms == 0 {
+            return WallGuard {
+                stop: None,
+                handle: None,
+            };
+        }
+        let (tx, rx) = mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            if rx.recv_timeout(Duration::from_millis(budget_ms)).is_err() {
+                token.cancel();
+            }
+        });
+        WallGuard {
+            stop: Some(tx),
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for WallGuard {
+    fn drop(&mut self) {
+        if let Some(tx) = self.stop.take() {
+            let _ = tx.send(());
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runs one attempt of a point: warm-up, a measured window opened by
+/// `reset_stats`, then a bounded drain, all under the cycle and
+/// wall-clock budgets. Deliveries are counted from the window boundary
+/// onward (including the drain, so slow packets injected inside the
+/// window are not silently censored).
+fn run_attempt(p: &PointSpec, attempt: u32) -> PointOutcome {
     let cfg = match p.config() {
         Ok(cfg) => cfg,
-        Err(message) => return p.failed_record(&message),
+        Err(message) => {
+            return PointOutcome {
+                record: p.failed_record(&message),
+                trail: Vec::new(),
+            }
+        }
+    };
+    let seed = if attempt == 0 {
+        p.seed
+    } else {
+        derive_seed(p.base_seed, p.index as u64, attempt)
     };
     let mut net = build_network(p.org, cfg.clone());
+    let token = CancelToken::new();
+    net.install_cancel(token.clone());
+    let _wall = WallGuard::arm(p.wall_budget_ms, token.clone());
     let mut gen =
-        TrafficGen::new(cfg, p.pattern, p.rate, p.seed).response_fraction(p.response_fraction);
+        TrafficGen::new(cfg, p.pattern, p.rate, seed).response_fraction(p.response_fraction);
 
-    for _ in 0..p.warmup {
-        gen.tick(&mut net);
-        net.step();
-        net.drain_delivered();
-    }
+    let mut trail: Vec<DigestSample> = Vec::new();
+    // Checked once per simulated cycle: samples the digest on the
+    // sampling grid, then reports the budget (if any) that expired.
+    let check = |net: &crate::org::BoxedNet, trail: &mut Vec<DigestSample>| -> Option<String> {
+        let now = net.now();
+        if p.digest_interval > 0 && now.is_multiple_of(p.digest_interval) {
+            if let Some(d) = net.state_digest() {
+                trail.push((now, d));
+            }
+        }
+        if p.cycle_budget > 0 && now >= p.cycle_budget {
+            return Some(format!("timeout(cycles>{})", p.cycle_budget));
+        }
+        if token.is_cancelled() {
+            return Some(format!("timeout(wall>{}ms)", p.wall_budget_ms));
+        }
+        None
+    };
 
-    // The measured window starts here: everything before is warm-up.
-    net.reset_stats();
+    let mut timeout: Option<String> = None;
+    let mut measured = false;
     let mut latencies = SparseHistogram::new();
     let record_batch = |hist: &mut SparseHistogram, net: &mut dyn noc::network::Network| {
         for d in net.drain_delivered() {
             hist.record(d.delivered.saturating_sub(d.packet.created));
         }
     };
-    for _ in 0..p.measure {
-        gen.tick(&mut net);
-        net.step();
-        record_batch(&mut latencies, &mut net);
+    'run: {
+        for _ in 0..p.warmup {
+            gen.tick(&mut net);
+            net.step();
+            net.drain_delivered();
+            if let Some(t) = check(&net, &mut trail) {
+                timeout = Some(t);
+                break 'run;
+            }
+        }
+
+        // The measured window starts here: everything before is warm-up.
+        net.reset_stats();
+        measured = true;
+        for _ in 0..p.measure {
+            gen.tick(&mut net);
+            net.step();
+            record_batch(&mut latencies, &mut net);
+            if let Some(t) = check(&net, &mut trail) {
+                timeout = Some(t);
+                break 'run;
+            }
+        }
+        gen.stop();
+        let deadline = net.now() + DRAIN_BUDGET;
+        while net.in_flight() > 0 && net.now() < deadline {
+            net.step();
+            record_batch(&mut latencies, &mut net);
+            if let Some(t) = check(&net, &mut trail) {
+                timeout = Some(t);
+                break 'run;
+            }
+        }
     }
-    gen.stop();
-    let deadline = net.now() + DRAIN_BUDGET;
-    while net.in_flight() > 0 && net.now() < deadline {
-        net.step();
-        record_batch(&mut latencies, &mut net);
+    // A timed-out attempt must not run on: make sure any in-network
+    // machinery sees the cancel even when the cycle budget (not the
+    // wall guard) tripped it.
+    if timeout.is_some() {
+        token.cancel();
     }
 
-    let stats = net.stats();
-    let nodes = net.config().nodes() as u64;
     let mut rec = PointRecord::zeroed(p);
-    rec.injected = stats.injected();
-    rec.delivered = stats.delivered();
-    rec.undrained = net.in_flight() as u64;
-    rec.avg_latency = latencies.mean().unwrap_or(0.0);
-    rec.p50 = latencies.percentile(0.50).unwrap_or(0);
-    rec.p95 = latencies.percentile(0.95).unwrap_or(0);
-    rec.p99 = latencies.percentile(0.99).unwrap_or(0);
-    rec.max_latency = latencies.max().unwrap_or(0);
-    rec.avg_hops = stats.avg_hops();
-    #[allow(clippy::cast_precision_loss)]
-    if p.measure > 0 && nodes > 0 {
-        rec.throughput = rec.delivered as f64 / (p.measure * nodes) as f64;
+    rec.seed = seed;
+    if measured {
+        let stats = net.stats();
+        let nodes = net.config().nodes() as u64;
+        rec.injected = stats.injected();
+        rec.delivered = stats.delivered();
+        rec.undrained = net.in_flight() as u64;
+        rec.avg_latency = latencies.mean().unwrap_or(0.0);
+        rec.p50 = latencies.percentile(0.50).unwrap_or(0);
+        rec.p95 = latencies.percentile(0.95).unwrap_or(0);
+        rec.p99 = latencies.percentile(0.99).unwrap_or(0);
+        rec.max_latency = latencies.max().unwrap_or(0);
+        rec.avg_hops = stats.avg_hops();
+        #[allow(clippy::cast_precision_loss)]
+        if p.measure > 0 && nodes > 0 {
+            rec.throughput = rec.delivered as f64 / (p.measure * nodes) as f64;
+        }
     }
-    rec
+    if let Some(t) = timeout {
+        rec.status = t;
+    }
+    rec.digest = digest_summary(&trail);
+    PointOutcome { record: rec, trail }
+}
+
+/// Deterministic backoff before retry `attempt` (1-based): the base
+/// doubled per retry, plus seed-derived jitter so a fleet of retrying
+/// workers does not thunder in lockstep.
+fn backoff_delay_ms(p: &PointSpec, attempt: u32) -> u64 {
+    let exp = u32::min(attempt.saturating_sub(1), 16);
+    let base = p.backoff_ms.saturating_mul(1u64 << exp);
+    let jitter = derive_seed(p.base_seed, p.index as u64, attempt) % (p.backoff_ms / 2 + 1);
+    base.saturating_add(jitter)
+}
+
+/// Runs a point through the full retry policy and returns its record
+/// plus the digest trail of the attempt that produced it.
+///
+/// Attempt `k` is panic-isolated and seeded with
+/// `derive_seed(base_seed, index, k)`; a non-`ok` outcome (timeout,
+/// panic, failure) is retried after [`backoff_delay_ms`] until the
+/// retry budget is spent, and the last outcome is returned. A point
+/// that leaves packets undrained gets a stderr warning — the count is
+/// also in the `undrained` column, but silence here has historically
+/// hidden censored tails.
+pub fn run_point_full(p: &PointSpec) -> PointOutcome {
+    let total_attempts = p.max_retries.saturating_add(1);
+    let mut last: Option<PointOutcome> = None;
+    for attempt in 0..total_attempts {
+        if attempt > 0 && p.backoff_ms > 0 {
+            std::thread::sleep(Duration::from_millis(backoff_delay_ms(p, attempt)));
+        }
+        let mut outcome = match catch_unwind(AssertUnwindSafe(|| run_attempt(p, attempt))) {
+            Ok(outcome) => outcome,
+            Err(payload) => PointOutcome {
+                record: p.failed_record(&panic_message(payload.as_ref())),
+                trail: Vec::new(),
+            },
+        };
+        outcome.record.attempts = attempt + 1;
+        let ok = outcome.record.status == "ok";
+        last = Some(outcome);
+        if ok {
+            break;
+        }
+    }
+    let outcome = last.expect("at least one attempt always runs");
+    if outcome.record.undrained > 0 {
+        eprintln!(
+            "warning: point {} ({}) left {} packets undrained after the {}-cycle drain budget; \
+             its latency tail is censored",
+            p.index, outcome.record.org, outcome.record.undrained, DRAIN_BUDGET
+        );
+    }
+    outcome
+}
+
+/// Runs one sweep point to completion and returns its CSV row. This is
+/// [`run_point_full`] minus the digest trail.
+pub fn run_point(p: &PointSpec) -> PointRecord {
+    run_point_full(p).record
+}
+
+/// Re-runs `p` and checks the fresh digest trail against a previously
+/// recorded outcome (a checkpoint journal entry, a golden run, or the
+/// same point on another thread count). A diverging cycle is reported
+/// as [`noc::watchdog::InvariantViolation::DigestMismatch`] naming the
+/// offending cycle — the architectural state stopped matching there,
+/// even if the summary statistics happen to agree.
+///
+/// # Errors
+///
+/// The first divergent sample, as a `DigestMismatch` violation.
+pub fn verify_digest_trail(
+    p: &PointSpec,
+    expected: &PointOutcome,
+) -> Result<(), noc::watchdog::InvariantViolation> {
+    let fresh = run_point_full(p);
+    if let Some((cycle, exp, got)) = first_divergence(&expected.trail, &fresh.trail) {
+        return Err(noc::watchdog::InvariantViolation::DigestMismatch {
+            cycle,
+            expected: exp,
+            got,
+        });
+    }
+    Ok(())
 }
 
 /// Runs every point across `threads` workers and returns the records in
@@ -243,6 +521,38 @@ pub fn run_points(
         .collect()
 }
 
+/// Like [`run_points`] but streams each completed [`PointOutcome`] to
+/// `on_complete(index, outcome, done, total)` on the calling thread, in
+/// completion order — the hook the checkpoint journal hangs off, so a
+/// point is durable the moment it finishes, not when the sweep ends.
+pub fn run_points_full(
+    points: &[PointSpec],
+    threads: usize,
+    mut on_complete: impl FnMut(usize, &PointOutcome, usize, usize),
+) -> Vec<PointOutcome> {
+    let to_outcome = |i: usize, outcome: &Outcome<PointOutcome>| match outcome {
+        Outcome::Done(o) => o.clone(),
+        Outcome::Panicked(message) => PointOutcome {
+            record: points[i].failed_record(message),
+            trail: Vec::new(),
+        },
+    };
+    let outcomes = run_tasks_with(
+        points.len(),
+        threads,
+        |i| run_point_full(&points[i]),
+        |i, outcome, done, total| {
+            let resolved = to_outcome(i, outcome);
+            on_complete(i, &resolved, done, total);
+        },
+    );
+    outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(i, outcome)| to_outcome(i, &outcome))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +568,7 @@ mod tests {
         let p = tiny_point(Organization::Mesh);
         let rec = run_point(&p);
         assert_eq!(rec.status, "ok");
+        assert_eq!(rec.attempts, 1);
         assert!(rec.delivered > 0, "tiny mesh point must deliver");
         assert!(rec.avg_latency > 0.0);
         assert!(rec.p50 <= rec.p95 && rec.p95 <= rec.p99);
@@ -284,9 +595,66 @@ mod tests {
             label: "t500".to_string(),
             transient_ppb: 500,
             seed: 0xFA17,
+            events: Vec::new(),
         };
         let rec = run_point(&p);
         assert_eq!(rec.status, "ok");
         assert!(rec.delivered > 0);
+    }
+
+    #[test]
+    fn cycle_budget_trips_a_timeout_status() {
+        let mut p = tiny_point(Organization::Mesh);
+        p.cycle_budget = 100; // well inside the 200-cycle warm-up
+        let rec = run_point(&p);
+        assert_eq!(rec.status, "timeout(cycles>100)");
+        assert_eq!(rec.attempts, 1);
+        assert_eq!(rec.injected, 0, "warm-up timeout must not report stats");
+    }
+
+    #[test]
+    fn timeouts_consume_the_retry_budget() {
+        let mut p = tiny_point(Organization::Mesh);
+        p.cycle_budget = 100;
+        p.max_retries = 2;
+        p.backoff_ms = 0;
+        let rec = run_point(&p);
+        assert_eq!(rec.status, "timeout(cycles>100)");
+        assert_eq!(rec.attempts, 3, "all attempts must be consumed");
+    }
+
+    #[test]
+    fn digest_trail_is_sampled_and_deterministic() {
+        let mut p = tiny_point(Organization::Mesh);
+        p.digest_interval = 100;
+        let a = run_point_full(&p);
+        let b = run_point_full(&p);
+        assert!(!a.trail.is_empty(), "mesh must produce digests");
+        assert_eq!(a.trail, b.trail, "same point must re-digest identically");
+        assert_eq!(first_divergence(&a.trail, &b.trail), None);
+        assert_ne!(a.record.digest, "-");
+        // Samples land on the interval grid.
+        assert!(a.trail.iter().all(|&(c, _)| c % 100 == 0));
+    }
+
+    #[test]
+    fn divergence_reports_the_offending_cycle() {
+        let expected = vec![(100, 1), (200, 2), (300, 3)];
+        let mut got = expected.clone();
+        got[1].1 = 99;
+        assert_eq!(first_divergence(&expected, &got), Some((200, 2, 99)));
+        // Prefix agreement with extra samples is not a divergence.
+        assert_eq!(first_divergence(&expected, &expected[..2]), None);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let mut p = tiny_point(Organization::Mesh);
+        p.backoff_ms = 8;
+        let d1 = backoff_delay_ms(&p, 1);
+        let d2 = backoff_delay_ms(&p, 2);
+        assert_eq!(d1, backoff_delay_ms(&p, 1));
+        assert!(d2 >= d1, "backoff must not shrink: {d1} then {d2}");
+        assert!((8..8 + 5).contains(&d1), "base 8 plus jitter < 5, got {d1}");
     }
 }

@@ -54,6 +54,27 @@ where
     F: Fn(usize) -> T + Sync,
     P: FnMut(usize, usize),
 {
+    run_tasks_with(count, threads, task, |_, _, done, total| {
+        on_progress(done, total);
+    })
+}
+
+/// Like [`run_tasks`], but the completion hook also receives the task
+/// index and a reference to its outcome — `on_complete(i, outcome,
+/// done, total)` runs on the calling thread, in completion order. This
+/// is what lets a caller journal each result durably the moment it
+/// lands, without waiting for the whole batch.
+pub fn run_tasks_with<T, F, C>(
+    count: usize,
+    threads: usize,
+    task: F,
+    mut on_complete: C,
+) -> Vec<Outcome<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, &Outcome<T>, usize, usize),
+{
     if count == 0 {
         return Vec::new();
     }
@@ -62,7 +83,7 @@ where
         let mut out = Vec::with_capacity(count);
         for i in 0..count {
             out.push(run_one(&task, i));
-            on_progress(i + 1, count);
+            on_complete(i, &out[i], i + 1, count);
         }
         return out;
     }
@@ -89,9 +110,9 @@ where
         drop(tx);
         let mut done = 0usize;
         while let Ok((i, outcome)) = rx.recv() {
-            results[i] = Some(outcome);
             done += 1;
-            on_progress(done, count);
+            on_complete(i, &outcome, done, count);
+            results[i] = Some(outcome);
         }
     });
     results
@@ -107,7 +128,7 @@ fn run_one<T, F: Fn(usize) -> T>(task: &F, i: usize) -> Outcome<T> {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

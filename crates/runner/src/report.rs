@@ -13,7 +13,8 @@ use crate::point::PointRecord;
 
 /// The CSV header row (no trailing newline).
 pub const CSV_HEADER: &str = "index,org,pattern,rate,radix,vc_depth,hpc,fault,sample,seed,status,\
-     injected,delivered,undrained,avg_latency,p50,p95,p99,max_latency,avg_hops,throughput";
+     attempts,injected,delivered,undrained,avg_latency,p50,p95,p99,max_latency,avg_hops,\
+     throughput,digest";
 
 /// Fixed-precision float formatting shared by the CSV and JSON writers.
 fn fmt_f64(v: f64) -> String {
@@ -23,7 +24,7 @@ fn fmt_f64(v: f64) -> String {
 /// Formats one record as a CSV row (no trailing newline).
 pub fn csv_row(r: &PointRecord) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         r.index,
         r.org,
         r.pattern,
@@ -35,6 +36,7 @@ pub fn csv_row(r: &PointRecord) -> String {
         r.sample,
         r.seed,
         r.status,
+        r.attempts,
         r.injected,
         r.delivered,
         r.undrained,
@@ -45,6 +47,7 @@ pub fn csv_row(r: &PointRecord) -> String {
         r.max_latency,
         fmt_f64(r.avg_hops),
         fmt_f64(r.throughput),
+        r.digest,
     )
 }
 
@@ -79,6 +82,7 @@ pub fn to_json(sweep: &str, records: &[PointRecord]) -> Json {
                 ("sample".to_string(), Json::UInt(u64::from(r.sample))),
                 ("seed".to_string(), Json::UInt(r.seed)),
                 ("status".to_string(), Json::from(r.status.as_str())),
+                ("attempts".to_string(), Json::UInt(u64::from(r.attempts))),
                 ("injected".to_string(), Json::UInt(r.injected)),
                 ("delivered".to_string(), Json::UInt(r.delivered)),
                 ("undrained".to_string(), Json::UInt(r.undrained)),
@@ -89,6 +93,7 @@ pub fn to_json(sweep: &str, records: &[PointRecord]) -> Json {
                 ("max_latency".to_string(), Json::UInt(r.max_latency)),
                 ("avg_hops".to_string(), Json::Float(r.avg_hops)),
                 ("throughput".to_string(), Json::Float(r.throughput)),
+                ("digest".to_string(), Json::from(r.digest.as_str())),
             ])
         })
         .collect();
@@ -96,6 +101,90 @@ pub fn to_json(sweep: &str, records: &[PointRecord]) -> Json {
         ("sweep".to_string(), Json::from(sweep)),
         ("points".to_string(), Json::Array(points)),
     ])
+}
+
+/// The first point of divergence between two CSV documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvDivergence {
+    /// 1-based line number (line 1 is the header).
+    pub line: usize,
+    /// Column name from the header, or `"<line>"` when one document
+    /// ends early or the rows have different arity.
+    pub column: String,
+    /// The expected cell (golden side), or the whole missing line.
+    pub expected: String,
+    /// The actual cell, or the whole unexpected line.
+    pub got: String,
+}
+
+impl std::fmt::Display for CsvDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "first divergence at line {}, column {}:",
+            self.line, self.column
+        )?;
+        writeln!(f, "  expected: {}", self.expected)?;
+        write!(f, "  got:      {}", self.got)
+    }
+}
+
+/// Compares two CSV documents and returns the first cell-level
+/// divergence, or `None` when they are identical. Used by
+/// `sweep --check-golden` to say *where* a golden mismatch starts
+/// instead of just that one exists.
+pub fn diff_csv(expected: &str, got: &str) -> Option<CsvDivergence> {
+    let header: Vec<&str> = expected.lines().next().unwrap_or("").split(',').collect();
+    let mut exp_lines = expected.lines();
+    let mut got_lines = got.lines();
+    let mut line_no = 0usize;
+    loop {
+        line_no += 1;
+        match (exp_lines.next(), got_lines.next()) {
+            (None, None) => return None,
+            (Some(e), None) => {
+                return Some(CsvDivergence {
+                    line: line_no,
+                    column: "<line>".to_string(),
+                    expected: e.to_string(),
+                    got: "<missing line>".to_string(),
+                })
+            }
+            (None, Some(g)) => {
+                return Some(CsvDivergence {
+                    line: line_no,
+                    column: "<line>".to_string(),
+                    expected: "<end of document>".to_string(),
+                    got: g.to_string(),
+                })
+            }
+            (Some(e), Some(g)) => {
+                if e == g {
+                    continue;
+                }
+                let e_cells: Vec<&str> = e.split(',').collect();
+                let g_cells: Vec<&str> = g.split(',').collect();
+                if e_cells.len() != g_cells.len() {
+                    return Some(CsvDivergence {
+                        line: line_no,
+                        column: "<line>".to_string(),
+                        expected: e.to_string(),
+                        got: g.to_string(),
+                    });
+                }
+                for (col, (ec, gc)) in e_cells.iter().zip(&g_cells).enumerate() {
+                    if ec != gc {
+                        return Some(CsvDivergence {
+                            line: line_no,
+                            column: header.get(col).unwrap_or(&"<line>").to_string(),
+                            expected: (*ec).to_string(),
+                            got: (*gc).to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +217,34 @@ mod tests {
     fn failure_messages_cannot_break_the_csv() {
         let rec = sample_record();
         assert!(rec.status.contains("boom; with comma"), "{}", rec.status);
+    }
+
+    #[test]
+    fn diff_csv_pinpoints_the_first_divergent_cell() {
+        let rec = sample_record();
+        let mut other = rec.clone();
+        other.delivered = 7;
+        let a = to_csv(std::slice::from_ref(&rec));
+        let b = to_csv(&[other]);
+        let d = diff_csv(&a, &b).expect("documents differ");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.column, "delivered");
+        assert_eq!(d.expected, "0");
+        assert_eq!(d.got, "7");
+        assert!(d.to_string().contains("line 2, column delivered"));
+        assert_eq!(diff_csv(&a, &a), None);
+    }
+
+    #[test]
+    fn diff_csv_reports_missing_and_extra_lines() {
+        let rec = sample_record();
+        let one = to_csv(std::slice::from_ref(&rec));
+        let two = to_csv(&[rec.clone(), rec]);
+        let d = diff_csv(&two, &one).expect("short document diverges");
+        assert_eq!((d.line, d.column.as_str()), (3, "<line>"));
+        assert_eq!(d.got, "<missing line>");
+        let d = diff_csv(&one, &two).expect("long document diverges");
+        assert_eq!(d.expected, "<end of document>");
     }
 
     #[test]

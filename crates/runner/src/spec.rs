@@ -9,6 +9,7 @@
 //! each point a deterministic seed via [`crate::seed::derive_seed`].
 
 use nistats::Json;
+use noc::digest::StateDigest as _;
 use noc::traffic::Pattern;
 use noc::types::NodeId;
 
@@ -38,6 +39,72 @@ fn err<T>(message: impl Into<String>) -> Result<T, SpecError> {
     })
 }
 
+/// A scheduled (deterministic) fault event of a grid point (the JSON
+/// `faults[].events[]` entries). Only permanent damage is expressible
+/// here — transient faults come from `transient_ppb` — because scheduled
+/// permanent faults are what the timeout/livelock scenarios need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEventSpec {
+    /// The link leaving `node` toward `dir` dies permanently at `at`.
+    PermanentLink {
+        /// First faulted cycle.
+        at: u64,
+        /// Router on one end of the link.
+        node: u16,
+        /// Direction of the link from `node`.
+        dir: noc::types::Direction,
+    },
+    /// Router `node` hard-fails at `at`.
+    RouterDown {
+        /// First faulted cycle.
+        at: u64,
+        /// The dying router.
+        node: u16,
+    },
+    /// One credit returning to `(node, dir, vc)` is destroyed at `at`.
+    /// Unlike topology faults (whose doomed packets the mesh purges),
+    /// a lost credit silently shrinks a lane forever — with a shallow
+    /// VC this wedges any wormhole holding the lane mid-flight, the
+    /// livelock the per-point cycle budget exists to catch.
+    CreditLoss {
+        /// Cycle of the loss.
+        at: u64,
+        /// Router whose output-port credit counter loses the credit.
+        node: u16,
+        /// Output direction of the affected port.
+        dir: noc::types::Direction,
+        /// Affected virtual channel.
+        vc: u8,
+    },
+}
+
+impl FaultEventSpec {
+    /// The simulator event this spec entry describes.
+    pub fn to_event(self) -> noc::faults::FaultEvent {
+        match self {
+            FaultEventSpec::PermanentLink { at, node, dir } => {
+                noc::faults::FaultEvent::PermanentLink {
+                    at,
+                    node: NodeId::new(node),
+                    dir,
+                }
+            }
+            FaultEventSpec::RouterDown { at, node } => noc::faults::FaultEvent::RouterDown {
+                at,
+                node: NodeId::new(node),
+            },
+            FaultEventSpec::CreditLoss { at, node, dir, vc } => {
+                noc::faults::FaultEvent::CreditLoss {
+                    at,
+                    node: NodeId::new(node),
+                    dir,
+                    vc,
+                }
+            }
+        }
+    }
+}
+
 /// One fault-injection configuration of the grid.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultSpec {
@@ -48,6 +115,8 @@ pub struct FaultSpec {
     pub transient_ppb: u32,
     /// Seed of the fault plan's own RNG.
     pub seed: u64,
+    /// Scheduled permanent fault events (empty for random-only plans).
+    pub events: Vec<FaultEventSpec>,
 }
 
 impl FaultSpec {
@@ -57,7 +126,13 @@ impl FaultSpec {
             label: "none".to_string(),
             transient_ppb: 0,
             seed: 0,
+            events: Vec::new(),
         }
+    }
+
+    /// Whether this spec configures any fault injection at all.
+    pub fn is_active(&self) -> bool {
+        self.transient_ppb > 0 || !self.events.is_empty()
     }
 }
 
@@ -117,6 +192,27 @@ pub struct SweepSpec {
     pub faults: Vec<FaultSpec>,
     /// Independent samples per grid cell (each with its own seed).
     pub samples: u32,
+    /// Simulated-cycle budget per point attempt, counted from cycle 0
+    /// of the attempt across warm-up, measurement and drain (0 = no
+    /// budget). A point whose clock passes the budget is cancelled and
+    /// recorded as `timeout(cycles>N)`.
+    pub cycle_budget: u64,
+    /// Wall-clock budget per point attempt in milliseconds (0 = no
+    /// budget). Wall time is nondeterministic — leave this 0 for golden
+    /// runs and use `cycle_budget` there instead.
+    pub wall_budget_ms: u64,
+    /// Retry attempts after a failed/timed-out first run (0 = fail
+    /// immediately). Attempt `k` reruns the point with
+    /// `derive_seed(base_seed, index, k)`.
+    pub max_retries: u32,
+    /// Base backoff between retry attempts in milliseconds (0 = retry
+    /// immediately); attempt `k` sleeps `backoff_ms << (k-1)` plus a
+    /// deterministic seed-derived jitter.
+    pub backoff_ms: u64,
+    /// Cycle interval between architectural-state digest samples
+    /// (0 = digests off). Organisations without a digest implementation
+    /// record an empty trail.
+    pub digest_interval: u64,
 }
 
 impl SweepSpec {
@@ -137,6 +233,11 @@ impl SweepSpec {
             hpcs: vec![2],
             faults: vec![FaultSpec::none()],
             samples: 1,
+            cycle_budget: 0,
+            wall_budget_ms: 0,
+            max_retries: 0,
+            backoff_ms: 0,
+            digest_interval: 0,
         }
     }
 
@@ -163,6 +264,81 @@ impl SweepSpec {
         self.warmup = warmup;
         self.measure = measure;
         self
+    }
+
+    /// Sets the per-point budgets (builder style); 0 disables either.
+    pub fn budgets(mut self, cycle_budget: u64, wall_budget_ms: u64) -> Self {
+        self.cycle_budget = cycle_budget;
+        self.wall_budget_ms = wall_budget_ms;
+        self
+    }
+
+    /// Sets the retry policy (builder style).
+    pub fn retries(mut self, max_retries: u32, backoff_ms: u64) -> Self {
+        self.max_retries = max_retries;
+        self.backoff_ms = backoff_ms;
+        self
+    }
+
+    /// Sets the digest sampling interval (builder style); 0 disables.
+    pub fn digest_every(mut self, interval: u64) -> Self {
+        self.digest_interval = interval;
+        self
+    }
+
+    /// A stable hash of every grid-defining field, written into journal
+    /// headers so `--resume` can refuse a checkpoint recorded for a
+    /// different spec. Floats are hashed by bit pattern; list order
+    /// matters (it defines point indices).
+    pub fn spec_hash(&self) -> u64 {
+        let mut h = noc::digest::StateHasher::new();
+        h.write_bytes(self.name.as_bytes());
+        h.write_u64(self.base_seed);
+        h.write_u64(self.warmup);
+        h.write_u64(self.measure);
+        h.write_u64(self.response_fraction.to_bits());
+        h.write_usize(self.orgs.len());
+        for org in &self.orgs {
+            h.write_bytes(org.key().as_bytes());
+        }
+        h.write_usize(self.patterns.len());
+        for &p in &self.patterns {
+            h.write_bytes(pattern_key(p).as_bytes());
+        }
+        h.write_usize(self.rates.len());
+        for r in &self.rates {
+            h.write_u64(r.to_bits());
+        }
+        h.write_usize(self.radices.len());
+        for &r in &self.radices {
+            h.write_u64(u64::from(r));
+        }
+        h.write_usize(self.vc_depths.len());
+        for &d in &self.vc_depths {
+            h.write_u8(d);
+        }
+        h.write_usize(self.hpcs.len());
+        for &x in &self.hpcs {
+            h.write_u8(x);
+        }
+        h.write_usize(self.faults.len());
+        for f in &self.faults {
+            h.write_bytes(f.label.as_bytes());
+            h.write_u32(f.transient_ppb);
+            h.write_u64(f.seed);
+            h.write_usize(f.events.len());
+            for ev in &f.events {
+                ev.to_event().digest_state(&mut h);
+            }
+        }
+        h.write_u64(u64::from(self.samples));
+        h.write_u64(self.cycle_budget);
+        h.write_u64(self.digest_interval);
+        // wall_budget_ms, max_retries and backoff_ms are deliberately
+        // excluded: they change *how* points run, never *what* a
+        // completed point's record means, so a resume may tighten or
+        // relax them without invalidating the journal.
+        h.finish()
     }
 
     /// Number of points in the expanded grid.
@@ -207,10 +383,16 @@ impl SweepSpec {
                                             hpc,
                                             fault: fault.clone(),
                                             sample,
-                                            seed: derive_seed(self.base_seed, index as u64),
+                                            seed: derive_seed(self.base_seed, index as u64, 0),
+                                            base_seed: self.base_seed,
                                             warmup: self.warmup,
                                             measure: self.measure,
                                             response_fraction: self.response_fraction,
+                                            cycle_budget: self.cycle_budget,
+                                            wall_budget_ms: self.wall_budget_ms,
+                                            max_retries: self.max_retries,
+                                            backoff_ms: self.backoff_ms,
+                                            digest_interval: self.digest_interval,
                                         });
                                     }
                                 }
@@ -291,6 +473,23 @@ impl SweepSpec {
         if let Some(v) = json.get("faults") {
             spec.faults = parse_list(v, "faults", parse_fault)?;
         }
+        if let Some(v) = json.get("cycle_budget") {
+            spec.cycle_budget = v.as_u64().map_or_else(|| err("cycle_budget"), Ok)?;
+        }
+        if let Some(v) = json.get("wall_budget_ms") {
+            spec.wall_budget_ms = v.as_u64().map_or_else(|| err("wall_budget_ms"), Ok)?;
+        }
+        if let Some(v) = json.get("max_retries") {
+            let n = v.as_u64().map_or_else(|| err("max_retries"), Ok)?;
+            spec.max_retries =
+                u32::try_from(n).map_or_else(|_| err("max_retries exceeds u32"), Ok)?;
+        }
+        if let Some(v) = json.get("backoff_ms") {
+            spec.backoff_ms = v.as_u64().map_or_else(|| err("backoff_ms"), Ok)?;
+        }
+        if let Some(v) = json.get("digest_interval") {
+            spec.digest_interval = v.as_u64().map_or_else(|| err("digest_interval"), Ok)?;
+        }
         if spec.is_empty() {
             return err("expanded grid is empty (an axis has no values)");
         }
@@ -338,11 +537,48 @@ fn parse_fault(v: &Json) -> Option<FaultSpec> {
         Some(s) => s.as_u64()?,
         None => 0,
     };
+    let events = match v.get("events") {
+        Some(list) => list
+            .as_array()?
+            .iter()
+            .map(parse_fault_event)
+            .collect::<Option<Vec<_>>>()?,
+        None => Vec::new(),
+    };
     Some(FaultSpec {
         label,
         transient_ppb,
         seed,
+        events,
     })
+}
+
+fn parse_direction(v: &Json) -> Option<noc::types::Direction> {
+    match v.get("dir")?.as_str()? {
+        "north" => Some(noc::types::Direction::North),
+        "south" => Some(noc::types::Direction::South),
+        "east" => Some(noc::types::Direction::East),
+        "west" => Some(noc::types::Direction::West),
+        _ => None,
+    }
+}
+
+fn parse_fault_event(v: &Json) -> Option<FaultEventSpec> {
+    let at = v.get("at")?.as_u64()?;
+    let node = u16::try_from(v.get("node")?.as_u64()?).ok()?;
+    match v.get("kind")?.as_str()? {
+        "permanent_link" => {
+            let dir = parse_direction(v)?;
+            Some(FaultEventSpec::PermanentLink { at, node, dir })
+        }
+        "router_down" => Some(FaultEventSpec::RouterDown { at, node }),
+        "credit_loss" => {
+            let dir = parse_direction(v)?;
+            let vc = u8::try_from(v.get("vc")?.as_u64()?).ok()?;
+            Some(FaultEventSpec::CreditLoss { at, node, dir, vc })
+        }
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -365,7 +601,7 @@ mod tests {
         assert!((pts[1].rate - 0.02).abs() < 1e-12);
         for (i, p) in pts.iter().enumerate() {
             assert_eq!(p.index, i);
-            assert_eq!(p.seed, derive_seed(spec.base_seed, i as u64));
+            assert_eq!(p.seed, derive_seed(spec.base_seed, i as u64, 0));
         }
     }
 

@@ -38,13 +38,13 @@ fn parallel_rows_are_byte_identical_to_serial() {
 fn seeds_depend_only_on_grid_position() {
     let spec = small_spec();
     // Expansion is pure: two expansions agree, and each seed is the
-    // documented function of (base_seed, index) — nothing about threads
-    // or scheduling enters the derivation.
+    // documented function of (base_seed, index, attempt 0) — nothing
+    // about threads or scheduling enters the derivation.
     let a = spec.points();
     let b = spec.points();
     assert_eq!(a, b);
     for (i, p) in a.iter().enumerate() {
-        assert_eq!(p.seed, derive_seed(spec.base_seed, i as u64));
+        assert_eq!(p.seed, derive_seed(spec.base_seed, i as u64, 0));
     }
     // And the records carry exactly those seeds at any thread count.
     for threads in [1, 3] {
@@ -52,6 +52,43 @@ fn seeds_depend_only_on_grid_position() {
         for (p, r) in a.iter().zip(&recs) {
             assert_eq!(p.seed, r.seed, "threads={threads}");
         }
+    }
+}
+
+#[test]
+fn no_seed_collisions_across_a_4096_point_grid() {
+    // A colliding pair of points would run correlated traffic and bias
+    // any statistic aggregated across the grid. Check first attempts
+    // and first retries, across each other too: a retry must never
+    // replay some *other* point's stream.
+    let base = 0x5EED_CAFE_u64;
+    let mut seen = std::collections::BTreeSet::new();
+    for index in 0..4096u64 {
+        for attempt in [0u32, 1] {
+            assert!(
+                seen.insert(derive_seed(base, index, attempt)),
+                "seed collision at index {index} attempt {attempt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn seed_streams_ignore_thread_count_env() {
+    // `NOC_THREADS` picks the worker count; it must never leak into
+    // seeds or rows. Run the same grid at several explicit thread
+    // counts (the exact values `threads_from_env` would produce for
+    // NOC_THREADS=1..4) and demand identical bytes.
+    let points = small_spec().points();
+    let baseline = to_csv(&run_points(&points, 1, |_, _| {}));
+    for threads in [2, 3, 4] {
+        let csv = to_csv(&run_points(&points, threads, |_, _| {}));
+        assert_eq!(csv, baseline, "NOC_THREADS={threads} changed the rows");
+    }
+    // The seeds themselves are a pure function of grid position — the
+    // env var is not even an input to the derivation.
+    for (i, p) in points.iter().enumerate() {
+        assert_eq!(p.seed, derive_seed(small_spec().base_seed, i as u64, 0));
     }
 }
 
@@ -101,4 +138,26 @@ fn progress_callback_sees_every_completion() {
     let _ = run_points(&points, 2, |done, total| calls.push((done, total)));
     assert_eq!(calls.len(), points.len());
     assert_eq!(calls.last(), Some(&(points.len(), points.len())));
+}
+
+#[test]
+fn digest_trails_are_thread_count_independent() {
+    // The state digest is sampled *inside* a point's own simulation, so
+    // the trail must match between a serial and a parallel sweep — this
+    // is what lets a resumed run be checked cycle-by-cycle against the
+    // original.
+    let spec = small_spec().digest_every(250);
+    let points = spec.points();
+    let mut serial = Vec::new();
+    let _ = runner::run_points_full(&points, 1, |_, o, _, _| serial.push(o.clone()));
+    serial.sort_by_key(|o| o.record.index);
+    let mut parallel = Vec::new();
+    let _ = runner::run_points_full(&points, 4, |_, o, _, _| parallel.push(o.clone()));
+    parallel.sort_by_key(|o| o.record.index);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert!(!s.trail.is_empty(), "mesh/PRA points must digest");
+        assert_eq!(s.trail, p.trail, "point {} diverged", s.record.index);
+        assert_eq!(runner::first_divergence(&s.trail, &p.trail), None);
+    }
 }

@@ -63,6 +63,13 @@ impl Rng {
         rng
     }
 
+    /// The raw generator state `(state, inc)`, for architectural-state
+    /// digests: two generators with equal words produce identical
+    /// streams. Opaque — only meaningful for equality/hashing.
+    pub fn state_words(&self) -> (u64, u64) {
+        (self.state, self.inc)
+    }
+
     /// The next 32 random bits.
     pub fn next_u32(&mut self) -> u32 {
         let old = self.state;
