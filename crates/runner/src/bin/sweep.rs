@@ -43,6 +43,8 @@ const USAGE: &str = "usage: sweep --spec FILE [options]
   --ckpt FILE          checkpoint journal path (default: <csv-out>.ckpt)
   --resume             skip points already in the checkpoint journal
   --verify-digests     re-run journaled points and compare digest trails
+                       (requires --resume; there is nothing to verify
+                       without a journal to replay)
   --quiet              suppress progress output
   --help               show this help";
 
@@ -111,13 +113,15 @@ fn ckpt_path(opts: &Options) -> Option<String> {
 
 /// Loads the journal and validates its header against the current spec;
 /// a mismatch means the journal describes a *different* experiment and
-/// resuming would silently mix grids.
+/// resuming would silently mix grids. Returns the completed points and
+/// the trusted-prefix length for reopening the journal in append mode.
 fn load_resume_state(
     path: &str,
     spec: &SweepSpec,
     count: usize,
-) -> Result<BTreeMap<usize, PointOutcome>, String> {
-    let (header, done) = load_journal(path).map_err(|e| e.to_string())?;
+) -> Result<(BTreeMap<usize, PointOutcome>, u64), String> {
+    let loaded = load_journal(path).map_err(|e| e.to_string())?;
+    let header = loaded.header;
     let expect = JournalHeader {
         spec_hash: spec.spec_hash(),
         base_seed: spec.base_seed,
@@ -139,7 +143,7 @@ fn load_resume_state(
             expect.count,
         ));
     }
-    Ok(done)
+    Ok((loaded.done, loaded.valid_len))
 }
 
 /// Re-runs every journaled point with a digest trail and reports the
@@ -197,14 +201,26 @@ fn main() -> ExitCode {
         eprintln!("error: --resume needs a journal; pass --ckpt or --csv-out\n{USAGE}");
         return ExitCode::from(2);
     }
+    // Without a journal to replay, 'completed' is empty and the check
+    // would vacuously pass — refuse instead of minting a fake green.
+    if opts.verify_digests && !opts.resume {
+        eprintln!(
+            "error: --verify-digests requires --resume (no journal, nothing to verify)\n{USAGE}"
+        );
+        return ExitCode::from(2);
+    }
 
     // Resume: replay the journal (validating it against this spec) and
     // keep only points that still need to run.
     let mut completed: BTreeMap<usize, PointOutcome> = BTreeMap::new();
+    let mut journal_valid_len: u64 = 0;
     if opts.resume {
         let path = ckpt.as_deref().unwrap_or_default();
         match load_resume_state(path, &spec, points.len()) {
-            Ok(done) => completed = done,
+            Ok((done, valid_len)) => {
+                completed = done;
+                journal_valid_len = valid_len;
+            }
             Err(message) => {
                 eprintln!("error: {message}");
                 return ExitCode::from(2);
@@ -242,7 +258,7 @@ fn main() -> ExitCode {
 
     // Open the journal: fresh header on a new run, append on resume.
     let mut writer: Option<JournalWriter> = match &ckpt {
-        Some(path) if opts.resume => match JournalWriter::append_to(path) {
+        Some(path) if opts.resume => match JournalWriter::append_to(path, journal_valid_len) {
             Ok(w) => Some(w),
             Err(e) => {
                 eprintln!("error: {e}");

@@ -18,8 +18,13 @@
 //! ```
 //!
 //! A torn final line (the crash happened mid-append) is tolerated and
-//! simply dropped; everything before it is trusted, because each append
-//! is flushed with `sync_data` before the runner moves on.
+//! simply dropped — even when the tear lands inside a multi-byte UTF-8
+//! character in an escaped field; everything before it is trusted,
+//! because each append is flushed with `sync_data` before the runner
+//! moves on. [`load_journal`] reports the byte length of that trusted
+//! prefix, and [`JournalWriter::append_to`] truncates the file to it
+//! before appending, so a journal can be killed and resumed arbitrarily
+//! often without a torn tail ever swallowing the next record.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -232,14 +237,29 @@ impl JournalWriter {
 
     /// Reopens an existing journal for appending (the resume path).
     ///
+    /// `valid_len` is the trusted-prefix length reported by
+    /// [`load_journal`]; anything past it is a torn tail from the crash
+    /// that ended the previous run, and is truncated away before the
+    /// first append so new records never concatenate onto partial ones.
+    ///
     /// # Errors
     ///
-    /// Any I/O failure opening the file.
-    pub fn append_to(path: &str) -> Result<JournalWriter, JournalError> {
-        match OpenOptions::new().append(true).open(path) {
-            Ok(file) => Ok(JournalWriter { file }),
-            Err(e) => err(format!("cannot reopen {path} for append: {e}")),
+    /// Any I/O failure opening, truncating, or syncing the file.
+    pub fn append_to(path: &str, valid_len: u64) -> Result<JournalWriter, JournalError> {
+        let file = match OpenOptions::new().append(true).open(path) {
+            Ok(file) => file,
+            Err(e) => return err(format!("cannot reopen {path} for append: {e}")),
+        };
+        let len = match file.metadata() {
+            Ok(m) => m.len(),
+            Err(e) => return err(format!("cannot stat {path}: {e}")),
+        };
+        if len > valid_len {
+            if let Err(e) = file.set_len(valid_len).and_then(|()| file.sync_data()) {
+                return err(format!("cannot drop torn tail of {path}: {e}"));
+            }
         }
+        Ok(JournalWriter { file })
     }
 
     /// Appends one completed point and syncs it to disk.
@@ -261,46 +281,96 @@ impl JournalWriter {
     }
 }
 
+/// A successfully replayed journal.
+#[derive(Debug, Clone)]
+pub struct LoadedJournal {
+    /// The journal's self-describing header.
+    pub header: JournalHeader,
+    /// Every fully-written point, keyed by grid index.
+    pub done: BTreeMap<usize, PointOutcome>,
+    /// Byte length of the trusted prefix: just past the newline of the
+    /// last fully-synced line. Pass to [`JournalWriter::append_to`] so
+    /// the resume truncates any torn tail before appending.
+    pub valid_len: u64,
+}
+
 /// Replays a journal: the header plus every fully-written point, keyed
 /// by grid index. A torn final line is dropped silently (that is the
-/// expected crash artifact); a torn line *followed by more lines* means
-/// the file is corrupt, not truncated, and is an error.
+/// expected crash artifact) — the file is read as bytes and decoded per
+/// line, so a tear inside a multi-byte character is still just a torn
+/// tail. A torn line *followed by more lines* means the file is
+/// corrupt, not truncated, and is an error.
 ///
 /// # Errors
 ///
 /// Unreadable file, bad magic, malformed header, or mid-file corruption.
-pub fn load_journal(
-    path: &str,
-) -> Result<(JournalHeader, BTreeMap<usize, PointOutcome>), JournalError> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
+pub fn load_journal(path: &str) -> Result<LoadedJournal, JournalError> {
+    let data = match std::fs::read(path) {
+        Ok(data) => data,
         Err(e) => return err(format!("cannot read {path}: {e}")),
     };
-    let mut lines = text.split('\n');
-    let header_line = lines.next().unwrap_or("");
-    let header = parse_header(header_line).ok_or_else(|| JournalError {
-        message: format!("{path}: bad header line {header_line:?}"),
-    })?;
+    // Line spans by byte offset; the final span may lack its newline.
+    let mut spans: Vec<(usize, usize, bool)> = Vec::new();
+    let mut start = 0usize;
+    for (i, &b) in data.iter().enumerate() {
+        if b == b'\n' {
+            spans.push((start, i, true));
+            start = i + 1;
+        }
+    }
+    if start < data.len() {
+        spans.push((start, data.len(), false));
+    }
+
+    // The header must be complete (create() syncs it, newline included,
+    // before any point can land) — an unterminated or undecodable first
+    // line means the journal never finished being born.
+    let header_bytes = spans.first().map_or(&[][..], |&(s, e, _)| &data[s..e]);
+    let header_terminated = spans.first().is_some_and(|&(_, _, t)| t);
+    let header = std::str::from_utf8(header_bytes)
+        .ok()
+        .filter(|_| header_terminated)
+        .and_then(parse_header)
+        .ok_or_else(|| JournalError {
+            message: format!(
+                "{path}: bad header line {:?}",
+                String::from_utf8_lossy(header_bytes)
+            ),
+        })?;
+
     let mut done = BTreeMap::new();
     let mut pending_torn: Option<usize> = None;
-    for (i, line) in lines.enumerate() {
-        if line.is_empty() {
+    let mut valid_len = (spans[0].1 + 1) as u64;
+    for (i, &(s, e, terminated)) in spans.iter().enumerate().skip(1) {
+        if s == e {
             continue;
         }
         if let Some(at) = pending_torn {
             return err(format!(
                 "{path}: corrupt line {} followed by more data (not a torn tail)",
-                at + 2
+                at + 1
             ));
         }
-        match parse_point_line(line) {
-            Some(outcome) => {
+        let parsed = std::str::from_utf8(&data[s..e])
+            .ok()
+            .and_then(parse_point_line);
+        match parsed {
+            Some(outcome) if terminated => {
+                valid_len = (e + 1) as u64;
                 done.insert(outcome.record.index, outcome);
             }
-            None => pending_torn = Some(i),
+            // Unparseable, or parseable but missing the newline that
+            // `append` syncs with the record: either way the append
+            // never completed, so treat the line as torn and let the
+            // resume re-run that point instead of trusting it.
+            _ => pending_torn = Some(i),
         }
     }
-    Ok((header, done))
+    Ok(LoadedJournal {
+        header,
+        done,
+        valid_len,
+    })
 }
 
 fn parse_header(line: &str) -> Option<JournalHeader> {
@@ -372,11 +442,13 @@ mod tests {
         w.append(&a).expect("append a");
         w.append(&b).expect("append b");
         drop(w);
-        let (h, done) = load_journal(&path).expect("load");
-        assert_eq!(h, header());
-        assert_eq!(done.len(), 2);
-        assert_eq!(done[&0], a, "bit-exact round-trip, floats included");
-        assert_eq!(done[&2], b);
+        let j = load_journal(&path).expect("load");
+        assert_eq!(j.header, header());
+        assert_eq!(j.done.len(), 2);
+        assert_eq!(j.done[&0], a, "bit-exact round-trip, floats included");
+        assert_eq!(j.done[&2], b);
+        let len = std::fs::metadata(&path).expect("stat").len();
+        assert_eq!(j.valid_len, len, "a clean journal is trusted in full");
     }
 
     #[test]
@@ -386,14 +458,73 @@ mod tests {
         w.append(&sample_outcome(0)).expect("append");
         w.append(&sample_outcome(1)).expect("append");
         drop(w);
+        let full = std::fs::metadata(&path).expect("stat").len();
         // Simulate a crash mid-append: cut the file mid-way through the
         // last line.
         let text = std::fs::read_to_string(&path).expect("read");
         let cut = text.len() - 17;
         std::fs::write(&path, &text[..cut]).expect("truncate");
-        let (_, done) = load_journal(&path).expect("torn tail tolerated");
-        assert_eq!(done.len(), 1, "only the fully-synced point survives");
-        assert!(done.contains_key(&0));
+        let j = load_journal(&path).expect("torn tail tolerated");
+        assert_eq!(j.done.len(), 1, "only the fully-synced point survives");
+        assert!(j.done.contains_key(&0));
+        assert!(
+            j.valid_len < cut as u64 && j.valid_len < full,
+            "the trusted prefix must stop before the torn line"
+        );
+    }
+
+    #[test]
+    fn a_tear_inside_a_multibyte_character_is_still_a_torn_tail() {
+        let path = tmp("multibyte");
+        let mut w = JournalWriter::create(&path, &header()).expect("create");
+        w.append(&sample_outcome(0)).expect("append");
+        let mut snowy = sample_outcome(1);
+        snowy.record.status = "failed(panic: déjà-vu ☃)".to_string();
+        w.append(&snowy).expect("append multibyte");
+        drop(w);
+        // Cut one byte into the snowman (a 3-byte character): the file
+        // is no longer valid UTF-8 end to end, but the journal must
+        // still load, dropping only the torn line.
+        let bytes = std::fs::read(&path).expect("read");
+        let snowman = "☃".as_bytes();
+        let at = bytes
+            .windows(snowman.len())
+            .rposition(|w| w == snowman)
+            .expect("snowman serialised");
+        std::fs::write(&path, &bytes[..at + 1]).expect("tear mid-character");
+        let j = load_journal(&path).expect("mid-character tear tolerated");
+        assert_eq!(j.done.len(), 1, "only the fully-synced point survives");
+        assert!(j.done.contains_key(&0));
+    }
+
+    #[test]
+    fn resume_truncates_the_torn_tail_arbitrarily_often() {
+        let path = tmp("truncate");
+        let mut w = JournalWriter::create(&path, &header()).expect("create");
+        w.append(&sample_outcome(0)).expect("append");
+        drop(w);
+        // Crash, resume, crash, resume: each cycle tears the tail,
+        // reopens at the trusted prefix, and re-journals the lost point
+        // plus one more. Every load in between must stay clean.
+        for round in 1..=3usize {
+            let bytes = std::fs::read(&path).expect("read");
+            std::fs::write(&path, &bytes[..bytes.len() - 9]).expect("tear");
+            let j = load_journal(&path).expect("torn tail tolerated");
+            assert_eq!(j.done.len(), round - 1, "the tear drops exactly one point");
+            let mut w = JournalWriter::append_to(&path, j.valid_len).expect("reopen");
+            w.append(&sample_outcome(round - 1))
+                .expect("re-journal the lost point");
+            w.append(&sample_outcome(round))
+                .expect("journal a new point");
+            drop(w);
+            let j = load_journal(&path).expect("clean after resume");
+            assert_eq!(j.done.len(), round + 1, "round {round}");
+            assert_eq!(
+                j.valid_len,
+                std::fs::metadata(&path).expect("stat").len(),
+                "no stray bytes survive a resume"
+            );
+        }
     }
 
     #[test]
@@ -425,11 +556,12 @@ mod tests {
         let mut w = JournalWriter::create(&path, &header()).expect("create");
         w.append(&sample_outcome(0)).expect("append");
         drop(w);
-        let mut w = JournalWriter::append_to(&path).expect("reopen");
+        let valid_len = load_journal(&path).expect("load").valid_len;
+        let mut w = JournalWriter::append_to(&path, valid_len).expect("reopen");
         w.append(&sample_outcome(1)).expect("append after reopen");
         drop(w);
-        let (_, done) = load_journal(&path).expect("load");
-        assert_eq!(done.len(), 2);
+        let j = load_journal(&path).expect("load");
+        assert_eq!(j.done.len(), 2);
     }
 
     #[test]

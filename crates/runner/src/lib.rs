@@ -37,7 +37,7 @@ pub mod report;
 pub mod seed;
 pub mod spec;
 
-pub use journal::{load_journal, JournalError, JournalHeader, JournalWriter};
+pub use journal::{load_journal, JournalError, JournalHeader, JournalWriter, LoadedJournal};
 pub use org::{build_network, BoxedNet, Organization};
 pub use point::{
     first_divergence, run_point, run_point_full, run_points, run_points_full, verify_digest_trail,

@@ -1,18 +1,29 @@
 //! Deterministic per-task seed derivation.
 //!
-//! Every sweep point derives its RNG seed from the spec's base seed and
-//! the point's position in the expanded grid — a pure function, so the
-//! seed a point receives does not depend on thread count, scheduling
-//! order, or which other points run. This is what makes parallel sweeps
-//! byte-identical to serial ones.
+//! Every sweep point derives its RNG seed from the spec's base seed,
+//! the point's position in the expanded grid, and the retry attempt —
+//! a pure function, so the seed a point receives does not depend on
+//! thread count, scheduling order, or which other points run. This is
+//! what makes parallel sweeps byte-identical to serial ones, and retry
+//! streams reproducible without replaying earlier attempts.
 
-/// Derives the seed for grid point `index` from `base`.
+/// Derives the seed for retry `attempt` of grid point `index`.
 ///
 /// Uses the splitmix64 finaliser, whose output is equidistributed over
 /// `u64` — consecutive indices yield statistically independent seeds, so
-/// neighbouring sweep points never share correlated traffic streams.
-pub fn derive_seed(base: u64, index: u64) -> u64 {
-    splitmix64(base ^ splitmix64(index.wrapping_add(0x9E37_79B9_7F4A_7C15)))
+/// neighbouring sweep points never share correlated traffic streams, and
+/// a retry never replays another point's stream.
+///
+/// Attempt 0 reproduces the historical two-argument derivation exactly;
+/// committed golden row sets encode those seeds, so the first attempt's
+/// stream must never move.
+pub fn derive_seed(base: u64, index: u64, attempt: u32) -> u64 {
+    let point = splitmix64(base ^ splitmix64(index.wrapping_add(0x9E37_79B9_7F4A_7C15)));
+    if attempt == 0 {
+        point
+    } else {
+        splitmix64(point ^ splitmix64(u64::from(attempt)))
+    }
 }
 
 /// The splitmix64 finaliser (Steele, Lea & Flood; public domain).
@@ -31,16 +42,36 @@ mod tests {
     fn seeds_are_stable() {
         // Pinned values: a change here silently invalidates every
         // committed golden row set, so make it loud instead.
-        assert_eq!(derive_seed(42, 0), derive_seed(42, 0));
-        assert_ne!(derive_seed(42, 0), derive_seed(42, 1));
-        assert_ne!(derive_seed(42, 0), derive_seed(43, 0));
+        assert_eq!(derive_seed(42, 0, 0), derive_seed(42, 0, 0));
+        assert_ne!(derive_seed(42, 0, 0), derive_seed(42, 1, 0));
+        assert_ne!(derive_seed(42, 0, 0), derive_seed(43, 0, 0));
+        assert_ne!(derive_seed(42, 0, 0), derive_seed(42, 0, 1));
     }
 
     #[test]
-    fn seeds_are_distinct_across_a_large_grid() {
+    fn attempt_zero_matches_the_historical_two_argument_stream() {
+        // The pre-retry derivation, inlined: attempt 0 must reproduce it
+        // bit for bit or every committed golden row set silently rots.
+        let legacy = |base: u64, index: u64| {
+            splitmix64(base ^ splitmix64(index.wrapping_add(0x9E37_79B9_7F4A_7C15)))
+        };
+        for base in [0u64, 7, 42, u64::MAX] {
+            for index in [0u64, 1, 4095, 1 << 40] {
+                assert_eq!(derive_seed(base, index, 0), legacy(base, index));
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_distinct_across_a_large_grid_and_retries() {
         let mut seen = std::collections::BTreeSet::new();
         for i in 0..10_000u64 {
-            assert!(seen.insert(derive_seed(7, i)), "duplicate at {i}");
+            for attempt in 0..4u32 {
+                assert!(
+                    seen.insert(derive_seed(7, i, attempt)),
+                    "duplicate at index {i} attempt {attempt}"
+                );
+            }
         }
     }
 }

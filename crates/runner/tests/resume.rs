@@ -255,6 +255,36 @@ fn perturbed_digest_trail_is_caught_at_the_offending_cycle() {
     assert_eq!(d.0, expected_cycle);
 }
 
+/// `--verify-digests` without `--resume` has no journal to replay, so
+/// it would vacuously pass over zero points — it must be a usage error
+/// (exit 2), not a fake green determinism gate.
+#[test]
+fn verify_digests_without_resume_is_a_usage_error() {
+    let dir = tmp_dir("verifyusage");
+    let spec_path = dir.join("spec.json");
+    std::fs::write(&spec_path, KILL_SPEC).expect("write spec");
+    let out = sweep_cmd()
+        .args(["--spec", spec_path.to_str().expect("utf8 path")])
+        .args([
+            "--csv-out",
+            dir.join("out.csv").to_str().expect("utf8 path"),
+        ])
+        .args(["--verify-digests", "--quiet"])
+        .output()
+        .expect("run sweep");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--verify-digests without --resume must exit 2: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--verify-digests requires --resume"),
+        "the error must say what to do instead"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `--check-golden` exits 3 (not 1) on a mismatch and names the first
 /// diverging cell, so CI separates determinism breaks from I/O breaks.
 #[test]
