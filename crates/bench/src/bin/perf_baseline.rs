@@ -266,8 +266,8 @@ fn main() {
     .into_iter()
     .map(|outcome| match outcome {
         runner::Outcome::Done(r) => r,
-        runner::Outcome::Panicked(message) => {
-            eprintln!("perf_baseline: run panicked: {message}");
+        runner::Outcome::Panicked { task, message } => {
+            eprintln!("perf_baseline: run {task} panicked: {message}");
             std::process::exit(1);
         }
     })

@@ -67,8 +67,8 @@ pub fn run_grid_budgeted<T: Send>(
         .into_iter()
         .map(|outcome| match outcome {
             runner::Outcome::Done(v) => v,
-            runner::Outcome::Panicked(message) => {
-                eprintln!("bench: sweep point panicked: {message}");
+            runner::Outcome::Panicked { task, message } => {
+                eprintln!("bench: sweep point {task} panicked: {message}");
                 std::process::exit(1);
             }
         })

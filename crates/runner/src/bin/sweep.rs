@@ -8,18 +8,28 @@
 //! if the spec changed underneath it, skips every completed point, and
 //! produces artifacts byte-identical to an uninterrupted run.
 //!
+//! Multi-process mode: `--workers N` splits the grid into N shards and
+//! runs each in its own worker process under a supervising parent
+//! (lease-based shard claiming, crash recovery, quarantine of points
+//! that repeatedly kill their worker, optional result cache) — see
+//! `runner::supervisor`. Artifacts stay byte-identical to a
+//! single-process run.
+//!
 //! Exit codes: 0 success, 1 I/O failure, 2 usage/spec/journal-header
 //! error, 3 determinism failure (`--check-golden` or `--verify-digests`
-//! mismatch) — so CI can tell "the disk broke" from "the physics broke".
+//! mismatch), 4 partial completion (one or more points quarantined as
+//! `poisoned(...)`) — so CI can tell "the disk broke" from "the physics
+//! broke" from "one point is a worker-killer".
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use runner::journal::{load_journal, JournalHeader, JournalWriter};
+use runner::supervisor::{SupervisorConfig, WorkerConfig};
 use runner::{
-    diff_csv, run_points_full, threads_from_env, to_csv, to_json, verify_digest_trail,
-    PointOutcome, PointRecord, PointSpec, SweepSpec, CSV_HEADER,
+    diff_csv, run_points_full, run_supervised, run_worker, status_counts, threads_from_env, to_csv,
+    to_json, verify_digest_trail, PointOutcome, PointRecord, PointSpec, SweepSpec, CSV_HEADER,
 };
 
 struct Options {
@@ -32,6 +42,13 @@ struct Options {
     resume: bool,
     verify_digests: bool,
     quiet: bool,
+    workers: usize,
+    cache: Option<String>,
+    crash_limit: u32,
+    lease_timeout_ms: u64,
+    worker_shard: Option<usize>,
+    worker_gen: u64,
+    skip_points: Vec<usize>,
 }
 
 const USAGE: &str = "usage: sweep --spec FILE [options]
@@ -45,6 +62,15 @@ const USAGE: &str = "usage: sweep --spec FILE [options]
   --verify-digests     re-run journaled points and compare digest trails
                        (requires --resume; there is nothing to verify
                        without a journal to replay)
+  --workers N          run the sweep across N worker processes with
+                       crash recovery (requires a journal path; each
+                       worker runs its shard serially)
+  --cache DIR          content-addressed result cache (entries are
+                       digest-verified; corrupted ones are recomputed)
+  --crash-limit K      quarantine a point after it kills K workers in a
+                       row (default 3; exit 4 marks partial completion)
+  --lease-timeout-ms T declare a worker hung after T ms without a
+                       heartbeat (default 2000)
   --quiet              suppress progress output
   --help               show this help";
 
@@ -60,6 +86,13 @@ fn parse_args() -> Result<Option<Options>, String> {
         resume: false,
         verify_digests: false,
         quiet: false,
+        workers: 1,
+        cache: None,
+        crash_limit: 3,
+        lease_timeout_ms: 2000,
+        worker_shard: None,
+        worker_gen: 0,
+        skip_points: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -78,7 +111,9 @@ fn parse_args() -> Result<Option<Options>, String> {
                 continue;
             }
             flag @ ("--spec" | "--threads" | "--csv-out" | "--json-out" | "--check-golden"
-            | "--ckpt") => {
+            | "--ckpt" | "--workers" | "--cache" | "--crash-limit"
+            | "--lease-timeout-ms" | "--worker-shard" | "--worker-gen"
+            | "--skip-points") => {
                 let value = args
                     .next()
                     .ok_or_else(|| format!("flag '{flag}' needs a value"))?;
@@ -94,6 +129,50 @@ fn parse_args() -> Result<Option<Options>, String> {
                     "--csv-out" => opts.csv_out = Some(value),
                     "--json-out" => opts.json_out = Some(value),
                     "--check-golden" => opts.check_golden = Some(value),
+                    "--workers" => {
+                        opts.workers = value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("invalid worker count '{value}'"))?;
+                    }
+                    "--cache" => opts.cache = Some(value),
+                    "--crash-limit" => {
+                        opts.crash_limit = value
+                            .parse::<u32>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("invalid crash limit '{value}'"))?;
+                    }
+                    "--lease-timeout-ms" => {
+                        opts.lease_timeout_ms = value
+                            .parse::<u64>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("invalid lease timeout '{value}'"))?;
+                    }
+                    // Internal worker-mode flags, set only by the
+                    // supervisor when it re-execs this binary.
+                    "--worker-shard" => {
+                        opts.worker_shard = Some(
+                            value
+                                .parse::<usize>()
+                                .map_err(|_| format!("invalid worker shard '{value}'"))?,
+                        );
+                    }
+                    "--worker-gen" => {
+                        opts.worker_gen = value
+                            .parse::<u64>()
+                            .map_err(|_| format!("invalid worker generation '{value}'"))?;
+                    }
+                    "--skip-points" => {
+                        for part in value.split(',').filter(|s| !s.is_empty()) {
+                            opts.skip_points.push(
+                                part.parse::<usize>()
+                                    .map_err(|_| format!("invalid skip list '{value}'"))?,
+                            );
+                        }
+                    }
                     _ => opts.ckpt = Some(value),
                 }
             }
@@ -196,6 +275,38 @@ fn main() -> ExitCode {
     };
     let points = spec.points();
     let ckpt = ckpt_path(&opts);
+
+    // Hidden worker mode: this process is one shard of a supervised
+    // sweep, re-exec'd by the parent. Exit 0 = shard done, 2 = fatal
+    // configuration error (deterministic; respawning cannot help); any
+    // other exit is, by definition, a crash for the supervisor to reap.
+    if let Some(shard) = opts.worker_shard {
+        let Some(journal) = ckpt else {
+            eprintln!("error: --worker-shard needs a journal path");
+            return ExitCode::from(2);
+        };
+        let wcfg = WorkerConfig {
+            spec_path: opts.spec.clone(),
+            journal_path: journal,
+            shard,
+            workers: opts.workers,
+            generation: opts.worker_gen,
+            skip: opts.skip_points.clone(),
+            cache_dir: opts.cache.clone(),
+            lease_timeout_ms: opts.lease_timeout_ms,
+        };
+        return match run_worker(&wcfg) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    if opts.workers > 1 {
+        return run_multiprocess(&opts, &spec, &points, ckpt.as_deref());
+    }
 
     if opts.resume && ckpt.is_none() {
         eprintln!("error: --resume needs a journal; pass --ckpt or --csv-out\n{USAGE}");
@@ -330,6 +441,7 @@ fn main() -> ExitCode {
     }
     if !opts.quiet {
         let metrics = sweep_metrics(&records);
+        let counts = status_counts(&records);
         eprintln!(
             "metrics: retries={} timeouts={} failures={} undrained_points={} digest_points={}",
             metrics.counter("sweep.retries"),
@@ -338,9 +450,125 @@ fn main() -> ExitCode {
             metrics.counter("sweep.undrained_points"),
             metrics.counter("sweep.digest_points"),
         );
+        eprintln!(
+            "status: ok={} failed={} timeout={} poisoned={}",
+            counts.ok, counts.failed, counts.timeout, counts.poisoned
+        );
     }
 
-    let csv = to_csv(&records);
+    emit_artifacts(&opts, &spec, &records)
+}
+
+/// Runs the sweep across worker processes (the `--workers N` path) and
+/// emits the same artifacts as the in-process path. Exit 4 flags
+/// partial completion (quarantined points) — unless the golden check
+/// failed, in which case the determinism exit 3 wins: wrong bytes are
+/// worse news than missing points.
+fn run_multiprocess(
+    opts: &Options,
+    spec: &SweepSpec,
+    points: &[PointSpec],
+    ckpt: Option<&str>,
+) -> ExitCode {
+    let Some(journal) = ckpt else {
+        eprintln!("error: --workers needs a journal; pass --ckpt or --csv-out\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    if opts.verify_digests {
+        eprintln!("error: --verify-digests is not supported with --workers (run it single-process)\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let cfg = SupervisorConfig {
+        spec_path: opts.spec.clone(),
+        journal_path: journal.to_string(),
+        workers: opts.workers,
+        cache_dir: opts.cache.clone(),
+        crash_limit: opts.crash_limit,
+        lease_timeout_ms: opts.lease_timeout_ms,
+        resume: opts.resume,
+        quiet: opts.quiet,
+    };
+    if !opts.quiet {
+        eprintln!(
+            "sweep '{}': {} points across {} worker process(es)",
+            spec.name,
+            points.len(),
+            opts.workers
+        );
+    }
+    let started = Instant::now();
+    let report = match run_supervised(spec, &cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            // A mismatched/unreadable resume journal is a usage error,
+            // same as in the single-process path; everything else is
+            // operational.
+            if e.message.starts_with("--resume:") {
+                return ExitCode::from(2);
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let records: Vec<PointRecord> = points
+        .iter()
+        .filter_map(|p| report.outcomes.get(&p.index).map(|o| o.record.clone()))
+        .collect();
+    if records.len() != points.len() {
+        eprintln!(
+            "error: {} of {} points have no outcome",
+            points.len() - records.len(),
+            points.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    if !opts.quiet {
+        eprintln!(
+            "\rdone: {} points in {:.2?}",
+            records.len(),
+            started.elapsed()
+        );
+        let metrics = sweep_metrics(&records);
+        let counts = status_counts(&records);
+        eprintln!(
+            "metrics: retries={} timeouts={} failures={} undrained_points={} digest_points={} \
+             worker_crashes={} lease_takeovers={} cache_hits={} cache_corrupt={} quarantined={}",
+            metrics.counter("sweep.retries"),
+            metrics.counter("sweep.timeouts"),
+            metrics.counter("sweep.failures"),
+            metrics.counter("sweep.undrained_points"),
+            metrics.counter("sweep.digest_points"),
+            report.crashes,
+            report.takeovers,
+            report.cache_hits,
+            report.cache_corrupt,
+            report.quarantined.len(),
+        );
+        eprintln!(
+            "status: ok={} failed={} timeout={} poisoned={}",
+            counts.ok, counts.failed, counts.timeout, counts.poisoned
+        );
+    }
+    let code = emit_artifacts(opts, spec, &records);
+    if code != ExitCode::SUCCESS {
+        return code;
+    }
+    if !report.quarantined.is_empty() {
+        eprintln!(
+            "warning: sweep partially complete — {} point(s) quarantined: {:?}",
+            report.quarantined.len(),
+            report.quarantined
+        );
+        return ExitCode::from(4);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Writes the CSV/JSON artifacts and runs the golden check. Shared by
+/// the in-process and multi-process paths so the bytes cannot drift
+/// between them.
+fn emit_artifacts(opts: &Options, spec: &SweepSpec, records: &[PointRecord]) -> ExitCode {
+    let csv = to_csv(records);
     if let Some(path) = &opts.csv_out {
         if let Err(e) = std::fs::write(path, &csv) {
             eprintln!("error: cannot write {path}: {e}");
@@ -353,7 +581,7 @@ fn main() -> ExitCode {
         print!("{csv}");
     }
     if let Some(path) = &opts.json_out {
-        let doc = to_json(&spec.name, &records).to_string_pretty(2);
+        let doc = to_json(&spec.name, records).to_string_pretty(2);
         if let Err(e) = std::fs::write(path, doc) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;

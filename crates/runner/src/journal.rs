@@ -54,6 +54,31 @@ fn err<T>(message: impl Into<String>) -> Result<T, JournalError> {
     })
 }
 
+/// Makes the *directory entry* of `path` durable.
+///
+/// `sync_data` on a freshly created file persists its bytes, but not the
+/// name that points at them — after a power loss the fsync'd journal can
+/// simply not exist in its directory. POSIX answers with "fsync the
+/// parent directory"; this helper does exactly that (and is shared by
+/// the lease and cache modules, which create files with the same
+/// durability contract).
+pub(crate) fn fsync_parent_dir(path: &str) -> Result<(), JournalError> {
+    let parent = std::path::Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or_else(
+            || std::path::PathBuf::from("."),
+            std::path::Path::to_path_buf,
+        );
+    match File::open(&parent) {
+        Ok(dir) => match dir.sync_all() {
+            Ok(()) => Ok(()),
+            Err(e) => err(format!("cannot fsync directory {}: {e}", parent.display())),
+        },
+        Err(e) => err(format!("cannot open directory {}: {e}", parent.display())),
+    }
+}
+
 /// The journal's self-describing header: enough to refuse a resume
 /// against the wrong spec before any simulation time is spent.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,7 +158,9 @@ fn parse_trail(field: &str) -> Option<Vec<DigestSample>> {
 
 /// Serialises one completed point as a journal line (no newline).
 /// Floats go out as `to_bits` hex so the resumed CSV is byte-identical.
-fn point_line(outcome: &PointOutcome) -> String {
+/// Shared with the result cache, whose entries embed the same record
+/// serialisation under their own integrity digest.
+pub(crate) fn point_line(outcome: &PointOutcome) -> String {
     let r = &outcome.record;
     format!(
         "point\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{:016x}\t{:016x}\t{}\t{}",
@@ -164,7 +191,7 @@ fn point_line(outcome: &PointOutcome) -> String {
     )
 }
 
-fn parse_point_line(line: &str) -> Option<PointOutcome> {
+pub(crate) fn parse_point_line(line: &str) -> Option<PointOutcome> {
     let fields: Vec<&str> = line.split('\t').collect();
     if fields.len() != 25 || fields[0] != "point" {
         return None;
@@ -232,6 +259,10 @@ impl JournalWriter {
         {
             return err(format!("cannot write header to {path}: {e}"));
         }
+        // The file's bytes are durable; now make its *name* durable too,
+        // or a crash right here can leave a synced journal that simply
+        // is not in the directory after reboot.
+        fsync_parent_dir(path)?;
         Ok(JournalWriter { file })
     }
 
@@ -258,8 +289,33 @@ impl JournalWriter {
             if let Err(e) = file.set_len(valid_len).and_then(|()| file.sync_data()) {
                 return err(format!("cannot drop torn tail of {path}: {e}"));
             }
+            // The truncation changed the file's metadata; sync the
+            // directory so the shorter length survives a power loss the
+            // same way the appends themselves do.
+            fsync_parent_dir(path)?;
         }
         Ok(JournalWriter { file })
+    }
+
+    /// Appends a `start` marker: point `index` is about to run in this
+    /// process. Synced before the point starts, so a crash mid-point
+    /// leaves a dangling marker naming the culprit — this is how the
+    /// multi-process supervisor attributes a worker's death to the point
+    /// that killed it (and quarantines repeat offenders).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure writing or syncing.
+    pub fn append_start(&mut self, index: usize) -> Result<(), JournalError> {
+        let line = format!("start\t{index}\n");
+        match self
+            .file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.sync_data())
+        {
+            Ok(()) => Ok(()),
+            Err(e) => err(format!("cannot append start marker: {e}")),
+        }
     }
 
     /// Appends one completed point and syncs it to disk.
@@ -294,6 +350,20 @@ pub struct LoadedJournal {
     pub valid_len: u64,
 }
 
+/// A replayed worker shard journal: the completed points plus the
+/// `start` marker left dangling by a crash, if any.
+#[derive(Debug, Clone)]
+pub struct WorkerJournal {
+    /// The journal's self-describing header (same format as the main
+    /// journal's — a shard journal is bound to the same spec).
+    pub header: JournalHeader,
+    /// Every fully-written point, keyed by grid index.
+    pub done: BTreeMap<usize, PointOutcome>,
+    /// The point a `start` marker named without a completed record
+    /// following it — the point the worker was running when it died.
+    pub dangling_start: Option<usize>,
+}
+
 /// Replays a journal: the header plus every fully-written point, keyed
 /// by grid index. A torn final line is dropped silently (that is the
 /// expected crash artifact) — the file is read as bytes and decoded per
@@ -305,6 +375,44 @@ pub struct LoadedJournal {
 ///
 /// Unreadable file, bad magic, malformed header, or mid-file corruption.
 pub fn load_journal(path: &str) -> Result<LoadedJournal, JournalError> {
+    let (header, done, valid_len, dangling) = load_lines(path, false)?;
+    debug_assert!(dangling.is_none(), "start markers are rejected above");
+    Ok(LoadedJournal {
+        header,
+        done,
+        valid_len,
+    })
+}
+
+/// Replays a worker shard journal, which interleaves `start` markers
+/// with completed points. The dangling marker (started, never finished)
+/// is how the supervisor names the point that killed the worker.
+///
+/// # Errors
+///
+/// Same contract as [`load_journal`].
+pub fn load_worker_journal(path: &str) -> Result<WorkerJournal, JournalError> {
+    let (header, done, _valid_len, dangling_start) = load_lines(path, true)?;
+    Ok(WorkerJournal {
+        header,
+        done,
+        dangling_start,
+    })
+}
+
+type ParsedJournal = (
+    JournalHeader,
+    BTreeMap<usize, PointOutcome>,
+    u64,
+    Option<usize>,
+);
+
+fn parse_start_line(line: &str) -> Option<usize> {
+    let index = line.strip_prefix("start\t")?;
+    index.parse().ok()
+}
+
+fn load_lines(path: &str, allow_starts: bool) -> Result<ParsedJournal, JournalError> {
     let data = match std::fs::read(path) {
         Ok(data) => data,
         Err(e) => return err(format!("cannot read {path}: {e}")),
@@ -339,6 +447,7 @@ pub fn load_journal(path: &str) -> Result<LoadedJournal, JournalError> {
         })?;
 
     let mut done = BTreeMap::new();
+    let mut dangling_start: Option<usize> = None;
     let mut pending_torn: Option<usize> = None;
     let mut valid_len = (spans[0].1 + 1) as u64;
     for (i, &(s, e, terminated)) in spans.iter().enumerate().skip(1) {
@@ -351,12 +460,26 @@ pub fn load_journal(path: &str) -> Result<LoadedJournal, JournalError> {
                 at + 1
             ));
         }
-        let parsed = std::str::from_utf8(&data[s..e])
-            .ok()
-            .and_then(parse_point_line);
-        match parsed {
+        let text = std::str::from_utf8(&data[s..e]).ok();
+        if allow_starts {
+            if let Some(index) = text.and_then(parse_start_line) {
+                if terminated {
+                    valid_len = (e + 1) as u64;
+                    dangling_start = Some(index);
+                } else {
+                    // The crash landed inside the marker itself: nothing
+                    // was started, so there is no culprit to attribute.
+                    pending_torn = Some(i);
+                }
+                continue;
+            }
+        }
+        match text.and_then(parse_point_line) {
             Some(outcome) if terminated => {
                 valid_len = (e + 1) as u64;
+                // The point that was started has now finished — its
+                // marker is no longer evidence of a crash.
+                dangling_start = None;
                 done.insert(outcome.record.index, outcome);
             }
             // Unparseable, or parseable but missing the newline that
@@ -366,11 +489,7 @@ pub fn load_journal(path: &str) -> Result<LoadedJournal, JournalError> {
             _ => pending_torn = Some(i),
         }
     }
-    Ok(LoadedJournal {
-        header,
-        done,
-        valid_len,
-    })
+    Ok((header, done, valid_len, dangling_start))
 }
 
 fn parse_header(line: &str) -> Option<JournalHeader> {
@@ -562,6 +681,69 @@ mod tests {
         drop(w);
         let j = load_journal(&path).expect("load");
         assert_eq!(j.done.len(), 2);
+    }
+
+    #[test]
+    fn a_dangling_start_marker_names_the_crashed_point() {
+        let path = tmp("dangling");
+        let mut w = JournalWriter::create(&path, &header()).expect("create");
+        w.append_start(0).expect("start 0");
+        w.append(&sample_outcome(0)).expect("finish 0");
+        w.append_start(7).expect("start 7");
+        drop(w); // simulated SIGKILL mid-point
+        let j = load_worker_journal(&path).expect("load worker journal");
+        assert_eq!(j.header, header());
+        assert_eq!(j.done.len(), 1);
+        assert!(j.done.contains_key(&0));
+        assert_eq!(
+            j.dangling_start,
+            Some(7),
+            "the unfinished point is the culprit"
+        );
+    }
+
+    #[test]
+    fn a_completed_point_clears_its_start_marker() {
+        let path = tmp("cleared");
+        let mut w = JournalWriter::create(&path, &header()).expect("create");
+        w.append_start(3).expect("start");
+        w.append(&sample_outcome(3)).expect("finish");
+        drop(w);
+        let j = load_worker_journal(&path).expect("load");
+        assert_eq!(j.dangling_start, None, "a clean exit leaves no culprit");
+        assert!(j.done.contains_key(&3));
+    }
+
+    #[test]
+    fn a_torn_start_marker_is_dropped_not_attributed() {
+        let path = tmp("tornstart");
+        let mut w = JournalWriter::create(&path, &header()).expect("create");
+        w.append(&sample_outcome(1)).expect("append");
+        drop(w);
+        // A crash inside the marker write itself: "start\t12" with no
+        // newline. Nothing actually started, so no point is blamed.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.extend_from_slice(b"start\t12");
+        std::fs::write(&path, bytes).expect("tear");
+        let j = load_worker_journal(&path).expect("torn marker tolerated");
+        assert_eq!(j.dangling_start, None);
+        assert_eq!(j.done.len(), 1);
+    }
+
+    #[test]
+    fn the_main_journal_loader_rejects_interleaved_start_markers() {
+        // `start` lines are a worker-shard dialect; in the merged main
+        // journal a mid-file one is corruption, same as any other
+        // unparseable interior line.
+        let path = tmp("strict");
+        let mut w = JournalWriter::create(&path, &header()).expect("create");
+        w.append_start(2).expect("start");
+        w.append(&sample_outcome(2)).expect("finish");
+        drop(w);
+        let e = load_journal(&path).expect_err("strict loader must balk");
+        assert!(e.message.contains("corrupt line"), "{e}");
+        // But the worker loader reads the same bytes happily.
+        assert!(load_worker_journal(&path).is_ok());
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Shard leases: how a multi-process sweep decides who owns what.
+//!
+//! A `sweep --workers N` run splits the grid into `N` shards (point
+//! `index % N`). Each worker process claims its shard by writing a
+//! **lease file** next to the journal — `<journal>.s<K>.lease` — and
+//! then heartbeats it for as long as it is alive. The lease carries a
+//! **generation** number, which is the fencing token: every time the
+//! supervisor re-claims a shard after a worker death, the generation is
+//! bumped, and each generation appends to its *own* shard journal
+//! (`<journal>.s<K>.g<G>`). A stale worker that wakes up after being
+//! declared dead can therefore never corrupt the current generation's
+//! file — the worst it can do is append to a journal nobody will read
+//! again.
+//!
+//! Lease format, one line, rewritten atomically (temp + rename) on
+//! every heartbeat:
+//!
+//! ```text
+//! noc-sweep-lease v1\tshard=<dec>\tgen=<dec>\tpid=<dec>\tbeat=<dec>
+//! ```
+//!
+//! Staleness is judged by the *supervisor*, not by wall-clock fields in
+//! the file (clocks are not trusted across crashes): the supervisor
+//! polls the lease and declares it stale when the `(gen, beat)` pair
+//! has not advanced for longer than the lease timeout.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use crate::journal::fsync_parent_dir;
+
+/// A lease that cannot be written, read, or parsed.
+#[must_use]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for LeaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard lease: {}", self.message)
+    }
+}
+
+impl std::error::Error for LeaseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, LeaseError> {
+    Err(LeaseError {
+        message: message.into(),
+    })
+}
+
+const MAGIC: &str = "noc-sweep-lease v1";
+
+/// Path of shard `shard`'s lease file, derived from the main journal
+/// path so all of a sweep's coordination state lives side by side.
+pub fn lease_path(journal_path: &str, shard: usize) -> String {
+    format!("{journal_path}.s{shard}.lease")
+}
+
+/// Path of the shard journal written by generation `generation` of
+/// shard `shard`. One file per generation is what makes the fencing
+/// token airtight: a deposed worker still holds an fd to *its*
+/// generation's file, never the successor's.
+pub fn worker_journal_path(journal_path: &str, shard: usize, generation: u64) -> String {
+    format!("{journal_path}.s{shard}.g{generation}")
+}
+
+/// The decoded contents of a lease file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Which shard this lease covers.
+    pub shard: usize,
+    /// Fencing token: bumped by the supervisor on every takeover.
+    pub generation: u64,
+    /// OS pid of the worker holding the lease (used by the chaos
+    /// harness to aim its SIGKILLs, and by humans reading the dir).
+    pub pid: u32,
+    /// Heartbeat counter; advances while the holder is alive.
+    pub beat: u64,
+}
+
+fn lease_line(lease: &Lease) -> String {
+    format!(
+        "{MAGIC}\tshard={}\tgen={}\tpid={}\tbeat={}\n",
+        lease.shard, lease.generation, lease.pid, lease.beat,
+    )
+}
+
+fn parse_lease(text: &str) -> Option<Lease> {
+    let rest = text.trim_end_matches('\n').strip_prefix(MAGIC)?;
+    let mut shard = None;
+    let mut generation = None;
+    let mut pid = None;
+    let mut beat = None;
+    for field in rest.split('\t').filter(|f| !f.is_empty()) {
+        let (key, value) = field.split_once('=')?;
+        match key {
+            "shard" => shard = value.parse::<usize>().ok(),
+            "gen" => generation = value.parse::<u64>().ok(),
+            "pid" => pid = value.parse::<u32>().ok(),
+            "beat" => beat = value.parse::<u64>().ok(),
+            _ => {}
+        }
+    }
+    Some(Lease {
+        shard: shard?,
+        generation: generation?,
+        pid: pid?,
+        beat: beat?,
+    })
+}
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, fsync, rename over the target, fsync the directory. A
+/// reader never observes a half-written lease, and the rename survives
+/// a power loss.
+fn write_atomic(path: &str, contents: &str) -> Result<(), LeaseError> {
+    let tmp = format!("{path}.tmp");
+    let mut file = match File::create(&tmp) {
+        Ok(f) => f,
+        Err(e) => return err(format!("cannot create {tmp}: {e}")),
+    };
+    if let Err(e) = file
+        .write_all(contents.as_bytes())
+        .and_then(|()| file.sync_data())
+    {
+        return err(format!("cannot write {tmp}: {e}"));
+    }
+    drop(file);
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        return err(format!("cannot rename {tmp} over {path}: {e}"));
+    }
+    match fsync_parent_dir(path) {
+        Ok(()) => Ok(()),
+        Err(e) => err(e.message),
+    }
+}
+
+/// Reads the lease at `path`. `Ok(None)` means no lease exists (the
+/// shard is unclaimed); a present-but-unparseable lease is an error,
+/// because every write is atomic — garbage cannot be a torn write, only
+/// real corruption or foreign data.
+///
+/// # Errors
+///
+/// Unreadable (other than absent) or unparseable lease file.
+pub fn read_lease(path: &str) -> Result<Option<Lease>, LeaseError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return err(format!("cannot read {path}: {e}")),
+    };
+    match parse_lease(&text) {
+        Some(lease) => Ok(Some(lease)),
+        None => err(format!("{path}: bad lease line {text:?}")),
+    }
+}
+
+/// A claimed shard lease, held by a worker for the duration of its run.
+/// The worker heartbeats via [`LeaseHolder::beat`]; dropping the holder
+/// does *not* release the lease (a crash wouldn't either — the
+/// supervisor's staleness detection is the single release path).
+#[derive(Debug)]
+pub struct LeaseHolder {
+    path: String,
+    lease: Lease,
+}
+
+impl LeaseHolder {
+    /// Claims shard `shard` at generation `generation` for this
+    /// process: writes the lease file with `beat=0`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure writing the lease.
+    pub fn claim(
+        journal_path: &str,
+        shard: usize,
+        generation: u64,
+    ) -> Result<LeaseHolder, LeaseError> {
+        let lease = Lease {
+            shard,
+            generation,
+            pid: std::process::id(),
+            beat: 0,
+        };
+        let path = lease_path(journal_path, shard);
+        write_atomic(&path, &lease_line(&lease))?;
+        Ok(LeaseHolder { path, lease })
+    }
+
+    /// Advances the heartbeat counter and rewrites the lease.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure writing the lease.
+    pub fn beat(&mut self) -> Result<(), LeaseError> {
+        self.lease.beat += 1;
+        write_atomic(&self.path, &lease_line(&self.lease))
+    }
+
+    /// The lease as last written.
+    pub fn lease(&self) -> &Lease {
+        &self.lease
+    }
+}
+
+/// Supervisor-side staleness detector for one shard's lease.
+///
+/// The supervisor polls [`read_lease`] and feeds each observation in;
+/// the monitor answers "has this lease stopped moving for longer than
+/// the timeout?" using its *own* clock, so worker and supervisor clocks
+/// never need to agree.
+#[derive(Debug)]
+pub struct LeaseMonitor {
+    timeout: Duration,
+    seen: Option<(u64, u64)>,
+    changed_at: Instant,
+}
+
+impl LeaseMonitor {
+    /// A monitor that declares a lease stale after `timeout` without an
+    /// observed `(generation, beat)` change.
+    pub fn new(timeout: Duration) -> LeaseMonitor {
+        LeaseMonitor {
+            timeout,
+            seen: None,
+            changed_at: Instant::now(),
+        }
+    }
+
+    /// Feeds one observation; returns `true` if the lease is now stale
+    /// (unchanged for longer than the timeout).
+    pub fn observe(&mut self, generation: u64, beat: u64) -> bool {
+        let now = (generation, beat);
+        if self.seen != Some(now) {
+            self.seen = Some(now);
+            self.changed_at = Instant::now();
+            return false;
+        }
+        self.changed_at.elapsed() > self.timeout
+    }
+
+    /// Forgets all history — used after a takeover so the successor
+    /// generation starts with a fresh staleness window.
+    pub fn reset(&mut self) {
+        self.seen = None;
+        self.changed_at = Instant::now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("noc-lease-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir tempdir");
+        dir.join("sweep.ckpt").to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn claim_writes_a_readable_lease() {
+        let journal = tmp("claim");
+        let holder = LeaseHolder::claim(&journal, 2, 5).expect("claim");
+        let lease = read_lease(&lease_path(&journal, 2))
+            .expect("read")
+            .expect("present");
+        assert_eq!(lease, *holder.lease());
+        assert_eq!(lease.shard, 2);
+        assert_eq!(lease.generation, 5);
+        assert_eq!(lease.pid, std::process::id());
+        assert_eq!(lease.beat, 0);
+    }
+
+    #[test]
+    fn beats_advance_monotonically_on_disk() {
+        let journal = tmp("beat");
+        let mut holder = LeaseHolder::claim(&journal, 0, 1).expect("claim");
+        let path = lease_path(&journal, 0);
+        for expected in 1..=3u64 {
+            holder.beat().expect("beat");
+            let lease = read_lease(&path).expect("read").expect("present");
+            assert_eq!(lease.beat, expected);
+        }
+    }
+
+    #[test]
+    fn an_absent_lease_is_none_and_garbage_is_an_error() {
+        let journal = tmp("absent");
+        assert_eq!(
+            read_lease(&lease_path(&journal, 9)).expect("absent ok"),
+            None
+        );
+        let path = lease_path(&journal, 9);
+        std::fs::write(&path, "not a lease\n").expect("write garbage");
+        let e = read_lease(&path).expect_err("garbage must not be silent");
+        assert!(e.message.contains("bad lease line"), "{e}");
+    }
+
+    #[test]
+    fn monitor_flags_a_frozen_lease_and_recovers_on_movement() {
+        let mut m = LeaseMonitor::new(Duration::from_millis(30));
+        assert!(!m.observe(1, 0), "first sighting is never stale");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(m.observe(1, 0), "frozen past the timeout is stale");
+        assert!(!m.observe(1, 1), "a heartbeat un-stales the lease");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(m.observe(1, 1));
+        assert!(!m.observe(2, 0), "a new generation resets the clock");
+        m.reset();
+        assert!(!m.observe(2, 0), "reset forgets the frozen history");
+    }
+
+    #[test]
+    fn generation_scoped_journal_paths_never_collide() {
+        let j = "out/sweep.csv.ckpt";
+        let mut seen = std::collections::BTreeSet::new();
+        for shard in 0..4usize {
+            assert!(seen.insert(lease_path(j, shard)));
+            for generation in 0..3u64 {
+                assert!(seen.insert(worker_journal_path(j, shard, generation)));
+            }
+        }
+    }
+}

@@ -29,24 +29,40 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod journal;
+pub mod lease;
 pub mod org;
 pub mod point;
 pub mod pool;
 pub mod report;
 pub mod seed;
 pub mod spec;
+pub mod supervisor;
 
-pub use journal::{load_journal, JournalError, JournalHeader, JournalWriter, LoadedJournal};
+pub use cache::{CacheLookup, ResultCache};
+pub use journal::{
+    load_journal, load_worker_journal, JournalError, JournalHeader, JournalWriter, LoadedJournal,
+    WorkerJournal,
+};
+pub use lease::{
+    lease_path, read_lease, worker_journal_path, Lease, LeaseError, LeaseHolder, LeaseMonitor,
+};
 pub use org::{build_network, BoxedNet, Organization};
 pub use point::{
-    first_divergence, run_point, run_point_full, run_points, run_points_full, verify_digest_trail,
-    PointOutcome, PointRecord, PointSpec, WallGuard,
+    first_divergence, run_point, run_point_full, run_point_full_cancellable, run_points,
+    run_points_full, run_points_full_with, verify_digest_trail, PointOutcome, PointRecord,
+    PointSpec, WallGuard,
 };
 pub use pool::{run_tasks, run_tasks_with, Outcome};
-pub use report::{csv_row, diff_csv, to_csv, to_json, CsvDivergence, CSV_HEADER};
+pub use report::{
+    csv_row, diff_csv, status_counts, to_csv, to_json, CsvDivergence, StatusCounts, CSV_HEADER,
+};
 pub use seed::derive_seed;
 pub use spec::{pattern_from_key, pattern_key, FaultEventSpec, FaultSpec, SpecError, SweepSpec};
+pub use supervisor::{
+    run_supervised, run_worker, SupervisorConfig, SupervisorError, SupervisorReport, WorkerConfig,
+};
 
 /// The worker count to use when the caller does not specify one: the
 /// `NOC_THREADS` environment variable if set and positive, else the

@@ -110,6 +110,19 @@ impl PointSpec {
             ..PointRecord::zeroed(self)
         }
     }
+
+    /// The record for a quarantined point: one that killed its worker
+    /// process `crashes` times in a row. Every field except the status
+    /// and attempt count is the deterministic zeroed baseline, so the
+    /// row's bytes depend only on the crash limit — not on which worker
+    /// died or when.
+    pub fn poisoned_record(&self, crashes: u32) -> PointRecord {
+        PointRecord {
+            status: format!("poisoned(killed worker x{crashes})"),
+            attempts: crashes,
+            ..PointRecord::zeroed(self)
+        }
+    }
 }
 
 /// The measured results of one point — one CSV row of the artifact.
@@ -298,7 +311,7 @@ impl Drop for WallGuard {
 /// wall-clock budgets. Deliveries are counted from the window boundary
 /// onward (including the drain, so slow packets injected inside the
 /// window are not silently censored).
-fn run_attempt(p: &PointSpec, attempt: u32) -> PointOutcome {
+fn run_attempt(p: &PointSpec, attempt: u32, external: Option<&CancelToken>) -> PointOutcome {
     let cfg = match p.config() {
         Ok(cfg) => cfg,
         Err(message) => {
@@ -330,8 +343,15 @@ fn run_attempt(p: &PointSpec, attempt: u32) -> PointOutcome {
                 trail.push((now, d));
             }
         }
+        // Budget checks in a fixed order: the *deterministic* cycle
+        // budget wins every tie, so a token that fires on exactly the
+        // budget cycle still yields the same `timeout(cycles>...)` row
+        // on every run — never a race between two statuses.
         if p.cycle_budget > 0 && now >= p.cycle_budget {
             return Some(format!("timeout(cycles>{})", p.cycle_budget));
+        }
+        if external.is_some_and(CancelToken::is_cancelled) {
+            return Some("timeout(cancelled)".to_string());
         }
         if token.is_cancelled() {
             return Some(format!("timeout(wall>{}ms)", p.wall_budget_ms));
@@ -387,6 +407,20 @@ fn run_attempt(p: &PointSpec, attempt: u32) -> PointOutcome {
     if timeout.is_some() {
         token.cancel();
     }
+    // A wall-clock or external-cancel trip lands at a nondeterministic
+    // cycle, so any stats and digests gathered up to it are
+    // run-dependent. Zero them: the row then carries only deterministic
+    // bytes (status, seed, grid fields) and stays identical across
+    // re-runs — which is also what lets a supervisor's shutdown rows
+    // merge cleanly. Cycle-budget timeouts keep their stats; they trip
+    // at an exact cycle.
+    if timeout
+        .as_deref()
+        .is_some_and(|t| t == "timeout(cancelled)" || t.starts_with("timeout(wall>"))
+    {
+        measured = false;
+        trail.clear();
+    }
 
     let mut rec = PointRecord::zeroed(p);
     rec.seed = seed;
@@ -435,23 +469,48 @@ fn backoff_delay_ms(p: &PointSpec, attempt: u32) -> u64 {
 /// also in the `undrained` column, but silence here has historically
 /// hidden censored tails.
 pub fn run_point_full(p: &PointSpec) -> PointOutcome {
+    run_point_full_inner(p, None)
+}
+
+/// Like [`run_point_full`], but the caller supplies a cancellation
+/// token: when it fires, the in-flight attempt stops at its next cycle
+/// boundary with a deterministic `timeout(cancelled)` row (zeroed
+/// stats, no digest trail) and the retry ladder does not continue — a
+/// sweep being torn down must not sleep through backoffs.
+pub fn run_point_full_cancellable(p: &PointSpec, cancel: &CancelToken) -> PointOutcome {
+    run_point_full_inner(p, Some(cancel))
+}
+
+fn run_point_full_inner(p: &PointSpec, cancel: Option<&CancelToken>) -> PointOutcome {
     let total_attempts = p.max_retries.saturating_add(1);
     let mut last: Option<PointOutcome> = None;
     for attempt in 0..total_attempts {
         if attempt > 0 && p.backoff_ms > 0 {
             std::thread::sleep(Duration::from_millis(backoff_delay_ms(p, attempt)));
         }
-        let mut outcome = match catch_unwind(AssertUnwindSafe(|| run_attempt(p, attempt))) {
+        let seed = if attempt == 0 {
+            p.seed
+        } else {
+            derive_seed(p.base_seed, p.index as u64, attempt)
+        };
+        let mut outcome = match catch_unwind(AssertUnwindSafe(|| run_attempt(p, attempt, cancel))) {
             Ok(outcome) => outcome,
+            // Name the crash site: "which point, which seed, which
+            // attempt" is the difference between a reproducible bug
+            // report and a bare panic payload in a million-row sweep.
             Err(payload) => PointOutcome {
-                record: p.failed_record(&panic_message(payload.as_ref())),
+                record: p.failed_record(&format!(
+                    "point {} seed {seed} attempt {attempt}: {}",
+                    p.index,
+                    panic_message(payload.as_ref())
+                )),
                 trail: Vec::new(),
             },
         };
         outcome.record.attempts = attempt + 1;
-        let ok = outcome.record.status == "ok";
+        let stop = outcome.record.status == "ok" || cancel.is_some_and(CancelToken::is_cancelled);
         last = Some(outcome);
-        if ok {
+        if stop {
             break;
         }
     }
@@ -516,7 +575,9 @@ pub fn run_points(
         .zip(points)
         .map(|(outcome, p)| match outcome {
             Outcome::Done(rec) => rec,
-            Outcome::Panicked(message) => p.failed_record(&message),
+            Outcome::Panicked { message, .. } => {
+                p.failed_record(&format!("point {} seed {}: {message}", p.index, p.seed))
+            }
         })
         .collect()
 }
@@ -528,24 +589,37 @@ pub fn run_points(
 pub fn run_points_full(
     points: &[PointSpec],
     threads: usize,
+    on_complete: impl FnMut(usize, &PointOutcome, usize, usize),
+) -> Vec<PointOutcome> {
+    run_points_full_with(points, threads, |i| run_point_full(&points[i]), on_complete)
+}
+
+/// The general form of [`run_points_full`]: the caller supplies the
+/// per-point task, so a wrapper can interpose — consult a result cache,
+/// thread a cancellation token, journal `start` markers — while keeping
+/// the pool's panic isolation, index-ordered results, and completion
+/// streaming. `task(i)` must stay a pure function of `i` for the
+/// byte-identity guarantee to hold.
+pub fn run_points_full_with(
+    points: &[PointSpec],
+    threads: usize,
+    task: impl Fn(usize) -> PointOutcome + Sync,
     mut on_complete: impl FnMut(usize, &PointOutcome, usize, usize),
 ) -> Vec<PointOutcome> {
     let to_outcome = |i: usize, outcome: &Outcome<PointOutcome>| match outcome {
         Outcome::Done(o) => o.clone(),
-        Outcome::Panicked(message) => PointOutcome {
-            record: points[i].failed_record(message),
+        Outcome::Panicked { message, .. } => PointOutcome {
+            record: points[i].failed_record(&format!(
+                "point {} seed {}: {message}",
+                points[i].index, points[i].seed
+            )),
             trail: Vec::new(),
         },
     };
-    let outcomes = run_tasks_with(
-        points.len(),
-        threads,
-        |i| run_point_full(&points[i]),
-        |i, outcome, done, total| {
-            let resolved = to_outcome(i, outcome);
-            on_complete(i, &resolved, done, total);
-        },
-    );
+    let outcomes = run_tasks_with(points.len(), threads, task, |i, outcome, done, total| {
+        let resolved = to_outcome(i, outcome);
+        on_complete(i, &resolved, done, total);
+    });
     outcomes
         .into_iter()
         .enumerate()

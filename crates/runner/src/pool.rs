@@ -20,9 +20,16 @@ use std::sync::mpsc;
 pub enum Outcome<T> {
     /// The task ran to completion.
     Done(T),
-    /// The task panicked; the payload message is preserved. The sweep
-    /// records the point as failed and carries on.
-    Panicked(String),
+    /// The task panicked; the payload message is preserved along with
+    /// the index of the task that blew up, so a sweep can say *which
+    /// point* crashed without the caller re-threading that context. The
+    /// sweep records the point as failed and carries on.
+    Panicked {
+        /// Index of the task that panicked.
+        task: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
 }
 
 impl<T> Outcome<T> {
@@ -30,7 +37,7 @@ impl<T> Outcome<T> {
     pub fn done(self) -> Option<T> {
         match self {
             Outcome::Done(v) => Some(v),
-            Outcome::Panicked(_) => None,
+            Outcome::Panicked { .. } => None,
         }
     }
 }
@@ -124,7 +131,10 @@ where
 fn run_one<T, F: Fn(usize) -> T>(task: &F, i: usize) -> Outcome<T> {
     match catch_unwind(AssertUnwindSafe(|| task(i))) {
         Ok(v) => Outcome::Done(v),
-        Err(payload) => Outcome::Panicked(panic_message(payload.as_ref())),
+        Err(payload) => Outcome::Panicked {
+            task: i,
+            message: panic_message(payload.as_ref()),
+        },
     }
 }
 
@@ -176,9 +186,10 @@ mod tests {
         for (i, o) in out.iter().enumerate() {
             match o {
                 Outcome::Done(v) => assert_eq!(*v, i),
-                Outcome::Panicked(msg) => {
+                Outcome::Panicked { task, message } => {
                     assert_eq!(i, 2);
-                    assert!(msg.contains("task 2 exploded"), "got: {msg}");
+                    assert_eq!(*task, 2, "the outcome must name its own index");
+                    assert!(message.contains("task 2 exploded"), "got: {message}");
                 }
             }
         }
@@ -188,7 +199,7 @@ mod tests {
     fn serial_path_isolates_panics_too() {
         let out = run_tasks(3, 1, |i| assert!(i != 1), |_, _| {});
         assert!(matches!(out[0], Outcome::Done(())));
-        assert!(matches!(out[1], Outcome::Panicked(_)));
+        assert!(matches!(out[1], Outcome::Panicked { task: 1, .. }));
         assert!(matches!(out[2], Outcome::Done(())));
     }
 

@@ -51,6 +51,39 @@ pub fn csv_row(r: &PointRecord) -> String {
     )
 }
 
+/// Row counts by status family — the one-line health summary a sweep
+/// prints to stderr (never into the artifacts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusCounts {
+    /// Rows with status `ok`.
+    pub ok: usize,
+    /// Rows with a `failed(...)` status (bad config, panic).
+    pub failed: usize,
+    /// Rows with a `timeout(...)` status (cycle/wall budget, cancel).
+    pub timeout: usize,
+    /// Rows with a `poisoned(...)` status (quarantined worker-killers).
+    pub poisoned: usize,
+}
+
+/// Tallies records into [`StatusCounts`]. A status outside the four
+/// known families counts as `failed` — an unknown status is not a
+/// healthy row, and silently dropping it would make the summary lie.
+pub fn status_counts(records: &[PointRecord]) -> StatusCounts {
+    let mut c = StatusCounts::default();
+    for r in records {
+        if r.status == "ok" {
+            c.ok += 1;
+        } else if r.status.starts_with("timeout(") {
+            c.timeout += 1;
+        } else if r.status.starts_with("poisoned(") {
+            c.poisoned += 1;
+        } else {
+            c.failed += 1;
+        }
+    }
+    c
+}
+
 /// Formats all records as a CSV document (header + one row per record,
 /// trailing newline).
 pub fn to_csv(records: &[PointRecord]) -> String {

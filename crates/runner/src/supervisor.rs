@@ -1,0 +1,787 @@
+//! Multi-process sweep execution: a supervisor, N worker processes,
+//! and the crash-recovery protocol between them.
+//!
+//! `sweep --workers N` turns the sweep into a small fault-tolerant
+//! fleet. The parent becomes a **supervisor**: it consolidates any
+//! prior progress into the main journal, then spawns one **worker**
+//! process per shard (point `index % N`). Each worker claims its shard
+//! with a heartbeat lease ([`crate::lease`]), journals a fsync'd
+//! `start` marker before every point, runs the point (consulting the
+//! result cache when one is configured), and journals the completed
+//! row — all into a *generation-scoped* shard journal that a deposed
+//! predecessor can never touch.
+//!
+//! When a worker dies — SIGKILL, OOM kill, `abort()` — the supervisor
+//! reaps it (or SIGKILLs it first if only its lease went stale, i.e. a
+//! hang), harvests every completed point from the dead worker's shard
+//! journal (each was fsync'd before the worker moved on, so nothing
+//! finished is ever lost), attributes the death to the point named by
+//! the dangling `start` marker, and respawns the shard at the next
+//! lease generation. A point that kills `crash_limit` workers in a row
+//! is **quarantined**: it becomes a deterministic `poisoned(...)` row
+//! and the sweep carries on — one pathological point cannot wedge a
+//! million-point grid.
+//!
+//! Because workers re-run crashed points from attempt 0 with the same
+//! derived seeds, and all coordination state lives outside the
+//! artifact rows, the merged CSV/JSON are **byte-identical** to a
+//! single-process run no matter how many workers were killed along the
+//! way.
+
+use std::collections::BTreeMap;
+use std::io::Read as _;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use niobs::{Event, MetricsRegistry};
+
+use crate::cache::{CacheLookup, ResultCache};
+use crate::journal::{load_journal, load_worker_journal, JournalHeader, JournalWriter};
+use crate::lease::{lease_path, read_lease, worker_journal_path, LeaseHolder, LeaseMonitor};
+use crate::point::{run_point_full, PointOutcome, PointSpec};
+use crate::spec::SweepSpec;
+
+/// How often the supervisor polls worker exits and lease freshness.
+const POLL_MS: u64 = 10;
+
+/// Environment variable for the chaos test harness: a comma-separated
+/// list of point indices at which a worker calls `process::abort()`
+/// *after* journaling the `start` marker and *before* running the
+/// point. Unset (the normal case) it is completely inert.
+pub(crate) const TEST_ABORT_ENV: &str = "NOC_SWEEP_TEST_ABORT_POINT";
+
+/// A multi-process sweep that cannot make progress.
+#[must_use]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorError {
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "supervisor: {}", self.message)
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, SupervisorError> {
+    Err(SupervisorError {
+        message: message.into(),
+    })
+}
+
+fn expected_header(spec: &SweepSpec, count: usize) -> JournalHeader {
+    JournalHeader {
+        spec_hash: spec.spec_hash(),
+        base_seed: spec.base_seed,
+        count,
+        name: spec.name.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+/// Everything a worker process needs, decoded from the hidden
+/// `--worker-shard`/`--worker-gen` CLI surface by `sweep`.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Path of the sweep spec JSON (workers re-load it themselves).
+    pub spec_path: String,
+    /// Path of the main checkpoint journal (also the naming root for
+    /// leases and shard journals).
+    pub journal_path: String,
+    /// This worker's shard: it runs points with `index % workers == shard`.
+    pub shard: usize,
+    /// Total shard count (the supervisor's `--workers N`).
+    pub workers: usize,
+    /// Lease generation (fencing token) this worker runs at.
+    pub generation: u64,
+    /// Quarantined point indices to skip entirely.
+    pub skip: Vec<usize>,
+    /// Result-cache directory, when caching is enabled.
+    pub cache_dir: Option<String>,
+    /// Lease staleness timeout in milliseconds; the worker heartbeats
+    /// at a fifth of this.
+    pub lease_timeout_ms: u64,
+}
+
+/// What a worker accomplished, printed as a single machine-readable
+/// stdout line (`worker-summary\t...`) for the supervisor to collect.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct WorkerSummary {
+    ran: u64,
+    cache_hits: u64,
+    cache_corrupt: u64,
+}
+
+fn summary_line(shard: usize, s: &WorkerSummary) -> String {
+    format!(
+        "worker-summary\tshard={shard}\tran={}\tcache_hits={}\tcache_corrupt={}",
+        s.ran, s.cache_hits, s.cache_corrupt
+    )
+}
+
+fn parse_summary(stdout: &str) -> Option<WorkerSummary> {
+    let line = stdout.lines().find(|l| l.starts_with("worker-summary\t"))?;
+    let mut s = WorkerSummary::default();
+    for field in line.split('\t').skip(1) {
+        let Some((key, value)) = field.split_once('=') else {
+            continue;
+        };
+        let Ok(n) = value.parse::<u64>() else {
+            continue;
+        };
+        match key {
+            "ran" => s.ran = n,
+            "cache_hits" => s.cache_hits = n,
+            "cache_corrupt" => s.cache_corrupt = n,
+            _ => {}
+        }
+    }
+    Some(s)
+}
+
+fn test_abort_points() -> Vec<usize> {
+    std::env::var(TEST_ABORT_ENV).map_or_else(
+        |_| Vec::new(),
+        |v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
+    )
+}
+
+/// Runs one worker process to completion: claim the shard lease, replay
+/// the main journal for prior progress, then run this shard's remaining
+/// points serially — `start` marker, (cache probe,) simulate, journal —
+/// each fsync'd before the next begins. Points run serially *within* a
+/// worker by design: process-level parallelism replaces thread-level,
+/// and a serial worker makes crash attribution exact (at most one point
+/// is ever in flight).
+///
+/// Prints the `worker-summary` line on success; the caller (the hidden
+/// worker mode of `sweep`) exits 0 after it, or 2 on any returned
+/// error — any *other* exit status is, by definition, a crash.
+///
+/// # Errors
+///
+/// Unloadable spec, mismatched or unreadable main journal, or any I/O
+/// failure on the lease or shard journal.
+pub fn run_worker(cfg: &WorkerConfig) -> Result<(), SupervisorError> {
+    let spec = match SweepSpec::load(&cfg.spec_path) {
+        Ok(spec) => spec,
+        Err(e) => return err(format!("worker shard {}: {e}", cfg.shard)),
+    };
+    let points = spec.points();
+
+    // Prior progress lives in the main journal, which the supervisor
+    // consolidates before every (re)spawn. Its header must describe
+    // this very sweep, or the shard split would silently mix grids.
+    let main = match load_journal(&cfg.journal_path) {
+        Ok(loaded) => loaded,
+        Err(e) => return err(format!("worker shard {}: {e}", cfg.shard)),
+    };
+    if main.header != expected_header(&spec, points.len()) {
+        return err(format!(
+            "worker shard {}: journal {} was written by a different sweep",
+            cfg.shard, cfg.journal_path
+        ));
+    }
+
+    // Claim the shard and start heartbeating at a fifth of the
+    // staleness timeout, so a healthy worker can miss several beats to
+    // scheduler jitter without being declared dead.
+    let holder = match LeaseHolder::claim(&cfg.journal_path, cfg.shard, cfg.generation) {
+        Ok(h) => h,
+        Err(e) => return err(format!("worker shard {}: {e}", cfg.shard)),
+    };
+    let beat_every = Duration::from_millis((cfg.lease_timeout_ms / 5).max(1));
+    let (stop_beats, beats) = mpsc::channel::<()>();
+    let heartbeat = std::thread::spawn(move || {
+        let mut holder = holder;
+        // Stop on Ok (explicit) *and* on Disconnected (the main thread
+        // dropped the sender, e.g. while unwinding) — only a Timeout
+        // means "keep beating".
+        while beats.recv_timeout(beat_every) == Err(mpsc::RecvTimeoutError::Timeout) {
+            // A failed beat is not fatal to the simulation: worst case
+            // the supervisor declares us stale and re-runs the shard.
+            let _ = holder.beat();
+        }
+    });
+
+    let result = run_worker_points(cfg, &spec, &points, &main.done);
+
+    drop(stop_beats);
+    let _ = heartbeat.join();
+
+    let summary = result?;
+    println!("{}", summary_line(cfg.shard, &summary));
+    Ok(())
+}
+
+fn run_worker_points(
+    cfg: &WorkerConfig,
+    spec: &SweepSpec,
+    points: &[PointSpec],
+    done: &BTreeMap<usize, PointOutcome>,
+) -> Result<WorkerSummary, SupervisorError> {
+    let shard_journal = worker_journal_path(&cfg.journal_path, cfg.shard, cfg.generation);
+    let mut writer =
+        match JournalWriter::create(&shard_journal, &expected_header(spec, points.len())) {
+            Ok(w) => w,
+            Err(e) => return err(format!("worker shard {}: {e}", cfg.shard)),
+        };
+    let cache = match &cfg.cache_dir {
+        Some(dir) => match ResultCache::open(dir) {
+            Ok(c) => Some(c),
+            Err(e) => return err(format!("worker shard {}: {e}", cfg.shard)),
+        },
+        None => None,
+    };
+    let abort_at = test_abort_points();
+
+    let mut summary = WorkerSummary::default();
+    for p in points {
+        if p.index % cfg.workers != cfg.shard
+            || done.contains_key(&p.index)
+            || cfg.skip.contains(&p.index)
+        {
+            continue;
+        }
+        // The marker hits the disk before the point runs: if this
+        // process dies mid-point, the dangling marker names the culprit.
+        if let Err(e) = writer.append_start(p.index) {
+            return err(format!("worker shard {}: {e}", cfg.shard));
+        }
+        if abort_at.contains(&p.index) {
+            std::process::abort();
+        }
+        let key = ResultCache::key(spec.spec_hash(), p.index, p.seed, 0);
+        let outcome = match cache.as_ref().map(|c| c.lookup(&key)) {
+            // Trust a verified entry only if it describes this exact
+            // point — a key collision must degrade to a recompute, not
+            // a wrong row.
+            Some(CacheLookup::Hit(o)) if o.record.index == p.index && o.record.seed == p.seed => {
+                summary.cache_hits += 1;
+                *o
+            }
+            probe => {
+                if matches!(probe, Some(CacheLookup::Corrupt | CacheLookup::Hit(_))) {
+                    summary.cache_corrupt += 1;
+                }
+                let fresh = run_point_full(p);
+                if let Some(c) = &cache {
+                    if let Err(e) = c.store(&key, &fresh) {
+                        // Cache writes are an optimisation; losing one
+                        // must not kill the shard.
+                        eprintln!("warning: {e}");
+                    }
+                }
+                summary.ran += 1;
+                fresh
+            }
+        };
+        if let Err(e) = writer.append(&outcome) {
+            return err(format!("worker shard {}: {e}", cfg.shard));
+        }
+    }
+    Ok(summary)
+}
+
+// ---------------------------------------------------------------------
+// Supervisor side
+// ---------------------------------------------------------------------
+
+/// Supervisor-side configuration for a multi-process sweep.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Path of the sweep spec JSON (forwarded to workers verbatim).
+    pub spec_path: String,
+    /// Path of the main checkpoint journal.
+    pub journal_path: String,
+    /// Worker process count (shards).
+    pub workers: usize,
+    /// Result-cache directory, when caching is enabled.
+    pub cache_dir: Option<String>,
+    /// Consecutive worker deaths attributed to one point before it is
+    /// quarantined as `poisoned(...)`.
+    pub crash_limit: u32,
+    /// Lease staleness timeout in milliseconds (hang detection).
+    pub lease_timeout_ms: u64,
+    /// Replay an existing main journal instead of starting fresh.
+    pub resume: bool,
+    /// Suppress progress chatter on stderr.
+    pub quiet: bool,
+}
+
+/// What a supervised sweep produced, plus its operational counters.
+#[derive(Debug)]
+pub struct SupervisorReport {
+    /// Every point's outcome, keyed by grid index (complete: resumed,
+    /// fresh, cached, and quarantined points all present).
+    pub outcomes: BTreeMap<usize, PointOutcome>,
+    /// Worker processes that died and were reaped.
+    pub crashes: u64,
+    /// Shard re-claims (a successor spawned at a bumped generation).
+    pub takeovers: u64,
+    /// Points served from the result cache.
+    pub cache_hits: u64,
+    /// Corrupted cache entries detected and recomputed.
+    pub cache_corrupt: u64,
+    /// Quarantined point indices, ascending.
+    pub quarantined: Vec<usize>,
+    /// The same counters as a metrics registry, keyed by
+    /// [`niobs::Event::name`] of the corresponding lifecycle event.
+    pub metrics: MetricsRegistry,
+}
+
+/// One live worker process being tracked by the supervisor.
+#[derive(Debug)]
+struct WorkerSlot {
+    child: Child,
+    generation: u64,
+    monitor: LeaseMonitor,
+}
+
+/// Scans the journal's directory for shard files (`<journal>.s*`) left
+/// by this or a previous run and returns their paths.
+fn shard_files(journal_path: &str) -> Vec<String> {
+    let path = std::path::Path::new(journal_path);
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let Some(base) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+        return Vec::new();
+    };
+    let prefix = format!("{base}.s");
+    let Ok(entries) = std::fs::read_dir(&parent) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with(&prefix) {
+            out.push(parent.join(&name).to_string_lossy().into_owned());
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Harvests completed points from leftover shard journals (a previous
+/// supervisor that was itself killed leaves them behind), then deletes
+/// them. Only journals whose header matches this sweep contribute.
+fn harvest_leftovers(
+    journal_path: &str,
+    header: &JournalHeader,
+    outcomes: &mut BTreeMap<usize, PointOutcome>,
+) {
+    for file in shard_files(journal_path) {
+        if file.ends_with(".lease") || file.ends_with(".tmp") {
+            let _ = std::fs::remove_file(&file);
+            continue;
+        }
+        if let Ok(shard) = load_worker_journal(&file) {
+            if shard.header == *header {
+                for (index, outcome) in shard.done {
+                    outcomes.entry(index).or_insert(outcome);
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&file);
+    }
+}
+
+impl SupervisorConfig {
+    fn spawn_worker(
+        &self,
+        shard: usize,
+        generation: u64,
+        skip: &[usize],
+    ) -> Result<Child, SupervisorError> {
+        let exe = match std::env::current_exe() {
+            Ok(exe) => exe,
+            Err(e) => return err(format!("cannot find own executable: {e}")),
+        };
+        let mut cmd = Command::new(exe);
+        cmd.arg("--spec")
+            .arg(&self.spec_path)
+            .arg("--ckpt")
+            .arg(&self.journal_path)
+            .arg("--worker-shard")
+            .arg(shard.to_string())
+            .arg("--worker-gen")
+            .arg(generation.to_string())
+            .arg("--workers")
+            .arg(self.workers.to_string())
+            .arg("--lease-timeout-ms")
+            .arg(self.lease_timeout_ms.to_string())
+            .arg("--quiet")
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        if let Some(dir) = &self.cache_dir {
+            cmd.arg("--cache").arg(dir);
+        }
+        if !skip.is_empty() {
+            let list: Vec<String> = skip.iter().map(ToString::to_string).collect();
+            cmd.arg("--skip-points").arg(list.join(","));
+        }
+        match cmd.spawn() {
+            Ok(child) => Ok(child),
+            Err(e) => err(format!("cannot spawn worker for shard {shard}: {e}")),
+        }
+    }
+}
+
+/// Runs the whole sweep across `cfg.workers` worker processes and
+/// returns the complete outcome map plus operational counters. See the
+/// module docs for the protocol; the short version: journal
+/// consolidation, spawn one worker per shard, reap/harvest/attribute/
+/// respawn on death, quarantine repeat offenders, merge at the end.
+///
+/// On success the main journal at `cfg.journal_path` contains every
+/// point (so a later `--resume` is a no-op) and all shard-coordination
+/// files have been cleaned up.
+///
+/// # Errors
+///
+/// Unreadable/mismatched resume journal, a worker exiting with a fatal
+/// configuration error, a shard dying repeatedly before starting any
+/// point, or any I/O failure on the main journal.
+pub fn run_supervised(
+    spec: &SweepSpec,
+    cfg: &SupervisorConfig,
+) -> Result<SupervisorReport, SupervisorError> {
+    let points = spec.points();
+    let header = expected_header(spec, points.len());
+
+    // Consolidate all prior progress — resumed main journal plus any
+    // shard journals orphaned by a killed supervisor — into a fresh
+    // main journal, so every worker sees one authoritative "done" set.
+    let mut outcomes: BTreeMap<usize, PointOutcome> = BTreeMap::new();
+    if cfg.resume {
+        let loaded = match load_journal(&cfg.journal_path) {
+            Ok(l) => l,
+            Err(e) => return err(format!("--resume: {e}")),
+        };
+        if loaded.header != header {
+            return err(format!(
+                "--resume: journal {} was written by a different sweep",
+                cfg.journal_path
+            ));
+        }
+        outcomes = loaded.done;
+        harvest_leftovers(&cfg.journal_path, &header, &mut outcomes);
+        outcomes.retain(|&index, _| index < points.len());
+    } else {
+        // A fresh run must not inherit stale coordination files from
+        // an unrelated earlier run in the same directory.
+        for file in shard_files(&cfg.journal_path) {
+            let _ = std::fs::remove_file(&file);
+        }
+    }
+    let mut writer = match JournalWriter::create(&cfg.journal_path, &header) {
+        Ok(w) => w,
+        Err(e) => return err(e.to_string()),
+    };
+    for outcome in outcomes.values() {
+        if let Err(e) = writer.append(outcome) {
+            return err(e.to_string());
+        }
+    }
+    if !cfg.quiet && !outcomes.is_empty() {
+        eprintln!(
+            "supervisor: {} of {} point(s) already done before spawning workers",
+            outcomes.len(),
+            points.len()
+        );
+    }
+
+    let mut report = SupervisorReport {
+        outcomes,
+        crashes: 0,
+        takeovers: 0,
+        cache_hits: 0,
+        cache_corrupt: 0,
+        quarantined: Vec::new(),
+        metrics: MetricsRegistry::new(),
+    };
+    let mut crash_counts: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut skip: Vec<usize> = Vec::new();
+    // Consecutive deaths of a shard's worker with no completed point
+    // and no attributable culprit: a disk/exec-level failure loop the
+    // quarantine machinery cannot break, so it gets its own backstop.
+    let mut unattributed = vec![0u32; cfg.workers];
+
+    let pending = |outcomes: &BTreeMap<usize, PointOutcome>, shard: usize| {
+        points
+            .iter()
+            .any(|p| p.index % cfg.workers == shard && !outcomes.contains_key(&p.index))
+    };
+
+    let mut slots: Vec<Option<WorkerSlot>> = Vec::with_capacity(cfg.workers);
+    for shard in 0..cfg.workers {
+        if pending(&report.outcomes, shard) {
+            let child = cfg.spawn_worker(shard, 0, &skip)?;
+            slots.push(Some(WorkerSlot {
+                child,
+                generation: 0,
+                monitor: LeaseMonitor::new(Duration::from_millis(cfg.lease_timeout_ms)),
+            }));
+        } else {
+            slots.push(None);
+        }
+    }
+
+    while slots.iter().any(Option::is_some) {
+        std::thread::sleep(Duration::from_millis(POLL_MS));
+        for shard in 0..cfg.workers {
+            let Some(slot) = slots[shard].as_mut() else {
+                continue;
+            };
+            match slot.child.try_wait() {
+                Err(e) => {
+                    kill_all(&mut slots);
+                    return err(format!("cannot poll worker for shard {shard}: {e}"));
+                }
+                Ok(None) => {
+                    // Alive as a process — but is it making heartbeats?
+                    // A wedged worker holds no budget the supervisor
+                    // respects other than its lease.
+                    let lease = read_lease(&lease_path(&cfg.journal_path, shard))
+                        .ok()
+                        .flatten();
+                    let stale = match lease {
+                        Some(l) if l.generation == slot.generation => {
+                            slot.monitor.observe(l.generation, l.beat)
+                        }
+                        // No lease (or a predecessor's): observed as a
+                        // distinct "not claimed yet" state that goes
+                        // stale like any other if it persists.
+                        _ => slot.monitor.observe(u64::MAX, u64::MAX),
+                    };
+                    if stale {
+                        // Fence the hung worker off with SIGKILL; the
+                        // next poll reaps it through the crash path.
+                        let _ = slot.child.kill();
+                    }
+                }
+                Ok(Some(status)) => {
+                    let mut stdout = String::new();
+                    if let Some(mut pipe) = slot.child.stdout.take() {
+                        let _ = pipe.read_to_string(&mut stdout);
+                    }
+                    let generation = slot.generation;
+                    let shard_journal = worker_journal_path(&cfg.journal_path, shard, generation);
+                    // Harvest everything the worker durably finished,
+                    // whether it exited cleanly or died mid-point.
+                    let mut progressed = 0usize;
+                    let mut dangling: Option<usize> = None;
+                    if let Ok(sj) = load_worker_journal(&shard_journal) {
+                        if sj.header == header {
+                            dangling = sj.dangling_start;
+                            for (index, outcome) in sj.done {
+                                if index >= points.len() || report.outcomes.contains_key(&index) {
+                                    continue;
+                                }
+                                if let Err(e) = writer.append(&outcome) {
+                                    kill_all(&mut slots);
+                                    return err(e.to_string());
+                                }
+                                report.outcomes.insert(index, outcome);
+                                progressed += 1;
+                            }
+                        }
+                    }
+                    let _ = std::fs::remove_file(&shard_journal);
+
+                    if status.success() {
+                        if let Some(s) = parse_summary(&stdout) {
+                            report.cache_hits += s.cache_hits;
+                            report.cache_corrupt += s.cache_corrupt;
+                            if s.cache_hits > 0 {
+                                // Aggregated: the individual hit points
+                                // are the workers' business; the
+                                // registry records the count under the
+                                // event's stable name.
+                                let name = Event::CacheHit { point: 0 }.name();
+                                report.metrics.inc(name, s.cache_hits);
+                            }
+                        }
+                        if pending(&report.outcomes, shard) {
+                            // A clean exit that left work undone is a
+                            // protocol violation; retry, but under the
+                            // same backstop as exec-loop failures.
+                            unattributed[shard] += 1;
+                        } else {
+                            slots[shard] = None;
+                            continue;
+                        }
+                    } else if status.code() == Some(2) {
+                        // The worker refused to run at all (bad spec,
+                        // unreadable journal): deterministic, so every
+                        // respawn would refuse too. Fatal.
+                        kill_all(&mut slots);
+                        return err(format!(
+                            "worker for shard {shard} failed fatally (see stderr above)"
+                        ));
+                    } else {
+                        report.crashes += 1;
+                        let crash = Event::WorkerCrash {
+                            shard: shard as u64,
+                            generation,
+                            point: dangling.map(|p| p as u64),
+                        };
+                        report.metrics.inc(crash.name(), 1);
+                        if !cfg.quiet {
+                            eprintln!(
+                                "supervisor: worker for shard {shard} (gen {generation}) \
+                                 died ({status}); {progressed} point(s) salvaged"
+                            );
+                        }
+                        if let Some(culprit) = dangling {
+                            unattributed[shard] = 0;
+                            let count = crash_counts.entry(culprit).or_insert(0);
+                            *count += 1;
+                            if *count >= cfg.crash_limit {
+                                let outcome = PointOutcome {
+                                    record: points[culprit].poisoned_record(*count),
+                                    trail: Vec::new(),
+                                };
+                                if let Err(e) = writer.append(&outcome) {
+                                    kill_all(&mut slots);
+                                    return err(e.to_string());
+                                }
+                                report.outcomes.insert(culprit, outcome);
+                                report.quarantined.push(culprit);
+                                skip.push(culprit);
+                                let q = Event::PointQuarantined {
+                                    point: culprit as u64,
+                                    crashes: *count,
+                                };
+                                report.metrics.inc(q.name(), 1);
+                                if !cfg.quiet {
+                                    eprintln!(
+                                        "supervisor: point {culprit} quarantined after \
+                                         killing {count} worker(s)"
+                                    );
+                                }
+                            }
+                        } else if progressed == 0 {
+                            unattributed[shard] += 1;
+                        } else {
+                            unattributed[shard] = 0;
+                        }
+                    }
+
+                    if unattributed[shard] > cfg.crash_limit {
+                        kill_all(&mut slots);
+                        return err(format!(
+                            "shard {shard}'s worker died {} times without starting a \
+                             point — giving up rather than respawning forever",
+                            unattributed[shard]
+                        ));
+                    }
+                    if pending(&report.outcomes, shard) {
+                        let next_generation = generation + 1;
+                        report.takeovers += 1;
+                        let takeover = Event::LeaseTakeover {
+                            shard: shard as u64,
+                            generation: next_generation,
+                        };
+                        report.metrics.inc(takeover.name(), 1);
+                        let child = match cfg.spawn_worker(shard, next_generation, &skip) {
+                            Ok(child) => child,
+                            Err(e) => {
+                                kill_all(&mut slots);
+                                return Err(e);
+                            }
+                        };
+                        let slot = slots[shard].as_mut().expect("slot is live in this branch");
+                        slot.child = child;
+                        slot.generation = next_generation;
+                        slot.monitor.reset();
+                    } else {
+                        slots[shard] = None;
+                    }
+                }
+            }
+        }
+    }
+
+    if report.outcomes.len() != points.len() {
+        return err(format!(
+            "{} of {} points have no outcome after all workers finished",
+            points.len() - report.outcomes.len(),
+            points.len()
+        ));
+    }
+    // All shards done: clear the coordination files (leases and any
+    // shard journal a deposed worker wrote after being fenced off).
+    for file in shard_files(&cfg.journal_path) {
+        let _ = std::fs::remove_file(&file);
+    }
+    report.quarantined.sort_unstable();
+    Ok(report)
+}
+
+/// SIGKILLs and reaps every live worker (the supervisor is bailing out;
+/// orphaned simulations must not outlive it).
+fn kill_all(slots: &mut [Option<WorkerSlot>]) {
+    for slot in slots.iter_mut().flatten() {
+        let _ = slot.child.kill();
+        let _ = slot.child.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_summary_line_round_trips() {
+        let s = WorkerSummary {
+            ran: 7,
+            cache_hits: 3,
+            cache_corrupt: 1,
+        };
+        let line = summary_line(2, &s);
+        let noise = format!("some banner\n{line}\ntrailing junk\n");
+        assert_eq!(parse_summary(&noise), Some(s));
+        assert_eq!(parse_summary("no summary here\n"), None);
+    }
+
+    #[test]
+    fn shard_file_scan_matches_only_this_journal() {
+        let dir = std::env::temp_dir().join(format!("noc-sup-scan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let journal = dir.join("a.ckpt").to_string_lossy().into_owned();
+        let mine = [
+            format!("{journal}.s0.g0"),
+            format!("{journal}.s1.g2"),
+            format!("{journal}.s1.lease"),
+        ];
+        let other = dir.join("b.ckpt.s0.g0").to_string_lossy().into_owned();
+        for f in mine.iter().chain(std::iter::once(&other)) {
+            std::fs::write(f, "x").expect("touch");
+        }
+        let found = shard_files(&journal);
+        assert_eq!(found.len(), mine.len(), "{found:?}");
+        assert!(mine.iter().all(|f| found.contains(f)));
+        assert!(
+            !found.contains(&other),
+            "neighbour journal must be left alone"
+        );
+    }
+
+    #[test]
+    fn abort_env_parsing_is_permissive() {
+        // Not set in tests: must be inert.
+        assert!(test_abort_points().is_empty());
+    }
+}

@@ -1,0 +1,459 @@
+//! Multi-process chaos end-to-end: SIGKILL workers mid-sweep, kill the
+//! supervisor itself, poison a point so it murders every worker that
+//! touches it, and corrupt the result cache — in every case the merged
+//! artifacts must be byte-identical to a single-process run (minus the
+//! quarantined rows, which must be exactly the documented poisoned
+//! rows), and a quarantine must end the sweep with exit 4, not abort it.
+
+use std::io::Read as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use runner::{lease_path, read_lease};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("noc-chaos-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir tempdir");
+    dir
+}
+
+/// 12 cheap points (6 rates × 2 samples) — enough to spread across
+/// workers while keeping the reference run fast.
+const FAST_SPEC: &str = r#"{
+  "name": "chaosfast",
+  "base_seed": 21,
+  "warmup": 100,
+  "measure": 400,
+  "response_fraction": 0.5,
+  "orgs": ["mesh"],
+  "patterns": ["uniform"],
+  "rates": [0.005, 0.01, 0.015, 0.02, 0.025, 0.03],
+  "radices": [8],
+  "vc_depths": [5],
+  "hpcs": [2],
+  "samples": 2,
+  "faults": [{"label": "none"}]
+}"#;
+
+/// 8 slower points — each worker holds its shard long enough for the
+/// test to observe a lease and land a SIGKILL mid-run.
+const SLOW_SPEC: &str = r#"{
+  "name": "chaosslow",
+  "base_seed": 22,
+  "warmup": 500,
+  "measure": 2500,
+  "response_fraction": 0.5,
+  "orgs": ["mesh"],
+  "patterns": ["uniform"],
+  "rates": [0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.035, 0.04],
+  "radices": [8],
+  "vc_depths": [5],
+  "hpcs": [2],
+  "samples": 1,
+  "faults": [{"label": "none"}]
+}"#;
+
+fn sweep_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sweep"))
+}
+
+fn path_str(p: &Path) -> &str {
+    p.to_str().expect("utf8 path")
+}
+
+/// Runs the single-process reference sweep and returns its CSV bytes.
+fn reference_csv(spec: &Path, csv: &Path) -> Vec<u8> {
+    let status = sweep_cmd()
+        .args(["--spec", path_str(spec)])
+        .args(["--threads", "2"])
+        .args(["--csv-out", path_str(csv)])
+        .arg("--quiet")
+        .status()
+        .expect("run reference sweep");
+    assert!(status.success(), "reference sweep failed: {status:?}");
+    std::fs::read(csv).expect("read reference csv")
+}
+
+/// Extracts one `key=value` counter from the sweep's stderr metrics line.
+fn metric(stderr: &str, key: &str) -> u64 {
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("metrics:"))
+        .unwrap_or_else(|| panic!("no metrics line in stderr:\n{stderr}"));
+    let prefix = format!("{key}=");
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&prefix))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no {key}= counter in: {line}"))
+}
+
+/// Counts completed `point\t` lines across every shard journal of
+/// `ckpt` (any shard, any generation; leases and temp files excluded).
+fn shard_points(ckpt: &Path) -> usize {
+    let dir = ckpt.parent().expect("ckpt has a parent");
+    let base = ckpt
+        .file_name()
+        .and_then(|n| n.to_str())
+        .expect("utf8 ckpt name");
+    let prefix = format!("{base}.s");
+    let mut n = 0;
+    for entry in std::fs::read_dir(dir).expect("read tempdir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name();
+        let name = name.to_str().expect("utf8 file name");
+        if name.starts_with(&prefix) && !name.ends_with(".lease") && !name.contains(".tmp") {
+            n += std::fs::read_to_string(entry.path())
+                .map(|t| t.lines().filter(|l| l.starts_with("point\t")).count())
+                .unwrap_or(0);
+        }
+    }
+    n
+}
+
+/// True when any shard coordination file (journal, lease, temp) for
+/// `ckpt` is still on disk — a clean supervised run must leave none.
+fn coordination_files_remain(ckpt: &Path) -> bool {
+    let dir = ckpt.parent().expect("ckpt has a parent");
+    let base = ckpt
+        .file_name()
+        .and_then(|n| n.to_str())
+        .expect("utf8 ckpt name");
+    let prefix = format!("{base}.s");
+    std::fs::read_dir(dir)
+        .expect("read tempdir")
+        .filter_map(Result::ok)
+        .any(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(&prefix))
+        })
+}
+
+fn sigkill(pid: u32) {
+    let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+}
+
+/// Reaps `child` within `secs` seconds, else kills it and panics —
+/// a hung supervisor must fail the test, not the whole suite.
+fn wait_within(child: &mut Child, secs: u64, what: &str) -> std::process::ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        if let Some(status) = child.try_wait().expect("poll child") {
+            return status;
+        }
+        if Instant::now() >= deadline {
+            child.kill().ok();
+            child.wait().ok();
+            panic!("{what} did not finish within {secs}s");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn read_stderr(child: &mut Child) -> String {
+    let mut text = String::new();
+    child
+        .stderr
+        .take()
+        .expect("piped stderr")
+        .read_to_string(&mut text)
+        .expect("read stderr");
+    text
+}
+
+/// The baseline contract: a multi-process sweep produces the same CSV
+/// and JSON bytes as a single-process one, and cleans up every shard
+/// journal and lease afterwards.
+#[test]
+fn multiprocess_sweep_matches_single_process_byte_for_byte() {
+    let dir = tmp_dir("ident");
+    let spec = dir.join("spec.json");
+    std::fs::write(&spec, FAST_SPEC).expect("write spec");
+    let a_csv = dir.join("a.csv");
+    let a_json = dir.join("a.json");
+    let status = sweep_cmd()
+        .args(["--spec", path_str(&spec)])
+        .args(["--threads", "2"])
+        .args(["--csv-out", path_str(&a_csv)])
+        .args(["--json-out", path_str(&a_json)])
+        .arg("--quiet")
+        .status()
+        .expect("run single-process sweep");
+    assert!(status.success());
+
+    let b_csv = dir.join("b.csv");
+    let b_json = dir.join("b.json");
+    let status = sweep_cmd()
+        .args(["--spec", path_str(&spec)])
+        .args(["--workers", "3"])
+        .args(["--csv-out", path_str(&b_csv)])
+        .args(["--json-out", path_str(&b_json)])
+        .arg("--quiet")
+        .status()
+        .expect("run multi-process sweep");
+    assert!(status.success(), "supervised sweep failed: {status:?}");
+
+    assert_eq!(
+        std::fs::read(&a_csv).expect("read a.csv"),
+        std::fs::read(&b_csv).expect("read b.csv"),
+        "multi-process CSV differs from single-process"
+    );
+    assert_eq!(
+        std::fs::read(&a_json).expect("read a.json"),
+        std::fs::read(&b_json).expect("read b.json"),
+        "multi-process JSON differs from single-process"
+    );
+    assert!(
+        !coordination_files_remain(&dir.join("b.csv.ckpt")),
+        "shard journals / leases must be cleaned up after success"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// SIGKILL a worker mid-shard: the supervisor must notice the dead
+/// lease, take the shard over under a new generation, and still emit
+/// byte-identical artifacts.
+#[test]
+fn sigkilled_worker_is_detected_and_its_shard_taken_over() {
+    let dir = tmp_dir("sigkill");
+    let spec = dir.join("spec.json");
+    std::fs::write(&spec, SLOW_SPEC).expect("write spec");
+    let reference = reference_csv(&spec, &dir.join("ref.csv"));
+
+    let csv = dir.join("out.csv");
+    let ckpt = dir.join("out.csv.ckpt");
+    let mut child = sweep_cmd()
+        .args(["--spec", path_str(&spec)])
+        .args(["--workers", "2"])
+        .args(["--lease-timeout-ms", "400"])
+        .args(["--crash-limit", "50"])
+        .args(["--csv-out", path_str(&csv)])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn supervised sweep");
+
+    // Wait for shard 0's worker to journal at least one point, then
+    // SIGKILL the pid its lease names.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let victim = loop {
+        if shard_points(&ckpt) >= 1 {
+            if let Ok(Some(lease)) = read_lease(&lease_path(path_str(&ckpt), 0)) {
+                break lease.pid;
+            }
+        }
+        if let Some(status) = child.try_wait().expect("poll supervisor") {
+            panic!("sweep finished before a worker could be killed: {status:?}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no lease + journaled point in 60s"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    sigkill(victim);
+
+    let status = wait_within(&mut child, 120, "supervised sweep after worker kill");
+    let stderr = read_stderr(&mut child);
+    assert!(status.success(), "sweep must survive the kill: {stderr}");
+    assert!(
+        metric(&stderr, "worker_crashes") >= 1,
+        "the kill must be counted: {stderr}"
+    );
+    assert!(
+        metric(&stderr, "lease_takeovers") >= 1,
+        "the shard must be re-claimed: {stderr}"
+    );
+    assert_eq!(metric(&stderr, "quarantined"), 0, "{stderr}");
+    assert_eq!(
+        reference,
+        std::fs::read(&csv).expect("read out.csv"),
+        "artifacts after a worker kill must be byte-identical"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A point that SIGABRTs every worker that starts it must be
+/// quarantined after `--crash-limit` kills: the sweep completes with a
+/// `poisoned(...)` row for that point, every other row identical to the
+/// reference, and exit code 4 (partial completion) — never an abort.
+#[test]
+fn a_worker_killing_point_is_quarantined_with_exit_4() {
+    let dir = tmp_dir("quarantine");
+    let spec = dir.join("spec.json");
+    std::fs::write(&spec, FAST_SPEC).expect("write spec");
+    let reference = reference_csv(&spec, &dir.join("ref.csv"));
+
+    let csv = dir.join("out.csv");
+    let out = sweep_cmd()
+        .args(["--spec", path_str(&spec)])
+        .args(["--workers", "2"])
+        .args(["--crash-limit", "2"])
+        .args(["--lease-timeout-ms", "400"])
+        .args(["--csv-out", path_str(&csv)])
+        .env("NOC_SWEEP_TEST_ABORT_POINT", "5")
+        .stdout(Stdio::null())
+        .output()
+        .expect("run poisoned sweep");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "quarantine must exit 4 (partial completion): {stderr}"
+    );
+    assert_eq!(metric(&stderr, "quarantined"), 1, "{stderr}");
+    assert!(metric(&stderr, "worker_crashes") >= 2, "{stderr}");
+
+    let got = std::fs::read_to_string(&csv).expect("read out.csv");
+    let reference = String::from_utf8(reference).expect("utf8 reference");
+    let ref_lines: Vec<&str> = reference.lines().collect();
+    let got_lines: Vec<&str> = got.lines().collect();
+    assert_eq!(ref_lines.len(), got_lines.len(), "row count must match");
+    for (i, (r, g)) in ref_lines.iter().zip(&got_lines).enumerate() {
+        if i == 6 {
+            // Header + rows 0..5: line 6 is point index 5, the poisoned one.
+            assert!(g.starts_with("5,"), "row order broken: {g}");
+            assert!(
+                g.contains(",poisoned(killed worker x2),2,"),
+                "the quarantined row must say so: {g}"
+            );
+        } else {
+            assert_eq!(r, g, "non-quarantined row {i} must be untouched");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The result cache: a second supervised run (at a different worker
+/// count) serves every point from cache with identical bytes; a
+/// corrupted entry is detected by its digest, recomputed, and
+/// re-stored — never served.
+#[test]
+fn cache_reuse_and_corruption_recovery() {
+    let dir = tmp_dir("cache");
+    let spec = dir.join("spec.json");
+    std::fs::write(&spec, FAST_SPEC).expect("write spec");
+    let cache = dir.join("cache");
+    let reference = reference_csv(&spec, &dir.join("ref.csv"));
+
+    let run = |csv: &Path, workers: &str| {
+        let out = sweep_cmd()
+            .args(["--spec", path_str(&spec)])
+            .args(["--workers", workers])
+            .args(["--cache", path_str(&cache)])
+            .args(["--csv-out", path_str(csv)])
+            .stdout(Stdio::null())
+            .output()
+            .expect("run cached sweep");
+        assert!(out.status.success(), "cached sweep failed");
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+
+    // Cold: every point computed and stored.
+    let stderr = run(&dir.join("a.csv"), "2");
+    assert_eq!(metric(&stderr, "cache_hits"), 0, "{stderr}");
+    assert_eq!(metric(&stderr, "cache_corrupt"), 0, "{stderr}");
+
+    // Warm, different worker count: all 12 points served from cache.
+    let stderr = run(&dir.join("b.csv"), "3");
+    assert_eq!(metric(&stderr, "cache_hits"), 12, "{stderr}");
+    assert_eq!(
+        reference,
+        std::fs::read(dir.join("b.csv")).expect("read b.csv"),
+        "cached rows must be byte-identical"
+    );
+
+    // Corrupt one entry's payload (the digest header stays intact, so
+    // only verification can catch it).
+    let entry = std::fs::read_dir(&cache)
+        .expect("read cache dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .next()
+        .expect("cache has entries");
+    let mut bytes = std::fs::read(&entry).expect("read entry");
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .expect("entry has a header line");
+    bytes[nl + 10] ^= 0x01;
+    std::fs::write(&entry, bytes).expect("write corrupted entry");
+
+    let stderr = run(&dir.join("c.csv"), "2");
+    assert_eq!(metric(&stderr, "cache_corrupt"), 1, "{stderr}");
+    assert_eq!(metric(&stderr, "cache_hits"), 11, "{stderr}");
+    assert_eq!(
+        reference,
+        std::fs::read(dir.join("c.csv")).expect("read c.csv"),
+        "a corrupted entry must be recomputed, not served"
+    );
+
+    // The recompute re-stored the entry: a fourth run hits all 12.
+    let stderr = run(&dir.join("d.csv"), "2");
+    assert_eq!(metric(&stderr, "cache_hits"), 12, "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Kill the *supervisor* (and its orphaned workers) mid-run: `--resume`
+/// must harvest the completed points from the orphaned shard journals
+/// and finish with byte-identical artifacts and no leftover
+/// coordination files.
+#[test]
+fn killed_supervisor_resumes_by_harvesting_shard_journals() {
+    let dir = tmp_dir("supkill");
+    let spec = dir.join("spec.json");
+    std::fs::write(&spec, SLOW_SPEC).expect("write spec");
+    let reference = reference_csv(&spec, &dir.join("ref.csv"));
+
+    let csv = dir.join("out.csv");
+    let ckpt = dir.join("out.csv.ckpt");
+    let mut child = sweep_cmd()
+        .args(["--spec", path_str(&spec)])
+        .args(["--workers", "2"])
+        .args(["--lease-timeout-ms", "600"])
+        .args(["--csv-out", path_str(&csv)])
+        .arg("--quiet")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn supervised sweep");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while shard_points(&ckpt) < 2 {
+        if let Some(status) = child.try_wait().expect("poll supervisor") {
+            panic!("sweep finished before the supervisor could be killed: {status:?}");
+        }
+        assert!(Instant::now() < deadline, "no shard progress in 60s");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL the supervisor");
+    child.wait().expect("reap the supervisor");
+    // The workers are orphans now; kill them too (machine-crash shape).
+    for shard in 0..2 {
+        if let Ok(Some(lease)) = read_lease(&lease_path(path_str(&ckpt), shard)) {
+            sigkill(lease.pid);
+        }
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(!csv.exists(), "the victim died before writing artifacts");
+
+    let status = sweep_cmd()
+        .args(["--spec", path_str(&spec)])
+        .args(["--workers", "2"])
+        .args(["--csv-out", path_str(&csv)])
+        .args(["--resume", "--quiet"])
+        .status()
+        .expect("run resumed sweep");
+    assert!(status.success(), "resume failed: {status:?}");
+    assert_eq!(
+        reference,
+        std::fs::read(&csv).expect("read out.csv"),
+        "resumed artifacts must be byte-identical"
+    );
+    assert!(
+        !coordination_files_remain(&ckpt),
+        "resume must clean up harvested shard files"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

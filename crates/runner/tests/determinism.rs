@@ -113,9 +113,10 @@ fn a_panicking_point_fails_alone() {
                 assert_ne!(i, 1);
                 assert_eq!(rec.status, "ok");
             }
-            Outcome::Panicked(msg) => {
+            Outcome::Panicked { task, message } => {
                 assert_eq!(i, 1, "only the injected crash may fail");
-                assert!(msg.contains("injected crash"));
+                assert_eq!(*task, 1, "the outcome names the crashed point");
+                assert!(message.contains("injected crash"));
             }
         }
     }
