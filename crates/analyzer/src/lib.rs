@@ -19,18 +19,29 @@
 //! * **Fault tolerance** ([`faultplans`]) — re-verification of the
 //!   detour routing against every single-link-cut and single-router
 //!   permanent-fault plan, using the exact tables the runtime builds.
+//! * **Crash-recovery safety** ([`protocol`], [`modelcheck`]) — an
+//!   explicit-state model checker over the sweep harness's
+//!   journal/lease/supervisor stack: every interleaving of torn
+//!   writes, SIGKILLs, stale-lease takeovers and resumes within
+//!   bounds, proving trusted-prefix monotonicity, single-writer
+//!   fencing, zombie-write exclusion, resume equivalence and
+//!   termination — with shortest counterexample traces when a seeded
+//!   bug double breaks one.
 //!
 //! [`analyze`] runs the whole battery for one configuration and returns
 //! a combined report; the CI `static-analysis` job runs it via
-//! `cargo test -p analyzer`.
+//! `cargo test -p analyzer` and `cargo xtask verify-protocol`.
 //!
 //! The crate deliberately consumes the *same* pure artifacts the
-//! runtime executes — [`noc::faults::DetourTables`], [`pra::schedule`] —
-//! so the verified model cannot drift from the implementation.
+//! runtime executes — [`noc::faults::DetourTables`], [`pra::schedule`],
+//! [`runner::protocol`] — so the verified model cannot drift from the
+//! implementation.
 
 pub mod cdg;
 pub mod faultplans;
 pub mod lag;
+pub mod modelcheck;
+pub mod protocol;
 pub mod routing;
 pub mod segments;
 
@@ -39,6 +50,8 @@ pub use faultplans::{
     single_fault_plans, verify_single_fault_plans, FaultCase, FaultSweepError, FaultSweepSummary,
 };
 pub use lag::{verify_lag, LagArith, LagInterval, LagReport, LagViolation};
+pub use modelcheck::{check_protocol, InvariantKind, ModelReport, ProtocolViolation};
+pub use protocol::{Model, ModelBounds, Semantics};
 pub use routing::{CheckerboardAdaptive, RouteError, RoutingSpec, WestFirstDetour, XyRouting};
 pub use segments::{verify_segment_schedule, SegmentSummary, SegmentViolation};
 

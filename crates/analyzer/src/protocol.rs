@@ -1,0 +1,1500 @@
+//! A small-world **model** of the sweep crash-recovery protocol — the
+//! journal / lease / supervisor stack in `runner` — suitable for
+//! exhaustive exploration by [`crate::modelcheck`].
+//!
+//! The model is faithful where it matters and abstract where it does
+//! not:
+//!
+//! * **Shared pure core.** Every protocol *decision* — trusted-prefix
+//!   replay, generation fencing, the crash ledger's
+//!   done/respawn/quarantine/give-up policy, resume's spawn-generation
+//!   rule, and the exact line serialisation — is the real code from
+//!   [`runner::protocol`], not a re-implementation. The checker proves
+//!   properties of the functions the runtime executes.
+//! * **A tiny file system.** Files are inodes holding raw bytes; names
+//!   bind to inodes. `create` over an existing name truncates the
+//!   *inode in place* (exactly what `File::create` does — this is how
+//!   the shared-shard-file bug becomes expressible), while deleting a
+//!   name only unlinks it, so an orphaned worker keeps appending to an
+//!   inode nobody can see.
+//! * **Crashes as byte tears.** Every append can instead be "killed
+//!   mid-write", leaving a prefix of the line: one byte, a cut inside
+//!   a multi-byte character, the full line missing its newline, or a
+//!   parseable-but-truncated digest trail. Each tear consumes the
+//!   bounded kill budget, as do whole-process SIGKILLs of a worker or
+//!   of the supervisor itself.
+//! * **Ghost truth.** A side map records, outside the protocol, which
+//!   rows were durably committed into a *linked* journal. The resume
+//!   reconstruction must match it exactly — both directions — which is
+//!   how torn-tail-trusting bugs are caught.
+//!
+//! Abstractions (documented, deliberate): supervisor appends to the
+//! main journal are atomic (the runtime fsyncs each row and the main
+//! journal is never the crash frontier under test); a resume spawns
+//! workers only for shards that still have pending points (idle
+//! workers that would claim-then-exit add states without adding
+//! behaviours); a heartbeat is modelled as the lease-beat write it
+//! performs, so it exists only while it would change the lease — a
+//! fenced heartbeat writes nothing, which is the absence of the step;
+//! and once the supervisor consolidates and finishes, surviving
+//! orphans are dropped — no protocol decision can ever observe their
+//! remaining writes (see [`Model::steps`] for the quiescent-state
+//! partial-order reduction applied during exploration).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use runner::point::{PointOutcome, PointSpec};
+use runner::protocol::{
+    check_claim, check_fence, header_line, parse_point_line, point_line, replay_journal_bytes,
+    resume_spawn_generation, start_line, CrashLedger, JournalDialect, JournalHeader, JournalReplay,
+    Lease, ProtocolError, SupervisorStep, WorkerExit,
+};
+use runner::{Organization, SweepSpec};
+
+/// Name of the consolidated main journal inside the model file system.
+pub const MAIN_JOURNAL: &str = "ckpt";
+
+/// Exploration bounds: how big the modelled world is.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelBounds {
+    /// Worker shards (and supervisor slots).
+    pub workers: usize,
+    /// Grid points (distributed round-robin over shards).
+    pub points: usize,
+    /// Crashes attributed to one point before it is quarantined.
+    pub crash_limit: u32,
+    /// Worker SIGKILLs / mid-write tears the adversary may spend.
+    pub kill_budget: u32,
+    /// Supervisor SIGKILLs the adversary may spend (each one orphans
+    /// the live workers and forces a resume).
+    pub sup_kill_budget: u32,
+    /// Hard cap on distinct states before exploration aborts loudly.
+    pub max_states: usize,
+}
+
+impl ModelBounds {
+    /// The bounds `cargo xtask verify-protocol` and the test suite
+    /// prove: 2 workers, 3 points, 2 generations of respawn, and a
+    /// kill budget deep enough to reach quarantine.
+    #[must_use]
+    pub fn standard() -> ModelBounds {
+        ModelBounds {
+            workers: 2,
+            points: 3,
+            crash_limit: 2,
+            kill_budget: 2,
+            sup_kill_budget: 1,
+            max_states: 400_000,
+        }
+    }
+
+    /// Reduced bounds for interpreted execution (Miri): same protocol,
+    /// smaller frontier.
+    #[must_use]
+    pub fn reduced() -> ModelBounds {
+        ModelBounds {
+            workers: 2,
+            points: 2,
+            crash_limit: 2,
+            kill_budget: 1,
+            sup_kill_budget: 1,
+            max_states: 100_000,
+        }
+    }
+}
+
+/// Which implementation variant the model drives. [`Semantics::correct`]
+/// is the shipped protocol; the two bug doubles each disable one
+/// load-bearing rule so the checker can demonstrate it is load-bearing
+/// (and so the counterexample machinery itself is tested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Semantics {
+    /// `true`: replay drops an unterminated tail (the shipped rule).
+    /// `false`: a parseable-but-unterminated final line is trusted.
+    pub truncate_torn_tail: bool,
+    /// `true`: claims and per-point writes are generation-fenced and
+    /// shard journals are generation-scoped (the shipped rule).
+    /// `false`: no fencing, every generation shares one shard file,
+    /// and a resume respawns at generation 0.
+    pub generation_fencing: bool,
+}
+
+impl Semantics {
+    /// The shipped protocol.
+    #[must_use]
+    pub fn correct() -> Semantics {
+        Semantics {
+            truncate_torn_tail: true,
+            generation_fencing: true,
+        }
+    }
+
+    /// Seeded bug: trust a parseable torn tail instead of truncating.
+    #[must_use]
+    pub fn no_torn_tail_truncation() -> Semantics {
+        Semantics {
+            truncate_torn_tail: false,
+            generation_fencing: true,
+        }
+    }
+
+    /// Seeded bug: no generation fencing anywhere.
+    #[must_use]
+    pub fn no_generation_fencing() -> Semantics {
+        Semantics {
+            truncate_torn_tail: true,
+            generation_fencing: false,
+        }
+    }
+}
+
+/// A modelled inode number.
+pub type Inode = u32;
+
+/// Provenance of one row append into a shard journal: who wrote it.
+/// This is ghost state — the protocol cannot see it; the invariants
+/// use it to detect zombie writes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RowProv {
+    /// Grid index the row claims to be for.
+    pub index: usize,
+    /// The writing worker's lease generation.
+    pub writer_generation: u64,
+    /// `true` when the append was torn (never terminated).
+    pub torn: bool,
+}
+
+/// One file: raw bytes plus per-row provenance (shard journals only).
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FileModel {
+    /// The byte content, exactly as a crashed-and-recovered disk would
+    /// present it.
+    pub bytes: Vec<u8>,
+    /// Ghost provenance of row appends, in append order.
+    pub rows: Vec<RowProv>,
+}
+
+/// Where a worker instance is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Spawned; has not yet claimed its lease.
+    Claiming,
+    /// Between points; `cursor` is the lowest grid index not yet tried.
+    Running {
+        /// Lowest grid index this worker has not yet considered.
+        cursor: usize,
+    },
+    /// Mid-point: the start marker is journalled, the row is not.
+    InPoint {
+        /// The in-flight grid index.
+        point: usize,
+    },
+    /// Exited cleanly (status 0) but not yet reaped.
+    Exited,
+    /// Exited with [`runner::protocol::FENCED_EXIT_CODE`] — refused at
+    /// claim time or stopped at a point boundary because a later (or
+    /// equal) generation holds the lease — but not yet reaped.
+    Fenced,
+    /// SIGKILLed but not yet reaped.
+    Dead,
+}
+
+/// One worker process.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Instance {
+    /// Globally unique spawn ordinal (the model's PID).
+    pub ordinal: u32,
+    /// The shard this worker runs.
+    pub shard: usize,
+    /// Its lease generation.
+    pub generation: u64,
+    /// `true` while a live supervisor holds its slot; orphans are
+    /// untracked.
+    pub tracked: bool,
+    /// The shard journal inode it holds open, once claimed.
+    pub journal: Option<Inode>,
+    /// Lifecycle phase.
+    pub phase: Phase,
+    /// Grid indices already done when this worker was spawned.
+    pub done_at_spawn: BTreeSet<usize>,
+    /// Quarantined indices this worker was told to skip.
+    pub skip: BTreeSet<usize>,
+}
+
+/// One supervisor slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Slot {
+    /// A worker is (or was) running this shard at `generation`.
+    Open {
+        /// The slot's lease generation.
+        generation: u64,
+        /// Ordinal of the instance occupying the slot.
+        ordinal: u32,
+    },
+    /// The shard is finished.
+    Closed,
+}
+
+/// The supervisor process.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Sup {
+    /// Alive and polling workers.
+    Running {
+        /// One slot per shard.
+        slots: Vec<Slot>,
+        /// Quarantined indices accumulated this run.
+        skip: BTreeSet<usize>,
+        /// The pure crash-attribution ledger (real runtime code).
+        ledger: CrashLedger,
+    },
+    /// SIGKILLed; a resume may start a new one.
+    Dead,
+    /// Completed: every point has a row in the main journal.
+    Done,
+}
+
+/// One global protocol state. `Ord` so the checker can dedup states in
+/// a `BTreeMap` (the analyzer's own determinism lints ban hash maps).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct State {
+    /// Inode → file content.
+    pub inodes: BTreeMap<Inode, FileModel>,
+    /// Directory: name → inode.
+    pub names: BTreeMap<String, Inode>,
+    /// Shard → current lease content (the `.lease` files).
+    pub leases: BTreeMap<usize, Lease>,
+    /// Every live-or-unreaped worker process.
+    pub instances: Vec<Instance>,
+    /// The supervisor.
+    pub sup: Sup,
+    /// Ghost truth: grid index → the row line some writer durably
+    /// committed into a *linked* journal (first commit wins).
+    pub ghost: BTreeMap<usize, String>,
+    /// Remaining adversary budget for worker SIGKILLs and tears.
+    pub kills_left: u32,
+    /// Remaining adversary budget for supervisor SIGKILLs.
+    pub sup_kills_left: u32,
+    /// Next fresh inode number.
+    pub next_inode: Inode,
+    /// Next fresh worker ordinal.
+    pub next_ordinal: u32,
+}
+
+/// A violation detected *while applying* a transition (as opposed to
+/// the state-level invariants the checker evaluates afterwards).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyViolation {
+    /// A harvest accepted a row written by a process other than the
+    /// journal's rightful owner.
+    ZombieWrite(String),
+    /// The supervisor abandoned the sweep (give-up / fatal) instead of
+    /// driving it to completed-or-quarantined.
+    Abandoned(String),
+}
+
+/// One enabled transition out of a state.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Human-readable action label (one line of a counterexample).
+    pub label: String,
+    /// The successor state.
+    pub state: State,
+    /// A violation the application itself detected, if any.
+    pub violation: Option<ApplyViolation>,
+}
+
+/// The model: bounds, semantics, and the precomputed grid (a real
+/// [`SweepSpec`], so header hashes and row serialisation are the
+/// runtime's own).
+#[derive(Debug)]
+pub struct Model {
+    /// Exploration bounds.
+    pub bounds: ModelBounds,
+    /// Protocol variant under test.
+    pub semantics: Semantics,
+    /// The expanded grid.
+    pub points: Vec<PointSpec>,
+    /// The journal header every journal in this world carries.
+    pub header: JournalHeader,
+    /// Canonical serialised row per grid index (no newline).
+    pub lines: Vec<String>,
+}
+
+/// The deterministic outcome the modelled worker produces for a point.
+/// The status carries a multi-byte character (so a tear can land inside
+/// it) and the trail has two samples (so a tear can truncate it into
+/// something still parseable).
+fn model_outcome(p: &PointSpec) -> PointOutcome {
+    let salt = u64::try_from(p.index).expect("model grids are tiny");
+    PointOutcome {
+        record: p.failed_record("model outcome ☃"),
+        trail: vec![(64, 0xA5A5 ^ salt), (128, 0x5A5A ^ salt)],
+    }
+}
+
+impl Model {
+    /// Builds the model world for the given bounds and semantics.
+    ///
+    /// # Panics
+    ///
+    /// If the bounds are degenerate (zero workers or points, or more
+    /// points than the model's rate table).
+    #[must_use]
+    pub fn new(bounds: ModelBounds, semantics: Semantics) -> Model {
+        let rates = [0.05, 0.10, 0.15, 0.20];
+        assert!(bounds.workers >= 1, "need at least one worker");
+        assert!(
+            bounds.points >= 1 && bounds.points <= rates.len(),
+            "model supports 1..={} points",
+            rates.len()
+        );
+        let spec = SweepSpec::new("protocol-model")
+            .orgs(&[Organization::Mesh])
+            .rates(&rates[..bounds.points]);
+        let points = spec.points();
+        assert_eq!(points.len(), bounds.points, "one grid point per rate");
+        let header = JournalHeader {
+            spec_hash: spec.spec_hash(),
+            base_seed: spec.base_seed,
+            count: points.len(),
+            name: spec.name.clone(),
+        };
+        let lines = points
+            .iter()
+            .map(|p| point_line(&model_outcome(p)))
+            .collect();
+        Model {
+            bounds,
+            semantics,
+            points,
+            header,
+            lines,
+        }
+    }
+
+    /// The initial state: supervisor running, one claiming worker per
+    /// shard at generation 0, main journal holding just its header.
+    #[must_use]
+    pub fn init(&self) -> State {
+        let mut st = State {
+            inodes: BTreeMap::new(),
+            names: BTreeMap::new(),
+            leases: BTreeMap::new(),
+            instances: Vec::new(),
+            sup: Sup::Dead, // placeholder, replaced below
+            ghost: BTreeMap::new(),
+            kills_left: self.bounds.kill_budget,
+            sup_kills_left: self.bounds.sup_kill_budget,
+            next_inode: 0,
+            next_ordinal: 0,
+        };
+        let main = alloc_inode(&mut st, MAIN_JOURNAL);
+        st.inodes
+            .get_mut(&main)
+            .expect("just created")
+            .bytes
+            .extend_from_slice(header_line(&self.header).as_bytes());
+        let mut slots = Vec::with_capacity(self.bounds.workers);
+        for shard in 0..self.bounds.workers {
+            let ordinal = st.next_ordinal;
+            st.next_ordinal += 1;
+            st.instances.push(Instance {
+                ordinal,
+                shard,
+                generation: 0,
+                tracked: true,
+                journal: None,
+                phase: Phase::Claiming,
+                done_at_spawn: BTreeSet::new(),
+                skip: BTreeSet::new(),
+            });
+            slots.push(Slot::Open {
+                generation: 0,
+                ordinal,
+            });
+        }
+        st.sup = Sup::Running {
+            slots,
+            skip: BTreeSet::new(),
+            ledger: CrashLedger::new(self.bounds.workers),
+        };
+        normalize(&mut st);
+        st
+    }
+
+    /// The shard-journal name a worker at `generation` opens. The
+    /// no-fencing double pins every generation to one shared file —
+    /// the historical design whose loss of isolation the checker
+    /// demonstrates.
+    #[must_use]
+    pub fn shard_name(&self, shard: usize, generation: u64) -> String {
+        if self.semantics.generation_fencing {
+            format!("{MAIN_JOURNAL}.s{shard}.g{generation}")
+        } else {
+            format!("{MAIN_JOURNAL}.s{shard}.g0")
+        }
+    }
+
+    /// Replays journal bytes under the model's semantics: the real
+    /// [`replay_journal_bytes`], plus — for the torn-tail bug double —
+    /// trusting a parseable unterminated tail.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the real replay rejects (bad header, mid-stream
+    /// corruption).
+    pub fn replay(
+        &self,
+        bytes: &[u8],
+        dialect: JournalDialect,
+    ) -> Result<JournalReplay, ProtocolError> {
+        let mut rep = replay_journal_bytes(bytes, dialect)?;
+        if !self.semantics.truncate_torn_tail {
+            let cut = usize::try_from(rep.valid_len).expect("model journals are small");
+            if let Ok(tail) = std::str::from_utf8(&bytes[cut..]) {
+                if let Some(outcome) = parse_point_line(tail.trim_end_matches('\n')) {
+                    rep.done.insert(outcome.record.index, outcome);
+                }
+            }
+        }
+        Ok(rep)
+    }
+
+    /// The rows currently committed in the main journal, as the
+    /// supervisor would read them: grid index → serialised line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the main journal is missing or
+    /// does not replay.
+    pub fn main_rows(&self, st: &State) -> Result<BTreeMap<usize, String>, String> {
+        let Some(&ino) = st.names.get(MAIN_JOURNAL) else {
+            return Err("the main journal is missing".to_string());
+        };
+        let file = st.inodes.get(&ino).expect("linked inode exists");
+        let rep = self
+            .replay(&file.bytes, JournalDialect::Main)
+            .map_err(|e| format!("the main journal does not replay: {e}"))?;
+        Ok(rep.done.iter().map(|(&i, o)| (i, point_line(o))).collect())
+    }
+
+    /// What a resume started *right now* would reconstruct: main rows,
+    /// then every linked shard journal merged first-wins — the exact
+    /// harvest the runtime performs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Model::main_rows`] failures.
+    pub fn reconstruct(&self, st: &State) -> Result<BTreeMap<usize, String>, String> {
+        let mut merged = self.main_rows(st)?;
+        let prefix = format!("{MAIN_JOURNAL}.s");
+        for (name, &ino) in &st.names {
+            if !name.starts_with(&prefix) {
+                continue;
+            }
+            let file = st.inodes.get(&ino).expect("linked inode exists");
+            let Ok(rep) = self.replay(&file.bytes, JournalDialect::WorkerShard) else {
+                continue;
+            };
+            if rep.header != self.header {
+                continue;
+            }
+            for (i, o) in rep.done {
+                if i < self.bounds.points {
+                    merged.entry(i).or_insert_with(|| point_line(&o));
+                }
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Grid indices belonging to `shard` (round-robin, like the
+    /// runtime's `index % workers` partition).
+    fn shard_points(&self, shard: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.bounds.points).filter(move |i| i % self.bounds.workers == shard)
+    }
+
+    /// Does `shard` still have a point with no row in `rows`?
+    fn pending_for(&self, rows: &BTreeMap<usize, String>, shard: usize) -> bool {
+        self.shard_points(shard).any(|i| !rows.contains_key(&i))
+    }
+
+    /// The next point a worker instance would pick, if any.
+    fn next_point(&self, inst: &Instance) -> Option<usize> {
+        let cursor = match inst.phase {
+            Phase::Running { cursor } => cursor,
+            _ => return None,
+        };
+        self.shard_points(inst.shard)
+            .find(|&i| i >= cursor && !inst.done_at_spawn.contains(&i) && !inst.skip.contains(&i))
+    }
+
+    /// Every enabled transition out of `st`, in a deterministic order.
+    ///
+    /// Applies a partial-order reduction once the supervisor-kill
+    /// budget is spent and the supervisor is running. From then on the
+    /// enabled transitions are worker steps — deterministic progress or
+    /// a budgeted tear/kill — and per-shard reaps, and every one of
+    /// them is *shard-scoped*: a worker step touches only its own
+    /// shard's journal inode, lease, name binding and ghost entries
+    /// (plus the shared kill budget, whose decrements commute), and a
+    /// reap reads only the reaped shard's artifacts while its global
+    /// effects — the ledger's commutative death counts, main-journal
+    /// rows for its own shard's points, a shard-filtered respawn —
+    /// commute with other shards' steps up to main-journal row order,
+    /// which nothing (invariant or protocol decision) observes except
+    /// as a keyed map. Steps on different shards therefore reach the
+    /// same canonical state in either order (normalisation makes
+    /// inode/ordinal allocation order irrelevant) and cannot enable,
+    /// disable, or repair each other's shard state; each invariant
+    /// decomposes over shard-local state, so a violation visible in a
+    /// skipped interleaving persists across the commuted steps and is
+    /// still caught. It is thus sound to explore only the lowest shard
+    /// with an enabled step, deferring the other shards until it has
+    /// none. The transitions that genuinely do *not* commute with
+    /// another shard's progress — the supervisor SIGKILL (which decides
+    /// *when* every shard is orphaned) and resume (which observes every
+    /// shard's files and leases at once) — are exactly the ones the
+    /// quiescence condition excludes, so while either is enabled the
+    /// full interleaving is explored.
+    #[must_use]
+    pub fn steps(&self, st: &State) -> Vec<Step> {
+        let mut out = Vec::new();
+        let quiescent = st.sup_kills_left == 0 && matches!(st.sup, Sup::Running { .. });
+        if quiescent {
+            let Sup::Running { slots, .. } = &st.sup else {
+                unreachable!("quiescence requires a running supervisor")
+            };
+            for (shard, slot) in slots.iter().enumerate().take(self.bounds.workers) {
+                for idx in 0..st.instances.len() {
+                    if st.instances[idx].shard == shard {
+                        self.instance_steps(st, idx, &mut out);
+                    }
+                }
+                if let Slot::Open {
+                    generation,
+                    ordinal,
+                } = *slot
+                {
+                    let reapable = st.instances.iter().position(|i| {
+                        i.ordinal == ordinal
+                            && matches!(i.phase, Phase::Exited | Phase::Fenced | Phase::Dead)
+                    });
+                    if let Some(pos) = reapable {
+                        out.push(self.reap_step(st, shard, generation, pos));
+                    }
+                }
+                if !out.is_empty() {
+                    break;
+                }
+            }
+        } else {
+            for idx in 0..st.instances.len() {
+                self.instance_steps(st, idx, &mut out);
+            }
+            match &st.sup {
+                Sup::Running { slots, .. } => {
+                    for (shard, slot) in slots.iter().enumerate() {
+                        if let Slot::Open {
+                            generation,
+                            ordinal,
+                        } = *slot
+                        {
+                            let reapable = st.instances.iter().position(|i| {
+                                i.ordinal == ordinal
+                                    && matches!(
+                                        i.phase,
+                                        Phase::Exited | Phase::Fenced | Phase::Dead
+                                    )
+                            });
+                            if let Some(pos) = reapable {
+                                out.push(self.reap_step(st, shard, generation, pos));
+                            }
+                        }
+                    }
+                    if st.sup_kills_left > 0 {
+                        out.push(self.kill_supervisor_step(st));
+                    }
+                }
+                Sup::Dead => out.push(self.resume_step(st)),
+                Sup::Done => {}
+            }
+        }
+        for step in &mut out {
+            normalize(&mut step.state);
+        }
+        out
+    }
+
+    /// All transitions owned by one worker instance.
+    fn instance_steps(&self, st: &State, idx: usize, out: &mut Vec<Step>) {
+        match st.instances[idx].phase {
+            Phase::Claiming => self.claim_steps(st, idx, out),
+            Phase::Running { .. } => self.running_steps(st, idx, out),
+            Phase::InPoint { point } => self.finish_steps(st, idx, point, out),
+            Phase::Exited | Phase::Fenced | Phase::Dead => {}
+        }
+        self.heartbeat_step(st, idx, out);
+        self.kill_instance_step(st, idx, out);
+    }
+
+    /// Claim transitions for a `Claiming` instance: refused-by-fence,
+    /// full claim, or killed during the claim (before the journal
+    /// exists, or tearing its header).
+    fn claim_steps(&self, st: &State, idx: usize, out: &mut Vec<Step>) {
+        let inst = &st.instances[idx];
+        let (shard, generation) = (inst.shard, inst.generation);
+        if self.semantics.generation_fencing {
+            if let Err(fence) = check_claim(shard, generation, st.leases.get(&shard)) {
+                let mut next = st.clone();
+                retire_instance(&mut next, idx, Phase::Fenced);
+                out.push(step(format!("worker claim refused: {fence}"), next));
+                return;
+            }
+        }
+        // The pid is not protocol-relevant (fencing is by generation);
+        // the model pins it so equivalent states merge.
+        let lease = Lease {
+            shard,
+            generation,
+            pid: 0,
+            beat: 0,
+        };
+        let name = self.shard_name(shard, generation);
+        {
+            let mut next = st.clone();
+            next.leases.insert(shard, lease);
+            let ino = create_file(&mut next, &name);
+            next.inodes
+                .get_mut(&ino)
+                .expect("just created")
+                .bytes
+                .extend_from_slice(header_line(&self.header).as_bytes());
+            next.instances[idx].journal = Some(ino);
+            next.instances[idx].phase = Phase::Running { cursor: 0 };
+            out.push(step(
+                format!(
+                    "worker[shard {shard}, gen {generation}] claims its lease and creates {name}"
+                ),
+                next,
+            ));
+        }
+        if st.kills_left > 0 {
+            {
+                let mut next = st.clone();
+                next.kills_left -= 1;
+                next.leases.insert(shard, lease);
+                retire_instance(&mut next, idx, Phase::Dead);
+                out.push(step(
+                    format!(
+                        "worker[shard {shard}, gen {generation}] SIGKILLed after the lease write, \
+                         before creating its journal"
+                    ),
+                    next,
+                ));
+            }
+            {
+                let mut next = st.clone();
+                next.kills_left -= 1;
+                next.leases.insert(shard, lease);
+                let ino = create_file(&mut next, &name);
+                let header = header_line(&self.header);
+                let torn = &header.as_bytes()[..header.len() / 2];
+                next.inodes
+                    .get_mut(&ino)
+                    .expect("just created")
+                    .bytes
+                    .extend_from_slice(torn);
+                next.instances[idx].journal = Some(ino);
+                retire_instance(&mut next, idx, Phase::Dead);
+                out.push(step(
+                    format!(
+                        "worker[shard {shard}, gen {generation}] SIGKILLed mid-write, tearing \
+                         {name}'s header"
+                    ),
+                    next,
+                ));
+            }
+        }
+    }
+
+    /// Transitions for a `Running` instance: fence-stop, start the
+    /// next point (with tear variants), or exit cleanly.
+    fn running_steps(&self, st: &State, idx: usize, out: &mut Vec<Step>) {
+        let inst = &st.instances[idx];
+        let (shard, generation) = (inst.shard, inst.generation);
+        let Some(point) = self.next_point(inst) else {
+            let mut next = st.clone();
+            retire_instance(&mut next, idx, Phase::Exited);
+            out.push(step(
+                format!("worker[shard {shard}, gen {generation}] exits cleanly (shard done)"),
+                next,
+            ));
+            return;
+        };
+        if self.semantics.generation_fencing {
+            if let Err(fence) = check_fence(shard, generation, st.leases.get(&shard)) {
+                let mut next = st.clone();
+                retire_instance(&mut next, idx, Phase::Fenced);
+                out.push(step(
+                    format!("worker stops at the point boundary: {fence}"),
+                    next,
+                ));
+                return;
+            }
+        }
+        let ino = inst.journal.expect("a running worker holds its journal");
+        let marker = format!("{}\n", start_line(point));
+        {
+            let mut next = st.clone();
+            append_bytes(&mut next, ino, marker.as_bytes());
+            next.instances[idx].phase = Phase::InPoint { point };
+            out.push(step(
+                format!(
+                    "worker[shard {shard}, gen {generation}] journals the start marker for \
+                     point {point}"
+                ),
+                next,
+            ));
+        }
+        if st.kills_left > 0 {
+            // One marker-tear shape suffices in-model: the replay lemma
+            // test proves every byte offset of a torn line is dropped
+            // identically.
+            let mut next = st.clone();
+            next.kills_left -= 1;
+            append_bytes(&mut next, ino, &marker.as_bytes()[..marker.len() - 1]);
+            retire_instance(&mut next, idx, Phase::Dead);
+            out.push(step(
+                format!(
+                    "worker[shard {shard}, gen {generation}] SIGKILLed mid-write: start \
+                     marker for point {point} torn (missing its newline)"
+                ),
+                next,
+            ));
+        }
+    }
+
+    /// Transitions for an `InPoint` instance: the row append, complete
+    /// or torn four different ways.
+    fn finish_steps(&self, st: &State, idx: usize, point: usize, out: &mut Vec<Step>) {
+        let inst = &st.instances[idx];
+        let (shard, generation) = (inst.shard, inst.generation);
+        let ino = inst.journal.expect("an in-point worker holds its journal");
+        let line = &self.lines[point];
+        let full = format!("{line}\n");
+        {
+            let mut next = st.clone();
+            append_bytes(&mut next, ino, full.as_bytes());
+            push_prov(&mut next, ino, point, generation, false);
+            if linked(&next, ino) {
+                next.ghost.entry(point).or_insert_with(|| line.clone());
+            }
+            next.instances[idx].phase = Phase::Running { cursor: point + 1 };
+            out.push(step(
+                format!(
+                    "worker[shard {shard}, gen {generation}] journals the row for point \
+                     {point} and fsyncs"
+                ),
+                next,
+            ));
+        }
+        if st.kills_left == 0 {
+            return;
+        }
+        // Tear offsets: 1 byte into the multi-byte ☃ in the status
+        // (unparseable) and the whole line minus its newline (parseable
+        // but unterminated) — the two classes the replay rule must
+        // distinguish. The lemma test covers every other byte offset.
+        // The truncation bug double additionally tears just past the
+        // first trail separator, where trusting the tail resurrects a
+        // row with a *corrupted* digest trail.
+        let snowman = line.find('☃').expect("model rows carry a snowman") + 1;
+        let semi = line.find(';').expect("model rows carry a trail") + 1;
+        let mut tears: Vec<(usize, &str, bool)> = vec![
+            (snowman, "mid-multibyte", false),
+            (full.len() - 1, "missing its newline", true),
+        ];
+        if !self.semantics.truncate_torn_tail {
+            tears.push((semi, "mid-trail (still parseable)", true));
+        }
+        for (cut, what, parseable) in tears {
+            let mut next = st.clone();
+            next.kills_left -= 1;
+            append_bytes(&mut next, ino, &full.as_bytes()[..cut]);
+            if parseable {
+                push_prov(&mut next, ino, point, generation, true);
+            }
+            retire_instance(&mut next, idx, Phase::Dead);
+            out.push(step(
+                format!(
+                    "worker[shard {shard}, gen {generation}] SIGKILLed mid-write: row for \
+                     point {point} torn ({what})"
+                ),
+                next,
+            ));
+        }
+    }
+
+    /// A guarded heartbeat: refreshes the worker's own lease beat. The
+    /// transition exists only while the lease is still the worker's own
+    /// and unbeaten — a fenced worker's heartbeat writes nothing (the
+    /// runtime's heartbeat thread stops on `Beat::Fenced`), which in
+    /// the model is the *absence* of this step.
+    fn heartbeat_step(&self, st: &State, idx: usize, out: &mut Vec<Step>) {
+        let inst = &st.instances[idx];
+        if !matches!(inst.phase, Phase::Running { .. } | Phase::InPoint { .. }) {
+            return;
+        }
+        let own_unbeaten = st
+            .leases
+            .get(&inst.shard)
+            .is_some_and(|l| l.generation == inst.generation && l.beat == 0);
+        if !own_unbeaten {
+            return;
+        }
+        let mut next = st.clone();
+        next.leases.insert(
+            inst.shard,
+            Lease {
+                shard: inst.shard,
+                generation: inst.generation,
+                pid: 0,
+                beat: 1,
+            },
+        );
+        out.push(step(
+            format!(
+                "worker[shard {}, gen {}] heartbeats its lease",
+                inst.shard, inst.generation
+            ),
+            next,
+        ));
+    }
+
+    /// SIGKILL of one live worker (budget permitting).
+    fn kill_instance_step(&self, st: &State, idx: usize, out: &mut Vec<Step>) {
+        let inst = &st.instances[idx];
+        if st.kills_left == 0
+            || !matches!(
+                inst.phase,
+                Phase::Claiming | Phase::Running { .. } | Phase::InPoint { .. }
+            )
+        {
+            return;
+        }
+        let mut next = st.clone();
+        next.kills_left -= 1;
+        retire_instance(&mut next, idx, Phase::Dead);
+        out.push(step(
+            format!(
+                "SIGKILL worker[shard {}, gen {}]",
+                inst.shard, inst.generation
+            ),
+            next,
+        ));
+    }
+
+    /// SIGKILL of the supervisor: every tracked worker becomes an
+    /// orphan; already-exited workers are lost to the reaper.
+    fn kill_supervisor_step(&self, st: &State) -> Step {
+        let mut next = st.clone();
+        next.sup_kills_left -= 1;
+        next.sup = Sup::Dead;
+        for inst in &mut next.instances {
+            inst.tracked = false;
+        }
+        next.instances.retain(|i| {
+            matches!(
+                i.phase,
+                Phase::Claiming | Phase::Running { .. } | Phase::InPoint { .. }
+            )
+        });
+        gc_inodes(&mut next);
+        step(
+            "SIGKILL supervisor (live workers orphaned)".to_string(),
+            next,
+        )
+    }
+
+    /// The supervisor reaps an exited-or-dead worker: harvest its shard
+    /// journal row by row, delete the file, then let the real
+    /// [`CrashLedger`] decide done / respawn / quarantine / give-up.
+    fn reap_step(&self, st: &State, shard: usize, generation: u64, pos: usize) -> Step {
+        let mut next = st.clone();
+        let mut violation = None;
+        let reaped = next.instances[pos].clone();
+        let mut rows = match self.main_rows(&next) {
+            Ok(rows) => rows,
+            Err(e) => {
+                return Step {
+                    label: format!("supervisor reaps worker[shard {shard}, gen {generation}]"),
+                    state: next,
+                    violation: Some(ApplyViolation::Abandoned(e)),
+                }
+            }
+        };
+        let mut progressed = 0usize;
+        let mut dangling = None;
+        // Harvest every generation's file still on disk for this
+        // shard, exactly like the runtime reap: an orphan of a killed
+        // supervisor may have finished points under an older
+        // generation, and those rows must not be lost to a later
+        // quarantine. The attributing dangling marker comes from the
+        // reaped worker's own file alone.
+        for g in 0..=generation {
+            let gen_name = self.shard_name(shard, g);
+            let Some(&ino) = next.names.get(&gen_name) else {
+                continue;
+            };
+            let file = next.inodes.get(&ino).expect("linked inode exists").clone();
+            if let Ok(rep) = self.replay(&file.bytes, JournalDialect::WorkerShard) {
+                if rep.header == self.header {
+                    if g == generation {
+                        dangling = rep.dangling_start;
+                    }
+                    for (i, o) in rep.done {
+                        if i >= self.bounds.points || rows.contains_key(&i) {
+                            continue;
+                        }
+                        if violation.is_none() {
+                            if let Some(prov) = file.rows.iter().rev().find(|r| r.index == i) {
+                                if prov.writer_generation != g {
+                                    violation = Some(ApplyViolation::ZombieWrite(format!(
+                                        "harvest of shard {shard} (gen {g}) accepted the row \
+                                         for point {i}, but it was written under a gen-{} \
+                                         claim — a zombie write landed in another \
+                                         generation's journal",
+                                        prov.writer_generation
+                                    )));
+                                }
+                            }
+                        }
+                        let serialised = point_line(&o);
+                        append_main_row(&mut next, &serialised);
+                        rows.insert(i, serialised);
+                        progressed += 1;
+                    }
+                }
+            }
+            next.names.remove(&gen_name);
+        }
+        let exit = WorkerExit {
+            clean: matches!(reaped.phase, Phase::Exited),
+            fenced: matches!(reaped.phase, Phase::Fenced),
+            fatal_config: false,
+            dangling_start: dangling,
+            progressed: progressed > 0,
+            shard_pending: self.pending_for(&rows, shard),
+        };
+        next.instances.remove(pos);
+        let mut label =
+            format!("supervisor reaps worker[shard {shard}, gen {generation}]: {progressed} row(s) salvaged");
+        // The ledger decision happens under a borrow of `sup`; journal
+        // and ghost writes are deferred until the borrow ends.
+        let mut quarantined: Option<(usize, String)> = None;
+        let mut respawn: Option<(u64, BTreeSet<usize>)> = None;
+        {
+            let Sup::Running {
+                slots,
+                skip,
+                ledger,
+            } = &mut next.sup
+            else {
+                unreachable!("reap only runs under a live supervisor");
+            };
+            match ledger.on_worker_exit(shard, &exit, self.bounds.crash_limit) {
+                SupervisorStep::ShardDone => slots[shard] = Slot::Closed,
+                SupervisorStep::FatalWorkerConfig => {
+                    violation.get_or_insert(ApplyViolation::Abandoned(format!(
+                        "supervisor declared shard {shard}'s worker fatally misconfigured and \
+                         abandoned the sweep"
+                    )));
+                    slots[shard] = Slot::Closed;
+                }
+                SupervisorStep::GiveUp { deaths } => {
+                    violation.get_or_insert(ApplyViolation::Abandoned(format!(
+                        "supervisor gave up on shard {shard} after {deaths} unattributed worker \
+                         deaths instead of completing or quarantining"
+                    )));
+                    slots[shard] = Slot::Closed;
+                }
+                SupervisorStep::Continue { quarantine } => {
+                    // A harvested outcome beats a poisoned row: the
+                    // crashes were attributed to the point, but some
+                    // generation already proved it completes.
+                    let quarantine = quarantine.filter(|q| !rows.contains_key(&q.point));
+                    if let Some(q) = quarantine {
+                        let outcome = PointOutcome {
+                            record: self.points[q.point].poisoned_record(q.crashes),
+                            trail: Vec::new(),
+                        };
+                        let serialised = point_line(&outcome);
+                        rows.insert(q.point, serialised.clone());
+                        skip.insert(q.point);
+                        label.push_str(&format!(
+                            "; point {} quarantined after {} crash(es)",
+                            q.point, q.crashes
+                        ));
+                        quarantined = Some((q.point, serialised));
+                    }
+                    if self.pending_for(&rows, shard) {
+                        respawn = Some((generation + 1, skip.clone()));
+                    } else {
+                        slots[shard] = Slot::Closed;
+                    }
+                }
+            }
+        }
+        if let Some((point, serialised)) = quarantined {
+            append_main_row(&mut next, &serialised);
+            next.ghost.entry(point).or_insert(serialised);
+        }
+        if let Some((g, skip_now)) = respawn {
+            let ordinal = next.next_ordinal;
+            next.next_ordinal += 1;
+            next.instances.push(Instance {
+                ordinal,
+                shard,
+                generation: g,
+                tracked: true,
+                journal: None,
+                phase: Phase::Claiming,
+                // Only this shard's slice matters to the worker; the
+                // filter lets states that differ elsewhere merge.
+                done_at_spawn: self
+                    .shard_points(shard)
+                    .filter(|i| rows.contains_key(i))
+                    .collect(),
+                skip: skip_now
+                    .into_iter()
+                    .filter(|i| i % self.bounds.workers == shard)
+                    .collect(),
+            });
+            if let Sup::Running { slots, .. } = &mut next.sup {
+                slots[shard] = Slot::Open {
+                    generation: g,
+                    ordinal,
+                };
+            }
+            label.push_str(&format!("; respawn at gen {g}"));
+        }
+        finish_if_all_closed(&mut next);
+        gc_inodes(&mut next);
+        Step {
+            label,
+            state: next,
+            violation,
+        }
+    }
+
+    /// A new `sweep --resume` after the supervisor died: harvest every
+    /// leftover shard journal, consolidate atomically, delete the
+    /// leftovers, and spawn fresh workers one generation past anything
+    /// observed (generation 0 in the no-fencing double).
+    fn resume_step(&self, st: &State) -> Step {
+        let mut next = st.clone();
+        let mut violation = None;
+        let mut merged = match self.main_rows(&next) {
+            Ok(rows) => rows,
+            Err(e) => {
+                return Step {
+                    label: "supervisor restarted with --resume".to_string(),
+                    state: next,
+                    violation: Some(ApplyViolation::Abandoned(e)),
+                }
+            }
+        };
+        let mut observed: Vec<u64> = next.leases.values().map(|l| l.generation).collect();
+        let prefix = format!("{MAIN_JOURNAL}.s");
+        let mut leftovers = Vec::new();
+        for (name, &ino) in &next.names {
+            if !name.starts_with(&prefix) {
+                continue;
+            }
+            leftovers.push(name.clone());
+            let file_gen = name
+                .rsplit_once(".g")
+                .and_then(|(_, g)| g.parse::<u64>().ok());
+            if let Some(g) = file_gen {
+                observed.push(g);
+            }
+            let file = next.inodes.get(&ino).expect("linked inode exists");
+            let Ok(rep) = self.replay(&file.bytes, JournalDialect::WorkerShard) else {
+                continue;
+            };
+            if rep.header != self.header {
+                continue;
+            }
+            for (i, o) in rep.done {
+                if i >= self.bounds.points || merged.contains_key(&i) {
+                    continue;
+                }
+                if violation.is_none() {
+                    if let (Some(fg), Some(prov)) =
+                        (file_gen, file.rows.iter().rev().find(|r| r.index == i))
+                    {
+                        if prov.writer_generation != fg {
+                            violation = Some(ApplyViolation::ZombieWrite(format!(
+                                "resume harvest of {name} accepted the row for point {i}, but \
+                                 it was written at generation {} — a zombie write landed in a \
+                                 successor's journal",
+                                prov.writer_generation
+                            )));
+                        }
+                    }
+                }
+                merged.insert(i, point_line(&o));
+            }
+        }
+        // Atomic consolidation: build the merged journal as a fresh
+        // inode and rename it over the main name; only then unlink the
+        // harvested leftovers. Leases stay — they carry the fencing
+        // evidence.
+        let mut bytes = header_line(&self.header).into_bytes();
+        for line in merged.values() {
+            bytes.extend_from_slice(line.as_bytes());
+            bytes.push(b'\n');
+        }
+        let ino = next.next_inode;
+        next.next_inode += 1;
+        next.inodes.insert(
+            ino,
+            FileModel {
+                bytes,
+                rows: Vec::new(),
+            },
+        );
+        next.names.insert(MAIN_JOURNAL.to_string(), ino);
+        for name in leftovers {
+            next.names.remove(&name);
+        }
+        let start_generation = if self.semantics.generation_fencing {
+            resume_spawn_generation(observed)
+        } else {
+            0
+        };
+        let mut slots = Vec::with_capacity(self.bounds.workers);
+        let mut spawned = false;
+        for shard in 0..self.bounds.workers {
+            if self.pending_for(&merged, shard) {
+                let ordinal = next.next_ordinal;
+                next.next_ordinal += 1;
+                next.instances.push(Instance {
+                    ordinal,
+                    shard,
+                    generation: start_generation,
+                    tracked: true,
+                    journal: None,
+                    phase: Phase::Claiming,
+                    done_at_spawn: self
+                        .shard_points(shard)
+                        .filter(|i| merged.contains_key(i))
+                        .collect(),
+                    skip: BTreeSet::new(),
+                });
+                slots.push(Slot::Open {
+                    generation: start_generation,
+                    ordinal,
+                });
+                spawned = true;
+            } else {
+                slots.push(Slot::Closed);
+            }
+        }
+        if spawned {
+            next.sup = Sup::Running {
+                slots,
+                skip: BTreeSet::new(),
+                ledger: CrashLedger::new(self.bounds.workers),
+            };
+        } else {
+            next.sup = Sup::Done;
+            finish_cleanup(&mut next);
+        }
+        gc_inodes(&mut next);
+        Step {
+            label: format!(
+                "supervisor restarted with --resume: {} row(s) recovered, spawning at gen \
+                 {start_generation}",
+                merged.len()
+            ),
+            state: next,
+            violation,
+        }
+    }
+}
+
+/// Wraps a violation-free transition.
+fn step(label: String, state: State) -> Step {
+    Step {
+        label,
+        state,
+        violation: None,
+    }
+}
+
+/// Allocates a fresh inode bound to `name`.
+fn alloc_inode(st: &mut State, name: &str) -> Inode {
+    let ino = st.next_inode;
+    st.next_inode += 1;
+    st.inodes.insert(ino, FileModel::default());
+    st.names.insert(name.to_string(), ino);
+    ino
+}
+
+/// `File::create` semantics: truncate the existing inode in place if
+/// the name is bound (every holder of that inode sees the truncation),
+/// else allocate a fresh one.
+fn create_file(st: &mut State, name: &str) -> Inode {
+    if let Some(&ino) = st.names.get(name) {
+        let file = st.inodes.get_mut(&ino).expect("linked inode exists");
+        file.bytes.clear();
+        file.rows.clear();
+        ino
+    } else {
+        alloc_inode(st, name)
+    }
+}
+
+/// Appends raw bytes to an inode.
+fn append_bytes(st: &mut State, ino: Inode, bytes: &[u8]) {
+    st.inodes
+        .get_mut(&ino)
+        .expect("writers hold live inodes")
+        .bytes
+        .extend_from_slice(bytes);
+}
+
+/// Appends a full row line (plus newline) to the main journal.
+fn append_main_row(st: &mut State, line: &str) {
+    let &ino = st.names.get(MAIN_JOURNAL).expect("main journal is linked");
+    let file = st.inodes.get_mut(&ino).expect("linked inode exists");
+    file.bytes.extend_from_slice(line.as_bytes());
+    file.bytes.push(b'\n');
+}
+
+/// Records row provenance on a shard journal inode.
+fn push_prov(st: &mut State, ino: Inode, index: usize, writer_generation: u64, torn: bool) {
+    st.inodes
+        .get_mut(&ino)
+        .expect("writers hold live inodes")
+        .rows
+        .push(RowProv {
+            index,
+            writer_generation,
+            torn,
+        });
+}
+
+/// Is this inode still reachable through some name?
+fn linked(st: &State, ino: Inode) -> bool {
+    st.names.values().any(|&i| i == ino)
+}
+
+/// Ends an instance's run: tracked instances stay for the reaper in
+/// `phase` (`Exited` or `Dead`); orphans vanish immediately.
+fn retire_instance(st: &mut State, idx: usize, phase: Phase) {
+    if st.instances[idx].tracked {
+        st.instances[idx].phase = phase;
+    } else {
+        st.instances.remove(idx);
+    }
+    gc_inodes(st);
+}
+
+/// Drops inodes no name and no instance can reach (nothing can ever
+/// observe them again, so keeping them would only split states).
+fn gc_inodes(st: &mut State) {
+    let live: BTreeSet<Inode> = st
+        .names
+        .values()
+        .copied()
+        .chain(st.instances.iter().filter_map(|i| i.journal))
+        .collect();
+    st.inodes.retain(|ino, _| live.contains(ino));
+}
+
+/// Canonicalises the bookkeeping that is not protocol-visible — inode
+/// numbers, worker ordinals, instance order — so states that differ
+/// only in allocation history merge during exploration. The renaming
+/// is a bijection on live identifiers, so two genuinely different
+/// states can never normalise to the same one.
+fn normalize(st: &mut State) {
+    gc_inodes(st);
+    // Instance order: sort by everything except the allocation-derived
+    // fields (ordinal, inode). The sort is stable, so ties keep their
+    // arrival order.
+    st.instances.sort_by(|a, b| {
+        (
+            a.shard,
+            a.generation,
+            a.tracked,
+            a.phase,
+            &a.done_at_spawn,
+            &a.skip,
+        )
+            .cmp(&(
+                b.shard,
+                b.generation,
+                b.tracked,
+                b.phase,
+                &b.done_at_spawn,
+                &b.skip,
+            ))
+    });
+    // Inodes: renumber in (sorted name, then instance) discovery order.
+    let mut order: Vec<Inode> = Vec::new();
+    for &ino in st.names.values() {
+        if !order.contains(&ino) {
+            order.push(ino);
+        }
+    }
+    for inst in &st.instances {
+        if let Some(ino) = inst.journal {
+            if !order.contains(&ino) {
+                order.push(ino);
+            }
+        }
+    }
+    let imap: BTreeMap<Inode, Inode> = order
+        .iter()
+        .enumerate()
+        .map(|(at, &ino)| (ino, u32::try_from(at).expect("few inodes")))
+        .collect();
+    st.inodes = std::mem::take(&mut st.inodes)
+        .into_iter()
+        .map(|(ino, file)| (imap[&ino], file))
+        .collect();
+    for ino in st.names.values_mut() {
+        *ino = imap[ino];
+    }
+    for inst in &mut st.instances {
+        if let Some(ino) = &mut inst.journal {
+            *ino = imap[ino];
+        }
+    }
+    st.next_inode = u32::try_from(order.len()).expect("few inodes");
+    // Ordinals: renumber by instance position; slots follow.
+    let omap: BTreeMap<u32, u32> = st
+        .instances
+        .iter()
+        .enumerate()
+        .map(|(at, inst)| (inst.ordinal, u32::try_from(at).expect("few instances")))
+        .collect();
+    for (at, inst) in st.instances.iter_mut().enumerate() {
+        inst.ordinal = u32::try_from(at).expect("few instances");
+    }
+    if let Sup::Running { slots, .. } = &mut st.sup {
+        for slot in slots {
+            if let Slot::Open { ordinal, .. } = slot {
+                *ordinal = omap[ordinal];
+            }
+        }
+    }
+    st.next_ordinal = u32::try_from(st.instances.len()).expect("few instances");
+}
+
+/// When every slot is closed the supervisor is done; it clears the
+/// coordination files exactly like the runtime's final cleanup.
+fn finish_if_all_closed(st: &mut State) {
+    if let Sup::Running { slots, .. } = &st.sup {
+        if slots.iter().all(|s| matches!(s, Slot::Closed)) {
+            st.sup = Sup::Done;
+            finish_cleanup(st);
+        }
+    }
+}
+
+/// Final cleanup: leases and shard journals are removed; only the main
+/// journal's name survives. Any still-live orphans are dropped from the
+/// model: the sweep is consolidated, no reap or resume will ever read a
+/// coordination file again, so nothing an orphan writes from here on
+/// can influence a protocol decision — tracking it would only append
+/// unobservable tail states to every completed execution.
+fn finish_cleanup(st: &mut State) {
+    st.leases.clear();
+    st.names.retain(|name, _| name == MAIN_JOURNAL);
+    st.instances.clear();
+    gc_inodes(st);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_initial_state_has_a_replayable_main_journal_and_claiming_workers() {
+        let model = Model::new(ModelBounds::standard(), Semantics::correct());
+        let st = model.init();
+        assert_eq!(model.main_rows(&st).expect("replays"), BTreeMap::new());
+        assert_eq!(st.instances.len(), 2);
+        assert!(st
+            .instances
+            .iter()
+            .all(|i| matches!(i.phase, Phase::Claiming)));
+    }
+
+    #[test]
+    fn a_full_claim_then_point_then_exit_chain_reaches_done_for_one_shard() {
+        let bounds = ModelBounds {
+            workers: 1,
+            points: 1,
+            crash_limit: 2,
+            kill_budget: 0,
+            sup_kill_budget: 0,
+            max_states: 10_000,
+        };
+        let model = Model::new(bounds, Semantics::correct());
+        let mut st = model.init();
+        // claim → start → finish → exit → reap, always taking the
+        // first (non-tear) step.
+        for _ in 0..5 {
+            let steps = model.steps(&st);
+            st = steps.into_iter().next().expect("a step is enabled").state;
+        }
+        assert!(matches!(st.sup, Sup::Done));
+        let rows = model.main_rows(&st).expect("replays");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(st.ghost, rows);
+        assert_eq!(model.reconstruct(&st).expect("replays"), rows);
+    }
+
+    #[test]
+    fn create_file_truncates_the_inode_in_place_for_an_existing_name() {
+        let model = Model::new(ModelBounds::standard(), Semantics::correct());
+        let mut st = model.init();
+        let a = create_file(&mut st, "x");
+        append_bytes(&mut st, a, b"hello");
+        let b = create_file(&mut st, "x");
+        assert_eq!(a, b, "same name, same inode");
+        assert!(st.inodes[&a].bytes.is_empty(), "truncated in place");
+    }
+
+    #[test]
+    fn the_no_fencing_double_pins_every_generation_to_one_file() {
+        let model = Model::new(ModelBounds::standard(), Semantics::no_generation_fencing());
+        assert_eq!(model.shard_name(0, 0), model.shard_name(0, 7));
+        let fenced = Model::new(ModelBounds::standard(), Semantics::correct());
+        assert_ne!(fenced.shard_name(0, 0), fenced.shard_name(0, 7));
+    }
+
+    #[test]
+    fn lenient_replay_trusts_a_parseable_unterminated_tail() {
+        let strict = Model::new(ModelBounds::standard(), Semantics::correct());
+        let lenient = Model::new(
+            ModelBounds::standard(),
+            Semantics::no_torn_tail_truncation(),
+        );
+        let mut bytes = header_line(&strict.header).into_bytes();
+        bytes.extend_from_slice(strict.lines[0].as_bytes()); // no newline
+        let s = strict
+            .replay(&bytes, JournalDialect::WorkerShard)
+            .expect("replays");
+        assert!(s.done.is_empty(), "strict replay drops the torn tail");
+        let l = lenient
+            .replay(&bytes, JournalDialect::WorkerShard)
+            .expect("replays");
+        assert_eq!(l.done.len(), 1, "lenient replay trusts the torn tail");
+    }
+}

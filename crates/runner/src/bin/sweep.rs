@@ -23,13 +23,17 @@
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+// det:allow(no-wallclock) — wall time feeds only the stderr progress
+// banner, never an artifact or digest.
 use std::time::Instant;
 
 use runner::journal::{load_journal, JournalHeader, JournalWriter};
+use runner::protocol::FENCED_EXIT_CODE;
 use runner::supervisor::{SupervisorConfig, WorkerConfig};
 use runner::{
     diff_csv, run_points_full, run_supervised, run_worker, status_counts, threads_from_env, to_csv,
-    to_json, verify_digest_trail, PointOutcome, PointRecord, PointSpec, SweepSpec, CSV_HEADER,
+    to_json, verify_digest_trail, PointOutcome, PointRecord, PointSpec, SweepSpec, WorkerOutcome,
+    CSV_HEADER,
 };
 
 struct Options {
@@ -296,7 +300,8 @@ fn main() -> ExitCode {
             lease_timeout_ms: opts.lease_timeout_ms,
         };
         return match run_worker(&wcfg) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(WorkerOutcome::Completed) => ExitCode::SUCCESS,
+            Ok(WorkerOutcome::Fenced) => ExitCode::from(FENCED_EXIT_CODE as u8),
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::from(2)
@@ -394,6 +399,7 @@ fn main() -> ExitCode {
         None => None,
     };
 
+    // det:allow(no-wallclock) — stderr elapsed-time report only.
     let started = Instant::now();
     let quiet = opts.quiet;
     let mut journal_err: Option<String> = None;
@@ -496,6 +502,7 @@ fn run_multiprocess(
             opts.workers
         );
     }
+    // det:allow(no-wallclock) — stderr elapsed-time report only.
     let started = Instant::now();
     let report = match run_supervised(spec, &cfg) {
         Ok(report) => report,

@@ -30,8 +30,9 @@ use std::io::Write as _;
 
 use noc::digest::StateHasher;
 
-use crate::journal::{fsync_parent_dir, parse_point_line, point_line};
+use crate::journal::fsync_parent_dir;
 use crate::point::{PointOutcome, PointRecord};
+use crate::protocol::{parse_point_line, point_line};
 
 /// A cache directory that cannot be created or written.
 #[must_use]

@@ -1,4 +1,4 @@
-//! The crash-safe sweep checkpoint journal.
+//! The crash-safe sweep checkpoint journal (I/O layer).
 //!
 //! A sweep journals every completed point to `<artifact>.ckpt` as it
 //! lands: one self-describing header line, then one append-only,
@@ -25,12 +25,26 @@
 //! prefix, and [`JournalWriter::append_to`] truncates the file to it
 //! before appending, so a journal can be killed and resumed arbitrarily
 //! often without a torn tail ever swallowing the next record.
+//!
+//! All decisions — serialisation, trusted-prefix computation, torn-tail
+//! vs corruption — live in the pure [`crate::protocol`] module, which
+//! the `analyzer` crate's model checker explores directly. This module
+//! only does the reads, writes, and fsyncs.
 
-use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 
-use crate::point::{DigestSample, PointOutcome, PointRecord};
+use crate::point::PointOutcome;
+use crate::protocol::{
+    header_line, point_line, replay_journal_bytes, start_line, JournalDialect, JournalReplay,
+};
+
+#[cfg(doc)]
+use crate::point::PointRecord;
+
+pub use crate::protocol::JournalHeader;
+
+use std::collections::BTreeMap;
 
 /// A journal that cannot be written, read, or parsed.
 #[must_use]
@@ -79,155 +93,6 @@ pub(crate) fn fsync_parent_dir(path: &str) -> Result<(), JournalError> {
     }
 }
 
-/// The journal's self-describing header: enough to refuse a resume
-/// against the wrong spec before any simulation time is spent.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JournalHeader {
-    /// [`crate::spec::SweepSpec::spec_hash`] of the sweep that wrote it.
-    pub spec_hash: u64,
-    /// The sweep's base seed.
-    pub base_seed: u64,
-    /// Total points in the expanded grid.
-    pub count: usize,
-    /// The sweep's name (for error messages only).
-    pub name: String,
-}
-
-const MAGIC: &str = "noc-sweep-ckpt v1";
-
-/// Escapes the journal's separator characters in free-form strings.
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '\t' => out.push_str("\\t"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            other => out.push(other),
-        }
-    }
-    out
-}
-
-fn unescape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c != '\\' {
-            out.push(c);
-            continue;
-        }
-        match chars.next() {
-            Some('t') => out.push('\t'),
-            Some('n') => out.push('\n'),
-            Some('r') => out.push('\r'),
-            Some('\\') => out.push('\\'),
-            Some(other) => out.push(other),
-            None => {}
-        }
-    }
-    out
-}
-
-fn trail_field(trail: &[DigestSample]) -> String {
-    if trail.is_empty() {
-        return "-".to_string();
-    }
-    let pairs: Vec<String> = trail
-        .iter()
-        .map(|&(cycle, digest)| format!("{cycle}:{digest:016x}"))
-        .collect();
-    pairs.join(";")
-}
-
-fn parse_trail(field: &str) -> Option<Vec<DigestSample>> {
-    if field == "-" {
-        return Some(Vec::new());
-    }
-    let mut trail = Vec::new();
-    for pair in field.split(';') {
-        let (cycle, digest) = pair.split_once(':')?;
-        trail.push((
-            cycle.parse::<u64>().ok()?,
-            u64::from_str_radix(digest, 16).ok()?,
-        ));
-    }
-    Some(trail)
-}
-
-/// Serialises one completed point as a journal line (no newline).
-/// Floats go out as `to_bits` hex so the resumed CSV is byte-identical.
-/// Shared with the result cache, whose entries embed the same record
-/// serialisation under their own integrity digest.
-pub(crate) fn point_line(outcome: &PointOutcome) -> String {
-    let r = &outcome.record;
-    format!(
-        "point\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{:016x}\t{:016x}\t{}\t{}",
-        r.index,
-        escape(&r.org),
-        escape(&r.pattern),
-        r.rate.to_bits(),
-        r.radix,
-        r.vc_depth,
-        r.hpc,
-        escape(&r.fault),
-        r.sample,
-        r.seed,
-        escape(&r.status),
-        r.attempts,
-        r.injected,
-        r.delivered,
-        r.undrained,
-        r.avg_latency.to_bits(),
-        r.p50,
-        r.p95,
-        r.p99,
-        r.max_latency,
-        r.avg_hops.to_bits(),
-        r.throughput.to_bits(),
-        escape(&r.digest),
-        trail_field(&outcome.trail),
-    )
-}
-
-pub(crate) fn parse_point_line(line: &str) -> Option<PointOutcome> {
-    let fields: Vec<&str> = line.split('\t').collect();
-    if fields.len() != 25 || fields[0] != "point" {
-        return None;
-    }
-    let f64_at = |i: usize| -> Option<f64> {
-        Some(f64::from_bits(u64::from_str_radix(fields[i], 16).ok()?))
-    };
-    let record = PointRecord {
-        index: fields[1].parse().ok()?,
-        org: unescape(fields[2]),
-        pattern: unescape(fields[3]),
-        rate: f64_at(4)?,
-        radix: fields[5].parse().ok()?,
-        vc_depth: fields[6].parse().ok()?,
-        hpc: fields[7].parse().ok()?,
-        fault: unescape(fields[8]),
-        sample: fields[9].parse().ok()?,
-        seed: fields[10].parse().ok()?,
-        status: unescape(fields[11]),
-        attempts: fields[12].parse().ok()?,
-        injected: fields[13].parse().ok()?,
-        delivered: fields[14].parse().ok()?,
-        undrained: fields[15].parse().ok()?,
-        avg_latency: f64_at(16)?,
-        p50: fields[17].parse().ok()?,
-        p95: fields[18].parse().ok()?,
-        p99: fields[19].parse().ok()?,
-        max_latency: fields[20].parse().ok()?,
-        avg_hops: f64_at(21)?,
-        throughput: f64_at(22)?,
-        digest: unescape(fields[23]),
-    };
-    let trail = parse_trail(fields[24])?;
-    Some(PointOutcome { record, trail })
-}
-
 /// An open, append-mode journal. Every append hits the disk before it
 /// returns — a point the caller believes is journaled *is* journaled.
 #[derive(Debug)]
@@ -246,13 +111,7 @@ impl JournalWriter {
             Ok(f) => f,
             Err(e) => return err(format!("cannot create {path}: {e}")),
         };
-        let line = format!(
-            "{MAGIC}\tspec_hash={:016x}\tbase_seed={}\tcount={}\tname={}\n",
-            header.spec_hash,
-            header.base_seed,
-            header.count,
-            escape(&header.name),
-        );
+        let line = header_line(header);
         if let Err(e) = file
             .write_all(line.as_bytes())
             .and_then(|()| file.sync_data())
@@ -307,7 +166,8 @@ impl JournalWriter {
     ///
     /// Any I/O failure writing or syncing.
     pub fn append_start(&mut self, index: usize) -> Result<(), JournalError> {
-        let line = format!("start\t{index}\n");
+        let mut line = start_line(index);
+        line.push('\n');
         match self
             .file
             .write_all(line.as_bytes())
@@ -364,6 +224,19 @@ pub struct WorkerJournal {
     pub dangling_start: Option<usize>,
 }
 
+/// Reads `path` and replays it through the pure
+/// [`replay_journal_bytes`], prefixing any decode error with the path.
+fn replay_file(path: &str, dialect: JournalDialect) -> Result<JournalReplay, JournalError> {
+    let data = match std::fs::read(path) {
+        Ok(data) => data,
+        Err(e) => return err(format!("cannot read {path}: {e}")),
+    };
+    match replay_journal_bytes(&data, dialect) {
+        Ok(replay) => Ok(replay),
+        Err(e) => err(format!("{path}: {}", e.message)),
+    }
+}
+
 /// Replays a journal: the header plus every fully-written point, keyed
 /// by grid index. A torn final line is dropped silently (that is the
 /// expected crash artifact) — the file is read as bytes and decoded per
@@ -375,12 +248,15 @@ pub struct WorkerJournal {
 ///
 /// Unreadable file, bad magic, malformed header, or mid-file corruption.
 pub fn load_journal(path: &str) -> Result<LoadedJournal, JournalError> {
-    let (header, done, valid_len, dangling) = load_lines(path, false)?;
-    debug_assert!(dangling.is_none(), "start markers are rejected above");
+    let replay = replay_file(path, JournalDialect::Main)?;
+    debug_assert!(
+        replay.dangling_start.is_none(),
+        "start markers are rejected above"
+    );
     Ok(LoadedJournal {
-        header,
-        done,
-        valid_len,
+        header: replay.header,
+        done: replay.done,
+        valid_len: replay.valid_len,
     })
 }
 
@@ -392,127 +268,11 @@ pub fn load_journal(path: &str) -> Result<LoadedJournal, JournalError> {
 ///
 /// Same contract as [`load_journal`].
 pub fn load_worker_journal(path: &str) -> Result<WorkerJournal, JournalError> {
-    let (header, done, _valid_len, dangling_start) = load_lines(path, true)?;
+    let replay = replay_file(path, JournalDialect::WorkerShard)?;
     Ok(WorkerJournal {
-        header,
-        done,
-        dangling_start,
-    })
-}
-
-type ParsedJournal = (
-    JournalHeader,
-    BTreeMap<usize, PointOutcome>,
-    u64,
-    Option<usize>,
-);
-
-fn parse_start_line(line: &str) -> Option<usize> {
-    let index = line.strip_prefix("start\t")?;
-    index.parse().ok()
-}
-
-fn load_lines(path: &str, allow_starts: bool) -> Result<ParsedJournal, JournalError> {
-    let data = match std::fs::read(path) {
-        Ok(data) => data,
-        Err(e) => return err(format!("cannot read {path}: {e}")),
-    };
-    // Line spans by byte offset; the final span may lack its newline.
-    let mut spans: Vec<(usize, usize, bool)> = Vec::new();
-    let mut start = 0usize;
-    for (i, &b) in data.iter().enumerate() {
-        if b == b'\n' {
-            spans.push((start, i, true));
-            start = i + 1;
-        }
-    }
-    if start < data.len() {
-        spans.push((start, data.len(), false));
-    }
-
-    // The header must be complete (create() syncs it, newline included,
-    // before any point can land) — an unterminated or undecodable first
-    // line means the journal never finished being born.
-    let header_bytes = spans.first().map_or(&[][..], |&(s, e, _)| &data[s..e]);
-    let header_terminated = spans.first().is_some_and(|&(_, _, t)| t);
-    let header = std::str::from_utf8(header_bytes)
-        .ok()
-        .filter(|_| header_terminated)
-        .and_then(parse_header)
-        .ok_or_else(|| JournalError {
-            message: format!(
-                "{path}: bad header line {:?}",
-                String::from_utf8_lossy(header_bytes)
-            ),
-        })?;
-
-    let mut done = BTreeMap::new();
-    let mut dangling_start: Option<usize> = None;
-    let mut pending_torn: Option<usize> = None;
-    let mut valid_len = (spans[0].1 + 1) as u64;
-    for (i, &(s, e, terminated)) in spans.iter().enumerate().skip(1) {
-        if s == e {
-            continue;
-        }
-        if let Some(at) = pending_torn {
-            return err(format!(
-                "{path}: corrupt line {} followed by more data (not a torn tail)",
-                at + 1
-            ));
-        }
-        let text = std::str::from_utf8(&data[s..e]).ok();
-        if allow_starts {
-            if let Some(index) = text.and_then(parse_start_line) {
-                if terminated {
-                    valid_len = (e + 1) as u64;
-                    dangling_start = Some(index);
-                } else {
-                    // The crash landed inside the marker itself: nothing
-                    // was started, so there is no culprit to attribute.
-                    pending_torn = Some(i);
-                }
-                continue;
-            }
-        }
-        match text.and_then(parse_point_line) {
-            Some(outcome) if terminated => {
-                valid_len = (e + 1) as u64;
-                // The point that was started has now finished — its
-                // marker is no longer evidence of a crash.
-                dangling_start = None;
-                done.insert(outcome.record.index, outcome);
-            }
-            // Unparseable, or parseable but missing the newline that
-            // `append` syncs with the record: either way the append
-            // never completed, so treat the line as torn and let the
-            // resume re-run that point instead of trusting it.
-            _ => pending_torn = Some(i),
-        }
-    }
-    Ok((header, done, valid_len, dangling_start))
-}
-
-fn parse_header(line: &str) -> Option<JournalHeader> {
-    let rest = line.strip_prefix(MAGIC)?;
-    let mut spec_hash = None;
-    let mut base_seed = None;
-    let mut count = None;
-    let mut name = None;
-    for field in rest.split('\t').filter(|f| !f.is_empty()) {
-        let (key, value) = field.split_once('=')?;
-        match key {
-            "spec_hash" => spec_hash = u64::from_str_radix(value, 16).ok(),
-            "base_seed" => base_seed = value.parse::<u64>().ok(),
-            "count" => count = value.parse::<usize>().ok(),
-            "name" => name = Some(unescape(value)),
-            _ => {}
-        }
-    }
-    Some(JournalHeader {
-        spec_hash: spec_hash?,
-        base_seed: base_seed?,
-        count: count?,
-        name: name?,
+        header: replay.header,
+        done: replay.done,
+        dangling_start: replay.dangling_start,
     })
 }
 
@@ -520,6 +280,7 @@ fn parse_header(line: &str) -> Option<JournalHeader> {
 mod tests {
     use super::*;
     use crate::org::Organization;
+    use crate::protocol::point_line;
     use crate::spec::SweepSpec;
 
     fn sample_outcome(index: usize) -> PointOutcome {
@@ -744,14 +505,5 @@ mod tests {
         assert!(e.message.contains("corrupt line"), "{e}");
         // But the worker loader reads the same bytes happily.
         assert!(load_worker_journal(&path).is_ok());
-    }
-
-    #[test]
-    fn escape_round_trips_awkward_strings() {
-        for s in ["plain", "tab\tnl\nbs\\cr\r", "", "\\t"] {
-            assert_eq!(unescape(&escape(s)), s, "escaping {s:?}");
-            assert!(!escape(s).contains('\t'), "no raw tabs may leak");
-            assert!(!escape(s).contains('\n'), "no raw newlines may leak");
-        }
     }
 }

@@ -12,6 +12,13 @@
 //! file — the worst it can do is append to a journal nobody will read
 //! again.
 //!
+//! Both the claim and every heartbeat are *guarded*: they first read
+//! the lease on disk and apply the pure fencing rules
+//! ([`crate::protocol::check_claim`], [`crate::protocol::check_fence`]).
+//! A worker that observes a successor's later generation stops touching
+//! the shard instead of overwriting the successor's lease — the model
+//! checker proves this is what closes the zombie-writer window.
+//!
 //! Lease format, one line, rewritten atomically (temp + rename) on
 //! every heartbeat:
 //!
@@ -26,9 +33,15 @@
 
 use std::fs::File;
 use std::io::Write as _;
+// det:allow(no-wallclock) — the monotonic clock feeds staleness
+// detection only (see `LeaseMonitor`); lease files carry `(gen, beat)`
+// pairs, never timestamps.
 use std::time::{Duration, Instant};
 
 use crate::journal::fsync_parent_dir;
+use crate::protocol::{check_claim, check_fence, lease_line, parse_lease, StalenessCore};
+
+pub use crate::protocol::{FenceError, Lease};
 
 /// A lease that cannot be written, read, or parsed.
 #[must_use]
@@ -52,8 +65,6 @@ fn err<T>(message: impl Into<String>) -> Result<T, LeaseError> {
     })
 }
 
-const MAGIC: &str = "noc-sweep-lease v1";
-
 /// Path of shard `shard`'s lease file, derived from the main journal
 /// path so all of a sweep's coordination state lives side by side.
 pub fn lease_path(journal_path: &str, shard: usize) -> String {
@@ -66,51 +77,6 @@ pub fn lease_path(journal_path: &str, shard: usize) -> String {
 /// generation's file, never the successor's.
 pub fn worker_journal_path(journal_path: &str, shard: usize, generation: u64) -> String {
     format!("{journal_path}.s{shard}.g{generation}")
-}
-
-/// The decoded contents of a lease file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Lease {
-    /// Which shard this lease covers.
-    pub shard: usize,
-    /// Fencing token: bumped by the supervisor on every takeover.
-    pub generation: u64,
-    /// OS pid of the worker holding the lease (used by the chaos
-    /// harness to aim its SIGKILLs, and by humans reading the dir).
-    pub pid: u32,
-    /// Heartbeat counter; advances while the holder is alive.
-    pub beat: u64,
-}
-
-fn lease_line(lease: &Lease) -> String {
-    format!(
-        "{MAGIC}\tshard={}\tgen={}\tpid={}\tbeat={}\n",
-        lease.shard, lease.generation, lease.pid, lease.beat,
-    )
-}
-
-fn parse_lease(text: &str) -> Option<Lease> {
-    let rest = text.trim_end_matches('\n').strip_prefix(MAGIC)?;
-    let mut shard = None;
-    let mut generation = None;
-    let mut pid = None;
-    let mut beat = None;
-    for field in rest.split('\t').filter(|f| !f.is_empty()) {
-        let (key, value) = field.split_once('=')?;
-        match key {
-            "shard" => shard = value.parse::<usize>().ok(),
-            "gen" => generation = value.parse::<u64>().ok(),
-            "pid" => pid = value.parse::<u32>().ok(),
-            "beat" => beat = value.parse::<u64>().ok(),
-            _ => {}
-        }
-    }
-    Some(Lease {
-        shard: shard?,
-        generation: generation?,
-        pid: pid?,
-        beat: beat?,
-    })
 }
 
 /// Writes `contents` to `path` atomically: temp file in the same
@@ -159,6 +125,29 @@ pub fn read_lease(path: &str) -> Result<Option<Lease>, LeaseError> {
     }
 }
 
+/// The outcome of a guarded lease claim.
+#[derive(Debug)]
+pub enum Claim {
+    /// The shard is ours: the lease is on disk with `beat=0`.
+    Held(LeaseHolder),
+    /// A lease at the same or a later generation already exists — some
+    /// other live process holds (or outranks) this fencing token, so
+    /// the claimer must exit without touching the shard.
+    Fenced(FenceError),
+}
+
+/// The outcome of one guarded heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Beat {
+    /// The heartbeat was written; the `(generation, beat)` pair on disk
+    /// advanced.
+    Ok,
+    /// A successor's later-generation lease was observed: the beat was
+    /// *not* written, and the holder must stop heartbeating and stop
+    /// writing to the shard.
+    Fenced(FenceError),
+}
+
 /// A claimed shard lease, held by a worker for the duration of its run.
 /// The worker heartbeats via [`LeaseHolder::beat`]; dropping the holder
 /// does *not* release the lease (a crash wouldn't either — the
@@ -171,35 +160,59 @@ pub struct LeaseHolder {
 
 impl LeaseHolder {
     /// Claims shard `shard` at generation `generation` for this
-    /// process: writes the lease file with `beat=0`.
+    /// process: reads any lease already on disk, applies
+    /// [`check_claim`], and only then writes the lease file with
+    /// `beat=0`. An on-disk lease at the same or a later generation
+    /// yields [`Claim::Fenced`] — the claimer never overwrites a live
+    /// competitor's lease.
     ///
     /// # Errors
     ///
-    /// Any I/O failure writing the lease.
-    pub fn claim(
-        journal_path: &str,
-        shard: usize,
-        generation: u64,
-    ) -> Result<LeaseHolder, LeaseError> {
+    /// Any I/O failure reading or writing the lease.
+    pub fn claim(journal_path: &str, shard: usize, generation: u64) -> Result<Claim, LeaseError> {
+        let path = lease_path(journal_path, shard);
+        let observed = read_lease(&path)?;
+        if let Err(fence) = check_claim(shard, generation, observed.as_ref()) {
+            return Ok(Claim::Fenced(fence));
+        }
         let lease = Lease {
             shard,
             generation,
             pid: std::process::id(),
             beat: 0,
         };
-        let path = lease_path(journal_path, shard);
         write_atomic(&path, &lease_line(&lease))?;
-        Ok(LeaseHolder { path, lease })
+        Ok(Claim::Held(LeaseHolder { path, lease }))
     }
 
-    /// Advances the heartbeat counter and rewrites the lease.
+    /// Advances the heartbeat counter and rewrites the lease — unless
+    /// the lease on disk now belongs to a later generation, in which
+    /// case nothing is written and [`Beat::Fenced`] tells the holder to
+    /// stand down.
     ///
     /// # Errors
     ///
-    /// Any I/O failure writing the lease.
-    pub fn beat(&mut self) -> Result<(), LeaseError> {
+    /// Any I/O failure reading or writing the lease.
+    pub fn beat(&mut self) -> Result<Beat, LeaseError> {
+        if let Some(fence) = self.fenced()? {
+            return Ok(Beat::Fenced(fence));
+        }
         self.lease.beat += 1;
-        write_atomic(&self.path, &lease_line(&self.lease))
+        write_atomic(&self.path, &lease_line(&self.lease))?;
+        Ok(Beat::Ok)
+    }
+
+    /// Re-reads the lease file and reports whether a later generation
+    /// has fenced this holder off. Workers call this before starting
+    /// each point so a deposed worker stops at the next point boundary
+    /// even if its heartbeat thread has not noticed yet.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable or unparseable lease file.
+    pub fn fenced(&self) -> Result<Option<FenceError>, LeaseError> {
+        let observed = read_lease(&self.path)?;
+        Ok(check_fence(self.lease.shard, self.lease.generation, observed.as_ref()).err())
     }
 
     /// The lease as last written.
@@ -213,42 +226,42 @@ impl LeaseHolder {
 /// The supervisor polls [`read_lease`] and feeds each observation in;
 /// the monitor answers "has this lease stopped moving for longer than
 /// the timeout?" using its *own* clock, so worker and supervisor clocks
-/// never need to agree.
+/// never need to agree. The decision itself is the pure
+/// [`StalenessCore`]; this wrapper only supplies the monotonic clock.
 #[derive(Debug)]
 pub struct LeaseMonitor {
-    timeout: Duration,
-    seen: Option<(u64, u64)>,
-    changed_at: Instant,
+    core: StalenessCore,
+    // det:allow(no-wallclock) — monotonic epoch for staleness timing
+    // only; never reaches an artifact or digest.
+    epoch: Instant,
 }
 
 impl LeaseMonitor {
     /// A monitor that declares a lease stale after `timeout` without an
     /// observed `(generation, beat)` change.
     pub fn new(timeout: Duration) -> LeaseMonitor {
+        let timeout_ms = u64::try_from(timeout.as_millis()).unwrap_or(u64::MAX);
         LeaseMonitor {
-            timeout,
-            seen: None,
-            changed_at: Instant::now(),
+            core: StalenessCore::new(timeout_ms),
+            // det:allow(no-wallclock) — staleness epoch, see above.
+            epoch: Instant::now(),
         }
+    }
+
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
     }
 
     /// Feeds one observation; returns `true` if the lease is now stale
     /// (unchanged for longer than the timeout).
     pub fn observe(&mut self, generation: u64, beat: u64) -> bool {
-        let now = (generation, beat);
-        if self.seen != Some(now) {
-            self.seen = Some(now);
-            self.changed_at = Instant::now();
-            return false;
-        }
-        self.changed_at.elapsed() > self.timeout
+        self.core.observe_at(self.now_ms(), generation, beat)
     }
 
     /// Forgets all history — used after a takeover so the successor
     /// generation starts with a fresh staleness window.
     pub fn reset(&mut self) {
-        self.seen = None;
-        self.changed_at = Instant::now();
+        self.core.reset_at(self.now_ms());
     }
 }
 
@@ -262,10 +275,17 @@ mod tests {
         dir.join("sweep.ckpt").to_string_lossy().into_owned()
     }
 
+    fn held(claim: Claim) -> LeaseHolder {
+        match claim {
+            Claim::Held(holder) => holder,
+            Claim::Fenced(fence) => panic!("claim unexpectedly fenced: {fence}"),
+        }
+    }
+
     #[test]
     fn claim_writes_a_readable_lease() {
         let journal = tmp("claim");
-        let holder = LeaseHolder::claim(&journal, 2, 5).expect("claim");
+        let holder = held(LeaseHolder::claim(&journal, 2, 5).expect("claim"));
         let lease = read_lease(&lease_path(&journal, 2))
             .expect("read")
             .expect("present");
@@ -279,10 +299,10 @@ mod tests {
     #[test]
     fn beats_advance_monotonically_on_disk() {
         let journal = tmp("beat");
-        let mut holder = LeaseHolder::claim(&journal, 0, 1).expect("claim");
+        let mut holder = held(LeaseHolder::claim(&journal, 0, 1).expect("claim"));
         let path = lease_path(&journal, 0);
         for expected in 1..=3u64 {
-            holder.beat().expect("beat");
+            assert_eq!(holder.beat().expect("beat"), Beat::Ok);
             let lease = read_lease(&path).expect("read").expect("present");
             assert_eq!(lease.beat, expected);
         }
@@ -299,6 +319,45 @@ mod tests {
         std::fs::write(&path, "not a lease\n").expect("write garbage");
         let e = read_lease(&path).expect_err("garbage must not be silent");
         assert!(e.message.contains("bad lease line"), "{e}");
+    }
+
+    #[test]
+    fn a_claim_is_fenced_by_an_equal_or_later_generation() {
+        let journal = tmp("claimfence");
+        let _first = held(LeaseHolder::claim(&journal, 0, 3).expect("claim"));
+        for generation in [2, 3] {
+            match LeaseHolder::claim(&journal, 0, generation).expect("claim io") {
+                Claim::Fenced(fence) => assert_eq!(fence.observed_generation, 3),
+                Claim::Held(_) => panic!("gen {generation} must not displace gen 3"),
+            }
+        }
+        // A strictly later generation takes over cleanly.
+        let successor = held(LeaseHolder::claim(&journal, 0, 4).expect("claim"));
+        assert_eq!(successor.lease().generation, 4);
+    }
+
+    #[test]
+    fn a_fenced_holder_stops_beating_without_overwriting_the_successor() {
+        let journal = tmp("beatfence");
+        let mut old = held(LeaseHolder::claim(&journal, 1, 0).expect("claim"));
+        let mut new = held(LeaseHolder::claim(&journal, 1, 1).expect("takeover"));
+        assert_eq!(new.beat().expect("beat"), Beat::Ok);
+        let before = read_lease(&lease_path(&journal, 1))
+            .expect("read")
+            .expect("present");
+        match old.beat().expect("beat io") {
+            Beat::Fenced(fence) => {
+                assert_eq!(fence.writer_generation, 0);
+                assert_eq!(fence.observed_generation, 1);
+            }
+            Beat::Ok => panic!("the deposed holder must be fenced"),
+        }
+        let after = read_lease(&lease_path(&journal, 1))
+            .expect("read")
+            .expect("present");
+        assert_eq!(before, after, "a fenced beat must not touch the file");
+        assert!(old.fenced().expect("read").is_some());
+        assert!(new.fenced().expect("read").is_none());
     }
 
     #[test]

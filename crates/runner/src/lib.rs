@@ -35,6 +35,7 @@ pub mod lease;
 pub mod org;
 pub mod point;
 pub mod pool;
+pub mod protocol;
 pub mod report;
 pub mod seed;
 pub mod spec;
@@ -46,7 +47,8 @@ pub use journal::{
     WorkerJournal,
 };
 pub use lease::{
-    lease_path, read_lease, worker_journal_path, Lease, LeaseError, LeaseHolder, LeaseMonitor,
+    lease_path, read_lease, worker_journal_path, Beat, Claim, Lease, LeaseError, LeaseHolder,
+    LeaseMonitor,
 };
 pub use org::{build_network, BoxedNet, Organization};
 pub use point::{
@@ -55,6 +57,11 @@ pub use point::{
     PointSpec, WallGuard,
 };
 pub use pool::{run_tasks, run_tasks_with, Outcome};
+pub use protocol::{
+    check_claim, check_fence, parse_point_line, point_line, replay_journal_bytes,
+    resume_spawn_generation, CrashLedger, FenceError, JournalDialect, JournalReplay, ProtocolError,
+    Quarantine, StalenessCore, SupervisorStep, WorkerExit,
+};
 pub use report::{
     csv_row, diff_csv, status_counts, to_csv, to_json, CsvDivergence, StatusCounts, CSV_HEADER,
 };
@@ -62,6 +69,7 @@ pub use seed::derive_seed;
 pub use spec::{pattern_from_key, pattern_key, FaultEventSpec, FaultSpec, SpecError, SweepSpec};
 pub use supervisor::{
     run_supervised, run_worker, SupervisorConfig, SupervisorError, SupervisorReport, WorkerConfig,
+    WorkerOutcome,
 };
 
 /// The worker count to use when the caller does not specify one: the

@@ -37,9 +37,15 @@ use std::time::Duration;
 use niobs::{Event, MetricsRegistry};
 
 use crate::cache::{CacheLookup, ResultCache};
-use crate::journal::{load_journal, load_worker_journal, JournalHeader, JournalWriter};
-use crate::lease::{lease_path, read_lease, worker_journal_path, LeaseHolder, LeaseMonitor};
+use crate::journal::{fsync_parent_dir, load_journal, load_worker_journal, JournalWriter};
+use crate::lease::{
+    lease_path, read_lease, worker_journal_path, Beat, Claim, LeaseHolder, LeaseMonitor,
+};
 use crate::point::{run_point_full, PointOutcome, PointSpec};
+use crate::protocol::{
+    self, check_fence, resume_spawn_generation, CrashLedger, JournalHeader, SupervisorStep,
+    WorkerExit,
+};
 use crate::spec::SweepSpec;
 
 /// How often the supervisor polls worker exits and lease freshness.
@@ -154,6 +160,21 @@ fn test_abort_points() -> Vec<usize> {
 }
 
 /// Runs one worker process to completion: claim the shard lease, replay
+/// How a worker run ended, when it ended by protocol rather than by
+/// error: either it finished its shard's pending points, or it was
+/// fenced off by a lease at its generation or later and backed away.
+/// The worker process reports the distinction through its exit status
+/// (0 vs [`protocol::FENCED_EXIT_CODE`]) so the supervisor's crash
+/// ledger can tell a working fence from a worker that wrongly quit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerOutcome {
+    /// Ran (or skipped as already-done) every pending point it owns.
+    Completed,
+    /// Refused at claim time or stopped at a point boundary because a
+    /// successor generation (or surviving orphan) holds the lease.
+    Fenced,
+}
+
 /// the main journal for prior progress, then run this shard's remaining
 /// points serially — `start` marker, (cache probe,) simulate, journal —
 /// each fsync'd before the next begins. Points run serially *within* a
@@ -162,14 +183,16 @@ fn test_abort_points() -> Vec<usize> {
 /// is ever in flight).
 ///
 /// Prints the `worker-summary` line on success; the caller (the hidden
-/// worker mode of `sweep`) exits 0 after it, or 2 on any returned
-/// error — any *other* exit status is, by definition, a crash.
+/// worker mode of `sweep`) exits 0 after [`WorkerOutcome::Completed`],
+/// [`protocol::FENCED_EXIT_CODE`] after [`WorkerOutcome::Fenced`], or
+/// 2 on any returned error — any *other* exit status is, by
+/// definition, a crash.
 ///
 /// # Errors
 ///
 /// Unloadable spec, mismatched or unreadable main journal, or any I/O
 /// failure on the lease or shard journal.
-pub fn run_worker(cfg: &WorkerConfig) -> Result<(), SupervisorError> {
+pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerOutcome, SupervisorError> {
     let spec = match SweepSpec::load(&cfg.spec_path) {
         Ok(spec) => spec,
         Err(e) => return err(format!("worker shard {}: {e}", cfg.shard)),
@@ -192,9 +215,17 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<(), SupervisorError> {
 
     // Claim the shard and start heartbeating at a fifth of the
     // staleness timeout, so a healthy worker can miss several beats to
-    // scheduler jitter without being declared dead.
+    // scheduler jitter without being declared dead. The claim is
+    // guarded: if a lease at our generation or later is already on
+    // disk (an orphan of a killed supervisor, or a successor), this
+    // worker exits cleanly without ever touching the shard.
     let holder = match LeaseHolder::claim(&cfg.journal_path, cfg.shard, cfg.generation) {
-        Ok(h) => h,
+        Ok(Claim::Held(h)) => h,
+        Ok(Claim::Fenced(fence)) => {
+            eprintln!("worker: {fence}; exiting without running");
+            println!("{}", summary_line(cfg.shard, &WorkerSummary::default()));
+            return Ok(WorkerOutcome::Fenced);
+        }
         Err(e) => return err(format!("worker shard {}: {e}", cfg.shard)),
     };
     let beat_every = Duration::from_millis((cfg.lease_timeout_ms / 5).max(1));
@@ -205,9 +236,13 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<(), SupervisorError> {
         // dropped the sender, e.g. while unwinding) — only a Timeout
         // means "keep beating".
         while beats.recv_timeout(beat_every) == Err(mpsc::RecvTimeoutError::Timeout) {
-            // A failed beat is not fatal to the simulation: worst case
-            // the supervisor declares us stale and re-runs the shard.
-            let _ = holder.beat();
+            // An I/O-failed beat is not fatal to the simulation: worst
+            // case the supervisor declares us stale and re-runs the
+            // shard. A *fenced* beat means a successor owns the shard
+            // now — stop beating so we never overwrite its lease.
+            if matches!(holder.beat(), Ok(Beat::Fenced(_))) {
+                break;
+            }
         }
     });
 
@@ -216,9 +251,9 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<(), SupervisorError> {
     drop(stop_beats);
     let _ = heartbeat.join();
 
-    let summary = result?;
+    let (summary, outcome) = result?;
     println!("{}", summary_line(cfg.shard, &summary));
-    Ok(())
+    Ok(outcome)
 }
 
 fn run_worker_points(
@@ -226,7 +261,7 @@ fn run_worker_points(
     spec: &SweepSpec,
     points: &[PointSpec],
     done: &BTreeMap<usize, PointOutcome>,
-) -> Result<WorkerSummary, SupervisorError> {
+) -> Result<(WorkerSummary, WorkerOutcome), SupervisorError> {
     let shard_journal = worker_journal_path(&cfg.journal_path, cfg.shard, cfg.generation);
     let mut writer =
         match JournalWriter::create(&shard_journal, &expected_header(spec, points.len())) {
@@ -241,6 +276,7 @@ fn run_worker_points(
         None => None,
     };
     let abort_at = test_abort_points();
+    let lease_file = lease_path(&cfg.journal_path, cfg.shard);
 
     let mut summary = WorkerSummary::default();
     for p in points {
@@ -249,6 +285,17 @@ fn run_worker_points(
             || cfg.skip.contains(&p.index)
         {
             continue;
+        }
+        // Point boundaries are fence checks: a worker the supervisor
+        // has already replaced (stale lease, takeover at gen+1) stops
+        // here instead of racing its successor point by point. The
+        // heartbeat thread notices too, but it cannot interrupt a
+        // simulation already in flight — this check can, one point
+        // later at the worst.
+        let observed = read_lease(&lease_file).ok().flatten();
+        if let Err(fence) = check_fence(cfg.shard, cfg.generation, observed.as_ref()) {
+            eprintln!("worker: {fence}; stopping at the point boundary");
+            return Ok((summary, WorkerOutcome::Fenced));
         }
         // The marker hits the disk before the point runs: if this
         // process dies mid-point, the dangling marker names the culprit.
@@ -287,7 +334,7 @@ fn run_worker_points(
             return err(format!("worker shard {}: {e}", cfg.shard));
         }
     }
-    Ok(summary)
+    Ok((summary, WorkerOutcome::Completed))
 }
 
 // ---------------------------------------------------------------------
@@ -371,18 +418,46 @@ fn shard_files(journal_path: &str) -> Vec<String> {
     out
 }
 
+/// What a resume found lying around from the killed predecessor run.
+#[derive(Debug, Default)]
+struct Leftovers {
+    /// Leftover shard-journal files. Deleted only *after* the harvested
+    /// rows are durably consolidated into the main journal — deleting
+    /// them first would open a window where a second crash loses
+    /// fsync'd points.
+    journals: Vec<String>,
+    /// Every lease generation observed in file names and lease
+    /// contents; the resume spawns workers one generation past the
+    /// maximum so any still-running orphan worker is fenced off.
+    observed_generations: Vec<u64>,
+}
+
 /// Harvests completed points from leftover shard journals (a previous
-/// supervisor that was itself killed leaves them behind), then deletes
-/// them. Only journals whose header matches this sweep contribute.
+/// supervisor that was itself killed leaves them behind). Only journals
+/// whose header matches this sweep contribute. Shard journals and
+/// leases are left on disk — leases carry the fencing evidence, and the
+/// journals are the rows' only durable home until consolidation lands.
 fn harvest_leftovers(
     journal_path: &str,
     header: &JournalHeader,
     outcomes: &mut BTreeMap<usize, PointOutcome>,
-) {
+) -> Leftovers {
+    let mut leftovers = Leftovers::default();
     for file in shard_files(journal_path) {
-        if file.ends_with(".lease") || file.ends_with(".tmp") {
+        if file.ends_with(".tmp") {
             let _ = std::fs::remove_file(&file);
             continue;
+        }
+        if file.ends_with(".lease") {
+            if let Ok(Some(lease)) = read_lease(&file) {
+                leftovers.observed_generations.push(lease.generation);
+            }
+            continue;
+        }
+        if let Some((_, g)) = file.rsplit_once(".g") {
+            if let Ok(generation) = g.parse::<u64>() {
+                leftovers.observed_generations.push(generation);
+            }
         }
         if let Ok(shard) = load_worker_journal(&file) {
             if shard.header == *header {
@@ -391,8 +466,9 @@ fn harvest_leftovers(
                 }
             }
         }
-        let _ = std::fs::remove_file(&file);
+        leftovers.journals.push(file);
     }
+    leftovers
 }
 
 impl SupervisorConfig {
@@ -463,6 +539,7 @@ pub fn run_supervised(
     // shard journals orphaned by a killed supervisor — into a fresh
     // main journal, so every worker sees one authoritative "done" set.
     let mut outcomes: BTreeMap<usize, PointOutcome> = BTreeMap::new();
+    let mut leftovers = Leftovers::default();
     if cfg.resume {
         let loaded = match load_journal(&cfg.journal_path) {
             Ok(l) => l,
@@ -475,7 +552,7 @@ pub fn run_supervised(
             ));
         }
         outcomes = loaded.done;
-        harvest_leftovers(&cfg.journal_path, &header, &mut outcomes);
+        leftovers = harvest_leftovers(&cfg.journal_path, &header, &mut outcomes);
         outcomes.retain(|&index, _| index < points.len());
     } else {
         // A fresh run must not inherit stale coordination files from
@@ -484,7 +561,19 @@ pub fn run_supervised(
             let _ = std::fs::remove_file(&file);
         }
     }
-    let mut writer = match JournalWriter::create(&cfg.journal_path, &header) {
+    // A killed supervisor may leave orphan workers still running; the
+    // resume spawns one generation past anything it observed so their
+    // next lease read fences them off.
+    let start_generation = resume_spawn_generation(leftovers.observed_generations);
+
+    // Consolidation is atomic: the merged journal is built next to the
+    // main one and renamed over it, so a crash mid-consolidation leaves
+    // either the old journal or the new one — never a half-rewritten
+    // file whose fsync'd rows exist nowhere else. The temp name matches
+    // the `<journal>.s*` coordination prefix (and `.tmp` suffix) so a
+    // leftover one is swept up by the next run like any other scrap.
+    let consolidate_tmp = format!("{}.s.consolidate.tmp", cfg.journal_path);
+    let mut writer = match JournalWriter::create(&consolidate_tmp, &header) {
         Ok(w) => w,
         Err(e) => return err(e.to_string()),
     };
@@ -492,6 +581,29 @@ pub fn run_supervised(
         if let Err(e) = writer.append(outcome) {
             return err(e.to_string());
         }
+    }
+    drop(writer);
+    if let Err(e) = std::fs::rename(&consolidate_tmp, &cfg.journal_path) {
+        return err(format!(
+            "cannot rename {consolidate_tmp} over {}: {e}",
+            cfg.journal_path
+        ));
+    }
+    if let Err(e) = fsync_parent_dir(&cfg.journal_path) {
+        return err(e.to_string());
+    }
+    let consolidated_len = match std::fs::metadata(&cfg.journal_path) {
+        Ok(m) => m.len(),
+        Err(e) => return err(format!("cannot stat {}: {e}", cfg.journal_path)),
+    };
+    let mut writer = match JournalWriter::append_to(&cfg.journal_path, consolidated_len) {
+        Ok(w) => w,
+        Err(e) => return err(e.to_string()),
+    };
+    // Only now that every harvested row is durable in the main journal
+    // may the leftover shard journals go.
+    for file in &leftovers.journals {
+        let _ = std::fs::remove_file(file);
     }
     if !cfg.quiet && !outcomes.is_empty() {
         eprintln!(
@@ -510,12 +622,11 @@ pub fn run_supervised(
         quarantined: Vec::new(),
         metrics: MetricsRegistry::new(),
     };
-    let mut crash_counts: BTreeMap<usize, u32> = BTreeMap::new();
     let mut skip: Vec<usize> = Vec::new();
-    // Consecutive deaths of a shard's worker with no completed point
-    // and no attributable culprit: a disk/exec-level failure loop the
-    // quarantine machinery cannot break, so it gets its own backstop.
-    let mut unattributed = vec![0u32; cfg.workers];
+    // Crash attribution and the quarantine/give-up policy live in the
+    // pure CrashLedger, which the protocol model checker replays over
+    // every reachable crash interleaving.
+    let mut ledger = CrashLedger::new(cfg.workers);
 
     let pending = |outcomes: &BTreeMap<usize, PointOutcome>, shard: usize| {
         points
@@ -526,10 +637,10 @@ pub fn run_supervised(
     let mut slots: Vec<Option<WorkerSlot>> = Vec::with_capacity(cfg.workers);
     for shard in 0..cfg.workers {
         if pending(&report.outcomes, shard) {
-            let child = cfg.spawn_worker(shard, 0, &skip)?;
+            let child = cfg.spawn_worker(shard, start_generation, &skip)?;
             slots.push(Some(WorkerSlot {
                 child,
-                generation: 0,
+                generation: start_generation,
                 monitor: LeaseMonitor::new(Duration::from_millis(cfg.lease_timeout_ms)),
             }));
         } else {
@@ -576,30 +687,46 @@ pub fn run_supervised(
                         let _ = pipe.read_to_string(&mut stdout);
                     }
                     let generation = slot.generation;
-                    let shard_journal = worker_journal_path(&cfg.journal_path, shard, generation);
-                    // Harvest everything the worker durably finished,
-                    // whether it exited cleanly or died mid-point.
+                    // Harvest everything durably finished on this
+                    // shard — not just the reaped worker's own journal
+                    // but every generation's file still on disk. An
+                    // orphan of a killed supervisor may have completed
+                    // points under an older generation; reading only
+                    // the reaped generation would let a crash storm
+                    // quarantine a point whose real row already exists.
+                    // (Found by the model checker.) The dangling start
+                    // marker that attributes the death still comes from
+                    // the reaped worker's own file alone.
                     let mut progressed = 0usize;
                     let mut dangling: Option<usize> = None;
-                    if let Ok(sj) = load_worker_journal(&shard_journal) {
-                        if sj.header == header {
-                            dangling = sj.dangling_start;
-                            for (index, outcome) in sj.done {
-                                if index >= points.len() || report.outcomes.contains_key(&index) {
-                                    continue;
+                    for gen in 0..=generation {
+                        let shard_journal = worker_journal_path(&cfg.journal_path, shard, gen);
+                        if let Ok(sj) = load_worker_journal(&shard_journal) {
+                            if sj.header == header {
+                                if gen == generation {
+                                    dangling = sj.dangling_start;
                                 }
-                                if let Err(e) = writer.append(&outcome) {
-                                    kill_all(&mut slots);
-                                    return err(e.to_string());
+                                for (index, outcome) in sj.done {
+                                    if index >= points.len() || report.outcomes.contains_key(&index)
+                                    {
+                                        continue;
+                                    }
+                                    if let Err(e) = writer.append(&outcome) {
+                                        kill_all(&mut slots);
+                                        return err(e.to_string());
+                                    }
+                                    report.outcomes.insert(index, outcome);
+                                    progressed += 1;
                                 }
-                                report.outcomes.insert(index, outcome);
-                                progressed += 1;
                             }
                         }
+                        let _ = std::fs::remove_file(&shard_journal);
                     }
-                    let _ = std::fs::remove_file(&shard_journal);
 
-                    if status.success() {
+                    let clean = status.success();
+                    let fenced = status.code() == Some(protocol::FENCED_EXIT_CODE);
+                    let fatal_config = !clean && !fenced && status.code() == Some(2);
+                    if clean || fenced {
                         if let Some(s) = parse_summary(&stdout) {
                             report.cache_hits += s.cache_hits;
                             report.cache_corrupt += s.cache_corrupt;
@@ -612,25 +739,10 @@ pub fn run_supervised(
                                 report.metrics.inc(name, s.cache_hits);
                             }
                         }
-                        if pending(&report.outcomes, shard) {
-                            // A clean exit that left work undone is a
-                            // protocol violation; retry, but under the
-                            // same backstop as exec-loop failures.
-                            unattributed[shard] += 1;
-                        } else {
-                            slots[shard] = None;
-                            continue;
-                        }
-                    } else if status.code() == Some(2) {
-                        // The worker refused to run at all (bad spec,
-                        // unreadable journal): deterministic, so every
-                        // respawn would refuse too. Fatal.
-                        kill_all(&mut slots);
-                        return err(format!(
-                            "worker for shard {shard} failed fatally (see stderr above)"
-                        ));
-                    } else {
+                    } else if !fatal_config {
                         report.crashes += 1;
+                        // (fenced exits took the branch above: they are
+                        // the protocol working, not crashes.)
                         let crash = Event::WorkerCrash {
                             shard: shard as u64,
                             generation,
@@ -643,48 +755,72 @@ pub fn run_supervised(
                                  died ({status}); {progressed} point(s) salvaged"
                             );
                         }
-                        if let Some(culprit) = dangling {
-                            unattributed[shard] = 0;
-                            let count = crash_counts.entry(culprit).or_insert(0);
-                            *count += 1;
-                            if *count >= cfg.crash_limit {
+                    }
+
+                    // The decision itself — done/fatal/give-up/respawn,
+                    // plus quarantine bookkeeping — is the pure ledger's.
+                    let exit = WorkerExit {
+                        clean,
+                        fenced,
+                        fatal_config,
+                        dangling_start: dangling,
+                        progressed: progressed > 0,
+                        shard_pending: pending(&report.outcomes, shard),
+                    };
+                    match ledger.on_worker_exit(shard, &exit, cfg.crash_limit) {
+                        SupervisorStep::ShardDone => {
+                            slots[shard] = None;
+                            continue;
+                        }
+                        SupervisorStep::FatalWorkerConfig => {
+                            // The worker refused to run at all (bad
+                            // spec, unreadable journal): deterministic,
+                            // so every respawn would refuse too. Fatal.
+                            kill_all(&mut slots);
+                            return err(format!(
+                                "worker for shard {shard} failed fatally (see stderr above)"
+                            ));
+                        }
+                        SupervisorStep::GiveUp { deaths } => {
+                            kill_all(&mut slots);
+                            return err(format!(
+                                "shard {shard}'s worker died {deaths} times without starting a \
+                                 point — giving up rather than respawning forever"
+                            ));
+                        }
+                        SupervisorStep::Continue { quarantine } => {
+                            // A point with a harvested outcome needs no
+                            // poisoned row: the crashes were attributed
+                            // to it, but some generation already proved
+                            // it completes.
+                            let quarantine =
+                                quarantine.filter(|q| !report.outcomes.contains_key(&q.point));
+                            if let Some(q) = quarantine {
                                 let outcome = PointOutcome {
-                                    record: points[culprit].poisoned_record(*count),
+                                    record: points[q.point].poisoned_record(q.crashes),
                                     trail: Vec::new(),
                                 };
                                 if let Err(e) = writer.append(&outcome) {
                                     kill_all(&mut slots);
                                     return err(e.to_string());
                                 }
-                                report.outcomes.insert(culprit, outcome);
-                                report.quarantined.push(culprit);
-                                skip.push(culprit);
-                                let q = Event::PointQuarantined {
-                                    point: culprit as u64,
-                                    crashes: *count,
+                                report.outcomes.insert(q.point, outcome);
+                                report.quarantined.push(q.point);
+                                skip.push(q.point);
+                                let event = Event::PointQuarantined {
+                                    point: q.point as u64,
+                                    crashes: q.crashes,
                                 };
-                                report.metrics.inc(q.name(), 1);
+                                report.metrics.inc(event.name(), 1);
                                 if !cfg.quiet {
                                     eprintln!(
-                                        "supervisor: point {culprit} quarantined after \
-                                         killing {count} worker(s)"
+                                        "supervisor: point {} quarantined after \
+                                         killing {} worker(s)",
+                                        q.point, q.crashes
                                     );
                                 }
                             }
-                        } else if progressed == 0 {
-                            unattributed[shard] += 1;
-                        } else {
-                            unattributed[shard] = 0;
                         }
-                    }
-
-                    if unattributed[shard] > cfg.crash_limit {
-                        kill_all(&mut slots);
-                        return err(format!(
-                            "shard {shard}'s worker died {} times without starting a \
-                             point — giving up rather than respawning forever",
-                            unattributed[shard]
-                        ));
                     }
                     if pending(&report.outcomes, shard) {
                         let next_generation = generation + 1;

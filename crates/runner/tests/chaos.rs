@@ -18,6 +18,28 @@ fn tmp_dir(name: &str) -> PathBuf {
     dir
 }
 
+/// Worker-kill rounds in the SIGKILL test: `NOC_CHAOS_ITERS`, default 1.
+/// The default keeps the suite fast enough for the sanitizer CI job
+/// (TSan runs everything several times slower); a soak run can crank it
+/// up without editing the test.
+fn chaos_iters() -> usize {
+    std::env::var("NOC_CHAOS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Base progress deadline in seconds: `NOC_CHAOS_TIMEOUT_SECS`, default
+/// 60. Supervised-run reaping waits twice this.
+fn chaos_timeout_secs() -> u64 {
+    std::env::var("NOC_CHAOS_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(60)
+}
+
 /// 12 cheap points (6 rates × 2 samples) — enough to spread across
 /// workers while keeping the reference run fast.
 const FAST_SPEC: &str = r#"{
@@ -234,27 +256,45 @@ fn sigkilled_worker_is_detected_and_its_shard_taken_over() {
         .spawn()
         .expect("spawn supervised sweep");
 
-    // Wait for shard 0's worker to journal at least one point, then
-    // SIGKILL the pid its lease names.
-    let deadline = Instant::now() + Duration::from_secs(60);
-    let victim = loop {
-        if shard_points(&ckpt) >= 1 {
-            if let Ok(Some(lease)) = read_lease(&lease_path(path_str(&ckpt), 0)) {
-                break lease.pid;
+    // Kill-loop: each round waits for shard 0's worker to journal at
+    // least one point, then SIGKILLs the (fresh) pid its lease names.
+    // `NOC_CHAOS_ITERS` rounds, so a soak run can keep deposing each
+    // takeover in turn; the sweep may legitimately finish early once at
+    // least one kill has landed.
+    let timeout = chaos_timeout_secs();
+    let mut killed: Vec<u32> = Vec::new();
+    'rounds: for _ in 0..chaos_iters() {
+        let deadline = Instant::now() + Duration::from_secs(timeout);
+        let victim = loop {
+            if shard_points(&ckpt) >= 1 {
+                if let Ok(Some(lease)) = read_lease(&lease_path(path_str(&ckpt), 0)) {
+                    if !killed.contains(&lease.pid) {
+                        break lease.pid;
+                    }
+                }
             }
-        }
-        if let Some(status) = child.try_wait().expect("poll supervisor") {
-            panic!("sweep finished before a worker could be killed: {status:?}");
-        }
-        assert!(
-            Instant::now() < deadline,
-            "no lease + journaled point in 60s"
-        );
-        std::thread::sleep(Duration::from_millis(10));
-    };
-    sigkill(victim);
+            if let Some(status) = child.try_wait().expect("poll supervisor") {
+                assert!(
+                    !killed.is_empty(),
+                    "sweep finished before a worker could be killed: {status:?}"
+                );
+                break 'rounds;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "no fresh lease + journaled point in {timeout}s"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        sigkill(victim);
+        killed.push(victim);
+    }
 
-    let status = wait_within(&mut child, 120, "supervised sweep after worker kill");
+    let status = wait_within(
+        &mut child,
+        2 * timeout,
+        "supervised sweep after worker kill",
+    );
     let stderr = read_stderr(&mut child);
     assert!(status.success(), "sweep must survive the kill: {stderr}");
     assert!(
@@ -419,12 +459,13 @@ fn killed_supervisor_resumes_by_harvesting_shard_journals() {
         .spawn()
         .expect("spawn supervised sweep");
 
-    let deadline = Instant::now() + Duration::from_secs(60);
+    let timeout = chaos_timeout_secs();
+    let deadline = Instant::now() + Duration::from_secs(timeout);
     while shard_points(&ckpt) < 2 {
         if let Some(status) = child.try_wait().expect("poll supervisor") {
             panic!("sweep finished before the supervisor could be killed: {status:?}");
         }
-        assert!(Instant::now() < deadline, "no shard progress in 60s");
+        assert!(Instant::now() < deadline, "no shard progress in {timeout}s");
         std::thread::sleep(Duration::from_millis(10));
     }
     child.kill().expect("SIGKILL the supervisor");

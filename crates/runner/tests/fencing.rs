@@ -1,0 +1,168 @@
+//! Regression tests for lease generation-fencing at the takeover
+//! boundary — the exact transition the analyzer's protocol model
+//! explores as "claim at gen+1 fences the gen-G writer". A fenced
+//! writer must be refused (never silently overwrite the successor's
+//! lease), and the refusal must carry the same `worker[shard S, gen G]`
+//! / `lease gen G'` vocabulary the model checker prints in its
+//! counterexample traces, so a production log line and a model trace
+//! read as the same event.
+
+use std::path::{Path, PathBuf};
+
+use runner::{
+    load_journal, run_worker, Beat, Claim, JournalHeader, JournalWriter, LeaseHolder, SweepSpec,
+    WorkerConfig, WorkerOutcome,
+};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("noc-fencing-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir tempdir");
+    dir
+}
+
+fn path_str(p: &Path) -> &str {
+    p.to_str().expect("utf8 path")
+}
+
+/// A one-point spec: the end-to-end fenced worker must exit before
+/// running even this single point.
+const TINY_SPEC: &str = r#"{
+  "name": "fencing",
+  "base_seed": 7,
+  "warmup": 100,
+  "measure": 200,
+  "response_fraction": 0.5,
+  "orgs": ["mesh"],
+  "patterns": ["uniform"],
+  "rates": [0.01],
+  "radices": [8],
+  "vc_depths": [5],
+  "hpcs": [2],
+  "samples": 1,
+  "faults": [{"label": "none"}]
+}"#;
+
+/// A gen-G writer attempting a heartbeat (its append precondition)
+/// after a gen-G+1 claim must be rejected with the model checker's
+/// fence vocabulary in the message.
+#[test]
+fn fenced_writer_append_is_rejected_after_next_generation_claim() {
+    let dir = tmp_dir("beat");
+    let journal = dir.join("sweep.ckpt");
+    let journal = path_str(&journal);
+
+    let mut deposed = match LeaseHolder::claim(journal, 0, 0).expect("claim gen 0") {
+        Claim::Held(h) => h,
+        Claim::Fenced(f) => panic!("fresh claim must not be fenced: {f}"),
+    };
+    // Stale-lease takeover: the supervisor respawns the shard at gen+1.
+    let mut successor = match LeaseHolder::claim(journal, 0, 1).expect("claim gen 1") {
+        Claim::Held(h) => h,
+        Claim::Fenced(f) => panic!("takeover at gen+1 must succeed: {f}"),
+    };
+
+    // The deposed writer's next beat observes the successor's lease
+    // and must be refused without writing.
+    let fence = match deposed.beat().expect("read lease for beat") {
+        Beat::Fenced(fence) => fence,
+        Beat::Ok => panic!("a gen-0 beat after a gen-1 claim must be fenced"),
+    };
+    let message = fence.to_string();
+    assert!(
+        message.contains("worker[shard 0, gen 0]"),
+        "fence message must name the deposed writer like a model trace: {message}"
+    );
+    assert!(
+        message.contains("lease gen 1"),
+        "fence message must name the outranking lease generation: {message}"
+    );
+
+    // Its point-boundary check agrees, and the successor is unaffected.
+    assert!(deposed.fenced().expect("read lease").is_some());
+    assert!(matches!(successor.beat(), Ok(Beat::Ok)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Claims are fenced by an on-disk lease at the same *or later*
+/// generation: a crashed-and-restarted gen-G worker can never unseat a
+/// live gen-G or gen-G+1 holder.
+#[test]
+fn stale_generation_claims_are_refused() {
+    let dir = tmp_dir("claim");
+    let journal = dir.join("sweep.ckpt");
+    let journal = path_str(&journal);
+
+    let holder = match LeaseHolder::claim(journal, 0, 1).expect("claim gen 1") {
+        Claim::Held(h) => h,
+        Claim::Fenced(f) => panic!("fresh claim must not be fenced: {f}"),
+    };
+    for stale_gen in [0, 1] {
+        match LeaseHolder::claim(journal, 0, stale_gen).expect("claim") {
+            Claim::Fenced(fence) => {
+                let message = fence.to_string();
+                assert!(
+                    message.contains(&format!("worker[shard 0, gen {stale_gen}]")),
+                    "{message}"
+                );
+            }
+            Claim::Held(_) => panic!("gen {stale_gen} claim must lose to the live gen-1 lease"),
+        }
+    }
+    drop(holder);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// End-to-end: a whole worker spawned at a deposed generation is a
+/// no-op — it reports [`WorkerOutcome::Fenced`], runs zero points, and
+/// leaves the successor's lease bytes untouched.
+#[test]
+fn run_worker_at_a_deposed_generation_is_a_fenced_no_op() {
+    let dir = tmp_dir("worker");
+    let spec_path = dir.join("spec.json");
+    std::fs::write(&spec_path, TINY_SPEC).expect("write spec");
+    let spec = SweepSpec::load(path_str(&spec_path)).expect("load spec");
+    let points = spec.points().len();
+
+    let journal = dir.join("sweep.ckpt");
+    let journal = path_str(&journal);
+    let header = JournalHeader {
+        spec_hash: spec.spec_hash(),
+        base_seed: spec.base_seed,
+        count: points,
+        name: spec.name.clone(),
+    };
+    JournalWriter::create(journal, &header).expect("create main journal");
+
+    // A live successor already owns the shard at generation 1.
+    let successor = match LeaseHolder::claim(journal, 0, 1).expect("claim gen 1") {
+        Claim::Held(h) => h,
+        Claim::Fenced(f) => panic!("fresh claim must not be fenced: {f}"),
+    };
+    let lease_file = runner::lease_path(journal, 0);
+    let lease_before = std::fs::read(&lease_file).expect("read successor lease");
+
+    let outcome = run_worker(&WorkerConfig {
+        spec_path: path_str(&spec_path).to_string(),
+        journal_path: journal.to_string(),
+        shard: 0,
+        workers: 1,
+        generation: 0,
+        skip: Vec::new(),
+        cache_dir: None,
+        lease_timeout_ms: 2000,
+    })
+    .expect("a fenced worker exits cleanly, not with an error");
+    assert_eq!(outcome, WorkerOutcome::Fenced);
+
+    // No journal rows were written and the successor's lease survives
+    // byte-for-byte.
+    let main = load_journal(journal).expect("re-load main journal");
+    assert!(main.done.is_empty(), "a fenced worker must run no points");
+    assert_eq!(
+        lease_before,
+        std::fs::read(&lease_file).expect("re-read successor lease"),
+        "a fenced worker must not touch the successor's lease"
+    );
+    drop(successor);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,41 @@
+//! Deliberately nondeterministic code: the determinism-lint fixture.
+//!
+//! Not a workspace member (no `Cargo.toml`); this file never compiles.
+//! `cargo xtask check crates/xtask/fixtures/nondet_crate/src` must
+//! report each determinism lint exactly once, and the `det:allow`
+//! escape at the bottom must be honoured — the integration tests
+//! assert both.
+
+/// Randomized iteration order: no-hashmap-iteration.
+pub fn tally(events: &[u32]) -> HashMap<u32, u32> {
+    let mut counts = new_map();
+    for e in events {
+        *counts.entry(*e).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Host clock in digest-covered code: no-wallclock.
+pub fn stamp_row(row: &str) -> String {
+    let now = SystemTime::now();
+    format!("{row}\t{now:?}")
+}
+
+/// OS entropy: no-ambient-randomness.
+pub fn jittered_seed(base: u64) -> u64 {
+    base ^ thread_rng().next_u64()
+}
+
+/// Lossy decimal float text in an artifact row: no-lossy-float-format.
+pub fn csv_cell(inj_rate: f64) -> String {
+    format!("{inj_rate}")
+}
+
+/// An audited wall-clock read the escape comment exempts; this must
+/// NOT be reported.
+pub fn log_banner() -> String {
+    // det:allow(no-wallclock) — human-only log banner; the value never
+    // reaches an artifact or digest.
+    let t = Instant::now();
+    format!("sweep started at {t:?}")
+}

@@ -37,8 +37,9 @@ pub enum TokenKind {
 pub struct Token {
     /// Token class.
     pub kind: TokenKind,
-    /// Text of the token (for identifiers; punctuation and literals
-    /// keep only what the lints need).
+    /// Text of the token. Identifiers and string literals keep their
+    /// full source text (the determinism lints scan format strings for
+    /// placeholders); other literals and punctuation keep none.
     pub text: String,
     /// 1-based source line the token starts on.
     pub line: u32,
@@ -98,19 +99,21 @@ pub fn tokenize(src: &str) -> Vec<Token> {
             }
             b'r' | b'b' if is_raw_or_byte_literal(b, i) => {
                 let start_line = line;
+                let start = i;
                 i = skip_string_like(b, i, &mut line);
                 out.push(Token {
                     kind: TokenKind::Str,
-                    text: String::new(),
+                    text: src[start..i.min(src.len())].to_string(),
                     line: start_line,
                 });
             }
             b'"' => {
                 let start_line = line;
+                let start = i;
                 i = skip_plain_string(b, i, &mut line);
                 out.push(Token {
                     kind: TokenKind::Str,
-                    text: String::new(),
+                    text: src[start..i.min(src.len())].to_string(),
                     line: start_line,
                 });
             }
@@ -267,7 +270,14 @@ fn skip_plain_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
     i += 1;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // A line-continuation escape (`\` at end of line)
+                // consumes the newline; keep counting it.
+                if i + 1 < b.len() && b[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'\n' => {
                 *line += 1;
                 i += 1;
@@ -311,6 +321,13 @@ mod tests {
     }
 
     #[test]
+    fn line_continuation_escapes_still_count_their_newline() {
+        let toks = tokenize("let s = \"one \\\n two\";\nafter");
+        let after = toks.iter().find(|t| t.is_ident("after")).map(|t| t.line);
+        assert_eq!(after, Some(3));
+    }
+
+    #[test]
     fn line_numbers_track_newlines_in_all_skips() {
         let toks = tokenize("a\n/* c\nc */\nb\n\"s\ns\"\nd");
         let a = toks.iter().find(|t| t.is_ident("a")).map(|t| t.line);
@@ -319,6 +336,17 @@ mod tests {
         assert_eq!(a, Some(1));
         assert_eq!(b, Some(4));
         assert_eq!(d, Some(7));
+    }
+
+    #[test]
+    fn string_tokens_retain_their_source_text() {
+        let toks = tokenize("format!(\"rate {rate}\"); r#\"raw {x}\"#;");
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["\"rate {rate}\"", "r#\"raw {x}\"#"]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The repo-specific lint pass behind `cargo xtask check`.
 //!
-//! Four lints, each encoding an invariant this workspace already paid
-//! to learn:
+//! Four hygiene lints, each encoding an invariant this workspace
+//! already paid to learn:
 //!
 //! * **no-unwrap** — no `.unwrap()` in non-test code, and `.expect(…)`
 //!   must carry a string-literal message. Simulator state is deep; a
@@ -22,11 +22,36 @@
 //!
 //! Test code (`#[cfg(test)]` items, `#[test]` functions, `tests/`
 //! directories) is exempt from all four.
+//!
+//! Plus four **determinism lints** guarding the byte-identical-artifact
+//! contract (sweep CSV/JSON, digests, checkpoint journals are compared
+//! with `cmp` in CI — one nondeterministic byte breaks resume
+//! equivalence):
+//!
+//! * **no-hashmap-iteration** — `HashMap`/`HashSet` iterate in a
+//!   per-process randomized order; use `BTreeMap`/`BTreeSet`.
+//! * **no-wallclock** — `SystemTime`/`Instant` read the host clock;
+//!   simulated time comes from the cycle counter and timeouts from
+//!   config.
+//! * **no-ambient-randomness** — `thread_rng`-style OS entropy; all
+//!   randomness must flow from the seeded `nistats` RNG.
+//! * **no-lossy-float-format** — `{}` on a float-named value formats a
+//!   shortest-roundtrip decimal whose *text* is not stable under
+//!   re-parse/re-format pipelines; digest-covered floats go out as
+//!   `f64::to_bits()` hex (`{:016x}`), the journal's rule.
+//!
+//! The determinism lints apply only to digest-covered paths (see
+//! [`digest_covered`]): `tests/`, `examples/` and the `bench` crate are
+//! human-facing and exempt. Audited sites are suppressed with a
+//! `det:allow(<lint>)` comment on the flagged line or in the comment
+//! block directly above it; a directive on its own line attaches to
+//! the next code line.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::{Component, Path, PathBuf};
 
 use crate::lexer::{tokenize, Token, TokenKind};
 
@@ -51,6 +76,101 @@ const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
 /// Identifier substrings marking a quantity the cast lint protects.
 const GUARDED_QUANTITIES: [&str; 3] = ["cycle", "credit", "lag"];
+
+/// Hash-based std collections with per-process randomized iteration
+/// order; banned wholesale in digest-covered code (merely *holding* one
+/// invites the iteration that breaks byte-stability).
+const HASH_COLLECTIONS: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Host-clock types banned in digest-covered code.
+const WALLCLOCK_TYPES: [&str; 2] = ["SystemTime", "Instant"];
+
+/// Ambient (OS-seeded) randomness entry points banned in
+/// digest-covered code.
+const AMBIENT_RANDOMNESS: [&str; 6] = [
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+    "RandomState",
+];
+
+/// Underscore-separated identifier parts that mark a float quantity
+/// for the lossy-format lint. A part must match *exactly*, so `crate`
+/// never matches `rate`.
+const FLOAT_NAME_PARTS: [&str; 10] = [
+    "f32", "f64", "float", "rate", "ratio", "frac", "fraction", "mean", "avg", "weight",
+];
+
+/// Path components marking human-facing code outside the
+/// digest/artifact perimeter; the determinism lints skip files under
+/// them.
+const UNCOVERED_COMPONENTS: [&str; 4] = ["tests", "examples", "benches", "bench"];
+
+/// Whether `path` is inside the digest/artifact perimeter the
+/// determinism lints guard. Everything is covered except trees whose
+/// path contains a component in [`UNCOVERED_COMPONENTS`] — integration
+/// tests, examples and the `bench` crate print for humans, not for
+/// digests.
+#[must_use]
+pub fn digest_covered(path: &Path) -> bool {
+    !path.components().any(|c| match c {
+        Component::Normal(n) => n
+            .to_str()
+            .is_some_and(|s| UNCOVERED_COMPONENTS.contains(&s)),
+        _ => false,
+    })
+}
+
+/// Collects `det:allow(<lint>)` suppressions from comments in `src` as
+/// `(line, lint)` pairs keyed by the line they *suppress*: the
+/// directive's own line if it trails code, otherwise the next code
+/// line below the comment block (so a multi-line justification above
+/// the flagged site works).
+fn allowed_lines(src: &str) -> BTreeSet<(u32, String)> {
+    let lines: Vec<&str> = src.lines().collect();
+    let comment_only = |idx: usize| {
+        let t = lines[idx].trim_start();
+        t.is_empty() || t.starts_with("//")
+    };
+    let mut out = BTreeSet::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(cpos) = line.find("//") else {
+            continue;
+        };
+        let mut rest = &line[cpos..];
+        while let Some(p) = rest.find("det:allow(") {
+            rest = &rest[p + "det:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let mut target = idx;
+            if line[..cpos].trim().is_empty() {
+                target = idx + 1;
+                while target < lines.len() && comment_only(target) {
+                    target += 1;
+                }
+            }
+            let tline = u32::try_from(target + 1).unwrap_or(u32::MAX);
+            for name in rest[..close].split(',') {
+                out.insert((tline, name.trim().to_string()));
+            }
+            rest = &rest[close..];
+        }
+    }
+    out
+}
+
+/// Whether an identifier names a float quantity: one of its
+/// `_`-separated parts matches [`FLOAT_NAME_PARTS`] exactly. Idents
+/// with a `fmt` part are formatting helpers, presumed audited.
+fn float_named(ident: &str) -> bool {
+    let lower = ident.to_ascii_lowercase();
+    let mut parts = lower.split('_').filter(|p| !p.is_empty());
+    if parts.clone().any(|p| p.contains("fmt")) {
+        return false;
+    }
+    parts.any(|p| FLOAT_NAME_PARTS.contains(&p))
+}
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,7 +283,9 @@ fn push(violations: &mut Vec<Violation>, file: &Path, line: u32, lint: &'static 
     });
 }
 
-/// Runs all four lints over one file's source text.
+/// Runs the full lint battery over one file's source text: the four
+/// hygiene lints everywhere, the four determinism lints when `file` is
+/// [`digest_covered`], minus any `det:allow(<lint>)` suppressions.
 pub fn lint_source(file: &Path, src: &str) -> Vec<Violation> {
     let tokens = strip_test_code(&tokenize(src));
     let mut v = Vec::new();
@@ -173,7 +295,166 @@ pub fn lint_source(file: &Path, src: &str) -> Vec<Violation> {
         lint_counter_pokes(&tokens, file, &mut v);
     }
     lint_must_use_errors(&tokens, file, &mut v);
+    if digest_covered(file) {
+        lint_banned_idents(
+            &tokens,
+            file,
+            &mut v,
+            "no-hashmap-iteration",
+            &HASH_COLLECTIONS,
+            "iterates in a per-process randomized order; use BTreeMap/BTreeSet so artifacts stay byte-stable",
+        );
+        lint_banned_idents(
+            &tokens,
+            file,
+            &mut v,
+            "no-wallclock",
+            &WALLCLOCK_TYPES,
+            "reads the host clock in digest-covered code; simulated time comes from the cycle counter, timeouts from config",
+        );
+        lint_banned_idents(
+            &tokens,
+            file,
+            &mut v,
+            "no-ambient-randomness",
+            &AMBIENT_RANDOMNESS,
+            "draws OS entropy; all randomness must flow from the seeded nistats RNG",
+        );
+        lint_lossy_float_format(&tokens, file, &mut v);
+    }
+    let allowed = allowed_lines(src);
+    v.retain(|viol| !allowed.contains(&(viol.line, viol.lint.to_string())));
     v
+}
+
+/// Flags every occurrence of a banned identifier.
+fn lint_banned_idents(
+    t: &[Token],
+    file: &Path,
+    v: &mut Vec<Violation>,
+    lint: &'static str,
+    banned: &[&str],
+    why: &str,
+) {
+    for tok in t {
+        if tok.kind == TokenKind::Ident && banned.contains(&tok.text.as_str()) {
+            push(v, file, tok.line, lint, format!("`{}` {why}", tok.text));
+        }
+    }
+}
+
+/// One `{…}` placeholder in a format string.
+struct Placeholder {
+    /// Inline-captured name (`{rate}`), empty for positional `{}`.
+    name: String,
+    /// Whether the format spec prints a lossy decimal: anything except
+    /// the radix specs (`x`/`X`/`b`/`o`) and scientific (`e`/`E`).
+    lossy: bool,
+}
+
+/// Parses the placeholders out of a format-string body, honouring the
+/// `{{` escape.
+fn parse_placeholders(body: &str) -> Vec<Placeholder> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] != '{' {
+            i += 1;
+            continue;
+        }
+        if chars.get(i + 1) == Some(&'{') {
+            i += 2;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < chars.len() && chars[j] != '}' {
+            j += 1;
+        }
+        let inner: String = chars[i + 1..j].iter().collect();
+        let (name, spec) = inner.split_once(':').unwrap_or((inner.as_str(), ""));
+        out.push(Placeholder {
+            name: name.to_string(),
+            lossy: !spec.contains(['x', 'X', 'b', 'o', 'e', 'E']),
+        });
+        i = j + 1;
+    }
+    out
+}
+
+/// The text between a string literal's quotes (stripping `r#`/`b`
+/// prefixes and hash fences), or `None` for a quoteless token.
+fn string_body(text: &str) -> Option<&str> {
+    let start = text.find('"')?;
+    let end = text.rfind('"')?;
+    (end > start).then(|| &text[start + 1..end])
+}
+
+/// The lossy-float-format lint: a `{}`-style placeholder applied to a
+/// float-named value in digest-covered code. Catches both inline
+/// captures (`"{inj_rate}"`) and positional placeholders whose
+/// argument list names a float. `ident.to_bits()` chains are exempt
+/// (the journal's own rule), as are `fmt`-named helper calls.
+fn lint_lossy_float_format(t: &[Token], file: &Path, v: &mut Vec<Violation>) {
+    for i in 0..t.len() {
+        if t[i].kind != TokenKind::Str {
+            continue;
+        }
+        let Some(body) = string_body(&t[i].text) else {
+            continue;
+        };
+        let placeholders = parse_placeholders(body);
+        for p in &placeholders {
+            if p.lossy && float_named(&p.name) {
+                push(
+                    v,
+                    file,
+                    t[i].line,
+                    "no-lossy-float-format",
+                    format!(
+                        "`{{{}}}` prints a float as lossy decimal text; emit `{}.to_bits()` as `{{:016x}}` like the journal does",
+                        p.name, p.name
+                    ),
+                );
+            }
+        }
+        // Positional `{}` placeholders: look at the rest of the macro
+        // argument list for float-named idents.
+        if !placeholders.iter().any(|p| p.lossy && p.name.is_empty()) {
+            continue;
+        }
+        if i == 0 || !(t[i - 1].is_punct('(') || t[i - 1].is_punct(',')) {
+            continue; // not a macro/call argument position
+        }
+        let mut depth = 0u32;
+        let mut j = i + 1;
+        while j < t.len() {
+            if t[j].is_punct('(') {
+                depth += 1;
+            } else if t[j].is_punct(')') {
+                if depth == 0 {
+                    break; // end of the enclosing argument list
+                }
+                depth -= 1;
+            } else if depth == 0 && t[j].kind == TokenKind::Ident && float_named(&t[j].text) {
+                let to_bits = t.get(j + 1).is_some_and(|x| x.is_punct('.'))
+                    && t.get(j + 2).is_some_and(|x| x.is_ident("to_bits"));
+                if !to_bits {
+                    push(
+                        v,
+                        file,
+                        t[j].line,
+                        "no-lossy-float-format",
+                        format!(
+                            "`{}` reaches a `{{}}` placeholder as lossy decimal text; emit `{}.to_bits()` as `{{:016x}}` like the journal does",
+                            t[j].text, t[j].text
+                        ),
+                    );
+                }
+            }
+            j += 1;
+        }
+    }
 }
 
 fn lint_unwrap(t: &[Token], file: &Path, v: &mut Vec<Violation>) {
@@ -392,17 +673,22 @@ pub fn lint_tree(dir: &Path) -> io::Result<Vec<Violation>> {
 }
 
 /// The source directories `cargo xtask check` lints: the facade crate's
-/// `src/` plus every workspace member's `src/` (fixtures, tests and
-/// benches excluded by [`lint_tree`]).
+/// `src/`, the workspace-root `tests/` and `examples/` trees, plus
+/// every workspace member's `src/`. Explicitly listed roots are always
+/// walked — [`lint_tree`]'s skip list only prunes *sub*directories —
+/// but `tests/` and `examples/` fall outside the digest perimeter
+/// ([`digest_covered`]), so only the hygiene lints apply there.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from enumerating `crates/`.
 pub fn workspace_src_dirs(workspace_root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut dirs = Vec::new();
-    let root_src = workspace_root.join("src");
-    if root_src.is_dir() {
-        dirs.push(root_src);
+    for root_tree in ["src", "tests", "examples"] {
+        let d = workspace_root.join(root_tree);
+        if d.is_dir() {
+            dirs.push(d);
+        }
     }
     let crates = workspace_root.join("crates");
     if crates.is_dir() {
@@ -517,6 +803,132 @@ mod tests {
     fn private_and_non_error_types_are_exempt() {
         assert!(lints_of("enum AllocError { Full }").is_empty());
         assert!(lints_of("pub struct Report { x: u8 }").is_empty());
+    }
+
+    #[test]
+    fn hash_collections_are_banned_in_covered_code() {
+        assert_eq!(
+            lints_of("use std::collections::HashMap;"),
+            vec!["no-hashmap-iteration"]
+        );
+        assert_eq!(
+            lints_of("fn f(s: &HashSet<u32>) {}"),
+            vec!["no-hashmap-iteration"]
+        );
+        assert!(lints_of("use std::collections::BTreeMap;").is_empty());
+    }
+
+    #[test]
+    fn wallclock_and_randomness_are_banned_in_covered_code() {
+        assert_eq!(
+            lints_of("fn f() { let t = Instant::now(); }"),
+            vec!["no-wallclock"]
+        );
+        assert_eq!(
+            lints_of("fn f() { let t = SystemTime::now(); }"),
+            vec!["no-wallclock"]
+        );
+        assert_eq!(
+            lints_of("fn f() { let r = thread_rng(); }"),
+            vec!["no-ambient-randomness"]
+        );
+        assert_eq!(
+            lints_of("fn f() { let s = RandomState::new(); }"),
+            vec!["no-ambient-randomness"]
+        );
+        // `Duration` and a seeded RNG are fine.
+        assert!(lints_of("fn f(d: Duration, rng: Pcg32) {}").is_empty());
+    }
+
+    #[test]
+    fn determinism_lints_skip_uncovered_paths() {
+        let src = "fn f() { let t = Instant::now(); let m = HashMap::new(); }";
+        for exempt in [
+            "tests/chaos.rs",
+            "examples/quickstart.rs",
+            "crates/bench/src/bin/nocsim.rs",
+        ] {
+            assert!(
+                lint_source(Path::new(exempt), src).is_empty(),
+                "{exempt} must be outside the determinism perimeter"
+            );
+        }
+        assert_eq!(
+            lint_source(Path::new("crates/runner/src/lease.rs"), src).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn det_allow_suppresses_on_the_same_line() {
+        let src = "fn f() { let t = Instant::now(); } // det:allow(no-wallclock) audited\n";
+        assert!(lints_of(src).is_empty());
+    }
+
+    #[test]
+    fn det_allow_attaches_through_a_comment_block_above() {
+        let src = "\
+fn f() {
+    // det:allow(no-wallclock) — staleness epoch only;
+    // never reaches an artifact or digest.
+    let t = Instant::now();
+}";
+        assert!(lints_of(src).is_empty());
+    }
+
+    #[test]
+    fn det_allow_for_the_wrong_lint_does_not_suppress() {
+        let src = "// det:allow(no-hashmap-iteration)\nfn f() { let t = Instant::now(); }";
+        assert_eq!(lints_of(src), vec!["no-wallclock"]);
+    }
+
+    #[test]
+    fn lossy_float_format_flags_inline_captures() {
+        assert_eq!(
+            lints_of("fn f(inj_rate: f64) -> String { format!(\"{inj_rate}\") }"),
+            vec!["no-lossy-float-format"]
+        );
+        assert_eq!(
+            lints_of("fn f(mean: f64) -> String { format!(\"{mean:.3}\") }"),
+            vec!["no-lossy-float-format"]
+        );
+    }
+
+    #[test]
+    fn lossy_float_format_flags_positional_args() {
+        assert_eq!(
+            lints_of("fn f(w: f64) { out.push(format!(\"{}\", hit_ratio)); }"),
+            vec!["no-lossy-float-format"]
+        );
+    }
+
+    #[test]
+    fn to_bits_hex_and_fmt_helpers_are_exempt() {
+        assert!(
+            lints_of("fn f(rate: f64) -> String { format!(\"{:016x}\", rate.to_bits()) }")
+                .is_empty()
+        );
+        assert!(
+            lints_of("fn f(rate: f64) -> String { format!(\"{}\", rate.to_bits()) }").is_empty()
+        );
+        assert!(
+            lints_of("fn f(rate: f64) -> String { format!(\"{}\", fmt_rate(rate)) }").is_empty()
+        );
+    }
+
+    #[test]
+    fn float_name_parts_match_exactly() {
+        // `crate` must not match `rate`, `average_cycles` is an integer
+        // quantity, but `avg_weight` is float-named.
+        assert!(lints_of("fn f() { let s = format!(\"{}\", the_crate); }").is_empty());
+        assert!(lints_of("fn f() { let s = format!(\"{}\", average_cycles); }").is_empty());
+        assert_eq!(
+            lints_of("fn f() { let s = format!(\"{}\", avg_weight); }"),
+            vec!["no-lossy-float-format"]
+        );
+        // Hex/scientific specs are not lossy; `{{` is an escape.
+        assert!(lints_of("fn f(rate: u64) { let s = format!(\"{rate:x} {rate:e}\"); }").is_empty());
+        assert!(lints_of("fn f() { let s = format!(\"{{}} literal\", inj_rate); }").is_empty());
     }
 
     #[test]

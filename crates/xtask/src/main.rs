@@ -6,10 +6,11 @@ use std::process::ExitCode;
 use xtask::lints::{lint_tree, workspace_src_dirs};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask check [DIR]");
+    eprintln!("usage: cargo xtask <command>");
     eprintln!();
-    eprintln!("  check        run the repo lint pass over every workspace crate's src/");
-    eprintln!("  check DIR    run the lint pass over one directory (used by fixtures)");
+    eprintln!("  check            run the repo lint pass over the workspace source trees");
+    eprintln!("  check DIR        run the lint pass over one directory (used by fixtures)");
+    eprintln!("  verify-protocol  exhaustively model-check the sweep crash-recovery protocol");
     ExitCode::from(2)
 }
 
@@ -17,8 +18,67 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => check(args.get(1).map(PathBuf::from)),
+        Some("verify-protocol") => verify_protocol(),
         _ => usage(),
     }
+}
+
+/// Runs the explicit-state model checker over the journal/lease/
+/// supervisor protocol at the standard bounds, then self-tests the
+/// checker's teeth: both seeded bug doubles must still be refuted with
+/// a counterexample. Exits nonzero printing the minimal trace if the
+/// shipped protocol violates an invariant — or if a double sails
+/// through, meaning the checker can no longer detect the bugs it was
+/// built to catch.
+fn verify_protocol() -> ExitCode {
+    use analyzer::{check_protocol, ModelBounds, Semantics};
+
+    match check_protocol(ModelBounds::standard(), Semantics::correct()) {
+        Ok(report) => {
+            println!(
+                "verify-protocol: {} states / {} transitions explored; trusted-prefix, \
+                 single-writer, zombie-exclusion, resume-equivalence and termination hold \
+                 ({} completed + {} quarantined terminals, max generation {})",
+                report.states,
+                report.transitions,
+                report.terminal_completed,
+                report.terminal_quarantined,
+                report.max_generation
+            );
+        }
+        Err(v) => {
+            eprintln!("verify-protocol: the shipped protocol violates an invariant");
+            eprintln!("{v}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let doubles = [
+        (
+            "no-torn-tail-truncation",
+            Semantics::no_torn_tail_truncation(),
+        ),
+        ("no-generation-fencing", Semantics::no_generation_fencing()),
+    ];
+    for (name, semantics) in doubles {
+        match check_protocol(ModelBounds::standard(), semantics) {
+            Ok(_) => {
+                eprintln!(
+                    "verify-protocol: seeded bug double `{name}` was NOT refuted; \
+                     the checker has lost the ability to catch this bug class"
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(v) => {
+                println!(
+                    "verify-protocol: bug double `{name}` refuted: {} ({}-step counterexample)",
+                    v.invariant,
+                    v.trace.len()
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// The workspace root: two levels up from this crate's manifest.

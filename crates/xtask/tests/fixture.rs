@@ -1,5 +1,7 @@
-//! End-to-end tests of the lint pass: the fixture crate must trip every
-//! lint, and the real workspace must be clean.
+//! End-to-end tests of the lint pass: the `bad_crate` fixture must trip
+//! every hygiene lint, the `nondet_crate` fixture every determinism
+//! lint (with the `det:allow` escape honoured), and the real workspace
+//! must be clean.
 
 use std::path::Path;
 
@@ -31,6 +33,27 @@ fn fixture_crate_trips_every_lint() {
 }
 
 #[test]
+fn nondet_fixture_trips_every_determinism_lint() {
+    let fixture = manifest_dir().join("fixtures/nondet_crate/src");
+    let violations = lint_tree(&fixture).expect("fixture directory is readable");
+    let lints: Vec<&str> = violations.iter().map(|v| v.lint).collect();
+    for expected in [
+        "no-hashmap-iteration",
+        "no-wallclock",
+        "no-ambient-randomness",
+        "no-lossy-float-format",
+    ] {
+        assert!(
+            lints.contains(&expected),
+            "fixture did not trip `{expected}`; got {lints:?}"
+        );
+    }
+    // One finding per determinism lint; the `det:allow(no-wallclock)`
+    // escape must have silenced the audited Instant site.
+    assert_eq!(violations.len(), 4, "{violations:#?}");
+}
+
+#[test]
 fn workspace_sources_are_clean() {
     // crates/xtask -> workspace root.
     let root = manifest_dir()
@@ -39,8 +62,8 @@ fn workspace_sources_are_clean() {
         .expect("xtask lives two levels below the workspace root");
     let dirs = workspace_src_dirs(root).expect("workspace layout is readable");
     assert!(
-        dirs.len() >= 8,
-        "expected the facade crate plus workspace members, got {dirs:?}"
+        dirs.len() >= 13,
+        "expected root src/ + tests/ + examples/ plus workspace members, got {dirs:?}"
     );
     let mut violations = Vec::new();
     for d in &dirs {
