@@ -44,6 +44,7 @@ pub mod modelcheck;
 pub mod protocol;
 pub mod routing;
 pub mod segments;
+pub mod wcla;
 
 pub use cdg::{Cdg, Channel, DependencyCycle};
 pub use faultplans::{
@@ -54,6 +55,7 @@ pub use modelcheck::{check_protocol, InvariantKind, ModelReport, ProtocolViolati
 pub use protocol::{Model, ModelBounds, Semantics};
 pub use routing::{CheckerboardAdaptive, RouteError, RoutingSpec, WestFirstDetour, XyRouting};
 pub use segments::{verify_segment_schedule, SegmentSummary, SegmentViolation};
+pub use wcla::{analyze_scenario, ScenarioBounds};
 
 use noc::config::NocConfig;
 

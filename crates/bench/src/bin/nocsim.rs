@@ -13,13 +13,22 @@ use niobs::MetricsRegistry;
 use noc::config::{NocConfig, NocConfigBuilder};
 use noc::network::Network;
 use noc::trace::{replay, Trace};
-use noc::traffic::{Pattern, TrafficGen};
-use noc::types::{MessageClass, NodeId};
+use noc::traffic::{InjectionProcess, Pattern, TrafficGen};
+use noc::types::MessageClass;
+use runner::{
+    injection_from_key, injection_key, pattern_from_key, INJECTION_KEYS, ORG_KEYS, PATTERN_KEYS,
+};
+use workloads::{WorkloadKind, WORKLOAD_KEYS};
 
 #[derive(Debug)]
 struct Options {
     org: Organization,
     pattern: Pattern,
+    pattern_set: bool,
+    injection: InjectionProcess,
+    injection_set: bool,
+    workload: Option<WorkloadKind>,
+    class_priority: Option<[u8; 3]>,
     rate: f64,
     response_fraction: f64,
     warmup: u64,
@@ -30,6 +39,7 @@ struct Options {
     hpc: u8,
     include_warmup: bool,
     trace: Option<String>,
+    record: Option<String>,
     trace_out: Option<String>,
 }
 
@@ -38,6 +48,11 @@ impl Default for Options {
         Options {
             org: Organization::Mesh,
             pattern: Pattern::UniformRandom,
+            pattern_set: false,
+            injection: InjectionProcess::Bernoulli,
+            injection_set: false,
+            workload: None,
+            class_priority: None,
             rate: 0.02,
             response_fraction: 0.5,
             warmup: 2_000,
@@ -48,6 +63,7 @@ impl Default for Options {
             hpc: 2,
             include_warmup: false,
             trace: None,
+            record: None,
             trace_out: None,
         }
     }
@@ -60,7 +76,15 @@ USAGE: nocsim [OPTIONS]
 
   --org ORG          mesh | smart | pra | ideal | frfc [mesh]
   --pattern PAT      uniform | transpose | complement |
-                     corellc | hotspot:<node>          [uniform]
+                     core_to_llc | hotspot:<node>      [uniform]
+  --injection PROC   bernoulli | onoff:<on>:<off> |
+                     mmpp:<boost>:<lo>:<hi>:<max>      [bernoulli]
+  --workload NAME    preset pattern+burst shape from a
+                     CloudSuite workload profile (explicit
+                     --pattern/--injection still win)
+  --class-priority R,C,S
+                     arbitration priority per class
+                     (request,coherence,response; higher wins)
   --rate F           injection rate, packets/node/cycle [0.02]
   --response-frac F  fraction of multi-flit responses   [0.5]
   --warmup N         warm-up cycles                     [2000]
@@ -74,6 +98,8 @@ USAGE: nocsim [OPTIONS]
                      measured window
   --trace FILE       replay a JSON trace instead of
                      synthetic traffic
+  --record FILE      record the synthetic injections to a
+                     replayable JSON trace
   --trace-out FILE   write a Chrome/Perfetto trace of the run
                      (requires the `obs` build feature)
   --help             this text
@@ -96,30 +122,48 @@ fn parse_args() -> Result<Options, String> {
             .ok_or_else(|| format!("missing value for {flag}"))?;
         match flag.as_str() {
             "--org" => {
-                opts.org = match value.as_str() {
-                    "mesh" => Organization::Mesh,
-                    "smart" => Organization::Smart,
-                    "pra" => Organization::MeshPra,
-                    "ideal" => Organization::Ideal,
-                    "frfc" => Organization::Frfc,
-                    other => return Err(format!("unknown organisation '{other}'")),
-                }
+                opts.org = Organization::from_key(&value).ok_or_else(|| {
+                    format!("unknown organisation '{value}' (valid values: {ORG_KEYS}, pra)")
+                })?;
             }
             "--pattern" => {
-                opts.pattern = if let Some(node) = value.strip_prefix("hotspot:") {
-                    let n: u16 = node
-                        .parse()
-                        .map_err(|_| format!("bad hotspot node '{node}'"))?;
-                    Pattern::Hotspot(NodeId::new(n))
+                // `corellc` is the historical nocsim spelling of the
+                // sweep-spec key `core_to_llc`; both stay accepted.
+                opts.pattern = if value == "corellc" {
+                    Pattern::CoreToLlc
                 } else {
-                    match value.as_str() {
-                        "uniform" => Pattern::UniformRandom,
-                        "transpose" => Pattern::Transpose,
-                        "complement" => Pattern::Complement,
-                        "corellc" => Pattern::CoreToLlc,
-                        other => return Err(format!("unknown pattern '{other}'")),
-                    }
+                    pattern_from_key(&value).ok_or_else(|| {
+                        format!("unknown pattern '{value}' (valid values: {PATTERN_KEYS})")
+                    })?
+                };
+                opts.pattern_set = true;
+            }
+            "--injection" => {
+                opts.injection = injection_from_key(&value).ok_or_else(|| {
+                    format!("unknown injection process '{value}' (valid values: {INJECTION_KEYS})")
+                })?;
+                opts.injection_set = true;
+            }
+            "--workload" => {
+                opts.workload = Some(WorkloadKind::from_key(&value).ok_or_else(|| {
+                    format!("unknown workload '{value}' (valid values: {WORKLOAD_KEYS})")
+                })?);
+            }
+            "--class-priority" => {
+                let parts: Vec<&str> = value.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(format!(
+                        "bad --class-priority '{value}' (expected three \
+                         comma-separated integers: request,coherence,response)"
+                    ));
                 }
+                let mut prio = [0u8; 3];
+                for (slot, part) in prio.iter_mut().zip(&parts) {
+                    *slot = part
+                        .parse()
+                        .map_err(|_| format!("bad --class-priority entry '{part}'"))?;
+                }
+                opts.class_priority = Some(prio);
             }
             "--rate" => opts.rate = value.parse().map_err(|_| "bad --rate".to_string())?,
             "--response-frac" => {
@@ -136,32 +180,56 @@ fn parse_args() -> Result<Options, String> {
             }
             "--hpc" => opts.hpc = value.parse().map_err(|_| "bad --hpc".to_string())?,
             "--trace" => opts.trace = Some(value),
+            "--record" => opts.record = Some(value),
             "--trace-out" => opts.trace_out = Some(value),
             other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    // A workload preset fills in whatever pattern/burst shape the user
+    // did not pin explicitly.
+    if let Some(workload) = opts.workload {
+        if !opts.pattern_set {
+            opts.pattern = Pattern::CoreToLlc;
+        }
+        if !opts.injection_set {
+            let shape = workload.profile().burst_shape();
+            opts.injection = InjectionProcess::OnOff {
+                on_len: shape.on_len,
+                off_len: shape.off_len,
+            };
         }
     }
     Ok(opts)
 }
 
 fn config_for(opts: &Options) -> Result<NocConfig, String> {
-    NocConfigBuilder::new()
+    let mut b = NocConfigBuilder::new()
         .radix(opts.radix)
         .vc_depth(opts.vc_depth)
-        .max_hops_per_cycle(opts.hpc)
-        .build()
-        .map_err(|e| e.to_string())
+        .max_hops_per_cycle(opts.hpc);
+    if let Some(priority) = opts.class_priority {
+        b = b.class_priority(priority);
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+/// Stable lower-case class labels for metric keys and report rows.
+const CLASS_LABELS: [&str; 3] = ["request", "coherence", "response"];
+
+/// The per-class latency metric key for a virtual-channel index.
+fn class_metric(vc: usize) -> String {
+    format!("packet.latency_cycles.{}", CLASS_LABELS[vc])
 }
 
 /// Records one delivery batch into the metrics registry (exact sparse
 /// histograms — unlike `NetStats`' capped buckets, these keep full
-/// resolution at any latency).
+/// resolution at any latency), overall and per message class.
 fn observe_deliveries(metrics: &mut MetricsRegistry, delivered: &[noc::network::Delivered]) {
     for d in delivered {
         metrics.inc("nocsim.packets_delivered", 1);
-        metrics.observe(
-            "packet.latency_cycles",
-            d.delivered.saturating_sub(d.packet.created),
-        );
+        let latency = d.delivered.saturating_sub(d.packet.created);
+        metrics.observe("packet.latency_cycles", latency);
+        metrics.observe(&class_metric(d.packet.class.vc()), latency);
         metrics.observe("packet.hops", u64::from(d.hops));
     }
 }
@@ -194,6 +262,20 @@ fn report(net: &dyn Network, total_cycles: u64, metrics: &MetricsRegistry, windo
     };
     if let (Some(p50), Some(p95), Some(p99)) = percentiles {
         println!("latency p50/p95/p99    {p50} / {p95} / {p99} cycles");
+    }
+    // Per-class latency summary (exact histograms; silent for classes
+    // that delivered nothing in the window).
+    for (vc, label) in CLASS_LABELS.iter().enumerate() {
+        if let Some(h) = metrics.histogram(&class_metric(vc)) {
+            if let (Some(p50), Some(p95), Some(p99), Some(max)) = (
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99),
+                h.percentile(1.0),
+            ) {
+                println!("  {label:<9} p50/p95/p99/max  {p50} / {p95} / {p99} / {max} cycles");
+            }
+        }
     }
     println!("avg hops               {:.2}", s.avg_hops());
     println!("max latency            {} cycles", s.max_latency);
@@ -292,16 +374,24 @@ fn main() {
     }
 
     println!(
-        "pattern {:?}, rate {}, responses {:.0}%, {}+{} cycles, seed {}",
+        "pattern {:?}, injection {}, rate {}, responses {:.0}%, {}+{} cycles, seed {}",
         opts.pattern,
+        injection_key(opts.injection),
         opts.rate,
         opts.response_fraction * 100.0,
         opts.warmup,
         opts.cycles,
         opts.seed
     );
+    if let Some(workload) = opts.workload {
+        println!("workload preset: {}", workload.name());
+    }
     let mut gen = TrafficGen::new(cfg, opts.pattern, opts.rate, opts.seed)
-        .response_fraction(opts.response_fraction);
+        .response_fraction(opts.response_fraction)
+        .injection(opts.injection);
+    if opts.record.is_some() {
+        gen = gen.record_trace();
+    }
     for _ in 0..opts.warmup {
         gen.tick(&mut net);
         net.step();
@@ -324,6 +414,16 @@ fn main() {
         (opts.cycles, "measured window, warm-up excluded")
     };
     report(&net, reported_cycles, &metrics, window);
+    if let Some(path) = &opts.record {
+        let trace = gen.take_trace();
+        match std::fs::write(path, trace.to_json()) {
+            Ok(()) => println!("recorded {} injections to {path}", trace.len()),
+            Err(e) => {
+                eprintln!("nocsim: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     #[cfg(feature = "obs")]
     if let (Some(out), Some(rec)) = (&opts.trace_out, &recorder) {
         write_trace(out, rec);

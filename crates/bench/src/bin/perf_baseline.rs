@@ -32,6 +32,8 @@ struct Options {
     include_warmup: bool,
     out: String,
     trace_out: Option<String>,
+    gate: Option<String>,
+    gate_tolerance: f64,
 }
 
 impl Default for Options {
@@ -45,6 +47,8 @@ impl Default for Options {
             include_warmup: false,
             out: "BENCH_pra.json".to_string(),
             trace_out: Some("pra.trace.json".to_string()),
+            gate: None,
+            gate_tolerance: 0.25,
         }
     }
 }
@@ -65,6 +69,13 @@ USAGE: perf_baseline [OPTIONS]
   --out FILE         result JSON path                   [BENCH_pra.json]
   --trace-out FILE   Chrome trace of the PRA run        [pra.trace.json]
   --no-trace         skip the Chrome-trace export
+  --gate FILE        regression gate: compare this run's
+                     relative simulator throughput (PRA
+                     cycles/sec ÷ mesh cycles/sec) against a
+                     committed result file; exit 5 when it
+                     regresses beyond the tolerance
+  --gate-tolerance F allowed relative-throughput regression
+                     before --gate fails                [0.25]
   --help             this text
 ";
 
@@ -95,10 +106,81 @@ fn parse_args() -> Result<Options, String> {
             "--seed" => opts.seed = value.parse().map_err(|_| "bad --seed".to_string())?,
             "--out" => opts.out = value,
             "--trace-out" => opts.trace_out = Some(value),
+            "--gate" => opts.gate = Some(value),
+            "--gate-tolerance" => {
+                opts.gate_tolerance = value
+                    .parse()
+                    .map_err(|_| "bad --gate-tolerance".to_string())?;
+                if !(0.0..1.0).contains(&opts.gate_tolerance) {
+                    return Err("--gate-tolerance must be in [0, 1)".to_string());
+                }
+            }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
+    if opts.gate.as_deref() == Some(opts.out.as_str()) {
+        return Err(
+            "--gate and --out name the same file; the result would overwrite the \
+             baseline before the comparison (pick a different --out)"
+                .to_string(),
+        );
+    }
     Ok(opts)
+}
+
+/// Extracts `cycles_per_sec` for the named organisation from a
+/// `BENCH_pra.json`-shaped document.
+fn cycles_per_sec_of(doc: &Json, org: &str) -> Option<f64> {
+    doc.get("runs")?
+        .as_array()?
+        .iter()
+        .find(|run| run.get("org").and_then(Json::as_str) == Some(org))?
+        .get("cycles_per_sec")?
+        .as_f64()
+}
+
+/// The cycles/sec regression gate. Absolute cycles/sec varies with the
+/// machine CI happens to land on, so the gated quantity is the *ratio*
+/// of PRA to baseline-mesh simulator throughput within one run — host
+/// speed cancels out, and a PRA-side slowdown (the thing ROADMAP item 1
+/// wants pinned) still moves the ratio. Returns an error message when
+/// the gate cannot be evaluated or the ratio regressed beyond
+/// `tolerance`.
+fn check_gate(runs: &[RunResult], baseline_path: &str, tolerance: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("bad JSON in {baseline_path}: {e}"))?;
+    let ratio_of = |mesh: f64, pra: f64| if mesh > 0.0 { pra / mesh } else { 0.0 };
+    let committed = match (
+        cycles_per_sec_of(&doc, "baseline-mesh"),
+        cycles_per_sec_of(&doc, "pra"),
+    ) {
+        (Some(mesh), Some(pra)) => ratio_of(mesh, pra),
+        _ => {
+            return Err(format!(
+                "{baseline_path} has no baseline-mesh/pra cycles_per_sec runs"
+            ))
+        }
+    };
+    let mesh = runs.iter().find(|r| r.name == "baseline-mesh");
+    let pra = runs.iter().find(|r| r.name == "pra");
+    let fresh = match (mesh, pra) {
+        (Some(m), Some(p)) => ratio_of(m.cycles_per_sec(), p.cycles_per_sec()),
+        _ => return Err("this run is missing a baseline-mesh or pra result".to_string()),
+    };
+    let floor = committed * (1.0 - tolerance);
+    println!(
+        "gate: pra/mesh cycles-per-sec ratio {fresh:.3} vs committed {committed:.3} \
+         (floor {floor:.3}, tolerance {tolerance:.2})"
+    );
+    if fresh < floor {
+        return Err(format!(
+            "relative simulator throughput regressed: pra/mesh ratio {fresh:.3} \
+             is below {floor:.3} ({committed:.3} from {baseline_path} minus \
+             {tolerance:.2} tolerance)"
+        ));
+    }
+    Ok(())
 }
 
 /// One measured configuration: the run's latency registry plus wall-clock
@@ -317,4 +399,11 @@ fn main() {
         std::process::exit(1);
     }
     println!("results written to {}", opts.out);
+    if let Some(baseline) = &opts.gate {
+        if let Err(e) = check_gate(&runs, baseline, opts.gate_tolerance) {
+            eprintln!("perf_baseline: gate FAILED: {e}");
+            std::process::exit(5);
+        }
+        println!("gate passed");
+    }
 }

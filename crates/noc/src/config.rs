@@ -86,6 +86,14 @@ pub struct NocConfig {
     /// datapath then behaves bit-for-bit as if the subsystem did not
     /// exist.
     pub faults: Option<FaultPlan>,
+    /// Optional per-class arbitration priority, indexed by VC
+    /// (request, coherence, response); higher wins. `None` (the
+    /// default) keeps the class-oblivious round-robin arbiters and the
+    /// historical cycle-for-cycle behaviour. When set, switch
+    /// allocation serves the highest-priority class with an eligible
+    /// flit first (non-preemptive: in-flight wormholes keep their port
+    /// locks), with round-robin tie-breaking inside a class.
+    pub class_priority: Option<[u8; 3]>,
 }
 
 impl NocConfig {
@@ -100,6 +108,7 @@ impl NocConfig {
             max_hops_per_cycle: 2,
             max_packet_len: 5,
             faults: None,
+            class_priority: None,
         }
     }
 
@@ -236,6 +245,14 @@ impl NocConfigBuilder {
     /// Installs a fault-injection plan (see [`crate::faults`]).
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Enables per-class priority arbitration: `priority[vc]` ranks the
+    /// class carried on that VC, higher values winning switch
+    /// allocation first.
+    pub fn class_priority(mut self, priority: [u8; 3]) -> Self {
+        self.cfg.class_priority = Some(priority);
         self
     }
 

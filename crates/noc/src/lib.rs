@@ -62,6 +62,7 @@ pub mod trace;
 pub mod traffic;
 pub mod types;
 pub mod watchdog;
+pub mod wcla;
 pub mod zeroload;
 
 pub use cancel::CancelToken;

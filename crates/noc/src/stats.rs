@@ -25,6 +25,10 @@ pub struct NetStats {
     pub total_hops: u64,
     /// Worst observed end-to-end packet latency.
     pub max_latency: u64,
+    /// Worst observed end-to-end latency per message class (indexed by
+    /// VC) — the quantity the QoS bound gate compares against the
+    /// analytical worst case.
+    pub max_latency_by_class: [u64; 3],
     /// Total link traversals (each flit × each link, bypassed or not).
     pub link_traversals: u64,
     /// Switch-allocation grants issued by reactive (local) arbiters.
@@ -43,6 +47,10 @@ pub struct NetStats {
     /// latency `i` cycles; the last bucket absorbs the overflow. Sized
     /// for server-scale round trips.
     pub latency_histogram: Vec<u64>,
+    /// Per-class latency histograms (indexed by VC), same bucketing as
+    /// [`NetStats::latency_histogram`]; lazily allocated on first
+    /// delivery of the class.
+    pub latency_histogram_by_class: [Vec<u64>; 3],
 }
 
 impl NetStats {
@@ -85,9 +93,16 @@ impl NetStats {
         }
         let bucket = (lat as usize).min(self.latency_histogram.len() - 1);
         self.latency_histogram[bucket] += 1;
+        let class_hist = &mut self.latency_histogram_by_class[class.vc()];
+        if class_hist.is_empty() {
+            *class_hist = vec![0; 513];
+        }
+        let class_bucket = (lat as usize).min(class_hist.len() - 1);
+        class_hist[class_bucket] += 1;
         self.total_queue_latency += injected.saturating_sub(created);
         self.total_hops += hops as u64;
         self.max_latency = self.max_latency.max(lat);
+        self.max_latency_by_class[class.vc()] = self.max_latency_by_class[class.vc()].max(lat);
     }
 
     /// Total packets delivered across classes.
@@ -165,6 +180,30 @@ impl NetStats {
         Some(self.latency_histogram.len() as u64)
     }
 
+    /// Like [`NetStats::latency_percentile`], restricted to packets of
+    /// `class`; `None` when the class delivered nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantile` is outside `[0, 1]`.
+    pub fn latency_percentile_of(&self, class: MessageClass, quantile: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&quantile), "quantile within [0, 1]");
+        let total = self.packets_delivered[class.vc()];
+        if total == 0 {
+            return None;
+        }
+        let hist = &self.latency_histogram_by_class[class.vc()];
+        let target = (quantile * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (lat, n) in hist.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(lat as u64);
+            }
+        }
+        Some(hist.len() as u64)
+    }
+
     /// Fraction of in-network time spent blocked behind proactively
     /// reserved resources (Section V.B's ≈0.01% figure).
     pub fn reservation_blocking_fraction(&self) -> f64 {
@@ -231,6 +270,63 @@ mod tests {
     fn bad_quantile_panics() {
         let s = NetStats::new();
         let _ = s.latency_percentile(1.5);
+    }
+
+    #[test]
+    fn per_class_percentiles_and_max() {
+        let mut s = NetStats::new();
+        for lat in [5u64, 5, 5, 50] {
+            s.record_delivered(MessageClass::Request, 1, 0, 0, lat, 1);
+        }
+        s.record_delivered(MessageClass::Response, 5, 0, 0, 200, 3);
+        assert_eq!(s.latency_percentile_of(MessageClass::Request, 0.5), Some(5));
+        assert_eq!(
+            s.latency_percentile_of(MessageClass::Request, 1.0),
+            Some(50)
+        );
+        assert_eq!(
+            s.latency_percentile_of(MessageClass::Response, 0.99),
+            Some(200)
+        );
+        assert_eq!(s.latency_percentile_of(MessageClass::Coherence, 0.5), None);
+        assert_eq!(s.max_latency_by_class[MessageClass::Request.vc()], 50);
+        assert_eq!(s.max_latency_by_class[MessageClass::Response.vc()], 200);
+        assert_eq!(s.max_latency, 200);
+    }
+
+    #[test]
+    fn reset_zeroes_per_class_and_response_counters() {
+        // Regression: the warm-up window must not leak into per-class
+        // tails after the measurement-boundary reset (the
+        // `TrafficGen::response_fraction` × `NetStats::reset`
+        // interaction).
+        let mut s = NetStats::new();
+        for _ in 0..100 {
+            s.record_injected(MessageClass::Response);
+            s.record_delivered(MessageClass::Response, 5, 0, 0, 400, 6);
+        }
+        s.record_injected(MessageClass::Request);
+        s.record_delivered(MessageClass::Request, 1, 0, 0, 9, 1);
+        s.reset();
+        assert_eq!(s.injected(), 0);
+        assert_eq!(s.delivered(), 0);
+        assert_eq!(s.packets_injected, [0; 3]);
+        assert_eq!(s.packets_delivered, [0; 3]);
+        assert_eq!(s.flits_delivered, [0; 3]);
+        assert_eq!(s.total_latency_by_class, [0; 3]);
+        assert_eq!(s.max_latency_by_class, [0; 3]);
+        assert_eq!(s.latency_percentile_of(MessageClass::Response, 0.99), None);
+        assert!(s
+            .latency_histogram_by_class
+            .iter()
+            .all(|h| h.iter().all(|&n| n == 0)));
+        // Post-reset deliveries open a clean window.
+        s.record_delivered(MessageClass::Response, 5, 0, 0, 12, 2);
+        assert_eq!(
+            s.latency_percentile_of(MessageClass::Response, 0.99),
+            Some(12)
+        );
+        assert_eq!(s.max_latency_by_class[MessageClass::Response.vc()], 12);
     }
 
     #[test]

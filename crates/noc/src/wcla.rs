@@ -1,0 +1,633 @@
+//! Worst-case latency analysis (WCLA) for wormhole meshes.
+//!
+//! Static, buffer-aware per-flow latency bounds in the style of
+//! Giroudot & Mifdaoui's graph-based analysis of wormhole NoCs under
+//! bursty traffic: every flow's bound accounts for
+//!
+//! * **direct contention** — flows sharing a physical link with the
+//!   flow under analysis, charged by their full burst allowance
+//!   (σ·L flits per contender on every shared link);
+//! * **indirect contention** — flows that do not touch the flow's route
+//!   but delay its direct contenders, folded in as the worst direct
+//!   interference burst (`route jitter`) among the contenders on each
+//!   shared link;
+//! * **buffer-aware backpressure** — a blocked wormhole packet spans up
+//!   to `ceil(L/vc_depth)` routers, so one unit of interference can
+//!   stall the flow across that many hops (the β multiplier);
+//! * **busy-period amplification** — interference on a link loaded at
+//!   utilisation ρ is served over `1/(1−ρ)` of its raw duration.
+//!
+//! The analysis is *conservative by construction* and refuses to emit a
+//! bound when any contended link's utilisation reaches
+//! [`UTILIZATION_LIMIT`] — beyond that, wormhole queues grow without
+//! bound and no finite worst case exists. It is exercised end-to-end by
+//! the `analyzer::wcla` property suite (simulated max latency ≤ bound
+//! on every covered scenario) and by `sweep --check-bounds`.
+//!
+//! The module deliberately lives in `noc` (not `crates/analyzer`) so the
+//! sweep runner can gate points against bounds without a dependency
+//! cycle; `analyzer::wcla` wraps it with routing-verification and the
+//! property tests.
+
+use std::collections::BTreeMap;
+
+use crate::config::NocConfig;
+use crate::routing::Route;
+use crate::traffic::{InjectionProcess, Pattern};
+use crate::types::{Direction, MessageClass, NodeId};
+
+/// Links loaded at or above this flit utilisation are refused: the
+/// busy-period argument needs strictly sub-unit load, and the margin
+/// keeps the `1/(1−ρ)` amplification factor finite and sane.
+pub const UTILIZATION_LIMIT: f64 = 0.8;
+
+/// A directed physical link in the analysed topology, including the
+/// injection and ejection links that model source queueing and sink
+/// serialisation. `Ord` so link tables iterate deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Link {
+    /// NI → router at `NodeId` (source serialisation).
+    Inject(u16),
+    /// Router → NI at `NodeId` (sink serialisation).
+    Eject(u16),
+    /// Router `NodeId` → neighbour in `Direction`.
+    Wire(u16, Direction),
+}
+
+impl std::fmt::Display for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Link::Inject(n) => write!(f, "inject@{n}"),
+            Link::Eject(n) => write!(f, "eject@{n}"),
+            Link::Wire(n, d) => write!(f, "{n}->{d:?}"),
+        }
+    }
+}
+
+/// One analysed traffic flow: a (source, destination, class) stream
+/// with a token-bucket-style arrival envelope of at most
+/// `sigma_pkts + rho·t` packets in any window of `t` cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node (must differ from `src`).
+    pub dest: NodeId,
+    /// Message class carried by the flow.
+    pub class: MessageClass,
+    /// Burst allowance in packets (≥ 1): the most packets the flow can
+    /// emit back-to-back.
+    pub sigma_pkts: u64,
+    /// Long-run mean rate in packets/cycle.
+    pub rho: f64,
+    /// Packet length in flits.
+    pub len_flits: u8,
+}
+
+/// Why the analysis refused to produce bounds.
+#[must_use]
+#[derive(Debug, Clone, PartialEq)]
+pub enum WclaError {
+    /// A link's long-run flit load reaches [`UTILIZATION_LIMIT`]; no
+    /// finite worst case exists (or the margin is too thin to trust).
+    Overloaded {
+        /// The saturated link.
+        link: Link,
+        /// Its flit utilisation (flits/cycle).
+        utilization: f64,
+    },
+    /// A flow is malformed (self-loop, zero-length packet, bad rate…).
+    BadFlow {
+        /// Index into the flow list.
+        index: usize,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// The flow set cannot be derived (e.g. an unbounded Bernoulli
+    /// process has no finite burst).
+    UnboundedProcess,
+}
+
+impl std::fmt::Display for WclaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WclaError::Overloaded { link, utilization } => write!(
+                f,
+                "link {link} is loaded at {utilization:.3} flits/cycle (limit {UTILIZATION_LIMIT}); \
+                 no finite worst-case latency exists"
+            ),
+            WclaError::BadFlow { index, message } => write!(f, "flow {index}: {message}"),
+            WclaError::UnboundedProcess => f.write_str(
+                "the injection process has no finite burst bound (Bernoulli); \
+                 worst-case analysis needs a bounded process",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WclaError {}
+
+/// The analytical worst case for one flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowBound {
+    /// Index into the analysed flow list.
+    pub flow: usize,
+    /// Route length in hops.
+    pub hops: usize,
+    /// Zero-load latency component in cycles.
+    pub zero_load: u64,
+    /// Total bound in cycles (zero-load + contention + backpressure).
+    pub bound: u64,
+}
+
+/// Result of a successful analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WclaReport {
+    /// Per-flow bounds, in flow-list order.
+    pub bounds: Vec<FlowBound>,
+    /// Worst link utilisation observed (flits/cycle).
+    pub max_utilization: f64,
+    /// Number of distinct links carrying traffic.
+    pub links: usize,
+}
+
+impl WclaReport {
+    /// The worst bound among flows of `class`, if any flow carries it.
+    pub fn class_bound(&self, flows: &[FlowSpec], class: MessageClass) -> Option<u64> {
+        self.bounds
+            .iter()
+            .filter(|b| flows.get(b.flow).map(|f| f.class) == Some(class))
+            .map(|b| b.bound)
+            .max()
+    }
+}
+
+/// Links traversed by a flow, in route order: injection, one wire per
+/// hop, ejection.
+fn flow_links(cfg: &NocConfig, flow: &FlowSpec) -> Vec<Link> {
+    let route = Route::compute(cfg, flow.src, flow.dest);
+    let mut links = Vec::with_capacity(route.hops() + 2);
+    links.push(Link::Inject(flow.src.index() as u16));
+    for hop in 0..route.hops() {
+        let here = route.node_at(cfg, hop);
+        if let Some(dir) = route.dir_at(hop) {
+            links.push(Link::Wire(here.index() as u16, dir));
+        }
+    }
+    links.push(Link::Eject(flow.dest.index() as u16));
+    links
+}
+
+/// Zero-load latency of a flow on the wormhole mesh: two cycles per hop
+/// (switch allocation + traversal), three cycles of injection/ejection
+/// overhead, plus tail serialisation.
+fn zero_load_latency(hops: usize, len_flits: u8) -> u64 {
+    2 * hops as u64 + 3 + u64::from(len_flits).saturating_sub(1)
+}
+
+fn validate_flows(cfg: &NocConfig, flows: &[FlowSpec]) -> Result<(), WclaError> {
+    for (index, f) in flows.iter().enumerate() {
+        if f.src == f.dest {
+            return Err(WclaError::BadFlow {
+                index,
+                message: "source equals destination".to_string(),
+            });
+        }
+        if f.src.index() >= cfg.nodes() || f.dest.index() >= cfg.nodes() {
+            return Err(WclaError::BadFlow {
+                index,
+                message: "endpoint outside the mesh".to_string(),
+            });
+        }
+        if f.len_flits == 0 || f.len_flits > cfg.max_packet_len {
+            return Err(WclaError::BadFlow {
+                index,
+                message: format!(
+                    "packet length {} outside 1..={}",
+                    f.len_flits, cfg.max_packet_len
+                ),
+            });
+        }
+        if f.sigma_pkts == 0 {
+            return Err(WclaError::BadFlow {
+                index,
+                message: "burst allowance must be at least 1 packet".to_string(),
+            });
+        }
+        if !f.rho.is_finite() || f.rho <= 0.0 || f.rho > 1.0 {
+            return Err(WclaError::BadFlow {
+                index,
+                message: format!("rate {} outside (0, 1]", f.rho),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Computes a conservative worst-case latency bound for every flow.
+///
+/// # Errors
+///
+/// [`WclaError::BadFlow`] for malformed flows and
+/// [`WclaError::Overloaded`] when any link's long-run flit utilisation
+/// reaches [`UTILIZATION_LIMIT`] (no finite bound exists).
+pub fn analyze_flows(cfg: &NocConfig, flows: &[FlowSpec]) -> Result<WclaReport, WclaError> {
+    validate_flows(cfg, flows)?;
+
+    // Per-link aggregates over all flows crossing it.
+    #[derive(Default)]
+    struct LinkLoad {
+        /// Long-run flit utilisation Σ ρ·L.
+        rho_flits: f64,
+        /// Aggregate burst Σ σ·L in flits.
+        sigma_flits: u64,
+    }
+    let all_links: Vec<Vec<Link>> = flows.iter().map(|f| flow_links(cfg, f)).collect();
+    let mut loads: BTreeMap<Link, LinkLoad> = BTreeMap::new();
+    for (f, links) in flows.iter().zip(&all_links) {
+        for link in links {
+            let entry = loads.entry(*link).or_default();
+            entry.rho_flits += f.rho * f64::from(f.len_flits);
+            entry.sigma_flits += f.sigma_pkts * u64::from(f.len_flits);
+        }
+    }
+    let mut max_utilization = 0.0f64;
+    for (link, load) in &loads {
+        max_utilization = max_utilization.max(load.rho_flits);
+        if load.rho_flits >= UTILIZATION_LIMIT {
+            return Err(WclaError::Overloaded {
+                link: *link,
+                utilization: load.rho_flits,
+            });
+        }
+    }
+
+    // Backpressure factor: a blocked packet of the longest contending
+    // length spans ceil(L/vc_depth) routers, so one flit of
+    // interference can stall a flow across that many hops at once.
+    let max_len = flows
+        .iter()
+        .map(|f| u64::from(f.len_flits))
+        .max()
+        .unwrap_or(1);
+    let beta = 1 + max_len.div_ceil(u64::from(cfg.vc_depth.max(1)));
+
+    // Route jitter of a flow: the direct interference burst it can
+    // absorb along its own route (used as the indirect-contention
+    // surrogate for flows it delays elsewhere).
+    let route_jitter: Vec<u64> = flows
+        .iter()
+        .zip(&all_links)
+        .map(|(f, links)| {
+            links
+                .iter()
+                .map(|link| {
+                    let total = loads.get(link).map(|l| l.sigma_flits).unwrap_or(0);
+                    total.saturating_sub(f.sigma_pkts * u64::from(f.len_flits))
+                })
+                .sum()
+        })
+        .collect();
+    // Worst route jitter among the flows crossing each link.
+    let mut link_jitter: BTreeMap<Link, u64> = BTreeMap::new();
+    for (idx, links) in all_links.iter().enumerate() {
+        for link in links {
+            let slot = link_jitter.entry(*link).or_insert(0);
+            *slot = (*slot).max(route_jitter[idx]);
+        }
+    }
+
+    let mut bounds = Vec::with_capacity(flows.len());
+    for (idx, (f, links)) in flows.iter().zip(&all_links).enumerate() {
+        let hops = links.len() - 2;
+        let zero_load = zero_load_latency(hops, f.len_flits);
+        // Queueing behind the flow's own earlier burst packets.
+        let own_flits = f.sigma_pkts * u64::from(f.len_flits);
+        let self_burst = own_flits - u64::from(f.len_flits);
+        let mut contention = 0u64;
+        for link in links {
+            let Some(load) = loads.get(link) else {
+                continue;
+            };
+            let direct = load.sigma_flits.saturating_sub(own_flits);
+            let indirect = link_jitter.get(link).copied().unwrap_or(0);
+            let raw = beta * (direct + indirect);
+            // Busy-period amplification on a ρ-loaded link.
+            let amplified = (raw as f64 / (1.0 - load.rho_flits)).ceil();
+            contention += amplified as u64;
+        }
+        bounds.push(FlowBound {
+            flow: idx,
+            hops,
+            zero_load,
+            bound: zero_load + self_burst + contention,
+        });
+    }
+
+    Ok(WclaReport {
+        bounds,
+        max_utilization,
+        links: loads.len(),
+    })
+}
+
+/// The deliberately *unsound* bound a first implementation might ship:
+/// it assumes every contender holds exactly one flit (ignoring burst
+/// allowances), no buffer backpressure (β = 1) and no busy-period
+/// amplification. Kept as the bug double the `analyzer::wcla` property
+/// suite must refute — bursty traffic demonstrably exceeds it.
+///
+/// # Errors
+///
+/// Same validation failures as [`analyze_flows`]; never refuses on
+/// utilisation (part of what makes it unsound).
+pub fn naive_bound(cfg: &NocConfig, flows: &[FlowSpec]) -> Result<Vec<FlowBound>, WclaError> {
+    validate_flows(cfg, flows)?;
+    let all_links: Vec<Vec<Link>> = flows.iter().map(|f| flow_links(cfg, f)).collect();
+    let mut crossing: BTreeMap<Link, u64> = BTreeMap::new();
+    for links in &all_links {
+        for link in links {
+            *crossing.entry(*link).or_insert(0) += 1;
+        }
+    }
+    Ok(flows
+        .iter()
+        .zip(&all_links)
+        .enumerate()
+        .map(|(idx, (f, links))| {
+            let hops = links.len() - 2;
+            let zero_load = zero_load_latency(hops, f.len_flits);
+            let contention: u64 = links
+                .iter()
+                .map(|link| crossing.get(link).copied().unwrap_or(1) - 1)
+                .sum();
+            FlowBound {
+                flow: idx,
+                hops,
+                zero_load,
+                bound: zero_load + contention,
+            }
+        })
+        .collect())
+}
+
+/// Derives the flow set a synthetic `(pattern, process, rate,
+/// response_fraction)` workload offers, for use with
+/// [`analyze_flows`]. Requests are single-flit, responses are
+/// `cfg.max_packet_len` flits, and each flow's burst allowance is the
+/// process's per-node burst bound (conservatively assigned in full to
+/// every flow of the node, since a whole burst may target one
+/// destination).
+///
+/// # Errors
+///
+/// [`WclaError::UnboundedProcess`] for the Bernoulli process, whose
+/// bursts have no finite bound.
+pub fn flows_for_pattern(
+    cfg: &NocConfig,
+    pattern: Pattern,
+    process: InjectionProcess,
+    rate: f64,
+    response_fraction: f64,
+) -> Result<Vec<FlowSpec>, WclaError> {
+    let Some(burst) = process.burst_bound() else {
+        return Err(WclaError::UnboundedProcess);
+    };
+    let sigma = burst.max(1) + 1; // +1: a new burst can start right after.
+    let nodes = cfg.nodes();
+    let mut flows = Vec::new();
+    let mut push = |src: usize, dest: usize, share: f64| {
+        if src == dest {
+            return;
+        }
+        let req_rate = rate * share * (1.0 - response_fraction);
+        let rsp_rate = rate * share * response_fraction;
+        if req_rate > 0.0 {
+            flows.push(FlowSpec {
+                src: NodeId::new(src as u16),
+                dest: NodeId::new(dest as u16),
+                class: MessageClass::Request,
+                sigma_pkts: sigma,
+                rho: req_rate,
+                len_flits: 1,
+            });
+        }
+        if rsp_rate > 0.0 {
+            flows.push(FlowSpec {
+                src: NodeId::new(src as u16),
+                dest: NodeId::new(dest as u16),
+                class: MessageClass::Response,
+                sigma_pkts: sigma,
+                rho: rsp_rate,
+                len_flits: cfg.max_packet_len,
+            });
+        }
+    };
+    match pattern {
+        Pattern::UniformRandom | Pattern::CoreToLlc => {
+            let share = 1.0 / (nodes as f64 - 1.0);
+            for src in 0..nodes {
+                for dest in 0..nodes {
+                    push(src, dest, share);
+                }
+            }
+        }
+        Pattern::Transpose => {
+            for src in 0..nodes {
+                let c = cfg.coord(NodeId::new(src as u16));
+                let t = crate::types::Coord::new(c.y, c.x);
+                let mut dest = cfg.node_at(t).index();
+                if dest == src {
+                    dest = (src + 1) % nodes;
+                }
+                push(src, dest, 1.0);
+            }
+        }
+        Pattern::Hotspot(h) => {
+            for src in 0..nodes {
+                push(src, h.index(), 1.0);
+            }
+        }
+        Pattern::Complement => {
+            for src in 0..nodes {
+                push(src, (src + nodes / 2) % nodes, 1.0);
+            }
+        }
+    }
+    Ok(flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn radix4() -> NocConfig {
+        crate::config::NocConfigBuilder::new()
+            .radix(4)
+            .build()
+            .expect("radix-4 config")
+    }
+
+    fn flow(src: u16, dest: u16, class: MessageClass, len: u8) -> FlowSpec {
+        FlowSpec {
+            src: NodeId::new(src),
+            dest: NodeId::new(dest),
+            class,
+            sigma_pkts: 4,
+            rho: 0.01,
+            len_flits: len,
+        }
+    }
+
+    #[test]
+    fn lone_flow_bound_is_near_zero_load() {
+        let cfg = radix4();
+        let flows = vec![flow(0, 3, MessageClass::Request, 1)];
+        let report = analyze_flows(&cfg, &flows).expect("light load analyses");
+        assert_eq!(report.bounds.len(), 1);
+        assert_eq!(report.bounds[0].hops, 3);
+        assert_eq!(report.bounds[0].zero_load, 9);
+        // Only self-burst queueing on top of zero load.
+        assert!(report.bounds[0].bound >= 9);
+        assert!(report.bounds[0].bound <= 9 + 3 * 5);
+    }
+
+    #[test]
+    fn contending_flows_raise_the_bound() {
+        let cfg = radix4();
+        let lone = analyze_flows(&cfg, &[flow(0, 3, MessageClass::Request, 1)])
+            .expect("lone flow analyses");
+        let contended = analyze_flows(
+            &cfg,
+            &[
+                flow(0, 3, MessageClass::Request, 1),
+                flow(1, 3, MessageClass::Response, 5),
+                flow(2, 3, MessageClass::Response, 5),
+            ],
+        )
+        .expect("contended set analyses");
+        assert!(contended.bounds[0].bound > lone.bounds[0].bound);
+    }
+
+    #[test]
+    fn overloaded_links_are_refused() {
+        let cfg = radix4();
+        // 15 response flows of 5 flits at 0.05 pkts/cycle into node 0:
+        // ejection load 3.75 flits/cycle.
+        let flows: Vec<FlowSpec> = (1..16)
+            .map(|src| FlowSpec {
+                rho: 0.05,
+                ..flow(src, 0, MessageClass::Response, 5)
+            })
+            .collect();
+        match analyze_flows(&cfg, &flows) {
+            Err(WclaError::Overloaded { link, utilization }) => {
+                assert_eq!(link, Link::Eject(0));
+                assert!(utilization > UTILIZATION_LIMIT);
+            }
+            other => panic!("expected overload refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_flows_are_rejected() {
+        let cfg = radix4();
+        let cases = [
+            FlowSpec {
+                dest: NodeId::new(0),
+                ..flow(0, 0, MessageClass::Request, 1)
+            },
+            FlowSpec {
+                len_flits: 0,
+                ..flow(0, 1, MessageClass::Request, 1)
+            },
+            FlowSpec {
+                sigma_pkts: 0,
+                ..flow(0, 1, MessageClass::Request, 1)
+            },
+            FlowSpec {
+                rho: 0.0,
+                ..flow(0, 1, MessageClass::Request, 1)
+            },
+            FlowSpec {
+                src: NodeId::new(99),
+                ..flow(0, 1, MessageClass::Request, 1)
+            },
+        ];
+        for bad in cases {
+            assert!(
+                matches!(
+                    analyze_flows(&cfg, std::slice::from_ref(&bad)),
+                    Err(WclaError::BadFlow { .. })
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_bound_is_tighter_than_the_sound_bound() {
+        let cfg = radix4();
+        let flows = vec![
+            flow(0, 3, MessageClass::Request, 1),
+            flow(1, 3, MessageClass::Response, 5),
+            flow(2, 3, MessageClass::Response, 5),
+        ];
+        let sound = analyze_flows(&cfg, &flows).expect("sound analysis");
+        let naive = naive_bound(&cfg, &flows).expect("naive analysis");
+        for (s, n) in sound.bounds.iter().zip(&naive) {
+            assert!(
+                n.bound <= s.bound,
+                "naive {} must not exceed sound {}",
+                n.bound,
+                s.bound
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_flow_derivation() {
+        let cfg = radix4();
+        let process = InjectionProcess::OnOff {
+            on_len: 4,
+            off_len: 28,
+        };
+        let flows = flows_for_pattern(&cfg, Pattern::Hotspot(NodeId::new(5)), process, 0.01, 0.5)
+            .expect("bounded process derives flows");
+        // 15 sources × 2 classes.
+        assert_eq!(flows.len(), 30);
+        assert!(flows.iter().all(|f| f.dest == NodeId::new(5)));
+        assert!(flows.iter().all(|f| f.sigma_pkts == 5));
+        let uniform = flows_for_pattern(&cfg, Pattern::UniformRandom, process, 0.01, 0.5)
+            .expect("uniform derives flows");
+        assert_eq!(uniform.len(), 16 * 15 * 2);
+        assert!(matches!(
+            flows_for_pattern(
+                &cfg,
+                Pattern::UniformRandom,
+                InjectionProcess::Bernoulli,
+                0.01,
+                0.5
+            ),
+            Err(WclaError::UnboundedProcess)
+        ));
+    }
+
+    #[test]
+    fn class_bound_selects_per_class_maxima() {
+        let cfg = radix4();
+        let flows = vec![
+            flow(0, 3, MessageClass::Request, 1),
+            flow(12, 15, MessageClass::Response, 5),
+        ];
+        let report = analyze_flows(&cfg, &flows).expect("analyses");
+        let req = report
+            .class_bound(&flows, MessageClass::Request)
+            .expect("request bound");
+        let rsp = report
+            .class_bound(&flows, MessageClass::Response)
+            .expect("response bound");
+        assert!(rsp > req, "longer packets bound higher: {rsp} vs {req}");
+        assert_eq!(report.class_bound(&flows, MessageClass::Coherence), None);
+    }
+}

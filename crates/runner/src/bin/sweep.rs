@@ -15,11 +15,18 @@
 //! `runner::supervisor`. Artifacts stay byte-identical to a
 //! single-process run.
 //!
+//! QoS gate: `--check-bounds` re-derives the worst-case wormhole
+//! latency bound (`noc::wcla`) for every fault-free `ok` mesh point
+//! with a bounded injection process and fails (exit 5) when any class's
+//! observed max latency exceeds its analytical bound — or when the
+//! analysis refuses to certify a point the sweep ran.
+//!
 //! Exit codes: 0 success, 1 I/O failure, 2 usage/spec/journal-header
 //! error, 3 determinism failure (`--check-golden` or `--verify-digests`
 //! mismatch), 4 partial completion (one or more points quarantined as
-//! `poisoned(...)`) — so CI can tell "the disk broke" from "the physics
-//! broke" from "one point is a worker-killer".
+//! `poisoned(...)`), 5 latency-bound violation (`--check-bounds`) — so
+//! CI can tell "the disk broke" from "the physics broke" from "one
+//! point is a worker-killer" from "QoS deadlines are not met".
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -27,7 +34,9 @@ use std::process::ExitCode;
 // banner, never an artifact or digest.
 use std::time::Instant;
 
+use noc::types::MessageClass;
 use runner::journal::{load_journal, JournalHeader, JournalWriter};
+use runner::org::Organization;
 use runner::protocol::FENCED_EXIT_CODE;
 use runner::supervisor::{SupervisorConfig, WorkerConfig};
 use runner::{
@@ -42,6 +51,7 @@ struct Options {
     csv_out: Option<String>,
     json_out: Option<String>,
     check_golden: Option<String>,
+    check_bounds: bool,
     ckpt: Option<String>,
     resume: bool,
     verify_digests: bool,
@@ -61,6 +71,9 @@ const USAGE: &str = "usage: sweep --spec FILE [options]
   --csv-out FILE       write result rows to FILE instead of stdout
   --json-out FILE      also write the merged JSON artifact to FILE
   --check-golden FILE  compare the CSV against FILE; exit 3 on mismatch
+  --check-bounds       gate each fault-free ok mesh point's per-class max
+                       latency against the analytical worst-case bound
+                       (noc::wcla); exit 5 on any violation or refusal
   --ckpt FILE          checkpoint journal path (default: <csv-out>.ckpt)
   --resume             skip points already in the checkpoint journal
   --verify-digests     re-run journaled points and compare digest trails
@@ -86,6 +99,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         csv_out: None,
         json_out: None,
         check_golden: None,
+        check_bounds: false,
         ckpt: None,
         resume: false,
         verify_digests: false,
@@ -112,6 +126,10 @@ fn parse_args() -> Result<Option<Options>, String> {
             }
             "--verify-digests" => {
                 opts.verify_digests = true;
+                continue;
+            }
+            "--check-bounds" => {
+                opts.check_bounds = true;
                 continue;
             }
             flag @ ("--spec" | "--threads" | "--csv-out" | "--json-out" | "--check-golden"
@@ -462,7 +480,98 @@ fn main() -> ExitCode {
         );
     }
 
-    emit_artifacts(&opts, &spec, &records)
+    let code = emit_artifacts(&opts, &spec, &records);
+    if code != ExitCode::SUCCESS {
+        return code;
+    }
+    if opts.check_bounds && check_bounds(&points, &records, opts.quiet) > 0 {
+        return ExitCode::from(5);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Gates the sweep against the worst-case latency analysis: every
+/// fault-free `ok` mesh/mesh_pra row with a bounded injection process
+/// must keep each class's observed max latency at or below the
+/// analytical per-class bound from [`noc::wcla`]. Returns the number of
+/// violations; an analysis refusal (overload, malformed flows) counts
+/// as one, because a point the analysis cannot certify must not pass a
+/// bound gate. Points the analysis does not model — non-`ok` rows,
+/// fault plans, non-mesh organisations, the unbounded Bernoulli
+/// process — are skipped and tallied on stderr.
+fn check_bounds(points: &[runner::PointSpec], records: &[PointRecord], quiet: bool) -> usize {
+    use noc::wcla::{analyze_flows, flows_for_pattern};
+    let classes = [
+        MessageClass::Request,
+        MessageClass::Coherence,
+        MessageClass::Response,
+    ];
+    let mut violations = 0usize;
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+    for (p, r) in points.iter().zip(records) {
+        let eligible = r.status == "ok"
+            && !p.fault.is_active()
+            && matches!(p.org, Organization::Mesh | Organization::MeshPra)
+            && p.injection.burst_bound().is_some();
+        if !eligible {
+            skipped += 1;
+            continue;
+        }
+        let analysis = p
+            .config()
+            .map_err(|message| noc::wcla::WclaError::BadFlow { index: 0, message })
+            .and_then(|cfg| {
+                let flows =
+                    flows_for_pattern(&cfg, p.pattern, p.injection, p.rate, p.response_fraction)?;
+                let report = analyze_flows(&cfg, &flows)?;
+                Ok((flows, report))
+            });
+        let (flows, report) = match analysis {
+            Ok(x) => x,
+            Err(e) => {
+                violations += 1;
+                eprintln!(
+                    "bound check FAILED: point {} cannot be certified: {e}",
+                    p.index
+                );
+                continue;
+            }
+        };
+        checked += 1;
+        for (vc, &class) in classes.iter().enumerate() {
+            let observed = r.classes[vc].max;
+            if observed == 0 {
+                continue;
+            }
+            match report.class_bound(&flows, class) {
+                Some(bound) if observed <= bound => {}
+                Some(bound) => {
+                    violations += 1;
+                    eprintln!(
+                        "bound check FAILED: point {} class {class:?}: \
+                         observed max {observed} > analytical bound {bound}",
+                        p.index
+                    );
+                }
+                None => {
+                    violations += 1;
+                    eprintln!(
+                        "bound check FAILED: point {} class {class:?} delivered \
+                         packets but the analysis derived no flow for it",
+                        p.index
+                    );
+                }
+            }
+        }
+    }
+    if !quiet {
+        eprintln!(
+            "bound check: {checked} point(s) gated, {skipped} skipped (non-ok, faulted, \
+             non-mesh, or unbounded injection), {violations} violation(s)"
+        );
+    }
+    violations
 }
 
 /// Runs the sweep across worker processes (the `--workers N` path) and
@@ -559,6 +668,9 @@ fn run_multiprocess(
     let code = emit_artifacts(opts, spec, &records);
     if code != ExitCode::SUCCESS {
         return code;
+    }
+    if opts.check_bounds && check_bounds(points, &records, opts.quiet) > 0 {
+        return ExitCode::from(5);
     }
     if !report.quarantined.is_empty() {
         eprintln!(

@@ -53,8 +53,8 @@ pub use lease::{
 pub use org::{build_network, BoxedNet, Organization};
 pub use point::{
     first_divergence, run_point, run_point_full, run_point_full_cancellable, run_points,
-    run_points_full, run_points_full_with, verify_digest_trail, PointOutcome, PointRecord,
-    PointSpec, WallGuard,
+    run_points_full, run_points_full_with, verify_digest_trail, ClassLatency, PointOutcome,
+    PointRecord, PointSpec, WallGuard,
 };
 pub use pool::{run_tasks, run_tasks_with, Outcome};
 pub use protocol::{
@@ -66,7 +66,10 @@ pub use report::{
     csv_row, diff_csv, status_counts, to_csv, to_json, CsvDivergence, StatusCounts, CSV_HEADER,
 };
 pub use seed::derive_seed;
-pub use spec::{pattern_from_key, pattern_key, FaultEventSpec, FaultSpec, SpecError, SweepSpec};
+pub use spec::{
+    injection_from_key, injection_key, pattern_from_key, pattern_key, FaultEventSpec, FaultSpec,
+    SpecError, SweepSpec, INJECTION_KEYS, ORG_KEYS, PATTERN_KEYS,
+};
 pub use supervisor::{
     run_supervised, run_worker, SupervisorConfig, SupervisorError, SupervisorReport, WorkerConfig,
     WorkerOutcome,

@@ -22,12 +22,13 @@ use noc::config::{NocConfig, NocConfigBuilder};
 use noc::digest::StateHasher;
 use noc::faults::FaultPlan;
 use noc::network::Network as _;
-use noc::traffic::{Pattern, TrafficGen};
+use noc::traffic::{InjectionProcess, Pattern, TokenBucketCfg, TrafficGen};
+use noc::types::MessageClass;
 
 use crate::org::{build_network, Organization};
 use crate::pool::{panic_message, run_tasks, run_tasks_with, Outcome};
 use crate::seed::derive_seed;
-use crate::spec::{pattern_key, FaultSpec};
+use crate::spec::{injection_key, pattern_key, FaultSpec};
 
 /// Cycle budget for draining in-flight packets after the measured window.
 const DRAIN_BUDGET: u64 = 100_000;
@@ -42,6 +43,8 @@ pub struct PointSpec {
     pub org: Organization,
     /// Traffic pattern.
     pub pattern: Pattern,
+    /// Temporal injection process.
+    pub injection: InjectionProcess,
     /// Injection rate in packets/node/cycle.
     pub rate: f64,
     /// Mesh radix.
@@ -74,6 +77,10 @@ pub struct PointSpec {
     pub backoff_ms: u64,
     /// Cycles between state-digest samples (0 = digests off).
     pub digest_interval: u64,
+    /// Per-class arbitration priority (`None` = plain round-robin).
+    pub class_priority: Option<[u8; 3]>,
+    /// Per-class token-bucket shapers at the injection point.
+    pub token_buckets: [Option<TokenBucketCfg>; 3],
 }
 
 impl PointSpec {
@@ -90,6 +97,9 @@ impl PointSpec {
             .vc_depth(self.vc_depth)
             .max_hops_per_cycle(self.hpc)
             .max_packet_len(paper_len.min(self.vc_depth));
+        if let Some(priority) = self.class_priority {
+            b = b.class_priority(priority);
+        }
         if self.fault.is_active() {
             let mut plan = FaultPlan::new(self.fault.seed);
             if self.fault.transient_ppb > 0 {
@@ -125,6 +135,20 @@ impl PointSpec {
     }
 }
 
+/// Per-class latency summary of one point (one message class's share of
+/// the CSV row: `<class>_p50,<class>_p95,<class>_p99,<class>_max`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassLatency {
+    /// Exact median latency of the class's measured deliveries.
+    pub p50: u64,
+    /// Exact 95th-percentile latency.
+    pub p95: u64,
+    /// Exact 99th-percentile latency.
+    pub p99: u64,
+    /// Worst observed latency (the number `--check-bounds` gates).
+    pub max: u64,
+}
+
 /// The measured results of one point — one CSV row of the artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointRecord {
@@ -134,6 +158,8 @@ pub struct PointRecord {
     pub org: String,
     /// Pattern key.
     pub pattern: String,
+    /// Injection-process key.
+    pub injection: String,
     /// Injection rate.
     pub rate: f64,
     /// Mesh radix.
@@ -172,6 +198,9 @@ pub struct PointRecord {
     pub avg_hops: f64,
     /// Delivered packets per node per measured cycle.
     pub throughput: f64,
+    /// Per-class latency summaries, indexed by VC
+    /// (`[request, coherence, response]`).
+    pub classes: [ClassLatency; 3],
     /// Chained hash of the digest trail (`"-"` when digests are off).
     pub digest: String,
 }
@@ -182,6 +211,7 @@ impl PointRecord {
             index: p.index,
             org: p.org.key().to_string(),
             pattern: pattern_key(p.pattern),
+            injection: injection_key(p.injection),
             rate: p.rate,
             radix: p.radix,
             vc_depth: p.vc_depth,
@@ -201,6 +231,7 @@ impl PointRecord {
             max_latency: 0,
             avg_hops: 0.0,
             throughput: 0.0,
+            classes: [ClassLatency::default(); 3],
             digest: "-".to_string(),
         }
     }
@@ -330,8 +361,19 @@ fn run_attempt(p: &PointSpec, attempt: u32, external: Option<&CancelToken>) -> P
     let token = CancelToken::new();
     net.install_cancel(token.clone());
     let _wall = WallGuard::arm(p.wall_budget_ms, token.clone());
-    let mut gen =
-        TrafficGen::new(cfg, p.pattern, p.rate, seed).response_fraction(p.response_fraction);
+    let mut gen = TrafficGen::new(cfg, p.pattern, p.rate, seed)
+        .response_fraction(p.response_fraction)
+        .injection(p.injection);
+    for (vc, bucket) in p.token_buckets.iter().enumerate() {
+        if let Some(b) = bucket {
+            let class = match vc {
+                0 => MessageClass::Request,
+                1 => MessageClass::Coherence,
+                _ => MessageClass::Response,
+            };
+            gen = gen.token_bucket(class, *b);
+        }
+    }
 
     let mut trail: Vec<DigestSample> = Vec::new();
     // Checked once per simulated cycle: samples the digest on the
@@ -362,9 +404,14 @@ fn run_attempt(p: &PointSpec, attempt: u32, external: Option<&CancelToken>) -> P
     let mut timeout: Option<String> = None;
     let mut measured = false;
     let mut latencies = SparseHistogram::new();
-    let record_batch = |hist: &mut SparseHistogram, net: &mut dyn noc::network::Network| {
+    let mut class_latencies: [SparseHistogram; 3] = Default::default();
+    let record_batch = |hist: &mut SparseHistogram,
+                        by_class: &mut [SparseHistogram; 3],
+                        net: &mut dyn noc::network::Network| {
         for d in net.drain_delivered() {
-            hist.record(d.delivered.saturating_sub(d.packet.created));
+            let latency = d.delivered.saturating_sub(d.packet.created);
+            hist.record(latency);
+            by_class[d.packet.class.vc()].record(latency);
         }
     };
     'run: {
@@ -384,7 +431,7 @@ fn run_attempt(p: &PointSpec, attempt: u32, external: Option<&CancelToken>) -> P
         for _ in 0..p.measure {
             gen.tick(&mut net);
             net.step();
-            record_batch(&mut latencies, &mut net);
+            record_batch(&mut latencies, &mut class_latencies, &mut net);
             if let Some(t) = check(&net, &mut trail) {
                 timeout = Some(t);
                 break 'run;
@@ -394,7 +441,7 @@ fn run_attempt(p: &PointSpec, attempt: u32, external: Option<&CancelToken>) -> P
         let deadline = net.now() + DRAIN_BUDGET;
         while net.in_flight() > 0 && net.now() < deadline {
             net.step();
-            record_batch(&mut latencies, &mut net);
+            record_batch(&mut latencies, &mut class_latencies, &mut net);
             if let Some(t) = check(&net, &mut trail) {
                 timeout = Some(t);
                 break 'run;
@@ -435,6 +482,14 @@ fn run_attempt(p: &PointSpec, attempt: u32, external: Option<&CancelToken>) -> P
         rec.p95 = latencies.percentile(0.95).unwrap_or(0);
         rec.p99 = latencies.percentile(0.99).unwrap_or(0);
         rec.max_latency = latencies.max().unwrap_or(0);
+        for (vc, hist) in class_latencies.iter().enumerate() {
+            rec.classes[vc] = ClassLatency {
+                p50: hist.percentile(0.50).unwrap_or(0),
+                p95: hist.percentile(0.95).unwrap_or(0),
+                p99: hist.percentile(0.99).unwrap_or(0),
+                max: hist.max().unwrap_or(0),
+            };
+        }
         rec.avg_hops = stats.avg_hops();
         #[allow(clippy::cast_precision_loss)]
         if p.measure > 0 && nodes > 0 {
@@ -651,6 +706,42 @@ mod tests {
         // nodes ≈ 1024 expected injections; the cumulative run (warm-up
         // included) would report ~25% more.
         assert!(rec.injected < 1_400, "warm-up leaked in: {}", rec.injected);
+    }
+
+    #[test]
+    fn per_class_columns_are_populated_and_consistent() {
+        let p = tiny_point(Organization::Mesh);
+        let rec = run_point(&p);
+        assert_eq!(rec.status, "ok");
+        // Requests and responses both flow at the default 50/50 mix;
+        // the generator emits no coherence traffic.
+        assert!(rec.classes[0].max > 0, "request class must deliver");
+        assert!(rec.classes[2].max > 0, "response class must deliver");
+        assert_eq!(rec.classes[1], ClassLatency::default());
+        for c in rec.classes {
+            assert!(c.p50 <= c.p95 && c.p95 <= c.p99 && c.p99 <= c.max);
+        }
+        let worst = rec.classes.iter().map(|c| c.max).max().unwrap_or(0);
+        assert_eq!(worst, rec.max_latency, "class maxima partition the total");
+    }
+
+    #[test]
+    fn bursty_shaped_points_are_deterministic() {
+        let mut p = tiny_point(Organization::Mesh);
+        p.injection = InjectionProcess::OnOff {
+            on_len: 8,
+            off_len: 56,
+        };
+        p.token_buckets[2] = Some(TokenBucketCfg {
+            rate: 0.5,
+            burst: 10,
+        });
+        let a = run_point(&p);
+        assert_eq!(a.status, "ok");
+        assert_eq!(a.injection, "onoff:8:56");
+        assert!(a.delivered > 0, "bursty point must deliver");
+        let b = run_point(&p);
+        assert_eq!(a, b, "bursty shaped points must re-run identically");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::point::{DigestSample, PointOutcome, PointRecord};
+use crate::point::{ClassLatency, DigestSample, PointOutcome, PointRecord};
 
 /// A journal byte stream that cannot be decoded.
 #[must_use]
@@ -178,11 +178,17 @@ pub fn parse_start_line(line: &str) -> Option<usize> {
 /// serialisation under their own integrity digest.
 pub fn point_line(outcome: &PointOutcome) -> String {
     let r = &outcome.record;
+    let classes: Vec<String> = r
+        .classes
+        .iter()
+        .map(|c| format!("{}\t{}\t{}\t{}", c.p50, c.p95, c.p99, c.max))
+        .collect();
     format!(
-        "point\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{:016x}\t{:016x}\t{}\t{}",
+        "point\t{}\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{:016x}\t{:016x}\t{}\t{}\t{}",
         r.index,
         escape(&r.org),
         escape(&r.pattern),
+        escape(&r.injection),
         r.rate.to_bits(),
         r.radix,
         r.vc_depth,
@@ -202,6 +208,7 @@ pub fn point_line(outcome: &PointOutcome) -> String {
         r.max_latency,
         r.avg_hops.to_bits(),
         r.throughput.to_bits(),
+        classes.join("\t"),
         escape(&r.digest),
         trail_field(&outcome.trail),
     )
@@ -210,38 +217,48 @@ pub fn point_line(outcome: &PointOutcome) -> String {
 /// Parses one completed-point journal line (without its newline).
 pub fn parse_point_line(line: &str) -> Option<PointOutcome> {
     let fields: Vec<&str> = line.split('\t').collect();
-    if fields.len() != 25 || fields[0] != "point" {
+    if fields.len() != 38 || fields[0] != "point" {
         return None;
     }
     let f64_at = |i: usize| -> Option<f64> {
         Some(f64::from_bits(u64::from_str_radix(fields[i], 16).ok()?))
     };
+    let class_at = |i: usize| -> Option<ClassLatency> {
+        Some(ClassLatency {
+            p50: fields[i].parse().ok()?,
+            p95: fields[i + 1].parse().ok()?,
+            p99: fields[i + 2].parse().ok()?,
+            max: fields[i + 3].parse().ok()?,
+        })
+    };
     let record = PointRecord {
         index: fields[1].parse().ok()?,
         org: unescape(fields[2]),
         pattern: unescape(fields[3]),
-        rate: f64_at(4)?,
-        radix: fields[5].parse().ok()?,
-        vc_depth: fields[6].parse().ok()?,
-        hpc: fields[7].parse().ok()?,
-        fault: unescape(fields[8]),
-        sample: fields[9].parse().ok()?,
-        seed: fields[10].parse().ok()?,
-        status: unescape(fields[11]),
-        attempts: fields[12].parse().ok()?,
-        injected: fields[13].parse().ok()?,
-        delivered: fields[14].parse().ok()?,
-        undrained: fields[15].parse().ok()?,
-        avg_latency: f64_at(16)?,
-        p50: fields[17].parse().ok()?,
-        p95: fields[18].parse().ok()?,
-        p99: fields[19].parse().ok()?,
-        max_latency: fields[20].parse().ok()?,
-        avg_hops: f64_at(21)?,
-        throughput: f64_at(22)?,
-        digest: unescape(fields[23]),
+        injection: unescape(fields[4]),
+        rate: f64_at(5)?,
+        radix: fields[6].parse().ok()?,
+        vc_depth: fields[7].parse().ok()?,
+        hpc: fields[8].parse().ok()?,
+        fault: unescape(fields[9]),
+        sample: fields[10].parse().ok()?,
+        seed: fields[11].parse().ok()?,
+        status: unescape(fields[12]),
+        attempts: fields[13].parse().ok()?,
+        injected: fields[14].parse().ok()?,
+        delivered: fields[15].parse().ok()?,
+        undrained: fields[16].parse().ok()?,
+        avg_latency: f64_at(17)?,
+        p50: fields[18].parse().ok()?,
+        p95: fields[19].parse().ok()?,
+        p99: fields[20].parse().ok()?,
+        max_latency: fields[21].parse().ok()?,
+        avg_hops: f64_at(22)?,
+        throughput: f64_at(23)?,
+        classes: [class_at(24)?, class_at(28)?, class_at(32)?],
+        digest: unescape(fields[36]),
     };
-    let trail = parse_trail(fields[24])?;
+    let trail = parse_trail(fields[37])?;
     Some(PointOutcome { record, trail })
 }
 

@@ -11,10 +11,13 @@ use nistats::Json;
 
 use crate::point::PointRecord;
 
-/// The CSV header row (no trailing newline).
-pub const CSV_HEADER: &str = "index,org,pattern,rate,radix,vc_depth,hpc,fault,sample,seed,status,\
-     attempts,injected,delivered,undrained,avg_latency,p50,p95,p99,max_latency,avg_hops,\
-     throughput,digest";
+/// The CSV header row (no trailing newline). The twelve `req_*`/`coh_*`/
+/// `rsp_*` columns are the per-class latency summaries QoS sweeps and
+/// `--check-bounds` consume.
+pub const CSV_HEADER: &str = "index,org,pattern,injection,rate,radix,vc_depth,hpc,fault,sample,\
+     seed,status,attempts,injected,delivered,undrained,avg_latency,p50,p95,p99,max_latency,\
+     avg_hops,throughput,req_p50,req_p95,req_p99,req_max,coh_p50,coh_p95,coh_p99,coh_max,\
+     rsp_p50,rsp_p95,rsp_p99,rsp_max,digest";
 
 /// Fixed-precision float formatting shared by the CSV and JSON writers.
 fn fmt_f64(v: f64) -> String {
@@ -23,11 +26,17 @@ fn fmt_f64(v: f64) -> String {
 
 /// Formats one record as a CSV row (no trailing newline).
 pub fn csv_row(r: &PointRecord) -> String {
+    let classes: Vec<String> = r
+        .classes
+        .iter()
+        .map(|c| format!("{},{},{},{}", c.p50, c.p95, c.p99, c.max))
+        .collect();
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         r.index,
         r.org,
         r.pattern,
+        r.injection,
         fmt_f64(r.rate),
         r.radix,
         r.vc_depth,
@@ -47,6 +56,7 @@ pub fn csv_row(r: &PointRecord) -> String {
         r.max_latency,
         fmt_f64(r.avg_hops),
         fmt_f64(r.throughput),
+        classes.join(","),
         r.digest,
     )
 }
@@ -107,6 +117,7 @@ pub fn to_json(sweep: &str, records: &[PointRecord]) -> Json {
                 ("index".to_string(), Json::UInt(r.index as u64)),
                 ("org".to_string(), Json::from(r.org.as_str())),
                 ("pattern".to_string(), Json::from(r.pattern.as_str())),
+                ("injection".to_string(), Json::from(r.injection.as_str())),
                 ("rate".to_string(), Json::Float(r.rate)),
                 ("radix".to_string(), Json::UInt(u64::from(r.radix))),
                 ("vc_depth".to_string(), Json::UInt(u64::from(r.vc_depth))),
@@ -126,6 +137,22 @@ pub fn to_json(sweep: &str, records: &[PointRecord]) -> Json {
                 ("max_latency".to_string(), Json::UInt(r.max_latency)),
                 ("avg_hops".to_string(), Json::Float(r.avg_hops)),
                 ("throughput".to_string(), Json::Float(r.throughput)),
+                (
+                    "classes".to_string(),
+                    Json::Array(
+                        r.classes
+                            .iter()
+                            .map(|c| {
+                                Json::object(vec![
+                                    ("p50".to_string(), Json::UInt(c.p50)),
+                                    ("p95".to_string(), Json::UInt(c.p95)),
+                                    ("p99".to_string(), Json::UInt(c.p99)),
+                                    ("max".to_string(), Json::UInt(c.max)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
                 ("digest".to_string(), Json::from(r.digest.as_str())),
             ])
         })

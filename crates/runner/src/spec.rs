@@ -10,7 +10,7 @@
 
 use nistats::Json;
 use noc::digest::StateDigest as _;
-use noc::traffic::Pattern;
+use noc::traffic::{InjectionProcess, Pattern, TokenBucketCfg};
 use noc::types::NodeId;
 
 use crate::org::Organization;
@@ -163,6 +163,66 @@ pub fn pattern_from_key(key: &str) -> Option<Pattern> {
     }
 }
 
+/// The valid [`pattern_from_key`] forms, for error messages.
+pub const PATTERN_KEYS: &str = "uniform, transpose, complement, core_to_llc, hotspot:<node>";
+
+/// The valid [`Organization::from_key`] keys, for error messages.
+pub const ORG_KEYS: &str = "mesh, smart, mesh_pra, ideal, frfc";
+
+/// The valid [`injection_from_key`] forms, for error messages.
+pub const INJECTION_KEYS: &str =
+    "bernoulli, onoff:<on_len>:<off_len>, mmpp:<boost>:<mean_dwell_lo>:<mean_dwell_hi>:<max_dwell_hi>";
+
+/// Stable machine-readable key for an injection process
+/// (`"bernoulli"`, `"onoff:<on>:<off>"`,
+/// `"mmpp:<boost>:<lo>:<hi>:<max>"` — boost at fixed 3-decimal
+/// precision so keys are byte-stable).
+pub fn injection_key(process: InjectionProcess) -> String {
+    match process {
+        InjectionProcess::Bernoulli => "bernoulli".to_string(),
+        InjectionProcess::OnOff { on_len, off_len } => format!("onoff:{on_len}:{off_len}"),
+        InjectionProcess::Mmpp {
+            boost,
+            mean_dwell_lo,
+            mean_dwell_hi,
+            max_dwell_hi,
+        } => {
+            // det:allow(no-lossy-float-format) — the dwell fields are u32
+            // cycle counts despite the `mean_` name; only `boost` is a
+            // float, and it prints at fixed precision.
+            format!("mmpp:{boost:.3}:{mean_dwell_lo}:{mean_dwell_hi}:{max_dwell_hi}")
+        }
+    }
+}
+
+/// Parses an [`injection_key`] string, validating the parameters.
+pub fn injection_from_key(key: &str) -> Option<InjectionProcess> {
+    let process = if key == "bernoulli" {
+        InjectionProcess::Bernoulli
+    } else if let Some(rest) = key.strip_prefix("onoff:") {
+        let (on, off) = rest.split_once(':')?;
+        InjectionProcess::OnOff {
+            on_len: on.parse().ok()?,
+            off_len: off.parse().ok()?,
+        }
+    } else if let Some(rest) = key.strip_prefix("mmpp:") {
+        let parts: Vec<&str> = rest.split(':').collect();
+        if parts.len() != 4 {
+            return None;
+        }
+        InjectionProcess::Mmpp {
+            boost: parts[0].parse().ok()?,
+            mean_dwell_lo: parts[1].parse().ok()?,
+            mean_dwell_hi: parts[2].parse().ok()?,
+            max_dwell_hi: parts[3].parse().ok()?,
+        }
+    } else {
+        return None;
+    };
+    process.validate().ok()?;
+    Some(process)
+}
+
 /// A full experiment grid plus measurement windows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
@@ -180,6 +240,9 @@ pub struct SweepSpec {
     pub orgs: Vec<Organization>,
     /// Traffic patterns to sweep.
     pub patterns: Vec<Pattern>,
+    /// Temporal injection processes to sweep (default: Bernoulli only,
+    /// which keeps legacy grids, indices and seeds unchanged).
+    pub injections: Vec<InjectionProcess>,
     /// Injection rates (packets/node/cycle) to sweep.
     pub rates: Vec<f64>,
     /// Mesh radices to sweep.
@@ -213,6 +276,12 @@ pub struct SweepSpec {
     /// (0 = digests off). Organisations without a digest implementation
     /// record an empty trail.
     pub digest_interval: u64,
+    /// Per-class arbitration priority (`[request, coherence, response]`,
+    /// higher wins; `None` = classic round-robin everywhere).
+    pub class_priority: Option<[u8; 3]>,
+    /// Per-class token-bucket shaping at the injection point
+    /// (`[request, coherence, response]`; `None` = class unshaped).
+    pub token_buckets: [Option<TokenBucketCfg>; 3],
 }
 
 impl SweepSpec {
@@ -227,6 +296,7 @@ impl SweepSpec {
             response_fraction: 0.5,
             orgs: vec![Organization::Mesh],
             patterns: vec![Pattern::UniformRandom],
+            injections: vec![InjectionProcess::Bernoulli],
             rates: vec![0.02],
             radices: vec![8],
             vc_depths: vec![5],
@@ -238,6 +308,8 @@ impl SweepSpec {
             max_retries: 0,
             backoff_ms: 0,
             digest_interval: 0,
+            class_priority: None,
+            token_buckets: [None, None, None],
         }
     }
 
@@ -256,6 +328,24 @@ impl SweepSpec {
     /// Sets the traffic patterns (builder style).
     pub fn patterns(mut self, patterns: &[Pattern]) -> Self {
         self.patterns = patterns.to_vec();
+        self
+    }
+
+    /// Sets the injection processes (builder style).
+    pub fn injections(mut self, injections: &[InjectionProcess]) -> Self {
+        self.injections = injections.to_vec();
+        self
+    }
+
+    /// Sets the per-class arbitration priority (builder style).
+    pub fn class_priority(mut self, priority: [u8; 3]) -> Self {
+        self.class_priority = Some(priority);
+        self
+    }
+
+    /// Sets the per-class token-bucket shapers (builder style).
+    pub fn token_buckets(mut self, buckets: [Option<TokenBucketCfg>; 3]) -> Self {
+        self.token_buckets = buckets;
         self
     }
 
@@ -334,6 +424,29 @@ impl SweepSpec {
         h.write_u64(u64::from(self.samples));
         h.write_u64(self.cycle_budget);
         h.write_u64(self.digest_interval);
+        h.write_usize(self.injections.len());
+        for &p in &self.injections {
+            h.write_bytes(injection_key(p).as_bytes());
+        }
+        match self.class_priority {
+            Some(p) => {
+                h.write_u8(1);
+                for x in p {
+                    h.write_u8(x);
+                }
+            }
+            None => h.write_u8(0),
+        }
+        for b in &self.token_buckets {
+            match b {
+                Some(cfg) => {
+                    h.write_u8(1);
+                    h.write_u64(cfg.rate.to_bits());
+                    h.write_u32(cfg.burst);
+                }
+                None => h.write_u8(0),
+            }
+        }
         // wall_budget_ms, max_retries and backoff_ms are deliberately
         // excluded: they change *how* points run, never *what* a
         // completed point's record means, so a resume may tighten or
@@ -345,6 +458,7 @@ impl SweepSpec {
     pub fn len(&self) -> usize {
         self.orgs.len()
             * self.patterns.len()
+            * self.injections.len()
             * self.rates.len()
             * self.radices.len()
             * self.vc_depths.len()
@@ -359,41 +473,48 @@ impl SweepSpec {
     }
 
     /// Expands the grid in its canonical order — organisation outermost,
-    /// then pattern, rate, radix, VC depth, hops-per-cycle, fault plan,
-    /// and sample innermost. The order (not the thread count) defines
-    /// each point's index and therefore its derived seed.
+    /// then pattern, injection process, rate, radix, VC depth,
+    /// hops-per-cycle, fault plan, and sample innermost. The order (not
+    /// the thread count) defines each point's index and therefore its
+    /// derived seed. A spec with the default single-Bernoulli injection
+    /// axis expands to exactly the pre-QoS grid.
     pub fn points(&self) -> Vec<PointSpec> {
         let mut out = Vec::with_capacity(self.len());
         for &org in &self.orgs {
             for &pattern in &self.patterns {
-                for &rate in &self.rates {
-                    for &radix in &self.radices {
-                        for &vc_depth in &self.vc_depths {
-                            for &hpc in &self.hpcs {
-                                for fault in &self.faults {
-                                    for sample in 0..self.samples {
-                                        let index = out.len();
-                                        out.push(PointSpec {
-                                            index,
-                                            org,
-                                            pattern,
-                                            rate,
-                                            radix,
-                                            vc_depth,
-                                            hpc,
-                                            fault: fault.clone(),
-                                            sample,
-                                            seed: derive_seed(self.base_seed, index as u64, 0),
-                                            base_seed: self.base_seed,
-                                            warmup: self.warmup,
-                                            measure: self.measure,
-                                            response_fraction: self.response_fraction,
-                                            cycle_budget: self.cycle_budget,
-                                            wall_budget_ms: self.wall_budget_ms,
-                                            max_retries: self.max_retries,
-                                            backoff_ms: self.backoff_ms,
-                                            digest_interval: self.digest_interval,
-                                        });
+                for &injection in &self.injections {
+                    for &rate in &self.rates {
+                        for &radix in &self.radices {
+                            for &vc_depth in &self.vc_depths {
+                                for &hpc in &self.hpcs {
+                                    for fault in &self.faults {
+                                        for sample in 0..self.samples {
+                                            let index = out.len();
+                                            out.push(PointSpec {
+                                                index,
+                                                org,
+                                                pattern,
+                                                injection,
+                                                rate,
+                                                radix,
+                                                vc_depth,
+                                                hpc,
+                                                fault: fault.clone(),
+                                                sample,
+                                                seed: derive_seed(self.base_seed, index as u64, 0),
+                                                base_seed: self.base_seed,
+                                                warmup: self.warmup,
+                                                measure: self.measure,
+                                                response_fraction: self.response_fraction,
+                                                cycle_budget: self.cycle_budget,
+                                                wall_budget_ms: self.wall_budget_ms,
+                                                max_retries: self.max_retries,
+                                                backoff_ms: self.backoff_ms,
+                                                digest_interval: self.digest_interval,
+                                                class_priority: self.class_priority,
+                                                token_buckets: self.token_buckets,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -441,14 +562,20 @@ impl SweepSpec {
             spec.samples = u32::try_from(n).map_or_else(|_| err("samples exceeds u32"), Ok)?;
         }
         if let Some(v) = json.get("orgs") {
-            spec.orgs = parse_list(v, "orgs", |item| {
-                item.as_str().and_then(Organization::from_key)
-            })?;
+            spec.orgs = parse_keyed_list(v, "orgs", ORG_KEYS, Organization::from_key)?;
         }
         if let Some(v) = json.get("patterns") {
-            spec.patterns = parse_list(v, "patterns", |item| {
-                item.as_str().and_then(pattern_from_key)
-            })?;
+            spec.patterns = parse_keyed_list(v, "patterns", PATTERN_KEYS, pattern_from_key)?;
+        }
+        if let Some(v) = json.get("injections") {
+            spec.injections =
+                parse_keyed_list(v, "injections", INJECTION_KEYS, injection_from_key)?;
+        }
+        if let Some(v) = json.get("class_priority") {
+            spec.class_priority = Some(parse_class_priority(v)?);
+        }
+        if let Some(v) = json.get("token_buckets") {
+            spec.token_buckets = parse_token_buckets(v)?;
         }
         if let Some(v) = json.get("rates") {
             spec.rates = parse_list(v, "rates", |item| {
@@ -522,6 +649,78 @@ fn parse_list<T>(
         match item(x) {
             Some(parsed) => out.push(parsed),
             None => return err(format!("field \"{field}\"[{i}] is malformed")),
+        }
+    }
+    Ok(out)
+}
+
+/// Like [`parse_list`] for lists of string keys, but a rejected entry is
+/// named verbatim and the error lists every valid form — so a typo'd
+/// organisation or pattern in a spec reads as "unknown value" with the
+/// menu, not a bare "malformed".
+fn parse_keyed_list<T>(
+    v: &Json,
+    field: &str,
+    valid: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<T>, SpecError> {
+    let Some(items) = v.as_array() else {
+        return err(format!("field \"{field}\" must be an array"));
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for (i, x) in items.iter().enumerate() {
+        let Some(key) = x.as_str() else {
+            return err(format!(
+                "field \"{field}\"[{i}] must be a string (valid values: {valid})"
+            ));
+        };
+        match parse(key) {
+            Some(parsed) => out.push(parsed),
+            None => {
+                return err(format!(
+                    "field \"{field}\"[{i}]: unknown value {key:?} (valid values: {valid})"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses `"class_priority": [req, coh, rsp]` (three small integers,
+/// higher wins).
+fn parse_class_priority(v: &Json) -> Result<[u8; 3], SpecError> {
+    let parsed = parse_list(v, "class_priority", |item| {
+        item.as_u64().and_then(|p| u8::try_from(p).ok())
+    })?;
+    <[u8; 3]>::try_from(parsed).map_or_else(
+        |_| err("field \"class_priority\" must have exactly 3 entries [request, coherence, response]"),
+        Ok,
+    )
+}
+
+/// Parses `"token_buckets": {"request": {"rate": R, "burst": B}, ...}`
+/// (class names `request`/`coherence`/`response`; absent classes stay
+/// unshaped).
+fn parse_token_buckets(v: &Json) -> Result<[Option<TokenBucketCfg>; 3], SpecError> {
+    let mut out = [None, None, None];
+    for (vc, class) in ["request", "coherence", "response"].iter().enumerate() {
+        let Some(entry) = v.get(class) else { continue };
+        let rate = entry
+            .get("rate")
+            .and_then(Json::as_f64)
+            .filter(|r| r.is_finite() && *r >= 0.0);
+        let burst = entry
+            .get("burst")
+            .and_then(Json::as_u64)
+            .and_then(|b| u32::try_from(b).ok());
+        match (rate, burst) {
+            (Some(rate), Some(burst)) => out[vc] = Some(TokenBucketCfg { rate, burst }),
+            _ => {
+                return err(format!(
+                    "field \"token_buckets\".{class} needs a finite non-negative \
+                     \"rate\" and a u32 \"burst\""
+                ))
+            }
         }
     }
     Ok(out)
@@ -645,6 +844,88 @@ mod tests {
         assert!(empty.to_string().contains("empty"));
         let garbage = SweepSpec::from_json_str("not json").expect_err("parse error");
         assert!(garbage.to_string().contains("JSON"));
+    }
+
+    #[test]
+    fn unknown_keys_name_the_value_and_list_the_valid_ones() {
+        let bad_org = SweepSpec::from_json_str(r#"{"name":"x","orgs":["warp"]}"#)
+            .expect_err("unknown organisation")
+            .to_string();
+        assert!(bad_org.contains("\"warp\""), "{bad_org}");
+        assert!(bad_org.contains("mesh_pra"), "{bad_org}");
+        let bad_pattern = SweepSpec::from_json_str(r#"{"name":"x","patterns":["spiral"]}"#)
+            .expect_err("unknown pattern")
+            .to_string();
+        assert!(bad_pattern.contains("\"spiral\""), "{bad_pattern}");
+        assert!(bad_pattern.contains("hotspot:<node>"), "{bad_pattern}");
+        let bad_inj = SweepSpec::from_json_str(r#"{"name":"x","injections":["poisson"]}"#)
+            .expect_err("unknown injection process")
+            .to_string();
+        assert!(bad_inj.contains("\"poisson\""), "{bad_inj}");
+        assert!(bad_inj.contains("onoff:<on_len>:<off_len>"), "{bad_inj}");
+        // An invalid parameterisation (on_len 0) is rejected the same way.
+        let bad_param = SweepSpec::from_json_str(r#"{"name":"x","injections":["onoff:0:7"]}"#)
+            .expect_err("invalid on_len")
+            .to_string();
+        assert!(bad_param.contains("\"onoff:0:7\""), "{bad_param}");
+    }
+
+    #[test]
+    fn injection_keys_round_trip() {
+        for p in [
+            InjectionProcess::Bernoulli,
+            InjectionProcess::OnOff {
+                on_len: 8,
+                off_len: 56,
+            },
+            InjectionProcess::Mmpp {
+                boost: 6.5,
+                mean_dwell_lo: 100,
+                mean_dwell_hi: 8,
+                max_dwell_hi: 12,
+            },
+        ] {
+            assert_eq!(injection_from_key(&injection_key(p)), Some(p));
+        }
+        assert_eq!(injection_from_key("onoff:8"), None);
+        assert_eq!(injection_from_key("mmpp:0.5:1:1:1"), None, "boost ≤ 1");
+        assert_eq!(injection_from_key("poisson"), None);
+    }
+
+    #[test]
+    fn qos_fields_parse_and_reshape_the_grid() {
+        let text = r#"{
+            "name": "qos",
+            "injections": ["bernoulli", "onoff:8:56"],
+            "class_priority": [0, 1, 2],
+            "token_buckets": {"response": {"rate": 0.25, "burst": 10}}
+        }"#;
+        let spec = SweepSpec::from_json_str(text).expect("valid spec");
+        assert_eq!(spec.injections.len(), 2);
+        assert_eq!(spec.class_priority, Some([0, 1, 2]));
+        assert_eq!(
+            spec.token_buckets[2],
+            Some(TokenBucketCfg {
+                rate: 0.25,
+                burst: 10
+            })
+        );
+        assert_eq!(spec.token_buckets[0], None);
+        // The injection axis multiplies the grid and sits between
+        // pattern and rate.
+        assert_eq!(spec.len(), 2);
+        let pts = spec.points();
+        assert_eq!(pts[0].injection, InjectionProcess::Bernoulli);
+        assert_eq!(
+            pts[1].injection,
+            InjectionProcess::OnOff {
+                on_len: 8,
+                off_len: 56
+            }
+        );
+        // QoS fields change the spec hash (journals must refuse to mix).
+        let plain = SweepSpec::from_json_str(r#"{"name":"qos"}"#).expect("valid");
+        assert_ne!(spec.spec_hash(), plain.spec_hash());
     }
 
     #[test]

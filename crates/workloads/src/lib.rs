@@ -21,5 +21,7 @@
 pub mod profile;
 pub mod stream;
 
-pub use profile::{WorkloadKind, WorkloadProfile, WorkloadProfileBuilder};
+pub use profile::{
+    BurstShape, WorkloadKind, WorkloadProfile, WorkloadProfileBuilder, WORKLOAD_KEYS,
+};
 pub use stream::{CoreStream, InstrEvent};

@@ -124,6 +124,48 @@ impl WorkloadKind {
     pub fn is_batch(self) -> bool {
         matches!(self, WorkloadKind::MapReduce | WorkloadKind::SatSolver)
     }
+
+    /// Stable machine-readable key (CLI flags, sweep specs).
+    pub fn key(self) -> &'static str {
+        match self {
+            WorkloadKind::DataServing => "data_serving",
+            WorkloadKind::MapReduce => "mapreduce",
+            WorkloadKind::MediaStreaming => "media_streaming",
+            WorkloadKind::SatSolver => "sat_solver",
+            WorkloadKind::WebFrontend => "web_frontend",
+            WorkloadKind::WebSearch => "web_search",
+        }
+    }
+
+    /// Parses a [`WorkloadKind::key`] string (see [`WORKLOAD_KEYS`]).
+    pub fn from_key(key: &str) -> Option<WorkloadKind> {
+        WorkloadKind::ALL.into_iter().find(|k| k.key() == key)
+    }
+}
+
+/// The valid [`WorkloadKind::from_key`] keys, for CLI error messages.
+pub const WORKLOAD_KEYS: &str =
+    "data_serving, mapreduce, media_streaming, sat_solver, web_frontend, web_search";
+
+/// LLC round-trip latency (cycles) of the paper's 16×16 mesh at low
+/// load — the stall between miss bursts that sets the off-phase of the
+/// derived on-off injection shape (Section III: ~30-cycle average LLC
+/// access over the mesh).
+const LLC_ROUND_TRIP_CYCLES: u32 = 30;
+
+/// A per-workload bursty injection shape: `on_len` cycles of
+/// back-to-back LLC traffic followed by `off_len` idle cycles.
+///
+/// The numbers are plain cycle counts so this crate stays free of `noc`
+/// types; callers map the pair onto `noc::traffic::InjectionProcess::
+/// OnOff`. The long-run rate is unchanged by the shape (the generator
+/// scales the on-phase rate to preserve the mean).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstShape {
+    /// Burst (on-phase) length in cycles; always ≥ 1.
+    pub on_len: u32,
+    /// Idle (off-phase) length in cycles.
+    pub off_len: u32,
 }
 
 /// Per-workload behavioural parameters.
@@ -183,6 +225,22 @@ impl WorkloadProfile {
     pub fn coherence_prob(&self) -> f64 {
         self.coherence_per_kilo_instr / 1000.0
     }
+
+    /// The workload's bursty injection shape for synthetic QoS studies.
+    ///
+    /// A core with memory-level parallelism `m` issues up to `m`
+    /// overlapped misses back-to-back (the burst), then stalls for an
+    /// LLC round trip before the next cluster — so `on_len = mlp` and
+    /// `off_len` is the mesh LLC round-trip. Media Streaming (MLP 1)
+    /// therefore degenerates toward near-steady injection while
+    /// MapReduce (MLP 6) produces the longest bursts, matching the
+    /// workload ordering of Section V.A.
+    pub fn burst_shape(&self) -> BurstShape {
+        BurstShape {
+            on_len: u32::from(self.mlp.max(1)),
+            off_len: LLC_ROUND_TRIP_CYCLES,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +284,30 @@ mod tests {
             assert!(p.i_miss_prob() < 0.05);
             assert!(p.d_miss_prob() < 0.05);
             assert!(p.coherence_prob() < 0.01);
+        }
+    }
+
+    #[test]
+    fn keys_round_trip_and_are_all_listed() {
+        for kind in WorkloadKind::ALL {
+            assert_eq!(WorkloadKind::from_key(kind.key()), Some(kind));
+            assert!(WORKLOAD_KEYS.contains(kind.key()), "{:?}", kind);
+        }
+        assert_eq!(WorkloadKind::from_key("quake"), None);
+    }
+
+    #[test]
+    fn burst_shapes_track_mlp() {
+        for kind in WorkloadKind::ALL {
+            let shape = kind.profile().burst_shape();
+            assert!(shape.on_len >= 1);
+            assert!(shape.off_len >= 1);
+            assert_eq!(shape.on_len, u32::from(kind.profile().mlp));
+        }
+        // Media Streaming (lowest MLP) has the shortest burst of all.
+        let ms = WorkloadKind::MediaStreaming.profile().burst_shape();
+        for kind in WorkloadKind::ALL {
+            assert!(ms.on_len <= kind.profile().burst_shape().on_len);
         }
     }
 
