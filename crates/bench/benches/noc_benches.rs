@@ -108,10 +108,45 @@ fn obs_overhead() {
     bench_case("obs_overhead_1k_cycles", "recorder", || run(true));
 }
 
+/// Driver-loop observation overhead: the point driver batches digest
+/// sampling, cycle budgets and cancellation polling behind a single
+/// precomputed next-event cycle (`CycleGate` in `runner::point`), so a
+/// run with everything disabled pays one branch per cycle. The three
+/// cases pin that design: fully disabled, digests every 64 cycles, and
+/// a (generous) wall budget that arms coarse cancel polling. The
+/// disabled case regressing toward the enabled ones means per-cycle
+/// work leaked out from behind the gate.
+fn driver_poll_overhead() {
+    use runner::{run_point_full, Organization as Org, SweepSpec};
+    let base = || {
+        SweepSpec::new("bench-driver")
+            .orgs(&[Org::Mesh])
+            .windows(100, 900)
+            .points()
+            .remove(0)
+    };
+    bench_case("driver_poll_1k_cycles", "disabled", || {
+        let p = base();
+        run_point_full(&p).record.delivered
+    });
+    bench_case("driver_poll_1k_cycles", "digest-64", || {
+        let mut p = base();
+        p.digest_interval = 64;
+        let out = run_point_full(&p);
+        out.record.delivered + out.trail.len() as u64
+    });
+    bench_case("driver_poll_1k_cycles", "wall-poll", || {
+        let mut p = base();
+        p.wall_budget_ms = 3_600_000; // arms cancel polling, never trips
+        run_point_full(&p).record.delivered
+    });
+}
+
 fn main() {
     simulator_throughput();
     zero_load_delivery();
     full_system_cycle();
+    driver_poll_overhead();
     #[cfg(feature = "obs")]
     obs_overhead();
 }

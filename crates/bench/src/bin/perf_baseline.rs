@@ -15,7 +15,8 @@
 
 use std::time::Instant;
 
-use bench::{build_network, Organization};
+use bench::gate::Throughputs;
+use bench::{with_network, NetVisitor, Organization};
 use niobs::MetricsRegistry;
 use nistats::Json;
 use noc::config::{NocConfig, NocConfigBuilder};
@@ -34,6 +35,7 @@ struct Options {
     trace_out: Option<String>,
     gate: Option<String>,
     gate_tolerance: f64,
+    gate_floor: f64,
 }
 
 impl Default for Options {
@@ -49,6 +51,7 @@ impl Default for Options {
             trace_out: Some("pra.trace.json".to_string()),
             gate: None,
             gate_tolerance: 0.25,
+            gate_floor: 0.6,
         }
     }
 }
@@ -71,11 +74,15 @@ USAGE: perf_baseline [OPTIONS]
   --no-trace         skip the Chrome-trace export
   --gate FILE        regression gate: compare this run's
                      relative simulator throughput (PRA
-                     cycles/sec ÷ mesh cycles/sec) against a
-                     committed result file; exit 5 when it
-                     regresses beyond the tolerance
+                     cycles/sec ÷ mesh cycles/sec) AND each
+                     org's absolute cycles/sec against a
+                     committed result file; exit 5 when
+                     either regresses beyond its tolerance
   --gate-tolerance F allowed relative-throughput regression
                      before --gate fails                [0.25]
+  --gate-floor F     absolute floor as a fraction of the
+                     committed cycles/sec (0 disables the
+                     absolute check)                    [0.6]
   --help             this text
 ";
 
@@ -115,6 +122,12 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--gate-tolerance must be in [0, 1)".to_string());
                 }
             }
+            "--gate-floor" => {
+                opts.gate_floor = value.parse().map_err(|_| "bad --gate-floor".to_string())?;
+                if !(0.0..1.0).contains(&opts.gate_floor) {
+                    return Err("--gate-floor must be in [0, 1)".to_string());
+                }
+            }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
@@ -139,23 +152,24 @@ fn cycles_per_sec_of(doc: &Json, org: &str) -> Option<f64> {
         .as_f64()
 }
 
-/// The cycles/sec regression gate. Absolute cycles/sec varies with the
-/// machine CI happens to land on, so the gated quantity is the *ratio*
-/// of PRA to baseline-mesh simulator throughput within one run — host
-/// speed cancels out, and a PRA-side slowdown (the thing ROADMAP item 1
-/// wants pinned) still moves the ratio. Returns an error message when
-/// the gate cannot be evaluated or the ratio regressed beyond
-/// `tolerance`.
-fn check_gate(runs: &[RunResult], baseline_path: &str, tolerance: f64) -> Result<(), String> {
+/// The cycles/sec regression gate: the relative PRA/mesh ratio plus the
+/// absolute per-organisation floor (see [`bench::gate`] for why both
+/// checks exist). Returns an error message when the gate cannot be
+/// evaluated or either check regressed beyond its tolerance.
+fn check_gate(
+    runs: &[RunResult],
+    baseline_path: &str,
+    tolerance: f64,
+    floor_fraction: f64,
+) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("bad JSON in {baseline_path}: {e}"))?;
-    let ratio_of = |mesh: f64, pra: f64| if mesh > 0.0 { pra / mesh } else { 0.0 };
     let committed = match (
         cycles_per_sec_of(&doc, "baseline-mesh"),
         cycles_per_sec_of(&doc, "pra"),
     ) {
-        (Some(mesh), Some(pra)) => ratio_of(mesh, pra),
+        (Some(mesh), Some(pra)) => Throughputs { mesh, pra },
         _ => {
             return Err(format!(
                 "{baseline_path} has no baseline-mesh/pra cycles_per_sec runs"
@@ -165,20 +179,15 @@ fn check_gate(runs: &[RunResult], baseline_path: &str, tolerance: f64) -> Result
     let mesh = runs.iter().find(|r| r.name == "baseline-mesh");
     let pra = runs.iter().find(|r| r.name == "pra");
     let fresh = match (mesh, pra) {
-        (Some(m), Some(p)) => ratio_of(m.cycles_per_sec(), p.cycles_per_sec()),
+        (Some(m), Some(p)) => Throughputs {
+            mesh: m.cycles_per_sec(),
+            pra: p.cycles_per_sec(),
+        },
         _ => return Err("this run is missing a baseline-mesh or pra result".to_string()),
     };
-    let floor = committed * (1.0 - tolerance);
-    println!(
-        "gate: pra/mesh cycles-per-sec ratio {fresh:.3} vs committed {committed:.3} \
-         (floor {floor:.3}, tolerance {tolerance:.2})"
-    );
-    if fresh < floor {
-        return Err(format!(
-            "relative simulator throughput regressed: pra/mesh ratio {fresh:.3} \
-             is below {floor:.3} ({committed:.3} from {baseline_path} minus \
-             {tolerance:.2} tolerance)"
-        ));
+    let report = bench::gate::check(committed, fresh, tolerance, floor_fraction)?;
+    for line in &report.lines {
+        println!("{line}");
     }
     Ok(())
 }
@@ -230,6 +239,95 @@ impl RunResult {
     }
 }
 
+/// One organisation's measurement loop, monomorphized per network type
+/// (see [`bench::with_network`]) so the cycles/sec being measured is the
+/// statically-dispatched driver sweeps actually run.
+struct BaselineRun<'a> {
+    name: &'static str,
+    cfg: &'a NocConfig,
+    opts: &'a Options,
+    trace_out: Option<&'a str>,
+}
+
+impl NetVisitor for BaselineRun<'_> {
+    type Out = RunResult;
+
+    fn visit<N: Network>(self, mut net: N) -> RunResult {
+        let (name, cfg, opts, trace_out) = (self.name, self.cfg, self.opts, self.trace_out);
+        #[cfg(feature = "obs")]
+        let recorder = trace_out.map(|_| {
+            let rec = niobs::Recorder::default().into_shared();
+            net.install_obs(rec.clone());
+            rec
+        });
+        #[cfg(not(feature = "obs"))]
+        let _ = trace_out;
+
+        let mut metrics = MetricsRegistry::new();
+        let mut delivered = 0u64;
+        let mut buf: Vec<noc::network::Delivered> = Vec::new();
+        let mut gen = TrafficGen::new(cfg.clone(), Pattern::UniformRandom, opts.rate, opts.seed);
+        let sim_cycles = opts.warmup + opts.cycles;
+        let wall = Instant::now();
+        for _ in 0..opts.warmup {
+            gen.tick(&mut net);
+            net.step();
+            net.drain_delivered_into(&mut buf);
+            for d in buf.drain(..) {
+                delivered += 1;
+                metrics.observe(
+                    "packet.latency_cycles",
+                    d.delivered.saturating_sub(d.packet.created),
+                );
+            }
+        }
+        if !opts.include_warmup {
+            // The measured window opens here; warm-up deliveries are dropped.
+            net.reset_stats();
+            metrics.begin_epoch();
+            delivered = 0;
+        }
+        for _ in 0..opts.cycles {
+            gen.tick(&mut net);
+            net.step();
+            net.drain_delivered_into(&mut buf);
+            for d in buf.drain(..) {
+                delivered += 1;
+                metrics.observe(
+                    "packet.latency_cycles",
+                    d.delivered.saturating_sub(d.packet.created),
+                );
+            }
+        }
+        let wall_seconds = wall.elapsed().as_secs_f64();
+        let window_cycles = if opts.include_warmup {
+            sim_cycles
+        } else {
+            opts.cycles
+        };
+
+        #[cfg(feature = "obs")]
+        if let (Some(path), Some(rec)) = (trace_out, &recorder) {
+            match bench::write_chrome_trace(&rec.borrow(), path) {
+                Ok(()) => eprintln!("trace written to {path}"),
+                Err(e) => {
+                    eprintln!("perf_baseline: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+
+        RunResult {
+            name,
+            metrics,
+            delivered,
+            window_cycles,
+            sim_cycles,
+            wall_seconds,
+        }
+    }
+}
+
 /// Runs one organisation start-to-finish; `trace_out` (PRA only, `obs`
 /// builds only) additionally captures and writes a Chrome trace.
 fn run_one(
@@ -239,75 +337,16 @@ fn run_one(
     opts: &Options,
     trace_out: Option<&str>,
 ) -> RunResult {
-    let mut net = build_network(org, cfg.clone());
-    #[cfg(feature = "obs")]
-    let recorder = trace_out.map(|_| {
-        let rec = niobs::Recorder::default().into_shared();
-        net.install_obs(rec.clone());
-        rec
-    });
-    #[cfg(not(feature = "obs"))]
-    let _ = trace_out;
-
-    let mut metrics = MetricsRegistry::new();
-    let mut delivered = 0u64;
-    let mut gen = TrafficGen::new(cfg.clone(), Pattern::UniformRandom, opts.rate, opts.seed);
-    let sim_cycles = opts.warmup + opts.cycles;
-    let wall = Instant::now();
-    for _ in 0..opts.warmup {
-        gen.tick(&mut net);
-        net.step();
-        for d in net.drain_delivered() {
-            delivered += 1;
-            metrics.observe(
-                "packet.latency_cycles",
-                d.delivered.saturating_sub(d.packet.created),
-            );
-        }
-    }
-    if !opts.include_warmup {
-        // The measured window opens here; warm-up deliveries are dropped.
-        net.reset_stats();
-        metrics.begin_epoch();
-        delivered = 0;
-    }
-    for _ in 0..opts.cycles {
-        gen.tick(&mut net);
-        net.step();
-        for d in net.drain_delivered() {
-            delivered += 1;
-            metrics.observe(
-                "packet.latency_cycles",
-                d.delivered.saturating_sub(d.packet.created),
-            );
-        }
-    }
-    let wall_seconds = wall.elapsed().as_secs_f64();
-    let window_cycles = if opts.include_warmup {
-        sim_cycles
-    } else {
-        opts.cycles
-    };
-
-    #[cfg(feature = "obs")]
-    if let (Some(path), Some(rec)) = (trace_out, &recorder) {
-        match bench::write_chrome_trace(&rec.borrow(), path) {
-            Ok(()) => eprintln!("trace written to {path}"),
-            Err(e) => {
-                eprintln!("perf_baseline: cannot write {path}: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
-
-    RunResult {
-        name,
-        metrics,
-        delivered,
-        window_cycles,
-        sim_cycles,
-        wall_seconds,
-    }
+    with_network(
+        org,
+        cfg.clone(),
+        BaselineRun {
+            name,
+            cfg,
+            opts,
+            trace_out,
+        },
+    )
 }
 
 fn main() {
@@ -400,7 +439,7 @@ fn main() {
     }
     println!("results written to {}", opts.out);
     if let Some(baseline) = &opts.gate {
-        if let Err(e) = check_gate(&runs, baseline, opts.gate_tolerance) {
+        if let Err(e) = check_gate(&runs, baseline, opts.gate_tolerance, opts.gate_floor) {
             eprintln!("perf_baseline: gate FAILED: {e}");
             std::process::exit(5);
         }

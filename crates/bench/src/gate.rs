@@ -1,0 +1,165 @@
+//! The `perf_baseline` regression gate.
+//!
+//! Two checks run against a committed `BENCH_pra.json`:
+//!
+//! 1. **Relative**: the PRA/mesh cycles-per-sec *ratio* within one run.
+//!    Host speed cancels out, so this is robust to CI landing on a slow
+//!    machine — but a *uniform* slowdown (both orgs 10× slower) keeps
+//!    the ratio intact and sails through.
+//! 2. **Absolute**: each organisation's cycles/sec must clear a floor
+//!    expressed as a fraction of the committed baseline (default 0.6,
+//!    leaving headroom for CI-runner jitter). This is the check that
+//!    catches the uniform slowdown the ratio is blind to.
+//!
+//! The functions here are pure (no IO, no JSON) so both failure modes
+//! are unit-testable; `perf_baseline` owns the file parsing.
+
+/// Simulator throughput of the two gated organisations, in simulated
+/// cycles per wall-clock second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughputs {
+    /// `baseline-mesh` cycles/sec.
+    pub mesh: f64,
+    /// `pra` cycles/sec.
+    pub pra: f64,
+}
+
+impl Throughputs {
+    /// PRA throughput relative to the mesh (0 when the mesh is 0).
+    pub fn ratio(&self) -> f64 {
+        if self.mesh > 0.0 {
+            self.pra / self.mesh
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The checks a passing gate performed, one log line each.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Human-readable summaries in check order.
+    pub lines: Vec<String>,
+}
+
+/// Checks `fresh` against `committed`: the ratio check first, then the
+/// absolute per-organisation floor. A `floor_fraction` of 0 disables
+/// the absolute check (the pre-floor behaviour).
+///
+/// # Errors
+///
+/// The first failing check, as the message `perf_baseline` prints
+/// before exiting with status 5.
+pub fn check(
+    committed: Throughputs,
+    fresh: Throughputs,
+    ratio_tolerance: f64,
+    floor_fraction: f64,
+) -> Result<GateReport, String> {
+    let mut lines = Vec::new();
+    let committed_ratio = committed.ratio();
+    let fresh_ratio = fresh.ratio();
+    let ratio_floor = committed_ratio * (1.0 - ratio_tolerance);
+    lines.push(format!(
+        "gate: pra/mesh cycles-per-sec ratio {fresh_ratio:.3} vs committed {committed_ratio:.3} \
+         (floor {ratio_floor:.3}, tolerance {ratio_tolerance:.2})"
+    ));
+    if fresh_ratio < ratio_floor {
+        return Err(format!(
+            "relative simulator throughput regressed: pra/mesh ratio {fresh_ratio:.3} \
+             is below {ratio_floor:.3} ({committed_ratio:.3} committed minus \
+             {ratio_tolerance:.2} tolerance)"
+        ));
+    }
+    if floor_fraction > 0.0 {
+        let orgs = [
+            ("baseline-mesh", fresh.mesh, committed.mesh),
+            ("pra", fresh.pra, committed.pra),
+        ];
+        for (org, fresh_cps, committed_cps) in orgs {
+            let floor = committed_cps * floor_fraction;
+            lines.push(format!(
+                "gate: {org} {fresh_cps:.0} cycles/sec vs committed {committed_cps:.0} \
+                 (absolute floor {floor:.0}, fraction {floor_fraction:.2})"
+            ));
+            if fresh_cps < floor {
+                return Err(format!(
+                    "absolute simulator throughput regressed: {org} at {fresh_cps:.0} \
+                     cycles/sec is below the floor {floor:.0} ({floor_fraction:.2} of \
+                     the committed {committed_cps:.0}); a uniform slowdown passes the \
+                     ratio check, which is exactly what this floor catches"
+                ));
+            }
+        }
+    }
+    Ok(GateReport { lines })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COMMITTED: Throughputs = Throughputs {
+        mesh: 200_000.0,
+        pra: 180_000.0,
+    };
+
+    #[test]
+    fn identical_run_passes_both_checks() {
+        let report = check(COMMITTED, COMMITTED, 0.25, 0.6).expect("must pass");
+        assert_eq!(report.lines.len(), 3, "ratio line plus one per org");
+    }
+
+    #[test]
+    fn faster_run_passes() {
+        let fresh = Throughputs {
+            mesh: 400_000.0,
+            pra: 390_000.0,
+        };
+        assert!(check(COMMITTED, fresh, 0.25, 0.6).is_ok());
+    }
+
+    #[test]
+    fn pra_side_regression_fails_the_ratio_check() {
+        // PRA halves while the mesh holds: the ratio drops to 0.45 of
+        // the committed 0.9, well past a 0.25 tolerance.
+        let fresh = Throughputs {
+            mesh: 200_000.0,
+            pra: 90_000.0,
+        };
+        let err = check(COMMITTED, fresh, 0.25, 0.6).expect_err("must fail");
+        assert!(err.contains("relative"), "wrong failure mode: {err}");
+    }
+
+    #[test]
+    fn uniform_slowdown_passes_ratio_but_fails_the_floor() {
+        // Both orgs 10× slower: the ratio is untouched, so only the
+        // absolute floor can catch it.
+        let fresh = Throughputs {
+            mesh: 20_000.0,
+            pra: 18_000.0,
+        };
+        let err = check(COMMITTED, fresh, 0.25, 0.6).expect_err("must fail");
+        assert!(err.contains("absolute"), "wrong failure mode: {err}");
+        // The old ratio-only behaviour (floor disabled) let it through.
+        assert!(check(COMMITTED, fresh, 0.25, 0.0).is_ok());
+    }
+
+    #[test]
+    fn jitter_within_the_floor_fraction_passes() {
+        let fresh = Throughputs {
+            mesh: 130_000.0,
+            pra: 115_000.0,
+        };
+        assert!(check(COMMITTED, fresh, 0.25, 0.6).is_ok());
+    }
+
+    #[test]
+    fn zero_mesh_throughput_is_a_ratio_failure_not_a_panic() {
+        let fresh = Throughputs {
+            mesh: 0.0,
+            pra: 0.0,
+        };
+        assert!(check(COMMITTED, fresh, 0.25, 0.6).is_err());
+    }
+}

@@ -15,7 +15,9 @@ use pra::{ControlConfig, PraStats};
 use sysmodel::{System, SystemParams};
 use workloads::WorkloadKind;
 
-pub use runner::{build_network, BoxedNet, Organization};
+pub use runner::{build_network, with_network, BoxedNet, NetVisitor, Organization};
+
+pub mod gate;
 
 /// Runs `count` independent measurement closures across the runner's
 /// work-stealing pool (`NOC_THREADS`, default: all cores) and returns
@@ -104,6 +106,28 @@ impl BudgetGuard {
     }
 }
 
+/// One sampled system measurement, generic over the concrete network
+/// type so the whole system loop runs with static dispatch (see
+/// [`runner::with_network`]).
+struct SystemSample<'a> {
+    params: &'a SystemParams,
+    workload: WorkloadKind,
+    spec: &'a SampleSpec,
+    seed: u64,
+    label: &'static str,
+}
+
+impl NetVisitor for SystemSample<'_> {
+    type Out = f64;
+    fn visit<N: noc::network::Network>(self, mut net: N) -> f64 {
+        let budget = BudgetGuard::arm(&mut net);
+        let mut sys = System::new(self.params.clone(), net, self.workload, self.seed);
+        let out = sys.measure(self.spec.warmup_cycles, self.spec.measure_cycles);
+        budget.report(self.label);
+        out
+    }
+}
+
 /// Measures one `(workload, organisation)` point with the given sampling
 /// spec; returns the performance summary over samples. Each sample runs
 /// under the `NOC_POINT_WALL_MS` wall budget when one is set.
@@ -114,12 +138,17 @@ pub fn measure_performance(
 ) -> Summary {
     let params = SystemParams::paper();
     spec.run(|seed| {
-        let mut net = build_network(org, params.noc.clone());
-        let budget = BudgetGuard::arm(&mut net);
-        let mut sys = System::new(params.clone(), net, workload, seed);
-        let out = sys.measure(spec.warmup_cycles, spec.measure_cycles);
-        budget.report(org.name());
-        out
+        with_network(
+            org,
+            params.noc.clone(),
+            SystemSample {
+                params: &params,
+                workload,
+                spec,
+                seed,
+                label: org.name(),
+            },
+        )
     })
 }
 

@@ -284,6 +284,16 @@ impl Network for FrfcNetwork {
         self.mesh.drain_delivered()
     }
 
+    fn drain_delivered_into(&mut self, out: &mut Vec<Delivered>) {
+        self.mesh.drain_delivered_into(out);
+    }
+
+    // Safe to forward: FRFC wave bookkeeping runs before `mesh.step()`
+    // and mutates the mesh only through idle-invalidating entry points.
+    fn set_skip_ahead(&mut self, enabled: bool) {
+        self.mesh.set_skip_ahead(enabled);
+    }
+
     fn in_flight(&self) -> usize {
         self.mesh.in_flight()
     }

@@ -156,6 +156,18 @@ impl Network for PraNetwork {
         self.mesh.drain_delivered()
     }
 
+    fn drain_delivered_into(&mut self, out: &mut Vec<Delivered>) {
+        self.mesh.drain_delivered_into(out);
+    }
+
+    // Safe to forward: all PRA control-plane work (pending announces,
+    // LSD scans, control-packet processing) mutates the mesh *before*
+    // `mesh.step()` in [`PraNetwork::step`], through entry points that
+    // invalidate the mesh's idle flag.
+    fn set_skip_ahead(&mut self, enabled: bool) {
+        self.mesh.set_skip_ahead(enabled);
+    }
+
     fn in_flight(&self) -> usize {
         self.mesh.in_flight()
     }

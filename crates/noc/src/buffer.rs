@@ -45,6 +45,11 @@ impl std::error::Error for BufferError {}
 
 /// A fixed-depth flit FIFO implementing one virtual channel.
 ///
+/// Flits live in a flat ring (`slots`/`head`/`len`): the backing store
+/// grows once up to `depth` and is recycled in place forever after, so
+/// steady-state pushes and pops never touch the allocator and indexing
+/// is plain modular arithmetic.
+///
 /// # Examples
 ///
 /// ```
@@ -62,7 +67,9 @@ impl std::error::Error for BufferError {}
 #[derive(Debug, Clone)]
 pub struct VcBuffer {
     depth: usize,
-    fifo: VecDeque<Flit>,
+    slots: Vec<Flit>,
+    head: usize,
+    len: usize,
 }
 
 impl VcBuffer {
@@ -75,8 +82,16 @@ impl VcBuffer {
         assert!(depth > 0, "VC depth must be at least one flit");
         VcBuffer {
             depth,
-            fifo: VecDeque::with_capacity(depth),
+            slots: Vec::with_capacity(depth),
+            head: 0,
+            len: 0,
         }
+    }
+
+    /// Physical slot index of logical position `i` (0 = front).
+    #[inline(always)]
+    fn slot(&self, i: usize) -> usize {
+        (self.head + i) % self.depth
     }
 
     /// Configured capacity in flits.
@@ -86,27 +101,27 @@ impl VcBuffer {
 
     /// Number of buffered flits.
     pub fn len(&self) -> usize {
-        self.fifo.len()
+        self.len
     }
 
     /// Whether the buffer holds no flits.
     pub fn is_empty(&self) -> bool {
-        self.fifo.is_empty()
+        self.len == 0
     }
 
     /// Free slots remaining.
     pub fn free(&self) -> usize {
-        self.depth - self.fifo.len()
+        self.depth - self.len
     }
 
     /// The flit at the head of the FIFO, if any.
     pub fn front(&self) -> Option<&Flit> {
-        self.fifo.front()
+        (self.len > 0).then(|| &self.slots[self.head])
     }
 
     /// The most recently enqueued flit, if any.
     pub fn back(&self) -> Option<&Flit> {
-        self.fifo.back()
+        (self.len > 0).then(|| &self.slots[self.slot(self.len - 1)])
     }
 
     /// Enqueues a flit, enforcing capacity and packet-contiguity invariants.
@@ -121,10 +136,10 @@ impl VcBuffer {
     /// [`BufferError::Overflow`] if full; [`BufferError::Interleaved`] if
     /// contiguity would be violated.
     pub fn push(&mut self, flit: Flit) -> Result<(), BufferError> {
-        if self.fifo.len() >= self.depth {
+        if self.len >= self.depth {
             return Err(BufferError::Overflow);
         }
-        if let Some(last) = self.fifo.back() {
+        if let Some(last) = self.back() {
             if !last.is_tail() && (last.packet != flit.packet || flit.seq != last.seq + 1) {
                 return Err(BufferError::Interleaved {
                     streaming: last.packet,
@@ -132,32 +147,57 @@ impl VcBuffer {
                 });
             }
         }
-        self.fifo.push_back(flit);
+        let idx = self.slot(self.len);
+        // The ring grows lazily: physical slots are written strictly in
+        // sequence until all `depth` exist, so the write position is at
+        // most one past the initialized prefix.
+        if idx == self.slots.len() {
+            self.slots.push(flit);
+        } else {
+            self.slots[idx] = flit;
+        }
+        self.len += 1;
         Ok(())
     }
 
     /// Dequeues the front flit.
     pub fn pop(&mut self) -> Option<Flit> {
-        self.fifo.pop_front()
+        if self.len == 0 {
+            return None;
+        }
+        let flit = self.slots[self.head];
+        self.head = (self.head + 1) % self.depth;
+        self.len -= 1;
+        Some(flit)
     }
 
     /// Iterates over buffered flits front to back.
     pub fn iter(&self) -> impl Iterator<Item = &Flit> {
-        self.fifo.iter()
+        (0..self.len).map(|i| &self.slots[self.slot(i)])
     }
 
     /// Number of buffered flits belonging to `packet`.
     pub fn count_of(&self, packet: PacketId) -> usize {
-        self.fifo.iter().filter(|f| f.packet == packet).count()
+        self.iter().filter(|f| f.packet == packet).count()
     }
 
     /// Removes every flit of `packet` (used by fault purges) and returns
     /// how many were removed. Removing a whole packet keeps the remaining
-    /// runs contiguous, so buffer invariants survive.
+    /// runs contiguous, so buffer invariants survive. Survivors are
+    /// compacted toward the front of the ring in place.
     pub fn remove_packet(&mut self, packet: PacketId) -> usize {
-        let before = self.fifo.len();
-        self.fifo.retain(|f| f.packet != packet);
-        before - self.fifo.len()
+        let before = self.len;
+        let mut kept = 0;
+        for i in 0..self.len {
+            let flit = self.slots[self.slot(i)];
+            if flit.packet != packet {
+                let dst = self.slot(kept);
+                self.slots[dst] = flit;
+                kept += 1;
+            }
+        }
+        self.len = kept;
+        before - kept
     }
 }
 
@@ -259,6 +299,11 @@ impl InputUnit {
         while matches!(self.latch_claims.front(), Some(&(c, _)) if c < now) {
             self.latch_claims.pop_front();
         }
+    }
+
+    /// Whether any latch claims are outstanding (past or future).
+    pub fn has_latch_claims(&self) -> bool {
+        !self.latch_claims.is_empty()
     }
 
     /// Total flits buffered across all VCs (latch excluded).
@@ -390,8 +435,8 @@ mod digest_impls {
     impl StateDigest for VcBuffer {
         fn digest_state(&self, h: &mut StateHasher) {
             h.write_usize(self.depth);
-            h.write_usize(self.fifo.len());
-            for flit in &self.fifo {
+            h.write_usize(self.len());
+            for flit in self.iter() {
                 flit.digest_state(h);
             }
         }

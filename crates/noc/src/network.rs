@@ -53,6 +53,29 @@ pub trait Network {
     /// Removes and returns all packets delivered since the last call.
     fn drain_delivered(&mut self) -> Vec<Delivered>;
 
+    /// Appends all packets delivered since the last drain to `out`,
+    /// letting hot driver loops reuse one persistent buffer instead of
+    /// allocating a fresh `Vec` per cycle. Semantically identical to
+    /// extending `out` with [`Network::drain_delivered`]; organisations
+    /// with internal delivery staging override this to move the records
+    /// without an intermediate allocation.
+    fn drain_delivered_into(&mut self, out: &mut Vec<Delivered>) {
+        out.extend(self.drain_delivered());
+    }
+
+    /// Enables or disables skip-ahead over quiescent cycles: when every
+    /// router is provably idle (no flits, grants, arrivals, credits in
+    /// flight, or reservations anywhere), a step may advance only the
+    /// clock and cycle counters, because a full step over such a fabric
+    /// mutates nothing else. The observable history — statistics, digest
+    /// trails, delivery order — is byte-identical either way; this is
+    /// purely a wall-clock optimisation for low injection rates. The
+    /// default implementation ignores the flag (organisations without a
+    /// fast path simply always execute full steps).
+    fn set_skip_ahead(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
     /// Number of packets accepted but not yet delivered.
     fn in_flight(&self) -> usize;
 
@@ -263,6 +286,12 @@ impl DeliveryLedger {
 
     pub(crate) fn drain(&mut self) -> Vec<Delivered> {
         std::mem::take(&mut self.delivered)
+    }
+
+    /// Moves all staged deliveries into `out`, preserving order and
+    /// leaving the internal staging buffer (and its capacity) in place.
+    pub(crate) fn drain_into(&mut self, out: &mut Vec<Delivered>) {
+        out.append(&mut self.delivered);
     }
 
     /// Unregisters a packet without delivering it (fault purge).

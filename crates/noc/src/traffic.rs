@@ -239,6 +239,9 @@ pub struct TrafficGen {
     injected: u64,
     deferred: u64,
     stopped: bool,
+    /// Reusable buffer for packets released by the shaper this cycle.
+    /// Always empty between ticks, so it is excluded from the digest.
+    released_scratch: Vec<Packet>,
 }
 
 impl TrafficGen {
@@ -267,6 +270,7 @@ impl TrafficGen {
             injected: 0,
             deferred: 0,
             stopped: false,
+            released_scratch: Vec::new(),
         }
     }
 
@@ -437,7 +441,8 @@ impl TrafficGen {
 
     /// Injects this cycle's packets into `net`. Call once per cycle,
     /// before [`Network::step`].
-    pub fn tick(&mut self, net: &mut dyn Network) {
+    // hot
+    pub fn tick<N: Network + ?Sized>(&mut self, net: &mut N) {
         if self.stopped {
             return;
         }
@@ -448,7 +453,7 @@ impl TrafficGen {
         if !self.buckets.is_empty() {
             for node in 0..self.cfg.nodes() {
                 for vc in 0..3 {
-                    let mut released = Vec::new();
+                    let mut released = std::mem::take(&mut self.released_scratch);
                     if let Some(bucket) = self.buckets[node][vc].as_mut() {
                         bucket.tick();
                         while let Some(front) = self.pending[node][vc].front() {
@@ -463,9 +468,10 @@ impl TrafficGen {
                             );
                         }
                     }
-                    for packet in released {
+                    for packet in released.drain(..) {
                         self.admit(net, packet, now);
                     }
+                    self.released_scratch = released;
                 }
             }
         }
@@ -505,7 +511,7 @@ impl TrafficGen {
         }
     }
 
-    fn admit(&mut self, net: &mut dyn Network, packet: Packet, now: Cycle) {
+    fn admit<N: Network + ?Sized>(&mut self, net: &mut N, packet: Packet, now: Cycle) {
         self.injected += 1;
         if let Some(rec) = self.recorder.as_mut() {
             rec.record(now, &packet, 0);
@@ -596,8 +602,8 @@ fn draw_dwell(rng: &mut Rng, mean: u32, cap: u32) -> u32 {
 /// packet latency over the measurement phase, then drains.
 ///
 /// A convenience harness for latency-vs-load curves.
-pub fn measure_latency(
-    net: &mut dyn Network,
+pub fn measure_latency<N: Network + ?Sized>(
+    net: &mut N,
     gen: &mut TrafficGen,
     warm: u64,
     measure: u64,

@@ -82,6 +82,35 @@ pub fn build_network(org: Organization, cfg: NocConfig) -> BoxedNet {
     }
 }
 
+/// A computation generic over the concrete network type.
+///
+/// [`with_network`] decodes an [`Organization`] into its concrete type
+/// exactly once and then calls [`NetVisitor::visit`] with that type, so
+/// the whole per-cycle driver loop downstream of the visitor is
+/// monomorphized — no virtual dispatch inside the hot loop. The
+/// enum-to-type match happens per *point*, not per cycle.
+pub trait NetVisitor {
+    /// Result of the computation.
+    type Out;
+    /// Runs the computation on a freshly built network.
+    fn visit<N: Network>(self, net: N) -> Self::Out;
+}
+
+/// Builds the concrete network for `org` and hands it to `visitor`.
+///
+/// This is the single monomorphization boundary between spec decoding
+/// (strings/enums) and the typed driver loop: every organisation added
+/// to [`Organization`] must be wired up here and nowhere else.
+pub fn with_network<V: NetVisitor>(org: Organization, cfg: NocConfig, visitor: V) -> V::Out {
+    match org {
+        Organization::Mesh => visitor.visit(MeshNetwork::new(cfg)),
+        Organization::Smart => visitor.visit(SmartNetwork::new(cfg)),
+        Organization::MeshPra => visitor.visit(PraNetwork::new(cfg)),
+        Organization::Ideal => visitor.visit(IdealNetwork::new(cfg)),
+        Organization::Frfc => visitor.visit(pra::frfc::FrfcNetwork::new(cfg)),
+    }
+}
+
 /// Wrapper giving `Box<dyn Network>` the `Network` impl generic clients
 /// (e.g. `sysmodel::System`) need.
 pub struct BoxedNet(pub Box<dyn Network>);
@@ -107,6 +136,12 @@ impl Network for BoxedNet {
     }
     fn drain_delivered(&mut self) -> Vec<noc::network::Delivered> {
         self.0.drain_delivered()
+    }
+    fn drain_delivered_into(&mut self, out: &mut Vec<noc::network::Delivered>) {
+        self.0.drain_delivered_into(out)
+    }
+    fn set_skip_ahead(&mut self, enabled: bool) {
+        self.0.set_skip_ahead(enabled)
     }
     fn in_flight(&self) -> usize {
         self.0.in_flight()

@@ -21,11 +21,11 @@ use noc::cancel::CancelToken;
 use noc::config::{NocConfig, NocConfigBuilder};
 use noc::digest::StateHasher;
 use noc::faults::FaultPlan;
-use noc::network::Network as _;
+use noc::network::{Delivered, Network};
 use noc::traffic::{InjectionProcess, Pattern, TokenBucketCfg, TrafficGen};
 use noc::types::MessageClass;
 
-use crate::org::{build_network, Organization};
+use crate::org::{build_network, with_network, NetVisitor, Organization};
 use crate::pool::{panic_message, run_tasks, run_tasks_with, Outcome};
 use crate::seed::derive_seed;
 use crate::spec::{injection_key, pattern_key, FaultSpec};
@@ -81,6 +81,9 @@ pub struct PointSpec {
     pub class_priority: Option<[u8; 3]>,
     /// Per-class token-bucket shapers at the injection point.
     pub token_buckets: [Option<TokenBucketCfg>; 3],
+    /// Allow the network to fast-path quiescent cycles (byte-identical
+    /// either way; a runtime knob, so not part of the spec hash).
+    pub skip_ahead: bool,
 }
 
 impl PointSpec {
@@ -337,19 +340,132 @@ impl Drop for WallGuard {
     }
 }
 
+/// How often the driver polls the wall-clock/external cancel tokens, in
+/// simulated cycles. Those trips land at a nondeterministic cycle anyway
+/// (their rows are zeroed, see [`run_attempt_on`]), so coarse polling
+/// changes no observable bytes — it only keeps two atomic loads out of
+/// the per-cycle path.
+const CANCEL_POLL_INTERVAL: u64 = 1024;
+
+/// Precomputed cadence for the per-cycle observation and budget checks.
+///
+/// The driver loop compares `now` against one precomputed `next` cycle;
+/// only when that gate is due does it take the slow path (digest
+/// sampling, budget checks, cancel-token loads). With digests off and no
+/// budgets armed, `next` is `u64::MAX` and the whole apparatus costs a
+/// single branch per cycle.
+#[derive(Debug)]
+struct CycleGate {
+    digest_interval: u64,
+    cycle_budget: u64,
+    /// `u64::MAX` when no cancel source is armed (no wall budget, no
+    /// external token) — then the tokens are never loaded at all.
+    poll_interval: u64,
+    next: u64,
+}
+
+impl CycleGate {
+    fn new(p: &PointSpec, has_external: bool) -> CycleGate {
+        let poll_interval = if has_external || p.wall_budget_ms > 0 {
+            CANCEL_POLL_INTERVAL
+        } else {
+            u64::MAX
+        };
+        let mut gate = CycleGate {
+            digest_interval: p.digest_interval,
+            cycle_budget: p.cycle_budget,
+            poll_interval,
+            next: 0,
+        };
+        gate.rearm(0);
+        gate
+    }
+
+    /// True when the slow path must run at cycle `now`.
+    #[inline(always)]
+    fn due(&self, now: u64) -> bool {
+        now >= self.next
+    }
+
+    /// Recomputes the next due cycle after a slow-path check at `now`.
+    fn rearm(&mut self, now: u64) {
+        let mut next = u64::MAX;
+        if self.digest_interval > 0 {
+            // The next multiple of the sampling interval after `now`.
+            next = next.min((now + 1).next_multiple_of(self.digest_interval));
+        }
+        if self.cycle_budget > 0 && now < self.cycle_budget {
+            next = next.min(self.cycle_budget);
+        }
+        if self.poll_interval != u64::MAX {
+            next = next.min(now.saturating_add(self.poll_interval));
+        }
+        self.next = next;
+    }
+}
+
+/// Monomorphization shim: decodes `p.org` into its concrete network type
+/// once, then runs the whole attempt with static dispatch.
+struct AttemptRunner<'a> {
+    p: &'a PointSpec,
+    cfg: NocConfig,
+    seed: u64,
+    external: Option<&'a CancelToken>,
+}
+
+impl NetVisitor for AttemptRunner<'_> {
+    type Out = PointOutcome;
+    fn visit<N: Network>(self, net: N) -> PointOutcome {
+        run_attempt_on(self.p, self.cfg, self.seed, self.external, net)
+    }
+}
+
 /// Runs one attempt of a point: warm-up, a measured window opened by
 /// `reset_stats`, then a bounded drain, all under the cycle and
 /// wall-clock budgets. Deliveries are counted from the window boundary
 /// onward (including the drain, so slow packets injected inside the
 /// window are not silently censored).
 fn run_attempt(p: &PointSpec, attempt: u32, external: Option<&CancelToken>) -> PointOutcome {
+    let (cfg, seed) = match attempt_setup(p, attempt) {
+        Ok(pair) => pair,
+        Err(outcome) => return *outcome,
+    };
+    with_network(
+        p.org,
+        cfg.clone(),
+        AttemptRunner {
+            p,
+            cfg,
+            seed,
+            external,
+        },
+    )
+}
+
+/// The legacy dyn-dispatch driver: identical to [`run_attempt`] but the
+/// network is a [`BoxedNet`](crate::org::BoxedNet). Kept as the
+/// reference implementation the cross-driver equivalence suite compares
+/// the monomorphized path against.
+fn run_attempt_boxed(p: &PointSpec, attempt: u32, external: Option<&CancelToken>) -> PointOutcome {
+    let (cfg, seed) = match attempt_setup(p, attempt) {
+        Ok(pair) => pair,
+        Err(outcome) => return *outcome,
+    };
+    let net = build_network(p.org, cfg.clone());
+    run_attempt_on(p, cfg, seed, external, net)
+}
+
+/// Validates the config and derives the attempt's seed. The error side
+/// is boxed: it only materialises on the cold invalid-config path, and
+/// boxing keeps the hot `Ok` return register-sized.
+fn attempt_setup(p: &PointSpec, attempt: u32) -> Result<(NocConfig, u64), Box<PointOutcome>> {
     let cfg = match p.config() {
         Ok(cfg) => cfg,
         Err(message) => {
-            return PointOutcome {
+            return Err(Box::new(PointOutcome {
                 record: p.failed_record(&message),
                 trail: Vec::new(),
-            }
+            }))
         }
     };
     let seed = if attempt == 0 {
@@ -357,9 +473,22 @@ fn run_attempt(p: &PointSpec, attempt: u32, external: Option<&CancelToken>) -> P
     } else {
         derive_seed(p.base_seed, p.index as u64, attempt)
     };
-    let mut net = build_network(p.org, cfg.clone());
+    Ok((cfg, seed))
+}
+
+/// The driver loop proper, generic over the concrete network type so the
+/// per-cycle path (`gen.tick`, `net.step`, delivery draining, the gate
+/// branch) monomorphizes with no virtual dispatch.
+fn run_attempt_on<N: Network>(
+    p: &PointSpec,
+    cfg: NocConfig,
+    seed: u64,
+    external: Option<&CancelToken>,
+    mut net: N,
+) -> PointOutcome {
     let token = CancelToken::new();
     net.install_cancel(token.clone());
+    net.set_skip_ahead(p.skip_ahead);
     let _wall = WallGuard::arm(p.wall_budget_ms, token.clone());
     let mut gen = TrafficGen::new(cfg, p.pattern, p.rate, seed)
         .response_fraction(p.response_fraction)
@@ -376,39 +505,46 @@ fn run_attempt(p: &PointSpec, attempt: u32, external: Option<&CancelToken>) -> P
     }
 
     let mut trail: Vec<DigestSample> = Vec::new();
-    // Checked once per simulated cycle: samples the digest on the
-    // sampling grid, then reports the budget (if any) that expired.
-    let check = |net: &crate::org::BoxedNet, trail: &mut Vec<DigestSample>| -> Option<String> {
-        let now = net.now();
-        if p.digest_interval > 0 && now.is_multiple_of(p.digest_interval) {
-            if let Some(d) = net.state_digest() {
-                trail.push((now, d));
+    let mut gate = CycleGate::new(p, external.is_some());
+    // The slow path behind the gate: samples the digest on the sampling
+    // grid, then reports the budget (if any) that expired.
+    let slow_check =
+        |net: &N, trail: &mut Vec<DigestSample>, gate: &mut CycleGate| -> Option<String> {
+            let now = net.now();
+            if p.digest_interval > 0 && now.is_multiple_of(p.digest_interval) {
+                if let Some(d) = net.state_digest() {
+                    trail.push((now, d));
+                }
             }
-        }
-        // Budget checks in a fixed order: the *deterministic* cycle
-        // budget wins every tie, so a token that fires on exactly the
-        // budget cycle still yields the same `timeout(cycles>...)` row
-        // on every run — never a race between two statuses.
-        if p.cycle_budget > 0 && now >= p.cycle_budget {
-            return Some(format!("timeout(cycles>{})", p.cycle_budget));
-        }
-        if external.is_some_and(CancelToken::is_cancelled) {
-            return Some("timeout(cancelled)".to_string());
-        }
-        if token.is_cancelled() {
-            return Some(format!("timeout(wall>{}ms)", p.wall_budget_ms));
-        }
-        None
-    };
+            // Budget checks in a fixed order: the *deterministic* cycle
+            // budget wins every tie, so a token that fires on exactly the
+            // budget cycle still yields the same `timeout(cycles>...)` row
+            // on every run — never a race between two statuses.
+            if p.cycle_budget > 0 && now >= p.cycle_budget {
+                return Some(format!("timeout(cycles>{})", p.cycle_budget));
+            }
+            if external.is_some_and(CancelToken::is_cancelled) {
+                return Some("timeout(cancelled)".to_string());
+            }
+            if token.is_cancelled() {
+                return Some(format!("timeout(wall>{}ms)", p.wall_budget_ms));
+            }
+            gate.rearm(now);
+            None
+        };
 
     let mut timeout: Option<String> = None;
     let mut measured = false;
     let mut latencies = SparseHistogram::new();
     let mut class_latencies: [SparseHistogram; 3] = Default::default();
+    // Reused across cycles so the steady-state loop never allocates.
+    let mut delivered: Vec<Delivered> = Vec::new();
     let record_batch = |hist: &mut SparseHistogram,
                         by_class: &mut [SparseHistogram; 3],
-                        net: &mut dyn noc::network::Network| {
-        for d in net.drain_delivered() {
+                        net: &mut N,
+                        buf: &mut Vec<Delivered>| {
+        net.drain_delivered_into(buf);
+        for d in buf.drain(..) {
             let latency = d.delivered.saturating_sub(d.packet.created);
             hist.record(latency);
             by_class[d.packet.class.vc()].record(latency);
@@ -418,10 +554,13 @@ fn run_attempt(p: &PointSpec, attempt: u32, external: Option<&CancelToken>) -> P
         for _ in 0..p.warmup {
             gen.tick(&mut net);
             net.step();
-            net.drain_delivered();
-            if let Some(t) = check(&net, &mut trail) {
-                timeout = Some(t);
-                break 'run;
+            net.drain_delivered_into(&mut delivered);
+            delivered.clear();
+            if gate.due(net.now()) {
+                if let Some(t) = slow_check(&net, &mut trail, &mut gate) {
+                    timeout = Some(t);
+                    break 'run;
+                }
             }
         }
 
@@ -431,20 +570,34 @@ fn run_attempt(p: &PointSpec, attempt: u32, external: Option<&CancelToken>) -> P
         for _ in 0..p.measure {
             gen.tick(&mut net);
             net.step();
-            record_batch(&mut latencies, &mut class_latencies, &mut net);
-            if let Some(t) = check(&net, &mut trail) {
-                timeout = Some(t);
-                break 'run;
+            record_batch(
+                &mut latencies,
+                &mut class_latencies,
+                &mut net,
+                &mut delivered,
+            );
+            if gate.due(net.now()) {
+                if let Some(t) = slow_check(&net, &mut trail, &mut gate) {
+                    timeout = Some(t);
+                    break 'run;
+                }
             }
         }
         gen.stop();
         let deadline = net.now() + DRAIN_BUDGET;
         while net.in_flight() > 0 && net.now() < deadline {
             net.step();
-            record_batch(&mut latencies, &mut class_latencies, &mut net);
-            if let Some(t) = check(&net, &mut trail) {
-                timeout = Some(t);
-                break 'run;
+            record_batch(
+                &mut latencies,
+                &mut class_latencies,
+                &mut net,
+                &mut delivered,
+            );
+            if gate.due(net.now()) {
+                if let Some(t) = slow_check(&net, &mut trail, &mut gate) {
+                    timeout = Some(t);
+                    break 'run;
+                }
             }
         }
     }
@@ -524,7 +677,16 @@ fn backoff_delay_ms(p: &PointSpec, attempt: u32) -> u64 {
 /// also in the `undrained` column, but silence here has historically
 /// hidden censored tails.
 pub fn run_point_full(p: &PointSpec) -> PointOutcome {
-    run_point_full_inner(p, None)
+    run_point_full_inner(p, None, run_attempt)
+}
+
+/// Like [`run_point_full`], but every attempt runs on the legacy
+/// dyn-dispatch [`BoxedNet`](crate::org::BoxedNet) driver. Exists so the
+/// cross-driver equivalence suite can pin the monomorphized path to the
+/// reference behaviour byte-for-byte; sweeps should use
+/// [`run_point_full`].
+pub fn run_point_full_boxed(p: &PointSpec) -> PointOutcome {
+    run_point_full_inner(p, None, run_attempt_boxed)
 }
 
 /// Like [`run_point_full`], but the caller supplies a cancellation
@@ -533,10 +695,14 @@ pub fn run_point_full(p: &PointSpec) -> PointOutcome {
 /// stats, no digest trail) and the retry ladder does not continue — a
 /// sweep being torn down must not sleep through backoffs.
 pub fn run_point_full_cancellable(p: &PointSpec, cancel: &CancelToken) -> PointOutcome {
-    run_point_full_inner(p, Some(cancel))
+    run_point_full_inner(p, Some(cancel), run_attempt)
 }
 
-fn run_point_full_inner(p: &PointSpec, cancel: Option<&CancelToken>) -> PointOutcome {
+fn run_point_full_inner(
+    p: &PointSpec,
+    cancel: Option<&CancelToken>,
+    attempt_fn: impl Fn(&PointSpec, u32, Option<&CancelToken>) -> PointOutcome,
+) -> PointOutcome {
     let total_attempts = p.max_retries.saturating_add(1);
     let mut last: Option<PointOutcome> = None;
     for attempt in 0..total_attempts {
@@ -548,7 +714,7 @@ fn run_point_full_inner(p: &PointSpec, cancel: Option<&CancelToken>) -> PointOut
         } else {
             derive_seed(p.base_seed, p.index as u64, attempt)
         };
-        let mut outcome = match catch_unwind(AssertUnwindSafe(|| run_attempt(p, attempt, cancel))) {
+        let mut outcome = match catch_unwind(AssertUnwindSafe(|| attempt_fn(p, attempt, cancel))) {
             Ok(outcome) => outcome,
             // Name the crash site: "which point, which seed, which
             // attempt" is the difference between a reproducible bug

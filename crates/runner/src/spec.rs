@@ -513,6 +513,7 @@ impl SweepSpec {
                                                 digest_interval: self.digest_interval,
                                                 class_priority: self.class_priority,
                                                 token_buckets: self.token_buckets,
+                                                skip_ahead: true,
                                             });
                                         }
                                     }

@@ -1,0 +1,110 @@
+//! Cross-driver equivalence: the monomorphized point driver
+//! ([`runner::point::run_point_full`], which dispatches once per point
+//! through [`runner::with_network`]) must produce byte-identical results
+//! to the legacy `BoxedNet` dyn-dispatch driver
+//! ([`runner::point::run_point_full_boxed`]) for **every** organisation
+//! — same CSV row, same digest trail. The monomorphization is a pure
+//! codegen change; any divergence here is a bug in the driver split,
+//! caught at the row level rather than deep inside a sweep.
+//!
+//! The same property is pinned for the quiescent-cycle fast path: a
+//! near-idle point must produce identical statistics and digest trails
+//! with skip-ahead on and off.
+
+use runner::point::{run_point_full, run_point_full_boxed};
+use runner::report::csv_row;
+use runner::{Organization, PointSpec, SweepSpec};
+
+/// A small-but-real point: large enough that flits traverse, contend,
+/// and (for PRA organisations) trigger control-plane reservations.
+fn point_for(org: Organization) -> PointSpec {
+    let spec = SweepSpec::new("driver-eq")
+        .orgs(&[org])
+        .windows(200, 600)
+        .digest_every(100);
+    spec.points().remove(0)
+}
+
+const ALL_ORGS: [Organization; 5] = [
+    Organization::Mesh,
+    Organization::Smart,
+    Organization::MeshPra,
+    Organization::Ideal,
+    Organization::Frfc,
+];
+
+#[test]
+fn monomorphized_driver_matches_boxed_driver_for_every_organization() {
+    for org in ALL_ORGS {
+        let p = point_for(org);
+        let mono = run_point_full(&p);
+        let boxed = run_point_full_boxed(&p);
+        assert_eq!(
+            csv_row(&mono.record),
+            csv_row(&boxed.record),
+            "CSV row diverged for {org:?}"
+        );
+        assert_eq!(mono.record, boxed.record, "record diverged for {org:?}");
+        assert_eq!(mono.trail, boxed.trail, "digest trail diverged for {org:?}");
+        // Not every organisation implements state digests (the trail is
+        // then legitimately empty); where one does, the comparison above
+        // must have had real samples to chew on.
+        if matches!(org, Organization::Mesh | Organization::MeshPra) {
+            assert!(
+                !mono.trail.is_empty(),
+                "digest sampling must be active for {org:?}, or the trail \
+                 comparison proves nothing"
+            );
+        }
+        assert_eq!(mono.record.status, "ok", "point must succeed for {org:?}");
+    }
+}
+
+#[test]
+fn drivers_agree_on_a_failed_point_too() {
+    // An invalid config takes the error path before any network is
+    // built; both drivers must report the identical failed row.
+    for org in ALL_ORGS {
+        let mut p = point_for(org);
+        p.vc_depth = 0;
+        let mono = run_point_full(&p);
+        let boxed = run_point_full_boxed(&p);
+        assert_eq!(mono.record, boxed.record, "failed row diverged for {org:?}");
+        assert!(mono.record.status.starts_with("failed("));
+    }
+}
+
+#[test]
+fn skip_ahead_is_byte_identical_to_exhaustive_stepping() {
+    // Rate low enough that the fabric goes quiescent between packets:
+    // the fast path actually triggers, and must not change one byte.
+    for org in ALL_ORGS {
+        let spec = SweepSpec::new("skip-eq")
+            .orgs(&[org])
+            .rates(&[0.001])
+            .windows(300, 2_000)
+            .digest_every(250);
+        let mut p = spec.points().remove(0);
+
+        p.skip_ahead = true;
+        let fast = run_point_full(&p);
+        p.skip_ahead = false;
+        let slow = run_point_full(&p);
+
+        assert_eq!(
+            csv_row(&fast.record),
+            csv_row(&slow.record),
+            "skip-ahead changed the CSV row for {org:?}"
+        );
+        assert_eq!(fast.record, slow.record, "record diverged for {org:?}");
+        assert_eq!(
+            fast.trail, slow.trail,
+            "skip-ahead changed the digest trail for {org:?}"
+        );
+        assert_eq!(fast.record.status, "ok");
+        assert!(
+            fast.record.delivered > 0,
+            "near-idle point must still deliver for {org:?}"
+        );
+    }
+}

@@ -46,6 +46,20 @@
 //! `det:allow(<lint>)` comment on the flagged line or in the comment
 //! block directly above it; a directive on its own line attaches to
 //! the next code line.
+//!
+//! Plus one **performance lint** guarding the zero-allocation contract
+//! of the per-cycle simulation path (pinned end-to-end by the
+//! `alloc_steady_state` counting-allocator test in `crates/noc`):
+//!
+//! * **no-hot-loop-alloc** — a function opted in with a standalone
+//!   `// hot` marker comment directly above it must not contain
+//!   `Box::new`, `vec!`, or `.to_vec()`. These constructs allocate on
+//!   every call; the hot loop runs them millions of times per second
+//!   and must reuse preallocated scratch buffers instead (see
+//!   `StepScratch` in `noc/src/mesh.rs`). The marker is opt-in and the
+//!   lint runs wherever it appears; today that is the per-cycle phase
+//!   functions in `crates/noc`. Audited sites are suppressed with the
+//!   same `det:allow(<lint>)` mechanism as the determinism lints.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -107,6 +121,11 @@ const FLOAT_NAME_PARTS: [&str; 10] = [
 /// digest/artifact perimeter; the determinism lints skip files under
 /// them.
 const UNCOVERED_COMPONENTS: [&str; 4] = ["tests", "examples", "benches", "bench"];
+
+/// Standalone marker comment opting the next function into the
+/// hot-loop allocation lint. Matched against the whole trimmed line,
+/// so prose like "the hot loop" in a doc comment never opts in.
+const HOT_MARKER: &str = "// hot";
 
 /// Whether `path` is inside the digest/artifact perimeter the
 /// determinism lints guard. Everything is covered except trees whose
@@ -322,9 +341,93 @@ pub fn lint_source(file: &Path, src: &str) -> Vec<Violation> {
         );
         lint_lossy_float_format(&tokens, file, &mut v);
     }
+    lint_hot_loop_allocs(&tokens, src, file, &mut v);
     let allowed = allowed_lines(src);
     v.retain(|viol| !allowed.contains(&(viol.line, viol.lint.to_string())));
     v
+}
+
+/// The hot-loop allocation lint: inside a function marked with a
+/// standalone `// hot` comment, flag `Box::new`, `vec!` and
+/// `.to_vec()` — each heap-allocates on every call, and the marked
+/// functions are the per-cycle phases the `alloc_steady_state` test
+/// proves allocation-free.
+///
+/// The marker lives in a comment the lexer discards, so marker lines
+/// come from the raw source text; the function body is then located
+/// and brace-tracked on the token stream, where strings and comments
+/// can never masquerade as code.
+fn lint_hot_loop_allocs(t: &[Token], src: &str, file: &Path, v: &mut Vec<Violation>) {
+    for (idx, line) in src.lines().enumerate() {
+        if line.trim() != HOT_MARKER {
+            continue;
+        }
+        let marker = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        // First `fn` after the marker line — attributes and doc
+        // comments stacked between are skipped naturally (attributes
+        // contain no `fn` ident, comments are not tokens at all).
+        let Some(fn_idx) = t.iter().position(|x| x.line > marker && x.is_ident("fn")) else {
+            continue;
+        };
+        let name = t
+            .get(fn_idx + 1)
+            .filter(|x| x.kind == TokenKind::Ident)
+            .map_or("?", |x| x.text.as_str());
+        // Walk to the body's opening brace; a `;` first means a bodyless
+        // declaration (trait method), which has nothing to lint.
+        let mut open = fn_idx;
+        while open < t.len() && !t[open].is_punct('{') {
+            if t[open].is_punct(';') {
+                break;
+            }
+            open += 1;
+        }
+        if open >= t.len() || !t[open].is_punct('{') {
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut end = open;
+        while end < t.len() {
+            if t[end].is_punct('{') {
+                depth += 1;
+            } else if t[end].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            end += 1;
+        }
+        for j in open..end {
+            let construct = if t[j].is_ident("Box")
+                && t.get(j + 1).is_some_and(|x| x.is_punct(':'))
+                && t.get(j + 2).is_some_and(|x| x.is_punct(':'))
+                && t.get(j + 3).is_some_and(|x| x.is_ident("new"))
+            {
+                Some(("Box::new", t[j].line))
+            } else if t[j].is_ident("vec") && t.get(j + 1).is_some_and(|x| x.is_punct('!')) {
+                Some(("vec!", t[j].line))
+            } else if t[j].is_punct('.')
+                && t.get(j + 1).is_some_and(|x| x.is_ident("to_vec"))
+                && t.get(j + 2).is_some_and(|x| x.is_punct('('))
+            {
+                Some((".to_vec()", t[j + 1].line))
+            } else {
+                None
+            };
+            if let Some((what, at)) = construct {
+                push(
+                    v,
+                    file,
+                    at,
+                    "no-hot-loop-alloc",
+                    format!(
+                        "`{what}` heap-allocates inside `// hot`-marked fn `{name}`; the per-cycle path must reuse preallocated scratch (see StepScratch in noc/src/mesh.rs and the alloc_steady_state test)"
+                    ),
+                );
+            }
+        }
+    }
 }
 
 /// Flags every occurrence of a banned identifier.
@@ -929,6 +1032,80 @@ fn f() {
         // Hex/scientific specs are not lossy; `{{` is an escape.
         assert!(lints_of("fn f(rate: u64) { let s = format!(\"{rate:x} {rate:e}\"); }").is_empty());
         assert!(lints_of("fn f() { let s = format!(\"{{}} literal\", inj_rate); }").is_empty());
+    }
+
+    #[test]
+    fn hot_fn_allocations_are_flagged() {
+        let src = "\
+// hot
+fn step(&mut self) {
+    let b = Box::new(Flit::default());
+    let v = vec![0u8; 4];
+    let w = self.slots.to_vec();
+}";
+        assert_eq!(
+            lints_of(src),
+            vec![
+                "no-hot-loop-alloc",
+                "no-hot-loop-alloc",
+                "no-hot-loop-alloc"
+            ]
+        );
+    }
+
+    #[test]
+    fn hot_marker_reaches_past_stacked_attributes() {
+        let src = "\
+// hot
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn eligible(&self) { let v = vec![1]; }";
+        assert_eq!(lints_of(src), vec!["no-hot-loop-alloc"]);
+    }
+
+    #[test]
+    fn hot_marker_covers_only_the_next_function() {
+        let src = "\
+// hot
+fn stepped(&mut self) { self.cursor += 1; }
+fn cold(&mut self) { let v = vec![0u8; 4]; }";
+        assert!(lints_of(src).is_empty());
+    }
+
+    #[test]
+    fn unmarked_functions_may_allocate() {
+        assert!(lints_of("fn build() -> Vec<u8> { vec![0u8; 4] }").is_empty());
+        // Prose mentioning the hot loop is not a marker; neither is a
+        // trailing `// hot` on a code line.
+        let src = "\
+/// The hot loop walks this.
+fn build(x: u8) -> Vec<u8> { vec![x] } // hot path adjacent
+fn later() { let b = Box::new(3); }";
+        assert!(lints_of(src).is_empty());
+    }
+
+    #[test]
+    fn hot_fn_reuse_patterns_pass() {
+        let src = "\
+// hot
+fn step(&mut self) {
+    self.scratch.clear();
+    let cap = Vec::with_capacity(self.n);
+    let s = \"vec! in a string, Box::new too\";
+    // vec![] in a comment is invisible to the lexer
+}";
+        assert!(lints_of(src).is_empty());
+    }
+
+    #[test]
+    fn det_allow_suppresses_hot_loop_alloc() {
+        let src = "\
+// hot
+fn step(&mut self) {
+    // det:allow(no-hot-loop-alloc) — cold error path, runs once
+    let b = Box::new(err);
+}";
+        assert!(lints_of(src).is_empty());
     }
 
     #[test]
