@@ -27,6 +27,14 @@
 //!   fencing, zombie-write exclusion, resume equivalence and
 //!   termination — with shortest counterexample traces when a seeded
 //!   bug double breaks one.
+//! * **Reliable delivery** ([`reliable`]) — an explicit-state checker
+//!   over the end-to-end retransmission protocol's pure rules
+//!   (`noc::reliable`): every interleaving of arrivals, fault purges,
+//!   duplicate stragglers and ack timeouts within bounds, proving
+//!   eventual delivery-or-escalation, no duplicate ejection, no
+//!   sequence-number wraparound hazard and a bounded retransmission
+//!   storm — refuting the `ack_before_commit` and `unbounded_retry`
+//!   bug doubles with shortest counterexamples.
 //!
 //! [`analyze`] runs the whole battery for one configuration and returns
 //! a combined report; the CI `static-analysis` job runs it via
@@ -42,6 +50,7 @@ pub mod faultplans;
 pub mod lag;
 pub mod modelcheck;
 pub mod protocol;
+pub mod reliable;
 pub mod routing;
 pub mod segments;
 pub mod wcla;
@@ -53,6 +62,7 @@ pub use faultplans::{
 pub use lag::{verify_lag, LagArith, LagInterval, LagReport, LagViolation};
 pub use modelcheck::{check_protocol, InvariantKind, ModelReport, ProtocolViolation};
 pub use protocol::{Model, ModelBounds, Semantics};
+pub use reliable::{check_reliable_protocol, RelBounds, RelInvariant, RelReport, RelViolation};
 pub use routing::{CheckerboardAdaptive, RouteError, RoutingSpec, WestFirstDetour, XyRouting};
 pub use segments::{verify_segment_schedule, SegmentSummary, SegmentViolation};
 pub use wcla::{analyze_scenario, ScenarioBounds};

@@ -37,6 +37,11 @@ struct Options {
     radix: u16,
     vc_depth: u8,
     hpc: u8,
+    fault_ppb: u32,
+    fault_seed: u64,
+    retry_budget: Option<u8>,
+    ack_timeout: Option<u64>,
+    backoff_base: Option<u64>,
     include_warmup: bool,
     trace: Option<String>,
     record: Option<String>,
@@ -61,6 +66,11 @@ impl Default for Options {
             radix: 8,
             vc_depth: 5,
             hpc: 2,
+            fault_ppb: 0,
+            fault_seed: 0,
+            retry_budget: None,
+            ack_timeout: None,
+            backoff_base: None,
             include_warmup: false,
             trace: None,
             record: None,
@@ -93,6 +103,19 @@ USAGE: nocsim [OPTIONS]
   --radix N          mesh radix (NxN)                   [8]
   --vc-depth N       flits per virtual channel          [5]
   --hpc N            max hops per cycle                 [2]
+  --fault-ppb N      transient fault rate, events per
+                     billion cycle-resources            [0 = off]
+  --fault-seed N     fault plan RNG seed                [0]
+  --retry-budget N   enable end-to-end reliable delivery:
+                     retransmissions per packet before
+                     escalation (0..=32)                [off]
+  --ack-timeout N    reliable delivery: cycles before an
+                     unacked packet retransmits (>= 1,
+                     doubles per attempt; implies the
+                     overlay, default 256)
+  --backoff-base N   reliable delivery: retransmission
+                     jitter bound in cycles (implies the
+                     overlay, default 32)
   --include-warmup   report cumulative statistics (warm-up
                      included) instead of the default
                      measured window
@@ -179,6 +202,40 @@ fn parse_args() -> Result<Options, String> {
                 opts.vc_depth = value.parse().map_err(|_| "bad --vc-depth".to_string())?
             }
             "--hpc" => opts.hpc = value.parse().map_err(|_| "bad --hpc".to_string())?,
+            "--fault-ppb" => {
+                opts.fault_ppb = value
+                    .parse()
+                    .map_err(|_| format!("bad --fault-ppb '{value}' (valid values: 0..=4294967295 events per billion cycle-resources)"))?;
+            }
+            "--fault-seed" => {
+                opts.fault_seed = value.parse().map_err(|_| {
+                    format!("bad --fault-seed '{value}' (valid values: a u64 seed)")
+                })?;
+            }
+            "--retry-budget" => {
+                opts.retry_budget = Some(
+                    value
+                        .parse::<u8>()
+                        .ok()
+                        .filter(|&b| b <= 32)
+                        .ok_or_else(|| {
+                            format!(
+                                "bad --retry-budget '{value}' (valid values: 0..=32 \
+                                 retransmissions before escalation)"
+                            )
+                        })?,
+                );
+            }
+            "--ack-timeout" => {
+                opts.ack_timeout = Some(value.parse::<u64>().ok().filter(|&t| t >= 1).ok_or_else(
+                    || format!("bad --ack-timeout '{value}' (valid values: cycles >= 1)"),
+                )?);
+            }
+            "--backoff-base" => {
+                opts.backoff_base = Some(value.parse::<u64>().map_err(|_| {
+                    format!("bad --backoff-base '{value}' (valid values: a cycle count)")
+                })?);
+            }
             "--trace" => opts.trace = Some(value),
             "--record" => opts.record = Some(value),
             "--trace-out" => opts.trace_out = Some(value),
@@ -209,6 +266,27 @@ fn config_for(opts: &Options) -> Result<NocConfig, String> {
         .max_hops_per_cycle(opts.hpc);
     if let Some(priority) = opts.class_priority {
         b = b.class_priority(priority);
+    }
+    if opts.fault_ppb > 0 {
+        b = b.faults(
+            noc::faults::FaultPlan::new(opts.fault_seed).transient_rate_ppb(opts.fault_ppb),
+        );
+    }
+    // Any reliability knob switches the overlay on; missing knobs take
+    // the production defaults, and the overlay's jitter RNG reuses the
+    // traffic seed so one `--seed` pins the whole run.
+    if opts.retry_budget.is_some() || opts.ack_timeout.is_some() || opts.backoff_base.is_some() {
+        let mut rel = noc::reliable::ReliabilityConfig::with_seed(opts.seed);
+        if let Some(budget) = opts.retry_budget {
+            rel.retry_budget = budget;
+        }
+        if let Some(timeout) = opts.ack_timeout {
+            rel.ack_timeout = timeout;
+        }
+        if let Some(base) = opts.backoff_base {
+            rel.backoff_base = base;
+        }
+        b = b.reliability(rel);
     }
     b.build().map_err(|e| e.to_string())
 }
@@ -291,6 +369,20 @@ fn report(net: &dyn Network, total_cycles: u64, metrics: &MetricsRegistry, windo
         println!(
             "blocked-by-reservation {:.4}% of packet latency",
             s.reservation_blocking_fraction() * 100.0
+        );
+    }
+    // Lifetime overlay counters (never reset at the warm-up boundary),
+    // so the partition below covers the whole run, not the window.
+    if let Some(rel) = net.reliable_stats() {
+        println!("-- reliability --");
+        println!("packets tracked        {}", rel.tracked);
+        println!("retransmits            {}", rel.retransmits);
+        println!("duplicates suppressed  {}", rel.duplicates_suppressed);
+        println!("escalations            {}", rel.escalations);
+        println!(
+            "delivered or escalated {} of {} tracked",
+            rel.delivered + rel.escalations,
+            rel.tracked
         );
     }
 }

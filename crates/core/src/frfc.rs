@@ -302,6 +302,10 @@ impl Network for FrfcNetwork {
         self.mesh.stats()
     }
 
+    fn reliable_stats(&self) -> Option<noc::reliable::ReliableStats> {
+        self.mesh.reliable_stats()
+    }
+
     fn reset_stats(&mut self) {
         self.mesh.reset_stats();
         self.stats = PraStats::new();

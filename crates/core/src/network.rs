@@ -185,6 +185,10 @@ impl Network for PraNetwork {
         self.mesh.audit()
     }
 
+    fn reliable_stats(&self) -> Option<noc::reliable::ReliableStats> {
+        self.mesh.reliable_stats()
+    }
+
     fn install_cancel(&mut self, token: CancelToken) {
         self.cancel = token.clone();
         self.mesh.install_cancel(token);

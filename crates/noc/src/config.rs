@@ -6,6 +6,7 @@
 //! the evaluation) or via [`NocConfigBuilder`] for custom studies.
 
 use crate::faults::FaultPlan;
+use crate::reliable::ReliabilityConfig;
 use crate::types::{Coord, NodeId};
 
 /// Errors produced when validating a [`NocConfig`].
@@ -27,6 +28,11 @@ pub enum ConfigError {
         /// Configured VC depth.
         vc_depth: u8,
     },
+    /// The reliability ack timeout must be at least 1 cycle.
+    ZeroAckTimeout,
+    /// The reliability retry budget must stay small enough for the
+    /// exponential backoff horizon to be meaningful.
+    RetryBudgetTooLarge(u8),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -44,6 +50,12 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "maximum packet length {len} must be between 1 and the VC depth {vc_depth}"
             ),
+            ConfigError::ZeroAckTimeout => {
+                f.write_str("reliability ack timeout must be at least 1 cycle")
+            }
+            ConfigError::RetryBudgetTooLarge(b) => {
+                write!(f, "reliability retry budget {b} exceeds the maximum of 32")
+            }
         }
     }
 }
@@ -94,6 +106,12 @@ pub struct NocConfig {
     /// flit first (non-preemptive: in-flight wormholes keep their port
     /// locks), with round-robin tie-breaking inside a class.
     pub class_priority: Option<[u8; 3]>,
+    /// Optional end-to-end reliability layer (see [`crate::reliable`]):
+    /// per-source retransmission windows, duplicate suppression, and
+    /// bounded-retry escalation of persistent loss. `None` (the
+    /// default) keeps the historical lossy semantics bit-for-bit —
+    /// digests, goldens and stats are unchanged.
+    pub reliability: Option<ReliabilityConfig>,
 }
 
 impl NocConfig {
@@ -109,6 +127,7 @@ impl NocConfig {
             max_packet_len: 5,
             faults: None,
             class_priority: None,
+            reliability: None,
         }
     }
 
@@ -155,6 +174,14 @@ impl NocConfig {
                 len: self.max_packet_len,
                 vc_depth: self.vc_depth,
             });
+        }
+        if let Some(rel) = &self.reliability {
+            if rel.ack_timeout == 0 {
+                return Err(ConfigError::ZeroAckTimeout);
+            }
+            if rel.retry_budget > 32 {
+                return Err(ConfigError::RetryBudgetTooLarge(rel.retry_budget));
+            }
         }
         Ok(())
     }
@@ -256,6 +283,13 @@ impl NocConfigBuilder {
         self
     }
 
+    /// Enables the end-to-end reliability layer (see
+    /// [`crate::reliable`]).
+    pub fn reliability(mut self, rel: ReliabilityConfig) -> Self {
+        self.cfg.reliability = Some(rel);
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -313,6 +347,32 @@ mod tests {
             NocConfigBuilder::new().max_packet_len(9).build(),
             Err(ConfigError::BadMaxPacketLen { len: 9, .. })
         ));
+        assert_eq!(
+            NocConfigBuilder::new()
+                .reliability(ReliabilityConfig {
+                    retry_budget: 3,
+                    ack_timeout: 0,
+                    backoff_base: 8,
+                    seed: 1,
+                })
+                .build(),
+            Err(ConfigError::ZeroAckTimeout)
+        );
+        assert_eq!(
+            NocConfigBuilder::new()
+                .reliability(ReliabilityConfig {
+                    retry_budget: 33,
+                    ack_timeout: 64,
+                    backoff_base: 8,
+                    seed: 1,
+                })
+                .build(),
+            Err(ConfigError::RetryBudgetTooLarge(33))
+        );
+        NocConfigBuilder::new()
+            .reliability(ReliabilityConfig::with_seed(7))
+            .build()
+            .unwrap();
     }
 
     #[test]
@@ -336,6 +396,8 @@ mod tests {
                 len: 9,
                 vc_depth: 5,
             },
+            ConfigError::ZeroAckTimeout,
+            ConfigError::RetryBudgetTooLarge(33),
         ] {
             assert!(!e.to_string().is_empty());
         }

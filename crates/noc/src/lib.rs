@@ -54,6 +54,7 @@ pub mod flit;
 pub mod ideal;
 pub mod mesh;
 pub mod network;
+pub mod reliable;
 pub mod reserve;
 pub mod routing;
 pub mod smart;
@@ -70,4 +71,5 @@ pub use config::NocConfig;
 pub use digest::{StateDigest, StateHasher};
 pub use flit::{Flit, Packet};
 pub use network::{Delivered, Network};
+pub use reliable::{ReliabilityConfig, ReliableStats, RetrySemantics};
 pub use types::{Cycle, MessageClass, NodeId, PacketId};

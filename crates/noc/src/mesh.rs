@@ -26,6 +26,9 @@ use crate::digest::{StateDigest, StateHasher};
 use crate::faults::{FaultEvent, FaultState, FaultStats};
 use crate::flit::{Flit, Packet};
 use crate::network::{Delivered, DeliveryLedger, Network, Reassembly, SourceQueues};
+use crate::reliable::{
+    escalation_action, EjectNote, EscalationAction, RelOrder, ReliableLayer, ReliableStats,
+};
 use crate::reserve::{FlitSource, Landing, OutputSchedule, Reservation};
 use crate::routing::{neighbor, route_port, Route};
 use crate::stats::NetStats;
@@ -347,6 +350,16 @@ pub struct MeshNetwork {
     /// fault hook a no-op and the datapath bit-identical to a build
     /// without the subsystem.
     faults: Option<FaultState>,
+    /// End-to-end reliable-delivery overlay; `None` (the default) keeps
+    /// every hook a no-op and the digest byte-identical to a build
+    /// without the subsystem (see [`crate::reliable`]).
+    reliable: Option<ReliableLayer>,
+    /// Reusable scratch for due retransmit/escalate orders; never holds
+    /// state between cycles.
+    rel_orders: Vec<RelOrder>,
+    /// Reusable scratch for copy ids purged by an escalation; never
+    /// holds state between cycles.
+    rel_purges: Vec<PacketId>,
     /// Cooperative cancellation flag; a cancelled step only advances the
     /// clock (see [`crate::cancel`]).
     cancel: CancelToken,
@@ -388,6 +401,7 @@ impl MeshNetwork {
         cfg.validate().expect("invalid NoC configuration");
         let n = cfg.nodes();
         let faults = cfg.faults.clone().map(|plan| FaultState::new(plan, &cfg));
+        let reliable = cfg.reliability.map(|rc| ReliableLayer::new(rc, n));
         let scratch = StepScratch {
             eligible: vec![false; cfg.vcs_per_port],
             targets: vec![None; cfg.vcs_per_port],
@@ -395,6 +409,9 @@ impl MeshNetwork {
         };
         MeshNetwork {
             faults,
+            reliable,
+            rel_orders: Vec::new(),
+            rel_purges: Vec::new(),
             routers: (0..n).map(|_| Router::new(&cfg)).collect(),
             sources: (0..n).map(|_| SourceQueues::new()).collect(),
             reasm: (0..n).map(|_| Reassembly::new()).collect(),
@@ -881,6 +898,69 @@ impl MeshNetwork {
         self.scratch.credits_free = returns;
     }
 
+    /// Completes delivery of a fully reassembled packet at `node`.
+    ///
+    /// With the reliability overlay on, the layer decides the packet's
+    /// disposition first: a committed retransmission copy is re-badged
+    /// to the original id before entering the delivered ring (so
+    /// consumers and stats see exactly one delivery under the original
+    /// identity), and a duplicate is suppressed — dropped from the
+    /// ledger without touching delivery stats.
+    // hot
+    #[cfg_attr(not(feature = "obs"), allow(unused_variables))]
+    fn eject_complete(&mut self, head: Flit, node: usize) {
+        if self.reliable.is_some() {
+            let note = self
+                .reliable
+                .as_mut()
+                .and_then(|rel| rel.note_ejected(head.packet));
+            match note {
+                Some(EjectNote::Commit { original }) => {
+                    let hops = self
+                        .cfg
+                        .coord(head.src)
+                        .manhattan(self.cfg.coord(head.dest));
+                    if original == head.packet {
+                        self.ledger.complete(head, self.now, hops, &mut self.stats);
+                    } else {
+                        self.ledger
+                            .complete_as(head, original, self.now, hops, &mut self.stats);
+                    }
+                    #[cfg(feature = "obs")]
+                    self.emit(|| Event::PacketEjected {
+                        packet: original.0,
+                        node: node as u64,
+                    });
+                    return;
+                }
+                Some(EjectNote::Suppress) => {
+                    // The reassembler already consumed the flits; drop
+                    // the copy's ledger entry without a delivery record.
+                    let _ = self.ledger.forget(head.packet);
+                    #[cfg(feature = "obs")]
+                    self.emit(|| Event::DuplicateSuppressed {
+                        packet: head.packet.0,
+                        node: node as u64,
+                    });
+                    return;
+                }
+                // Untracked packet (injected before the overlay existed
+                // is impossible, but stay permissive): normal path.
+                None => {}
+            }
+        }
+        let hops = self
+            .cfg
+            .coord(head.src)
+            .manhattan(self.cfg.coord(head.dest));
+        self.ledger.complete(head, self.now, hops, &mut self.stats);
+        #[cfg(feature = "obs")]
+        self.emit(|| Event::PacketEjected {
+            packet: head.packet.0,
+            node: node as u64,
+        });
+    }
+
     // hot
     fn deliver_arrivals(&mut self) {
         let mut arrivals = std::mem::replace(
@@ -891,16 +971,7 @@ impl MeshNetwork {
             if a.in_port == Port::Local && a.flit.dest.index() == a.node {
                 // Ejected flit: reassemble at the NI.
                 if let Some(head) = self.reasm[a.node].accept(a.flit) {
-                    let hops = self
-                        .cfg
-                        .coord(head.src)
-                        .manhattan(self.cfg.coord(head.dest));
-                    self.ledger.complete(head, self.now, hops, &mut self.stats);
-                    #[cfg(feature = "obs")]
-                    self.emit(|| Event::PacketEjected {
-                        packet: head.packet.0,
-                        node: a.node as u64,
-                    });
+                    self.eject_complete(head, a.node);
                 }
             } else {
                 self.routers[a.node].inputs[a.in_port.index()]
@@ -1287,16 +1358,7 @@ impl MeshNetwork {
                 // Pre-allocated ejection: the crossbar is preset, so the
                 // flit reaches the NI within this cycle (no staging).
                 if let Some(head) = self.reasm[cur_node].accept(flit) {
-                    let hops = self
-                        .cfg
-                        .coord(head.src)
-                        .manhattan(self.cfg.coord(head.dest));
-                    self.ledger.complete(head, self.now, hops, &mut self.stats);
-                    #[cfg(feature = "obs")]
-                    self.emit(|| Event::PacketEjected {
-                        packet: head.packet.0,
-                        node: cur_node as u64,
-                    });
+                    self.eject_complete(head, cur_node);
                 }
                 self.after_reserved_slot(cur_node, cur_out, &flit);
                 return;
@@ -1899,6 +1961,128 @@ impl MeshNetwork {
         }
     }
 
+    /// Drives the reliability overlay one cycle: scans for entries whose
+    /// retransmission deadline has passed and either mints a fresh copy
+    /// into the fabric or escalates the packet to a permanent-fault
+    /// reclassification (see [`crate::reliable`]). Orders come out in
+    /// packet-id order (the layer's map order), so the cycle is
+    /// deterministic regardless of how losses interleaved.
+    fn process_reliability(&mut self) {
+        let mut orders = std::mem::take(&mut self.rel_orders);
+        self.reliable
+            .as_ref()
+            .expect("caller checked reliable.is_some()")
+            .collect_due(self.now, &mut orders);
+        for order in orders.drain(..) {
+            match order {
+                RelOrder::Retransmit { original } => {
+                    let (copy, attempt) = self
+                        .reliable
+                        .as_mut()
+                        .expect("reliable is on")
+                        .mint_copy(original, self.now);
+                    #[cfg(feature = "obs")]
+                    self.emit(|| Event::PacketRetransmitted {
+                        packet: original.0,
+                        copy: copy.id.0,
+                        node: copy.src.index() as u64,
+                        attempt,
+                    });
+                    #[cfg(not(feature = "obs"))]
+                    let _ = attempt;
+                    if !self.inject_copy(copy) {
+                        // The fabric refused the copy (endpoint dead or
+                        // unreachable). The attempt stays charged and the
+                        // backoff deadline stays armed, so the budget
+                        // still bounds the storm and escalation follows.
+                        self.reliable
+                            .as_mut()
+                            .expect("reliable is on")
+                            .note_copy_refused(copy.id, self.now);
+                    }
+                }
+                RelOrder::Escalate { original } => {
+                    let mut purges = std::mem::take(&mut self.rel_purges);
+                    let (src, dest) = self
+                        .reliable
+                        .as_mut()
+                        .expect("reliable is on")
+                        .begin_escalation(original, &mut purges);
+                    #[cfg(feature = "obs")]
+                    self.emit(|| Event::FaultEscalated {
+                        packet: original.0,
+                        node: src.index() as u64,
+                    });
+                    for id in purges.drain(..) {
+                        self.purge_packet(id);
+                    }
+                    self.rel_purges = purges;
+                    if escalation_action(self.faults.is_some())
+                        == EscalationAction::ReclassifyFirstHop
+                    {
+                        self.reclassify_first_hop(src, dest);
+                    }
+                }
+            }
+        }
+        self.rel_orders = orders;
+    }
+
+    /// Re-injects a retransmission copy into the fabric. Mirrors the
+    /// refusal check of [`Network::inject`] but records neither an
+    /// injection, a refusal, nor an injection event: the copy is a
+    /// transport-layer artifact, invisible to offered-load and NI
+    /// statistics (a refused copy surfaces through the retry budget,
+    /// which stays charged and eventually escalates). Returns `false`
+    /// when the fabric refuses the copy.
+    fn inject_copy(&mut self, copy: Packet) -> bool {
+        if let Some(f) = self.faults.as_ref() {
+            if f.router_dead(copy.src.index())
+                || f.router_dead(copy.dest.index())
+                || (f.degraded() && f.next_hop(copy.src, copy.dest, true).is_none())
+            {
+                return false;
+            }
+        }
+        self.idle = false;
+        self.ledger.register(copy);
+        self.source_nodes[copy.src.index()] = true;
+        self.sources[copy.src.index()].enqueue_packet(&copy);
+        true
+    }
+
+    /// Escalation's topology action: a packet that exhausted its retry
+    /// budget is evidence the loss is not transient, so reclassify the
+    /// first hop of its route as permanently dead and rebuild the detour
+    /// tables — the same machinery a scheduled permanent fault uses.
+    fn reclassify_first_hop(&mut self, src: NodeId, dest: NodeId) {
+        // A dead endpoint already explains the loss — the evidence
+        // points at the endpoint, not the path, so there is no healthy
+        // link to reclassify (and cutting the source's first hop would
+        // punish unrelated traffic).
+        if let Some(f) = &self.faults {
+            if f.router_dead(src.index()) || f.router_dead(dest.index()) {
+                return;
+            }
+        }
+        let Some(Port::Dir(dir)) = self.route_out(src, dest, true) else {
+            return; // ejects locally or already unroutable: nothing to cut
+        };
+        if !self.link_alive(src, dir) {
+            return; // already dead — nothing left to reclassify
+        }
+        let Some(nb) = neighbor(&self.cfg, src, dir) else {
+            return;
+        };
+        #[cfg(feature = "obs")]
+        self.emit(|| Event::FaultApplied {
+            node: src.index() as u64,
+            kind: "escalated_link",
+        });
+        let dying = [(src.index(), dir), (nb.index(), dir.opposite())];
+        self.apply_topology_fault(&dying, None);
+    }
+
     /// Applies one permanent cut: dooms every packet the damage strands,
     /// marks the damage, purges the doomed packets (with full credit
     /// restitution), rebuilds the route tables, then sweeps for anything
@@ -2138,14 +2322,23 @@ impl MeshNetwork {
                     .return_credit();
             }
         }
-        // Ledger, partial reassembly, loss accounting.
+        // Ledger, partial reassembly, loss accounting. With the
+        // reliability overlay on, a purge is absorbed: the layer arms a
+        // fast retransmit (NACK-on-purge) instead of the fault counters
+        // recording a permanent loss.
         if let Some(p) = self.ledger.forget(id) {
             self.reasm[p.dest.index()].forget(id);
-            let f = self
-                .faults
+            let absorbed = self
+                .reliable
                 .as_mut()
-                .expect("purges only run under fault injection");
-            f.note_purged_packet(u64::from(p.len_flits));
+                .is_some_and(|rel| rel.note_purged(id, self.now));
+            if !absorbed {
+                let f = self
+                    .faults
+                    .as_mut()
+                    .expect("purges only run under fault injection");
+                f.note_purged_packet(u64::from(p.len_flits));
+            }
             #[cfg(feature = "obs")]
             self.emit(|| Event::PacketDropped {
                 packet: id.0,
@@ -2281,15 +2474,33 @@ impl MeshNetwork {
         }
         present_flits += self.arrivals.len() as u64;
 
+        // The reliability overlay tracks packets the ledger no longer
+        // sees: a purged copy awaiting retransmission is a "gap" —
+        // still in flight end to end, with zero flits in the fabric.
+        let mut packets_in_flight = self.ledger.in_flight();
+        let rel_stats = self.reliable.as_ref().map(|r| r.stats());
+        if let Some(rel) = &self.reliable {
+            packets_in_flight += rel.extra_in_flight();
+            if let Some(created) = rel.oldest_unresolved_created() {
+                oldest_packet_age = oldest_packet_age.max(self.now.saturating_sub(created));
+            }
+        }
+
         AuditReport {
             cycle: self.now,
-            packets_in_flight: self.ledger.in_flight(),
+            packets_in_flight,
             expected_flits,
             present_flits,
             delivered_packets: self.stats.delivered(),
             lost_packets: self.faults.as_ref().map_or(0, |f| f.stats.lost_packets),
             credit_violations: self.count_credit_violations(),
             oldest_packet_age,
+            escalated_packets: rel_stats.map_or(0, |s| s.escalations),
+            retransmits: rel_stats.map_or(0, |s| s.retransmits),
+            reliability_horizon: self
+                .reliable
+                .as_ref()
+                .map(|r| r.config().delivery_horizon()),
         }
     }
 
@@ -2388,6 +2599,7 @@ impl MeshNetwork {
     /// non-trivial load is rejected on the first test.
     fn is_quiescent(&self) -> bool {
         if self.faults.is_some()
+            || self.reliable.is_some()
             || self.ledger.in_flight() != 0
             || !self.grants.is_empty()
             || !self.arrivals.is_empty()
@@ -2458,6 +2670,9 @@ impl Network for MeshNetwork {
         self.ledger.register(packet);
         self.source_nodes[packet.src.index()] = true;
         self.sources[packet.src.index()].enqueue_packet(&packet);
+        if let Some(rel) = self.reliable.as_mut() {
+            rel.track(&packet, self.now);
+        }
     }
 
     // hot
@@ -2476,6 +2691,9 @@ impl Network for MeshNetwork {
         }
         if self.faults.is_some() {
             self.apply_faults();
+        }
+        if self.reliable.is_some() {
+            self.process_reliability();
         }
         self.apply_credit_returns();
         self.deliver_arrivals();
@@ -2520,7 +2738,13 @@ impl Network for MeshNetwork {
     }
 
     fn in_flight(&self) -> usize {
+        // Gaps — tracked packets whose every copy was purged — are
+        // still in flight end to end: a retransmission is pending.
         self.ledger.in_flight()
+            + self
+                .reliable
+                .as_ref()
+                .map_or(0, ReliableLayer::extra_in_flight)
     }
 
     fn stats(&self) -> &NetStats {
@@ -2533,6 +2757,10 @@ impl Network for MeshNetwork {
 
     fn audit(&self) -> Option<AuditReport> {
         Some(self.audit_now())
+    }
+
+    fn reliable_stats(&self) -> Option<ReliableStats> {
+        self.reliable.as_ref().map(ReliableLayer::stats)
     }
 
     fn install_cancel(&mut self, token: CancelToken) {
@@ -2639,6 +2867,12 @@ impl StateDigest for MeshNetwork {
                 h.write_u8(1);
                 f.digest_state(h);
             }
+        }
+        // The reliability overlay writes NOTHING when absent — not even
+        // a tag byte — so every digest trail recorded before the
+        // subsystem existed stays byte-identical.
+        if let Some(rel) = &self.reliable {
+            rel.digest_state(h);
         }
     }
 }

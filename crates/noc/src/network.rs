@@ -127,6 +127,14 @@ pub trait Network {
         None
     }
 
+    /// Whole-run delivery accounting of the end-to-end reliability
+    /// layer (see [`crate::reliable`]), or `None` when the organisation
+    /// runs without one. Unlike [`Network::stats`] these counters are
+    /// not windowed: they are never reset at the warm-up boundary.
+    fn reliable_stats(&self) -> Option<crate::reliable::ReliableStats> {
+        None
+    }
+
     /// Attaches an observability sink: subsequent simulator events are
     /// emitted into it (see the `niobs` crate). The default
     /// implementation ignores the sink — organisations without
@@ -269,6 +277,43 @@ impl DeliveryLedger {
             .packets
             .remove(&head.packet)
             .expect("delivered packet must be registered exactly once");
+        stats.record_delivered(
+            packet.class,
+            packet.len_flits,
+            packet.created,
+            head.injected,
+            now,
+            hops,
+        );
+        self.delivered.push(Delivered {
+            packet,
+            delivered: now,
+            hops,
+        });
+    }
+
+    /// Completes a retransmission copy under the identity of its
+    /// original packet: the copy's registration is consumed (it carries
+    /// the original's `created` cycle, so latency accounting is
+    /// end-to-end honest) and the staged [`Delivered`] record reports
+    /// the **original** id, exactly as if the first flight had landed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the copy was never registered.
+    pub(crate) fn complete_as(
+        &mut self,
+        head: Flit,
+        original: PacketId,
+        now: Cycle,
+        hops: u32,
+        stats: &mut NetStats,
+    ) {
+        let mut packet = self
+            .packets
+            .remove(&head.packet)
+            .expect("delivered copy must be registered exactly once");
+        packet.id = original;
         stats.record_delivered(
             packet.class,
             packet.len_flits,

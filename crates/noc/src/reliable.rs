@@ -1,0 +1,886 @@
+//! End-to-end reliable delivery: retransmission with bounded retry,
+//! duplicate suppression, and escalation of persistent loss.
+//!
+//! The PR 1 fault model makes loss terminal: a purged wormhole or a
+//! refused injection simply vanishes (counted, but gone). This module
+//! adds the missing delivery guarantee as a strictly **opt-in** overlay
+//! ([`crate::config::NocConfig::reliability`]): every injected packet is
+//! tracked in a per-source retransmission window with a sequence number,
+//! ejections are de-duplicated at the destination NI, and lost copies
+//! are retransmitted under exponential backoff with deterministic
+//! jitter until a bounded retry budget runs out — at which point the
+//! loss is *escalated*: the packet is reported as permanently
+//! undeliverable and, when fault injection is active, its first-hop
+//! link is reclassified as permanently faulted so the detour tables
+//! reroute around the (evidently bad) resource.
+//!
+//! The result is an exact partition: every tracked packet ends
+//! **delivered exactly once or explicitly escalated** — never silently
+//! lost and never duplicated — within a horizon computable from the
+//! configuration ([`ReliabilityConfig::delivery_horizon`]).
+//!
+//! # Protocol rules and verification
+//!
+//! The ack/retransmit/escalation decisions are factored out as pure
+//! functions ([`eject_disposition`], [`retry_or_escalate`],
+//! [`can_retire`], [`escalation_action`]) over a tiny state vocabulary
+//! ([`EntryState`]), parameterised by [`RetrySemantics`]. The runtime
+//! layer below and the `analyzer` crate's explicit-state BFS checker
+//! consume the *same* rules, so the model checker exercises the shipped
+//! decision logic, not a transliteration. [`RetrySemantics`] also
+//! carries seeded **bug doubles** — [`RetrySemantics::ack_before_commit`]
+//! retires a window entry the moment its ack is seen (allowing a
+//! straggler duplicate to slip past suppression) and
+//! [`RetrySemantics::unbounded_retry`] ignores the retry budget — which
+//! the checker must keep refuting with counterexample traces.
+//!
+//! # Determinism
+//!
+//! All state lives in `BTreeMap`/`Vec` containers, the backoff jitter
+//! comes from a dedicated [`Rng`] stream seeded from the run
+//! configuration, and every per-cycle scan iterates in key order, so a
+//! reliable run is a pure function of `(NocConfig, traffic)` — digest
+//! trails remain byte-reproducible at any thread or worker count. With
+//! the feature off (`reliability: None`) the layer does not exist and
+//! contributes **zero** bytes to digests and zero branches to the hot
+//! loop beyond one `Option` check.
+
+use std::collections::BTreeMap;
+
+use nistats::rng::Rng;
+
+use crate::digest::{StateDigest, StateHasher};
+use crate::flit::Packet;
+use crate::types::{Cycle, NodeId, PacketId};
+
+/// First packet id minted for retransmission copies.
+///
+/// Traffic generators and the system model allocate small sequential
+/// ids, so carving copies out of the top half of the id space keeps the
+/// two streams disjoint for any realistic run length.
+pub const COPY_ID_BASE: u64 = 1 << 63;
+
+/// Configuration of the end-to-end reliability layer.
+///
+/// Carried as `Option<ReliabilityConfig>` in
+/// [`crate::config::NocConfig`]; `None` (the default) compiles the
+/// whole subsystem down to a dormant `Option` check and changes no
+/// observable byte of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// Maximum retransmissions per packet before the loss is escalated.
+    pub retry_budget: u8,
+    /// Base ack timeout in cycles: a packet unacknowledged for this
+    /// long (doubling per attempt) is retransmitted.
+    pub ack_timeout: u64,
+    /// Upper bound (exclusive) of the deterministic per-retransmission
+    /// jitter added to the backoff; `0` disables jitter.
+    pub backoff_base: u64,
+    /// Seed of the dedicated jitter RNG stream.
+    pub seed: u64,
+}
+
+impl ReliabilityConfig {
+    /// A conservative default tuning: three retries, a 256-cycle base
+    /// timeout and up to 32 cycles of jitter.
+    pub fn with_seed(seed: u64) -> Self {
+        ReliabilityConfig {
+            retry_budget: 3,
+            ack_timeout: 256,
+            backoff_base: 32,
+            seed,
+        }
+    }
+
+    /// The computable resolution horizon: an upper bound, in cycles, on
+    /// the time between a packet's last injection into a *draining*
+    /// fabric and its resolution (delivery or escalation), summing
+    /// every backoff round, the jitter bound per round, and the
+    /// one-cycle decision lag per round.
+    ///
+    /// This bounds only the retry machinery; queueing ahead of the
+    /// packet is the watchdog's existing age budget.
+    pub fn delivery_horizon(&self) -> Cycle {
+        let mut horizon: u64 = 0;
+        for attempt in 0..=u32::from(self.retry_budget) {
+            horizon = horizon
+                .saturating_add(backoff_step(self.ack_timeout, attempt))
+                .saturating_add(self.backoff_base)
+                .saturating_add(2);
+        }
+        horizon
+    }
+}
+
+/// Backoff for retransmission attempt `attempt`: the base ack timeout
+/// doubled per attempt, saturating instead of overflowing.
+pub fn backoff_step(ack_timeout: u64, attempt: u32) -> u64 {
+    match 1u64.checked_shl(attempt) {
+        Some(mult) => ack_timeout.saturating_mul(mult),
+        None => u64::MAX,
+    }
+}
+
+/// Lifecycle state of a tracked packet in its source's retransmission
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EntryState {
+    /// Not yet acknowledged: at least one more copy may be launched.
+    InFlight,
+    /// Exactly one copy was committed at the destination; the entry is
+    /// now a suppression tombstone until every straggler copy drains.
+    Delivered,
+    /// The retry budget ran out; the packet is reported permanently
+    /// undeliverable and no further copy will be launched.
+    Escalated,
+}
+
+/// Decision for a packet whose copy was lost or whose ack timer fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossOutcome {
+    /// Launch another copy.
+    Retransmit,
+    /// Give up and escalate the loss.
+    Escalate,
+}
+
+/// Disposition of a copy arriving at the destination NI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EjectOutcome {
+    /// First arrival: commit the delivery (exactly once).
+    Commit,
+    /// Duplicate or post-escalation straggler: suppress silently.
+    Suppress,
+}
+
+/// What an escalation does beyond recording the failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscalationAction {
+    /// Reclassify the packet's first-hop link as permanently faulted
+    /// and rebuild the detour tables around it.
+    ReclassifyFirstHop,
+    /// Only record the failure (no fault state to reclassify).
+    RecordOnly,
+}
+
+/// Protocol-variant knobs shared by the runtime and the model checker.
+///
+/// [`RetrySemantics::correct`] is what ships. The other constructors
+/// are seeded **bug doubles**: deliberately broken variants the
+/// `analyzer` checker (and `cargo xtask verify-protocol`) must keep
+/// refuting with counterexamples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrySemantics {
+    /// Bug double: retire the window entry as soon as the ack is seen,
+    /// instead of holding the suppression tombstone until every copy
+    /// has drained from the fabric. A straggler duplicate then finds no
+    /// tombstone and ejects a second time.
+    pub retire_on_ack: bool,
+    /// Bug double: ignore the retry budget and retransmit forever; a
+    /// permanently dead destination then produces an unbounded
+    /// retransmission storm (a livelock the checker catches as a
+    /// cycle in the transition graph).
+    pub unbounded_retry: bool,
+}
+
+impl RetrySemantics {
+    /// The shipped protocol.
+    pub fn correct() -> Self {
+        RetrySemantics {
+            retire_on_ack: false,
+            unbounded_retry: false,
+        }
+    }
+
+    /// Bug double: acknowledge (and retire the window entry) before the
+    /// commit point, defeating duplicate suppression.
+    pub fn ack_before_commit() -> Self {
+        RetrySemantics {
+            retire_on_ack: true,
+            ..RetrySemantics::correct()
+        }
+    }
+
+    /// Bug double: no retry budget, hence unbounded storms.
+    pub fn unbounded_retry() -> Self {
+        RetrySemantics {
+            unbounded_retry: true,
+            ..RetrySemantics::correct()
+        }
+    }
+}
+
+/// Pure rule: what to do when a packet's last in-fabric copy is lost,
+/// or its ack timer fires. `attempt` counts retransmissions already
+/// spent (the original flight is attempt 0).
+pub fn retry_or_escalate(attempt: u8, retry_budget: u8, semantics: RetrySemantics) -> LossOutcome {
+    if semantics.unbounded_retry || attempt < retry_budget {
+        LossOutcome::Retransmit
+    } else {
+        LossOutcome::Escalate
+    }
+}
+
+/// Pure rule: disposition of a copy arriving at the destination, given
+/// its window entry's state. Exactly the first arrival of an
+/// [`EntryState::InFlight`] entry commits; everything else is a
+/// duplicate (or a post-escalation straggler) and is suppressed.
+pub fn eject_disposition(state: EntryState) -> EjectOutcome {
+    match state {
+        EntryState::InFlight => EjectOutcome::Commit,
+        EntryState::Delivered | EntryState::Escalated => EjectOutcome::Suppress,
+    }
+}
+
+/// Pure rule: whether a window entry may be retired — its sequence
+/// number's slot reused and its suppression tombstone dropped.
+///
+/// The correct rule requires the entry to be resolved **and** drained
+/// (`live_copies == 0`): a sequence slot is only safe to reuse once no
+/// copy bearing it can still arrive. This is the wraparound-safety
+/// condition the model checker proves; the
+/// [`RetrySemantics::ack_before_commit`] double violates it by
+/// retiring on resolution alone.
+pub fn can_retire(state: EntryState, live_copies: u8, semantics: RetrySemantics) -> bool {
+    if state == EntryState::InFlight {
+        return false;
+    }
+    semantics.retire_on_ack || live_copies == 0
+}
+
+/// Pure rule: what an escalation does. With fault injection active the
+/// persistent loss is blamed on the packet's first-hop link, which is
+/// reclassified as a permanent fault (triggering a detour-table
+/// rebuild); without fault state there is nothing to reclassify.
+pub fn escalation_action(faults_active: bool) -> EscalationAction {
+    if faults_active {
+        EscalationAction::ReclassifyFirstHop
+    } else {
+        EscalationAction::RecordOnly
+    }
+}
+
+/// Whole-run delivery accounting of the reliability layer.
+///
+/// Unlike [`crate::stats::NetStats`] these counters are **not** reset
+/// at the warm-up boundary: they state the run-wide truth the delivery
+/// gate checks (`tracked == delivered + escalations` once drained).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliableStats {
+    /// Packets accepted into a retransmission window.
+    pub tracked: u64,
+    /// Packets committed at their destination (exactly once each).
+    pub delivered: u64,
+    /// Retransmission copies launched.
+    pub retransmits: u64,
+    /// Duplicate arrivals suppressed at the destination NI.
+    pub duplicates_suppressed: u64,
+    /// Packets escalated after exhausting the retry budget.
+    pub escalations: u64,
+    /// In-fabric copies purged by faults and absorbed by the layer
+    /// (these do not count as lost traffic).
+    pub copy_purges: u64,
+    /// Retransmission copies the fabric refused at injection (dead or
+    /// unreachable endpoint). Together with the other counters this
+    /// closes the flight accounting exactly: `tracked + retransmits ==
+    /// delivered + duplicates_suppressed + copy_purges + copy_refusals`
+    /// once drained.
+    pub copy_refusals: u64,
+}
+
+/// Disposition the mesh must apply to an ejected packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EjectNote {
+    /// First arrival: commit the delivery under `original`'s identity.
+    Commit {
+        /// The original packet id the arrival resolves to.
+        original: PacketId,
+    },
+    /// Duplicate: drop the copy without delivering.
+    Suppress,
+}
+
+/// A due decision surfaced by the per-cycle scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RelOrder {
+    /// Launch another copy of `original`.
+    Retransmit {
+        /// The tracked original packet id.
+        original: PacketId,
+    },
+    /// Escalate `original`: purge its copies and record the failure.
+    Escalate {
+        /// The tracked original packet id.
+        original: PacketId,
+    },
+}
+
+/// One tracked packet in its source's retransmission window.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// The original packet descriptor (id, endpoints, class, tag).
+    packet: Packet,
+    /// Per-source sequence number assigned at injection.
+    seq: u64,
+    /// Retransmissions spent so far (original flight = attempt 0).
+    attempt: u8,
+    /// Ids of copies currently in the fabric (the original id itself
+    /// for attempt 0, minted copy ids afterwards).
+    copies: Vec<PacketId>,
+    /// Cycle at which the ack timer fires next.
+    deadline: Cycle,
+    /// Lifecycle state.
+    state: EntryState,
+}
+
+/// Per-source window bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct SourceWindow {
+    /// Next sequence number this source will assign.
+    next_seq: u64,
+    /// Entries of this source still held (in flight or tombstoned).
+    occupied: u64,
+}
+
+/// Runtime state of the reliability layer, owned by the mesh.
+#[derive(Debug)]
+pub(crate) struct ReliableLayer {
+    cfg: ReliabilityConfig,
+    /// Dedicated jitter stream; consumed only at retransmission time,
+    /// in deterministic (key-ordered) scan order.
+    rng: Rng,
+    next_copy_id: u64,
+    /// Tracked packets, keyed by **original** id.
+    entries: BTreeMap<PacketId, Entry>,
+    /// Resolves a minted copy id back to its original.
+    copy_to_orig: BTreeMap<PacketId, PacketId>,
+    windows: Vec<SourceWindow>,
+    /// `InFlight` entries with no copy in the fabric (waiting out a
+    /// backoff gap); they still count as in-flight traffic.
+    gaps: usize,
+    stats: ReliableStats,
+}
+
+impl ReliableLayer {
+    pub(crate) fn new(cfg: ReliabilityConfig, nodes: usize) -> Self {
+        ReliableLayer {
+            cfg,
+            rng: Rng::new(cfg.seed),
+            next_copy_id: COPY_ID_BASE,
+            entries: BTreeMap::new(),
+            copy_to_orig: BTreeMap::new(),
+            windows: vec![SourceWindow::default(); nodes],
+            gaps: 0,
+            stats: ReliableStats::default(),
+        }
+    }
+
+    pub(crate) fn config(&self) -> &ReliabilityConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn stats(&self) -> ReliableStats {
+        self.stats
+    }
+
+    /// `InFlight` entries with no physical copy (backoff gaps): traffic
+    /// the ledger no longer sees but which is still unresolved.
+    pub(crate) fn extra_in_flight(&self) -> usize {
+        self.gaps
+    }
+
+    /// Earliest `created` cycle among unresolved entries, for the
+    /// conservation audit's age accounting (backoff-gap packets are
+    /// invisible to the delivery ledger).
+    pub(crate) fn oldest_unresolved_created(&self) -> Option<Cycle> {
+        self.entries
+            .values()
+            .filter(|e| e.state == EntryState::InFlight)
+            .map(|e| e.packet.created)
+            .min()
+    }
+
+    /// Accepts a freshly injected packet into its source's window.
+    pub(crate) fn track(&mut self, packet: &Packet, now: Cycle) {
+        let window = &mut self.windows[packet.src.index()];
+        let seq = window.next_seq;
+        window.next_seq += 1;
+        window.occupied += 1;
+        self.stats.tracked += 1;
+        let previous = self.entries.insert(
+            packet.id,
+            Entry {
+                packet: *packet,
+                seq,
+                attempt: 0,
+                copies: vec![packet.id],
+                deadline: now.saturating_add(self.cfg.ack_timeout),
+                state: EntryState::InFlight,
+            },
+        );
+        debug_assert!(previous.is_none(), "packet {} tracked twice", packet.id);
+    }
+
+    /// Resolves an id (original or minted copy) to its original entry.
+    fn resolve(&self, id: PacketId) -> Option<PacketId> {
+        if self.entries.contains_key(&id) {
+            Some(id)
+        } else {
+            self.copy_to_orig.get(&id).copied()
+        }
+    }
+
+    /// Whether `id` is a tracked original or copy.
+    #[cfg(test)]
+    pub(crate) fn is_tracked(&self, id: PacketId) -> bool {
+        self.resolve(id).is_some()
+    }
+
+    /// Drops `id` from its entry's live-copy set, maintaining the
+    /// backoff-gap count. Returns the original id.
+    fn detach_copy(&mut self, id: PacketId) -> Option<PacketId> {
+        let original = self.resolve(id)?;
+        self.copy_to_orig.remove(&id);
+        let entry = self.entries.get_mut(&original).expect("resolved entry");
+        if let Some(pos) = entry.copies.iter().position(|&c| c == id) {
+            entry.copies.remove(pos);
+            if entry.copies.is_empty() && entry.state == EntryState::InFlight {
+                self.gaps += 1;
+            }
+        }
+        Some(original)
+    }
+
+    /// Retires the entry if the pure retirement rule allows it.
+    fn maybe_retire(&mut self, original: PacketId) {
+        let entry = &self.entries[&original];
+        let live = u8::try_from(entry.copies.len()).unwrap_or(u8::MAX);
+        if can_retire(entry.state, live, RetrySemantics::correct()) {
+            let entry = self.entries.remove(&original).expect("entry exists");
+            self.windows[entry.packet.src.index()].occupied -= 1;
+        }
+    }
+
+    /// Applies the ejection rule to an arrival at the destination NI.
+    ///
+    /// Returns `None` for untracked ids (never happens while the layer
+    /// is active, but the mesh treats it as a plain delivery).
+    pub(crate) fn note_ejected(&mut self, id: PacketId) -> Option<EjectNote> {
+        let original = self.detach_copy(id)?;
+        let state = self.entries[&original].state;
+        let note = match eject_disposition(state) {
+            EjectOutcome::Commit => {
+                let entry = self.entries.get_mut(&original).expect("resolved entry");
+                // Leaving `InFlight` with no live copy closes a
+                // just-opened backoff gap.
+                if entry.copies.is_empty() {
+                    self.gaps -= 1;
+                }
+                entry.state = EntryState::Delivered;
+                self.stats.delivered += 1;
+                EjectNote::Commit { original }
+            }
+            EjectOutcome::Suppress => {
+                self.stats.duplicates_suppressed += 1;
+                EjectNote::Suppress
+            }
+        };
+        self.maybe_retire(original);
+        Some(note)
+    }
+
+    /// Absorbs a fault purge of a tracked copy. Returns `true` when the
+    /// purge was absorbed (the id was tracked); the mesh then skips the
+    /// lost-traffic accounting. A loss of the last live copy pulls the
+    /// ack deadline to the next cycle — the NACK-on-purge fast
+    /// retransmit path (the decision itself stays with the deadline
+    /// scan so there is exactly one decision point).
+    pub(crate) fn note_purged(&mut self, id: PacketId, now: Cycle) -> bool {
+        let Some(original) = self.detach_copy(id) else {
+            return false;
+        };
+        self.stats.copy_purges += 1;
+        let entry = self.entries.get_mut(&original).expect("resolved entry");
+        if entry.state == EntryState::InFlight && entry.copies.is_empty() {
+            entry.deadline = now + 1;
+        }
+        self.maybe_retire(original);
+        true
+    }
+
+    /// Scans the windows for due ack timers and appends the resulting
+    /// orders (retransmit or escalate) to `out` in key order.
+    // hot
+    pub(crate) fn collect_due(&self, now: Cycle, out: &mut Vec<RelOrder>) {
+        for (&original, entry) in &self.entries {
+            if entry.state != EntryState::InFlight || entry.deadline > now {
+                continue;
+            }
+            let order = match retry_or_escalate(
+                entry.attempt,
+                self.cfg.retry_budget,
+                RetrySemantics::correct(),
+            ) {
+                LossOutcome::Retransmit => RelOrder::Retransmit { original },
+                LossOutcome::Escalate => RelOrder::Escalate { original },
+            };
+            out.push(order);
+        }
+    }
+
+    /// Mints the next retransmission copy of `original`: assigns a
+    /// fresh copy id, charges the attempt, and arms the next backoff
+    /// deadline (exponential, plus deterministic jitter). Returns the
+    /// copy descriptor and the attempt number it represents.
+    pub(crate) fn mint_copy(&mut self, original: PacketId, now: Cycle) -> (Packet, u8) {
+        let jitter = if self.cfg.backoff_base > 0 {
+            self.rng.below(self.cfg.backoff_base)
+        } else {
+            0
+        };
+        let copy_id = PacketId(self.next_copy_id);
+        self.next_copy_id += 1;
+        let entry = self.entries.get_mut(&original).expect("minting tracked");
+        debug_assert_eq!(entry.state, EntryState::InFlight);
+        if entry.copies.is_empty() {
+            self.gaps -= 1;
+        }
+        entry.attempt += 1;
+        entry.copies.push(copy_id);
+        entry.deadline = now
+            .saturating_add(backoff_step(self.cfg.ack_timeout, u32::from(entry.attempt)))
+            .saturating_add(jitter);
+        self.copy_to_orig.insert(copy_id, original);
+        self.stats.retransmits += 1;
+        let mut copy = entry.packet;
+        copy.id = copy_id;
+        (copy, entry.attempt)
+    }
+
+    /// Undoes the fabric side of a refused copy injection (dead or
+    /// unreachable endpoint). The attempt stays charged and the backoff
+    /// deadline stays armed, so the retry budget still bounds the
+    /// storm and the entry escalates once it runs out.
+    pub(crate) fn note_copy_refused(&mut self, copy: PacketId, now: Cycle) {
+        let _ = now;
+        let absorbed = self.detach_copy(copy).is_some();
+        debug_assert!(absorbed, "refused copy {copy} was not tracked");
+        self.stats.copy_refusals += 1;
+    }
+
+    /// Marks `original` escalated, appends its live copy ids (which the
+    /// mesh must purge) to `purge_out`, and returns its endpoints for
+    /// the reclassification rule.
+    pub(crate) fn begin_escalation(
+        &mut self,
+        original: PacketId,
+        purge_out: &mut Vec<PacketId>,
+    ) -> (NodeId, NodeId) {
+        let entry = self.entries.get_mut(&original).expect("escalating tracked");
+        debug_assert_eq!(entry.state, EntryState::InFlight);
+        if entry.copies.is_empty() {
+            self.gaps -= 1;
+        }
+        entry.state = EntryState::Escalated;
+        purge_out.extend(entry.copies.iter().copied());
+        self.stats.escalations += 1;
+        let (src, dest) = (entry.packet.src, entry.packet.dest);
+        self.maybe_retire(original);
+        (src, dest)
+    }
+}
+
+impl StateDigest for ReliableLayer {
+    fn digest_state(&self, h: &mut StateHasher) {
+        let (rng_a, rng_b) = self.rng.state_words();
+        h.write_u64(rng_a);
+        h.write_u64(rng_b);
+        h.write_u64(self.next_copy_id);
+        h.write_usize(self.entries.len());
+        for (id, entry) in &self.entries {
+            h.write_u64(id.0);
+            entry.packet.digest_state(h);
+            h.write_u64(entry.seq);
+            h.write_u8(entry.attempt);
+            h.write_usize(entry.copies.len());
+            for copy in &entry.copies {
+                h.write_u64(copy.0);
+            }
+            h.write_u64(entry.deadline);
+            h.write_u8(match entry.state {
+                EntryState::InFlight => 0,
+                EntryState::Delivered => 1,
+                EntryState::Escalated => 2,
+            });
+        }
+        h.write_usize(self.copy_to_orig.len());
+        for (copy, orig) in &self.copy_to_orig {
+            h.write_u64(copy.0);
+            h.write_u64(orig.0);
+        }
+        for window in &self.windows {
+            h.write_u64(window.next_seq);
+            h.write_u64(window.occupied);
+        }
+        h.write_usize(self.gaps);
+        h.write_u64(self.stats.tracked);
+        h.write_u64(self.stats.delivered);
+        h.write_u64(self.stats.retransmits);
+        h.write_u64(self.stats.duplicates_suppressed);
+        h.write_u64(self.stats.escalations);
+        h.write_u64(self.stats.copy_purges);
+        h.write_u64(self.stats.copy_refusals);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::digest_of;
+    use crate::types::MessageClass;
+
+    fn pkt(id: u64, src: u16, dest: u16) -> Packet {
+        Packet::new(
+            PacketId(id),
+            NodeId::new(src),
+            NodeId::new(dest),
+            MessageClass::Request,
+            1,
+        )
+        .at(10)
+    }
+
+    fn cfg() -> ReliabilityConfig {
+        ReliabilityConfig {
+            retry_budget: 2,
+            ack_timeout: 100,
+            backoff_base: 8,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn pure_rules_match_the_protocol() {
+        let ok = RetrySemantics::correct();
+        assert_eq!(retry_or_escalate(0, 2, ok), LossOutcome::Retransmit);
+        assert_eq!(retry_or_escalate(1, 2, ok), LossOutcome::Retransmit);
+        assert_eq!(retry_or_escalate(2, 2, ok), LossOutcome::Escalate);
+        assert_eq!(
+            retry_or_escalate(200, 2, RetrySemantics::unbounded_retry()),
+            LossOutcome::Retransmit
+        );
+        assert_eq!(
+            eject_disposition(EntryState::InFlight),
+            EjectOutcome::Commit
+        );
+        assert_eq!(
+            eject_disposition(EntryState::Delivered),
+            EjectOutcome::Suppress
+        );
+        assert_eq!(
+            eject_disposition(EntryState::Escalated),
+            EjectOutcome::Suppress
+        );
+        assert!(!can_retire(EntryState::InFlight, 0, ok));
+        assert!(!can_retire(EntryState::Delivered, 1, ok));
+        assert!(can_retire(EntryState::Delivered, 0, ok));
+        assert!(can_retire(EntryState::Escalated, 0, ok));
+        // The ack-before-commit double drops the tombstone too early.
+        assert!(can_retire(
+            EntryState::Delivered,
+            1,
+            RetrySemantics::ack_before_commit()
+        ));
+        assert_eq!(
+            escalation_action(true),
+            EscalationAction::ReclassifyFirstHop
+        );
+        assert_eq!(escalation_action(false), EscalationAction::RecordOnly);
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        assert_eq!(backoff_step(100, 0), 100);
+        assert_eq!(backoff_step(100, 1), 200);
+        assert_eq!(backoff_step(100, 3), 800);
+        assert_eq!(backoff_step(u64::MAX / 2, 4), u64::MAX);
+        assert_eq!(backoff_step(1, 200), u64::MAX);
+    }
+
+    #[test]
+    fn horizon_covers_every_attempt() {
+        let c = cfg();
+        // 3 rounds (attempts 0..=2): 100 + 200 + 400 plus jitter+lag.
+        assert!(c.delivery_horizon() >= 700);
+        assert!(c.delivery_horizon() <= 700 + 3 * (8 + 2));
+        let max = ReliabilityConfig {
+            retry_budget: 255,
+            ack_timeout: u64::MAX,
+            backoff_base: u64::MAX,
+            seed: 0,
+        };
+        assert_eq!(max.delivery_horizon(), u64::MAX, "saturates, no overflow");
+    }
+
+    #[test]
+    fn first_flight_commits_and_retires() {
+        let mut layer = ReliableLayer::new(cfg(), 4);
+        let p = pkt(1, 0, 3);
+        layer.track(&p, 10);
+        assert!(layer.is_tracked(p.id));
+        assert_eq!(layer.extra_in_flight(), 0);
+        assert_eq!(
+            layer.note_ejected(p.id),
+            Some(EjectNote::Commit { original: p.id })
+        );
+        assert!(!layer.is_tracked(p.id), "drained entry is retired");
+        let s = layer.stats();
+        assert_eq!((s.tracked, s.delivered, s.retransmits), (1, 1, 0));
+    }
+
+    #[test]
+    fn purge_schedules_fast_retransmit_and_budget_escalates() {
+        let mut layer = ReliableLayer::new(cfg(), 4);
+        let p = pkt(1, 0, 3);
+        layer.track(&p, 10);
+
+        // Loss of the only copy opens a gap and pulls the deadline in.
+        assert!(layer.note_purged(p.id, 20));
+        assert_eq!(layer.extra_in_flight(), 1);
+        assert_eq!(layer.oldest_unresolved_created(), Some(10));
+        let mut due = Vec::new();
+        layer.collect_due(21, &mut due);
+        assert_eq!(due, vec![RelOrder::Retransmit { original: p.id }]);
+
+        // Two retransmissions exhaust the budget of 2.
+        let (c1, a1) = layer.mint_copy(p.id, 21);
+        assert_eq!(a1, 1);
+        assert_eq!(c1.id, PacketId(COPY_ID_BASE));
+        assert_eq!(c1.src, p.src);
+        assert_eq!(c1.created, p.created, "copies keep end-to-end latency");
+        assert_eq!(layer.extra_in_flight(), 0);
+        assert!(layer.note_purged(c1.id, 30));
+        due.clear();
+        layer.collect_due(31, &mut due);
+        assert_eq!(due, vec![RelOrder::Retransmit { original: p.id }]);
+        let (c2, a2) = layer.mint_copy(p.id, 31);
+        assert_eq!(a2, 2);
+        assert!(layer.note_purged(c2.id, 40));
+
+        // Budget spent: the next due decision is an escalation.
+        due.clear();
+        layer.collect_due(41, &mut due);
+        assert_eq!(due, vec![RelOrder::Escalate { original: p.id }]);
+        let mut purge = Vec::new();
+        let (src, dest) = layer.begin_escalation(p.id, &mut purge);
+        assert_eq!((src, dest), (p.src, p.dest));
+        assert!(purge.is_empty(), "all copies were already purged");
+        assert!(
+            !layer.is_tracked(p.id),
+            "escalated + drained entries retire"
+        );
+        let s = layer.stats();
+        assert_eq!(s.retransmits, 2);
+        assert_eq!(s.escalations, 1);
+        assert_eq!(s.copy_purges, 3);
+        assert_eq!(s.delivered, 0);
+    }
+
+    #[test]
+    fn duplicate_arrivals_are_suppressed_until_drained() {
+        let mut layer = ReliableLayer::new(cfg(), 4);
+        let p = pkt(1, 0, 3);
+        layer.track(&p, 10);
+        // Timeout fires while the original is still alive: a duplicate
+        // copy goes out.
+        let mut due = Vec::new();
+        layer.collect_due(110, &mut due);
+        assert_eq!(due, vec![RelOrder::Retransmit { original: p.id }]);
+        let (copy, _) = layer.mint_copy(p.id, 110);
+
+        // The original arrives first and commits; the copy is a
+        // duplicate; only after it drains does the tombstone retire.
+        assert_eq!(
+            layer.note_ejected(p.id),
+            Some(EjectNote::Commit { original: p.id })
+        );
+        assert!(layer.is_tracked(copy.id), "tombstone held while copy lives");
+        assert_eq!(layer.note_ejected(copy.id), Some(EjectNote::Suppress));
+        assert!(!layer.is_tracked(p.id));
+        let s = layer.stats();
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn escalation_purges_live_copies() {
+        let mut layer = ReliableLayer::new(cfg(), 4);
+        let p = pkt(1, 0, 3);
+        layer.track(&p, 10);
+        let mut due = Vec::new();
+        for now in [110u64, 400, 900] {
+            due.clear();
+            layer.collect_due(now, &mut due);
+            if let Some(RelOrder::Retransmit { original }) = due.first().copied() {
+                layer.mint_copy(original, now);
+            }
+        }
+        // Budget (2) spent with three copies alive; escalation must
+        // hand every live id back for purging.
+        due.clear();
+        layer.collect_due(5000, &mut due);
+        assert_eq!(due, vec![RelOrder::Escalate { original: p.id }]);
+        let mut purge = Vec::new();
+        layer.begin_escalation(p.id, &mut purge);
+        assert_eq!(purge.len(), 3);
+        assert!(purge.contains(&p.id));
+        // Purging the strays retires the tombstone; a straggler that
+        // somehow ejected instead would have been suppressed.
+        for id in purge {
+            assert!(layer.note_purged(id, 5001));
+        }
+        assert!(!layer.is_tracked(p.id));
+        assert_eq!(layer.extra_in_flight(), 0);
+    }
+
+    #[test]
+    fn refused_copies_keep_the_budget_charged() {
+        let mut layer = ReliableLayer::new(cfg(), 4);
+        let p = pkt(1, 0, 3);
+        layer.track(&p, 10);
+        assert!(layer.note_purged(p.id, 20));
+        let (c1, _) = layer.mint_copy(p.id, 21);
+        // The fabric refuses the copy (dead destination): the attempt
+        // stays spent and the backoff deadline stays armed.
+        layer.note_copy_refused(c1.id, 21);
+        assert_eq!(layer.extra_in_flight(), 1);
+        let mut due = Vec::new();
+        layer.collect_due(21, &mut due);
+        assert!(due.is_empty(), "backoff deadline is in the future");
+        layer.collect_due(u64::MAX / 2, &mut due);
+        assert_eq!(due, vec![RelOrder::Retransmit { original: p.id }]);
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_covers_state() {
+        let mk = |seed| {
+            let mut layer = ReliableLayer::new(ReliabilityConfig { seed, ..cfg() }, 4);
+            layer.track(&pkt(1, 0, 3), 10);
+            layer.track(&pkt(2, 1, 2), 11);
+            assert!(layer.note_purged(PacketId(1), 20));
+            layer.mint_copy(PacketId(1), 21);
+            layer
+        };
+        assert_eq!(digest_of(&mk(42)), digest_of(&mk(42)));
+        assert_ne!(digest_of(&mk(42)), digest_of(&mk(43)), "seed is covered");
+        let mut a = mk(42);
+        let b = mk(42);
+        assert_eq!(
+            a.note_ejected(PacketId(2)),
+            Some(EjectNote::Commit {
+                original: PacketId(2)
+            })
+        );
+        assert_ne!(digest_of(&a), digest_of(&b), "entry state is covered");
+    }
+}

@@ -49,6 +49,18 @@ pub struct AuditReport {
     pub credit_violations: u64,
     /// Age (cycles since creation) of the oldest in-flight packet.
     pub oldest_packet_age: u64,
+    /// Packets escalated to permanent-fault reclassification by the
+    /// reliability overlay so far (0 with reliability off).
+    pub escalated_packets: u64,
+    /// Retransmission copies minted by the reliability overlay so far
+    /// (0 with reliability off). Counts as forward progress: a storm of
+    /// retransmissions is the protocol working, not a deadlock.
+    pub retransmits: u64,
+    /// Reliability delivery horizon: the computable worst-case number of
+    /// cycles between a packet's injection and its delivery-or-escalation
+    /// (see `ReliabilityConfig::delivery_horizon`). `None` with
+    /// reliability off, leaving the plain age bound in force.
+    pub reliability_horizon: Option<u64>,
 }
 
 /// One detected invariant violation.
@@ -88,6 +100,19 @@ pub enum InvariantViolation {
         /// Packets stuck in flight.
         in_flight: usize,
     },
+    /// With reliability on, a packet outlived the protocol's computable
+    /// delivery-or-escalation horizon: the retransmission state machine
+    /// itself is stuck, which the bounded retry budget should make
+    /// impossible.
+    DeliveryHorizon {
+        /// Cycle of detection.
+        cycle: Cycle,
+        /// Age of the oldest unresolved packet.
+        age: u64,
+        /// The horizon bound it exceeded (base age bound + protocol
+        /// horizon).
+        horizon: u64,
+    },
     /// A sampled architectural-state digest disagrees with the reference
     /// trail for the same point and cycle (see [`crate::digest`]): the
     /// two runs diverged at or before `cycle`.
@@ -118,6 +143,15 @@ impl std::fmt::Display for InvariantViolation {
             InvariantViolation::Livelock { cycle, age, limit } => write!(
                 f,
                 "cycle {cycle}: possible livelock (oldest packet age {age} > {limit})"
+            ),
+            InvariantViolation::DeliveryHorizon {
+                cycle,
+                age,
+                horizon,
+            } => write!(
+                f,
+                "cycle {cycle}: delivery horizon exceeded (oldest unresolved packet age {age} > \
+                 {horizon}; the reliability protocol should have delivered or escalated it)"
             ),
             InvariantViolation::DigestMismatch {
                 cycle,
@@ -220,7 +254,11 @@ impl Watchdog {
             });
         }
 
-        let completed = r.delivered_packets + r.lost_packets;
+        // Retransmissions and escalations count as forward progress:
+        // under a fault storm the protocol can spend far longer than
+        // `no_progress_budget` re-sending before anything completes,
+        // and that is the protocol working, not a deadlock.
+        let completed = r.delivered_packets + r.lost_packets + r.escalated_packets + r.retransmits;
         if completed != self.last_completed || r.packets_in_flight == 0 {
             self.last_completed = completed;
             self.last_progress_cycle = r.cycle;
@@ -237,17 +275,41 @@ impl Watchdog {
             }
         }
 
-        if r.oldest_packet_age > self.cfg.max_packet_age {
-            if !self.livelock_reported {
-                self.livelock_reported = true;
-                self.violations.push(InvariantViolation::Livelock {
-                    cycle: r.cycle,
-                    age: r.oldest_packet_age,
-                    limit: self.cfg.max_packet_age,
-                });
+        // With reliability on, a packet may legitimately age through the
+        // whole retransmission schedule, so the age bound stretches by
+        // the protocol's computable horizon — but past that the protocol
+        // itself has failed to deliver-or-escalate, a distinct (and
+        // exact, not heuristic) violation.
+        match r.reliability_horizon {
+            Some(h) => {
+                let limit = self.cfg.max_packet_age.saturating_add(h);
+                if r.oldest_packet_age > limit {
+                    if !self.livelock_reported {
+                        self.livelock_reported = true;
+                        self.violations.push(InvariantViolation::DeliveryHorizon {
+                            cycle: r.cycle,
+                            age: r.oldest_packet_age,
+                            horizon: limit,
+                        });
+                    }
+                } else {
+                    self.livelock_reported = false;
+                }
             }
-        } else {
-            self.livelock_reported = false;
+            None => {
+                if r.oldest_packet_age > self.cfg.max_packet_age {
+                    if !self.livelock_reported {
+                        self.livelock_reported = true;
+                        self.violations.push(InvariantViolation::Livelock {
+                            cycle: r.cycle,
+                            age: r.oldest_packet_age,
+                            limit: self.cfg.max_packet_age,
+                        });
+                    }
+                } else {
+                    self.livelock_reported = false;
+                }
+            }
         }
 
         self.violations.len() - before
@@ -289,6 +351,9 @@ mod tests {
             lost_packets: 0,
             credit_violations: 0,
             oldest_packet_age: 40,
+            escalated_packets: 0,
+            retransmits: 0,
+            reliability_horizon: None,
         }
     }
 
@@ -371,6 +436,67 @@ mod tests {
             assert_eq!(wd.observe(&r), 0);
         }
         assert!(wd.is_quiet());
+    }
+
+    #[test]
+    fn retransmissions_count_as_progress() {
+        // Regression: under a fault storm the protocol retransmits for a
+        // long time before anything completes; that must not read as a
+        // deadlock.
+        let mut wd = Watchdog::new(WatchdogConfig {
+            check_interval: 64,
+            max_packet_age: u64::MAX,
+            no_progress_budget: 1_000,
+        });
+        for c in (64..50_000).step_by(64) {
+            let mut r = clean(c);
+            r.delivered_packets = 5; // flat: nothing completes...
+            r.retransmits = c / 64; // ...but retransmissions advance
+            assert_eq!(wd.observe(&r), 0);
+        }
+        assert!(wd.is_quiet());
+        // With retransmits flat too, the stall is real and still fires.
+        for c in (50_048..80_000).step_by(64) {
+            let mut r = clean(c);
+            r.delivered_packets = 5;
+            r.retransmits = 781;
+            wd.observe(&r);
+        }
+        assert_eq!(wd.violations().len(), 1);
+        assert!(matches!(
+            wd.violations()[0],
+            InvariantViolation::Deadlock { .. }
+        ));
+    }
+
+    #[test]
+    fn reliability_stretches_the_age_bound_to_the_horizon() {
+        let mut wd = Watchdog::new(WatchdogConfig {
+            check_interval: 64,
+            max_packet_age: 500,
+            no_progress_budget: u64::MAX,
+        });
+        // Age past the plain bound but within bound + horizon: quiet.
+        let mut r = clean(64);
+        r.delivered_packets = 1;
+        r.reliability_horizon = Some(2_000);
+        r.oldest_packet_age = 2_400;
+        assert_eq!(wd.observe(&r), 0);
+        // Past bound + horizon: the exact delivery-horizon violation,
+        // not the livelock heuristic.
+        let mut r2 = clean(128);
+        r2.delivered_packets = 2;
+        r2.reliability_horizon = Some(2_000);
+        r2.oldest_packet_age = 2_501;
+        assert_eq!(wd.observe(&r2), 1);
+        assert!(matches!(
+            wd.violations()[0],
+            InvariantViolation::DeliveryHorizon {
+                age: 2_501,
+                horizon: 2_500,
+                ..
+            }
+        ));
     }
 
     #[test]

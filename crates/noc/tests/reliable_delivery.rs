@@ -1,0 +1,211 @@
+//! End-to-end reliable-delivery integration tests: with the overlay on,
+//! every injected packet must end delivered or escalated — never lost
+//! silently — under transient storms and permanent damage alike, and
+//! the whole machine must stay bit-deterministic.
+
+use noc::config::{NocConfig, NocConfigBuilder};
+use noc::faults::{FaultEvent, FaultPlan};
+use noc::mesh::MeshNetwork;
+use noc::network::Network;
+use noc::reliable::ReliabilityConfig;
+use noc::traffic::{Pattern, TrafficGen};
+use noc::types::{Direction, NodeId};
+use noc::watchdog::Watchdog;
+
+/// A tight reliability tuning so tests exercise timeouts and backoff in
+/// a few thousand cycles instead of the production defaults.
+fn tight_rel(seed: u64) -> ReliabilityConfig {
+    ReliabilityConfig {
+        retry_budget: 3,
+        ack_timeout: 128,
+        backoff_base: 16,
+        seed,
+    }
+}
+
+fn cfg_with(plan: FaultPlan, rel: ReliabilityConfig) -> NocConfig {
+    NocConfigBuilder::new()
+        .faults(plan)
+        .reliability(rel)
+        .build()
+        .expect("valid config")
+}
+
+fn step_watched(net: &mut MeshNetwork, wd: &mut Watchdog) {
+    net.step();
+    if wd.due(net.now()) {
+        if let Some(report) = net.audit() {
+            wd.observe(&report);
+        }
+    }
+    net.drain_delivered();
+}
+
+/// Drains, then asserts the exact delivery partition: every packet the
+/// generator injected was delivered, escalated, or refused at the NI.
+fn assert_delivered_or_escalated(net: &mut MeshNetwork, gen: &TrafficGen, wd: &mut Watchdog) {
+    let deadline = net.now() + 200_000;
+    while net.in_flight() > 0 && net.now() < deadline {
+        step_watched(net, wd);
+    }
+    assert_eq!(net.in_flight(), 0, "network must drain under reliability");
+    let rel = net.reliable_stats().expect("reliability is on");
+    let refused = net.fault_stats().map_or(0, |fs| fs.injections_refused);
+    assert_eq!(
+        net.stats().delivered() + rel.escalations + refused,
+        gen.injected(),
+        "every injected packet must be delivered, escalated, or refused \
+         (rel stats: {rel:?})"
+    );
+    assert_eq!(
+        rel.delivered + rel.escalations,
+        rel.tracked,
+        "the layer's own partition must close exactly"
+    );
+    assert!(
+        wd.is_quiet(),
+        "watchdog must stay quiet: {:?}",
+        wd.violations()
+    );
+}
+
+#[test]
+fn transient_storm_suppresses_duplicates_and_loses_nothing() {
+    // A heavy transient storm slows traffic enough that the tight ack
+    // timeout fires while originals are still in flight: the duplicate
+    // suppression path must absorb every spurious copy.
+    let plan = FaultPlan::new(5).transient_rate_ppb(20_000_000); // ~2e-2
+                                                                 // An ack timeout under the mesh's typical delivery latency makes
+                                                                 // spurious timeouts routine rather than exceptional.
+    let rel = ReliabilityConfig {
+        ack_timeout: 24,
+        ..tight_rel(9)
+    };
+    let cfg = cfg_with(plan, rel);
+    let mut net = MeshNetwork::new(cfg.clone());
+    let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, 0.05, 17);
+    let mut wd = Watchdog::default();
+    for _ in 0..4_000 {
+        gen.tick(&mut net);
+        step_watched(&mut net, &mut wd);
+    }
+    gen.stop();
+    assert_delivered_or_escalated(&mut net, &gen, &mut wd);
+    let rel = net.reliable_stats().expect("reliability is on");
+    assert!(
+        rel.retransmits > 0,
+        "the storm must trigger retransmissions"
+    );
+    // Flight accounting: originals + retransmit copies all end exactly
+    // one way — committed, suppressed at ejection, purged, or refused
+    // at injection. None delivered twice.
+    assert_eq!(
+        rel.tracked + rel.retransmits,
+        rel.delivered + rel.duplicates_suppressed + rel.copy_purges + rel.copy_refusals,
+        "flight accounting must close exactly: {rel:?}"
+    );
+}
+
+#[test]
+fn permanent_damage_retransmits_after_purge() {
+    // Permanent cuts purge in-flight packets; with reliability on those
+    // purges must be absorbed into fast retransmits, and the run must
+    // end with the exact partition intact (no packet counted lost).
+    let plan = FaultPlan::new(3)
+        .transient_rate_ppb(1_000_000)
+        .with_event(FaultEvent::PermanentLink {
+            at: 400,
+            node: NodeId::new(27),
+            dir: Direction::East,
+        })
+        .with_event(FaultEvent::RouterDown {
+            at: 900,
+            node: NodeId::new(44),
+        });
+    let cfg = cfg_with(plan, tight_rel(4));
+    let mut net = MeshNetwork::new(cfg.clone());
+    let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, 0.05, 23);
+    let mut wd = Watchdog::default();
+    for _ in 0..6_000 {
+        gen.tick(&mut net);
+        step_watched(&mut net, &mut wd);
+    }
+    gen.stop();
+    assert_delivered_or_escalated(&mut net, &gen, &mut wd);
+    let fs = net.fault_stats().expect("faults are on");
+    assert_eq!(
+        fs.lost_packets, 0,
+        "reliability absorbs every purge: losses become retransmits or \
+         escalations, never silent loss"
+    );
+    let rel = net.reliable_stats().expect("reliability is on");
+    assert!(rel.retransmits > 0, "purges must trigger retransmissions");
+}
+
+#[test]
+fn reliable_runs_are_bit_deterministic() {
+    let run = || {
+        let plan = FaultPlan::new(11).transient_rate_ppb(5_000_000).with_event(
+            FaultEvent::PermanentLink {
+                at: 600,
+                node: NodeId::new(18),
+                dir: Direction::South,
+            },
+        );
+        let cfg = cfg_with(plan, tight_rel(77));
+        let mut net = MeshNetwork::new(cfg.clone());
+        let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, 0.04, 31);
+        for _ in 0..3_000 {
+            gen.tick(&mut net);
+            net.step();
+            net.drain_delivered();
+        }
+        gen.stop();
+        let deadline = net.now() + 100_000;
+        while net.in_flight() > 0 && net.now() < deadline {
+            net.step();
+            net.drain_delivered();
+        }
+        (
+            net.state_digest().expect("mesh digests"),
+            net.reliable_stats().expect("reliability on"),
+            net.stats().delivered(),
+        )
+    };
+    let (d1, r1, n1) = run();
+    let (d2, r2, n2) = run();
+    assert_eq!(d1, d2, "state digests must match across identical runs");
+    assert_eq!(r1, r2, "reliability counters must match");
+    assert_eq!(n1, n2, "delivery counts must match");
+}
+
+#[test]
+fn reliability_without_faults_is_pure_overhead_free_tracking() {
+    // No fault plan: nothing is ever purged or refused, so the overlay
+    // must be invisible except for bookkeeping — every packet delivers
+    // on its first flight and the counters stay zero.
+    let cfg = NocConfigBuilder::new()
+        .reliability(ReliabilityConfig::with_seed(1))
+        .build()
+        .expect("valid config");
+    let mut net = MeshNetwork::new(cfg.clone());
+    let mut gen = TrafficGen::new(cfg, Pattern::UniformRandom, 0.05, 41);
+    for _ in 0..2_000 {
+        gen.tick(&mut net);
+        net.step();
+        net.drain_delivered();
+    }
+    gen.stop();
+    let deadline = net.now() + 50_000;
+    while net.in_flight() > 0 && net.now() < deadline {
+        net.step();
+        net.drain_delivered();
+    }
+    assert_eq!(net.in_flight(), 0);
+    let rel = net.reliable_stats().expect("reliability is on");
+    assert_eq!(rel.delivered, gen.injected());
+    assert_eq!(rel.retransmits, 0, "default timeout outlasts any delivery");
+    assert_eq!(rel.duplicates_suppressed, 0);
+    assert_eq!(rel.escalations, 0);
+    assert_eq!(net.stats().delivered(), gen.injected());
+}

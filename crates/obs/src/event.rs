@@ -55,6 +55,34 @@ pub enum Event {
         /// Node index whose injection was refused.
         node: u64,
     },
+    /// The reliability layer launched a retransmission copy of a
+    /// packet whose previous flight was lost or timed out.
+    PacketRetransmitted {
+        /// Original packet id.
+        packet: u64,
+        /// Packet id minted for the retransmission copy.
+        copy: u64,
+        /// Source node relaunching the packet.
+        node: u64,
+        /// Retransmission attempt number (1 = first retry).
+        attempt: u8,
+    },
+    /// A duplicate arrival was suppressed at the destination NI (the
+    /// packet had already been committed by an earlier copy).
+    DuplicateSuppressed {
+        /// Original packet id the duplicate resolved to.
+        packet: u64,
+        /// Suppressing node index.
+        node: u64,
+    },
+    /// The reliability layer exhausted a packet's retry budget and
+    /// escalated the loss to a permanent-fault reclassification.
+    FaultEscalated {
+        /// Original packet id given up on.
+        packet: u64,
+        /// Source node of the escalated packet.
+        node: u64,
+    },
     /// Switch allocation granted a flit passage through a router.
     SwitchGrant {
         /// Packet id.
@@ -269,6 +297,9 @@ impl Event {
             Event::PacketEjected { .. } => "packet_ejected",
             Event::PacketDropped { .. } => "packet_dropped",
             Event::InjectionRefused { .. } => "injection_refused",
+            Event::PacketRetransmitted { .. } => "packet_retransmitted",
+            Event::DuplicateSuppressed { .. } => "duplicate_suppressed",
+            Event::FaultEscalated { .. } => "fault_escalated",
             Event::SwitchGrant { .. } => "switch_grant",
             Event::LinkTraverse { .. } => "link_traverse",
             Event::VcAllocated { .. } => "vc_allocated",
@@ -304,6 +335,9 @@ impl Event {
             Event::PacketInjected { packet, .. }
             | Event::PacketEjected { packet, .. }
             | Event::PacketDropped { packet, .. }
+            | Event::PacketRetransmitted { packet, .. }
+            | Event::DuplicateSuppressed { packet, .. }
+            | Event::FaultEscalated { packet, .. }
             | Event::SwitchGrant { packet, .. }
             | Event::LinkTraverse { packet, .. }
             | Event::VcAllocated { packet, .. }
@@ -336,6 +370,25 @@ mod tests {
         assert_eq!(b.name(), "credit_return");
         assert_eq!(a.data_packet(), Some(1));
         assert_eq!(b.data_packet(), None);
+    }
+
+    #[test]
+    fn reliability_events_have_names_and_packets() {
+        let r = Event::PacketRetransmitted {
+            packet: 4,
+            copy: 1 << 63,
+            node: 0,
+            attempt: 1,
+        };
+        let s = Event::DuplicateSuppressed { packet: 4, node: 9 };
+        let e = Event::FaultEscalated { packet: 4, node: 0 };
+        assert_eq!(r.name(), "packet_retransmitted");
+        assert_eq!(s.name(), "duplicate_suppressed");
+        assert_eq!(e.name(), "fault_escalated");
+        // All three belong to the original packet's data flight.
+        for ev in [r, s, e] {
+            assert_eq!(ev.data_packet(), Some(4));
+        }
     }
 
     #[test]

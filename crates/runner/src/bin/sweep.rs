@@ -21,12 +21,19 @@
 //! observed max latency exceeds its analytical bound — or when the
 //! analysis refuses to certify a point the sweep ran.
 //!
+//! Delivery gate: `--check-delivery` checks every `ok` row that ran
+//! with the reliability overlay on and a zero warm-up window for the
+//! exact no-loss partition — fully drained, and every accepted packet
+//! either delivered or escalated (`injected == delivered +
+//! escalations`). Exit 6 when any row lost a packet.
+//!
 //! Exit codes: 0 success, 1 I/O failure, 2 usage/spec/journal-header
 //! error, 3 determinism failure (`--check-golden` or `--verify-digests`
 //! mismatch), 4 partial completion (one or more points quarantined as
-//! `poisoned(...)`), 5 latency-bound violation (`--check-bounds`) — so
-//! CI can tell "the disk broke" from "the physics broke" from "one
-//! point is a worker-killer" from "QoS deadlines are not met".
+//! `poisoned(...)`), 5 latency-bound violation (`--check-bounds`),
+//! 6 delivery violation (`--check-delivery`) — so CI can tell "the disk
+//! broke" from "the physics broke" from "one point is a worker-killer"
+//! from "QoS deadlines are not met" from "a packet was lost".
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -52,6 +59,7 @@ struct Options {
     json_out: Option<String>,
     check_golden: Option<String>,
     check_bounds: bool,
+    check_delivery: bool,
     ckpt: Option<String>,
     resume: bool,
     verify_digests: bool,
@@ -74,6 +82,9 @@ const USAGE: &str = "usage: sweep --spec FILE [options]
   --check-bounds       gate each fault-free ok mesh point's per-class max
                        latency against the analytical worst-case bound
                        (noc::wcla); exit 5 on any violation or refusal
+  --check-delivery     gate each ok reliability-enabled zero-warmup row
+                       on the no-loss partition (drained, and injected ==
+                       delivered + escalations); exit 6 on any lost packet
   --ckpt FILE          checkpoint journal path (default: <csv-out>.ckpt)
   --resume             skip points already in the checkpoint journal
   --verify-digests     re-run journaled points and compare digest trails
@@ -100,6 +111,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         json_out: None,
         check_golden: None,
         check_bounds: false,
+        check_delivery: false,
         ckpt: None,
         resume: false,
         verify_digests: false,
@@ -130,6 +142,10 @@ fn parse_args() -> Result<Option<Options>, String> {
             }
             "--check-bounds" => {
                 opts.check_bounds = true;
+                continue;
+            }
+            "--check-delivery" => {
+                opts.check_delivery = true;
                 continue;
             }
             flag @ ("--spec" | "--threads" | "--csv-out" | "--json-out" | "--check-golden"
@@ -475,8 +491,15 @@ fn main() -> ExitCode {
             metrics.counter("sweep.digest_points"),
         );
         eprintln!(
-            "status: ok={} failed={} timeout={} poisoned={}",
-            counts.ok, counts.failed, counts.timeout, counts.poisoned
+            "status: ok={} failed={} timeout={} poisoned={} retransmits={} \
+             duplicates_suppressed={} escalations={}",
+            counts.ok,
+            counts.failed,
+            counts.timeout,
+            counts.poisoned,
+            metrics.counter("sweep.retransmits"),
+            metrics.counter("sweep.duplicates_suppressed"),
+            metrics.counter("sweep.escalations"),
         );
     }
 
@@ -486,6 +509,9 @@ fn main() -> ExitCode {
     }
     if opts.check_bounds && check_bounds(&points, &records, opts.quiet) > 0 {
         return ExitCode::from(5);
+    }
+    if opts.check_delivery && check_delivery(&points, &records, opts.quiet) > 0 {
+        return ExitCode::from(6);
     }
     ExitCode::SUCCESS
 }
@@ -569,6 +595,59 @@ fn check_bounds(points: &[runner::PointSpec], records: &[PointRecord], quiet: bo
         eprintln!(
             "bound check: {checked} point(s) gated, {skipped} skipped (non-ok, faulted, \
              non-mesh, or unbounded injection), {violations} violation(s)"
+        );
+    }
+    violations
+}
+
+/// Gates the sweep on end-to-end reliable delivery: every `ok` row that
+/// ran with the reliability overlay enabled and a zero warm-up window
+/// must be fully drained with `injected == delivered + escalations` —
+/// the exact partition the overlay guarantees (NI-refused injections
+/// are never counted as injected, and every accepted packet must end
+/// delivered or escalated; nothing may be lost silently). Returns the
+/// number of violations. Rows the equation cannot close over — non-`ok`
+/// statuses, overlay off, or a non-zero warm-up (the stats window resets
+/// mid-run while the overlay's counters are lifetime totals) — are
+/// skipped and tallied on stderr so a vacuously green gate is visible.
+fn check_delivery(points: &[runner::PointSpec], records: &[PointRecord], quiet: bool) -> usize {
+    let mut violations = 0usize;
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+    for (p, r) in points.iter().zip(records) {
+        let eligible = r.status == "ok" && p.reliability.enabled && p.warmup == 0;
+        if !eligible {
+            skipped += 1;
+            continue;
+        }
+        checked += 1;
+        if r.undrained > 0 {
+            violations += 1;
+            eprintln!(
+                "delivery check FAILED: point {} left {} packet(s) undrained \
+                 under the reliability overlay",
+                p.index, r.undrained
+            );
+            continue;
+        }
+        let accounted = r.delivered + r.escalations;
+        if r.injected != accounted {
+            violations += 1;
+            eprintln!(
+                "delivery check FAILED: point {}: injected {} != delivered {} + \
+                 escalations {} — {} packet(s) lost",
+                p.index,
+                r.injected,
+                r.delivered,
+                r.escalations,
+                r.injected.abs_diff(accounted)
+            );
+        }
+    }
+    if !quiet {
+        eprintln!(
+            "delivery check: {checked} point(s) gated, {skipped} skipped (non-ok, \
+             overlay off, or non-zero warmup), {violations} violation(s)"
         );
     }
     violations
@@ -661,8 +740,15 @@ fn run_multiprocess(
             report.quarantined.len(),
         );
         eprintln!(
-            "status: ok={} failed={} timeout={} poisoned={}",
-            counts.ok, counts.failed, counts.timeout, counts.poisoned
+            "status: ok={} failed={} timeout={} poisoned={} retransmits={} \
+             duplicates_suppressed={} escalations={}",
+            counts.ok,
+            counts.failed,
+            counts.timeout,
+            counts.poisoned,
+            metrics.counter("sweep.retransmits"),
+            metrics.counter("sweep.duplicates_suppressed"),
+            metrics.counter("sweep.escalations"),
         );
     }
     let code = emit_artifacts(opts, spec, &records);
@@ -671,6 +757,9 @@ fn run_multiprocess(
     }
     if opts.check_bounds && check_bounds(points, &records, opts.quiet) > 0 {
         return ExitCode::from(5);
+    }
+    if opts.check_delivery && check_delivery(points, &records, opts.quiet) > 0 {
+        return ExitCode::from(6);
     }
     if !report.quarantined.is_empty() {
         eprintln!(
@@ -753,6 +842,9 @@ fn sweep_metrics(records: &[PointRecord]) -> niobs::MetricsRegistry {
         if r.digest != "-" {
             m.inc("sweep.digest_points", 1);
         }
+        m.inc("sweep.retransmits", r.retransmits);
+        m.inc("sweep.duplicates_suppressed", r.duplicates_suppressed);
+        m.inc("sweep.escalations", r.escalations);
     }
     m
 }

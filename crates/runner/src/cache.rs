@@ -21,7 +21,7 @@
 //! Entry format, two lines:
 //!
 //! ```text
-//! noc-sweep-cache v1\tdigest=<16 hex>
+//! noc-sweep-cache v2\tdigest=<16 hex>
 //! point\t...record fields...\t<trail>
 //! ```
 
@@ -56,7 +56,7 @@ fn err<T>(message: impl Into<String>) -> Result<T, CacheError> {
     })
 }
 
-const MAGIC: &str = "noc-sweep-cache v1";
+const MAGIC: &str = "noc-sweep-cache v2";
 
 /// Second-lane salt so the two 64-bit FNV lanes of the key are
 /// independent functions of the same fields (a single lane's collision

@@ -68,7 +68,7 @@ pub use report::{
 pub use seed::derive_seed;
 pub use spec::{
     injection_from_key, injection_key, pattern_from_key, pattern_key, FaultEventSpec, FaultSpec,
-    SpecError, SweepSpec, INJECTION_KEYS, ORG_KEYS, PATTERN_KEYS,
+    ReliabilitySpec, SpecError, SweepSpec, INJECTION_KEYS, ORG_KEYS, PATTERN_KEYS,
 };
 pub use supervisor::{
     run_supervised, run_worker, SupervisorConfig, SupervisorError, SupervisorReport, WorkerConfig,

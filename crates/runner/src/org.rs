@@ -158,6 +158,9 @@ impl Network for BoxedNet {
     fn audit(&self) -> Option<noc::watchdog::AuditReport> {
         self.0.audit()
     }
+    fn reliable_stats(&self) -> Option<noc::reliable::ReliableStats> {
+        self.0.reliable_stats()
+    }
     fn install_cancel(&mut self, token: noc::cancel::CancelToken) {
         self.0.install_cancel(token)
     }

@@ -28,7 +28,7 @@ use noc::types::MessageClass;
 use crate::org::{build_network, with_network, NetVisitor, Organization};
 use crate::pool::{panic_message, run_tasks, run_tasks_with, Outcome};
 use crate::seed::derive_seed;
-use crate::spec::{injection_key, pattern_key, FaultSpec};
+use crate::spec::{injection_key, pattern_key, FaultSpec, ReliabilitySpec};
 
 /// Cycle budget for draining in-flight packets after the measured window.
 const DRAIN_BUDGET: u64 = 100_000;
@@ -55,6 +55,8 @@ pub struct PointSpec {
     pub hpc: u8,
     /// Fault-injection configuration.
     pub fault: FaultSpec,
+    /// Reliability-overlay configuration.
+    pub reliability: ReliabilitySpec,
     /// Sample number within the grid cell.
     pub sample: u32,
     /// Derived RNG seed (a pure function of grid index and base seed).
@@ -112,6 +114,9 @@ impl PointSpec {
                 plan = plan.with_event(ev.to_event());
             }
             b = b.faults(plan);
+        }
+        if let Some(rel) = self.reliability.config() {
+            b = b.reliability(rel);
         }
         b.build().map_err(|e| e.to_string())
     }
@@ -204,6 +209,17 @@ pub struct PointRecord {
     /// Per-class latency summaries, indexed by VC
     /// (`[request, coherence, response]`).
     pub classes: [ClassLatency; 3],
+    /// Reliability-entry label (`"off"` when the overlay is disabled).
+    pub reliability: String,
+    /// Retransmit copies injected by the reliability overlay over the
+    /// whole run (lifetime, never reset at the warm-up boundary; 0 with
+    /// the overlay off).
+    pub retransmits: u64,
+    /// Redundant arrivals swallowed at ejection (lifetime).
+    pub duplicates_suppressed: u64,
+    /// Packets given up on after the retry budget and reported as
+    /// permanent-fault escalations (lifetime).
+    pub escalations: u64,
     /// Chained hash of the digest trail (`"-"` when digests are off).
     pub digest: String,
 }
@@ -235,6 +251,10 @@ impl PointRecord {
             avg_hops: 0.0,
             throughput: 0.0,
             classes: [ClassLatency::default(); 3],
+            reliability: p.reliability.label.clone(),
+            retransmits: 0,
+            duplicates_suppressed: 0,
+            escalations: 0,
             digest: "-".to_string(),
         }
     }
@@ -647,6 +667,15 @@ fn run_attempt_on<N: Network>(
         #[allow(clippy::cast_precision_loss)]
         if p.measure > 0 && nodes > 0 {
             rec.throughput = rec.delivered as f64 / (p.measure * nodes) as f64;
+        }
+        // Reliability counters are lifetime totals (never reset at the
+        // warm-up boundary), so with `warmup: 0` they partition exactly
+        // against the windowed injection count — the `--check-delivery`
+        // gate relies on that.
+        if let Some(rel) = net.reliable_stats() {
+            rec.retransmits = rel.retransmits;
+            rec.duplicates_suppressed = rel.duplicates_suppressed;
+            rec.escalations = rel.escalations;
         }
     }
     if let Some(t) = timeout {

@@ -46,8 +46,11 @@ fn err<T>(message: impl Into<String>) -> Result<T, ProtocolError> {
 // Journal wire format
 // ---------------------------------------------------------------------
 
-/// Magic prefix of a checkpoint journal's header line.
-pub const JOURNAL_MAGIC: &str = "noc-sweep-ckpt v1";
+/// Magic prefix of a checkpoint journal's header line. Bumped to v2
+/// when the point line grew the reliability columns — a v1 journal's
+/// rows cannot be resumed into a v2 artifact, and the magic (not a
+/// parse failure 38 fields in) is what should say so.
+pub const JOURNAL_MAGIC: &str = "noc-sweep-ckpt v2";
 
 /// The journal's self-describing header: enough to refuse a resume
 /// against the wrong spec before any simulation time is spent.
@@ -184,7 +187,7 @@ pub fn point_line(outcome: &PointOutcome) -> String {
         .map(|c| format!("{}\t{}\t{}\t{}", c.p50, c.p95, c.p99, c.max))
         .collect();
     format!(
-        "point\t{}\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{:016x}\t{:016x}\t{}\t{}\t{}",
+        "point\t{}\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:016x}\t{}\t{}\t{}\t{}\t{:016x}\t{:016x}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
         r.index,
         escape(&r.org),
         escape(&r.pattern),
@@ -209,6 +212,10 @@ pub fn point_line(outcome: &PointOutcome) -> String {
         r.avg_hops.to_bits(),
         r.throughput.to_bits(),
         classes.join("\t"),
+        escape(&r.reliability),
+        r.retransmits,
+        r.duplicates_suppressed,
+        r.escalations,
         escape(&r.digest),
         trail_field(&outcome.trail),
     )
@@ -217,7 +224,7 @@ pub fn point_line(outcome: &PointOutcome) -> String {
 /// Parses one completed-point journal line (without its newline).
 pub fn parse_point_line(line: &str) -> Option<PointOutcome> {
     let fields: Vec<&str> = line.split('\t').collect();
-    if fields.len() != 38 || fields[0] != "point" {
+    if fields.len() != 42 || fields[0] != "point" {
         return None;
     }
     let f64_at = |i: usize| -> Option<f64> {
@@ -256,9 +263,13 @@ pub fn parse_point_line(line: &str) -> Option<PointOutcome> {
         avg_hops: f64_at(22)?,
         throughput: f64_at(23)?,
         classes: [class_at(24)?, class_at(28)?, class_at(32)?],
-        digest: unescape(fields[36]),
+        reliability: unescape(fields[36]),
+        retransmits: fields[37].parse().ok()?,
+        duplicates_suppressed: fields[38].parse().ok()?,
+        escalations: fields[39].parse().ok()?,
+        digest: unescape(fields[40]),
     };
-    let trail = parse_trail(fields[37])?;
+    let trail = parse_trail(fields[41])?;
     Some(PointOutcome { record, trail })
 }
 

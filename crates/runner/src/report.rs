@@ -17,7 +17,8 @@ use crate::point::PointRecord;
 pub const CSV_HEADER: &str = "index,org,pattern,injection,rate,radix,vc_depth,hpc,fault,sample,\
      seed,status,attempts,injected,delivered,undrained,avg_latency,p50,p95,p99,max_latency,\
      avg_hops,throughput,req_p50,req_p95,req_p99,req_max,coh_p50,coh_p95,coh_p99,coh_max,\
-     rsp_p50,rsp_p95,rsp_p99,rsp_max,digest";
+     rsp_p50,rsp_p95,rsp_p99,rsp_max,reliability,retransmits,duplicates_suppressed,\
+     escalations,digest";
 
 /// Fixed-precision float formatting shared by the CSV and JSON writers.
 fn fmt_f64(v: f64) -> String {
@@ -32,7 +33,7 @@ pub fn csv_row(r: &PointRecord) -> String {
         .map(|c| format!("{},{},{},{}", c.p50, c.p95, c.p99, c.max))
         .collect();
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         r.index,
         r.org,
         r.pattern,
@@ -57,6 +58,10 @@ pub fn csv_row(r: &PointRecord) -> String {
         fmt_f64(r.avg_hops),
         fmt_f64(r.throughput),
         classes.join(","),
+        r.reliability,
+        r.retransmits,
+        r.duplicates_suppressed,
+        r.escalations,
         r.digest,
     )
 }
@@ -153,6 +158,16 @@ pub fn to_json(sweep: &str, records: &[PointRecord]) -> Json {
                             .collect(),
                     ),
                 ),
+                (
+                    "reliability".to_string(),
+                    Json::from(r.reliability.as_str()),
+                ),
+                ("retransmits".to_string(), Json::UInt(r.retransmits)),
+                (
+                    "duplicates_suppressed".to_string(),
+                    Json::UInt(r.duplicates_suppressed),
+                ),
+                ("escalations".to_string(), Json::UInt(r.escalations)),
                 ("digest".to_string(), Json::from(r.digest.as_str())),
             ])
         })

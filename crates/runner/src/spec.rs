@@ -136,6 +136,65 @@ impl FaultSpec {
     }
 }
 
+/// One reliability configuration of the grid: the disabled baseline, or
+/// the end-to-end retransmission overlay (see [`noc::reliable`]) with
+/// explicit knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReliabilitySpec {
+    /// Row label (`"off"` for the disabled baseline).
+    pub label: String,
+    /// Whether the overlay is enabled. A JSON entry enables it by
+    /// carrying at least one knob; a bare `{"label": ...}` entry is the
+    /// disabled baseline.
+    pub enabled: bool,
+    /// Retransmissions per packet before escalation (valid: 0..=32).
+    pub retry_budget: u8,
+    /// Base ack timeout in cycles (valid: ≥ 1; doubles per attempt).
+    pub ack_timeout: u64,
+    /// Upper bound (exclusive) of the deterministic per-retransmission
+    /// jitter, in cycles.
+    pub backoff_base: u64,
+    /// Seed of the overlay's jitter RNG.
+    pub seed: u64,
+}
+
+impl ReliabilitySpec {
+    /// The disabled baseline — the default axis entry, which leaves
+    /// every historical grid's indices, seeds and records bit-identical.
+    pub fn off() -> Self {
+        let d = noc::reliable::ReliabilityConfig::with_seed(0);
+        ReliabilitySpec {
+            label: "off".to_string(),
+            enabled: false,
+            retry_budget: d.retry_budget,
+            ack_timeout: d.ack_timeout,
+            backoff_base: d.backoff_base,
+            seed: d.seed,
+        }
+    }
+
+    /// An enabled entry with the production defaults and `seed`.
+    pub fn on(label: &str, seed: u64) -> Self {
+        ReliabilitySpec {
+            label: label.to_string(),
+            enabled: true,
+            seed,
+            ..ReliabilitySpec::off()
+        }
+    }
+
+    /// The simulator configuration this entry describes (`None` when
+    /// the overlay is off).
+    pub fn config(&self) -> Option<noc::reliable::ReliabilityConfig> {
+        self.enabled.then_some(noc::reliable::ReliabilityConfig {
+            retry_budget: self.retry_budget,
+            ack_timeout: self.ack_timeout,
+            backoff_base: self.backoff_base,
+            seed: self.seed,
+        })
+    }
+}
+
 /// Stable machine-readable key for a traffic pattern (`"uniform"`,
 /// `"transpose"`, `"complement"`, `"core_to_llc"`, `"hotspot:<node>"`).
 pub fn pattern_key(pattern: Pattern) -> String {
@@ -253,6 +312,9 @@ pub struct SweepSpec {
     pub hpcs: Vec<u8>,
     /// Fault-injection configurations to sweep.
     pub faults: Vec<FaultSpec>,
+    /// Reliability configurations to sweep (default: a single disabled
+    /// entry, which keeps legacy grids, indices and seeds unchanged).
+    pub reliability: Vec<ReliabilitySpec>,
     /// Independent samples per grid cell (each with its own seed).
     pub samples: u32,
     /// Simulated-cycle budget per point attempt, counted from cycle 0
@@ -302,6 +364,7 @@ impl SweepSpec {
             vc_depths: vec![5],
             hpcs: vec![2],
             faults: vec![FaultSpec::none()],
+            reliability: vec![ReliabilitySpec::off()],
             samples: 1,
             cycle_budget: 0,
             wall_budget_ms: 0,
@@ -346,6 +409,18 @@ impl SweepSpec {
     /// Sets the per-class token-bucket shapers (builder style).
     pub fn token_buckets(mut self, buckets: [Option<TokenBucketCfg>; 3]) -> Self {
         self.token_buckets = buckets;
+        self
+    }
+
+    /// Sets the reliability axis (builder style).
+    pub fn reliability(mut self, axis: &[ReliabilitySpec]) -> Self {
+        self.reliability = axis.to_vec();
+        self
+    }
+
+    /// Sets the fault axis (builder style).
+    pub fn faults(mut self, axis: &[FaultSpec]) -> Self {
+        self.faults = axis.to_vec();
         self
     }
 
@@ -447,6 +522,15 @@ impl SweepSpec {
                 None => h.write_u8(0),
             }
         }
+        h.write_usize(self.reliability.len());
+        for r in &self.reliability {
+            h.write_bytes(r.label.as_bytes());
+            h.write_u8(u8::from(r.enabled));
+            h.write_u8(r.retry_budget);
+            h.write_u64(r.ack_timeout);
+            h.write_u64(r.backoff_base);
+            h.write_u64(r.seed);
+        }
         // wall_budget_ms, max_retries and backoff_ms are deliberately
         // excluded: they change *how* points run, never *what* a
         // completed point's record means, so a resume may tighten or
@@ -464,6 +548,7 @@ impl SweepSpec {
             * self.vc_depths.len()
             * self.hpcs.len()
             * self.faults.len()
+            * self.reliability.len()
             * self.samples as usize
     }
 
@@ -474,10 +559,11 @@ impl SweepSpec {
 
     /// Expands the grid in its canonical order — organisation outermost,
     /// then pattern, injection process, rate, radix, VC depth,
-    /// hops-per-cycle, fault plan, and sample innermost. The order (not
-    /// the thread count) defines each point's index and therefore its
-    /// derived seed. A spec with the default single-Bernoulli injection
-    /// axis expands to exactly the pre-QoS grid.
+    /// hops-per-cycle, fault plan, reliability, and sample innermost.
+    /// The order (not the thread count) defines each point's index and
+    /// therefore its derived seed. A spec with the default
+    /// single-Bernoulli injection axis and the default single-disabled
+    /// reliability axis expands to exactly the historical grid.
     pub fn points(&self) -> Vec<PointSpec> {
         let mut out = Vec::with_capacity(self.len());
         for &org in &self.orgs {
@@ -488,33 +574,40 @@ impl SweepSpec {
                             for &vc_depth in &self.vc_depths {
                                 for &hpc in &self.hpcs {
                                     for fault in &self.faults {
-                                        for sample in 0..self.samples {
-                                            let index = out.len();
-                                            out.push(PointSpec {
-                                                index,
-                                                org,
-                                                pattern,
-                                                injection,
-                                                rate,
-                                                radix,
-                                                vc_depth,
-                                                hpc,
-                                                fault: fault.clone(),
-                                                sample,
-                                                seed: derive_seed(self.base_seed, index as u64, 0),
-                                                base_seed: self.base_seed,
-                                                warmup: self.warmup,
-                                                measure: self.measure,
-                                                response_fraction: self.response_fraction,
-                                                cycle_budget: self.cycle_budget,
-                                                wall_budget_ms: self.wall_budget_ms,
-                                                max_retries: self.max_retries,
-                                                backoff_ms: self.backoff_ms,
-                                                digest_interval: self.digest_interval,
-                                                class_priority: self.class_priority,
-                                                token_buckets: self.token_buckets,
-                                                skip_ahead: true,
-                                            });
+                                        for rel in &self.reliability {
+                                            for sample in 0..self.samples {
+                                                let index = out.len();
+                                                out.push(PointSpec {
+                                                    index,
+                                                    org,
+                                                    pattern,
+                                                    injection,
+                                                    rate,
+                                                    radix,
+                                                    vc_depth,
+                                                    hpc,
+                                                    fault: fault.clone(),
+                                                    reliability: rel.clone(),
+                                                    sample,
+                                                    seed: derive_seed(
+                                                        self.base_seed,
+                                                        index as u64,
+                                                        0,
+                                                    ),
+                                                    base_seed: self.base_seed,
+                                                    warmup: self.warmup,
+                                                    measure: self.measure,
+                                                    response_fraction: self.response_fraction,
+                                                    cycle_budget: self.cycle_budget,
+                                                    wall_budget_ms: self.wall_budget_ms,
+                                                    max_retries: self.max_retries,
+                                                    backoff_ms: self.backoff_ms,
+                                                    digest_interval: self.digest_interval,
+                                                    class_priority: self.class_priority,
+                                                    token_buckets: self.token_buckets,
+                                                    skip_ahead: true,
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -600,6 +693,9 @@ impl SweepSpec {
         }
         if let Some(v) = json.get("faults") {
             spec.faults = parse_list(v, "faults", parse_fault)?;
+        }
+        if let Some(v) = json.get("reliability") {
+            spec.reliability = parse_reliability_list(v)?;
         }
         if let Some(v) = json.get("cycle_budget") {
             spec.cycle_budget = v.as_u64().map_or_else(|| err("cycle_budget"), Ok)?;
@@ -751,6 +847,100 @@ fn parse_fault(v: &Json) -> Option<FaultSpec> {
         seed,
         events,
     })
+}
+
+/// The valid `reliability[]` entry forms, for error messages.
+pub const RELIABILITY_FORMS: &str = "{\"label\": L} (overlay off) or {\"label\": L, \
+     \"retry_budget\": 0..=32, \"ack_timeout\": cycles >= 1, \"backoff_base\": cycles, \
+     \"seed\": S} (overlay on; omitted knobs default to 3/256/32/0)";
+
+fn parse_reliability_list(v: &Json) -> Result<Vec<ReliabilitySpec>, SpecError> {
+    let Some(items) = v.as_array() else {
+        return err(format!(
+            "field \"reliability\" must be an array (valid values: {RELIABILITY_FORMS})"
+        ));
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for (i, x) in items.iter().enumerate() {
+        out.push(parse_reliability(x, i)?);
+    }
+    Ok(out)
+}
+
+/// Parses one `reliability[]` entry. Presence of any knob enables the
+/// overlay; the validity ranges mirror `NocConfig::validate` so a bad
+/// spec dies here with the field name instead of at point-build time.
+fn parse_reliability(v: &Json, i: usize) -> Result<ReliabilitySpec, SpecError> {
+    let Some(label) = v.get("label").and_then(Json::as_str) else {
+        return err(format!(
+            "field \"reliability\"[{i}] needs a string \"label\" \
+             (valid values: {RELIABILITY_FORMS})"
+        ));
+    };
+    let mut spec = ReliabilitySpec {
+        label: label.to_string(),
+        ..ReliabilitySpec::off()
+    };
+    if let Some(x) = v.get("retry_budget") {
+        match x
+            .as_u64()
+            .and_then(|b| u8::try_from(b).ok())
+            .filter(|&b| b <= 32)
+        {
+            Some(b) => {
+                spec.retry_budget = b;
+                spec.enabled = true;
+            }
+            None => {
+                return err(format!(
+                    "field \"reliability\"[{i}].retry_budget is out of range \
+                     (valid values: 0..=32 retransmissions before escalation)"
+                ))
+            }
+        }
+    }
+    if let Some(x) = v.get("ack_timeout") {
+        match x.as_u64().filter(|&t| t >= 1) {
+            Some(t) => {
+                spec.ack_timeout = t;
+                spec.enabled = true;
+            }
+            None => {
+                return err(format!(
+                    "field \"reliability\"[{i}].ack_timeout is out of range \
+                     (valid values: cycles >= 1)"
+                ))
+            }
+        }
+    }
+    if let Some(x) = v.get("backoff_base") {
+        match x.as_u64() {
+            Some(b) => {
+                spec.backoff_base = b;
+                spec.enabled = true;
+            }
+            None => {
+                return err(format!(
+                    "field \"reliability\"[{i}].backoff_base is malformed \
+                     (valid values: a cycle count)"
+                ))
+            }
+        }
+    }
+    if let Some(x) = v.get("seed") {
+        match x.as_u64() {
+            Some(s) => {
+                spec.seed = s;
+                spec.enabled = true;
+            }
+            None => {
+                return err(format!(
+                    "field \"reliability\"[{i}].seed is malformed (valid values: a u64 seed)"
+                ))
+            }
+        }
+    }
+    Ok(spec)
 }
 
 fn parse_direction(v: &Json) -> Option<noc::types::Direction> {
@@ -927,6 +1117,70 @@ mod tests {
         // QoS fields change the spec hash (journals must refuse to mix).
         let plain = SweepSpec::from_json_str(r#"{"name":"qos"}"#).expect("valid");
         assert_ne!(spec.spec_hash(), plain.spec_hash());
+    }
+
+    #[test]
+    fn reliability_axis_parses_validates_and_reshapes_the_grid() {
+        let text = r#"{
+            "name": "rel",
+            "rates": [0.02, 0.05],
+            "faults": [{"label": "none"}, {"label": "storm", "transient_ppb": 1000}],
+            "reliability": [{"label": "off"}, {"label": "r2", "retry_budget": 2, "seed": 7}]
+        }"#;
+        let spec = SweepSpec::from_json_str(text).expect("valid spec");
+        assert_eq!(spec.reliability.len(), 2);
+        assert!(!spec.reliability[0].enabled, "bare label entry is off");
+        assert_eq!(spec.reliability[0].config(), None);
+        let on = &spec.reliability[1];
+        assert!(on.enabled, "any knob enables the overlay");
+        let cfg = on.config().expect("enabled entry yields a config");
+        assert_eq!(cfg.retry_budget, 2);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.ack_timeout, 256, "omitted knobs take the defaults");
+        // The axis multiplies the grid and sits between fault and
+        // sample: for a fixed (rate, fault) cell the reliability
+        // entries are adjacent.
+        assert_eq!(spec.len(), 2 * 2 * 2);
+        let pts = spec.points();
+        assert_eq!(pts[0].fault.label, "none");
+        assert!(!pts[0].reliability.enabled);
+        assert_eq!(pts[1].fault.label, "none");
+        assert!(pts[1].reliability.enabled);
+        assert_eq!(pts[2].fault.label, "storm");
+        // The axis changes the spec hash (journals must refuse to mix).
+        let plain = SweepSpec::from_json_str(r#"{"name":"rel"}"#).expect("valid");
+        assert_ne!(spec.spec_hash(), plain.spec_hash());
+        // ... but spelling out the default single-off axis is
+        // hash-identical to omitting it: old specs keep their hash.
+        let explicit_off =
+            SweepSpec::from_json_str(r#"{"name":"rel","reliability":[{"label":"off"}]}"#)
+                .expect("valid");
+        assert_eq!(explicit_off.spec_hash(), plain.spec_hash());
+        assert_eq!(explicit_off.points()[0].seed, plain.points()[0].seed);
+    }
+
+    #[test]
+    fn out_of_range_reliability_knobs_are_rejected_with_valid_values() {
+        let bad_budget = SweepSpec::from_json_str(
+            r#"{"name":"x","reliability":[{"label":"r","retry_budget":40}]}"#,
+        )
+        .expect_err("budget above 32")
+        .to_string();
+        assert!(bad_budget.contains("retry_budget"), "{bad_budget}");
+        assert!(bad_budget.contains("0..=32"), "{bad_budget}");
+        let bad_timeout = SweepSpec::from_json_str(
+            r#"{"name":"x","reliability":[{"label":"r","ack_timeout":0}]}"#,
+        )
+        .expect_err("zero ack timeout")
+        .to_string();
+        assert!(bad_timeout.contains("ack_timeout"), "{bad_timeout}");
+        assert!(bad_timeout.contains(">= 1"), "{bad_timeout}");
+        let no_label =
+            SweepSpec::from_json_str(r#"{"name":"x","reliability":[{"retry_budget":1}]}"#)
+                .expect_err("missing label")
+                .to_string();
+        assert!(no_label.contains("label"), "{no_label}");
+        assert!(no_label.contains("overlay on"), "{no_label}");
     }
 
     #[test]

@@ -10,7 +10,10 @@ fn usage() -> ExitCode {
     eprintln!();
     eprintln!("  check            run the repo lint pass over the workspace source trees");
     eprintln!("  check DIR        run the lint pass over one directory (used by fixtures)");
-    eprintln!("  verify-protocol  exhaustively model-check the sweep crash-recovery protocol");
+    eprintln!(
+        "  verify-protocol  exhaustively model-check the sweep crash-recovery and \
+         reliable-delivery protocols"
+    );
     ExitCode::from(2)
 }
 
@@ -23,15 +26,16 @@ fn main() -> ExitCode {
     }
 }
 
-/// Runs the explicit-state model checker over the journal/lease/
-/// supervisor protocol at the standard bounds, then self-tests the
-/// checker's teeth: both seeded bug doubles must still be refuted with
-/// a counterexample. Exits nonzero printing the minimal trace if the
-/// shipped protocol violates an invariant — or if a double sails
-/// through, meaning the checker can no longer detect the bugs it was
-/// built to catch.
+/// Runs the explicit-state model checkers — the journal/lease/
+/// supervisor protocol and the end-to-end reliable-delivery protocol —
+/// at the standard bounds, then self-tests each checker's teeth: every
+/// seeded bug double must still be refuted with a counterexample.
+/// Exits nonzero printing the minimal trace if a shipped protocol
+/// violates an invariant — or if a double sails through, meaning a
+/// checker can no longer detect the bugs it was built to catch.
 fn verify_protocol() -> ExitCode {
-    use analyzer::{check_protocol, ModelBounds, Semantics};
+    use analyzer::{check_protocol, check_reliable_protocol, ModelBounds, RelBounds, Semantics};
+    use noc::reliable::RetrySemantics;
 
     match check_protocol(ModelBounds::standard(), Semantics::correct()) {
         Ok(report) => {
@@ -62,6 +66,51 @@ fn verify_protocol() -> ExitCode {
     ];
     for (name, semantics) in doubles {
         match check_protocol(ModelBounds::standard(), semantics) {
+            Ok(_) => {
+                eprintln!(
+                    "verify-protocol: seeded bug double `{name}` was NOT refuted; \
+                     the checker has lost the ability to catch this bug class"
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(v) => {
+                println!(
+                    "verify-protocol: bug double `{name}` refuted: {} ({}-step counterexample)",
+                    v.invariant,
+                    v.trace.len()
+                );
+            }
+        }
+    }
+
+    match check_reliable_protocol(RelBounds::standard(), RetrySemantics::correct()) {
+        Ok(report) => {
+            println!(
+                "verify-protocol: reliable delivery: {} states / {} transitions explored; \
+                 eventual delivery, no duplicate ejection, no wraparound hazard and bounded \
+                 storms hold ({} delivered + {} escalated terminals, max {} live copies)",
+                report.states,
+                report.transitions,
+                report.terminal_delivered,
+                report.terminal_escalated,
+                report.max_live_copies
+            );
+        }
+        Err(v) => {
+            eprintln!(
+                "verify-protocol: the shipped reliable-delivery protocol violates an invariant"
+            );
+            eprintln!("{v}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let rel_doubles = [
+        ("ack-before-commit", RetrySemantics::ack_before_commit()),
+        ("unbounded-retry", RetrySemantics::unbounded_retry()),
+    ];
+    for (name, semantics) in rel_doubles {
+        match check_reliable_protocol(RelBounds::standard(), semantics) {
             Ok(_) => {
                 eprintln!(
                     "verify-protocol: seeded bug double `{name}` was NOT refuted; \
